@@ -1,0 +1,84 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * the thermal objective (average / peak / blended temperature),
+//! * the temperature weight of the dynamic-criticality term,
+//! * the cost-scale of the power/thermal term.
+//!
+//! Each configuration is benchmarked on Bm2 on the platform architecture; the
+//! measured quantity is the full thermal-aware scheduling run, so the numbers
+//! also show how much the extra thermal queries cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tats_bench::Fixture;
+use tats_core::{Asp, Policy, ThermalObjective};
+
+fn bench_thermal_objective(c: &mut Criterion) {
+    let fixture = Fixture::new().expect("fixture");
+    let graph = fixture.benchmark(1);
+    let mut group = c.benchmark_group("ablation_thermal_objective_bm2");
+    group.sample_size(20);
+    for objective in ThermalObjective::ALL {
+        group.bench_function(BenchmarkId::from_parameter(objective.to_string()), |b| {
+            b.iter(|| {
+                Asp::new(graph, &fixture.library, &fixture.platform)
+                    .unwrap()
+                    .with_policy(Policy::ThermalAware)
+                    .with_thermal_objective(objective)
+                    .with_floorplan(fixture.floorplan.clone())
+                    .schedule()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_temperature_weight(c: &mut Criterion) {
+    let fixture = Fixture::new().expect("fixture");
+    let graph = fixture.benchmark(1);
+    let mut group = c.benchmark_group("ablation_temperature_weight_bm2");
+    group.sample_size(20);
+    for weight in [0.0, 1.0, 5.0, 25.0, 100.0] {
+        group.bench_function(BenchmarkId::from_parameter(weight), |b| {
+            b.iter(|| {
+                Asp::new(graph, &fixture.library, &fixture.platform)
+                    .unwrap()
+                    .with_policy(Policy::ThermalAware)
+                    .with_temperature_weight(weight)
+                    .with_floorplan(fixture.floorplan.clone())
+                    .schedule()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_scale(c: &mut Criterion) {
+    let fixture = Fixture::new().expect("fixture");
+    let graph = fixture.benchmark(1);
+    let mut group = c.benchmark_group("ablation_cost_scale_bm2");
+    group.sample_size(20);
+    for scale in [0.0, 0.25, 1.0, 4.0] {
+        group.bench_function(BenchmarkId::from_parameter(scale), |b| {
+            b.iter(|| {
+                Asp::new(graph, &fixture.library, &fixture.platform)
+                    .unwrap()
+                    .with_policy(Policy::ThermalAware)
+                    .with_cost_scale(scale)
+                    .with_floorplan(fixture.floorplan.clone())
+                    .schedule()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thermal_objective,
+    bench_temperature_weight,
+    bench_cost_scale
+);
+criterion_main!(benches);

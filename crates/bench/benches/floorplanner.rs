@@ -1,0 +1,69 @@
+//! Floorplanner ablation: genetic algorithm vs simulated annealing vs the
+//! unoptimised initial layout, with thermal-aware and area-only objectives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tats_floorplan::{CostWeights, Engine, Floorplanner, GaConfig, Module, SaConfig};
+
+fn modules() -> Vec<Module> {
+    vec![
+        Module::from_mm("cpu0", 7.0, 7.0, 6.5),
+        Module::from_mm("cpu1", 7.0, 7.0, 5.5),
+        Module::from_mm("dsp", 5.0, 6.0, 2.5),
+        Module::from_mm("accel", 4.0, 4.0, 1.2),
+        Module::from_mm("mem", 6.0, 4.0, 0.8),
+        Module::from_mm("io", 3.0, 3.0, 0.4),
+    ]
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let engines: Vec<(&str, Engine)> = vec![
+        ("initial_only", Engine::InitialOnly),
+        (
+            "annealing",
+            Engine::Annealing(SaConfig {
+                moves_per_temperature: 30,
+                ..SaConfig::default()
+            }),
+        ),
+        (
+            "genetic",
+            Engine::Genetic(GaConfig {
+                population: 16,
+                generations: 20,
+                ..GaConfig::default()
+            }),
+        ),
+    ];
+    let mut group = c.benchmark_group("floorplanner_engine_thermal_aware");
+    group.sample_size(10);
+    for (name, engine) in &engines {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                Floorplanner::new(modules())
+                    .with_weights(CostWeights::thermal_aware())
+                    .with_engine(*engine)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("floorplanner_engine_area_only");
+    group.sample_size(10);
+    for (name, engine) in &engines {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                Floorplanner::new(modules())
+                    .with_weights(CostWeights::area_only())
+                    .with_engine(*engine)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Scheduler micro-benchmarks: ASP throughput per policy and scalability with
+//! the task-graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tats_bench::Fixture;
+use tats_core::{Asp, Policy, PowerHeuristic};
+use tats_taskgraph::GeneratorConfig;
+
+fn bench_policies_on_bm1(c: &mut Criterion) {
+    let fixture = Fixture::new().expect("fixture");
+    let graph = fixture.benchmark(0);
+    let mut group = c.benchmark_group("asp_policy_bm1_platform");
+    for policy in [
+        Policy::Baseline,
+        Policy::PowerAware(PowerHeuristic::MinTaskPower),
+        Policy::PowerAware(PowerHeuristic::MinCumulativeAveragePower),
+        Policy::PowerAware(PowerHeuristic::MinTaskEnergy),
+        Policy::ThermalAware,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(policy.label()), |b| {
+            b.iter(|| {
+                Asp::new(graph, &fixture.library, &fixture.platform)
+                    .unwrap()
+                    .with_policy(policy)
+                    .with_floorplan(fixture.floorplan.clone())
+                    .schedule()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let fixture = Fixture::new().expect("fixture");
+    let mut group = c.benchmark_group("asp_scalability_thermal_aware");
+    group.sample_size(20);
+    for tasks in [20usize, 50, 100, 200] {
+        let edges = tasks + tasks / 2;
+        let graph = GeneratorConfig::new("scale", tasks, edges, 1e9)
+            .with_seed(7)
+            .with_type_count(10)
+            .generate()
+            .unwrap();
+        group.bench_function(BenchmarkId::from_parameter(tasks), |b| {
+            b.iter(|| {
+                Asp::new(&graph, &fixture.library, &fixture.platform)
+                    .unwrap()
+                    .with_policy(Policy::ThermalAware)
+                    .with_floorplan(fixture.floorplan.clone())
+                    .schedule()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies_on_bm1, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates one row of Table 3 per iteration: power-aware (heuristic 3)
+//! versus thermal-aware scheduling on the fixed platform architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tats_bench::Fixture;
+use tats_core::{Policy, PowerHeuristic};
+use tats_taskgraph::Benchmark;
+
+fn bench_table3_rows(c: &mut Criterion) {
+    let fixture = Fixture::new().expect("fixture");
+    let flow = fixture.platform_flow().expect("platform flow");
+    let mut group = c.benchmark_group("table3_row");
+    group.sample_size(20);
+    for (index, bm) in Benchmark::ALL.iter().enumerate() {
+        let graph = fixture.benchmark(index).clone();
+        group.bench_function(BenchmarkId::from_parameter(bm.name()), |b| {
+            b.iter(|| {
+                let power = flow
+                    .run(&graph, Policy::PowerAware(PowerHeuristic::MinTaskEnergy))
+                    .unwrap();
+                let thermal = flow.run(&graph, Policy::ThermalAware).unwrap();
+                (
+                    power.evaluation.max_temperature_c,
+                    thermal.evaluation.max_temperature_c,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3_rows);
+criterion_main!(benches);

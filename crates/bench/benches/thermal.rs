@@ -1,0 +1,87 @@
+//! Thermal-model micro-benchmarks: block-level steady state, grid-refined
+//! steady state and the transient solver. These bound the per-decision cost
+//! the thermal-aware ASP pays when it queries the model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tats_thermal::{
+    Block, Floorplan, GridModel, PowerPhase, Temperatures, ThermalConfig, ThermalModel,
+    TransientSolver,
+};
+
+fn floorplan(blocks: usize) -> Floorplan {
+    let columns = (blocks as f64).sqrt().ceil() as usize;
+    let plan: Vec<Block> = (0..blocks)
+        .map(|i| {
+            let col = (i % columns) as f64;
+            let row = (i / columns) as f64;
+            Block::from_mm(format!("b{i}"), col * 7.0, row * 7.0, 7.0, 7.0)
+        })
+        .collect();
+    Floorplan::new(plan).expect("valid synthetic floorplan")
+}
+
+fn power(blocks: usize) -> Vec<f64> {
+    (0..blocks).map(|i| 2.0 + (i % 5) as f64).collect()
+}
+
+fn bench_block_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_block_steady_state");
+    for blocks in [4usize, 9, 16, 36] {
+        let plan = floorplan(blocks);
+        let model = ThermalModel::new(&plan, ThermalConfig::default()).unwrap();
+        let p = power(blocks);
+        group.bench_function(BenchmarkId::from_parameter(blocks), |b| {
+            b.iter(|| model.steady_state(&p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_model_construction");
+    for blocks in [4usize, 16, 36] {
+        let plan = floorplan(blocks);
+        group.bench_function(BenchmarkId::from_parameter(blocks), |b| {
+            b.iter(|| ThermalModel::new(&plan, ThermalConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_steady_state(c: &mut Criterion) {
+    let plan = floorplan(4);
+    let p = power(4);
+    let mut group = c.benchmark_group("thermal_grid_steady_state");
+    group.sample_size(20);
+    for resolution in [8usize, 16, 32] {
+        let grid = GridModel::new(&plan, ThermalConfig::default(), resolution, resolution).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(resolution), |b| {
+            b.iter(|| grid.steady_state(&p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let plan = floorplan(4);
+    let model = ThermalModel::new(&plan, ThermalConfig::default()).unwrap();
+    let p = power(4);
+    let start = Temperatures::uniform(4, 45.0);
+    let trace = vec![PowerPhase::new(500.0, p)];
+    let mut group = c.benchmark_group("thermal_transient_500_units");
+    group.sample_size(20);
+    group.bench_function("backward_euler_dt50ms", |b| {
+        let solver = TransientSolver::new(&model).with_step(0.05);
+        b.iter(|| solver.run(&start, &trace).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block_steady_state,
+    bench_model_construction,
+    bench_grid_steady_state,
+    bench_transient
+);
+criterion_main!(benches);

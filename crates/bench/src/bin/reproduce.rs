@@ -1,0 +1,51 @@
+//! Regenerates the paper's Tables 1–3 and prints them in a paper-like layout.
+//!
+//! ```bash
+//! cargo run --release -p tats-bench --bin reproduce            # all tables
+//! cargo run --release -p tats-bench --bin reproduce -- table3  # one table
+//! ```
+//!
+//! The output of this binary is the "measured" column of EXPERIMENTS.md.
+
+use std::env;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tats_core::experiment::{table1, table2, table3, ExperimentConfig};
+
+fn main() -> ExitCode {
+    let selection: Vec<String> = env::args().skip(1).collect();
+    let wants = |name: &str| selection.is_empty() || selection.iter().any(|s| s == name);
+    let config = ExperimentConfig::default();
+
+    let start = Instant::now();
+    if wants("table1") {
+        match table1(&config) {
+            Ok(table) => println!("{table}"),
+            Err(e) => {
+                eprintln!("table 1 failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if wants("table2") {
+        match table2(&config) {
+            Ok(table) => println!("{table}"),
+            Err(e) => {
+                eprintln!("table 2 failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if wants("table3") {
+        match table3(&config) {
+            Ok(table) => println!("{table}"),
+            Err(e) => {
+                eprintln!("table 3 failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("(reproduced in {:.1} s)", start.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

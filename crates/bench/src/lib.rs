@@ -1,0 +1,86 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! The Criterion benches and the `reproduce` binary all operate on the same
+//! deterministic inputs: the paper's four benchmarks, the standard technology
+//! library and the platform architecture. This crate centralises their
+//! construction so every bench measures exactly the same workload.
+
+use tats_core::experiment::{ExperimentConfig, EXPERIMENT_TASK_TYPES};
+use tats_core::{layout, CoreError, PlatformFlow};
+use tats_taskgraph::{Benchmark, TaskGraph};
+use tats_techlib::{profiles, Architecture, TechLibrary};
+use tats_thermal::Floorplan;
+
+/// Everything a bench needs to schedule the paper's benchmarks on the
+/// platform architecture.
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// The standard technology library.
+    pub library: TechLibrary,
+    /// The 4-identical-PE platform architecture.
+    pub platform: Architecture,
+    /// The platform's grid floorplan.
+    pub floorplan: Floorplan,
+    /// All four paper benchmarks, in table order.
+    pub benchmarks: Vec<TaskGraph>,
+}
+
+impl Fixture {
+    /// Builds the standard fixture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates library, architecture and benchmark construction errors.
+    pub fn new() -> Result<Self, CoreError> {
+        let library = profiles::standard_library(EXPERIMENT_TASK_TYPES)?;
+        let platform = profiles::platform_architecture(&library)?;
+        let floorplan = layout::grid_floorplan(&platform, &library)?;
+        let benchmarks = Benchmark::ALL
+            .iter()
+            .map(|b| b.task_graph())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Fixture {
+            library,
+            platform,
+            floorplan,
+            benchmarks,
+        })
+    }
+
+    /// A ready-to-use platform flow over the fixture's library.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform construction errors.
+    pub fn platform_flow(&self) -> Result<PlatformFlow<'_>, CoreError> {
+        PlatformFlow::new(&self.library)
+    }
+
+    /// The benchmark graph with the given table index (0 = Bm1).
+    pub fn benchmark(&self, index: usize) -> &TaskGraph {
+        &self.benchmarks[index]
+    }
+}
+
+/// The experiment configuration used by the Criterion table benches: smaller
+/// floorplanner effort than the `reproduce` binary so a single iteration
+/// stays in the tens-of-milliseconds range.
+pub fn bench_experiment_config() -> ExperimentConfig {
+    ExperimentConfig::fast()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_and_is_consistent() {
+        let fixture = Fixture::new().unwrap();
+        assert_eq!(fixture.benchmarks.len(), 4);
+        assert_eq!(fixture.platform.pe_count(), 4);
+        assert_eq!(fixture.floorplan.block_count(), 4);
+        assert_eq!(fixture.benchmark(0).task_count(), 19);
+        assert!(fixture.platform_flow().is_ok());
+        let _ = bench_experiment_config();
+    }
+}

@@ -1,0 +1,403 @@
+//! Implementations of the CLI subcommands.
+//!
+//! Every command returns its output as a `String` so the binary stays a thin
+//! printing wrapper and the commands are unit-testable.
+
+use tats_core::experiment::{table1, table2, table3, ExperimentConfig};
+use tats_core::{CoSynthesis, PlatformFlow, Policy, ScheduleEvaluation};
+use tats_power::{simulate_schedule, DvfsTable, PowerProfile, ScheduleSimulator, SlackReclaimer};
+use tats_reliability::ReliabilityAnalyzer;
+use tats_taskgraph::{dot, extended, tgff};
+use tats_techlib::profiles;
+use tats_thermal::{ThermalConfig, ThermalModel};
+use tats_trace::{csv, json, markdown, GanttChart};
+
+use crate::options::{parse_benchmark, parse_policy, CliError, Options};
+
+/// Number of task types used by the CLI's technology library (matches the
+/// experiment driver in `tats-core`).
+const TASK_TYPES: usize = 12;
+
+fn execution_error(error: impl std::fmt::Display) -> CliError {
+    CliError::Execution(error.to_string())
+}
+
+/// `tats help` — usage text.
+pub fn help() -> String {
+    "\
+tats — thermal-aware task allocation and scheduling (DATE 2005 reproduction)
+
+USAGE:
+    tats <command> [options]
+
+COMMANDS:
+    tables       Reproduce the paper's Tables 1-3 (markdown output)
+                   --which table1|table2|table3|all   (default: all)
+                   --full                             slower, higher-quality co-synthesis
+    schedule     Schedule one benchmark and report the paper's metrics
+                   --benchmark Bm1..Bm4               (default: Bm1)
+                   --policy baseline|power1..3|thermal (default: thermal)
+                   --arch platform|cosynthesis        (default: platform)
+                   --gantt --csv --json               extra artefacts
+    sweep        Scalability sweep over the extended benchmark family
+                   --sizes 25,50,100                  (default: 25,50,100)
+                   --policy ...                       (default: thermal)
+    reliability  Lifetime comparison of power-aware vs thermal-aware mapping
+                   --benchmark Bm1..Bm4               (default: Bm1)
+    dvs          DVS slack reclamation on top of a schedule
+                   --benchmark Bm1..Bm4 --policy ...  (default: Bm1, thermal)
+    export       Export a benchmark task graph
+                   --benchmark Bm1..Bm4 --format tgff|dot
+    help         Show this message
+"
+    .to_string()
+}
+
+fn evaluation_summary(label: &str, evaluation: &ScheduleEvaluation) -> String {
+    format!(
+        "{label}: total power {:.2} W, max temp {:.2} C, avg temp {:.2} C, makespan {:.1}, deadline {}\n",
+        evaluation.total_average_power,
+        evaluation.max_temperature_c,
+        evaluation.avg_temperature_c,
+        evaluation.makespan,
+        if evaluation.meets_deadline { "met" } else { "MISSED" }
+    )
+}
+
+/// `tats tables` — reproduce the paper's tables.
+pub fn tables(options: &Options) -> Result<String, CliError> {
+    let config = if options.switch("full") {
+        ExperimentConfig::default()
+    } else {
+        ExperimentConfig::fast()
+    };
+    let which = options.value_or("which", "all");
+    let mut out = String::new();
+    if which == "table1" || which == "all" {
+        let table = table1(&config).map_err(execution_error)?;
+        out.push_str("## Table 1 — power-heuristic comparison\n\n");
+        out.push_str(&markdown::table1_to_markdown(&table));
+        out.push('\n');
+    }
+    if which == "table2" || which == "all" {
+        let table = table2(&config).map_err(execution_error)?;
+        out.push_str("## Table 2 — co-synthesis architecture\n\n");
+        out.push_str(&markdown::comparison_to_markdown(&table));
+        out.push('\n');
+    }
+    if which == "table3" || which == "all" {
+        let table = table3(&config).map_err(execution_error)?;
+        out.push_str("## Table 3 — platform architecture\n\n");
+        out.push_str(&markdown::comparison_to_markdown(&table));
+        out.push('\n');
+    }
+    if out.is_empty() {
+        return Err(CliError::InvalidValue {
+            option: "which".to_string(),
+            value: which.to_string(),
+            expected: "table1, table2, table3 or all".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// `tats schedule` — schedule one benchmark and report metrics.
+pub fn schedule(options: &Options) -> Result<String, CliError> {
+    let benchmark = parse_benchmark(options.value_or("benchmark", "Bm1"))?;
+    let policy = parse_policy(options.value_or("policy", "thermal"))?;
+    let arch = options.value_or("arch", "platform");
+    let library = profiles::standard_library(TASK_TYPES).map_err(execution_error)?;
+    let graph = benchmark.task_graph().map_err(execution_error)?;
+
+    let (schedule, evaluation, architecture, label) = match arch {
+        "platform" => {
+            let result = PlatformFlow::new(&library)
+                .map_err(execution_error)?
+                .run(&graph, policy)
+                .map_err(execution_error)?;
+            (
+                result.schedule,
+                result.evaluation,
+                result.architecture,
+                format!("{benchmark} on platform with {policy}"),
+            )
+        }
+        "cosynthesis" => {
+            let result = CoSynthesis::new(&library)
+                .run(&graph, policy)
+                .map_err(execution_error)?;
+            (
+                result.schedule,
+                result.evaluation,
+                result.architecture,
+                format!("{benchmark} via co-synthesis with {policy}"),
+            )
+        }
+        other => {
+            return Err(CliError::InvalidValue {
+                option: "arch".to_string(),
+                value: other.to_string(),
+                expected: "platform or cosynthesis".to_string(),
+            })
+        }
+    };
+
+    let mut out = evaluation_summary(&label, &evaluation);
+    if options.switch("gantt") {
+        out.push('\n');
+        out.push_str(
+            &GanttChart::new()
+                .render(&schedule, Some(&graph))
+                .map_err(execution_error)?,
+        );
+    }
+    if options.switch("csv") {
+        out.push('\n');
+        out.push_str(&csv::schedule_to_csv(&schedule, Some(&graph)).map_err(execution_error)?);
+    }
+    if options.switch("json") {
+        out.push('\n');
+        out.push_str(&json::schedule_to_json(&schedule, Some(&graph)).to_json());
+        out.push('\n');
+    }
+    // Silence the otherwise-unused architecture when no artefact needs it.
+    let _ = architecture;
+    Ok(out)
+}
+
+/// `tats sweep` — scalability sweep over the extended benchmark family.
+pub fn sweep(options: &Options) -> Result<String, CliError> {
+    let sizes = options.usize_list("sizes", &[25, 50, 100])?;
+    let policy = parse_policy(options.value_or("policy", "thermal"))?;
+    let library = profiles::standard_library(TASK_TYPES).map_err(execution_error)?;
+    let graphs = extended::suite_with_sizes(&sizes, 11).map_err(execution_error)?;
+
+    let mut rows = Vec::new();
+    for graph in &graphs {
+        let result = PlatformFlow::new(&library)
+            .map_err(execution_error)?
+            .run(graph, policy)
+            .map_err(execution_error)?;
+        rows.push(vec![
+            graph.task_count().to_string(),
+            graph.edge_count().to_string(),
+            format!("{:.1}", result.schedule.makespan()),
+            format!("{:.2}", result.evaluation.max_temperature_c),
+            format!("{:.2}", result.evaluation.avg_temperature_c),
+            if result.evaluation.meets_deadline {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
+        ]);
+    }
+    let mut out = format!("Scalability sweep with {policy} on the 4-PE platform\n\n");
+    out.push_str(&markdown::markdown_table(
+        &["tasks", "edges", "makespan", "max temp", "avg temp", "deadline met"],
+        &rows,
+    ));
+    Ok(out)
+}
+
+/// `tats reliability` — lifetime comparison of power- vs thermal-aware
+/// mappings on the platform architecture.
+pub fn reliability(options: &Options) -> Result<String, CliError> {
+    let benchmark = parse_benchmark(options.value_or("benchmark", "Bm1"))?;
+    let library = profiles::standard_library(TASK_TYPES).map_err(execution_error)?;
+    let graph = benchmark.task_graph().map_err(execution_error)?;
+    let analyzer = ReliabilityAnalyzer::new();
+
+    let mut rows = Vec::new();
+    for policy in [
+        Policy::PowerAware(tats_core::PowerHeuristic::MinTaskEnergy),
+        Policy::ThermalAware,
+    ] {
+        let result = PlatformFlow::new(&library)
+            .map_err(execution_error)?
+            .run(&graph, policy)
+            .map_err(execution_error)?;
+        let model = ThermalModel::new(&result.floorplan, ThermalConfig::default())
+            .map_err(execution_error)?;
+        let trace = simulate_schedule(&result.schedule, &result.architecture, &library, &model)
+            .map_err(execution_error)?;
+        let system = analyzer.from_trace(&trace).map_err(execution_error)?;
+        rows.push(vec![
+            policy.label(),
+            format!("{:.2}", result.evaluation.max_temperature_c),
+            format!("{:.2}", trace.peak_c()),
+            format!("{:.0}", system.worst_mttf_hours()),
+            format!("{:.0}", system.system_mttf_hours()),
+        ]);
+    }
+    let mut out = format!("Reliability comparison for {benchmark} on the 4-PE platform\n\n");
+    out.push_str(&markdown::markdown_table(
+        &[
+            "policy",
+            "steady max temp",
+            "transient peak",
+            "worst-PE MTTF (h)",
+            "system MTTF (h)",
+        ],
+        &rows,
+    ));
+    Ok(out)
+}
+
+/// `tats dvs` — DVS slack reclamation on top of a schedule.
+pub fn dvs(options: &Options) -> Result<String, CliError> {
+    let benchmark = parse_benchmark(options.value_or("benchmark", "Bm1"))?;
+    let policy = parse_policy(options.value_or("policy", "thermal"))?;
+    let library = profiles::standard_library(TASK_TYPES).map_err(execution_error)?;
+    let graph = benchmark.task_graph().map_err(execution_error)?;
+    let result = PlatformFlow::new(&library)
+        .map_err(execution_error)?
+        .run(&graph, policy)
+        .map_err(execution_error)?;
+
+    let scaled = SlackReclaimer::new(DvfsTable::standard())
+        .reclaim(&result.schedule)
+        .map_err(execution_error)?;
+
+    // Temperature before and after, using the same thermal model.
+    let model = ThermalModel::new(&result.floorplan, ThermalConfig::default())
+        .map_err(execution_error)?;
+    let before_profile =
+        PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
+            .map_err(execution_error)?;
+    let before = ScheduleSimulator::new(&model)
+        .simulate(&before_profile)
+        .map_err(execution_error)?;
+    let after_power = scaled.sustained_power_per_pe(result.schedule.pe_count());
+    let after = model.steady_state(&after_power).map_err(execution_error)?;
+
+    let mut out = format!("DVS slack reclamation for {benchmark} with {policy}\n\n");
+    out.push_str(&format!("selected operating point: {}\n", scaled.operating_point()));
+    out.push_str(&format!(
+        "makespan: {:.1} -> {:.1} (deadline {})\n",
+        scaled.nominal_makespan(),
+        scaled.makespan(),
+        scaled.deadline()
+    ));
+    out.push_str(&format!(
+        "task energy saving: {:.1}%\n",
+        100.0 * scaled.energy_saving_fraction()
+    ));
+    out.push_str(&format!(
+        "transient peak before: {:.2} C, steady peak after: {:.2} C\n",
+        before.peak_c(),
+        after.max_c()
+    ));
+    Ok(out)
+}
+
+/// `tats export` — export a benchmark task graph as TGFF text or Graphviz.
+pub fn export(options: &Options) -> Result<String, CliError> {
+    let benchmark = parse_benchmark(options.value_or("benchmark", "Bm1"))?;
+    let graph = benchmark.task_graph().map_err(execution_error)?;
+    match options.value_or("format", "tgff") {
+        "tgff" => Ok(tgff::to_tgff(&graph)),
+        "dot" => Ok(dot::to_dot(&graph)),
+        other => Err(CliError::InvalidValue {
+            option: "format".to_string(),
+            value: other.to_string(),
+            expected: "tgff or dot".to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str], values: &[&str]) -> Options {
+        let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+        Options::parse(&args, values).expect("parse")
+    }
+
+    #[test]
+    fn help_mentions_every_command() {
+        let text = help();
+        for command in ["tables", "schedule", "sweep", "reliability", "dvs", "export"] {
+            assert!(text.contains(command), "help must mention {command}");
+        }
+    }
+
+    #[test]
+    fn schedule_platform_reports_metrics_and_artefacts() {
+        let options = opts(
+            &["--benchmark", "Bm1", "--policy", "thermal", "--gantt", "--csv", "--json"],
+            &["benchmark", "policy", "arch"],
+        );
+        let out = schedule(&options).expect("schedule");
+        assert!(out.contains("max temp"));
+        assert!(out.contains("PE0"));
+        assert!(out.contains("task,name,pe"));
+        assert!(out.contains("\"assignments\""));
+    }
+
+    #[test]
+    fn schedule_rejects_unknown_architecture() {
+        let options = opts(&["--arch", "fpga"], &["arch"]);
+        assert!(matches!(
+            schedule(&options),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn export_produces_tgff_and_dot() {
+        let tgff_out = export(&opts(&["--benchmark", "Bm2"], &["benchmark", "format"]))
+            .expect("tgff export");
+        assert!(tgff_out.starts_with("@GRAPH Bm2"));
+        let dot_out = export(&opts(
+            &["--benchmark", "Bm2", "--format", "dot"],
+            &["benchmark", "format"],
+        ))
+        .expect("dot export");
+        assert!(dot_out.contains("digraph"));
+        assert!(export(&opts(&["--format", "png"], &["format"])).is_err());
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_size() {
+        let options = opts(&["--sizes", "10,20", "--policy", "baseline"], &["sizes", "policy"]);
+        let out = sweep(&options).expect("sweep");
+        let data_rows = out
+            .lines()
+            .filter(|line| line.starts_with("| 1") || line.starts_with("| 2"))
+            .count();
+        assert_eq!(data_rows, 2);
+    }
+
+    #[test]
+    fn dvs_reports_an_operating_point() {
+        let options = opts(&["--benchmark", "Bm1"], &["benchmark", "policy"]);
+        let out = dvs(&options).expect("dvs");
+        assert!(out.contains("selected operating point"));
+        assert!(out.contains("energy saving"));
+    }
+
+    #[test]
+    fn reliability_compares_two_policies() {
+        let options = opts(&["--benchmark", "Bm1"], &["benchmark"]);
+        let out = reliability(&options).expect("reliability");
+        assert!(out.contains("Thermal-aware"));
+        assert!(out.contains("Heuristic 3"));
+        assert!(out.contains("system MTTF"));
+    }
+
+    #[test]
+    fn tables_rejects_unknown_selection() {
+        let options = opts(&["--which", "table9"], &["which"]);
+        assert!(matches!(tables(&options), Err(CliError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn tables_renders_the_platform_comparison() {
+        let options = opts(&["--which", "table3"], &["which"]);
+        let out = tables(&options).expect("table3");
+        assert!(out.contains("Table 3"));
+        assert!(out.contains("Bm1"));
+        assert!(out.contains("Mean reduction"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Command-line front end for the thermal-aware scheduling suite.
+//!
+//! The binary (`tats`) is a thin wrapper around [`run`], which dispatches to
+//! the subcommands in [`commands`]:
+//!
+//! ```text
+//! tats tables --which table3
+//! tats schedule --benchmark Bm2 --policy thermal --gantt
+//! tats sweep --sizes 25,50,100
+//! tats reliability --benchmark Bm1
+//! tats dvs --benchmark Bm1 --policy thermal
+//! tats export --benchmark Bm1 --format tgff
+//! ```
+//!
+//! Every command returns its output as a string, so the whole CLI is
+//! unit-testable without spawning processes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod commands;
+pub mod options;
+
+pub use options::CliError;
+
+use options::Options;
+
+/// Option names that take a value, per subcommand.
+fn value_options(command: &str) -> &'static [&'static str] {
+    match command {
+        "tables" => &["which"],
+        "schedule" => &["benchmark", "policy", "arch"],
+        "sweep" => &["sizes", "policy"],
+        "reliability" => &["benchmark"],
+        "dvs" => &["benchmark", "policy"],
+        "export" => &["benchmark", "format"],
+        _ => &[],
+    }
+}
+
+/// Parses the argument list (excluding the program name) and runs the
+/// requested subcommand, returning its textual output.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the parse failure or the failed
+/// computation.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), tats_cli::CliError> {
+/// let out = tats_cli::run(&["export".to_string(), "--benchmark".to_string(), "Bm1".to_string()])?;
+/// assert!(out.starts_with("@GRAPH Bm1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let command = args.first().ok_or(CliError::MissingCommand)?;
+    let rest = &args[1..];
+    let options = Options::parse(rest, value_options(command))?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(commands::help()),
+        "tables" => commands::tables(&options),
+        "schedule" => commands::schedule(&options),
+        "sweep" => commands::sweep(&options),
+        "reliability" => commands::reliability(&options),
+        "dvs" => commands::dvs(&options),
+        "export" => commands::export(&options),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(items: &[&str]) -> Vec<String> {
+        items.iter().map(|item| item.to_string()).collect()
+    }
+
+    #[test]
+    fn missing_and_unknown_commands_error() {
+        assert!(matches!(run(&[]), Err(CliError::MissingCommand)));
+        assert!(matches!(
+            run(&args(&["frobnicate"])),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn help_runs_through_the_dispatcher() {
+        let out = run(&args(&["help"])).expect("help");
+        assert!(out.contains("USAGE"));
+        assert!(run(&args(&["--help"])).is_ok());
+    }
+
+    #[test]
+    fn export_runs_end_to_end() {
+        let out = run(&args(&["export", "--benchmark", "Bm3", "--format", "dot"])).expect("export");
+        assert!(out.contains("digraph"));
+    }
+
+    #[test]
+    fn schedule_with_bad_policy_reports_the_value() {
+        let error = run(&args(&["schedule", "--policy", "warp-speed"])).expect_err("must fail");
+        assert!(error.to_string().contains("warp-speed"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Command-line option parsing.
+//!
+//! The CLI keeps its dependency footprint at zero by hand-rolling a small
+//! `--flag value` parser.  Options may be given as `--key value` or
+//! `--key=value`; bare `--switch` flags are boolean.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use tats_core::{Policy, PowerHeuristic};
+use tats_taskgraph::Benchmark;
+
+/// Errors produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// The subcommand is not recognised.
+    UnknownCommand(String),
+    /// An option is not recognised by the subcommand.
+    UnknownOption(String),
+    /// An option that requires a value was given without one.
+    MissingValue(String),
+    /// An option value could not be interpreted.
+    InvalidValue {
+        /// Option name.
+        option: String,
+        /// The offending value.
+        value: String,
+        /// What would have been accepted.
+        expected: String,
+    },
+    /// A downstream computation failed.
+    Execution(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "no command given; try 'tats help'"),
+            CliError::UnknownCommand(cmd) => write!(f, "unknown command '{cmd}'; try 'tats help'"),
+            CliError::UnknownOption(opt) => write!(f, "unknown option '{opt}'"),
+            CliError::MissingValue(opt) => write!(f, "option '{opt}' requires a value"),
+            CliError::InvalidValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "option '{option}' got '{value}', expected {expected}"),
+            CliError::Execution(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+/// Parsed options of one subcommand invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Options {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Options {
+    /// Parses `--key value`, `--key=value` and bare `--switch` arguments.
+    ///
+    /// `known_values` lists options that take a value; every other `--name`
+    /// is treated as a boolean switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::MissingValue`] when a value option ends the
+    /// argument list and [`CliError::UnknownOption`] for positional
+    /// arguments.
+    pub fn parse(args: &[String], known_values: &[&str]) -> Result<Self, CliError> {
+        let mut options = Options::default();
+        let mut index = 0;
+        while index < args.len() {
+            let arg = &args[index];
+            let Some(name_part) = arg.strip_prefix("--") else {
+                return Err(CliError::UnknownOption(arg.clone()));
+            };
+            if let Some((name, value)) = name_part.split_once('=') {
+                options.values.insert(name.to_string(), value.to_string());
+            } else if known_values.contains(&name_part) {
+                index += 1;
+                let value = args
+                    .get(index)
+                    .ok_or_else(|| CliError::MissingValue(arg.clone()))?;
+                options
+                    .values
+                    .insert(name_part.to_string(), value.clone());
+            } else {
+                options.switches.push(name_part.to_string());
+            }
+            index += 1;
+        }
+        Ok(options)
+    }
+
+    /// Returns the value of an option, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Returns the value of an option or a default.
+    pub fn value_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.value(name).unwrap_or(default)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|switch| switch == name)
+    }
+
+    /// Parses a numeric option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::InvalidValue`] when the value is not a number.
+    pub fn number(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(text) => text.parse().map_err(|_| CliError::InvalidValue {
+                option: name.to_string(),
+                value: text.to_string(),
+                expected: "a number".to_string(),
+            }),
+        }
+    }
+
+    /// Parses a comma-separated list of positive integers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::InvalidValue`] for malformed entries.
+    pub fn usize_list(&self, name: &str, default: &[usize]) -> Result<Vec<usize>, CliError> {
+        match self.value(name) {
+            None => Ok(default.to_vec()),
+            Some(text) => text
+                .split(',')
+                .map(|item| {
+                    item.trim().parse::<usize>().map_err(|_| CliError::InvalidValue {
+                        option: name.to_string(),
+                        value: item.to_string(),
+                        expected: "a comma-separated list of integers".to_string(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Parses a benchmark name (`Bm1`–`Bm4`, case-insensitive).
+///
+/// # Errors
+///
+/// Returns [`CliError::InvalidValue`] for unknown names.
+pub fn parse_benchmark(name: &str) -> Result<Benchmark, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "bm1" => Ok(Benchmark::Bm1),
+        "bm2" => Ok(Benchmark::Bm2),
+        "bm3" => Ok(Benchmark::Bm3),
+        "bm4" => Ok(Benchmark::Bm4),
+        _ => Err(CliError::InvalidValue {
+            option: "benchmark".to_string(),
+            value: name.to_string(),
+            expected: "one of Bm1, Bm2, Bm3, Bm4".to_string(),
+        }),
+    }
+}
+
+/// Parses a scheduling policy name.
+///
+/// Accepted spellings: `baseline`, `power1`/`h1`, `power2`/`h2`,
+/// `power3`/`h3`, `thermal`.
+///
+/// # Errors
+///
+/// Returns [`CliError::InvalidValue`] for unknown names.
+pub fn parse_policy(name: &str) -> Result<Policy, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(Policy::Baseline),
+        "power1" | "h1" => Ok(Policy::PowerAware(PowerHeuristic::MinTaskPower)),
+        "power2" | "h2" => Ok(Policy::PowerAware(PowerHeuristic::MinCumulativeAveragePower)),
+        "power3" | "h3" => Ok(Policy::PowerAware(PowerHeuristic::MinTaskEnergy)),
+        "thermal" | "thermal-aware" => Ok(Policy::ThermalAware),
+        _ => Err(CliError::InvalidValue {
+            option: "policy".to_string(),
+            value: name.to_string(),
+            expected: "baseline, power1, power2, power3 or thermal".to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(items: &[&str]) -> Vec<String> {
+        items.iter().map(|item| item.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_switches_and_equals_form() {
+        let options = Options::parse(
+            &args(&["--benchmark", "Bm2", "--policy=thermal", "--gantt"]),
+            &["benchmark", "policy"],
+        )
+        .expect("parse");
+        assert_eq!(options.value("benchmark"), Some("Bm2"));
+        assert_eq!(options.value("policy"), Some("thermal"));
+        assert!(options.switch("gantt"));
+        assert!(!options.switch("csv"));
+        assert_eq!(options.value_or("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn missing_value_and_positional_arguments_error() {
+        assert!(matches!(
+            Options::parse(&args(&["--benchmark"]), &["benchmark"]),
+            Err(CliError::MissingValue(_))
+        ));
+        assert!(matches!(
+            Options::parse(&args(&["positional"]), &[]),
+            Err(CliError::UnknownOption(_))
+        ));
+    }
+
+    #[test]
+    fn numeric_and_list_options_parse() {
+        let options = Options::parse(
+            &args(&["--scale", "2.5", "--sizes", "10, 20,30"]),
+            &["scale", "sizes"],
+        )
+        .expect("parse");
+        assert!((options.number("scale", 1.0).expect("number") - 2.5).abs() < 1e-12);
+        assert!((options.number("missing", 7.0).expect("default") - 7.0).abs() < 1e-12);
+        assert_eq!(
+            options.usize_list("sizes", &[1]).expect("list"),
+            vec![10, 20, 30]
+        );
+        assert_eq!(options.usize_list("missing", &[5]).expect("default"), vec![5]);
+        let bad = Options::parse(&args(&["--scale", "fast"]), &["scale"]).expect("parse");
+        assert!(bad.number("scale", 1.0).is_err());
+    }
+
+    #[test]
+    fn benchmark_and_policy_names_parse() {
+        assert_eq!(parse_benchmark("bm3").expect("ok"), Benchmark::Bm3);
+        assert!(parse_benchmark("bm9").is_err());
+        assert_eq!(parse_policy("thermal").expect("ok"), Policy::ThermalAware);
+        assert_eq!(
+            parse_policy("h3").expect("ok"),
+            Policy::PowerAware(PowerHeuristic::MinTaskEnergy)
+        );
+        assert!(parse_policy("fastest").is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(CliError::MissingCommand.to_string().contains("help"));
+        assert!(CliError::UnknownCommand("x".into()).to_string().contains('x'));
+        assert!(CliError::InvalidValue {
+            option: "policy".into(),
+            value: "zzz".into(),
+            expected: "thermal".into()
+        }
+        .to_string()
+        .contains("zzz"));
+    }
+}

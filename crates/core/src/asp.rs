@@ -1,0 +1,553 @@
+//! The Allocation and Scheduling Procedure (ASP).
+//!
+//! This is the paper's core contribution: a list scheduler that repeatedly
+//! picks the `(ready task, PE)` pair with the highest *dynamic criticality*
+//!
+//! ```text
+//! DC(task_i, PE_j) = SC(task_i)
+//!                  - WCET(task_i, PE_j)
+//!                  - max(avail(PE_j), ready(task_i))
+//!                  - cost(policy, task_i, PE_j)
+//! ```
+//!
+//! where `SC` is the static criticality (the longest weighted path from the
+//! task to the end of the graph), and the fourth term is selected by the
+//! [`Policy`]: nothing for the baseline, one of the three power heuristics,
+//! or the average system temperature returned by the compact thermal model
+//! for the thermal-aware ASP.
+
+use tats_taskgraph::{analysis::GraphAnalysis, TaskGraph, TaskId};
+use tats_techlib::{Architecture, PeId, PowerTracker, TechLibrary};
+use tats_thermal::{Floorplan, ThermalConfig, ThermalModel};
+
+use crate::error::CoreError;
+use crate::layout;
+use crate::policy::{Policy, PowerHeuristic, ThermalObjective};
+use crate::schedule::{Assignment, Schedule};
+
+/// The allocation and scheduling procedure, configured via a builder-style
+/// API.
+///
+/// # Examples
+///
+/// ```
+/// use tats_core::{Asp, Policy};
+/// use tats_taskgraph::Benchmark;
+/// use tats_techlib::profiles;
+///
+/// # fn main() -> Result<(), tats_core::CoreError> {
+/// let graph = Benchmark::Bm1.task_graph()?;
+/// let library = profiles::standard_library(10)?;
+/// let platform = profiles::platform_architecture(&library)?;
+/// let schedule = Asp::new(&graph, &library, &platform)?
+///     .with_policy(Policy::ThermalAware)
+///     .schedule()?;
+/// assert!(schedule.meets_deadline());
+/// schedule.validate(&graph, &platform, &library)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Asp<'a> {
+    graph: &'a TaskGraph,
+    library: &'a TechLibrary,
+    architecture: &'a Architecture,
+    policy: Policy,
+    floorplan: Option<Floorplan>,
+    thermal_config: ThermalConfig,
+    thermal_objective: ThermalObjective,
+    temperature_weight: f64,
+    cost_scale: f64,
+}
+
+impl<'a> Asp<'a> {
+    /// Creates an ASP instance for a graph, library and target architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArchitecture`] when the architecture has no
+    /// PEs, and library errors when the architecture references unknown PE
+    /// types or the graph uses task types outside the library.
+    pub fn new(
+        graph: &'a TaskGraph,
+        library: &'a TechLibrary,
+        architecture: &'a Architecture,
+    ) -> Result<Self, CoreError> {
+        if architecture.is_empty() {
+            return Err(CoreError::EmptyArchitecture);
+        }
+        architecture.validate(library)?;
+        for task in graph.tasks() {
+            if task.type_id() >= library.task_type_count() {
+                return Err(CoreError::Library(
+                    tats_techlib::LibraryError::UnknownTaskType(task.type_id()),
+                ));
+            }
+        }
+        Ok(Asp {
+            graph,
+            library,
+            architecture,
+            policy: Policy::Baseline,
+            floorplan: None,
+            thermal_config: ThermalConfig::default(),
+            thermal_objective: ThermalObjective::default(),
+            temperature_weight: 25.0,
+            cost_scale: 1.0,
+        })
+    }
+
+    /// Selects the scheduling policy (default: [`Policy::Baseline`]).
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Supplies the floorplan the thermal-aware policy should query.
+    ///
+    /// If the thermal-aware policy is selected and no floorplan is supplied,
+    /// a grid layout derived from the architecture is used.
+    pub fn with_floorplan(mut self, floorplan: Floorplan) -> Self {
+        self.floorplan = Some(floorplan);
+        self
+    }
+
+    /// Overrides the thermal configuration used by the thermal-aware policy.
+    pub fn with_thermal_config(mut self, config: ThermalConfig) -> Self {
+        self.thermal_config = config;
+        self
+    }
+
+    /// Selects which temperature statistic the thermal-aware policy minimises
+    /// (see [`ThermalObjective`]).
+    pub fn with_thermal_objective(mut self, objective: ThermalObjective) -> Self {
+        self.thermal_objective = objective;
+        self
+    }
+
+    /// Sets how many schedule time units one degree Celsius of predicted
+    /// temperature rise is worth in the dynamic criticality (default 25).
+    ///
+    /// The paper subtracts the temperature directly, but does not specify the
+    /// relative units of time and temperature; this weight makes the
+    /// trade-off explicit and is swept by the ablation benches.
+    pub fn with_temperature_weight(mut self, weight: f64) -> Self {
+        self.temperature_weight = weight;
+        self
+    }
+
+    /// Scales the fourth (power/temperature) term of the dynamic criticality.
+    ///
+    /// The paper subtracts the raw term; a scale of `1.0` reproduces that.
+    /// The ablation benches sweep this factor to study how sensitive the
+    /// results are to the relative weighting.
+    pub fn with_cost_scale(mut self, cost_scale: f64) -> Self {
+        self.cost_scale = cost_scale;
+        self
+    }
+
+    /// The policy currently configured.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Runs the list scheduler and returns the completed schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors (library lookups, thermal solves,
+    /// floorplan validation). Scheduling itself cannot fail for a valid
+    /// input: every task graph admits a schedule on at least one PE.
+    pub fn schedule(&self) -> Result<Schedule, CoreError> {
+        if !self.cost_scale.is_finite() || self.cost_scale < 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "cost scale must be non-negative and finite, got {}",
+                self.cost_scale
+            )));
+        }
+        if !self.temperature_weight.is_finite() || self.temperature_weight < 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "temperature weight must be non-negative and finite, got {}",
+                self.temperature_weight
+            )));
+        }
+
+        // Static criticality weights: mean WCET of each task over PE types.
+        let weights: Vec<f64> = self
+            .graph
+            .tasks()
+            .map(|t| self.library.average_wcet(t.type_id()))
+            .collect::<Result<_, _>>()?;
+        let analysis = GraphAnalysis::new(self.graph, &weights)?;
+
+        // Thermal model (thermal-aware policy only).
+        let thermal_model = if self.policy.needs_thermal_model() {
+            let plan = match &self.floorplan {
+                Some(plan) => {
+                    if plan.block_count() != self.architecture.pe_count() {
+                        return Err(CoreError::FloorplanMismatch {
+                            pes: self.architecture.pe_count(),
+                            blocks: plan.block_count(),
+                        });
+                    }
+                    plan.clone()
+                }
+                None => layout::grid_floorplan(self.architecture, self.library)?,
+            };
+            Some(ThermalModel::new(&plan, self.thermal_config)?)
+        } else {
+            None
+        };
+
+        // Latest start times that keep the downstream critical path within
+        // the deadline (computed with average WCETs). Candidates that would
+        // start later are demoted so the power/thermal terms can never trade
+        // away the real-time constraint when a safe candidate exists.
+        let latest_start: Vec<f64> = self
+            .graph
+            .task_ids()
+            .map(|t| self.graph.deadline() - analysis.bottom_level(t))
+            .collect();
+        const LATE_PENALTY: f64 = 1e7;
+
+        let pe_count = self.architecture.pe_count();
+        let task_count = self.graph.task_count();
+        let mut pe_available = vec![0.0_f64; pe_count];
+        let mut tracker = PowerTracker::new(pe_count);
+        let mut finish_time = vec![f64::NAN; task_count];
+        let mut unscheduled_preds: Vec<usize> = self
+            .graph
+            .task_ids()
+            .map(|t| self.graph.predecessors(t).len())
+            .collect();
+        let mut ready: Vec<TaskId> = self
+            .graph
+            .task_ids()
+            .filter(|&t| unscheduled_preds[t.index()] == 0)
+            .collect();
+        let mut assignments: Vec<Option<Assignment>> = vec![None; task_count];
+        let mut scheduled = 0usize;
+
+        while scheduled < task_count {
+            debug_assert!(!ready.is_empty(), "a DAG always has a ready task");
+
+            // Evaluate the dynamic criticality of every (ready task, PE) pair
+            // and keep the maximum.
+            let mut best: Option<(f64, TaskId, PeId, f64, f64, f64)> = None;
+            for &task_id in &ready {
+                let task = self.graph.task(task_id);
+                let ready_time = self
+                    .graph
+                    .predecessors(task_id)
+                    .iter()
+                    .map(|p| finish_time[p.index()])
+                    .fold(0.0_f64, f64::max);
+                for pe_index in 0..pe_count {
+                    let pe = PeId(pe_index);
+                    let pe_type = self.architecture.pe_type_of(pe)?;
+                    let wcet = self.library.wcet(task.type_id(), pe_type)?;
+                    let wcpc = self.library.wcpc(task.type_id(), pe_type)?;
+                    let est = pe_available[pe_index].max(ready_time);
+                    let finish = est + wcet;
+
+                    let cost = match self.policy {
+                        Policy::Baseline => 0.0,
+                        Policy::PowerAware(PowerHeuristic::MinTaskPower) => wcpc,
+                        Policy::PowerAware(PowerHeuristic::MinCumulativeAveragePower) => {
+                            (tracker.busy_energy(pe)? + wcet * wcpc) / finish.max(1e-9)
+                        }
+                        Policy::PowerAware(PowerHeuristic::MinTaskEnergy) => wcet * wcpc,
+                        Policy::ThermalAware => {
+                            let model =
+                                thermal_model.as_ref().expect("built for the thermal policy");
+                            // Sustained power of every PE (energy over busy
+                            // time) with the candidate task folded into the
+                            // candidate PE — i.e. "the cumulating power
+                            // consumptions of each PE along with the consuming
+                            // power incurred by the current scheduled task".
+                            let power: Vec<f64> = (0..pe_count)
+                                .map(|j| {
+                                    let mut energy = tracker.busy_energy(PeId(j))?;
+                                    let mut busy = tracker.busy_time(PeId(j))?;
+                                    if j == pe_index {
+                                        energy += wcet * wcpc;
+                                        busy += wcet;
+                                    }
+                                    Ok(if busy > 0.0 { energy / busy } else { 0.0 })
+                                })
+                                .collect::<Result<_, CoreError>>()?;
+                            let score =
+                                self.thermal_objective.score(&model.steady_state(&power)?);
+                            // Express the predicted temperature rise above
+                            // ambient in schedule time units so that it can
+                            // compete with the WCET and start-time terms.
+                            (score - self.thermal_config.ambient_c).max(0.0)
+                                * self.temperature_weight
+                        }
+                    };
+
+                    let mut dc = analysis.static_criticality(task_id)
+                        - wcet
+                        - est
+                        - self.cost_scale * cost;
+                    if est > latest_start[task_id.index()] + 1e-9 {
+                        dc -= LATE_PENALTY;
+                    }
+                    let candidate = (dc, task_id, pe, est, wcet, wcpc);
+                    let better = match &best {
+                        None => true,
+                        Some((best_dc, best_task, best_pe, ..)) => {
+                            dc > *best_dc + 1e-12
+                                || ((dc - *best_dc).abs() <= 1e-12
+                                    && (task_id, pe) < (*best_task, *best_pe))
+                        }
+                    };
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+            }
+
+            let (_, task_id, pe, start, wcet, wcpc) =
+                best.expect("at least one ready task and one PE exist");
+            let end = start + wcet;
+            assignments[task_id.index()] = Some(Assignment {
+                task: task_id,
+                pe,
+                start,
+                end,
+                power: wcpc,
+            });
+            finish_time[task_id.index()] = end;
+            pe_available[pe.index()] = end;
+            tracker.record_execution(pe, start, end, wcpc)?;
+            scheduled += 1;
+
+            // Update the ready set.
+            ready.retain(|&t| t != task_id);
+            for &succ in self.graph.successors(task_id) {
+                unscheduled_preds[succ.index()] -= 1;
+                if unscheduled_preds[succ.index()] == 0 {
+                    ready.push(succ);
+                }
+            }
+            ready.sort_unstable();
+        }
+
+        let assignments: Vec<Assignment> = assignments
+            .into_iter()
+            .map(|a| a.expect("every task was scheduled"))
+            .collect();
+        Ok(Schedule::new(
+            assignments,
+            pe_count,
+            self.graph.deadline(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tats_taskgraph::{Benchmark, TaskGraphBuilder, TaskKind};
+    use tats_techlib::profiles;
+
+    fn library() -> TechLibrary {
+        profiles::standard_library(10).unwrap()
+    }
+
+    fn platform(library: &TechLibrary) -> Architecture {
+        profiles::platform_architecture(library).unwrap()
+    }
+
+    #[test]
+    fn every_policy_produces_a_valid_schedule_on_every_benchmark() {
+        let library = library();
+        let platform = platform(&library);
+        for bm in Benchmark::ALL {
+            let graph = bm.task_graph().unwrap();
+            for policy in Policy::ALL {
+                let schedule = Asp::new(&graph, &library, &platform)
+                    .unwrap()
+                    .with_policy(policy)
+                    .schedule()
+                    .unwrap();
+                schedule
+                    .validate(&graph, &platform, &library)
+                    .unwrap_or_else(|e| panic!("{bm} / {policy}: {e}"));
+                assert!(
+                    schedule.meets_deadline(),
+                    "{bm} / {policy}: makespan {} exceeds deadline {}",
+                    schedule.makespan(),
+                    graph.deadline()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_has_the_smallest_or_equal_makespan_on_the_platform() {
+        // On identical PEs the baseline optimises finish times only, so no
+        // other policy can beat it by more than numerical noise... but they
+        // may tie. We only require the baseline to stay within 25% of the
+        // best policy, guarding against pathological regressions.
+        let library = library();
+        let platform = platform(&library);
+        let graph = Benchmark::Bm2.task_graph().unwrap();
+        let makespans: Vec<f64> = Policy::ALL
+            .iter()
+            .map(|&p| {
+                Asp::new(&graph, &library, &platform)
+                    .unwrap()
+                    .with_policy(p)
+                    .schedule()
+                    .unwrap()
+                    .makespan()
+            })
+            .collect();
+        let baseline = makespans[0];
+        let best = makespans.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(baseline <= best * 1.25);
+    }
+
+    #[test]
+    fn min_energy_heuristic_reduces_total_power_versus_baseline() {
+        // Heuristic 3 (minimise task energy) must not increase the total
+        // average power compared to the baseline on the co-synthesis-style
+        // heterogeneous architecture.
+        let library = library();
+        let mut arch = Architecture::new("hetero");
+        for t in library.pe_types() {
+            arch.add_instance(t.id());
+        }
+        let graph = Benchmark::Bm1.task_graph().unwrap();
+        let baseline = Asp::new(&graph, &library, &arch)
+            .unwrap()
+            .with_policy(Policy::Baseline)
+            .schedule()
+            .unwrap();
+        let h3 = Asp::new(&graph, &library, &arch)
+            .unwrap()
+            .with_policy(Policy::PowerAware(PowerHeuristic::MinTaskEnergy))
+            .schedule()
+            .unwrap();
+        assert!(h3.total_average_power() <= baseline.total_average_power() * 1.05);
+    }
+
+    #[test]
+    fn thermal_policy_balances_load_on_identical_pes() {
+        // On the platform the thermal-aware policy should spread work more
+        // evenly than concentrating it: the busiest-PE share of total busy
+        // time must not exceed the baseline's by more than a small margin.
+        let library = library();
+        let platform = platform(&library);
+        let graph = Benchmark::Bm3.task_graph().unwrap();
+        let share = |policy: Policy| {
+            let s = Asp::new(&graph, &library, &platform)
+                .unwrap()
+                .with_policy(policy)
+                .schedule()
+                .unwrap();
+            let busy: Vec<f64> = (0..4).map(|i| s.busy_time(PeId(i))).collect();
+            let total: f64 = busy.iter().sum();
+            busy.iter().cloned().fold(0.0_f64, f64::max) / total
+        };
+        let thermal_share = share(Policy::ThermalAware);
+        assert!(
+            thermal_share <= 0.5,
+            "thermal-aware policy left the platform unbalanced: {thermal_share}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let library = library();
+        let platform = platform(&library);
+        let graph = Benchmark::Bm1.task_graph().unwrap();
+        for policy in Policy::ALL {
+            let a = Asp::new(&graph, &library, &platform)
+                .unwrap()
+                .with_policy(policy)
+                .schedule()
+                .unwrap();
+            let b = Asp::new(&graph, &library, &platform)
+                .unwrap()
+                .with_policy(policy)
+                .schedule()
+                .unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_architecture_is_rejected() {
+        let library = library();
+        let graph = Benchmark::Bm1.task_graph().unwrap();
+        let empty = Architecture::new("none");
+        assert!(matches!(
+            Asp::new(&graph, &library, &empty),
+            Err(CoreError::EmptyArchitecture)
+        ));
+    }
+
+    #[test]
+    fn unknown_task_types_are_rejected() {
+        let library = profiles::standard_library(2).unwrap();
+        let mut b = TaskGraphBuilder::new("bad", 100.0);
+        b.add_task("t", TaskKind::Compute, 7);
+        let graph = b.build().unwrap();
+        let platform = profiles::platform_architecture(&library).unwrap();
+        assert!(matches!(
+            Asp::new(&graph, &library, &platform),
+            Err(CoreError::Library(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_floorplan_is_rejected() {
+        let library = library();
+        let platform = platform(&library);
+        let graph = Benchmark::Bm1.task_graph().unwrap();
+        let plan = tats_thermal::Floorplan::new(vec![tats_thermal::Block::from_mm(
+            "only", 0.0, 0.0, 7.0, 7.0,
+        )])
+        .unwrap();
+        let result = Asp::new(&graph, &library, &platform)
+            .unwrap()
+            .with_policy(Policy::ThermalAware)
+            .with_floorplan(plan)
+            .schedule();
+        assert!(matches!(
+            result,
+            Err(CoreError::FloorplanMismatch { pes: 4, blocks: 1 })
+        ));
+    }
+
+    #[test]
+    fn negative_cost_scale_is_rejected() {
+        let library = library();
+        let platform = platform(&library);
+        let graph = Benchmark::Bm1.task_graph().unwrap();
+        assert!(Asp::new(&graph, &library, &platform)
+            .unwrap()
+            .with_cost_scale(-1.0)
+            .schedule()
+            .is_err());
+    }
+
+    #[test]
+    fn single_task_graph_schedules_on_one_pe() {
+        let library = library();
+        let platform = platform(&library);
+        let mut b = TaskGraphBuilder::new("one", 500.0);
+        b.add_task("only", TaskKind::Compute, 0);
+        let graph = b.build().unwrap();
+        let schedule = Asp::new(&graph, &library, &platform)
+            .unwrap()
+            .schedule()
+            .unwrap();
+        assert_eq!(schedule.task_count(), 1);
+        assert_eq!(schedule.used_pes().len(), 1);
+        schedule.validate(&graph, &platform, &library).unwrap();
+    }
+}

@@ -1,0 +1,437 @@
+//! Hardware/software co-synthesis with thermal-aware floorplanning
+//! (Figure 1.a of the paper).
+//!
+//! The co-synthesis flow selects the processing elements of a customised
+//! architecture from the technology library, guided by the allocation and
+//! scheduling procedure:
+//!
+//! 1. **Allocation** — PE instances are added greedily: at each step the PE
+//!    type whose addition yields the best makespan (under the baseline,
+//!    performance-driven ASP — the "traditional" scheduler the paper builds
+//!    on) is instantiated, until the deadline is met or the PE budget is
+//!    exhausted. Driving allocation with the baseline keeps the selected
+//!    architecture comparable across policies, so the tables isolate the
+//!    effect of the scheduling policy itself.
+//! 2. **Pruning** — instances whose removal keeps the deadline are dropped,
+//!    most expensive first, mirroring the cost-driven refinement of
+//!    co-synthesis frameworks.
+//! 3. **Floorplanning** — the selected PEs are placed by the thermal-aware
+//!    floorplanner (genetic engine) using the per-PE average powers of the
+//!    current schedule.
+//! 4. **Final scheduling** — the ASP runs once more against the optimised
+//!    floorplan (the thermal-aware policy re-queries the thermal model), and
+//!    the resulting schedule is evaluated for the table metrics.
+
+use tats_floorplan::{CostWeights, Engine, Floorplanner, GaConfig};
+use tats_taskgraph::TaskGraph;
+use tats_techlib::{Architecture, PeTypeId, TechLibrary};
+use tats_thermal::{Floorplan, ThermalConfig};
+
+use crate::asp::Asp;
+use crate::error::CoreError;
+use crate::layout;
+use crate::metrics::{evaluate_schedule, ScheduleEvaluation};
+use crate::policy::{Policy, ThermalObjective};
+use crate::schedule::Schedule;
+
+/// Result of one co-synthesis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoSynthesisResult {
+    /// The customised architecture selected by the allocation loop.
+    pub architecture: Architecture,
+    /// The floorplan produced by the thermal-aware floorplanner.
+    pub floorplan: Floorplan,
+    /// The final schedule on that architecture and floorplan.
+    pub schedule: Schedule,
+    /// The table metrics of the final schedule.
+    pub evaluation: ScheduleEvaluation,
+    /// Number of candidate architectures the allocation loop evaluated.
+    pub architectures_explored: usize,
+}
+
+/// The co-synthesis flow.
+///
+/// # Examples
+///
+/// ```
+/// use tats_core::{CoSynthesis, Policy};
+/// use tats_taskgraph::Benchmark;
+/// use tats_techlib::profiles;
+///
+/// # fn main() -> Result<(), tats_core::CoreError> {
+/// let library = profiles::standard_library(10)?;
+/// let result = CoSynthesis::new(&library)
+///     .run(&Benchmark::Bm1.task_graph()?, Policy::PowerAware(tats_core::PowerHeuristic::MinTaskEnergy))?;
+/// assert!(result.evaluation.meets_deadline);
+/// assert!(!result.architecture.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoSynthesis<'a> {
+    library: &'a TechLibrary,
+    max_pes: usize,
+    thermal_config: ThermalConfig,
+    thermal_objective: ThermalObjective,
+    floorplan_ga: GaConfig,
+    cost_scale: f64,
+}
+
+impl<'a> CoSynthesis<'a> {
+    /// Creates a co-synthesis flow over the given technology library.
+    pub fn new(library: &'a TechLibrary) -> Self {
+        CoSynthesis {
+            library,
+            max_pes: 6,
+            thermal_config: ThermalConfig::default(),
+            thermal_objective: ThermalObjective::default(),
+            floorplan_ga: GaConfig {
+                population: 16,
+                generations: 20,
+                ..GaConfig::default()
+            },
+            cost_scale: 1.0,
+        }
+    }
+
+    /// Limits the number of PE instances the allocation loop may create.
+    pub fn with_max_pes(mut self, max_pes: usize) -> Self {
+        self.max_pes = max_pes;
+        self
+    }
+
+    /// Overrides the thermal configuration.
+    pub fn with_thermal_config(mut self, config: ThermalConfig) -> Self {
+        self.thermal_config = config;
+        self
+    }
+
+    /// Selects which temperature statistic the thermal-aware policy minimises.
+    pub fn with_thermal_objective(mut self, objective: ThermalObjective) -> Self {
+        self.thermal_objective = objective;
+        self
+    }
+
+    /// Overrides the genetic-floorplanner configuration.
+    pub fn with_floorplan_ga(mut self, config: GaConfig) -> Self {
+        self.floorplan_ga = config;
+        self
+    }
+
+    /// Scales the fourth dynamic-criticality term (see
+    /// [`Asp::with_cost_scale`]).
+    pub fn with_cost_scale(mut self, cost_scale: f64) -> Self {
+        self.cost_scale = cost_scale;
+        self
+    }
+
+    fn schedule_on(
+        &self,
+        graph: &TaskGraph,
+        architecture: &Architecture,
+        policy: Policy,
+        floorplan: Option<&Floorplan>,
+    ) -> Result<Schedule, CoreError> {
+        self.schedule_scaled(graph, architecture, policy, floorplan, self.cost_scale)
+    }
+
+    fn schedule_scaled(
+        &self,
+        graph: &TaskGraph,
+        architecture: &Architecture,
+        policy: Policy,
+        floorplan: Option<&Floorplan>,
+        cost_scale: f64,
+    ) -> Result<Schedule, CoreError> {
+        let mut asp = Asp::new(graph, self.library, architecture)?
+            .with_policy(policy)
+            .with_thermal_config(self.thermal_config)
+            .with_thermal_objective(self.thermal_objective)
+            .with_cost_scale(cost_scale);
+        if let Some(plan) = floorplan {
+            asp = asp.with_floorplan(plan.clone());
+        }
+        asp.schedule()
+    }
+
+    /// Schedules under `policy`, progressively backing off the power/thermal
+    /// bias (the cost-scale of the fourth DC term) until the real-time
+    /// deadline is met. At a scale of zero every policy degenerates to the
+    /// baseline, which is known to meet the deadline on the architecture the
+    /// allocation loop selected, so the back-off always terminates with a
+    /// feasible schedule.
+    fn schedule_with_backoff(
+        &self,
+        graph: &TaskGraph,
+        architecture: &Architecture,
+        policy: Policy,
+        floorplan: Option<&Floorplan>,
+        explored: &mut usize,
+    ) -> Result<Schedule, CoreError> {
+        let scales = [1.0, 0.5, 0.25, 0.1, 0.0];
+        let mut last = None;
+        for &factor in &scales {
+            let schedule = self.schedule_scaled(
+                graph,
+                architecture,
+                policy,
+                floorplan,
+                self.cost_scale * factor,
+            )?;
+            *explored += 1;
+            if schedule.meets_deadline() {
+                return Ok(schedule);
+            }
+            last = Some(schedule);
+        }
+        Ok(last.expect("the back-off loop runs at least once"))
+    }
+
+    /// Runs co-synthesis for `graph` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DeadlineUnreachable`] when no architecture within
+    /// the PE budget meets the deadline, [`CoreError::InvalidParameter`] for
+    /// a zero PE budget, and propagates substrate errors.
+    pub fn run(&self, graph: &TaskGraph, policy: Policy) -> Result<CoSynthesisResult, CoreError> {
+        if self.max_pes == 0 {
+            return Err(CoreError::InvalidParameter(
+                "co-synthesis needs a PE budget of at least 1".to_string(),
+            ));
+        }
+
+        // --- Allocation: grow the architecture until the deadline is met,
+        //     using the baseline (performance-driven) scheduler as the
+        //     makespan estimator so all policies see the same architecture. ---
+        let mut architecture = Architecture::new("co-synthesis");
+        let mut explored = 0usize;
+        let mut best_makespan = f64::INFINITY;
+
+        while architecture.pe_count() < self.max_pes {
+            // Try adding each PE type and keep the one with the best makespan.
+            let mut best_addition: Option<(PeTypeId, f64)> = None;
+            for pe_type in self.library.pe_types() {
+                let mut candidate = architecture.clone();
+                candidate.add_instance(pe_type.id());
+                let schedule = self.schedule_on(graph, &candidate, Policy::Baseline, None)?;
+                explored += 1;
+                let makespan = schedule.makespan();
+                let better = match &best_addition {
+                    None => true,
+                    Some((best_type, best_mk)) => {
+                        makespan + 1e-9 < *best_mk
+                            || ((makespan - *best_mk).abs() <= 1e-9
+                                && self.library.pe_type(pe_type.id())?.cost()
+                                    < self.library.pe_type(*best_type)?.cost())
+                    }
+                };
+                if better {
+                    best_addition = Some((pe_type.id(), makespan));
+                }
+            }
+            let (chosen, makespan) =
+                best_addition.expect("the library has at least one PE type");
+            architecture.add_instance(chosen);
+            best_makespan = makespan;
+            if makespan <= graph.deadline() {
+                break;
+            }
+        }
+
+        if best_makespan > graph.deadline() {
+            return Err(CoreError::DeadlineUnreachable {
+                deadline: graph.deadline(),
+                best_makespan,
+            });
+        }
+
+        // --- Pruning: drop instances whose removal keeps the deadline. ---
+        loop {
+            let mut removed_any = false;
+            // Candidate removals, most expensive type first.
+            let mut order: Vec<usize> = (0..architecture.pe_count()).collect();
+            order.sort_by(|&a, &b| {
+                let cost = |i: usize| {
+                    let ty = architecture.instances()[i].type_id();
+                    self.library
+                        .pe_type(ty)
+                        .map(|t| t.cost())
+                        .unwrap_or(0.0)
+                };
+                cost(b).total_cmp(&cost(a))
+            });
+            for &index in &order {
+                if architecture.pe_count() <= 1 {
+                    break;
+                }
+                let mut candidate = Architecture::new("co-synthesis");
+                for (i, instance) in architecture.instances().iter().enumerate() {
+                    if i != index {
+                        candidate.add_instance(instance.type_id());
+                    }
+                }
+                let trial = self.schedule_on(graph, &candidate, Policy::Baseline, None)?;
+                explored += 1;
+                if trial.meets_deadline() {
+                    architecture = candidate;
+                    removed_any = true;
+                    break;
+                }
+            }
+            if !removed_any {
+                break;
+            }
+        }
+
+        // --- Feasibility under the target policy: if the (power/thermal
+        //     aware) ASP misses the deadline on the baseline-sized
+        //     architecture, back off its power/thermal bias until it fits. ---
+        let schedule =
+            self.schedule_with_backoff(graph, &architecture, policy, None, &mut explored)?;
+        if !schedule.meets_deadline() {
+            return Err(CoreError::DeadlineUnreachable {
+                deadline: graph.deadline(),
+                best_makespan: schedule.makespan(),
+            });
+        }
+
+        // --- Thermal-aware floorplanning of the selected architecture. ---
+        let per_pe_power = schedule.average_power_per_pe();
+        let modules = layout::pe_modules(&architecture, self.library, &per_pe_power)?;
+        let weights = if policy.needs_thermal_model() {
+            CostWeights::thermal_aware()
+        } else {
+            CostWeights::area_only()
+        };
+        let floorplan = if modules.len() == 1 {
+            // A single module needs no optimisation.
+            layout::grid_floorplan(&architecture, self.library)?
+        } else {
+            Floorplanner::new(modules)
+                .with_weights(weights)
+                .with_thermal_config(self.thermal_config)
+                .with_engine(Engine::Genetic(self.floorplan_ga))
+                .run()?
+                .floorplan
+        };
+
+        // --- Final scheduling pass against the optimised floorplan. ---
+        let final_schedule = self.schedule_with_backoff(
+            graph,
+            &architecture,
+            policy,
+            Some(&floorplan),
+            &mut explored,
+        )?;
+        let schedule = if final_schedule.meets_deadline() {
+            final_schedule
+        } else {
+            schedule
+        };
+        let evaluation = evaluate_schedule(&schedule, &floorplan, self.thermal_config)?;
+
+        Ok(CoSynthesisResult {
+            architecture,
+            floorplan,
+            schedule,
+            evaluation,
+            architectures_explored: explored,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PowerHeuristic;
+    use tats_taskgraph::Benchmark;
+    use tats_techlib::profiles;
+
+    fn quick_cosynthesis(library: &TechLibrary) -> CoSynthesis<'_> {
+        CoSynthesis::new(library).with_floorplan_ga(GaConfig {
+            population: 8,
+            generations: 6,
+            ..GaConfig::default()
+        })
+    }
+
+    #[test]
+    fn cosynthesis_meets_the_deadline_for_every_policy_on_bm1() {
+        let library = profiles::standard_library(10).unwrap();
+        let graph = Benchmark::Bm1.task_graph().unwrap();
+        for policy in [
+            Policy::Baseline,
+            Policy::PowerAware(PowerHeuristic::MinTaskEnergy),
+            Policy::ThermalAware,
+        ] {
+            let result = quick_cosynthesis(&library).run(&graph, policy).unwrap();
+            assert!(result.evaluation.meets_deadline, "{policy}");
+            assert!(!result.architecture.is_empty());
+            assert_eq!(
+                result.floorplan.block_count(),
+                result.architecture.pe_count()
+            );
+            result
+                .schedule
+                .validate(&graph, &result.architecture, &library)
+                .unwrap();
+            assert!(result.architectures_explored >= library.pe_type_count());
+        }
+    }
+
+    #[test]
+    fn architectures_never_exceed_the_pe_budget() {
+        let library = profiles::standard_library(10).unwrap();
+        let graph = Benchmark::Bm2.task_graph().unwrap();
+        let result = quick_cosynthesis(&library)
+            .with_max_pes(3)
+            .run(&graph, Policy::Baseline)
+            .unwrap();
+        assert!(result.architecture.pe_count() <= 3);
+    }
+
+    #[test]
+    fn impossible_deadline_is_reported() {
+        let library = profiles::standard_library(10).unwrap();
+        // Regenerate Bm1 with an absurdly tight deadline.
+        let graph = tats_taskgraph::GeneratorConfig::new("tight", 19, 19, 1.0)
+            .with_seed(0x2005_0001)
+            .with_type_count(10)
+            .generate()
+            .unwrap();
+        let result = quick_cosynthesis(&library)
+            .with_max_pes(2)
+            .run(&graph, Policy::Baseline);
+        assert!(matches!(
+            result,
+            Err(CoreError::DeadlineUnreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_pe_budget_is_rejected() {
+        let library = profiles::standard_library(10).unwrap();
+        let graph = Benchmark::Bm1.task_graph().unwrap();
+        assert!(matches!(
+            quick_cosynthesis(&library)
+                .with_max_pes(0)
+                .run(&graph, Policy::Baseline),
+            Err(CoreError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn cosynthesis_is_deterministic() {
+        let library = profiles::standard_library(10).unwrap();
+        let graph = Benchmark::Bm1.task_graph().unwrap();
+        let a = quick_cosynthesis(&library)
+            .run(&graph, Policy::ThermalAware)
+            .unwrap();
+        let b = quick_cosynthesis(&library)
+            .run(&graph, Policy::ThermalAware)
+            .unwrap();
+        assert_eq!(a.evaluation, b.evaluation);
+        assert_eq!(a.architecture, b.architecture);
+    }
+}

@@ -1,0 +1,156 @@
+//! Error type of the allocation and scheduling procedure.
+
+use std::fmt;
+
+use tats_taskgraph::TaskId;
+use tats_techlib::PeId;
+
+/// Errors produced by the scheduler, the co-synthesis loop and the experiment
+/// drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Error from the task-graph substrate.
+    Graph(tats_taskgraph::GraphError),
+    /// Error from the technology-library substrate.
+    Library(tats_techlib::LibraryError),
+    /// Error from the thermal model.
+    Thermal(tats_thermal::ThermalError),
+    /// Error from the floorplanner.
+    Floorplan(tats_floorplan::FloorplanError),
+    /// The architecture has no processing elements to schedule onto.
+    EmptyArchitecture,
+    /// The thermal-aware policy needs a floorplan covering every PE, but the
+    /// supplied floorplan has the wrong number of blocks.
+    FloorplanMismatch {
+        /// PEs in the architecture.
+        pes: usize,
+        /// Blocks in the floorplan.
+        blocks: usize,
+    },
+    /// A schedule violates a structural invariant (reported by validation).
+    InvalidSchedule(String),
+    /// A task was left unassigned by a (partial) schedule.
+    UnscheduledTask(TaskId),
+    /// Two assignments overlap in time on the same PE.
+    OverlappingAssignments(PeId, TaskId, TaskId),
+    /// The co-synthesis loop could not find an architecture meeting the
+    /// deadline within its PE budget.
+    DeadlineUnreachable {
+        /// Deadline that had to be met.
+        deadline: f64,
+        /// Best makespan achieved.
+        best_makespan: f64,
+    },
+    /// A configuration parameter was out of range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "task graph error: {e}"),
+            CoreError::Library(e) => write!(f, "technology library error: {e}"),
+            CoreError::Thermal(e) => write!(f, "thermal model error: {e}"),
+            CoreError::Floorplan(e) => write!(f, "floorplanning error: {e}"),
+            CoreError::EmptyArchitecture => write!(f, "architecture has no processing elements"),
+            CoreError::FloorplanMismatch { pes, blocks } => write!(
+                f,
+                "floorplan has {blocks} blocks but the architecture has {pes} PEs"
+            ),
+            CoreError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            CoreError::UnscheduledTask(t) => write!(f, "task {t} was not scheduled"),
+            CoreError::OverlappingAssignments(pe, a, b) => {
+                write!(f, "tasks {a} and {b} overlap on {pe}")
+            }
+            CoreError::DeadlineUnreachable {
+                deadline,
+                best_makespan,
+            } => write!(
+                f,
+                "no architecture met the deadline {deadline} (best makespan {best_makespan:.1})"
+            ),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Library(e) => Some(e),
+            CoreError::Thermal(e) => Some(e),
+            CoreError::Floorplan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tats_taskgraph::GraphError> for CoreError {
+    fn from(value: tats_taskgraph::GraphError) -> Self {
+        CoreError::Graph(value)
+    }
+}
+
+impl From<tats_techlib::LibraryError> for CoreError {
+    fn from(value: tats_techlib::LibraryError) -> Self {
+        CoreError::Library(value)
+    }
+}
+
+impl From<tats_thermal::ThermalError> for CoreError {
+    fn from(value: tats_thermal::ThermalError) -> Self {
+        CoreError::Thermal(value)
+    }
+}
+
+impl From<tats_floorplan::FloorplanError> for CoreError {
+    fn from(value: tats_floorplan::FloorplanError) -> Self {
+        CoreError::Floorplan(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_substrate_errors() {
+        let e: CoreError = tats_taskgraph::GraphError::CycleDetected.into();
+        assert!(matches!(e, CoreError::Graph(_)));
+        let e: CoreError = tats_techlib::LibraryError::NoPeTypes.into();
+        assert!(matches!(e, CoreError::Library(_)));
+        let e: CoreError = tats_thermal::ThermalError::SingularSystem.into();
+        assert!(matches!(e, CoreError::Thermal(_)));
+        let e: CoreError = tats_floorplan::FloorplanError::NoModules.into();
+        assert!(matches!(e, CoreError::Floorplan(_)));
+    }
+
+    #[test]
+    fn sources_chain_for_wrapped_errors() {
+        use std::error::Error as _;
+        let e: CoreError = tats_thermal::ThermalError::EmptyFloorplan.into();
+        assert!(e.source().is_some());
+        assert!(CoreError::EmptyArchitecture.source().is_none());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let msg = CoreError::FloorplanMismatch { pes: 4, blocks: 2 }.to_string();
+        assert!(msg.contains('4') && msg.contains('2'));
+        let msg = CoreError::OverlappingAssignments(PeId(1), TaskId(2), TaskId(3)).to_string();
+        assert!(msg.contains("PE1") && msg.contains("T2") && msg.contains("T3"));
+        let msg = CoreError::DeadlineUnreachable {
+            deadline: 100.0,
+            best_makespan: 150.0,
+        }
+        .to_string();
+        assert!(msg.contains("100"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<CoreError>();
+    }
+}

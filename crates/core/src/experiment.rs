@@ -1,0 +1,405 @@
+//! Experiment drivers regenerating the paper's tables.
+//!
+//! * [`table1`] — the comparison of the baseline and the three power
+//!   heuristics on both the co-synthesis architecture and the platform-based
+//!   architecture (Table 1).
+//! * [`table2`] — power-aware (best heuristic) vs thermal-aware on the
+//!   co-synthesis architecture (Table 2).
+//! * [`table3`] — power-aware vs thermal-aware on the platform-based
+//!   architecture (Table 3).
+//!
+//! The drivers are deterministic: the benchmarks, the technology library and
+//! every optimiser seed are fixed, so repeated runs print identical tables.
+
+use std::fmt;
+
+use tats_floorplan::GaConfig;
+use tats_taskgraph::Benchmark;
+use tats_techlib::{profiles, TechLibrary};
+use tats_thermal::ThermalConfig;
+
+use crate::cosynthesis::CoSynthesis;
+use crate::error::CoreError;
+use crate::metrics::ScheduleEvaluation;
+use crate::platform::PlatformFlow;
+use crate::policy::{Policy, PowerHeuristic};
+
+/// The number of task types used by the standard experiment library; matches
+/// the benchmark generator's type count.
+pub const EXPERIMENT_TASK_TYPES: usize = 10;
+
+/// Shared configuration of the experiment drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Maximum number of PEs the co-synthesis allocation may instantiate.
+    pub max_pes: usize,
+    /// Genetic-floorplanner configuration used by the co-synthesis flow.
+    pub floorplan_ga: GaConfig,
+    /// Thermal model configuration.
+    pub thermal_config: ThermalConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            max_pes: 6,
+            floorplan_ga: GaConfig {
+                population: 16,
+                generations: 20,
+                ..GaConfig::default()
+            },
+            thermal_config: ThermalConfig::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced-effort configuration for unit tests and smoke runs: smaller
+    /// floorplanner population, same architectures and policies.
+    pub fn fast() -> Self {
+        ExperimentConfig {
+            max_pes: 5,
+            floorplan_ga: GaConfig {
+                population: 8,
+                generations: 5,
+                ..GaConfig::default()
+            },
+            thermal_config: ThermalConfig::default(),
+        }
+    }
+
+    fn library(&self) -> Result<TechLibrary, CoreError> {
+        Ok(profiles::standard_library(EXPERIMENT_TASK_TYPES)?)
+    }
+}
+
+/// The three table columns the paper reports for every configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsRow {
+    /// "Total Pow." — sum of per-PE average powers, watts.
+    pub total_power: f64,
+    /// "Max Temp." — peak block temperature, °C.
+    pub max_temp_c: f64,
+    /// "Avg Temp." — mean block temperature, °C.
+    pub avg_temp_c: f64,
+}
+
+impl From<&ScheduleEvaluation> for MetricsRow {
+    fn from(eval: &ScheduleEvaluation) -> Self {
+        MetricsRow {
+            total_power: eval.total_average_power,
+            max_temp_c: eval.max_temperature_c,
+            avg_temp_c: eval.avg_temperature_c,
+        }
+    }
+}
+
+impl fmt::Display for MetricsRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>7.2} {:>8.2} {:>8.2}",
+            self.total_power, self.max_temp_c, self.avg_temp_c
+        )
+    }
+}
+
+/// One row of Table 1: a benchmark/policy pair evaluated on both
+/// architectures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The benchmark of this row group.
+    pub benchmark: Benchmark,
+    /// The scheduling policy of this row.
+    pub policy: Policy,
+    /// Metrics on the co-synthesis (customised) architecture.
+    pub cosynthesis: MetricsRow,
+    /// Metrics on the platform-based architecture.
+    pub platform: MetricsRow,
+}
+
+/// Table 1: power heuristics under co-synthesis and platform architectures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// All rows in paper order (per benchmark: baseline, H1, H2, H3).
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// The policies evaluated in Table 1, in row order.
+    pub const POLICIES: [Policy; 4] = [
+        Policy::Baseline,
+        Policy::PowerAware(PowerHeuristic::MinTaskPower),
+        Policy::PowerAware(PowerHeuristic::MinCumulativeAveragePower),
+        Policy::PowerAware(PowerHeuristic::MinTaskEnergy),
+    ];
+
+    /// Rows belonging to one benchmark, in policy order.
+    pub fn benchmark_rows(&self, benchmark: Benchmark) -> Vec<&Table1Row> {
+        self.rows
+            .iter()
+            .filter(|r| r.benchmark == benchmark)
+            .collect()
+    }
+
+    /// The power heuristic achieving the lowest platform max temperature,
+    /// averaged over all benchmarks — the paper selects heuristic 3 here.
+    pub fn best_heuristic_by_max_temp(&self) -> PowerHeuristic {
+        let mut best = PowerHeuristic::MinTaskPower;
+        let mut best_sum = f64::INFINITY;
+        for h in PowerHeuristic::ALL {
+            let sum: f64 = self
+                .rows
+                .iter()
+                .filter(|r| r.policy == Policy::PowerAware(h))
+                .map(|r| r.platform.max_temp_c + r.cosynthesis.max_temp_c)
+                .sum();
+            if sum < best_sum {
+                best_sum = sum;
+                best = h;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 1. Power heuristics under co-synthesis and platform-based architectures"
+        )?;
+        writeln!(
+            f,
+            "{:<28} | {:>7} {:>8} {:>8} | {:>7} {:>8} {:>8}",
+            "benchmark / policy", "co Pow", "co Max", "co Avg", "pl Pow", "pl Max", "pl Avg"
+        )?;
+        for row in &self.rows {
+            let label = if row.policy == Policy::Baseline {
+                format!("{}", row.benchmark)
+            } else {
+                format!("  {}", row.policy)
+            };
+            writeln!(f, "{label:<28} | {} | {}", row.cosynthesis, row.platform)?;
+        }
+        Ok(())
+    }
+}
+
+/// One row of Tables 2 and 3: power-aware vs thermal-aware on one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// The benchmark of this row.
+    pub benchmark: Benchmark,
+    /// Metrics of the power-aware approach (heuristic 3).
+    pub power_aware: MetricsRow,
+    /// Metrics of the thermal-aware approach.
+    pub thermal_aware: MetricsRow,
+}
+
+/// Tables 2 and 3 share this structure: a per-benchmark comparison of the
+/// best power-aware policy against the thermal-aware policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonTable {
+    /// Caption distinguishing Table 2 (co-synthesis) from Table 3 (platform).
+    pub caption: String,
+    /// All rows in benchmark order.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl ComparisonTable {
+    /// Mean reduction of the maximal temperature (power-aware minus
+    /// thermal-aware), °C. Positive values mean the thermal-aware approach
+    /// runs cooler, as the paper reports.
+    pub fn mean_max_temp_reduction(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.power_aware.max_temp_c - r.thermal_aware.max_temp_c)
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// Mean reduction of the average temperature, °C.
+    pub fn mean_avg_temp_reduction(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.power_aware.avg_temp_c - r.thermal_aware.avg_temp_c)
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+}
+
+impl fmt::Display for ComparisonTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.caption)?;
+        writeln!(
+            f,
+            "{:<18} | {:>7} {:>8} {:>8} | {:>7} {:>8} {:>8}",
+            "benchmark", "pw Pow", "pw Max", "pw Avg", "th Pow", "th Max", "th Avg"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<18} | {} | {}",
+                row.benchmark.name(),
+                row.power_aware,
+                row.thermal_aware
+            )?;
+        }
+        writeln!(
+            f,
+            "mean reduction: max {:.2} C, avg {:.2} C",
+            self.mean_max_temp_reduction(),
+            self.mean_avg_temp_reduction()
+        )
+    }
+}
+
+/// Regenerates Table 1.
+///
+/// # Errors
+///
+/// Propagates scheduling, co-synthesis and thermal-model errors.
+pub fn table1(config: &ExperimentConfig) -> Result<Table1, CoreError> {
+    let library = config.library()?;
+    let platform = PlatformFlow::new(&library)?.with_thermal_config(config.thermal_config);
+    let cosynthesis = CoSynthesis::new(&library)
+        .with_max_pes(config.max_pes)
+        .with_thermal_config(config.thermal_config)
+        .with_floorplan_ga(config.floorplan_ga);
+
+    let mut rows = Vec::new();
+    for bm in Benchmark::ALL {
+        let graph = bm.task_graph()?;
+        for policy in Table1::POLICIES {
+            let co = cosynthesis.run(&graph, policy)?;
+            let pl = platform.run(&graph, policy)?;
+            rows.push(Table1Row {
+                benchmark: bm,
+                policy,
+                cosynthesis: MetricsRow::from(&co.evaluation),
+                platform: MetricsRow::from(&pl.evaluation),
+            });
+        }
+    }
+    Ok(Table1 { rows })
+}
+
+/// Regenerates Table 2: power-aware (heuristic 3) vs thermal-aware
+/// co-synthesis.
+///
+/// # Errors
+///
+/// Propagates scheduling, co-synthesis and thermal-model errors.
+pub fn table2(config: &ExperimentConfig) -> Result<ComparisonTable, CoreError> {
+    let library = config.library()?;
+    let cosynthesis = CoSynthesis::new(&library)
+        .with_max_pes(config.max_pes)
+        .with_thermal_config(config.thermal_config)
+        .with_floorplan_ga(config.floorplan_ga);
+
+    let mut rows = Vec::new();
+    for bm in Benchmark::ALL {
+        let graph = bm.task_graph()?;
+        let power = cosynthesis.run(&graph, Policy::PowerAware(PowerHeuristic::MinTaskEnergy))?;
+        let thermal = cosynthesis.run(&graph, Policy::ThermalAware)?;
+        rows.push(ComparisonRow {
+            benchmark: bm,
+            power_aware: MetricsRow::from(&power.evaluation),
+            thermal_aware: MetricsRow::from(&thermal.evaluation),
+        });
+    }
+    Ok(ComparisonTable {
+        caption: "Table 2. Power-aware vs thermal-aware co-synthesis architecture".to_string(),
+        rows,
+    })
+}
+
+/// Regenerates Table 3: power-aware (heuristic 3) vs thermal-aware scheduling
+/// on the platform-based architecture.
+///
+/// # Errors
+///
+/// Propagates scheduling and thermal-model errors.
+pub fn table3(config: &ExperimentConfig) -> Result<ComparisonTable, CoreError> {
+    let library = config.library()?;
+    let platform = PlatformFlow::new(&library)?.with_thermal_config(config.thermal_config);
+
+    let mut rows = Vec::new();
+    for bm in Benchmark::ALL {
+        let graph = bm.task_graph()?;
+        let power = platform.run(&graph, Policy::PowerAware(PowerHeuristic::MinTaskEnergy))?;
+        let thermal = platform.run(&graph, Policy::ThermalAware)?;
+        rows.push(ComparisonRow {
+            benchmark: bm,
+            power_aware: MetricsRow::from(&power.evaluation),
+            thermal_aware: MetricsRow::from(&thermal.evaluation),
+        });
+    }
+    Ok(ComparisonTable {
+        caption: "Table 3. Power-aware vs thermal-aware platform-based architecture".to_string(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_thermal_aware_never_hotter_at_the_peak() {
+        // The headline platform result of the paper, checked as a weak
+        // inequality per benchmark.
+        let table = table3(&ExperimentConfig::fast()).unwrap();
+        assert_eq!(table.rows.len(), 4);
+        for row in &table.rows {
+            assert!(
+                row.thermal_aware.max_temp_c <= row.power_aware.max_temp_c + 1.0,
+                "{}: thermal {:.2} vs power {:.2}",
+                row.benchmark.name(),
+                row.thermal_aware.max_temp_c,
+                row.power_aware.max_temp_c
+            );
+        }
+        assert!(table.mean_max_temp_reduction() >= -0.5);
+        assert!(table.to_string().contains("Table 3"));
+    }
+
+    #[test]
+    fn table1_platform_columns_are_complete_and_plausible() {
+        // Restrict to the platform flow for speed by reusing table3-style
+        // runs through the full driver would be slow; instead check the
+        // structure of a fast full run of table1 on the smallest benchmark by
+        // filtering afterwards.
+        let table = table1(&ExperimentConfig::fast()).unwrap();
+        assert_eq!(table.rows.len(), 16);
+        for bm in Benchmark::ALL {
+            assert_eq!(table.benchmark_rows(bm).len(), 4);
+        }
+        for row in &table.rows {
+            for metrics in [&row.cosynthesis, &row.platform] {
+                assert!(metrics.total_power > 0.0);
+                assert!(metrics.max_temp_c >= metrics.avg_temp_c);
+                assert!(metrics.avg_temp_c > 45.0);
+                assert!(metrics.max_temp_c < 200.0);
+            }
+        }
+        // The display renders one line per row plus headers.
+        let text = table.to_string();
+        assert!(text.contains("Bm1/19/19/790"));
+        assert!(text.contains("Heuristic 3"));
+        let _ = table.best_heuristic_by_max_temp();
+    }
+
+    #[test]
+    fn table2_rows_cover_all_benchmarks() {
+        let table = table2(&ExperimentConfig::fast()).unwrap();
+        assert_eq!(table.rows.len(), 4);
+        for (row, bm) in table.rows.iter().zip(Benchmark::ALL) {
+            assert_eq!(row.benchmark, bm);
+            assert!(row.thermal_aware.total_power > 0.0);
+            assert!(row.power_aware.total_power > 0.0);
+        }
+        assert!(table.to_string().contains("Table 2"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Helpers turning architectures into floorplans and floorplanner inputs.
+
+use tats_floorplan::Module;
+use tats_techlib::{Architecture, TechLibrary};
+use tats_thermal::Floorplan;
+
+use crate::error::CoreError;
+
+/// Places the PEs of an architecture on a near-square grid with a small
+/// spacing — the fixed layout used for platform-based architectures and as
+/// the initial floorplan of the co-synthesis loop.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyArchitecture`] for an architecture without PEs
+/// and propagates library lookups and geometry validation errors.
+///
+/// # Examples
+///
+/// ```
+/// use tats_core::layout;
+/// use tats_techlib::profiles;
+///
+/// # fn main() -> Result<(), tats_core::CoreError> {
+/// let library = profiles::standard_library(10)?;
+/// let platform = profiles::platform_architecture(&library)?;
+/// let plan = layout::grid_floorplan(&platform, &library)?;
+/// assert_eq!(plan.block_count(), platform.pe_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn grid_floorplan(
+    architecture: &Architecture,
+    library: &TechLibrary,
+) -> Result<Floorplan, CoreError> {
+    if architecture.is_empty() {
+        return Err(CoreError::EmptyArchitecture);
+    }
+    let mut names = Vec::with_capacity(architecture.pe_count());
+    let mut dims = Vec::with_capacity(architecture.pe_count());
+    for instance in architecture.instances() {
+        let pe_type = library.pe_type(instance.type_id())?;
+        names.push(format!("{}-{}", pe_type.name(), instance.id()));
+        dims.push((pe_type.width_mm() * 1e-3, pe_type.height_mm() * 1e-3));
+    }
+    Ok(Floorplan::grid_layout(&names, &dims, 0.5e-3)?)
+}
+
+/// Builds the floorplanner module list for an architecture, attaching the
+/// given per-PE average power estimates (watts).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyArchitecture`] for an empty architecture,
+/// [`CoreError::InvalidParameter`] when the power vector length does not
+/// match, and propagates library lookup errors.
+pub fn pe_modules(
+    architecture: &Architecture,
+    library: &TechLibrary,
+    per_pe_power: &[f64],
+) -> Result<Vec<Module>, CoreError> {
+    if architecture.is_empty() {
+        return Err(CoreError::EmptyArchitecture);
+    }
+    if per_pe_power.len() != architecture.pe_count() {
+        return Err(CoreError::InvalidParameter(format!(
+            "{} power entries for {} PEs",
+            per_pe_power.len(),
+            architecture.pe_count()
+        )));
+    }
+    architecture
+        .instances()
+        .iter()
+        .zip(per_pe_power)
+        .map(|(instance, &power)| {
+            let pe_type = library.pe_type(instance.type_id())?;
+            Ok(Module::from_mm(
+                format!("{}-{}", pe_type.name(), instance.id()),
+                pe_type.width_mm(),
+                pe_type.height_mm(),
+                power,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tats_techlib::profiles;
+
+    #[test]
+    fn grid_floorplan_covers_every_pe() {
+        let library = profiles::standard_library(8).unwrap();
+        let platform = profiles::platform_architecture(&library).unwrap();
+        let plan = grid_floorplan(&platform, &library).unwrap();
+        assert_eq!(plan.block_count(), 4);
+        // 2x2 arrangement of 7 mm PEs fits in under 16 mm per side.
+        let (w, h) = plan.bounding_box();
+        assert!(w < 16e-3 && h < 16e-3);
+    }
+
+    #[test]
+    fn empty_architecture_is_rejected() {
+        let library = profiles::standard_library(8).unwrap();
+        let arch = Architecture::new("empty");
+        assert!(matches!(
+            grid_floorplan(&arch, &library),
+            Err(CoreError::EmptyArchitecture)
+        ));
+        assert!(matches!(
+            pe_modules(&arch, &library, &[]),
+            Err(CoreError::EmptyArchitecture)
+        ));
+    }
+
+    #[test]
+    fn pe_modules_carry_power_and_geometry() {
+        let library = profiles::standard_library(8).unwrap();
+        let platform = profiles::platform_architecture(&library).unwrap();
+        let modules = pe_modules(&platform, &library, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(modules.len(), 4);
+        assert_eq!(modules[2].power(), 3.0);
+        assert!(modules[0].width() > 0.0);
+    }
+
+    #[test]
+    fn power_length_mismatch_is_rejected() {
+        let library = profiles::standard_library(8).unwrap();
+        let platform = profiles::platform_architecture(&library).unwrap();
+        assert!(matches!(
+            pe_modules(&platform, &library, &[1.0]),
+            Err(CoreError::InvalidParameter(_))
+        ));
+    }
+}

@@ -1,0 +1,224 @@
+//! Platform-based thermal-aware system design (Figure 1.b of the paper).
+//!
+//! For platform-based design the target architecture and the task graph are
+//! given: the architecture is a fixed set of identical PEs on a fixed
+//! (grid) floorplan, and the modified ASP issues thermal inquiries against
+//! that floorplan directly — no co-synthesis or floorplanning is involved.
+
+use tats_taskgraph::TaskGraph;
+use tats_techlib::{Architecture, TechLibrary};
+use tats_thermal::{Floorplan, ThermalConfig};
+
+use crate::asp::Asp;
+use crate::error::CoreError;
+use crate::layout;
+use crate::metrics::{evaluate_schedule, ScheduleEvaluation};
+use crate::policy::{Policy, ThermalObjective};
+use crate::schedule::Schedule;
+
+/// Result of running the platform-based flow on one task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformResult {
+    /// The fixed platform architecture that was used.
+    pub architecture: Architecture,
+    /// The fixed floorplan of the platform.
+    pub floorplan: Floorplan,
+    /// The schedule produced by the ASP.
+    pub schedule: Schedule,
+    /// The table metrics of the schedule.
+    pub evaluation: ScheduleEvaluation,
+}
+
+/// The platform-based design flow: a pre-defined architecture of identical
+/// PEs scheduled by the (power- or thermal-aware) ASP.
+///
+/// # Examples
+///
+/// ```
+/// use tats_core::{PlatformFlow, Policy};
+/// use tats_taskgraph::Benchmark;
+/// use tats_techlib::profiles;
+///
+/// # fn main() -> Result<(), tats_core::CoreError> {
+/// let library = profiles::standard_library(10)?;
+/// let flow = PlatformFlow::new(&library)?;
+/// let result = flow.run(&Benchmark::Bm1.task_graph()?, Policy::ThermalAware)?;
+/// assert!(result.evaluation.meets_deadline);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformFlow<'a> {
+    library: &'a TechLibrary,
+    architecture: Architecture,
+    floorplan: Floorplan,
+    thermal_config: ThermalConfig,
+    thermal_objective: ThermalObjective,
+    cost_scale: f64,
+}
+
+impl<'a> PlatformFlow<'a> {
+    /// Creates the paper's default platform: four identical fast GPPs on a
+    /// 2×2 grid floorplan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates library and floorplan construction errors.
+    pub fn new(library: &'a TechLibrary) -> Result<Self, CoreError> {
+        let architecture = tats_techlib::profiles::platform_architecture(library)?;
+        Self::with_architecture(library, architecture)
+    }
+
+    /// Creates a platform flow around an arbitrary pre-defined architecture,
+    /// placing its PEs on a grid floorplan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArchitecture`] for an empty architecture and
+    /// propagates floorplan construction errors.
+    pub fn with_architecture(
+        library: &'a TechLibrary,
+        architecture: Architecture,
+    ) -> Result<Self, CoreError> {
+        let floorplan = layout::grid_floorplan(&architecture, library)?;
+        Ok(PlatformFlow {
+            library,
+            architecture,
+            floorplan,
+            thermal_config: ThermalConfig::default(),
+            thermal_objective: ThermalObjective::default(),
+            cost_scale: 1.0,
+        })
+    }
+
+    /// Selects which temperature statistic the thermal-aware policy minimises.
+    pub fn with_thermal_objective(mut self, objective: ThermalObjective) -> Self {
+        self.thermal_objective = objective;
+        self
+    }
+
+    /// Overrides the thermal configuration used for scheduling and
+    /// evaluation.
+    pub fn with_thermal_config(mut self, config: ThermalConfig) -> Self {
+        self.thermal_config = config;
+        self
+    }
+
+    /// Scales the fourth dynamic-criticality term (see
+    /// [`Asp::with_cost_scale`]).
+    pub fn with_cost_scale(mut self, cost_scale: f64) -> Self {
+        self.cost_scale = cost_scale;
+        self
+    }
+
+    /// The platform architecture.
+    pub fn architecture(&self) -> &Architecture {
+        &self.architecture
+    }
+
+    /// The platform floorplan.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// Schedules `graph` on the platform under `policy` and evaluates the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and evaluation errors.
+    pub fn run(&self, graph: &TaskGraph, policy: Policy) -> Result<PlatformResult, CoreError> {
+        let schedule = Asp::new(graph, self.library, &self.architecture)?
+            .with_policy(policy)
+            .with_floorplan(self.floorplan.clone())
+            .with_thermal_config(self.thermal_config)
+            .with_thermal_objective(self.thermal_objective)
+            .with_cost_scale(self.cost_scale)
+            .schedule()?;
+        let evaluation = evaluate_schedule(&schedule, &self.floorplan, self.thermal_config)?;
+        Ok(PlatformResult {
+            architecture: self.architecture.clone(),
+            floorplan: self.floorplan.clone(),
+            schedule,
+            evaluation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tats_taskgraph::Benchmark;
+    use tats_techlib::profiles;
+
+    #[test]
+    fn default_platform_has_four_pes_on_a_grid() {
+        let library = profiles::standard_library(10).unwrap();
+        let flow = PlatformFlow::new(&library).unwrap();
+        assert_eq!(flow.architecture().pe_count(), 4);
+        assert_eq!(flow.floorplan().block_count(), 4);
+    }
+
+    #[test]
+    fn all_policies_meet_the_deadline_on_every_benchmark() {
+        let library = profiles::standard_library(10).unwrap();
+        let flow = PlatformFlow::new(&library).unwrap();
+        for bm in Benchmark::ALL {
+            let graph = bm.task_graph().unwrap();
+            for policy in Policy::ALL {
+                let result = flow.run(&graph, policy).unwrap();
+                assert!(result.evaluation.meets_deadline, "{bm} / {policy}");
+                result
+                    .schedule
+                    .validate(&graph, result_arch(&result), &library)
+                    .unwrap();
+            }
+        }
+
+        fn result_arch(result: &PlatformResult) -> &Architecture {
+            &result.architecture
+        }
+    }
+
+    #[test]
+    fn thermal_aware_platform_is_not_hotter_than_the_baseline() {
+        // The headline claim of Table 3, checked as a weak inequality for the
+        // peak temperature on each benchmark.
+        let library = profiles::standard_library(10).unwrap();
+        let flow = PlatformFlow::new(&library).unwrap();
+        for bm in Benchmark::ALL {
+            let graph = bm.task_graph().unwrap();
+            let baseline = flow.run(&graph, Policy::Baseline).unwrap();
+            let thermal = flow.run(&graph, Policy::ThermalAware).unwrap();
+            assert!(
+                thermal.evaluation.max_temperature_c
+                    <= baseline.evaluation.max_temperature_c + 1.0,
+                "{bm}: thermal {:.2} C vs baseline {:.2} C",
+                thermal.evaluation.max_temperature_c,
+                baseline.evaluation.max_temperature_c
+            );
+        }
+    }
+
+    #[test]
+    fn custom_architecture_platform() {
+        let library = profiles::standard_library(10).unwrap();
+        let pe_type = profiles::platform_pe_type(&library).unwrap();
+        let arch = Architecture::platform("dual", pe_type, 2);
+        let flow = PlatformFlow::with_architecture(&library, arch).unwrap();
+        let result = flow
+            .run(&Benchmark::Bm1.task_graph().unwrap(), Policy::Baseline)
+            .unwrap();
+        assert_eq!(result.architecture.pe_count(), 2);
+        assert_eq!(result.evaluation.per_pe_power.len(), 2);
+    }
+
+    #[test]
+    fn empty_architecture_is_rejected() {
+        let library = profiles::standard_library(10).unwrap();
+        assert!(matches!(
+            PlatformFlow::with_architecture(&library, Architecture::new("none")),
+            Err(CoreError::EmptyArchitecture)
+        ));
+    }
+}

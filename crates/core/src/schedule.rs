@@ -1,0 +1,375 @@
+//! Schedules: the output of the allocation and scheduling procedure.
+
+use std::fmt;
+
+use tats_taskgraph::{TaskGraph, TaskId};
+use tats_techlib::{Architecture, PeId, TechLibrary};
+
+use crate::error::CoreError;
+
+/// The assignment of one task: which PE executes it and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// The assigned task.
+    pub task: TaskId,
+    /// The executing processing element.
+    pub pe: PeId,
+    /// Start time, schedule time units.
+    pub start: f64,
+    /// Finish time, schedule time units.
+    pub end: f64,
+    /// Power drawn while executing, watts.
+    pub power: f64,
+}
+
+impl Assignment {
+    /// Execution duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Energy consumed by the execution, joule-equivalent units.
+    pub fn energy(&self) -> f64 {
+        self.duration() * self.power
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} [{:.1}, {:.1}) @ {:.2} W",
+            self.task, self.pe, self.start, self.end, self.power
+        )
+    }
+}
+
+/// A complete mapping and schedule of a task graph onto an architecture.
+///
+/// Produced by [`crate::Asp::schedule`]; use [`Schedule::validate`] to check
+/// the structural invariants against the originating graph and architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    assignments: Vec<Assignment>,
+    pe_count: usize,
+    deadline: f64,
+}
+
+impl Schedule {
+    /// Assembles a schedule from per-task assignments (indexed by task id).
+    pub(crate) fn new(assignments: Vec<Assignment>, pe_count: usize, deadline: f64) -> Self {
+        Schedule {
+            assignments,
+            pe_count,
+            deadline,
+        }
+    }
+
+    /// Number of scheduled tasks.
+    pub fn task_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of PEs in the target architecture.
+    pub fn pe_count(&self) -> usize {
+        self.pe_count
+    }
+
+    /// The deadline the schedule was produced against.
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// The assignment of a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnscheduledTask`] for an out-of-range task id.
+    pub fn assignment(&self, task: TaskId) -> Result<&Assignment, CoreError> {
+        self.assignments
+            .get(task.index())
+            .ok_or(CoreError::UnscheduledTask(task))
+    }
+
+    /// All assignments in task-id order.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// The PE executing a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnscheduledTask`] for an out-of-range task id.
+    pub fn pe_of(&self, task: TaskId) -> Result<PeId, CoreError> {
+        Ok(self.assignment(task)?.pe)
+    }
+
+    /// Finish time of the last task.
+    pub fn makespan(&self) -> f64 {
+        self.assignments
+            .iter()
+            .map(|a| a.end)
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Returns `true` if the schedule finishes within its deadline.
+    pub fn meets_deadline(&self) -> bool {
+        self.makespan() <= self.deadline + 1e-9
+    }
+
+    /// Assignments executed by a given PE, ordered by start time.
+    pub fn assignments_on(&self, pe: PeId) -> Vec<&Assignment> {
+        let mut list: Vec<&Assignment> =
+            self.assignments.iter().filter(|a| a.pe == pe).collect();
+        list.sort_by(|a, b| a.start.total_cmp(&b.start));
+        list
+    }
+
+    /// Total busy time of a PE.
+    pub fn busy_time(&self, pe: PeId) -> f64 {
+        self.assignments_on(pe).iter().map(|a| a.duration()).sum()
+    }
+
+    /// Total energy consumed by tasks on a PE.
+    pub fn busy_energy(&self, pe: PeId) -> f64 {
+        self.assignments_on(pe).iter().map(|a| a.energy()).sum()
+    }
+
+    /// Average power of each PE over the makespan — the per-block power
+    /// vector handed to the thermal model when evaluating the schedule.
+    pub fn average_power_per_pe(&self) -> Vec<f64> {
+        let horizon = self.makespan().max(1e-9);
+        (0..self.pe_count)
+            .map(|i| self.busy_energy(PeId(i)) / horizon)
+            .collect()
+    }
+
+    /// Sum of the per-PE average powers — the "Total Pow." column of the
+    /// paper's tables.
+    pub fn total_average_power(&self) -> f64 {
+        self.average_power_per_pe().iter().sum()
+    }
+
+    /// Sustained power of each PE: the energy it consumes divided by the time
+    /// it is busy (zero for idle PEs).
+    ///
+    /// This is the thermal load a PE dissipates *while it is running* and is
+    /// the per-block power vector used for steady-state temperature
+    /// evaluation; unlike the makespan-normalised average it does not reward
+    /// schedules merely for taking longer.
+    pub fn sustained_power_per_pe(&self) -> Vec<f64> {
+        (0..self.pe_count)
+            .map(|i| {
+                let pe = PeId(i);
+                let busy = self.busy_time(pe);
+                if busy > 0.0 {
+                    self.busy_energy(pe) / busy
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Sum of the per-PE sustained powers.
+    pub fn total_sustained_power(&self) -> f64 {
+        self.sustained_power_per_pe().iter().sum()
+    }
+
+    /// Ids of PEs that execute at least one task.
+    pub fn used_pes(&self) -> Vec<PeId> {
+        (0..self.pe_count)
+            .map(PeId)
+            .filter(|&pe| self.assignments.iter().any(|a| a.pe == pe))
+            .collect()
+    }
+
+    /// Validates the schedule against its graph, architecture and library.
+    ///
+    /// Checked invariants:
+    ///
+    /// 1. every task of the graph has exactly one assignment;
+    /// 2. every assignment refers to a PE of the architecture;
+    /// 3. a task never starts before all of its predecessors have finished;
+    /// 4. assignments on the same PE never overlap in time;
+    /// 5. each assignment's duration equals the library WCET of the task on
+    ///    the assigned PE's type.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`CoreError`] variant describing the first
+    /// violated invariant.
+    pub fn validate(
+        &self,
+        graph: &TaskGraph,
+        architecture: &Architecture,
+        library: &TechLibrary,
+    ) -> Result<(), CoreError> {
+        if self.assignments.len() != graph.task_count() {
+            return Err(CoreError::InvalidSchedule(format!(
+                "{} assignments for {} tasks",
+                self.assignments.len(),
+                graph.task_count()
+            )));
+        }
+        for assignment in &self.assignments {
+            if assignment.pe.index() >= architecture.pe_count() {
+                return Err(CoreError::InvalidSchedule(format!(
+                    "assignment of {} refers to unknown {}",
+                    assignment.task, assignment.pe
+                )));
+            }
+            if assignment.end < assignment.start || !assignment.start.is_finite() {
+                return Err(CoreError::InvalidSchedule(format!(
+                    "assignment of {} has malformed interval [{}, {})",
+                    assignment.task, assignment.start, assignment.end
+                )));
+            }
+            let task = graph
+                .get_task(assignment.task)
+                .ok_or(CoreError::UnscheduledTask(assignment.task))?;
+            let pe_type = architecture.pe_type_of(assignment.pe)?;
+            let wcet = library.wcet(task.type_id(), pe_type)?;
+            if (assignment.duration() - wcet).abs() > 1e-6 {
+                return Err(CoreError::InvalidSchedule(format!(
+                    "duration of {} is {} but its WCET on {} is {}",
+                    assignment.task,
+                    assignment.duration(),
+                    assignment.pe,
+                    wcet
+                )));
+            }
+        }
+        // Precedence.
+        for task in graph.task_ids() {
+            let a = self.assignment(task)?;
+            for &pred in graph.predecessors(task) {
+                let p = self.assignment(pred)?;
+                if p.end > a.start + 1e-9 {
+                    return Err(CoreError::InvalidSchedule(format!(
+                        "{task} starts at {} before predecessor {pred} finishes at {}",
+                        a.start, p.end
+                    )));
+                }
+            }
+        }
+        // No overlap per PE.
+        for pe in 0..self.pe_count {
+            let pe = PeId(pe);
+            let on_pe = self.assignments_on(pe);
+            for pair in on_pe.windows(2) {
+                if pair[0].end > pair[1].start + 1e-9 {
+                    return Err(CoreError::OverlappingAssignments(
+                        pe,
+                        pair[0].task,
+                        pair[1].task,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule: {} tasks on {} PEs, makespan {:.1} / deadline {:.1}",
+            self.task_count(),
+            self.pe_count,
+            self.makespan(),
+            self.deadline
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment(task: usize, pe: usize, start: f64, end: f64) -> Assignment {
+        Assignment {
+            task: TaskId(task),
+            pe: PeId(pe),
+            start,
+            end,
+            power: 2.0,
+        }
+    }
+
+    #[test]
+    fn makespan_and_deadline() {
+        let s = Schedule::new(
+            vec![assignment(0, 0, 0.0, 10.0), assignment(1, 1, 5.0, 25.0)],
+            2,
+            30.0,
+        );
+        assert_eq!(s.makespan(), 25.0);
+        assert!(s.meets_deadline());
+        let late = Schedule::new(vec![assignment(0, 0, 0.0, 40.0)], 1, 30.0);
+        assert!(!late.meets_deadline());
+    }
+
+    #[test]
+    fn per_pe_accounting() {
+        let s = Schedule::new(
+            vec![
+                assignment(0, 0, 0.0, 10.0),
+                assignment(1, 0, 10.0, 20.0),
+                assignment(2, 1, 0.0, 5.0),
+            ],
+            2,
+            100.0,
+        );
+        assert_eq!(s.busy_time(PeId(0)), 20.0);
+        assert_eq!(s.busy_time(PeId(1)), 5.0);
+        assert_eq!(s.busy_energy(PeId(0)), 40.0);
+        let p = s.average_power_per_pe();
+        assert!((p[0] - 2.0).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+        assert!((s.total_average_power() - 2.5).abs() < 1e-12);
+        // Sustained power: every assignment runs at 2 W, so each busy PE
+        // sustains exactly 2 W.
+        assert_eq!(s.sustained_power_per_pe(), vec![2.0, 2.0]);
+        assert!((s.total_sustained_power() - 4.0).abs() < 1e-12);
+        assert_eq!(s.used_pes(), vec![PeId(0), PeId(1)]);
+    }
+
+    #[test]
+    fn assignment_energy_and_duration() {
+        let a = assignment(0, 0, 5.0, 15.0);
+        assert_eq!(a.duration(), 10.0);
+        assert_eq!(a.energy(), 20.0);
+        assert!(a.to_string().contains("T0"));
+    }
+
+    #[test]
+    fn lookup_errors_for_unknown_tasks() {
+        let s = Schedule::new(vec![assignment(0, 0, 0.0, 1.0)], 1, 10.0);
+        assert!(s.assignment(TaskId(0)).is_ok());
+        assert!(matches!(
+            s.assignment(TaskId(5)),
+            Err(CoreError::UnscheduledTask(_))
+        ));
+        assert!(s.pe_of(TaskId(5)).is_err());
+    }
+
+    #[test]
+    fn assignments_on_sorts_by_start() {
+        let s = Schedule::new(
+            vec![
+                assignment(0, 0, 20.0, 30.0),
+                assignment(1, 0, 0.0, 10.0),
+                assignment(2, 1, 5.0, 6.0),
+            ],
+            2,
+            100.0,
+        );
+        let on0 = s.assignments_on(PeId(0));
+        assert_eq!(on0[0].task, TaskId(1));
+        assert_eq!(on0[1].task, TaskId(0));
+        assert!(s.to_string().contains("3 tasks"));
+    }
+}

@@ -1,0 +1,413 @@
+//! Cost functions for thermal-aware floorplanning.
+//!
+//! The floorplanner of the paper's reference [3] optimises a weighted sum of
+//! chip area, interconnect wirelength and peak temperature. The temperature
+//! term is evaluated by running the compact thermal model on the candidate
+//! placement with the modules' estimated average powers.
+
+use tats_thermal::{Block, Floorplan, ThermalConfig, ThermalModel};
+
+use crate::error::FloorplanError;
+use crate::module::{validate_modules, Module};
+use crate::polish::Placement;
+
+/// A multi-terminal net connecting the listed modules; wirelength is measured
+/// as the half-perimeter of the bounding box of the connected module centres.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    modules: Vec<usize>,
+}
+
+impl Net {
+    /// Creates a net over the given module indices.
+    pub fn new(modules: Vec<usize>) -> Self {
+        Net { modules }
+    }
+
+    /// The module indices connected by this net.
+    pub fn modules(&self) -> &[usize] {
+        &self.modules
+    }
+}
+
+/// Relative weights of the three cost terms.
+///
+/// Each term is normalised against the initial (reference) solution before
+/// weighting, so the weights express relative importance independent of
+/// units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight of the bounding-box area term.
+    pub area: f64,
+    /// Weight of the half-perimeter wirelength term.
+    pub wirelength: f64,
+    /// Weight of the peak-temperature term.
+    pub temperature: f64,
+}
+
+impl CostWeights {
+    /// Area-only floorplanning (the classical objective).
+    pub fn area_only() -> Self {
+        CostWeights {
+            area: 1.0,
+            wirelength: 0.0,
+            temperature: 0.0,
+        }
+    }
+
+    /// The thermal-aware objective used by the co-synthesis flow: area and
+    /// peak temperature matter, wirelength is a tie-breaker.
+    pub fn thermal_aware() -> Self {
+        CostWeights {
+            area: 1.0,
+            wirelength: 0.2,
+            temperature: 1.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), FloorplanError> {
+        for (name, v) in [
+            ("area", self.area),
+            ("wirelength", self.wirelength),
+            ("temperature", self.temperature),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(FloorplanError::InvalidParameter(format!(
+                    "{name} weight must be non-negative and finite, got {v}"
+                )));
+            }
+        }
+        if self.area + self.wirelength + self.temperature <= 0.0 {
+            return Err(FloorplanError::InvalidParameter(
+                "at least one cost weight must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights::thermal_aware()
+    }
+}
+
+/// Breakdown of the cost of one candidate placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Bounding-box area, m².
+    pub area_m2: f64,
+    /// Total half-perimeter wirelength, metres.
+    pub wirelength_m: f64,
+    /// Peak steady-state temperature, °C.
+    pub peak_temperature_c: f64,
+    /// Weighted, normalised scalar cost minimised by the optimisers.
+    pub weighted: f64,
+}
+
+/// Evaluates placements against the weighted cost function.
+#[derive(Debug, Clone)]
+pub struct CostEvaluator {
+    modules: Vec<Module>,
+    nets: Vec<Net>,
+    weights: CostWeights,
+    thermal_config: ThermalConfig,
+    reference_area: f64,
+    reference_wirelength: f64,
+    reference_temperature_rise: f64,
+}
+
+impl CostEvaluator {
+    /// Creates an evaluator, normalising each term against the supplied
+    /// reference placement (typically the initial solution).
+    ///
+    /// # Errors
+    ///
+    /// Propagates module/weight validation errors, net index errors and
+    /// thermal-model failures on the reference placement.
+    pub fn new(
+        modules: Vec<Module>,
+        nets: Vec<Net>,
+        weights: CostWeights,
+        thermal_config: ThermalConfig,
+        reference: &Placement,
+    ) -> Result<Self, FloorplanError> {
+        validate_modules(&modules)?;
+        weights.validate()?;
+        for net in &nets {
+            for &m in net.modules() {
+                if m >= modules.len() {
+                    return Err(FloorplanError::UnknownModule(m));
+                }
+            }
+        }
+        let mut evaluator = CostEvaluator {
+            modules,
+            nets,
+            weights,
+            thermal_config,
+            reference_area: 1.0,
+            reference_wirelength: 1.0,
+            reference_temperature_rise: 1.0,
+        };
+        let reference_cost = evaluator.raw_terms(reference)?;
+        evaluator.reference_area = reference_cost.0.max(1e-12);
+        evaluator.reference_wirelength = reference_cost.1.max(1e-12);
+        evaluator.reference_temperature_rise =
+            (reference_cost.2 - thermal_config.ambient_c).max(1e-9);
+        Ok(evaluator)
+    }
+
+    /// The modules being placed.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The weights in effect.
+    pub fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    /// Converts a placement into a thermal-model floorplan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation errors from the thermal crate.
+    pub fn to_thermal_floorplan(&self, placement: &Placement) -> Result<Floorplan, FloorplanError> {
+        let blocks: Vec<Block> = self
+            .modules
+            .iter()
+            .zip(placement.positions())
+            .map(|(m, &(x, y))| Block::new(m.name(), x, y, m.width(), m.height()))
+            .collect();
+        Ok(Floorplan::new(blocks)?)
+    }
+
+    fn raw_terms(&self, placement: &Placement) -> Result<(f64, f64, f64), FloorplanError> {
+        let area = placement.area();
+        let wirelength = self.wirelength(placement);
+        let peak = if self.weights.temperature > 0.0 {
+            let plan = self.to_thermal_floorplan(placement)?;
+            let model = ThermalModel::new(&plan, self.thermal_config)?;
+            let powers: Vec<f64> = self.modules.iter().map(Module::power).collect();
+            model.steady_state(&powers)?.max_c()
+        } else {
+            self.thermal_config.ambient_c
+        };
+        Ok((area, wirelength, peak))
+    }
+
+    fn wirelength(&self, placement: &Placement) -> f64 {
+        self.nets
+            .iter()
+            .map(|net| {
+                if net.modules().len() < 2 {
+                    return 0.0;
+                }
+                let centres: Vec<(f64, f64)> = net
+                    .modules()
+                    .iter()
+                    .map(|&m| {
+                        let (x, y) = placement.positions()[m];
+                        (
+                            x + self.modules[m].width() / 2.0,
+                            y + self.modules[m].height() / 2.0,
+                        )
+                    })
+                    .collect();
+                let min_x = centres.iter().map(|c| c.0).fold(f64::INFINITY, f64::min);
+                let max_x = centres.iter().map(|c| c.0).fold(f64::NEG_INFINITY, f64::max);
+                let min_y = centres.iter().map(|c| c.1).fold(f64::INFINITY, f64::min);
+                let max_y = centres.iter().map(|c| c.1).fold(f64::NEG_INFINITY, f64::max);
+                (max_x - min_x) + (max_y - min_y)
+            })
+            .sum()
+    }
+
+    /// Evaluates the weighted cost of a placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model failures (e.g. a degenerate placement).
+    pub fn cost(&self, placement: &Placement) -> Result<CostBreakdown, FloorplanError> {
+        let (area, wirelength, peak) = self.raw_terms(placement)?;
+        let temperature_rise = (peak - self.thermal_config.ambient_c).max(0.0);
+        let weighted = self.weights.area * area / self.reference_area
+            + self.weights.wirelength * wirelength / self.reference_wirelength
+            + self.weights.temperature * temperature_rise / self.reference_temperature_rise;
+        Ok(CostBreakdown {
+            area_m2: area,
+            wirelength_m: wirelength,
+            peak_temperature_c: peak,
+            weighted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polish::PolishExpression;
+
+    fn modules() -> Vec<Module> {
+        vec![
+            Module::from_mm("hot", 7.0, 7.0, 8.0),
+            Module::from_mm("warm", 7.0, 7.0, 4.0),
+            Module::from_mm("cool", 5.0, 5.0, 1.0),
+            Module::from_mm("cold", 5.0, 5.0, 0.5),
+        ]
+    }
+
+    fn evaluator(weights: CostWeights) -> (CostEvaluator, Placement) {
+        let mods = modules();
+        let expr = PolishExpression::initial(mods.len()).unwrap();
+        let placement = expr.evaluate(&mods).unwrap();
+        let nets = vec![Net::new(vec![0, 1]), Net::new(vec![1, 2, 3])];
+        let eval = CostEvaluator::new(
+            mods,
+            nets,
+            weights,
+            ThermalConfig::default(),
+            &placement,
+        )
+        .unwrap();
+        (eval, placement)
+    }
+
+    #[test]
+    fn reference_placement_has_cost_equal_to_weight_sum() {
+        let weights = CostWeights::thermal_aware();
+        let (eval, placement) = evaluator(weights);
+        let cost = eval.cost(&placement).unwrap();
+        let expected = weights.area + weights.wirelength + weights.temperature;
+        assert!((cost.weighted - expected).abs() < 1e-9);
+        assert!(cost.peak_temperature_c > 45.0);
+        assert!(cost.area_m2 > 0.0);
+        assert!(cost.wirelength_m > 0.0);
+    }
+
+    #[test]
+    fn area_only_weights_skip_the_thermal_model() {
+        let (eval, placement) = evaluator(CostWeights::area_only());
+        let cost = eval.cost(&placement).unwrap();
+        assert_eq!(cost.peak_temperature_c, 45.0);
+        assert!((cost.weighted - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spreading_hot_modules_reduces_peak_temperature() {
+        use crate::polish::Element;
+        let mods = modules();
+        // Reference: hot and warm adjacent. Alternative: hot and warm
+        // separated by the cool modules.
+        let adjacent = PolishExpression::new(
+            vec![
+                Element::Operand(0),
+                Element::Operand(1),
+                Element::V,
+                Element::Operand(2),
+                Element::Operand(3),
+                Element::V,
+                Element::H,
+            ],
+            4,
+        )
+        .unwrap();
+        let separated = PolishExpression::new(
+            vec![
+                Element::Operand(0),
+                Element::Operand(2),
+                Element::V,
+                Element::Operand(3),
+                Element::Operand(1),
+                Element::V,
+                Element::H,
+            ],
+            4,
+        )
+        .unwrap();
+        let p_adj = adjacent.evaluate(&mods).unwrap();
+        let p_sep = separated.evaluate(&mods).unwrap();
+        let eval = CostEvaluator::new(
+            mods,
+            vec![],
+            CostWeights::thermal_aware(),
+            ThermalConfig::default(),
+            &p_adj,
+        )
+        .unwrap();
+        let hot_adjacent = eval.cost(&p_adj).unwrap().peak_temperature_c;
+        let hot_separated = eval.cost(&p_sep).unwrap().peak_temperature_c;
+        assert!(
+            hot_separated < hot_adjacent,
+            "separated {hot_separated} should run cooler than adjacent {hot_adjacent}"
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let mods = modules();
+        let expr = PolishExpression::initial(mods.len()).unwrap();
+        let placement = expr.evaluate(&mods).unwrap();
+        // Net referencing an unknown module.
+        assert!(matches!(
+            CostEvaluator::new(
+                mods.clone(),
+                vec![Net::new(vec![0, 9])],
+                CostWeights::default(),
+                ThermalConfig::default(),
+                &placement
+            ),
+            Err(FloorplanError::UnknownModule(9))
+        ));
+        // Negative weight.
+        assert!(CostEvaluator::new(
+            mods.clone(),
+            vec![],
+            CostWeights {
+                area: -1.0,
+                wirelength: 0.0,
+                temperature: 0.0
+            },
+            ThermalConfig::default(),
+            &placement
+        )
+        .is_err());
+        // All-zero weights.
+        assert!(CostEvaluator::new(
+            mods,
+            vec![],
+            CostWeights {
+                area: 0.0,
+                wirelength: 0.0,
+                temperature: 0.0
+            },
+            ThermalConfig::default(),
+            &placement
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_module_nets_contribute_no_wirelength() {
+        let mods = modules();
+        let expr = PolishExpression::initial(mods.len()).unwrap();
+        let placement = expr.evaluate(&mods).unwrap();
+        let eval = CostEvaluator::new(
+            mods,
+            vec![Net::new(vec![2])],
+            CostWeights::area_only(),
+            ThermalConfig::default(),
+            &placement,
+        )
+        .unwrap();
+        assert_eq!(eval.cost(&placement).unwrap().wirelength_m, 0.0);
+    }
+
+    #[test]
+    fn to_thermal_floorplan_matches_module_count() {
+        let (eval, placement) = evaluator(CostWeights::default());
+        let plan = eval.to_thermal_floorplan(&placement).unwrap();
+        assert_eq!(plan.block_count(), eval.modules().len());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for the floorplanner.
+
+use std::fmt;
+
+/// Errors produced while constructing or optimising floorplans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloorplanError {
+    /// No modules were supplied.
+    NoModules,
+    /// A module has non-positive or non-finite dimensions or power.
+    InvalidModule {
+        /// Index of the offending module.
+        module: usize,
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// A Polish expression is structurally invalid.
+    InvalidExpression(String),
+    /// A net refers to a module index that does not exist.
+    UnknownModule(usize),
+    /// An optimiser parameter was out of range.
+    InvalidParameter(String),
+    /// The thermal model rejected the candidate floorplan.
+    Thermal(tats_thermal::ThermalError),
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::NoModules => write!(f, "no modules to place"),
+            FloorplanError::InvalidModule { module, reason } => {
+                write!(f, "invalid module {module}: {reason}")
+            }
+            FloorplanError::InvalidExpression(msg) => {
+                write!(f, "invalid polish expression: {msg}")
+            }
+            FloorplanError::UnknownModule(i) => write!(f, "unknown module index {i}"),
+            FloorplanError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            FloorplanError::Thermal(e) => write!(f, "thermal model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FloorplanError::Thermal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tats_thermal::ThermalError> for FloorplanError {
+    fn from(value: tats_thermal::ThermalError) -> Self {
+        FloorplanError::Thermal(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors = vec![
+            FloorplanError::NoModules,
+            FloorplanError::InvalidModule {
+                module: 2,
+                reason: "zero width".into(),
+            },
+            FloorplanError::InvalidExpression("unbalanced".into()),
+            FloorplanError::UnknownModule(4),
+            FloorplanError::InvalidParameter("population must be > 1".into()),
+            FloorplanError::Thermal(tats_thermal::ThermalError::EmptyFloorplan),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn thermal_errors_convert_and_chain() {
+        use std::error::Error as _;
+        let e: FloorplanError = tats_thermal::ThermalError::SingularSystem.into();
+        assert!(matches!(e, FloorplanError::Thermal(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<FloorplanError>();
+    }
+}

@@ -1,0 +1,328 @@
+//! Genetic-algorithm floorplanner (the engine of the paper's reference [3]).
+//!
+//! Chromosomes are Polish expressions. Crossover builds a child from the
+//! operator *skeleton* of one parent (the positions and kinds of H/V cuts)
+//! and the operand *order* of the other parent, which always yields a valid
+//! expression. Mutation applies one of the classical perturbation moves.
+//! Selection is by tournament with elitism.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::annealing::OptimisedFloorplan;
+use crate::cost::CostEvaluator;
+use crate::error::FloorplanError;
+use crate::polish::{Element, PolishExpression};
+
+/// Parameters of the genetic floorplanning engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Number of chromosomes in the population.
+    pub population: usize,
+    /// Number of generations to evolve.
+    pub generations: usize,
+    /// Probability of recombining two parents (otherwise the fitter parent is
+    /// cloned).
+    pub crossover_rate: f64,
+    /// Probability of mutating a child.
+    pub mutation_rate: f64,
+    /// Number of chromosomes competing in each tournament.
+    pub tournament_size: usize,
+    /// Number of best chromosomes copied unchanged into the next generation.
+    pub elitism: usize,
+    /// Seed of the pseudo-random generator.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 24,
+            generations: 40,
+            crossover_rate: 0.9,
+            mutation_rate: 0.4,
+            tournament_size: 3,
+            elitism: 2,
+            seed: 0x6E6E,
+        }
+    }
+}
+
+impl GaConfig {
+    fn validate(&self) -> Result<(), FloorplanError> {
+        if self.population < 2 {
+            return Err(FloorplanError::InvalidParameter(
+                "population must be at least 2".to_string(),
+            ));
+        }
+        if self.generations == 0 {
+            return Err(FloorplanError::InvalidParameter(
+                "generations must be at least 1".to_string(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.crossover_rate) || !(0.0..=1.0).contains(&self.mutation_rate)
+        {
+            return Err(FloorplanError::InvalidParameter(
+                "crossover and mutation rates must be in [0, 1]".to_string(),
+            ));
+        }
+        if self.tournament_size == 0 || self.tournament_size > self.population {
+            return Err(FloorplanError::InvalidParameter(
+                "tournament size must be in 1..=population".to_string(),
+            ));
+        }
+        if self.elitism >= self.population {
+            return Err(FloorplanError::InvalidParameter(
+                "elitism must be smaller than the population".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Skeleton-preserving crossover: operator layout of `skeleton_parent`,
+/// operand order of `order_parent`.
+fn crossover(
+    skeleton_parent: &PolishExpression,
+    order_parent: &PolishExpression,
+) -> PolishExpression {
+    let operand_order: Vec<usize> = order_parent
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::Operand(m) => Some(*m),
+            _ => None,
+        })
+        .collect();
+    let mut next = operand_order.into_iter();
+    let elements: Vec<Element> = skeleton_parent
+        .elements()
+        .iter()
+        .map(|e| match e {
+            Element::Operand(_) => {
+                Element::Operand(next.next().expect("parents cover the same modules"))
+            }
+            other => *other,
+        })
+        .collect();
+    PolishExpression::new(elements, skeleton_parent.module_count())
+        .expect("skeleton crossover preserves validity")
+}
+
+/// Runs the genetic floorplanner.
+///
+/// # Errors
+///
+/// Propagates configuration validation and cost-evaluation errors.
+pub fn evolve(
+    evaluator: &CostEvaluator,
+    config: GaConfig,
+) -> Result<OptimisedFloorplan, FloorplanError> {
+    config.validate()?;
+    let module_count = evaluator.modules().len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Initial population: the canonical expression plus random perturbations.
+    let seed_expr = PolishExpression::initial(module_count)?;
+    let mut population: Vec<PolishExpression> = Vec::with_capacity(config.population);
+    population.push(seed_expr.clone());
+    while population.len() < config.population {
+        let mut individual = seed_expr.clone();
+        for _ in 0..(2 * module_count) {
+            individual = individual.perturb(&mut rng);
+        }
+        population.push(individual);
+    }
+
+    let mut evaluations = 0usize;
+    let score = |expr: &PolishExpression,
+                     evaluations: &mut usize|
+     -> Result<(crate::cost::CostBreakdown, crate::polish::Placement), FloorplanError> {
+        let placement = expr.evaluate(evaluator.modules())?;
+        let cost = evaluator.cost(&placement)?;
+        *evaluations += 1;
+        Ok((cost, placement))
+    };
+
+    let mut scored: Vec<(PolishExpression, crate::cost::CostBreakdown, crate::polish::Placement)> =
+        Vec::with_capacity(config.population);
+    for expr in population {
+        let (cost, placement) = score(&expr, &mut evaluations)?;
+        scored.push((expr, cost, placement));
+    }
+
+    for _generation in 0..config.generations {
+        scored.sort_by(|a, b| a.1.weighted.total_cmp(&b.1.weighted));
+        let mut next: Vec<(
+            PolishExpression,
+            crate::cost::CostBreakdown,
+            crate::polish::Placement,
+        )> = scored.iter().take(config.elitism).cloned().collect();
+
+        while next.len() < config.population {
+            let pick = |rng: &mut StdRng| -> usize {
+                (0..config.tournament_size)
+                    .map(|_| rng.gen_range(0..scored.len()))
+                    .min_by(|&a, &b| scored[a].1.weighted.total_cmp(&scored[b].1.weighted))
+                    .expect("tournament size is at least 1")
+            };
+            let a = pick(&mut rng);
+            let b = pick(&mut rng);
+            let mut child = if rng.gen::<f64>() < config.crossover_rate {
+                crossover(&scored[a].0, &scored[b].0)
+            } else {
+                let fitter = if scored[a].1.weighted <= scored[b].1.weighted { a } else { b };
+                scored[fitter].0.clone()
+            };
+            if rng.gen::<f64>() < config.mutation_rate {
+                child = child.perturb(&mut rng);
+            }
+            let (cost, placement) = score(&child, &mut evaluations)?;
+            next.push((child, cost, placement));
+        }
+        // Shuffle to avoid positional bias from elitism ordering.
+        next.shuffle(&mut rng);
+        scored = next;
+    }
+
+    scored.sort_by(|a, b| a.1.weighted.total_cmp(&b.1.weighted));
+    let (expression, cost, placement) = scored.remove(0);
+    Ok(OptimisedFloorplan {
+        expression,
+        placement,
+        cost,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostWeights, Net};
+    use crate::module::Module;
+    use tats_thermal::ThermalConfig;
+
+    fn evaluator(weights: CostWeights) -> CostEvaluator {
+        let modules = vec![
+            Module::from_mm("a", 8.0, 3.0, 7.0),
+            Module::from_mm("b", 3.0, 8.0, 1.0),
+            Module::from_mm("c", 5.0, 5.0, 5.0),
+            Module::from_mm("d", 4.0, 6.0, 0.5),
+            Module::from_mm("e", 6.0, 4.0, 2.0),
+            Module::from_mm("f", 4.0, 4.0, 3.0),
+        ];
+        let reference = PolishExpression::initial(modules.len())
+            .unwrap()
+            .evaluate(&modules)
+            .unwrap();
+        CostEvaluator::new(
+            modules,
+            vec![Net::new(vec![0, 2, 5]), Net::new(vec![1, 3])],
+            weights,
+            ThermalConfig::default(),
+            &reference,
+        )
+        .unwrap()
+    }
+
+    fn quick_config() -> GaConfig {
+        GaConfig {
+            population: 12,
+            generations: 12,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn ga_never_returns_worse_than_the_initial_solution() {
+        let eval = evaluator(CostWeights::thermal_aware());
+        let initial = PolishExpression::initial(6)
+            .unwrap()
+            .evaluate(eval.modules())
+            .unwrap();
+        let initial_cost = eval.cost(&initial).unwrap();
+        let result = evolve(&eval, quick_config()).unwrap();
+        assert!(result.cost.weighted <= initial_cost.weighted + 1e-9);
+        assert!(result.evaluations >= quick_config().population);
+    }
+
+    #[test]
+    fn ga_is_deterministic_for_a_fixed_seed() {
+        let eval = evaluator(CostWeights::thermal_aware());
+        let a = evolve(&eval, quick_config()).unwrap();
+        let b = evolve(&eval, quick_config()).unwrap();
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn crossover_preserves_operand_sets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = PolishExpression::initial(7).unwrap();
+        let mut b = PolishExpression::initial(7).unwrap();
+        for _ in 0..20 {
+            a = a.perturb(&mut rng);
+            b = b.perturb(&mut rng);
+        }
+        let child = crossover(&a, &b);
+        let mut operands: Vec<usize> = child
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::Operand(m) => Some(*m),
+                _ => None,
+            })
+            .collect();
+        operands.sort_unstable();
+        assert_eq!(operands, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn temperature_only_weights_never_increase_the_peak_temperature() {
+        // With a temperature-only objective the weighted cost is a monotonic
+        // function of the peak temperature, and elitism guarantees the GA
+        // never returns anything hotter than the initial layout.
+        let weights = CostWeights {
+            area: 0.0,
+            wirelength: 0.0,
+            temperature: 1.0,
+        };
+        let eval = evaluator(weights);
+        let initial = PolishExpression::initial(eval.modules().len())
+            .unwrap()
+            .evaluate(eval.modules())
+            .unwrap();
+        let initial_peak = eval.cost(&initial).unwrap().peak_temperature_c;
+        let best = evolve(&eval, quick_config()).unwrap();
+        assert!(best.cost.peak_temperature_c <= initial_peak + 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let eval = evaluator(CostWeights::area_only());
+        for config in [
+            GaConfig {
+                population: 1,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                generations: 0,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                crossover_rate: 1.5,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                tournament_size: 0,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                elitism: 99,
+                ..GaConfig::default()
+            },
+        ] {
+            assert!(evolve(&eval, config).is_err());
+        }
+    }
+}

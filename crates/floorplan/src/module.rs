@@ -1,0 +1,154 @@
+//! Module (block) specifications given to the floorplanner.
+
+use std::fmt;
+
+use crate::error::FloorplanError;
+
+/// A rectangular module to be placed by the floorplanner.
+///
+/// Dimensions are in metres (like the thermal crate); `power` is the
+/// estimated average power of the module, used by the thermal term of the
+/// floorplanning cost function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    name: String,
+    width: f64,
+    height: f64,
+    power: f64,
+}
+
+impl Module {
+    /// Creates a module from metre-denominated dimensions.
+    pub fn new(name: impl Into<String>, width: f64, height: f64, power: f64) -> Self {
+        Module {
+            name: name.into(),
+            width,
+            height,
+            power,
+        }
+    }
+
+    /// Creates a module from millimetre-denominated dimensions.
+    pub fn from_mm(name: impl Into<String>, width: f64, height: f64, power: f64) -> Self {
+        Module::new(name, width * 1e-3, height * 1e-3, power)
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Width in metres.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Height in metres.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Area in square metres.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Estimated average power in watts.
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Validates the module dimensions and power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidModule`] when any field is
+    /// non-finite, the dimensions are non-positive or the power is negative.
+    pub fn validate(&self, index: usize) -> Result<(), FloorplanError> {
+        if !(self.width.is_finite() && self.width > 0.0)
+            || !(self.height.is_finite() && self.height > 0.0)
+        {
+            return Err(FloorplanError::InvalidModule {
+                module: index,
+                reason: format!("dimensions {}x{} must be positive", self.width, self.height),
+            });
+        }
+        if !(self.power.is_finite() && self.power >= 0.0) {
+            return Err(FloorplanError::InvalidModule {
+                module: index,
+                reason: format!("power {} must be non-negative", self.power),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:.1}x{:.1}mm {:.2}W",
+            self.name,
+            self.width * 1e3,
+            self.height * 1e3,
+            self.power
+        )
+    }
+}
+
+/// Validates a full module list.
+///
+/// # Errors
+///
+/// Returns [`FloorplanError::NoModules`] for an empty list and the first
+/// per-module validation error otherwise.
+pub fn validate_modules(modules: &[Module]) -> Result<(), FloorplanError> {
+    if modules.is_empty() {
+        return Err(FloorplanError::NoModules);
+    }
+    for (i, m) in modules.iter().enumerate() {
+        m.validate(i)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_area() {
+        let m = Module::from_mm("pe0", 7.0, 6.0, 4.5);
+        assert_eq!(m.name(), "pe0");
+        assert!((m.area() - 42e-6).abs() < 1e-12);
+        assert_eq!(m.power(), 4.5);
+        assert!(m.to_string().contains("pe0"));
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert!(Module::from_mm("ok", 5.0, 5.0, 1.0).validate(0).is_ok());
+        assert!(Module::from_mm("w", 0.0, 5.0, 1.0).validate(0).is_err());
+        assert!(Module::from_mm("h", 5.0, -1.0, 1.0).validate(0).is_err());
+        assert!(Module::from_mm("p", 5.0, 5.0, -1.0).validate(0).is_err());
+        assert!(Module::new("nan", f64::NAN, 5.0, 1.0).validate(0).is_err());
+    }
+
+    #[test]
+    fn module_list_validation() {
+        assert_eq!(
+            validate_modules(&[]).unwrap_err(),
+            FloorplanError::NoModules
+        );
+        let good = vec![Module::from_mm("a", 5.0, 5.0, 1.0)];
+        assert!(validate_modules(&good).is_ok());
+        let bad = vec![
+            Module::from_mm("a", 5.0, 5.0, 1.0),
+            Module::from_mm("b", 5.0, 5.0, -2.0),
+        ];
+        assert!(matches!(
+            validate_modules(&bad).unwrap_err(),
+            FloorplanError::InvalidModule { module: 1, .. }
+        ));
+    }
+}

@@ -1,0 +1,263 @@
+//! Leakage-temperature feedback loop.
+//!
+//! Leakage rises with temperature and temperature rises with power, so the
+//! operating point of a chip is the fixed point of
+//! `T = Thermal(P_dyn + P_leak(T))`.  This module iterates that fixed point
+//! with the steady-state solver of [`tats_thermal::ThermalModel`]; the loop
+//! converges quickly because the exponential leakage model is a contraction
+//! for realistic coefficients (it can diverge physically — thermal runaway —
+//! which the loop reports as [`PowerError::NoConvergence`]).
+
+use tats_thermal::{Temperatures, ThermalModel};
+
+use crate::error::PowerError;
+use crate::leakage::ArchitectureLeakage;
+
+/// Result of a converged (or aborted) leakage-temperature iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergedThermal {
+    /// Block temperatures at the fixed point.
+    pub temperatures: Temperatures,
+    /// Per-block leakage power at the fixed point, watts.
+    pub leakage_power: Vec<f64>,
+    /// Per-block total power (dynamic + leakage), watts.
+    pub total_power: Vec<f64>,
+    /// Number of fixed-point iterations performed.
+    pub iterations: usize,
+    /// Largest per-block temperature change of the final iteration, °C.
+    pub residual_c: f64,
+}
+
+impl ConvergedThermal {
+    /// Total leakage power across all blocks, watts.
+    pub fn total_leakage(&self) -> f64 {
+        self.leakage_power.iter().sum()
+    }
+
+    /// Total power (dynamic + leakage) across all blocks, watts.
+    pub fn total(&self) -> f64 {
+        self.total_power.iter().sum()
+    }
+}
+
+/// Fixed-point solver coupling the leakage model to the thermal model.
+#[derive(Debug, Clone)]
+pub struct LeakageFeedback<'a> {
+    model: &'a ThermalModel,
+    leakage: &'a ArchitectureLeakage,
+    max_iterations: usize,
+    tolerance_c: f64,
+}
+
+impl<'a> LeakageFeedback<'a> {
+    /// Creates a solver with a tolerance of 0.01 °C and at most 100
+    /// iterations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tats_core::layout;
+    /// use tats_power::{ArchitectureLeakage, LeakageFeedback};
+    /// use tats_techlib::profiles;
+    /// use tats_thermal::{ThermalConfig, ThermalModel};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let library = profiles::standard_library(8)?;
+    /// let platform = profiles::platform_architecture(&library)?;
+    /// let floorplan = layout::grid_floorplan(&platform, &library)?;
+    /// let model = ThermalModel::new(&floorplan, ThermalConfig::default())?;
+    /// let leakage = ArchitectureLeakage::from_architecture(&platform, &library)?;
+    ///
+    /// let dynamic = vec![2.0; platform.pe_count()];
+    /// let converged = LeakageFeedback::new(&model, &leakage).solve(&dynamic)?;
+    /// assert!(converged.total_leakage() > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(model: &'a ThermalModel, leakage: &'a ArchitectureLeakage) -> Self {
+        LeakageFeedback {
+            model,
+            leakage,
+            max_iterations: 100,
+            tolerance_c: 0.01,
+        }
+    }
+
+    /// Overrides the iteration limit.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations.max(1);
+        self
+    }
+
+    /// Overrides the convergence tolerance (°C).
+    pub fn with_tolerance(mut self, tolerance_c: f64) -> Self {
+        self.tolerance_c = tolerance_c.max(0.0);
+        self
+    }
+
+    /// Convergence tolerance in °C.
+    pub fn tolerance_c(&self) -> f64 {
+        self.tolerance_c
+    }
+
+    /// Iteration limit.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// Solves for the leakage-aware steady state given per-block *dynamic*
+    /// power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::LengthMismatch`] when `dynamic_power` does not
+    /// have one entry per block, [`PowerError::NoConvergence`] when the loop
+    /// exceeds the iteration limit (thermal runaway), and propagates thermal
+    /// solver errors.
+    pub fn solve(&self, dynamic_power: &[f64]) -> Result<ConvergedThermal, PowerError> {
+        let block_count = self.model.block_count();
+        if dynamic_power.len() != block_count {
+            return Err(PowerError::LengthMismatch {
+                expected: block_count,
+                actual: dynamic_power.len(),
+            });
+        }
+        if self.leakage.pe_count() != block_count {
+            return Err(PowerError::LengthMismatch {
+                expected: block_count,
+                actual: self.leakage.pe_count(),
+            });
+        }
+
+        // Start from the leakage-free solution.
+        let mut temperatures = self.model.steady_state(dynamic_power)?;
+        let mut leakage_power = self.leakage.leakage_at(&temperatures)?;
+        let mut residual = f64::INFINITY;
+
+        for iteration in 1..=self.max_iterations {
+            let total: Vec<f64> = dynamic_power
+                .iter()
+                .zip(&leakage_power)
+                .map(|(dynamic, leak)| dynamic + leak)
+                .collect();
+            let next = self.model.steady_state(&total)?;
+            residual = temperatures
+                .blocks()
+                .iter()
+                .zip(next.blocks())
+                .map(|(old, new)| (old - new).abs())
+                .fold(0.0, f64::max);
+            temperatures = next;
+            leakage_power = self.leakage.leakage_at(&temperatures)?;
+            if residual <= self.tolerance_c {
+                let total_power: Vec<f64> = dynamic_power
+                    .iter()
+                    .zip(&leakage_power)
+                    .map(|(dynamic, leak)| dynamic + leak)
+                    .collect();
+                return Ok(ConvergedThermal {
+                    temperatures,
+                    leakage_power,
+                    total_power,
+                    iterations: iteration,
+                    residual_c: residual,
+                });
+            }
+        }
+        Err(PowerError::NoConvergence {
+            iterations: self.max_iterations,
+            residual_c: residual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leakage::LeakageModel;
+    use tats_core::layout;
+    use tats_techlib::profiles;
+    use tats_thermal::ThermalConfig;
+
+    fn platform_model() -> (ThermalModel, ArchitectureLeakage, usize) {
+        let library = profiles::standard_library(8).expect("library");
+        let platform = profiles::platform_architecture(&library).expect("platform");
+        let floorplan = layout::grid_floorplan(&platform, &library).expect("floorplan");
+        let model = ThermalModel::new(&floorplan, ThermalConfig::default()).expect("model");
+        let leakage =
+            ArchitectureLeakage::from_architecture(&platform, &library).expect("leakage");
+        let count = platform.pe_count();
+        (model, leakage, count)
+    }
+
+    #[test]
+    fn converges_and_is_hotter_than_leakage_free_solution() {
+        let (model, leakage, count) = platform_model();
+        let dynamic = vec![3.0; count];
+        let leakage_free = model.steady_state(&dynamic).expect("steady state");
+        let converged = LeakageFeedback::new(&model, &leakage)
+            .solve(&dynamic)
+            .expect("converged");
+        assert!(converged.iterations >= 1);
+        assert!(converged.residual_c <= 0.01);
+        assert!(converged.temperatures.max_c() >= leakage_free.max_c());
+        assert!(converged.total_leakage() > 0.0);
+        assert!(converged.total() > dynamic.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn zero_beta_converges_in_one_extra_iteration() {
+        let (model, leakage, count) = platform_model();
+        let leakage = leakage.with_beta(0.0).expect("valid beta");
+        let dynamic = vec![2.0; count];
+        let converged = LeakageFeedback::new(&model, &leakage)
+            .solve(&dynamic)
+            .expect("converged");
+        // Temperature-independent leakage: the second solve already matches.
+        assert!(converged.iterations <= 2);
+    }
+
+    #[test]
+    fn rejects_mismatched_power_vector() {
+        let (model, leakage, count) = platform_model();
+        let wrong = vec![1.0; count + 1];
+        assert!(matches!(
+            LeakageFeedback::new(&model, &leakage).solve(&wrong),
+            Err(PowerError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn runaway_coefficient_reports_no_convergence() {
+        let (model, _, count) = platform_model();
+        // A deliberately unphysical coefficient on top of large reference
+        // leakage forces thermal runaway.
+        let models = (0..count)
+            .map(|_| LeakageModel::new(45.0, 20.0, 0.5).expect("valid model"))
+            .collect();
+        let runaway = ArchitectureLeakage::from_models(models);
+        let dynamic = vec![5.0; count];
+        let result = LeakageFeedback::new(&model, &runaway)
+            .with_max_iterations(20)
+            .solve(&dynamic);
+        // Runaway either exhausts the iteration budget or overflows into a
+        // thermal-solver error; it must not be reported as converged.
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn tighter_tolerance_needs_at_least_as_many_iterations() {
+        let (model, leakage, count) = platform_model();
+        let dynamic = vec![3.0; count];
+        let loose = LeakageFeedback::new(&model, &leakage)
+            .with_tolerance(0.5)
+            .solve(&dynamic)
+            .expect("loose tolerance converges");
+        let tight = LeakageFeedback::new(&model, &leakage)
+            .with_tolerance(1e-6)
+            .solve(&dynamic)
+            .expect("tight tolerance converges");
+        assert!(tight.iterations >= loose.iterations);
+        assert!(tight.residual_c <= 1e-6);
+    }
+}

@@ -1,0 +1,331 @@
+//! Temperature-dependent leakage (static) power.
+//!
+//! The paper's introduction motivates thermal-aware design partly by the
+//! positive feedback between temperature and leakage: "the leakage power
+//! increases exponentially with the temperature increase".  The scheduling
+//! experiments in the paper treat power as temperature-independent; this
+//! module provides the exponential leakage model needed to *quantify* that
+//! feedback, and [`crate::feedback`] closes the loop against the thermal
+//! model.
+//!
+//! The model is the usual compact form
+//! `P_leak(T) = P_ref · exp(β · (T − T_ref))` with `β` around 0.01–0.03 per
+//! degree Celsius for 90–130 nm technology nodes.
+
+use tats_techlib::{Architecture, PeType, TechLibrary};
+use tats_thermal::Temperatures;
+
+use crate::error::PowerError;
+
+/// Exponential leakage model of a single processing element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageModel {
+    reference_temp_c: f64,
+    reference_leakage_w: f64,
+    beta_per_c: f64,
+}
+
+impl LeakageModel {
+    /// Default reference temperature at which library idle powers are quoted.
+    pub const DEFAULT_REFERENCE_TEMP_C: f64 = 45.0;
+    /// Default exponential temperature coefficient (per °C); roughly doubles
+    /// leakage every 35 °C.
+    pub const DEFAULT_BETA_PER_C: f64 = 0.02;
+
+    /// Creates a leakage model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] when the reference leakage is
+    /// negative, the coefficient is negative, or any argument is not finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tats_power::LeakageModel;
+    ///
+    /// # fn main() -> Result<(), tats_power::PowerError> {
+    /// let model = LeakageModel::new(45.0, 0.5, 0.02)?;
+    /// assert!(model.leakage_at(80.0) > model.leakage_at(45.0));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(
+        reference_temp_c: f64,
+        reference_leakage_w: f64,
+        beta_per_c: f64,
+    ) -> Result<Self, PowerError> {
+        if !reference_temp_c.is_finite() {
+            return Err(PowerError::InvalidParameter(format!(
+                "reference temperature must be finite, got {reference_temp_c}"
+            )));
+        }
+        if !reference_leakage_w.is_finite() || reference_leakage_w < 0.0 {
+            return Err(PowerError::InvalidParameter(format!(
+                "reference leakage must be non-negative, got {reference_leakage_w}"
+            )));
+        }
+        if !beta_per_c.is_finite() || beta_per_c < 0.0 {
+            return Err(PowerError::InvalidParameter(format!(
+                "temperature coefficient must be non-negative, got {beta_per_c}"
+            )));
+        }
+        Ok(LeakageModel {
+            reference_temp_c,
+            reference_leakage_w,
+            beta_per_c,
+        })
+    }
+
+    /// Builds a model from a PE type, interpreting its idle power as the
+    /// leakage at the default reference temperature.
+    pub fn from_pe_type(pe_type: &PeType) -> Self {
+        LeakageModel {
+            reference_temp_c: Self::DEFAULT_REFERENCE_TEMP_C,
+            reference_leakage_w: pe_type.idle_power(),
+            beta_per_c: Self::DEFAULT_BETA_PER_C,
+        }
+    }
+
+    /// Reference temperature in °C.
+    pub fn reference_temp_c(&self) -> f64 {
+        self.reference_temp_c
+    }
+
+    /// Leakage at the reference temperature, watts.
+    pub fn reference_leakage_w(&self) -> f64 {
+        self.reference_leakage_w
+    }
+
+    /// Exponential temperature coefficient, per °C.
+    pub fn beta_per_c(&self) -> f64 {
+        self.beta_per_c
+    }
+
+    /// Leakage power at the given junction temperature, watts.
+    pub fn leakage_at(&self, temperature_c: f64) -> f64 {
+        self.reference_leakage_w * (self.beta_per_c * (temperature_c - self.reference_temp_c)).exp()
+    }
+
+    /// Temperature sensitivity `dP/dT` at the given temperature, watts per °C.
+    pub fn sensitivity_at(&self, temperature_c: f64) -> f64 {
+        self.beta_per_c * self.leakage_at(temperature_c)
+    }
+}
+
+/// Per-PE leakage models of a whole architecture.
+///
+/// Block index `i` of the architecture's floorplan corresponds to entry `i`
+/// of this collection, matching the convention used by
+/// [`tats_core::layout::grid_floorplan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchitectureLeakage {
+    models: Vec<LeakageModel>,
+}
+
+impl ArchitectureLeakage {
+    /// Builds the per-PE leakage models for an architecture, using each PE
+    /// type's idle power as its reference leakage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PowerError::Library`] if the architecture references a
+    /// PE type that does not exist in the library.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tats_power::ArchitectureLeakage;
+    /// use tats_techlib::profiles;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let library = profiles::standard_library(8)?;
+    /// let platform = profiles::platform_architecture(&library)?;
+    /// let leakage = ArchitectureLeakage::from_architecture(&platform, &library)?;
+    /// assert_eq!(leakage.pe_count(), platform.pe_count());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_architecture(
+        architecture: &Architecture,
+        library: &TechLibrary,
+    ) -> Result<Self, PowerError> {
+        let mut models = Vec::with_capacity(architecture.pe_count());
+        for instance in architecture.instances() {
+            let pe_type = library.pe_type(instance.type_id())?;
+            models.push(LeakageModel::from_pe_type(pe_type));
+        }
+        Ok(ArchitectureLeakage { models })
+    }
+
+    /// Builds a collection from explicit per-PE models.
+    pub fn from_models(models: Vec<LeakageModel>) -> Self {
+        ArchitectureLeakage { models }
+    }
+
+    /// Number of PEs covered.
+    pub fn pe_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The per-PE models in architecture order.
+    pub fn models(&self) -> &[LeakageModel] {
+        &self.models
+    }
+
+    /// Overrides the temperature coefficient of every PE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a negative or non-finite
+    /// coefficient.
+    pub fn with_beta(mut self, beta_per_c: f64) -> Result<Self, PowerError> {
+        if !beta_per_c.is_finite() || beta_per_c < 0.0 {
+            return Err(PowerError::InvalidParameter(format!(
+                "temperature coefficient must be non-negative, got {beta_per_c}"
+            )));
+        }
+        for model in &mut self.models {
+            model.beta_per_c = beta_per_c;
+        }
+        Ok(self)
+    }
+
+    /// Per-PE leakage at a uniform temperature, watts.
+    pub fn leakage_at_uniform(&self, temperature_c: f64) -> Vec<f64> {
+        self.models
+            .iter()
+            .map(|model| model.leakage_at(temperature_c))
+            .collect()
+    }
+
+    /// Per-PE leakage given each PE's block temperature, watts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::LengthMismatch`] when the temperature field does
+    /// not have one block per PE.
+    pub fn leakage_at(&self, temperatures: &Temperatures) -> Result<Vec<f64>, PowerError> {
+        if temperatures.block_count() != self.models.len() {
+            return Err(PowerError::LengthMismatch {
+                expected: self.models.len(),
+                actual: temperatures.block_count(),
+            });
+        }
+        Ok(self
+            .models
+            .iter()
+            .zip(temperatures.blocks())
+            .map(|(model, &temp)| model.leakage_at(temp))
+            .collect())
+    }
+
+    /// Total leakage across all PEs at the given block temperatures, watts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ArchitectureLeakage::leakage_at`].
+    pub fn total_leakage_at(&self, temperatures: &Temperatures) -> Result<f64, PowerError> {
+        Ok(self.leakage_at(temperatures)?.iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tats_techlib::profiles;
+
+    fn sample_model() -> LeakageModel {
+        LeakageModel::new(45.0, 0.5, 0.02).expect("valid model")
+    }
+
+    #[test]
+    fn leakage_matches_reference_at_reference_temperature() {
+        let model = sample_model();
+        assert!((model.leakage_at(45.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_grows_exponentially() {
+        let model = sample_model();
+        let at_80 = model.leakage_at(80.0);
+        let expected = 0.5 * (0.02_f64 * 35.0).exp();
+        assert!((at_80 - expected).abs() < 1e-12);
+        assert!(at_80 > model.leakage_at(45.0));
+    }
+
+    #[test]
+    fn doubling_interval_is_about_35_degrees() {
+        let model = sample_model();
+        let ratio = model.leakage_at(45.0 + 34.657) / model.leakage_at(45.0);
+        assert!((ratio - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sensitivity_is_beta_times_leakage() {
+        let model = sample_model();
+        let temp = 70.0;
+        assert!((model.sensitivity_at(temp) - 0.02 * model.leakage_at(temp)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_negative_parameters() {
+        assert!(LeakageModel::new(45.0, -0.1, 0.02).is_err());
+        assert!(LeakageModel::new(45.0, 0.5, -0.02).is_err());
+        assert!(LeakageModel::new(f64::INFINITY, 0.5, 0.02).is_err());
+    }
+
+    #[test]
+    fn architecture_leakage_has_one_model_per_pe() {
+        let library = profiles::standard_library(8).expect("library");
+        let platform = profiles::platform_architecture(&library).expect("platform");
+        let leakage =
+            ArchitectureLeakage::from_architecture(&platform, &library).expect("leakage");
+        assert_eq!(leakage.pe_count(), platform.pe_count());
+        let uniform = leakage.leakage_at_uniform(45.0);
+        assert_eq!(uniform.len(), platform.pe_count());
+        for value in uniform {
+            assert!(value >= 0.0);
+        }
+    }
+
+    #[test]
+    fn per_block_leakage_requires_matching_field() {
+        let library = profiles::standard_library(8).expect("library");
+        let platform = profiles::platform_architecture(&library).expect("platform");
+        let leakage =
+            ArchitectureLeakage::from_architecture(&platform, &library).expect("leakage");
+        let wrong = Temperatures::uniform(leakage.pe_count() + 1, 50.0);
+        assert!(matches!(
+            leakage.leakage_at(&wrong),
+            Err(PowerError::LengthMismatch { .. })
+        ));
+        let right = Temperatures::uniform(leakage.pe_count(), 50.0);
+        let per_block = leakage.leakage_at(&right).expect("matching field");
+        assert_eq!(per_block.len(), leakage.pe_count());
+        let total = leakage.total_leakage_at(&right).expect("total");
+        assert!((total - per_block.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_beta_overrides_every_model() {
+        let library = profiles::standard_library(8).expect("library");
+        let platform = profiles::platform_architecture(&library).expect("platform");
+        let leakage = ArchitectureLeakage::from_architecture(&platform, &library)
+            .expect("leakage")
+            .with_beta(0.0)
+            .expect("valid beta");
+        // With beta = 0 leakage is temperature independent.
+        let cold = leakage.leakage_at_uniform(30.0);
+        let hot = leakage.leakage_at_uniform(110.0);
+        for (c, h) in cold.iter().zip(hot.iter()) {
+            assert!((c - h).abs() < 1e-12);
+        }
+        assert!(leakage.with_beta(-1.0).is_err());
+    }
+}

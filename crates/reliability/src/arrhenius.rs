@@ -1,0 +1,134 @@
+//! Arrhenius temperature acceleration.
+//!
+//! Most silicon wear-out mechanisms (electromigration, stress migration,
+//! time-dependent dielectric breakdown) follow an Arrhenius law: the failure
+//! rate is proportional to `exp(−Ea / (k·T))` with `T` the absolute junction
+//! temperature and `Ea` the mechanism's activation energy.  The paper's
+//! introduction cites exactly these mechanisms as the reason temperature
+//! matters; this module provides the conversion between a temperature
+//! difference and the corresponding lifetime acceleration.
+
+use crate::error::ReliabilityError;
+
+/// Boltzmann constant in electron-volts per kelvin.
+pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
+
+/// Converts degrees Celsius to kelvin.
+pub fn celsius_to_kelvin(temperature_c: f64) -> f64 {
+    temperature_c + 273.15
+}
+
+/// Arrhenius acceleration factor between a stress temperature and a
+/// reference temperature.
+///
+/// A factor greater than 1 means the stress temperature *shortens* the
+/// lifetime by that factor relative to the reference temperature.
+///
+/// # Errors
+///
+/// Returns [`ReliabilityError::InvalidParameter`] for non-finite inputs, a
+/// non-positive activation energy, or temperatures at or below absolute
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use tats_reliability::arrhenius::acceleration_factor;
+///
+/// # fn main() -> Result<(), tats_reliability::ReliabilityError> {
+/// // Running 30 °C hotter than the 55 °C qualification point more than
+/// // doubles the electromigration failure rate (Ea ≈ 0.7 eV).
+/// let factor = acceleration_factor(85.0, 55.0, 0.7)?;
+/// assert!(factor > 2.0 && factor < 10.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn acceleration_factor(
+    stress_temp_c: f64,
+    reference_temp_c: f64,
+    activation_energy_ev: f64,
+) -> Result<f64, ReliabilityError> {
+    if !stress_temp_c.is_finite() || !reference_temp_c.is_finite() {
+        return Err(ReliabilityError::InvalidParameter(
+            "temperatures must be finite".into(),
+        ));
+    }
+    if !activation_energy_ev.is_finite() || activation_energy_ev <= 0.0 {
+        return Err(ReliabilityError::InvalidParameter(format!(
+            "activation energy must be positive, got {activation_energy_ev}"
+        )));
+    }
+    let stress_k = celsius_to_kelvin(stress_temp_c);
+    let reference_k = celsius_to_kelvin(reference_temp_c);
+    if stress_k <= 0.0 || reference_k <= 0.0 {
+        return Err(ReliabilityError::InvalidParameter(
+            "temperatures must be above absolute zero".into(),
+        ));
+    }
+    let exponent = (activation_energy_ev / BOLTZMANN_EV_PER_K) * (1.0 / reference_k - 1.0 / stress_k);
+    Ok(exponent.exp())
+}
+
+/// Lifetime derating: the multiplicative factor applied to a lifetime quoted
+/// at `reference_temp_c` when the part instead runs at `stress_temp_c`.
+///
+/// This is simply the reciprocal of [`acceleration_factor`].
+///
+/// # Errors
+///
+/// Same as [`acceleration_factor`].
+pub fn lifetime_derating(
+    stress_temp_c: f64,
+    reference_temp_c: f64,
+    activation_energy_ev: f64,
+) -> Result<f64, ReliabilityError> {
+    Ok(1.0 / acceleration_factor(stress_temp_c, reference_temp_c, activation_energy_ev)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_is_one_at_reference_temperature() {
+        let factor = acceleration_factor(85.0, 85.0, 0.7).expect("valid");
+        assert!((factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotter_is_worse_and_colder_is_better() {
+        let hotter = acceleration_factor(100.0, 70.0, 0.7).expect("valid");
+        let colder = acceleration_factor(40.0, 70.0, 0.7).expect("valid");
+        assert!(hotter > 1.0);
+        assert!(colder < 1.0);
+    }
+
+    #[test]
+    fn higher_activation_energy_accelerates_faster() {
+        let low_ea = acceleration_factor(100.0, 70.0, 0.5).expect("valid");
+        let high_ea = acceleration_factor(100.0, 70.0, 0.9).expect("valid");
+        assert!(high_ea > low_ea);
+    }
+
+    #[test]
+    fn derating_is_reciprocal_of_acceleration() {
+        let accel = acceleration_factor(95.0, 60.0, 0.7).expect("valid");
+        let derate = lifetime_derating(95.0, 60.0, 0.7).expect("valid");
+        assert!((accel * derate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(acceleration_factor(f64::NAN, 70.0, 0.7).is_err());
+        assert!(acceleration_factor(85.0, 70.0, 0.0).is_err());
+        assert!(acceleration_factor(85.0, -300.0, 0.7).is_err());
+    }
+
+    #[test]
+    fn ten_degree_rule_of_thumb_roughly_holds() {
+        // With Ea around 0.8 eV near 60 °C, every ~10 °C roughly doubles the
+        // failure rate.
+        let factor = acceleration_factor(70.0, 60.0, 0.8).expect("valid");
+        assert!(factor > 1.7 && factor < 2.7);
+    }
+}

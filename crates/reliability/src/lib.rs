@@ -1,0 +1,159 @@
+//! Temperature-driven reliability models for thermal-aware scheduling.
+//!
+//! The DATE 2005 paper motivates thermal-aware scheduling by reliability:
+//! "at sufficiently high temperatures, many failure mechanisms (such as
+//! electromigration and stress migration) are significantly accelerated".
+//! This crate quantifies that argument so the scheduling experiments can
+//! report lifetime alongside temperature:
+//!
+//! * [`arrhenius`] — the temperature acceleration law shared by the wear-out
+//!   mechanisms;
+//! * [`Electromigration`], [`StressMigration`], [`DielectricBreakdown`] —
+//!   steady-temperature mechanisms behind the [`FailureMechanism`] trait;
+//! * [`CoffinManson`] with rainflow-style [`count_cycles`] — thermal-cycling
+//!   fatigue driven by the transient traces of `tats-power`;
+//! * [`ReliabilityAnalyzer`] / [`SystemReliability`] — per-PE and
+//!   series-system mean time to failure.
+//!
+//! # Examples
+//!
+//! Compare the lifetime implied by two steady temperature fields:
+//!
+//! ```
+//! use tats_reliability::ReliabilityAnalyzer;
+//! use tats_thermal::Temperatures;
+//!
+//! # fn main() -> Result<(), tats_reliability::ReliabilityError> {
+//! let analyzer = ReliabilityAnalyzer::new();
+//! let power_aware = analyzer.from_steady_temperatures(&Temperatures::uniform(4, 96.0))?;
+//! let thermal_aware = analyzer.from_steady_temperatures(&Temperatures::uniform(4, 86.0))?;
+//! assert!(thermal_aware.system_mttf_hours() > power_aware.system_mttf_hours());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrhenius;
+mod cycling;
+mod error;
+mod mechanisms;
+mod mttf;
+
+pub use cycling::{count_cycles, peaks_and_valleys, CoffinManson, ThermalCycle};
+pub use error::ReliabilityError;
+pub use mechanisms::{
+    standard_mechanisms, DielectricBreakdown, Electromigration, FailureMechanism, StressMigration,
+};
+pub use mttf::{PeReliability, ReliabilityAnalyzer, SystemReliability};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tats_power::ThermalTrace;
+    use tats_thermal::Temperatures;
+
+    fn synthetic_trace(block_count: usize, swings: &[(f64, f64)]) -> ThermalTrace {
+        // Each (low, high) pair contributes two samples.
+        let mut times = Vec::new();
+        let mut samples = Vec::new();
+        let mut t = 1.0;
+        for &(low, high) in swings {
+            times.push(t);
+            samples.push(Temperatures::uniform(block_count, low));
+            times.push(t + 1.0);
+            samples.push(Temperatures::uniform(block_count, high));
+            t += 2.0;
+        }
+        ThermalTrace::new(times, samples).expect("valid trace")
+    }
+
+    #[test]
+    fn trace_based_lifetime_penalises_large_swings() {
+        let analyzer = ReliabilityAnalyzer::new();
+        let calm = synthetic_trace(2, &[(58.0, 62.0), (58.0, 62.0), (58.0, 62.0)]);
+        let cycling = synthetic_trace(2, &[(35.0, 85.0), (35.0, 85.0), (35.0, 85.0)]);
+        let calm_result = analyzer.from_trace(&calm).expect("calm");
+        let cycling_result = analyzer.from_trace(&cycling).expect("cycling");
+        // Same mean temperature (60 °C) but the large swings cost lifetime.
+        assert!(cycling_result.system_mttf_hours() < calm_result.system_mttf_hours());
+    }
+
+    #[test]
+    fn trace_and_steady_agree_when_the_trace_is_flat() {
+        let analyzer = ReliabilityAnalyzer::new();
+        let flat = synthetic_trace(3, &[(70.0, 70.0), (70.0, 70.0)]);
+        let from_trace = analyzer.from_trace(&flat).expect("trace");
+        let from_steady = analyzer
+            .from_steady_temperatures(&Temperatures::uniform(3, 70.0))
+            .expect("steady");
+        let a = from_trace.system_mttf_hours();
+        let b = from_steady.system_mttf_hours();
+        assert!((a - b).abs() / b < 1e-9);
+    }
+
+    #[test]
+    fn shorter_period_means_more_cycles_per_hour_and_shorter_life() {
+        let swings = [(40.0, 90.0), (40.0, 90.0), (40.0, 90.0), (40.0, 90.0)];
+        let trace = synthetic_trace(1, &swings);
+        let slow = ReliabilityAnalyzer::new()
+            .with_period_hours(10.0)
+            .expect("valid period")
+            .from_trace(&trace)
+            .expect("slow");
+        let fast = ReliabilityAnalyzer::new()
+            .with_period_hours(0.1)
+            .expect("valid period")
+            .from_trace(&trace)
+            .expect("fast");
+        assert!(fast.system_mttf_hours() < slow.system_mttf_hours());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// MTTF is monotone non-increasing in temperature for every standard
+        /// mechanism.
+        #[test]
+        fn mechanisms_monotone(t in 30.0f64..110.0, dt in 0.0f64..40.0) {
+            for mechanism in standard_mechanisms() {
+                let cool = mechanism.mttf_hours(t).expect("valid");
+                let hot = mechanism.mttf_hours(t + dt).expect("valid");
+                prop_assert!(hot <= cool + 1e-9);
+            }
+        }
+
+        /// Coffin-Manson cycles-to-failure is monotone non-increasing in the
+        /// swing amplitude.
+        #[test]
+        fn coffin_manson_monotone(delta in 1.0f64..80.0, extra in 0.0f64..40.0) {
+            let model = CoffinManson::standard();
+            prop_assert!(model.cycles_to_failure(delta + extra) <= model.cycles_to_failure(delta) + 1e-9);
+        }
+
+        /// Cycle extraction conserves weight: a series of n alternating
+        /// extremes yields total cycle weight (n-1)/2.
+        #[test]
+        fn cycle_weight_matches_extreme_count(n in 2usize..20, low in 30.0f64..50.0, high in 60.0f64..90.0) {
+            let series: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { low } else { high }).collect();
+            let cycles = count_cycles(&series).expect("enough samples");
+            let weight: f64 = cycles.iter().map(|c| c.weight).sum();
+            prop_assert!((weight - (n as f64 - 1.0) / 2.0).abs() < 1e-9);
+        }
+
+        /// The series-system MTTF never exceeds the weakest PE's MTTF.
+        #[test]
+        fn system_below_worst(temp in 40.0f64..110.0, pes in 1usize..8) {
+            let analyzer = ReliabilityAnalyzer::new();
+            let system = analyzer
+                .from_steady_temperatures(&tats_thermal::Temperatures::uniform(pes, temp))
+                .expect("system");
+            prop_assert!(system.system_mttf_hours() <= system.worst_mttf_hours() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Steady-temperature wear-out mechanisms.
+//!
+//! Each mechanism converts a junction temperature into a mean time to
+//! failure (MTTF), normalised so that the MTTF at the mechanism's
+//! *qualification temperature* equals its *qualified lifetime*.  The three
+//! mechanisms the paper's introduction names are provided:
+//!
+//! * electromigration (Black's equation),
+//! * stress migration,
+//! * time-dependent dielectric breakdown (TDDB).
+//!
+//! All three are Arrhenius-type in temperature; they differ in activation
+//! energy and in their non-thermal stress terms (current density for EM,
+//! field for TDDB), which are folded into the qualified lifetime because the
+//! scheduler only moves temperature.
+
+use std::fmt;
+
+use crate::arrhenius::acceleration_factor;
+use crate::error::ReliabilityError;
+
+/// A wear-out mechanism that maps a steady temperature to an MTTF.
+pub trait FailureMechanism: fmt::Debug {
+    /// Short human-readable name, e.g. `"electromigration"`.
+    fn name(&self) -> &str;
+
+    /// Mean time to failure at the given junction temperature, in hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReliabilityError::InvalidParameter`] for non-physical
+    /// temperatures.
+    fn mttf_hours(&self, temperature_c: f64) -> Result<f64, ReliabilityError>;
+
+    /// Failure rate (1 / MTTF) at the given temperature, per hour.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FailureMechanism::mttf_hours`].
+    fn failure_rate(&self, temperature_c: f64) -> Result<f64, ReliabilityError> {
+        Ok(1.0 / self.mttf_hours(temperature_c)?)
+    }
+}
+
+/// Shared Arrhenius parameters of a mechanism.
+#[derive(Debug, Clone, PartialEq)]
+struct ArrheniusMechanism {
+    name: String,
+    activation_energy_ev: f64,
+    qualification_temp_c: f64,
+    qualified_mttf_hours: f64,
+}
+
+impl ArrheniusMechanism {
+    fn new(
+        name: &str,
+        activation_energy_ev: f64,
+        qualification_temp_c: f64,
+        qualified_mttf_hours: f64,
+    ) -> Result<Self, ReliabilityError> {
+        if !activation_energy_ev.is_finite() || activation_energy_ev <= 0.0 {
+            return Err(ReliabilityError::InvalidParameter(format!(
+                "activation energy must be positive, got {activation_energy_ev}"
+            )));
+        }
+        if !qualification_temp_c.is_finite() || qualification_temp_c <= -273.15 {
+            return Err(ReliabilityError::InvalidParameter(format!(
+                "qualification temperature must be physical, got {qualification_temp_c}"
+            )));
+        }
+        if !qualified_mttf_hours.is_finite() || qualified_mttf_hours <= 0.0 {
+            return Err(ReliabilityError::InvalidParameter(format!(
+                "qualified MTTF must be positive, got {qualified_mttf_hours}"
+            )));
+        }
+        Ok(ArrheniusMechanism {
+            name: name.to_string(),
+            activation_energy_ev,
+            qualification_temp_c,
+            qualified_mttf_hours,
+        })
+    }
+
+    fn mttf_hours(&self, temperature_c: f64) -> Result<f64, ReliabilityError> {
+        let factor = acceleration_factor(
+            temperature_c,
+            self.qualification_temp_c,
+            self.activation_energy_ev,
+        )?;
+        Ok(self.qualified_mttf_hours / factor)
+    }
+}
+
+/// Electromigration wear-out (Black's equation, temperature part).
+///
+/// The current-density term of Black's equation is independent of the
+/// schedule (it is set by the interconnect design), so it is folded into the
+/// qualified lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Electromigration {
+    inner: ArrheniusMechanism,
+}
+
+impl Electromigration {
+    /// Typical activation energy of aluminium/copper electromigration, eV.
+    pub const DEFAULT_ACTIVATION_ENERGY_EV: f64 = 0.7;
+
+    /// Creates an EM model qualified for `qualified_mttf_hours` at
+    /// `qualification_temp_c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReliabilityError::InvalidParameter`] for non-positive
+    /// lifetimes, non-physical temperatures or a non-positive activation
+    /// energy.
+    pub fn new(
+        qualification_temp_c: f64,
+        qualified_mttf_hours: f64,
+        activation_energy_ev: f64,
+    ) -> Result<Self, ReliabilityError> {
+        Ok(Electromigration {
+            inner: ArrheniusMechanism::new(
+                "electromigration",
+                activation_energy_ev,
+                qualification_temp_c,
+                qualified_mttf_hours,
+            )?,
+        })
+    }
+
+    /// A conventional qualification: 10 years at 55 °C with Ea = 0.7 eV.
+    pub fn standard() -> Self {
+        Electromigration::new(55.0, 10.0 * 365.25 * 24.0, Self::DEFAULT_ACTIVATION_ENERGY_EV)
+            .expect("standard EM parameters are valid")
+    }
+}
+
+impl FailureMechanism for Electromigration {
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn mttf_hours(&self, temperature_c: f64) -> Result<f64, ReliabilityError> {
+        self.inner.mttf_hours(temperature_c)
+    }
+}
+
+/// Stress-migration wear-out (thermo-mechanical stress relaxation in vias).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressMigration {
+    inner: ArrheniusMechanism,
+}
+
+impl StressMigration {
+    /// Typical activation energy for stress migration, eV.
+    pub const DEFAULT_ACTIVATION_ENERGY_EV: f64 = 0.9;
+
+    /// Creates a stress-migration model qualified for `qualified_mttf_hours`
+    /// at `qualification_temp_c`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Electromigration::new`].
+    pub fn new(
+        qualification_temp_c: f64,
+        qualified_mttf_hours: f64,
+        activation_energy_ev: f64,
+    ) -> Result<Self, ReliabilityError> {
+        Ok(StressMigration {
+            inner: ArrheniusMechanism::new(
+                "stress-migration",
+                activation_energy_ev,
+                qualification_temp_c,
+                qualified_mttf_hours,
+            )?,
+        })
+    }
+
+    /// A conventional qualification: 12 years at 55 °C with Ea = 0.9 eV.
+    pub fn standard() -> Self {
+        StressMigration::new(55.0, 12.0 * 365.25 * 24.0, Self::DEFAULT_ACTIVATION_ENERGY_EV)
+            .expect("standard stress-migration parameters are valid")
+    }
+}
+
+impl FailureMechanism for StressMigration {
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn mttf_hours(&self, temperature_c: f64) -> Result<f64, ReliabilityError> {
+        self.inner.mttf_hours(temperature_c)
+    }
+}
+
+/// Time-dependent dielectric breakdown of the gate oxide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DielectricBreakdown {
+    inner: ArrheniusMechanism,
+}
+
+impl DielectricBreakdown {
+    /// Typical effective activation energy for TDDB, eV.
+    pub const DEFAULT_ACTIVATION_ENERGY_EV: f64 = 0.75;
+
+    /// Creates a TDDB model qualified for `qualified_mttf_hours` at
+    /// `qualification_temp_c`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Electromigration::new`].
+    pub fn new(
+        qualification_temp_c: f64,
+        qualified_mttf_hours: f64,
+        activation_energy_ev: f64,
+    ) -> Result<Self, ReliabilityError> {
+        Ok(DielectricBreakdown {
+            inner: ArrheniusMechanism::new(
+                "dielectric-breakdown",
+                activation_energy_ev,
+                qualification_temp_c,
+                qualified_mttf_hours,
+            )?,
+        })
+    }
+
+    /// A conventional qualification: 15 years at 55 °C with Ea = 0.75 eV.
+    pub fn standard() -> Self {
+        DielectricBreakdown::new(
+            55.0,
+            15.0 * 365.25 * 24.0,
+            Self::DEFAULT_ACTIVATION_ENERGY_EV,
+        )
+        .expect("standard TDDB parameters are valid")
+    }
+}
+
+impl FailureMechanism for DielectricBreakdown {
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn mttf_hours(&self, temperature_c: f64) -> Result<f64, ReliabilityError> {
+        self.inner.mttf_hours(temperature_c)
+    }
+}
+
+/// The standard set of steady-temperature mechanisms used by the per-PE
+/// reliability evaluation.
+pub fn standard_mechanisms() -> Vec<Box<dyn FailureMechanism + Send + Sync>> {
+    vec![
+        Box::new(Electromigration::standard()),
+        Box::new(StressMigration::standard()),
+        Box::new(DielectricBreakdown::standard()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mttf_matches_qualification_at_qualification_temperature() {
+        let em = Electromigration::standard();
+        let mttf = em.mttf_hours(55.0).expect("valid temperature");
+        assert!((mttf - 10.0 * 365.25 * 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mttf_decreases_with_temperature_for_all_mechanisms() {
+        let mechanisms = standard_mechanisms();
+        assert_eq!(mechanisms.len(), 3);
+        for mechanism in &mechanisms {
+            let cool = mechanism.mttf_hours(60.0).expect("valid");
+            let hot = mechanism.mttf_hours(100.0).expect("valid");
+            assert!(hot < cool, "{} must degrade when hotter", mechanism.name());
+        }
+    }
+
+    #[test]
+    fn failure_rate_is_reciprocal_of_mttf() {
+        let tddb = DielectricBreakdown::standard();
+        let mttf = tddb.mttf_hours(80.0).expect("valid");
+        let rate = tddb.failure_rate(80.0).expect("valid");
+        assert!((rate * mttf - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructors_validate_parameters() {
+        assert!(Electromigration::new(55.0, 0.0, 0.7).is_err());
+        assert!(StressMigration::new(55.0, 1000.0, -0.9).is_err());
+        assert!(DielectricBreakdown::new(-400.0, 1000.0, 0.75).is_err());
+    }
+
+    #[test]
+    fn stress_migration_is_more_temperature_sensitive_than_em() {
+        // Higher activation energy => larger relative degradation for the
+        // same temperature increase.
+        let em = Electromigration::standard();
+        let sm = StressMigration::standard();
+        let em_ratio =
+            em.mttf_hours(55.0).expect("valid") / em.mttf_hours(95.0).expect("valid");
+        let sm_ratio =
+            sm.mttf_hours(55.0).expect("valid") / sm.mttf_hours(95.0).expect("valid");
+        assert!(sm_ratio > em_ratio);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mechanisms = standard_mechanisms();
+        let names: Vec<&str> = mechanisms.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"electromigration"));
+        assert!(names.contains(&"stress-migration"));
+        assert!(names.contains(&"dielectric-breakdown"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Incremental construction of task graphs.
+
+use crate::edge::{Edge, EdgeId};
+use crate::error::GraphError;
+use crate::graph::TaskGraph;
+use crate::task::{Task, TaskId, TaskKind};
+
+/// Builder for [`TaskGraph`] values.
+///
+/// Tasks receive dense ids in insertion order. Edge insertion validates
+/// endpoints and rejects self loops and duplicates eagerly; acyclicity and
+/// non-emptiness are checked by [`TaskGraphBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use tats_taskgraph::{TaskGraphBuilder, TaskKind};
+///
+/// # fn main() -> Result<(), tats_taskgraph::GraphError> {
+/// let mut b = TaskGraphBuilder::new("two-stage", 20.0);
+/// let first = b.add_task("produce", TaskKind::Compute, 0);
+/// let second = b.add_task("consume", TaskKind::Compute, 1);
+/// b.add_edge(first, second, 4.0)?;
+/// let graph = b.build()?;
+/// assert_eq!(graph.deadline(), 20.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskGraphBuilder {
+    name: String,
+    deadline: f64,
+    tasks: Vec<Task>,
+    edges: Vec<Edge>,
+}
+
+impl TaskGraphBuilder {
+    /// Starts a new builder for a graph with the given name and deadline.
+    pub fn new(name: impl Into<String>, deadline: f64) -> Self {
+        TaskGraphBuilder {
+            name: name.into(),
+            deadline,
+            tasks: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Overrides the deadline.
+    pub fn set_deadline(&mut self, deadline: f64) -> &mut Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a task and returns its id.
+    pub fn add_task(&mut self, name: impl Into<String>, kind: TaskKind, type_id: usize) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task::new(id, name, kind, type_id));
+        id
+    }
+
+    /// Adds a precedence edge carrying `data_volume` units of data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownTask`] if either endpoint has not been
+    /// added, [`GraphError::SelfLoop`] if `src == dst`, and
+    /// [`GraphError::DuplicateEdge`] if an edge between the same endpoints
+    /// already exists.
+    pub fn add_edge(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        data_volume: f64,
+    ) -> Result<EdgeId, GraphError> {
+        if src.index() >= self.tasks.len() {
+            return Err(GraphError::UnknownTask(src));
+        }
+        if dst.index() >= self.tasks.len() {
+            return Err(GraphError::UnknownTask(dst));
+        }
+        if src == dst {
+            return Err(GraphError::SelfLoop(src));
+        }
+        if self
+            .edges
+            .iter()
+            .any(|e| e.src() == src && e.dst() == dst)
+        {
+            return Err(GraphError::DuplicateEdge(src, dst));
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge::new(id, src, dst, data_volume));
+        Ok(id)
+    }
+
+    /// Returns `true` if an edge between `src` and `dst` exists already.
+    pub fn has_edge(&self, src: TaskId, dst: TaskId) -> bool {
+        self.edges.iter().any(|e| e.src() == src && e.dst() == dst)
+    }
+
+    /// Finalises the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for a graph without tasks,
+    /// [`GraphError::NonPositiveDeadline`] for an invalid deadline, and
+    /// [`GraphError::CycleDetected`] if the edges form a cycle.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        TaskGraph::from_parts(self.name, self.deadline, self.tasks, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_in_insertion_order() {
+        let mut b = TaskGraphBuilder::new("g", 10.0);
+        for i in 0..5 {
+            let id = b.add_task(format!("t{i}"), TaskKind::Compute, i);
+            assert_eq!(id, TaskId(i));
+        }
+        assert_eq!(b.task_count(), 5);
+    }
+
+    #[test]
+    fn edge_to_unknown_task_is_rejected() {
+        let mut b = TaskGraphBuilder::new("g", 10.0);
+        let a = b.add_task("a", TaskKind::Control, 0);
+        let err = b.add_edge(a, TaskId(7), 1.0).unwrap_err();
+        assert_eq!(err, GraphError::UnknownTask(TaskId(7)));
+        let err = b.add_edge(TaskId(9), a, 1.0).unwrap_err();
+        assert_eq!(err, GraphError::UnknownTask(TaskId(9)));
+    }
+
+    #[test]
+    fn has_edge_reflects_insertions() {
+        let mut b = TaskGraphBuilder::new("g", 10.0);
+        let a = b.add_task("a", TaskKind::Control, 0);
+        let c = b.add_task("b", TaskKind::Control, 0);
+        assert!(!b.has_edge(a, c));
+        b.add_edge(a, c, 1.0).unwrap();
+        assert!(b.has_edge(a, c));
+        assert!(!b.has_edge(c, a));
+    }
+
+    #[test]
+    fn set_deadline_overrides() {
+        let mut b = TaskGraphBuilder::new("g", 10.0);
+        b.add_task("a", TaskKind::Control, 0);
+        b.set_deadline(99.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.deadline(), 99.0);
+    }
+
+    #[test]
+    fn single_task_graph_builds() {
+        let mut b = TaskGraphBuilder::new("one", 5.0);
+        b.add_task("only", TaskKind::Compute, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.task_count(), 1);
+        assert_eq!(g.sources(), g.sinks());
+    }
+}

@@ -1,0 +1,87 @@
+//! Graphviz DOT export for task graphs.
+
+use std::fmt::Write as _;
+
+use crate::graph::TaskGraph;
+
+/// Renders a task graph in Graphviz DOT syntax.
+///
+/// Nodes are labelled with the task name, kind and type id; edges are
+/// labelled with their data volume. The output can be piped to `dot -Tsvg`
+/// for visual inspection of generated benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use tats_taskgraph::{dot, TaskGraphBuilder, TaskKind};
+///
+/// # fn main() -> Result<(), tats_taskgraph::GraphError> {
+/// let mut b = TaskGraphBuilder::new("g", 10.0);
+/// let a = b.add_task("a", TaskKind::Compute, 0);
+/// let c = b.add_task("b", TaskKind::Dsp, 1);
+/// b.add_edge(a, c, 3.0)?;
+/// let text = dot::to_dot(&b.build()?);
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("T0 -> T1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(
+        out,
+        "  label=\"{} (deadline {})\";",
+        graph.name(),
+        graph.deadline()
+    );
+    for task in graph.tasks() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{} / type {}\"];",
+            task.id(),
+            task.name(),
+            task.kind(),
+            task.type_id()
+        );
+    }
+    for edge in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{:.1}\"];",
+            edge.src(),
+            edge.dst(),
+            edge.data_volume()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+    use crate::builder::TaskGraphBuilder;
+    use crate::task::TaskKind;
+
+    #[test]
+    fn dot_contains_every_task_and_edge() {
+        let g = Benchmark::Bm1.task_graph().unwrap();
+        let text = to_dot(&g);
+        for task in g.tasks() {
+            assert!(text.contains(&task.id().to_string()));
+        }
+        assert_eq!(text.matches(" -> ").count(), g.edge_count());
+    }
+
+    #[test]
+    fn dot_is_braced_and_named() {
+        let mut b = TaskGraphBuilder::new("named", 10.0);
+        b.add_task("only", TaskKind::Control, 0);
+        let text = to_dot(&b.build().unwrap());
+        assert!(text.starts_with("digraph \"named\""));
+        assert!(text.trim_end().ends_with('}'));
+    }
+}

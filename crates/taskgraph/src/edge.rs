@@ -1,0 +1,114 @@
+//! Dependence edges between tasks.
+
+use std::fmt;
+
+use crate::task::TaskId;
+
+/// Identifier of an edge inside a [`crate::TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(value: usize) -> Self {
+        EdgeId(value)
+    }
+}
+
+/// A precedence/data-dependence edge of the task graph.
+///
+/// `src` must complete before `dst` may start. The `data_volume` records the
+/// amount of data communicated along the edge (abstract units); schedulers
+/// that model inter-PE communication can translate it into a communication
+/// delay, while intra-PE communication is assumed free, as in the paper's
+/// co-synthesis substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    id: EdgeId,
+    src: TaskId,
+    dst: TaskId,
+    data_volume: f64,
+}
+
+impl Edge {
+    /// Creates a new edge.
+    pub fn new(id: EdgeId, src: TaskId, dst: TaskId, data_volume: f64) -> Self {
+        Edge {
+            id,
+            src,
+            dst,
+            data_volume,
+        }
+    }
+
+    /// The edge identifier within its graph.
+    pub fn id(&self) -> EdgeId {
+        self.id
+    }
+
+    /// Source (producer) task.
+    pub fn src(&self) -> TaskId {
+        self.src
+    }
+
+    /// Destination (consumer) task.
+    pub fn dst(&self) -> TaskId {
+        self.dst
+    }
+
+    /// Amount of data communicated along the edge, in abstract units.
+    pub fn data_volume(&self) -> f64 {
+        self.data_volume
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} ({} units)",
+            self.id, self.src, self.dst, self.data_volume
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_accessors() {
+        let e = Edge::new(EdgeId(0), TaskId(1), TaskId(2), 64.0);
+        assert_eq!(e.id(), EdgeId(0));
+        assert_eq!(e.src(), TaskId(1));
+        assert_eq!(e.dst(), TaskId(2));
+        assert_eq!(e.data_volume(), 64.0);
+    }
+
+    #[test]
+    fn edge_display_mentions_both_endpoints() {
+        let e = Edge::new(EdgeId(3), TaskId(4), TaskId(9), 8.0);
+        let s = e.to_string();
+        assert!(s.contains("T4"));
+        assert!(s.contains("T9"));
+        assert!(s.contains("E3"));
+    }
+
+    #[test]
+    fn edge_id_conversions() {
+        assert_eq!(EdgeId::from(11).index(), 11);
+        assert_eq!(EdgeId(11).to_string(), "E11");
+    }
+}

@@ -1,0 +1,190 @@
+//! Task identifiers and task metadata.
+
+use std::fmt;
+
+/// Identifier of a task inside a [`crate::TaskGraph`].
+///
+/// Task ids are dense indices assigned by the graph builder in insertion
+/// order; they can be used to index per-task vectors directly via
+/// [`TaskId::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(value: usize) -> Self {
+        TaskId(value)
+    }
+}
+
+/// Functional class of a task.
+///
+/// The technology library uses the kind to bias which processing elements
+/// execute a task efficiently (e.g. a DSP is fast on signal-processing
+/// kernels, an ASIC-like accelerator on its dedicated kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Control-dominated task (branching, bookkeeping).
+    Control,
+    /// Data-parallel / signal-processing kernel.
+    Dsp,
+    /// Memory-bound streaming task.
+    Memory,
+    /// Generic compute task.
+    Compute,
+}
+
+impl TaskKind {
+    /// All task kinds, in a stable order.
+    pub const ALL: [TaskKind; 4] = [
+        TaskKind::Control,
+        TaskKind::Dsp,
+        TaskKind::Memory,
+        TaskKind::Compute,
+    ];
+
+    /// Returns a stable small integer used to index per-kind tables.
+    pub fn index(self) -> usize {
+        match self {
+            TaskKind::Control => 0,
+            TaskKind::Dsp => 1,
+            TaskKind::Memory => 2,
+            TaskKind::Compute => 3,
+        }
+    }
+
+    /// Returns the kind with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TaskKind::Control => "control",
+            TaskKind::Dsp => "dsp",
+            TaskKind::Memory => "memory",
+            TaskKind::Compute => "compute",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A node of the task graph.
+///
+/// A task carries a symbolic name, a [`TaskKind`] used by the technology
+/// library, and a *type id*: tasks with the same type id share one row in
+/// the worst-case execution time / power tables (mirroring TGFF's task
+/// types).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    id: TaskId,
+    name: String,
+    kind: TaskKind,
+    type_id: usize,
+}
+
+impl Task {
+    /// Creates a new task.
+    pub fn new(id: TaskId, name: impl Into<String>, kind: TaskKind, type_id: usize) -> Self {
+        Task {
+            id,
+            name: name.into(),
+            kind,
+            type_id,
+        }
+    }
+
+    /// The task's identifier within its graph.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Functional class of the task.
+    pub fn kind(&self) -> TaskKind {
+        self.kind
+    }
+
+    /// Type id indexing the technology-library tables.
+    pub fn type_id(&self) -> usize {
+        self.type_id
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} '{}' ({}, type {})",
+            self.id, self.name, self.kind, self.type_id
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_display_and_index() {
+        let id = TaskId(7);
+        assert_eq!(id.to_string(), "T7");
+        assert_eq!(id.index(), 7);
+        assert_eq!(TaskId::from(7), id);
+    }
+
+    #[test]
+    fn task_kind_index_roundtrip() {
+        for kind in TaskKind::ALL {
+            assert_eq!(TaskKind::from_index(kind.index()), kind);
+        }
+    }
+
+    #[test]
+    fn task_kind_indices_are_dense() {
+        let mut seen = [false; 4];
+        for kind in TaskKind::ALL {
+            assert!(!seen[kind.index()]);
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn task_accessors() {
+        let t = Task::new(TaskId(2), "fft", TaskKind::Dsp, 5);
+        assert_eq!(t.id(), TaskId(2));
+        assert_eq!(t.name(), "fft");
+        assert_eq!(t.kind(), TaskKind::Dsp);
+        assert_eq!(t.type_id(), 5);
+        assert!(t.to_string().contains("fft"));
+    }
+
+    #[test]
+    fn task_ids_order_by_index() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(TaskId(10) > TaskId(9));
+    }
+}

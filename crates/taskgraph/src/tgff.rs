@@ -1,0 +1,401 @@
+//! A TGFF-inspired plain-text interchange format for task graphs.
+//!
+//! The paper's benchmarks are TGFF-style pseudo-random graphs; real projects
+//! keep such graphs in small text files under version control.  This module
+//! provides a deliberately simple line-oriented format that round-trips
+//! every [`TaskGraph`] exactly:
+//!
+//! ```text
+//! @GRAPH Bm1 deadline 790
+//! @TASK 0 src control 3
+//! @TASK 1 fir dsp 5
+//! @EDGE 0 1 64
+//! @END
+//! ```
+//!
+//! * `@TASK <index> <name> <kind> <type_id>` — tasks must appear in index
+//!   order; names may not contain whitespace.
+//! * `@EDGE <src_index> <dst_index> <data_volume>`.
+//! * Blank lines and lines starting with `#` are ignored.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::TaskGraphBuilder;
+use crate::error::GraphError;
+use crate::graph::TaskGraph;
+use crate::task::{TaskId, TaskKind};
+
+/// Errors produced while parsing the TGFF-like format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TgffError {
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of what was expected.
+        message: String,
+    },
+    /// The document did not contain a `@GRAPH` header.
+    MissingHeader,
+    /// The document ended without the `@END` terminator.
+    MissingTerminator,
+    /// The parsed structure violated a task-graph invariant.
+    Graph(GraphError),
+}
+
+impl fmt::Display for TgffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TgffError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            TgffError::MissingHeader => write!(f, "missing @GRAPH header"),
+            TgffError::MissingTerminator => write!(f, "missing @END terminator"),
+            TgffError::Graph(source) => write!(f, "invalid task graph: {source}"),
+        }
+    }
+}
+
+impl Error for TgffError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TgffError::Graph(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for TgffError {
+    fn from(source: GraphError) -> Self {
+        TgffError::Graph(source)
+    }
+}
+
+fn kind_keyword(kind: TaskKind) -> &'static str {
+    match kind {
+        TaskKind::Control => "control",
+        TaskKind::Dsp => "dsp",
+        TaskKind::Memory => "memory",
+        TaskKind::Compute => "compute",
+    }
+}
+
+fn parse_kind(keyword: &str, line: usize) -> Result<TaskKind, TgffError> {
+    match keyword {
+        "control" => Ok(TaskKind::Control),
+        "dsp" => Ok(TaskKind::Dsp),
+        "memory" => Ok(TaskKind::Memory),
+        "compute" => Ok(TaskKind::Compute),
+        other => Err(TgffError::Parse {
+            line,
+            message: format!("unknown task kind '{other}'"),
+        }),
+    }
+}
+
+/// Serialises a task graph to the TGFF-like text format.
+///
+/// Task names containing whitespace are written with the whitespace replaced
+/// by underscores so the document stays line-oriented.
+///
+/// # Examples
+///
+/// ```
+/// use tats_taskgraph::{tgff, Benchmark};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = Benchmark::Bm1.task_graph()?;
+/// let text = tgff::to_tgff(&graph);
+/// assert!(text.starts_with("@GRAPH Bm1 deadline 790"));
+/// let back = tgff::from_tgff(&text)?;
+/// assert_eq!(back.task_count(), graph.task_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_tgff(graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    let name = sanitise(graph.name());
+    out.push_str(&format!("@GRAPH {} deadline {}\n", name, graph.deadline()));
+    for task in graph.tasks() {
+        out.push_str(&format!(
+            "@TASK {} {} {} {}\n",
+            task.id().index(),
+            sanitise(task.name()),
+            kind_keyword(task.kind()),
+            task.type_id()
+        ));
+    }
+    for edge in graph.edges() {
+        out.push_str(&format!(
+            "@EDGE {} {} {}\n",
+            edge.src().index(),
+            edge.dst().index(),
+            edge.data_volume()
+        ));
+    }
+    out.push_str("@END\n");
+    out
+}
+
+fn sanitise(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect();
+    if cleaned.is_empty() {
+        "unnamed".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Parses a task graph from the TGFF-like text format.
+///
+/// # Errors
+///
+/// Returns [`TgffError::Parse`] with the offending line for malformed input,
+/// [`TgffError::MissingHeader`] / [`TgffError::MissingTerminator`] for
+/// truncated documents and [`TgffError::Graph`] when the parsed structure is
+/// not a valid DAG.
+pub fn from_tgff(text: &str) -> Result<TaskGraph, TgffError> {
+    let mut builder: Option<TaskGraphBuilder> = None;
+    let mut expected_task_index = 0usize;
+    let mut terminated = false;
+
+    for (offset, raw_line) in text.lines().enumerate() {
+        let line_number = offset + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if terminated {
+            return Err(TgffError::Parse {
+                line: line_number,
+                message: "content after @END".into(),
+            });
+        }
+        let mut fields = line.split_whitespace();
+        let keyword = fields.next().expect("non-empty line has a first token");
+        match keyword {
+            "@GRAPH" => {
+                let name = fields.next().ok_or_else(|| TgffError::Parse {
+                    line: line_number,
+                    message: "expected '@GRAPH <name> deadline <value>'".into(),
+                })?;
+                let deadline = match (fields.next(), fields.next()) {
+                    (Some("deadline"), Some(value)) => {
+                        value.parse::<f64>().map_err(|_| TgffError::Parse {
+                            line: line_number,
+                            message: format!("deadline '{value}' is not a number"),
+                        })?
+                    }
+                    _ => {
+                        return Err(TgffError::Parse {
+                            line: line_number,
+                            message: "expected 'deadline <value>' after the graph name".into(),
+                        })
+                    }
+                };
+                builder = Some(TaskGraphBuilder::new(name, deadline));
+            }
+            "@TASK" => {
+                let builder = builder.as_mut().ok_or(TgffError::MissingHeader)?;
+                let index: usize = next_parsed(&mut fields, line_number, "task index")?;
+                if index != expected_task_index {
+                    return Err(TgffError::Parse {
+                        line: line_number,
+                        message: format!(
+                            "task index {index} out of order (expected {expected_task_index})"
+                        ),
+                    });
+                }
+                expected_task_index += 1;
+                let name = fields.next().ok_or_else(|| TgffError::Parse {
+                    line: line_number,
+                    message: "missing task name".into(),
+                })?;
+                let kind_word = fields.next().ok_or_else(|| TgffError::Parse {
+                    line: line_number,
+                    message: "missing task kind".into(),
+                })?;
+                let kind = parse_kind(kind_word, line_number)?;
+                let type_id: usize = next_parsed(&mut fields, line_number, "task type id")?;
+                builder.add_task(name, kind, type_id);
+            }
+            "@EDGE" => {
+                let builder = builder.as_mut().ok_or(TgffError::MissingHeader)?;
+                let src: usize = next_parsed(&mut fields, line_number, "edge source")?;
+                let dst: usize = next_parsed(&mut fields, line_number, "edge destination")?;
+                let volume: f64 = next_parsed(&mut fields, line_number, "edge data volume")?;
+                builder.add_edge(TaskId(src), TaskId(dst), volume)?;
+            }
+            "@END" => {
+                terminated = true;
+            }
+            other => {
+                return Err(TgffError::Parse {
+                    line: line_number,
+                    message: format!("unknown directive '{other}'"),
+                });
+            }
+        }
+    }
+
+    if !terminated {
+        return Err(TgffError::MissingTerminator);
+    }
+    let builder = builder.ok_or(TgffError::MissingHeader)?;
+    Ok(builder.build()?)
+}
+
+fn next_parsed<'a, T, I>(fields: &mut I, line: usize, what: &str) -> Result<T, TgffError>
+where
+    T: std::str::FromStr,
+    I: Iterator<Item = &'a str>,
+{
+    let token = fields.next().ok_or_else(|| TgffError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    token.parse::<T>().map_err(|_| TgffError::Parse {
+        line,
+        message: format!("{what} '{token}' could not be parsed"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+    use crate::generator::GeneratorConfig;
+
+    fn graphs_equivalent(a: &TaskGraph, b: &TaskGraph) -> bool {
+        if a.task_count() != b.task_count()
+            || a.edge_count() != b.edge_count()
+            || (a.deadline() - b.deadline()).abs() > 1e-12
+        {
+            return false;
+        }
+        for (ta, tb) in a.tasks().zip(b.tasks()) {
+            if ta.kind() != tb.kind() || ta.type_id() != tb.type_id() {
+                return false;
+            }
+        }
+        for (ea, eb) in a.edges().zip(b.edges()) {
+            if ea.src() != eb.src()
+                || ea.dst() != eb.dst()
+                || (ea.data_volume() - eb.data_volume()).abs() > 1e-9
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn benchmark_round_trips_exactly() {
+        for benchmark in Benchmark::ALL {
+            let graph = benchmark.task_graph().expect("benchmark");
+            let text = to_tgff(&graph);
+            let back = from_tgff(&text).expect("parse");
+            assert!(graphs_equivalent(&graph, &back), "{benchmark:?} round trip");
+        }
+    }
+
+    #[test]
+    fn hand_written_document_parses() {
+        let text = "\
+# tiny pipeline
+@GRAPH demo deadline 100
+
+@TASK 0 source control 0
+@TASK 1 filter dsp 1
+@TASK 2 sink memory 2
+@EDGE 0 1 16
+@EDGE 1 2 8
+@END
+";
+        let graph = from_tgff(text).expect("parse");
+        assert_eq!(graph.task_count(), 3);
+        assert_eq!(graph.edge_count(), 2);
+        assert_eq!(graph.deadline(), 100.0);
+        assert_eq!(graph.task(TaskId(1)).kind(), TaskKind::Dsp);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let missing_deadline = "@GRAPH demo\n@END\n";
+        match from_tgff(missing_deadline) {
+            Err(TgffError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+
+        let bad_kind = "@GRAPH demo deadline 10\n@TASK 0 a robot 0\n@END\n";
+        match from_tgff(bad_kind) {
+            Err(TgffError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("robot"));
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+
+        let out_of_order = "@GRAPH demo deadline 10\n@TASK 1 a control 0\n@END\n";
+        assert!(matches!(
+            from_tgff(out_of_order),
+            Err(TgffError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn structural_errors_surface_as_graph_errors() {
+        let cyclic = "\
+@GRAPH demo deadline 10
+@TASK 0 a control 0
+@TASK 1 b control 0
+@EDGE 0 1 1
+@EDGE 1 0 1
+@END
+";
+        assert!(matches!(from_tgff(cyclic), Err(TgffError::Graph(_))));
+
+        let dangling = "@GRAPH demo deadline 10\n@TASK 0 a control 0\n@EDGE 0 5 1\n@END\n";
+        assert!(matches!(from_tgff(dangling), Err(TgffError::Graph(_))));
+    }
+
+    #[test]
+    fn missing_header_and_terminator_are_reported() {
+        assert!(matches!(
+            from_tgff("@TASK 0 a control 0\n@END\n"),
+            Err(TgffError::MissingHeader)
+        ));
+        assert!(matches!(
+            from_tgff("@GRAPH demo deadline 10\n@TASK 0 a control 0\n"),
+            Err(TgffError::MissingTerminator)
+        ));
+        assert!(matches!(
+            from_tgff("@GRAPH d deadline 10\n@TASK 0 a control 0\n@END\nextra\n"),
+            Err(TgffError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn names_with_whitespace_are_sanitised() {
+        let mut builder = TaskGraphBuilder::new("two words", 50.0);
+        builder.add_task("task one", TaskKind::Compute, 0);
+        let graph = builder.build().expect("graph");
+        let text = to_tgff(&graph);
+        assert!(text.contains("@GRAPH two_words"));
+        assert!(text.contains("task_one"));
+        assert!(from_tgff(&text).is_ok());
+    }
+
+    #[test]
+    fn generated_graphs_round_trip() {
+        let graph = GeneratorConfig::new("random", 40, 55, 1200.0)
+            .with_seed(7)
+            .generate()
+            .expect("generated");
+        let back = from_tgff(&to_tgff(&graph)).expect("parse");
+        assert!(graphs_equivalent(&graph, &back));
+    }
+}

@@ -1,0 +1,270 @@
+//! Target architectures: collections of PE instances.
+
+use std::fmt;
+
+use crate::error::LibraryError;
+use crate::library::TechLibrary;
+use crate::pe::{PeId, PeInstance, PeTypeId};
+
+/// A target architecture: an ordered set of processing-element instances.
+///
+/// In the paper two kinds of architectures appear:
+///
+/// * **platform-based** — a pre-defined architecture, e.g. four identical
+///   PEs ([`Architecture::platform`]);
+/// * **customised** — produced by the co-synthesis loop, which adds and
+///   removes instances from the technology library while the ASP evaluates
+///   each candidate.
+///
+/// An architecture only stores *which* PE types are instantiated; geometric
+/// placement is the floorplanner's job and timing/power lookups go through
+/// the [`TechLibrary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Architecture {
+    name: String,
+    instances: Vec<PeInstance>,
+}
+
+impl Architecture {
+    /// Creates an empty architecture with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Architecture {
+            name: name.into(),
+            instances: Vec::new(),
+        }
+    }
+
+    /// Creates a platform-based architecture with `count` identical instances
+    /// of the given PE type, as used by the paper's platform experiments
+    /// ("using four identical PEs").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tats_techlib::{Architecture, PeTypeId};
+    ///
+    /// let platform = Architecture::platform("quad", PeTypeId(0), 4);
+    /// assert_eq!(platform.pe_count(), 4);
+    /// ```
+    pub fn platform(name: impl Into<String>, pe_type: PeTypeId, count: usize) -> Self {
+        let mut arch = Architecture::new(name);
+        for _ in 0..count {
+            arch.add_instance(pe_type);
+        }
+        arch
+    }
+
+    /// Name of the architecture.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of PE instances.
+    pub fn pe_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Returns `true` if the architecture has no PEs.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Adds an instance of `pe_type` and returns its instance id.
+    pub fn add_instance(&mut self, pe_type: PeTypeId) -> PeId {
+        let id = PeId(self.instances.len());
+        self.instances.push(PeInstance::new(id, pe_type));
+        id
+    }
+
+    /// Removes the last instance, if any, and returns it.
+    ///
+    /// Only the most recently added instance can be removed so instance ids
+    /// stay dense; the co-synthesis loop exploits this by exploring
+    /// architectures in a stack-like fashion.
+    pub fn pop_instance(&mut self) -> Option<PeInstance> {
+        self.instances.pop()
+    }
+
+    /// All instances in id order.
+    pub fn instances(&self) -> &[PeInstance] {
+        &self.instances
+    }
+
+    /// Iterates over the instance ids in order.
+    pub fn pe_ids(&self) -> impl Iterator<Item = PeId> + '_ {
+        (0..self.instances.len()).map(PeId)
+    }
+
+    /// Returns the instance with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPe`] when the id is out of range.
+    pub fn instance(&self, id: PeId) -> Result<&PeInstance, LibraryError> {
+        self.instances
+            .get(id.index())
+            .ok_or(LibraryError::UnknownPe(id.index()))
+    }
+
+    /// Returns the PE type of the given instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPe`] when the id is out of range.
+    pub fn pe_type_of(&self, id: PeId) -> Result<PeTypeId, LibraryError> {
+        Ok(self.instance(id)?.type_id())
+    }
+
+    /// Checks that every instance refers to a type present in `library`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPeType`] for the first dangling
+    /// reference found.
+    pub fn validate(&self, library: &TechLibrary) -> Result<(), LibraryError> {
+        for inst in &self.instances {
+            if inst.type_id().index() >= library.pe_type_count() {
+                return Err(LibraryError::UnknownPeType(inst.type_id().index()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total co-synthesis cost of the architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPeType`] if an instance refers to a
+    /// type that `library` does not define.
+    pub fn total_cost(&self, library: &TechLibrary) -> Result<f64, LibraryError> {
+        self.instances
+            .iter()
+            .map(|inst| library.pe_type(inst.type_id()).map(|t| t.cost()))
+            .sum()
+    }
+
+    /// Total silicon area of the architecture in square millimetres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPeType`] if an instance refers to a
+    /// type that `library` does not define.
+    pub fn total_area_mm2(&self, library: &TechLibrary) -> Result<f64, LibraryError> {
+        self.instances
+            .iter()
+            .map(|inst| library.pe_type(inst.type_id()).map(|t| t.area_mm2()))
+            .sum()
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} PEs)", self.name, self.instances.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::TechLibraryBuilder;
+    use crate::pe::PeClass;
+
+    fn library() -> TechLibrary {
+        let mut b = TechLibraryBuilder::new(2);
+        b.add_pe_type(
+            "a",
+            PeClass::GppFast,
+            6.0,
+            6.0,
+            50.0,
+            0.5,
+            vec![10.0, 12.0],
+            vec![5.0, 6.0],
+        )
+        .unwrap();
+        b.add_pe_type(
+            "b",
+            PeClass::GppSlow,
+            4.0,
+            5.0,
+            20.0,
+            0.1,
+            vec![20.0, 25.0],
+            vec![1.5, 1.8],
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn platform_creates_identical_instances() {
+        let arch = Architecture::platform("quad", PeTypeId(1), 4);
+        assert_eq!(arch.pe_count(), 4);
+        assert!(arch
+            .instances()
+            .iter()
+            .all(|inst| inst.type_id() == PeTypeId(1)));
+    }
+
+    #[test]
+    fn add_and_pop_keep_ids_dense() {
+        let mut arch = Architecture::new("custom");
+        let a = arch.add_instance(PeTypeId(0));
+        let b = arch.add_instance(PeTypeId(1));
+        assert_eq!(a, PeId(0));
+        assert_eq!(b, PeId(1));
+        assert_eq!(arch.pop_instance().unwrap().id(), PeId(1));
+        let c = arch.add_instance(PeTypeId(0));
+        assert_eq!(c, PeId(1));
+    }
+
+    #[test]
+    fn cost_and_area_accumulate() {
+        let lib = library();
+        let mut arch = Architecture::new("mix");
+        arch.add_instance(PeTypeId(0));
+        arch.add_instance(PeTypeId(1));
+        assert_eq!(arch.total_cost(&lib).unwrap(), 70.0);
+        assert_eq!(arch.total_area_mm2(&lib).unwrap(), 36.0 + 20.0);
+    }
+
+    #[test]
+    fn validate_catches_dangling_type() {
+        let lib = library();
+        let mut arch = Architecture::new("bad");
+        arch.add_instance(PeTypeId(7));
+        assert_eq!(
+            arch.validate(&lib).unwrap_err(),
+            LibraryError::UnknownPeType(7)
+        );
+        assert!(arch.total_cost(&lib).is_err());
+    }
+
+    #[test]
+    fn instance_lookup_errors_when_out_of_range() {
+        let arch = Architecture::platform("quad", PeTypeId(0), 2);
+        assert!(arch.instance(PeId(1)).is_ok());
+        assert_eq!(
+            arch.instance(PeId(2)).unwrap_err(),
+            LibraryError::UnknownPe(2)
+        );
+        assert_eq!(
+            arch.pe_type_of(PeId(9)).unwrap_err(),
+            LibraryError::UnknownPe(9)
+        );
+    }
+
+    #[test]
+    fn empty_architecture_reports_empty() {
+        let arch = Architecture::new("empty");
+        assert!(arch.is_empty());
+        assert_eq!(arch.pe_count(), 0);
+        assert_eq!(arch.total_cost(&library()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_name_and_count() {
+        let arch = Architecture::platform("quad", PeTypeId(0), 4);
+        assert_eq!(arch.to_string(), "quad (4 PEs)");
+    }
+}

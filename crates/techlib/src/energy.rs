@@ -1,0 +1,282 @@
+//! Power and energy bookkeeping during scheduling.
+//!
+//! The power-aware heuristics of the paper need two running quantities while
+//! the list scheduler executes:
+//!
+//! * the power/energy of the *candidate* task on the *candidate* PE
+//!   (heuristics 1 and 3), straight from the [`crate::TechLibrary`];
+//! * the *cumulative average power* of a PE (heuristic 2), i.e. the energy it
+//!   has consumed so far divided by the elapsed schedule time.
+//!
+//! The thermal-aware policy additionally needs the average power of every PE
+//! over the schedule horizon, which is what the thermal model consumes as
+//! per-block power. [`PowerTracker`] maintains all of this incrementally.
+
+use std::fmt;
+
+use crate::error::LibraryError;
+use crate::pe::PeId;
+
+/// Incremental per-PE energy/power accounting for a schedule under
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use tats_techlib::{PeId, PowerTracker};
+///
+/// # fn main() -> Result<(), tats_techlib::LibraryError> {
+/// let mut tracker = PowerTracker::new(2);
+/// // Task on PE0: runs 0..10 at 4 W.
+/// tracker.record_execution(PeId(0), 0.0, 10.0, 4.0)?;
+/// assert_eq!(tracker.busy_energy(PeId(0))?, 40.0);
+/// // Average power of PE0 over the first 20 time units is 2 W.
+/// assert_eq!(tracker.average_power(PeId(0), 20.0)?, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTracker {
+    busy_energy: Vec<f64>,
+    busy_time: Vec<f64>,
+    executions: Vec<usize>,
+}
+
+impl PowerTracker {
+    /// Creates a tracker for an architecture with `pe_count` PEs.
+    pub fn new(pe_count: usize) -> Self {
+        PowerTracker {
+            busy_energy: vec![0.0; pe_count],
+            busy_time: vec![0.0; pe_count],
+            executions: vec![0; pe_count],
+        }
+    }
+
+    /// Number of PEs tracked.
+    pub fn pe_count(&self) -> usize {
+        self.busy_energy.len()
+    }
+
+    /// Records the execution of one task on `pe` from `start` to `end` at
+    /// `power` watts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPe`] for an out-of-range PE and
+    /// [`LibraryError::InvalidParameter`] when `end < start` or `power` is
+    /// negative or non-finite.
+    pub fn record_execution(
+        &mut self,
+        pe: PeId,
+        start: f64,
+        end: f64,
+        power: f64,
+    ) -> Result<(), LibraryError> {
+        let idx = self.index(pe)?;
+        if end < start || !start.is_finite() || !end.is_finite() {
+            return Err(LibraryError::InvalidParameter(format!(
+                "invalid execution interval [{start}, {end}]"
+            )));
+        }
+        if power < 0.0 || !power.is_finite() {
+            return Err(LibraryError::InvalidParameter(format!(
+                "power must be non-negative and finite, got {power}"
+            )));
+        }
+        let duration = end - start;
+        self.busy_energy[idx] += power * duration;
+        self.busy_time[idx] += duration;
+        self.executions[idx] += 1;
+        Ok(())
+    }
+
+    /// Total energy consumed by tasks on `pe` so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPe`] for an out-of-range PE.
+    pub fn busy_energy(&self, pe: PeId) -> Result<f64, LibraryError> {
+        Ok(self.busy_energy[self.index(pe)?])
+    }
+
+    /// Total busy time of `pe` so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPe`] for an out-of-range PE.
+    pub fn busy_time(&self, pe: PeId) -> Result<f64, LibraryError> {
+        Ok(self.busy_time[self.index(pe)?])
+    }
+
+    /// Number of task executions recorded on `pe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPe`] for an out-of-range PE.
+    pub fn execution_count(&self, pe: PeId) -> Result<usize, LibraryError> {
+        Ok(self.executions[self.index(pe)?])
+    }
+
+    /// Average power of `pe` over the window `[0, horizon]`.
+    ///
+    /// This is the "cumulative average power of processing element" used by
+    /// the paper's heuristic 2 and the per-block power handed to the thermal
+    /// model. A zero horizon yields zero power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPe`] for an out-of-range PE and
+    /// [`LibraryError::InvalidParameter`] for a negative or non-finite
+    /// horizon.
+    pub fn average_power(&self, pe: PeId, horizon: f64) -> Result<f64, LibraryError> {
+        let idx = self.index(pe)?;
+        if horizon < 0.0 || !horizon.is_finite() {
+            return Err(LibraryError::InvalidParameter(format!(
+                "horizon must be non-negative and finite, got {horizon}"
+            )));
+        }
+        if horizon == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self.busy_energy[idx] / horizon)
+    }
+
+    /// Average power of every PE over `[0, horizon]`, indexed by PE id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::InvalidParameter`] for a negative or
+    /// non-finite horizon.
+    pub fn average_power_vector(&self, horizon: f64) -> Result<Vec<f64>, LibraryError> {
+        (0..self.pe_count())
+            .map(|i| self.average_power(PeId(i), horizon))
+            .collect()
+    }
+
+    /// Average *utilisation* of `pe` (busy time / horizon), clamped to `[0, 1]`
+    /// only by the physics of a correct schedule, not by this method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPe`] for an out-of-range PE and
+    /// [`LibraryError::InvalidParameter`] for a non-positive horizon.
+    pub fn utilisation(&self, pe: PeId, horizon: f64) -> Result<f64, LibraryError> {
+        let idx = self.index(pe)?;
+        if horizon <= 0.0 || !horizon.is_finite() {
+            return Err(LibraryError::InvalidParameter(format!(
+                "horizon must be positive and finite, got {horizon}"
+            )));
+        }
+        Ok(self.busy_time[idx] / horizon)
+    }
+
+    /// Sum of the average powers of all PEs over `[0, horizon]` — the
+    /// "Total Pow." column of the paper's tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::InvalidParameter`] for a negative or
+    /// non-finite horizon.
+    pub fn total_average_power(&self, horizon: f64) -> Result<f64, LibraryError> {
+        Ok(self.average_power_vector(horizon)?.iter().sum())
+    }
+
+    /// Total energy consumed across all PEs.
+    pub fn total_energy(&self) -> f64 {
+        self.busy_energy.iter().sum()
+    }
+
+    fn index(&self, pe: PeId) -> Result<usize, LibraryError> {
+        if pe.index() >= self.busy_energy.len() {
+            Err(LibraryError::UnknownPe(pe.index()))
+        } else {
+            Ok(pe.index())
+        }
+    }
+}
+
+impl fmt::Display for PowerTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "power tracker: {} PEs, {:.2} J total",
+            self.pe_count(),
+            self.total_energy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_and_time_accumulate_per_pe() {
+        let mut t = PowerTracker::new(2);
+        t.record_execution(PeId(0), 0.0, 10.0, 3.0).unwrap();
+        t.record_execution(PeId(0), 10.0, 15.0, 2.0).unwrap();
+        t.record_execution(PeId(1), 0.0, 4.0, 5.0).unwrap();
+        assert_eq!(t.busy_energy(PeId(0)).unwrap(), 40.0);
+        assert_eq!(t.busy_time(PeId(0)).unwrap(), 15.0);
+        assert_eq!(t.execution_count(PeId(0)).unwrap(), 2);
+        assert_eq!(t.busy_energy(PeId(1)).unwrap(), 20.0);
+        assert_eq!(t.total_energy(), 60.0);
+    }
+
+    #[test]
+    fn average_power_divides_by_horizon() {
+        let mut t = PowerTracker::new(1);
+        t.record_execution(PeId(0), 0.0, 10.0, 4.0).unwrap();
+        assert_eq!(t.average_power(PeId(0), 40.0).unwrap(), 1.0);
+        assert_eq!(t.average_power(PeId(0), 0.0).unwrap(), 0.0);
+        assert_eq!(t.total_average_power(40.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn average_power_vector_covers_all_pes() {
+        let mut t = PowerTracker::new(3);
+        t.record_execution(PeId(1), 0.0, 5.0, 2.0).unwrap();
+        let v = t.average_power_vector(10.0).unwrap();
+        assert_eq!(v, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn utilisation_is_busy_fraction() {
+        let mut t = PowerTracker::new(1);
+        t.record_execution(PeId(0), 0.0, 25.0, 1.0).unwrap();
+        assert_eq!(t.utilisation(PeId(0), 100.0).unwrap(), 0.25);
+        assert!(t.utilisation(PeId(0), 0.0).is_err());
+    }
+
+    #[test]
+    fn invalid_intervals_and_power_are_rejected() {
+        let mut t = PowerTracker::new(1);
+        assert!(t.record_execution(PeId(0), 5.0, 4.0, 1.0).is_err());
+        assert!(t.record_execution(PeId(0), 0.0, 1.0, -1.0).is_err());
+        assert!(t.record_execution(PeId(0), 0.0, 1.0, f64::NAN).is_err());
+        assert!(t.record_execution(PeId(5), 0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn negative_horizon_is_rejected() {
+        let t = PowerTracker::new(1);
+        assert!(t.average_power(PeId(0), -1.0).is_err());
+        assert!(t.average_power_vector(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_duration_execution_adds_no_energy() {
+        let mut t = PowerTracker::new(1);
+        t.record_execution(PeId(0), 3.0, 3.0, 10.0).unwrap();
+        assert_eq!(t.busy_energy(PeId(0)).unwrap(), 0.0);
+        assert_eq!(t.execution_count(PeId(0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn display_reports_totals() {
+        let mut t = PowerTracker::new(2);
+        t.record_execution(PeId(0), 0.0, 2.0, 3.0).unwrap();
+        assert!(t.to_string().contains("2 PEs"));
+        assert!(t.to_string().contains("6.00 J"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for technology-library construction and lookups.
+
+use std::fmt;
+
+/// Errors produced while building or querying a [`crate::TechLibrary`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibraryError {
+    /// A processing-element type id was not found in the library.
+    UnknownPeType(usize),
+    /// A task type id exceeds the library's task-type count.
+    UnknownTaskType(usize),
+    /// A processing-element instance id was not found in the architecture.
+    UnknownPe(usize),
+    /// The library has no processing-element types.
+    NoPeTypes,
+    /// The library covers zero task types.
+    NoTaskTypes,
+    /// A table entry was negative, zero where positivity is required, or
+    /// non-finite.
+    InvalidEntry {
+        /// Row (task type) of the offending entry.
+        task_type: usize,
+        /// Column (PE type) of the offending entry.
+        pe_type: usize,
+        /// Description of what is wrong with the value.
+        reason: String,
+    },
+    /// A builder or generator parameter was out of its valid range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryError::UnknownPeType(id) => write!(f, "unknown PE type id {id}"),
+            LibraryError::UnknownTaskType(id) => write!(f, "unknown task type id {id}"),
+            LibraryError::UnknownPe(id) => write!(f, "unknown PE instance id {id}"),
+            LibraryError::NoPeTypes => write!(f, "technology library has no PE types"),
+            LibraryError::NoTaskTypes => write!(f, "technology library covers no task types"),
+            LibraryError::InvalidEntry {
+                task_type,
+                pe_type,
+                reason,
+            } => write!(
+                f,
+                "invalid table entry for task type {task_type} on PE type {pe_type}: {reason}"
+            ),
+            LibraryError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LibraryError::InvalidEntry {
+            task_type: 3,
+            pe_type: 1,
+            reason: "wcet must be positive".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("task type 3"));
+        assert!(msg.contains("PE type 1"));
+        assert!(msg.contains("wcet must be positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync>() {}
+        assert_bounds::<LibraryError>();
+    }
+
+    #[test]
+    fn all_variants_display_without_panicking() {
+        for e in [
+            LibraryError::UnknownPeType(0),
+            LibraryError::UnknownTaskType(1),
+            LibraryError::UnknownPe(2),
+            LibraryError::NoPeTypes,
+            LibraryError::NoTaskTypes,
+            LibraryError::InvalidParameter("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

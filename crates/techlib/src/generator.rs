@@ -1,0 +1,319 @@
+//! Seeded synthetic technology-library generation.
+//!
+//! The authors' technology library is not published; only its role is: it
+//! stores the worst-case power consumption (WCPC) and worst-case execution
+//! time (WCET) of every task type on every PE type, and it must expose a
+//! power/performance trade-off wide enough that the power heuristics and the
+//! thermal-aware policy can make different choices than the baseline.
+//! [`LibraryGenerator`] synthesises such a library deterministically from a
+//! seed, with per-class parameter ranges that mirror typical embedded PEs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::LibraryError;
+use crate::library::{TechLibrary, TechLibraryBuilder};
+use crate::pe::PeClass;
+
+/// Per-class count of PE types to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassMix {
+    /// Number of high-performance general-purpose processors.
+    pub gpp_fast: usize,
+    /// Number of energy-efficient general-purpose processors.
+    pub gpp_slow: usize,
+    /// Number of DSPs.
+    pub dsp: usize,
+    /// Number of application-specific accelerators.
+    pub accelerator: usize,
+}
+
+impl ClassMix {
+    /// Total number of PE types across all classes.
+    pub fn total(&self) -> usize {
+        self.gpp_fast + self.gpp_slow + self.dsp + self.accelerator
+    }
+}
+
+impl Default for ClassMix {
+    fn default() -> Self {
+        ClassMix {
+            gpp_fast: 2,
+            gpp_slow: 2,
+            dsp: 1,
+            accelerator: 1,
+        }
+    }
+}
+
+/// Seeded generator of synthetic [`TechLibrary`] instances.
+///
+/// # Examples
+///
+/// ```
+/// use tats_techlib::LibraryGenerator;
+///
+/// # fn main() -> Result<(), tats_techlib::LibraryError> {
+/// let library = LibraryGenerator::new(10).with_seed(7).generate()?;
+/// assert_eq!(library.task_type_count(), 10);
+/// assert!(library.pe_type_count() >= 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryGenerator {
+    task_type_count: usize,
+    mix: ClassMix,
+    base_time_range: (f64, f64),
+    seed: u64,
+}
+
+impl LibraryGenerator {
+    /// Creates a generator for a library covering `task_type_count` task
+    /// types with the default class mix.
+    pub fn new(task_type_count: usize) -> Self {
+        LibraryGenerator {
+            task_type_count,
+            mix: ClassMix::default(),
+            // Chosen so that the paper's benchmark deadlines require a small
+            // multi-PE architecture (roughly 3-4 fast PEs of parallelism):
+            // a single PE cannot meet them, the 4-PE platform can.
+            base_time_range: (130.0, 220.0),
+            seed: 0x7EC4,
+        }
+    }
+
+    /// Overrides the per-class PE type counts.
+    pub fn with_mix(mut self, mix: ClassMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Overrides the nominal (reference-PE) execution-time range per task type.
+    pub fn with_base_time_range(mut self, min: f64, max: f64) -> Self {
+        self.base_time_range = (min, max);
+        self
+    }
+
+    /// Overrides the seed; equal configurations generate identical libraries.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::InvalidParameter`] when the task-type count or
+    /// the class mix is zero or the base-time range is malformed; builder
+    /// errors are propagated unchanged.
+    pub fn generate(&self) -> Result<TechLibrary, LibraryError> {
+        if self.task_type_count == 0 {
+            return Err(LibraryError::InvalidParameter(
+                "task type count must be at least 1".to_string(),
+            ));
+        }
+        if self.mix.total() == 0 {
+            return Err(LibraryError::InvalidParameter(
+                "class mix must contain at least one PE type".to_string(),
+            ));
+        }
+        let (bt_min, bt_max) = self.base_time_range;
+        if !(bt_min.is_finite() && bt_max.is_finite()) || bt_min <= 0.0 || bt_max < bt_min {
+            return Err(LibraryError::InvalidParameter(format!(
+                "malformed base time range [{bt_min}, {bt_max}]"
+            )));
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Nominal execution time of each task type on a hypothetical
+        // reference PE; every real PE scales this by a class-specific factor.
+        let base_time: Vec<f64> = (0..self.task_type_count)
+            .map(|_| rng.gen_range(bt_min..=bt_max))
+            .collect();
+
+        let mut builder = TechLibraryBuilder::new(self.task_type_count);
+        let add_class = |builder: &mut TechLibraryBuilder,
+                             rng: &mut StdRng,
+                             class: PeClass,
+                             index: usize|
+         -> Result<(), LibraryError> {
+            let (name_prefix, width, height, cost, idle) = match class {
+                PeClass::GppFast => ("gpp-fast", 7.0, 7.0, rng.gen_range(60.0..80.0), 0.40),
+                PeClass::GppSlow => ("gpp-slow", 5.0, 5.0, rng.gen_range(25.0..35.0), 0.15),
+                PeClass::Dsp => ("dsp", 5.0, 6.0, rng.gen_range(38.0..46.0), 0.20),
+                PeClass::Accelerator => ("accel", 4.0, 4.0, rng.gen_range(45.0..60.0), 0.10),
+            };
+            let mut wcet = Vec::with_capacity(self.task_type_count);
+            let mut wcpc = Vec::with_capacity(self.task_type_count);
+            for &bt in &base_time {
+                let (speed, power) = match class {
+                    PeClass::GppFast => (
+                        rng.gen_range(0.55..0.75),
+                        rng.gen_range(4.0..6.5),
+                    ),
+                    PeClass::GppSlow => (
+                        rng.gen_range(1.20..1.60),
+                        rng.gen_range(1.4..2.4),
+                    ),
+                    PeClass::Dsp => (
+                        rng.gen_range(0.60..1.20),
+                        rng.gen_range(2.0..3.5),
+                    ),
+                    PeClass::Accelerator => {
+                        // Accelerators are excellent for roughly a third of
+                        // the task types and mediocre for the rest.
+                        if rng.gen_bool(0.35) {
+                            (rng.gen_range(0.35..0.55), rng.gen_range(0.8..1.6))
+                        } else {
+                            (rng.gen_range(1.50..2.50), rng.gen_range(2.5..3.5))
+                        }
+                    }
+                };
+                wcet.push(bt * speed);
+                wcpc.push(power);
+            }
+            builder.add_pe_type(
+                format!("{name_prefix}-{index}"),
+                class,
+                width,
+                height,
+                cost,
+                idle,
+                wcet,
+                wcpc,
+            )?;
+            Ok(())
+        };
+
+        for i in 0..self.mix.gpp_fast {
+            add_class(&mut builder, &mut rng, PeClass::GppFast, i)?;
+        }
+        for i in 0..self.mix.gpp_slow {
+            add_class(&mut builder, &mut rng, PeClass::GppSlow, i)?;
+        }
+        for i in 0..self.mix.dsp {
+            add_class(&mut builder, &mut rng, PeClass::Dsp, i)?;
+        }
+        for i in 0..self.mix.accelerator {
+            add_class(&mut builder, &mut rng, PeClass::Accelerator, i)?;
+        }
+
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::PeTypeId;
+
+    #[test]
+    fn generated_library_has_requested_shape() {
+        let lib = LibraryGenerator::new(12).with_seed(3).generate().unwrap();
+        assert_eq!(lib.task_type_count(), 12);
+        assert_eq!(lib.pe_type_count(), ClassMix::default().total());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = LibraryGenerator::new(8).with_seed(5).generate().unwrap();
+        let b = LibraryGenerator::new(8).with_seed(5).generate().unwrap();
+        assert_eq!(a, b);
+        let c = LibraryGenerator::new(8).with_seed(6).generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_entry_is_positive_and_finite() {
+        let lib = LibraryGenerator::new(10).generate().unwrap();
+        for tt in 0..lib.task_type_count() {
+            for pe in 0..lib.pe_type_count() {
+                let wcet = lib.wcet(tt, PeTypeId(pe)).unwrap();
+                let wcpc = lib.wcpc(tt, PeTypeId(pe)).unwrap();
+                assert!(wcet.is_finite() && wcet > 0.0);
+                assert!(wcpc.is_finite() && wcpc > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_gpps_are_faster_and_hungrier_than_slow_gpps() {
+        let lib = LibraryGenerator::new(16).with_seed(11).generate().unwrap();
+        let fast: Vec<_> = lib
+            .pe_types()
+            .iter()
+            .filter(|t| t.class() == PeClass::GppFast)
+            .collect();
+        let slow: Vec<_> = lib
+            .pe_types()
+            .iter()
+            .filter(|t| t.class() == PeClass::GppSlow)
+            .collect();
+        assert!(!fast.is_empty() && !slow.is_empty());
+        for tt in 0..lib.task_type_count() {
+            for f in &fast {
+                for s in &slow {
+                    assert!(lib.wcet(tt, f.id()).unwrap() < lib.wcet(tt, s.id()).unwrap());
+                    assert!(lib.wcpc(tt, f.id()).unwrap() > lib.wcpc(tt, s.id()).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trade_off_exists_between_speed_and_energy() {
+        // For most task types the fastest PE should not also be the most
+        // energy-efficient one, otherwise the power heuristics degenerate.
+        let lib = LibraryGenerator::new(20).with_seed(2).generate().unwrap();
+        let mut differing = 0;
+        for tt in 0..lib.task_type_count() {
+            if lib.fastest_pe_type(tt).unwrap() != lib.most_efficient_pe_type(tt).unwrap() {
+                differing += 1;
+            }
+        }
+        assert!(differing >= lib.task_type_count() / 2);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(LibraryGenerator::new(0).generate().is_err());
+        assert!(LibraryGenerator::new(4)
+            .with_mix(ClassMix {
+                gpp_fast: 0,
+                gpp_slow: 0,
+                dsp: 0,
+                accelerator: 0
+            })
+            .generate()
+            .is_err());
+        assert!(LibraryGenerator::new(4)
+            .with_base_time_range(10.0, 5.0)
+            .generate()
+            .is_err());
+        assert!(LibraryGenerator::new(4)
+            .with_base_time_range(0.0, 5.0)
+            .generate()
+            .is_err());
+    }
+
+    #[test]
+    fn custom_mix_is_respected() {
+        let mix = ClassMix {
+            gpp_fast: 1,
+            gpp_slow: 3,
+            dsp: 0,
+            accelerator: 2,
+        };
+        let lib = LibraryGenerator::new(5).with_mix(mix).generate().unwrap();
+        assert_eq!(lib.pe_type_count(), 6);
+        let slow_count = lib
+            .pe_types()
+            .iter()
+            .filter(|t| t.class() == PeClass::GppSlow)
+            .count();
+        assert_eq!(slow_count, 3);
+    }
+}

@@ -1,0 +1,496 @@
+//! The technology library: worst-case execution time and power tables.
+
+use std::fmt;
+
+use crate::error::LibraryError;
+use crate::pe::{PeClass, PeType, PeTypeId};
+
+/// Technology library mapping `(task type, PE type)` pairs to worst-case
+/// execution times (WCET) and worst-case power consumptions (WCPC).
+///
+/// The paper's ASP "retrieves the WCET of this task executed on PE_j from the
+/// technology library"; the WCPC table likewise supplies the power term of
+/// the power-aware heuristics and the per-block power handed to the thermal
+/// model. Rows are task types (as carried by
+/// [`tats_taskgraph::Task::type_id`]), columns are [`PeType`]s.
+///
+/// Libraries are immutable once built; use [`TechLibraryBuilder`] to
+/// construct one, or [`crate::profiles::standard_library`] /
+/// [`crate::LibraryGenerator`] for ready-made synthetic libraries.
+///
+/// [`tats_taskgraph::Task::type_id`]: https://docs.rs/tats-taskgraph
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechLibrary {
+    pe_types: Vec<PeType>,
+    task_type_count: usize,
+    /// `wcet[task_type][pe_type]`, time units.
+    wcet: Vec<Vec<f64>>,
+    /// `wcpc[task_type][pe_type]`, watts.
+    wcpc: Vec<Vec<f64>>,
+}
+
+impl TechLibrary {
+    /// Number of PE types in the library.
+    pub fn pe_type_count(&self) -> usize {
+        self.pe_types.len()
+    }
+
+    /// Number of task types covered by the tables.
+    pub fn task_type_count(&self) -> usize {
+        self.task_type_count
+    }
+
+    /// All PE types, ordered by id.
+    pub fn pe_types(&self) -> &[PeType] {
+        &self.pe_types
+    }
+
+    /// Returns the PE type with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownPeType`] if the id is out of range.
+    pub fn pe_type(&self, id: PeTypeId) -> Result<&PeType, LibraryError> {
+        self.pe_types
+            .get(id.index())
+            .ok_or(LibraryError::UnknownPeType(id.index()))
+    }
+
+    /// Worst-case execution time of a task type on a PE type, in time units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownTaskType`] or
+    /// [`LibraryError::UnknownPeType`] when an index is out of range.
+    pub fn wcet(&self, task_type: usize, pe_type: PeTypeId) -> Result<f64, LibraryError> {
+        self.check(task_type, pe_type)?;
+        Ok(self.wcet[task_type][pe_type.index()])
+    }
+
+    /// Worst-case power consumption of a task type on a PE type, in watts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownTaskType`] or
+    /// [`LibraryError::UnknownPeType`] when an index is out of range.
+    pub fn wcpc(&self, task_type: usize, pe_type: PeTypeId) -> Result<f64, LibraryError> {
+        self.check(task_type, pe_type)?;
+        Ok(self.wcpc[task_type][pe_type.index()])
+    }
+
+    /// Energy of executing a task type on a PE type: `WCET × WCPC`.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`TechLibrary::wcet`].
+    pub fn energy(&self, task_type: usize, pe_type: PeTypeId) -> Result<f64, LibraryError> {
+        Ok(self.wcet(task_type, pe_type)? * self.wcpc(task_type, pe_type)?)
+    }
+
+    /// Mean WCET of a task type over all PE types.
+    ///
+    /// Used as the per-task weight when computing static criticalities, so
+    /// the priority ordering does not depend on any particular mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownTaskType`] when the row is out of range.
+    pub fn average_wcet(&self, task_type: usize) -> Result<f64, LibraryError> {
+        if task_type >= self.task_type_count {
+            return Err(LibraryError::UnknownTaskType(task_type));
+        }
+        let row = &self.wcet[task_type];
+        Ok(row.iter().sum::<f64>() / row.len() as f64)
+    }
+
+    /// PE type with the smallest WCET for the task type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownTaskType`] when the row is out of range.
+    pub fn fastest_pe_type(&self, task_type: usize) -> Result<PeTypeId, LibraryError> {
+        self.argmin_over_pe(task_type, &self.wcet)
+    }
+
+    /// PE type with the smallest energy (`WCET × WCPC`) for the task type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::UnknownTaskType`] when the row is out of range.
+    pub fn most_efficient_pe_type(&self, task_type: usize) -> Result<PeTypeId, LibraryError> {
+        if task_type >= self.task_type_count {
+            return Err(LibraryError::UnknownTaskType(task_type));
+        }
+        let best = (0..self.pe_types.len())
+            .min_by(|&a, &b| {
+                let ea = self.wcet[task_type][a] * self.wcpc[task_type][a];
+                let eb = self.wcet[task_type][b] * self.wcpc[task_type][b];
+                ea.total_cmp(&eb)
+            })
+            .expect("libraries always have at least one PE type");
+        Ok(PeTypeId(best))
+    }
+
+    fn argmin_over_pe(
+        &self,
+        task_type: usize,
+        table: &[Vec<f64>],
+    ) -> Result<PeTypeId, LibraryError> {
+        if task_type >= self.task_type_count {
+            return Err(LibraryError::UnknownTaskType(task_type));
+        }
+        let row = &table[task_type];
+        let best = (0..row.len())
+            .min_by(|&a, &b| row[a].total_cmp(&row[b]))
+            .expect("libraries always have at least one PE type");
+        Ok(PeTypeId(best))
+    }
+
+    fn check(&self, task_type: usize, pe_type: PeTypeId) -> Result<(), LibraryError> {
+        if task_type >= self.task_type_count {
+            return Err(LibraryError::UnknownTaskType(task_type));
+        }
+        if pe_type.index() >= self.pe_types.len() {
+            return Err(LibraryError::UnknownPeType(pe_type.index()));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TechLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "technology library: {} PE types x {} task types",
+            self.pe_types.len(),
+            self.task_type_count
+        )
+    }
+}
+
+/// Builder for [`TechLibrary`].
+///
+/// Every call to [`TechLibraryBuilder::add_pe_type`] supplies the full WCET
+/// and WCPC column for the new PE type, so a built library is always
+/// complete.
+///
+/// # Examples
+///
+/// ```
+/// use tats_techlib::{PeClass, TechLibraryBuilder};
+///
+/// # fn main() -> Result<(), tats_techlib::LibraryError> {
+/// let mut b = TechLibraryBuilder::new(2);
+/// let gpp = b.add_pe_type(
+///     "gpp", PeClass::GppFast, 6.0, 6.0, 40.0, 0.3,
+///     vec![10.0, 20.0],       // WCET per task type
+///     vec![4.0, 5.0],         // WCPC per task type
+/// )?;
+/// let lib = b.build()?;
+/// assert_eq!(lib.wcet(1, gpp)?, 20.0);
+/// assert_eq!(lib.energy(0, gpp)?, 40.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechLibraryBuilder {
+    task_type_count: usize,
+    pe_types: Vec<PeType>,
+    wcet_columns: Vec<Vec<f64>>,
+    wcpc_columns: Vec<Vec<f64>>,
+}
+
+impl TechLibraryBuilder {
+    /// Starts a builder for a library covering `task_type_count` task types.
+    pub fn new(task_type_count: usize) -> Self {
+        TechLibraryBuilder {
+            task_type_count,
+            pe_types: Vec::new(),
+            wcet_columns: Vec::new(),
+            wcpc_columns: Vec::new(),
+        }
+    }
+
+    /// Number of PE types added so far.
+    pub fn pe_type_count(&self) -> usize {
+        self.pe_types.len()
+    }
+
+    /// Adds a PE type together with its WCET and WCPC columns (one entry per
+    /// task type) and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::InvalidParameter`] if the column lengths do
+    /// not match the task-type count or the geometry is non-positive, and
+    /// [`LibraryError::InvalidEntry`] if any WCET/WCPC value is not strictly
+    /// positive and finite.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_pe_type(
+        &mut self,
+        name: impl Into<String>,
+        class: PeClass,
+        width_mm: f64,
+        height_mm: f64,
+        cost: f64,
+        idle_power: f64,
+        wcet: Vec<f64>,
+        wcpc: Vec<f64>,
+    ) -> Result<PeTypeId, LibraryError> {
+        if wcet.len() != self.task_type_count || wcpc.len() != self.task_type_count {
+            return Err(LibraryError::InvalidParameter(format!(
+                "expected {} WCET/WCPC entries, got {}/{}",
+                self.task_type_count,
+                wcet.len(),
+                wcpc.len()
+            )));
+        }
+        if width_mm <= 0.0 || height_mm <= 0.0 || !width_mm.is_finite() || !height_mm.is_finite() {
+            return Err(LibraryError::InvalidParameter(format!(
+                "PE dimensions must be positive, got {width_mm}x{height_mm}"
+            )));
+        }
+        if cost < 0.0 || idle_power < 0.0 {
+            return Err(LibraryError::InvalidParameter(
+                "cost and idle power must be non-negative".to_string(),
+            ));
+        }
+        let id = PeTypeId(self.pe_types.len());
+        for (task_type, (&t, &p)) in wcet.iter().zip(wcpc.iter()).enumerate() {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(LibraryError::InvalidEntry {
+                    task_type,
+                    pe_type: id.index(),
+                    reason: format!("wcet must be positive and finite, got {t}"),
+                });
+            }
+            if !(p.is_finite() && p > 0.0) {
+                return Err(LibraryError::InvalidEntry {
+                    task_type,
+                    pe_type: id.index(),
+                    reason: format!("wcpc must be positive and finite, got {p}"),
+                });
+            }
+        }
+        self.pe_types.push(PeType::new(
+            id, name, class, width_mm, height_mm, cost, idle_power,
+        ));
+        self.wcet_columns.push(wcet);
+        self.wcpc_columns.push(wcpc);
+        Ok(id)
+    }
+
+    /// Finalises the library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::NoPeTypes`] or [`LibraryError::NoTaskTypes`]
+    /// when the library would be empty in either dimension.
+    pub fn build(self) -> Result<TechLibrary, LibraryError> {
+        if self.pe_types.is_empty() {
+            return Err(LibraryError::NoPeTypes);
+        }
+        if self.task_type_count == 0 {
+            return Err(LibraryError::NoTaskTypes);
+        }
+        // Transpose the per-PE columns into per-task-type rows.
+        let mut wcet = vec![vec![0.0; self.pe_types.len()]; self.task_type_count];
+        let mut wcpc = vec![vec![0.0; self.pe_types.len()]; self.task_type_count];
+        for (pe, (wcol, pcol)) in self
+            .wcet_columns
+            .iter()
+            .zip(self.wcpc_columns.iter())
+            .enumerate()
+        {
+            for task_type in 0..self.task_type_count {
+                wcet[task_type][pe] = wcol[task_type];
+                wcpc[task_type][pe] = pcol[task_type];
+            }
+        }
+        Ok(TechLibrary {
+            pe_types: self.pe_types,
+            task_type_count: self.task_type_count,
+            wcet,
+            wcpc,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pe_library() -> TechLibrary {
+        let mut b = TechLibraryBuilder::new(3);
+        b.add_pe_type(
+            "fast",
+            PeClass::GppFast,
+            6.0,
+            6.0,
+            50.0,
+            0.5,
+            vec![10.0, 12.0, 8.0],
+            vec![5.0, 6.0, 4.0],
+        )
+        .unwrap();
+        b.add_pe_type(
+            "slow",
+            PeClass::GppSlow,
+            4.0,
+            4.0,
+            20.0,
+            0.1,
+            vec![20.0, 25.0, 18.0],
+            vec![1.5, 1.8, 1.2],
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tables_round_trip() {
+        let lib = two_pe_library();
+        assert_eq!(lib.pe_type_count(), 2);
+        assert_eq!(lib.task_type_count(), 3);
+        assert_eq!(lib.wcet(0, PeTypeId(0)).unwrap(), 10.0);
+        assert_eq!(lib.wcet(2, PeTypeId(1)).unwrap(), 18.0);
+        assert_eq!(lib.wcpc(1, PeTypeId(0)).unwrap(), 6.0);
+        assert_eq!(lib.energy(0, PeTypeId(1)).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn average_wcet_is_mean_over_pe_types() {
+        let lib = two_pe_library();
+        assert_eq!(lib.average_wcet(0).unwrap(), 15.0);
+        assert_eq!(lib.average_wcet(1).unwrap(), 18.5);
+    }
+
+    #[test]
+    fn fastest_and_most_efficient_differ_when_tradeoff_exists() {
+        let lib = two_pe_library();
+        // Fast PE wins on time, slow PE wins on energy for every task type.
+        for task_type in 0..3 {
+            assert_eq!(lib.fastest_pe_type(task_type).unwrap(), PeTypeId(0));
+            assert_eq!(lib.most_efficient_pe_type(task_type).unwrap(), PeTypeId(1));
+        }
+    }
+
+    #[test]
+    fn out_of_range_queries_error() {
+        let lib = two_pe_library();
+        assert_eq!(
+            lib.wcet(9, PeTypeId(0)).unwrap_err(),
+            LibraryError::UnknownTaskType(9)
+        );
+        assert_eq!(
+            lib.wcet(0, PeTypeId(9)).unwrap_err(),
+            LibraryError::UnknownPeType(9)
+        );
+        assert_eq!(
+            lib.pe_type(PeTypeId(5)).unwrap_err(),
+            LibraryError::UnknownPeType(5)
+        );
+        assert_eq!(
+            lib.average_wcet(7).unwrap_err(),
+            LibraryError::UnknownTaskType(7)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_wrong_column_lengths() {
+        let mut b = TechLibraryBuilder::new(3);
+        let err = b
+            .add_pe_type(
+                "bad",
+                PeClass::Dsp,
+                4.0,
+                4.0,
+                10.0,
+                0.1,
+                vec![1.0, 2.0],
+                vec![1.0, 2.0, 3.0],
+            )
+            .unwrap_err();
+        assert!(matches!(err, LibraryError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn builder_rejects_non_positive_entries() {
+        let mut b = TechLibraryBuilder::new(2);
+        let err = b
+            .add_pe_type(
+                "bad",
+                PeClass::Dsp,
+                4.0,
+                4.0,
+                10.0,
+                0.1,
+                vec![1.0, 0.0],
+                vec![1.0, 2.0],
+            )
+            .unwrap_err();
+        assert!(matches!(err, LibraryError::InvalidEntry { task_type: 1, .. }));
+
+        let mut b = TechLibraryBuilder::new(1);
+        let err = b
+            .add_pe_type(
+                "bad",
+                PeClass::Dsp,
+                4.0,
+                4.0,
+                10.0,
+                0.1,
+                vec![1.0],
+                vec![f64::NAN],
+            )
+            .unwrap_err();
+        assert!(matches!(err, LibraryError::InvalidEntry { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_bad_geometry() {
+        let mut b = TechLibraryBuilder::new(1);
+        let err = b
+            .add_pe_type(
+                "bad",
+                PeClass::Dsp,
+                0.0,
+                4.0,
+                10.0,
+                0.1,
+                vec![1.0],
+                vec![1.0],
+            )
+            .unwrap_err();
+        assert!(matches!(err, LibraryError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn empty_library_is_rejected() {
+        assert_eq!(
+            TechLibraryBuilder::new(3).build().unwrap_err(),
+            LibraryError::NoPeTypes
+        );
+        let mut b = TechLibraryBuilder::new(0);
+        assert!(b
+            .add_pe_type(
+                "x",
+                PeClass::Dsp,
+                1.0,
+                1.0,
+                1.0,
+                0.0,
+                Vec::new(),
+                Vec::new()
+            )
+            .is_ok());
+        assert_eq!(b.build().unwrap_err(), LibraryError::NoTaskTypes);
+    }
+
+    #[test]
+    fn display_mentions_dimensions() {
+        let lib = two_pe_library();
+        assert!(lib.to_string().contains("2 PE types"));
+        assert!(lib.to_string().contains("3 task types"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Processing-element types and instances.
+
+use std::fmt;
+
+/// Identifier of a processing-element *type* in a [`crate::TechLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeTypeId(pub usize);
+
+impl PeTypeId {
+    /// Dense index of the PE type within its library.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PeTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PEType{}", self.0)
+    }
+}
+
+impl From<usize> for PeTypeId {
+    fn from(value: usize) -> Self {
+        PeTypeId(value)
+    }
+}
+
+/// Identifier of a processing-element *instance* in an
+/// [`crate::Architecture`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeId(pub usize);
+
+impl PeId {
+    /// Dense index of the PE instance within its architecture.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+impl From<usize> for PeId {
+    fn from(value: usize) -> Self {
+        PeId(value)
+    }
+}
+
+/// Broad family of a processing element.
+///
+/// The class determines the qualitative power/performance trade-off baked
+/// into the synthetic technology libraries: general-purpose processors are
+/// flexible but power hungry, DSPs excel at signal-processing kernels,
+/// accelerators are fast and efficient for their dedicated task types, and
+/// low-power cores trade speed for energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeClass {
+    /// High-performance general-purpose processor.
+    GppFast,
+    /// Energy-efficient (slower) general-purpose processor.
+    GppSlow,
+    /// Digital signal processor.
+    Dsp,
+    /// Application-specific accelerator.
+    Accelerator,
+}
+
+impl PeClass {
+    /// All PE classes in a stable order.
+    pub const ALL: [PeClass; 4] = [
+        PeClass::GppFast,
+        PeClass::GppSlow,
+        PeClass::Dsp,
+        PeClass::Accelerator,
+    ];
+}
+
+impl fmt::Display for PeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PeClass::GppFast => "gpp-fast",
+            PeClass::GppSlow => "gpp-slow",
+            PeClass::Dsp => "dsp",
+            PeClass::Accelerator => "accelerator",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A processing-element type available in the technology library.
+///
+/// The geometric fields (width/height in millimetres) are consumed by the
+/// floorplanner and the thermal model; `cost` is the co-synthesis price of
+/// instantiating the PE; `idle_power` is dissipated whenever the PE is
+/// powered but not executing a task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeType {
+    id: PeTypeId,
+    name: String,
+    class: PeClass,
+    width_mm: f64,
+    height_mm: f64,
+    cost: f64,
+    idle_power: f64,
+}
+
+impl PeType {
+    /// Creates a new PE type description.
+    pub fn new(
+        id: PeTypeId,
+        name: impl Into<String>,
+        class: PeClass,
+        width_mm: f64,
+        height_mm: f64,
+        cost: f64,
+        idle_power: f64,
+    ) -> Self {
+        PeType {
+            id,
+            name: name.into(),
+            class,
+            width_mm,
+            height_mm,
+            cost,
+            idle_power,
+        }
+    }
+
+    /// Identifier of the type within its library.
+    pub fn id(&self) -> PeTypeId {
+        self.id
+    }
+
+    /// Human-readable name, e.g. `"arm9-fast"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Family of the PE.
+    pub fn class(&self) -> PeClass {
+        self.class
+    }
+
+    /// Die width in millimetres.
+    pub fn width_mm(&self) -> f64 {
+        self.width_mm
+    }
+
+    /// Die height in millimetres.
+    pub fn height_mm(&self) -> f64 {
+        self.height_mm
+    }
+
+    /// Silicon area in square millimetres.
+    pub fn area_mm2(&self) -> f64 {
+        self.width_mm * self.height_mm
+    }
+
+    /// Co-synthesis cost of instantiating this PE.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Idle (static) power dissipation in watts.
+    pub fn idle_power(&self) -> f64 {
+        self.idle_power
+    }
+}
+
+impl fmt::Display for PeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} '{}' ({}, {:.1}x{:.1} mm, cost {:.1})",
+            self.id, self.name, self.class, self.width_mm, self.height_mm, self.cost
+        )
+    }
+}
+
+/// A processing-element instance placed in an architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeInstance {
+    id: PeId,
+    type_id: PeTypeId,
+}
+
+impl PeInstance {
+    /// Creates an instance of the given type.
+    pub fn new(id: PeId, type_id: PeTypeId) -> Self {
+        PeInstance { id, type_id }
+    }
+
+    /// Instance identifier within its architecture.
+    pub fn id(&self) -> PeId {
+        self.id
+    }
+
+    /// Type of the instance within the technology library.
+    pub fn type_id(&self) -> PeTypeId {
+        self.type_id
+    }
+}
+
+impl fmt::Display for PeInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} of {}", self.id, self.type_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_type_geometry_and_accessors() {
+        let t = PeType::new(PeTypeId(1), "dsp0", PeClass::Dsp, 4.0, 5.0, 20.0, 0.2);
+        assert_eq!(t.id(), PeTypeId(1));
+        assert_eq!(t.name(), "dsp0");
+        assert_eq!(t.class(), PeClass::Dsp);
+        assert_eq!(t.area_mm2(), 20.0);
+        assert_eq!(t.cost(), 20.0);
+        assert_eq!(t.idle_power(), 0.2);
+        assert!(t.to_string().contains("dsp0"));
+    }
+
+    #[test]
+    fn ids_display_distinctly() {
+        assert_eq!(PeTypeId(2).to_string(), "PEType2");
+        assert_eq!(PeId(2).to_string(), "PE2");
+        assert_eq!(PeTypeId::from(3).index(), 3);
+        assert_eq!(PeId::from(4).index(), 4);
+    }
+
+    #[test]
+    fn instance_links_type() {
+        let inst = PeInstance::new(PeId(0), PeTypeId(3));
+        assert_eq!(inst.id(), PeId(0));
+        assert_eq!(inst.type_id(), PeTypeId(3));
+        assert!(inst.to_string().contains("PE0"));
+        assert!(inst.to_string().contains("PEType3"));
+    }
+
+    #[test]
+    fn pe_class_display_is_stable() {
+        let names: Vec<String> = PeClass::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names, vec!["gpp-fast", "gpp-slow", "dsp", "accelerator"]);
+    }
+}

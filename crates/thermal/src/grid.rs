@@ -1,0 +1,425 @@
+//! Grid-refined steady-state thermal model.
+//!
+//! The block-level compact model (one node per PE) is what the scheduler
+//! queries, matching the paper's use of HotSpot's block mode. For validation
+//! and for the ablation benches this module also provides a finer grid model:
+//! the floorplan bounding box is discretised into `nx × ny` cells, block
+//! power is distributed over the cells it covers, and the resulting sparse
+//! system is solved with Gauss–Seidel iteration.
+
+use crate::error::ThermalError;
+use crate::floorplan::Floorplan;
+use crate::materials::ThermalConfig;
+
+/// Per-cell steady-state temperatures produced by [`GridModel::steady_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridTemperatures {
+    nx: usize,
+    ny: usize,
+    cell_c: Vec<f64>,
+    block_avg_c: Vec<f64>,
+    block_max_c: Vec<f64>,
+}
+
+impl GridTemperatures {
+    /// Grid resolution `(nx, ny)`.
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Temperature of the cell at `(ix, iy)`, °C.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for out-of-range indices.
+    pub fn cell(&self, ix: usize, iy: usize) -> Result<f64, ThermalError> {
+        if ix >= self.nx || iy >= self.ny {
+            return Err(ThermalError::InvalidParameter(format!(
+                "cell ({ix}, {iy}) outside {}x{} grid",
+                self.nx, self.ny
+            )));
+        }
+        Ok(self.cell_c[iy * self.nx + ix])
+    }
+
+    /// All cell temperatures in row-major order, °C.
+    pub fn cells(&self) -> &[f64] {
+        &self.cell_c
+    }
+
+    /// Mean temperature of the cells covered by each block, °C.
+    pub fn block_average_c(&self) -> &[f64] {
+        &self.block_avg_c
+    }
+
+    /// Maximum temperature of the cells covered by each block, °C.
+    pub fn block_max_c(&self) -> &[f64] {
+        &self.block_max_c
+    }
+
+    /// Hottest cell temperature on the whole die, °C.
+    pub fn max_c(&self) -> f64 {
+        self.cell_c.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Grid-based steady-state thermal solver.
+///
+/// # Examples
+///
+/// ```
+/// use tats_thermal::{Block, Floorplan, GridModel, ThermalConfig};
+///
+/// # fn main() -> Result<(), tats_thermal::ThermalError> {
+/// let plan = Floorplan::new(vec![
+///     Block::from_mm("hot", 0.0, 0.0, 7.0, 7.0),
+///     Block::from_mm("cold", 7.0, 0.0, 7.0, 7.0),
+/// ])?;
+/// let grid = GridModel::new(&plan, ThermalConfig::default(), 16, 8)?;
+/// let temps = grid.steady_state(&[8.0, 0.5])?;
+/// assert!(temps.block_average_c()[0] > temps.block_average_c()[1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridModel {
+    config: ThermalConfig,
+    nx: usize,
+    ny: usize,
+    cell_area: f64,
+    /// Fraction of each cell covered by each block: `coverage[block][cell]`.
+    coverage: Vec<Vec<f64>>,
+    /// Lateral conductance between horizontally adjacent cells, W/K.
+    g_lateral_x: f64,
+    /// Lateral conductance between vertically adjacent cells, W/K.
+    g_lateral_y: f64,
+    /// Vertical conductance of one cell towards the spreader, W/K.
+    g_vertical: f64,
+    max_iterations: usize,
+    tolerance: f64,
+}
+
+impl GridModel {
+    /// Builds a grid model over the floorplan bounding box.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for a zero-sized grid and
+    /// propagates configuration validation errors.
+    pub fn new(
+        floorplan: &Floorplan,
+        config: ThermalConfig,
+        nx: usize,
+        ny: usize,
+    ) -> Result<Self, ThermalError> {
+        config.validate()?;
+        if nx == 0 || ny == 0 {
+            return Err(ThermalError::InvalidParameter(
+                "grid resolution must be at least 1x1".to_string(),
+            ));
+        }
+        let (width, height) = floorplan.bounding_box();
+        let min_x = floorplan
+            .blocks()
+            .iter()
+            .map(|b| b.x())
+            .fold(f64::INFINITY, f64::min);
+        let min_y = floorplan
+            .blocks()
+            .iter()
+            .map(|b| b.y())
+            .fold(f64::INFINITY, f64::min);
+        let cell_w = width / nx as f64;
+        let cell_h = height / ny as f64;
+        let cell_area = cell_w * cell_h;
+
+        // Coverage of each cell by each block.
+        let mut coverage = vec![vec![0.0; nx * ny]; floorplan.block_count()];
+        for (b, block) in floorplan.blocks().iter().enumerate() {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let cx0 = min_x + ix as f64 * cell_w;
+                    let cy0 = min_y + iy as f64 * cell_h;
+                    let cx1 = cx0 + cell_w;
+                    let cy1 = cy0 + cell_h;
+                    let ox = (block.x() + block.width()).min(cx1) - block.x().max(cx0);
+                    let oy = (block.y() + block.height()).min(cy1) - block.y().max(cy0);
+                    if ox > 0.0 && oy > 0.0 {
+                        coverage[b][iy * nx + ix] = (ox * oy) / cell_area;
+                    }
+                }
+            }
+        }
+
+        let g_lateral_x = config.lateral_conductance(cell_w, cell_h);
+        let g_lateral_y = config.lateral_conductance(cell_h, cell_w);
+        let g_vertical = config.vertical_conductance(cell_area);
+
+        Ok(GridModel {
+            config,
+            nx,
+            ny,
+            cell_area,
+            coverage,
+            g_lateral_x,
+            g_lateral_y,
+            g_vertical,
+            max_iterations: 20_000,
+            tolerance: 1e-7,
+        })
+    }
+
+    /// Overrides the Gauss–Seidel iteration budget and tolerance.
+    pub fn with_solver_limits(mut self, max_iterations: usize, tolerance: f64) -> Self {
+        self.max_iterations = max_iterations;
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Grid resolution `(nx, ny)`.
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Area of one grid cell, m².
+    pub fn cell_area(&self) -> f64 {
+        self.cell_area
+    }
+
+    /// Solves the steady-state grid system for the given per-block powers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] /
+    /// [`ThermalError::InvalidPower`] for malformed input and
+    /// [`ThermalError::NoConvergence`] if Gauss–Seidel stalls.
+    pub fn steady_state(&self, block_power: &[f64]) -> Result<GridTemperatures, ThermalError> {
+        let block_count = self.coverage.len();
+        if block_power.len() != block_count {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: block_count,
+                actual: block_power.len(),
+            });
+        }
+        if let Some((i, &p)) = block_power
+            .iter()
+            .enumerate()
+            .find(|(_, p)| !p.is_finite() || **p < 0.0)
+        {
+            return Err(ThermalError::InvalidPower(i, p));
+        }
+
+        let cells = self.nx * self.ny;
+        // Distribute block power over covered cells proportionally to the
+        // covered area (power density × overlap area).
+        let mut q = vec![0.0; cells];
+        for (b, &p) in block_power.iter().enumerate() {
+            let covered: f64 = self.coverage[b].iter().sum();
+            if covered <= 0.0 {
+                continue;
+            }
+            for (c, &frac) in self.coverage[b].iter().enumerate() {
+                q[c] += p * frac / covered;
+            }
+        }
+
+        // Unknowns: cell temperatures + spreader + sink.
+        let spreader = cells;
+        let sink = cells + 1;
+        let mut t = vec![self.config.ambient_c; cells + 2];
+        let g_sp_sink = 1.0 / self.config.spreader_to_sink_resistance;
+        let g_conv = 1.0 / self.config.convection_resistance;
+
+        let neighbour_conductances = |ix: usize, iy: usize| {
+            let mut list: Vec<(usize, f64)> = Vec::with_capacity(4);
+            if ix > 0 {
+                list.push((iy * self.nx + ix - 1, self.g_lateral_x));
+            }
+            if ix + 1 < self.nx {
+                list.push((iy * self.nx + ix + 1, self.g_lateral_x));
+            }
+            if iy > 0 {
+                list.push(((iy - 1) * self.nx + ix, self.g_lateral_y));
+            }
+            if iy + 1 < self.ny {
+                list.push(((iy + 1) * self.nx + ix, self.g_lateral_y));
+            }
+            list
+        };
+
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let mut max_change: f64 = 0.0;
+
+            for iy in 0..self.ny {
+                for ix in 0..self.nx {
+                    let idx = iy * self.nx + ix;
+                    let mut num = q[idx] + self.g_vertical * t[spreader];
+                    let mut den = self.g_vertical;
+                    for (n, g) in neighbour_conductances(ix, iy) {
+                        num += g * t[n];
+                        den += g;
+                    }
+                    let new_t = num / den;
+                    max_change = max_change.max((new_t - t[idx]).abs());
+                    t[idx] = new_t;
+                }
+            }
+
+            // Spreader node: connected to every cell and to the sink.
+            let mut num = g_sp_sink * t[sink];
+            let mut den = g_sp_sink;
+            for (idx, temp) in t.iter().enumerate().take(cells) {
+                num += self.g_vertical * temp;
+                den += self.g_vertical;
+                let _ = idx;
+            }
+            let new_spreader = num / den;
+            max_change = max_change.max((new_spreader - t[spreader]).abs());
+            t[spreader] = new_spreader;
+
+            // Sink node: spreader on one side, ambient on the other.
+            let new_sink = (g_sp_sink * t[spreader] + g_conv * self.config.ambient_c)
+                / (g_sp_sink + g_conv);
+            max_change = max_change.max((new_sink - t[sink]).abs());
+            t[sink] = new_sink;
+
+            residual = max_change;
+            if residual < self.tolerance {
+                break;
+            }
+        }
+        if residual >= self.tolerance {
+            return Err(ThermalError::NoConvergence {
+                iterations,
+                residual,
+            });
+        }
+
+        // Per-block statistics over covered cells.
+        let mut block_avg = vec![0.0; block_count];
+        let mut block_max = vec![f64::NEG_INFINITY; block_count];
+        for (b, cover) in self.coverage.iter().enumerate() {
+            let mut weight = 0.0;
+            let mut acc = 0.0;
+            for (c, &frac) in cover.iter().enumerate() {
+                if frac > 0.0 {
+                    acc += frac * t[c];
+                    weight += frac;
+                    block_max[b] = block_max[b].max(t[c]);
+                }
+            }
+            block_avg[b] = if weight > 0.0 {
+                acc / weight
+            } else {
+                self.config.ambient_c
+            };
+            if !block_max[b].is_finite() {
+                block_max[b] = self.config.ambient_c;
+            }
+        }
+
+        Ok(GridTemperatures {
+            nx: self.nx,
+            ny: self.ny,
+            cell_c: t[..cells].to_vec(),
+            block_avg_c: block_avg,
+            block_max_c: block_max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Block;
+    use crate::model::ThermalModel;
+
+    fn two_block_plan() -> Floorplan {
+        Floorplan::new(vec![
+            Block::from_mm("hot", 0.0, 0.0, 7.0, 7.0),
+            Block::from_mm("cold", 7.0, 0.0, 7.0, 7.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn hot_block_cells_are_hotter() {
+        let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 14, 7).unwrap();
+        let temps = grid.steady_state(&[8.0, 0.5]).unwrap();
+        assert!(temps.block_average_c()[0] > temps.block_average_c()[1]);
+        assert!(temps.block_max_c()[0] >= temps.block_average_c()[0]);
+        assert_eq!(temps.resolution(), (14, 7));
+        assert_eq!(temps.cells().len(), 14 * 7);
+    }
+
+    #[test]
+    fn grid_and_block_models_agree_qualitatively() {
+        let plan = two_block_plan();
+        let config = ThermalConfig::default();
+        let block_model = ThermalModel::new(&plan, config).unwrap();
+        let grid = GridModel::new(&plan, config, 16, 8).unwrap();
+        let power = [6.0, 2.0];
+        let block_temps = block_model.steady_state(&power).unwrap();
+        let grid_temps = grid.steady_state(&power).unwrap();
+        // Same ordering and the averages agree within a few degrees.
+        assert!(grid_temps.block_average_c()[0] > grid_temps.block_average_c()[1]);
+        for i in 0..2 {
+            let diff = (grid_temps.block_average_c()[i] - block_temps.block(i).unwrap()).abs();
+            assert!(diff < 10.0, "block {i} differs by {diff} C");
+        }
+    }
+
+    #[test]
+    fn zero_power_settles_at_ambient_everywhere() {
+        let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 8, 4).unwrap();
+        let temps = grid.steady_state(&[0.0, 0.0]).unwrap();
+        for &c in temps.cells() {
+            assert!((c - 45.0).abs() < 1e-3);
+        }
+        assert!((temps.max_c() - 45.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hotspot_is_inside_the_powered_block() {
+        let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 14, 7).unwrap();
+        let temps = grid.steady_state(&[10.0, 0.0]).unwrap();
+        // The hottest cell must lie in the left half of the grid.
+        let (nx, ny) = temps.resolution();
+        let mut best = (0usize, 0usize);
+        let mut best_t = f64::MIN;
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let t = temps.cell(ix, iy).unwrap();
+                if t > best_t {
+                    best_t = t;
+                    best = (ix, iy);
+                }
+            }
+        }
+        assert!(best.0 < nx / 2, "hottest cell {best:?} not in the hot block");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 8, 4).unwrap();
+        assert!(grid.steady_state(&[1.0]).is_err());
+        assert!(grid.steady_state(&[1.0, -1.0]).is_err());
+        assert!(GridModel::new(&two_block_plan(), ThermalConfig::default(), 0, 4).is_err());
+        let temps = grid.steady_state(&[1.0, 1.0]).unwrap();
+        assert!(temps.cell(99, 0).is_err());
+    }
+
+    #[test]
+    fn starved_solver_reports_no_convergence() {
+        let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 16, 8)
+            .unwrap()
+            .with_solver_limits(2, 1e-12);
+        assert!(matches!(
+            grid.steady_state(&[5.0, 5.0]),
+            Err(ThermalError::NoConvergence { .. })
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! HotSpot-equivalent compact thermal modelling.
+//!
+//! The thermal-aware allocation and scheduling procedure of *Hung et al.,
+//! DATE 2005* queries the HotSpot thermal model for the temperature of every
+//! processing element given a floorplan and per-block power consumptions.
+//! This crate is a from-scratch Rust implementation of the same class of
+//! model:
+//!
+//! * [`Floorplan`] / [`Block`] — validated die geometry,
+//! * [`ThermalConfig`] — material and package constants (HotSpot-like
+//!   defaults),
+//! * [`ThermalModel`] — block-level lumped-RC steady-state model (vertical
+//!   conductance per block, lateral conductances between abutting blocks,
+//!   spreader/sink/ambient stack),
+//! * [`TransientSolver`] — time-domain integration of piecewise-constant
+//!   power traces (backward Euler or RK4),
+//! * [`GridModel`] — finer grid-refined steady-state solver used for
+//!   validation and ablations,
+//! * [`linalg`] — the small dense LU solver behind the block model.
+//!
+//! # Examples
+//!
+//! ```
+//! use tats_thermal::{Block, Floorplan, ThermalConfig, ThermalModel};
+//!
+//! # fn main() -> Result<(), tats_thermal::ThermalError> {
+//! // Four identical PEs in a 2x2 arrangement, one of them heavily loaded.
+//! let plan = Floorplan::new(vec![
+//!     Block::from_mm("pe0", 0.0, 0.0, 7.0, 7.0),
+//!     Block::from_mm("pe1", 7.0, 0.0, 7.0, 7.0),
+//!     Block::from_mm("pe2", 0.0, 7.0, 7.0, 7.0),
+//!     Block::from_mm("pe3", 7.0, 7.0, 7.0, 7.0),
+//! ])?;
+//! let model = ThermalModel::new(&plan, ThermalConfig::default())?;
+//! let temps = model.steady_state(&[9.0, 1.0, 1.0, 1.0])?;
+//! assert_eq!(temps.hottest_block(), 0);
+//! assert!(temps.max_c() > temps.average_c());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod floorplan;
+mod grid;
+pub mod linalg;
+mod materials;
+mod model;
+mod network;
+mod transient;
+
+pub use error::ThermalError;
+pub use floorplan::{Block, Floorplan};
+pub use grid::{GridModel, GridTemperatures};
+pub use materials::ThermalConfig;
+pub use model::{Temperatures, ThermalModel};
+pub use network::RcNetwork;
+pub use transient::{PowerPhase, TransientMethod, TransientSolver};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn quad_model() -> ThermalModel {
+        let plan = Floorplan::new(vec![
+            Block::from_mm("pe0", 0.0, 0.0, 7.0, 7.0),
+            Block::from_mm("pe1", 7.0, 0.0, 7.0, 7.0),
+            Block::from_mm("pe2", 0.0, 7.0, 7.0, 7.0),
+            Block::from_mm("pe3", 7.0, 7.0, 7.0, 7.0),
+        ])
+        .unwrap();
+        ThermalModel::new(&plan, ThermalConfig::default()).unwrap()
+    }
+
+    proptest! {
+        /// Every block temperature stays at or above ambient for any
+        /// non-negative power assignment, and the total heat flowing into the
+        /// ambient equals the total dissipated power (energy conservation).
+        #[test]
+        fn steady_state_is_physical(
+            p0 in 0.0f64..15.0,
+            p1 in 0.0f64..15.0,
+            p2 in 0.0f64..15.0,
+            p3 in 0.0f64..15.0,
+        ) {
+            let model = quad_model();
+            let power = [p0, p1, p2, p3];
+            let temps = model.steady_state(&power).unwrap();
+            for i in 0..4 {
+                prop_assert!(temps.block(i).unwrap() >= temps.ambient_c() - 1e-9);
+            }
+            let nodes_sink = temps.sink_c();
+            let heat_out =
+                (nodes_sink - temps.ambient_c()) * model.network().ambient_conductance();
+            let total: f64 = power.iter().sum();
+            prop_assert!((heat_out - total).abs() < 1e-6);
+        }
+
+        /// Adding power to one block never cools any block (monotonicity of
+        /// the resistive network).
+        #[test]
+        fn more_power_never_cools(
+            base in proptest::collection::vec(0.0f64..8.0, 4),
+            extra in 0.1f64..8.0,
+            which in 0usize..4,
+        ) {
+            let model = quad_model();
+            let before = model.steady_state(&base).unwrap();
+            let mut bumped = base.clone();
+            bumped[which] += extra;
+            let after = model.steady_state(&bumped).unwrap();
+            for i in 0..4 {
+                prop_assert!(after.block(i).unwrap() >= before.block(i).unwrap() - 1e-9);
+            }
+            prop_assert!(after.block(which).unwrap() > before.block(which).unwrap());
+        }
+
+        /// The superposition principle holds: temperatures rise linearly in
+        /// the power vector (the network is linear).
+        #[test]
+        fn superposition_holds(
+            a in proptest::collection::vec(0.0f64..6.0, 4),
+            b in proptest::collection::vec(0.0f64..6.0, 4),
+        ) {
+            let model = quad_model();
+            let ta = model.steady_state(&a).unwrap();
+            let tb = model.steady_state(&b).unwrap();
+            let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            let tsum = model.steady_state(&sum).unwrap();
+            let ambient = model.config().ambient_c;
+            for i in 0..4 {
+                let expected = ta.block(i).unwrap() + tb.block(i).unwrap() - ambient;
+                prop_assert!((tsum.block(i).unwrap() - expected).abs() < 1e-6);
+            }
+        }
+    }
+}

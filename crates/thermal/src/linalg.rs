@@ -1,0 +1,394 @@
+//! Minimal dense linear algebra for the compact thermal model.
+//!
+//! The compact RC network leads to small dense symmetric systems (one row
+//! per block plus a handful of package nodes), so a straightforward
+//! LU decomposition with partial pivoting is both sufficient and dependency
+//! free. The grid model uses the iterative Gauss–Seidel solver in
+//! [`crate::grid`] instead.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::error::ThermalError;
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use tats_thermal::linalg::Matrix;
+///
+/// # fn main() -> Result<(), tats_thermal::ThermalError> {
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+/// let x = a.solve(&[1.0, 2.0])?;
+/// assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+/// assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] when rows have differing
+    /// lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, ThermalError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(ThermalError::InvalidParameter(
+                "matrix must have at least one row and one column".to_string(),
+            ));
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(ThermalError::InvalidParameter(
+                "all matrix rows must have the same length".to_string(),
+            ));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Adds `value` to the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add_to(&mut self, row: usize, col: usize, value: f64) {
+        self[(row, col)] += value;
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, ThermalError> {
+        if x.len() != self.cols {
+            return Err(ThermalError::InvalidParameter(format!(
+                "matvec dimension mismatch: {} columns vs {} entries",
+                self.cols,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Solves `A x = b` by LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for non-square matrices or
+    /// mismatched right-hand sides and [`ThermalError::SingularSystem`] when
+    /// the matrix is numerically singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, ThermalError> {
+        let lu = LuDecomposition::new(self)?;
+        lu.solve(b)
+    }
+
+    /// Maximum absolute entry (infinity norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{} x {}]", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.4e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// LU decomposition with partial pivoting, reusable across right-hand sides.
+///
+/// Constructing the decomposition once and calling
+/// [`LuDecomposition::solve`] repeatedly is how the thermal model amortises
+/// the factorisation across the many steady-state queries issued by the
+/// scheduler.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    n: usize,
+    lu: Vec<f64>,
+    pivots: Vec<usize>,
+}
+
+impl LuDecomposition {
+    /// Factorises a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for non-square input and
+    /// [`ThermalError::SingularSystem`] for singular matrices.
+    pub fn new(matrix: &Matrix) -> Result<Self, ThermalError> {
+        if !matrix.is_square() {
+            return Err(ThermalError::InvalidParameter(
+                "LU decomposition requires a square matrix".to_string(),
+            ));
+        }
+        let n = matrix.rows();
+        let mut lu = matrix.data.clone();
+        let mut pivots: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Find pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = lu[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(ThermalError::SingularSystem);
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    lu.swap(col * n + k, pivot_row * n + k);
+                }
+                pivots.swap(col, pivot_row);
+            }
+            // Eliminate below.
+            let pivot = lu[col * n + col];
+            for row in (col + 1)..n {
+                let factor = lu[row * n + col] / pivot;
+                lu[row * n + col] = factor;
+                for k in (col + 1)..n {
+                    lu[row * n + k] -= factor * lu[col * n + k];
+                }
+            }
+        }
+
+        Ok(LuDecomposition { n, lu, pivots })
+    }
+
+    /// Dimension of the factorised system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the stored factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] when `b.len()` differs from
+    /// the system dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, ThermalError> {
+        if b.len() != self.n {
+            return Err(ThermalError::InvalidParameter(format!(
+                "right-hand side has {} entries, expected {}",
+                b.len(),
+                self.n
+            )));
+        }
+        let n = self.n;
+        // Apply the row permutation.
+        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has an implicit unit diagonal).
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Backward substitution.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = sum / self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = Matrix::identity(3);
+        let x = a.solve(&[1.0, -2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_2x2_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), ThermalError::SingularSystem);
+    }
+
+    #[test]
+    fn non_square_solve_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(ThermalError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rhs_length_mismatch_is_rejected() {
+        let a = Matrix::identity(3);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(ThermalError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_manual_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let y = a.matvec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-2.0, -2.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_then_matvec_round_trips() {
+        let a = Matrix::from_rows(&[
+            &[10.0, 2.0, 0.5, 0.0],
+            &[2.0, 8.0, 1.0, 0.3],
+            &[0.5, 1.0, 6.0, 1.2],
+            &[0.0, 0.3, 1.2, 9.0],
+        ])
+        .unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = a.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (bi, backi) in b.iter().zip(back.iter()) {
+            assert!((bi - backi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_is_reusable_across_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert_eq!(lu.dim(), 2);
+        for b in [[1.0, 0.0], [0.0, 1.0], [5.0, -3.0]] {
+            let x = lu.solve(&b).unwrap();
+            let back = a.matvec(&x).unwrap();
+            assert!((back[0] - b[0]).abs() < 1e-12);
+            assert!((back[1] - b[1]).abs() < 1e-12);
+        }
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        assert!(Matrix::from_rows(&[&[1.0, 2.0], &[1.0][..]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn indexing_and_max_abs() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 1)] = -7.5;
+        m.add_to(0, 1, -0.5);
+        assert_eq!(m[(0, 1)], -8.0);
+        assert_eq!(m.max_abs(), 8.0);
+        assert!(m.to_string().contains('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_indexing_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+}

@@ -1,0 +1,175 @@
+//! Material constants and package configuration of the compact model.
+//!
+//! The defaults mirror the published HotSpot configuration for a silicon die
+//! attached to a copper heat spreader and heat sink with forced-air
+//! convection. All lengths are in metres, temperatures in degrees Celsius,
+//! powers in watts.
+
+use crate::error::ThermalError;
+
+/// Physical and package parameters of the compact thermal model.
+///
+/// # Examples
+///
+/// ```
+/// use tats_thermal::ThermalConfig;
+///
+/// let config = ThermalConfig::default();
+/// assert_eq!(config.ambient_c, 45.0);
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalConfig {
+    /// Ambient (air) temperature in °C. HotSpot's default is 45 °C.
+    pub ambient_c: f64,
+    /// Thermal conductivity of silicon, W/(m·K).
+    pub silicon_conductivity: f64,
+    /// Volumetric heat capacity of silicon, J/(m³·K).
+    pub silicon_volumetric_heat: f64,
+    /// Die (chip) thickness in metres.
+    pub die_thickness: f64,
+    /// Vertical specific thermal resistance from a block through the
+    /// interface material into the spreader, K·m²/W. The per-block vertical
+    /// resistance is this value divided by the block area.
+    pub vertical_resistivity: f64,
+    /// Thermal resistance from the heat spreader to the heat sink, K/W.
+    pub spreader_to_sink_resistance: f64,
+    /// Convection resistance from the heat sink to the ambient, K/W.
+    pub convection_resistance: f64,
+    /// Lumped thermal capacitance of the heat spreader, J/K.
+    pub spreader_capacitance: f64,
+    /// Lumped thermal capacitance of the heat sink, J/K.
+    pub sink_capacitance: f64,
+    /// Duration of one schedule time unit in seconds, used by the transient
+    /// solver to convert schedule intervals into physical time.
+    pub time_unit_seconds: f64,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig {
+            ambient_c: 45.0,
+            silicon_conductivity: 100.0,
+            silicon_volumetric_heat: 1.75e6,
+            die_thickness: 0.5e-3,
+            vertical_resistivity: 2.0e-4,
+            spreader_to_sink_resistance: 0.1,
+            convection_resistance: 1.2,
+            spreader_capacitance: 3.2,
+            sink_capacitance: 30.0,
+            time_unit_seconds: 0.01,
+        }
+    }
+}
+
+impl ThermalConfig {
+    /// Checks that every parameter is physically meaningful (finite, and
+    /// positive where required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<(), ThermalError> {
+        let positives = [
+            ("silicon_conductivity", self.silicon_conductivity),
+            ("silicon_volumetric_heat", self.silicon_volumetric_heat),
+            ("die_thickness", self.die_thickness),
+            ("vertical_resistivity", self.vertical_resistivity),
+            (
+                "spreader_to_sink_resistance",
+                self.spreader_to_sink_resistance,
+            ),
+            ("convection_resistance", self.convection_resistance),
+            ("spreader_capacitance", self.spreader_capacitance),
+            ("sink_capacitance", self.sink_capacitance),
+            ("time_unit_seconds", self.time_unit_seconds),
+        ];
+        for (name, value) in positives {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ThermalError::InvalidParameter(format!(
+                    "{name} must be positive and finite, got {value}"
+                )));
+            }
+        }
+        if !self.ambient_c.is_finite() {
+            return Err(ThermalError::InvalidParameter(format!(
+                "ambient_c must be finite, got {}",
+                self.ambient_c
+            )));
+        }
+        Ok(())
+    }
+
+    /// Vertical conductance (W/K) of a block with the given area in m².
+    pub fn vertical_conductance(&self, area_m2: f64) -> f64 {
+        area_m2 / self.vertical_resistivity
+    }
+
+    /// Lateral conductance (W/K) between two adjacent blocks whose centres
+    /// are `distance_m` apart and which share an edge of length
+    /// `shared_edge_m`.
+    pub fn lateral_conductance(&self, distance_m: f64, shared_edge_m: f64) -> f64 {
+        if distance_m <= 0.0 || shared_edge_m <= 0.0 {
+            return 0.0;
+        }
+        self.silicon_conductivity * self.die_thickness * shared_edge_m / distance_m
+    }
+
+    /// Thermal capacitance (J/K) of a silicon block with the given area.
+    pub fn block_capacitance(&self, area_m2: f64) -> f64 {
+        self.silicon_volumetric_heat * self.die_thickness * area_m2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ThermalConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_fields_are_named() {
+        let mut c = ThermalConfig::default();
+        c.die_thickness = 0.0;
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("die_thickness"));
+
+        let mut c = ThermalConfig::default();
+        c.ambient_c = f64::NAN;
+        assert!(c.validate().is_err());
+
+        let mut c = ThermalConfig::default();
+        c.convection_resistance = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn vertical_conductance_scales_with_area() {
+        let c = ThermalConfig::default();
+        let g1 = c.vertical_conductance(49e-6);
+        let g2 = c.vertical_conductance(98e-6);
+        assert!((g2 / g1 - 2.0).abs() < 1e-12);
+        // A 7x7 mm block: R = 2e-4 / 49e-6 ≈ 4.08 K/W.
+        assert!((1.0 / g1 - 4.0816).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lateral_conductance_is_zero_for_disjoint_blocks() {
+        let c = ThermalConfig::default();
+        assert_eq!(c.lateral_conductance(0.01, 0.0), 0.0);
+        assert_eq!(c.lateral_conductance(0.0, 0.01), 0.0);
+        assert!(c.lateral_conductance(0.007, 0.007) > 0.0);
+    }
+
+    #[test]
+    fn block_capacitance_matches_hand_computation() {
+        let c = ThermalConfig::default();
+        // 49 mm² * 0.5 mm * 1.75e6 J/(m³K) = 0.0428… J/K
+        let cap = c.block_capacitance(49e-6);
+        assert!((cap - 0.0429).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type of the reporting crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while rendering or exporting reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A numeric parameter was out of range or not finite.
+    InvalidParameter(String),
+    /// The object being rendered was empty.
+    EmptyInput(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidParameter(message) => write!(f, "invalid parameter: {message}"),
+            TraceError::EmptyInput(what) => write!(f, "nothing to render: {what}"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TraceError::InvalidParameter("width".into())
+            .to_string()
+            .contains("width"));
+        assert!(TraceError::EmptyInput("schedule".into())
+            .to_string()
+            .contains("schedule"));
+    }
+}

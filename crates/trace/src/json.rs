@@ -1,0 +1,301 @@
+//! Minimal JSON writer and exports.
+//!
+//! The workspace deliberately avoids a JSON dependency; this module provides
+//! the small value model and writer needed to export schedules and
+//! experiment tables for external tooling.  Only serialisation is supported
+//! (the suite never needs to parse JSON).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tats_core::experiment::ComparisonTable;
+use tats_core::{Schedule, ScheduleEvaluation};
+use tats_taskgraph::TaskGraph;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialise as `null`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with keys sorted for deterministic output.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Creates an object from key/value pairs.
+    pub fn object<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (String, JsonValue)>,
+    {
+        JsonValue::Object(pairs.into_iter().collect())
+    }
+
+    /// Serialises the value to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(value) => out.push_str(if *value { "true" } else { "false" }),
+            JsonValue::Number(value) => {
+                if value.is_finite() {
+                    out.push_str(&format!("{value}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(value) => {
+                out.push('"');
+                for ch in value.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (index, item) in items.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (index, (key, value)) in map.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::String(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(value: &str) -> Self {
+        JsonValue::String(value.to_string())
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(value: f64) -> Self {
+        JsonValue::Number(value)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(value: bool) -> Self {
+        JsonValue::Bool(value)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(value: usize) -> Self {
+        JsonValue::Number(value as f64)
+    }
+}
+
+/// Exports a schedule as a JSON object with per-assignment records and
+/// summary metrics.
+pub fn schedule_to_json(schedule: &Schedule, graph: Option<&TaskGraph>) -> JsonValue {
+    let assignments: Vec<JsonValue> = schedule
+        .assignments()
+        .iter()
+        .map(|assignment| {
+            let name = graph
+                .and_then(|g| g.get_task(assignment.task))
+                .map(|task| task.name().to_string())
+                .unwrap_or_else(|| format!("t{}", assignment.task.index()));
+            JsonValue::object(vec![
+                ("task".to_string(), JsonValue::from(assignment.task.index())),
+                ("name".to_string(), JsonValue::from(name.as_str())),
+                ("pe".to_string(), JsonValue::from(assignment.pe.index())),
+                ("start".to_string(), JsonValue::from(assignment.start)),
+                ("end".to_string(), JsonValue::from(assignment.end)),
+                ("power".to_string(), JsonValue::from(assignment.power)),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("deadline".to_string(), JsonValue::from(schedule.deadline())),
+        ("makespan".to_string(), JsonValue::from(schedule.makespan())),
+        (
+            "meets_deadline".to_string(),
+            JsonValue::from(schedule.meets_deadline()),
+        ),
+        ("pe_count".to_string(), JsonValue::from(schedule.pe_count())),
+        ("assignments".to_string(), JsonValue::Array(assignments)),
+    ])
+}
+
+/// Exports a schedule evaluation as a JSON object.
+pub fn evaluation_to_json(evaluation: &ScheduleEvaluation) -> JsonValue {
+    JsonValue::object(vec![
+        (
+            "total_power".to_string(),
+            JsonValue::from(evaluation.total_average_power),
+        ),
+        (
+            "max_temp_c".to_string(),
+            JsonValue::from(evaluation.max_temperature_c),
+        ),
+        (
+            "avg_temp_c".to_string(),
+            JsonValue::from(evaluation.avg_temperature_c),
+        ),
+        ("makespan".to_string(), JsonValue::from(evaluation.makespan)),
+        (
+            "meets_deadline".to_string(),
+            JsonValue::from(evaluation.meets_deadline),
+        ),
+    ])
+}
+
+/// Exports a power-aware vs thermal-aware comparison table (paper Tables 2
+/// and 3) as a JSON object.
+pub fn comparison_to_json(table: &ComparisonTable) -> JsonValue {
+    let rows: Vec<JsonValue> = table
+        .rows
+        .iter()
+        .map(|row| {
+            JsonValue::object(vec![
+                (
+                    "benchmark".to_string(),
+                    JsonValue::from(row.benchmark.name()),
+                ),
+                (
+                    "power_aware".to_string(),
+                    JsonValue::object(vec![
+                        (
+                            "total_power".to_string(),
+                            JsonValue::from(row.power_aware.total_power),
+                        ),
+                        (
+                            "max_temp_c".to_string(),
+                            JsonValue::from(row.power_aware.max_temp_c),
+                        ),
+                        (
+                            "avg_temp_c".to_string(),
+                            JsonValue::from(row.power_aware.avg_temp_c),
+                        ),
+                    ]),
+                ),
+                (
+                    "thermal_aware".to_string(),
+                    JsonValue::object(vec![
+                        (
+                            "total_power".to_string(),
+                            JsonValue::from(row.thermal_aware.total_power),
+                        ),
+                        (
+                            "max_temp_c".to_string(),
+                            JsonValue::from(row.thermal_aware.max_temp_c),
+                        ),
+                        (
+                            "avg_temp_c".to_string(),
+                            JsonValue::from(row.thermal_aware.avg_temp_c),
+                        ),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![
+        (
+            "caption".to_string(),
+            JsonValue::from(table.caption.as_str()),
+        ),
+        (
+            "mean_max_temp_reduction_c".to_string(),
+            JsonValue::from(table.mean_max_temp_reduction()),
+        ),
+        (
+            "mean_avg_temp_reduction_c".to_string(),
+            JsonValue::from(table.mean_avg_temp_reduction()),
+        ),
+        ("rows".to_string(), JsonValue::Array(rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tats_core::{PlatformFlow, Policy};
+    use tats_taskgraph::Benchmark;
+    use tats_techlib::profiles;
+
+    #[test]
+    fn scalar_values_serialise_correctly() {
+        assert_eq!(JsonValue::Null.to_json(), "null");
+        assert_eq!(JsonValue::Bool(true).to_json(), "true");
+        assert_eq!(JsonValue::Number(2.5).to_json(), "2.5");
+        assert_eq!(JsonValue::Number(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::from("hi").to_json(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let value = JsonValue::from("line\n\"quoted\"\\slash");
+        assert_eq!(value.to_json(), "\"line\\n\\\"quoted\\\"\\\\slash\"");
+        let control = JsonValue::from("\u{1}");
+        assert_eq!(control.to_json(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let value = JsonValue::object(vec![
+            ("b".to_string(), JsonValue::Array(vec![1.0.into(), 2.0.into()])),
+            ("a".to_string(), JsonValue::from(true)),
+        ]);
+        // Keys are sorted for deterministic output.
+        assert_eq!(value.to_json(), "{\"a\":true,\"b\":[1,2]}");
+        assert_eq!(value.to_string(), value.to_json());
+    }
+
+    #[test]
+    fn schedule_export_contains_every_assignment() {
+        let library = profiles::standard_library(12).expect("library");
+        let graph = Benchmark::Bm1.task_graph().expect("graph");
+        let result = PlatformFlow::new(&library)
+            .expect("flow")
+            .run(&graph, Policy::Baseline)
+            .expect("result");
+        let json = schedule_to_json(&result.schedule, Some(&graph)).to_json();
+        assert!(json.contains("\"assignments\":["));
+        assert_eq!(json.matches("\"task\":").count(), result.schedule.task_count());
+        let eval_json = evaluation_to_json(&result.evaluation).to_json();
+        assert!(eval_json.contains("max_temp_c"));
+    }
+}

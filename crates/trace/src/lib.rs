@@ -1,0 +1,44 @@
+//! Reporting and export for thermal-aware schedules.
+//!
+//! The scheduling, thermal and power crates produce rich result objects;
+//! this crate turns them into artefacts a person (or an external tool) can
+//! consume:
+//!
+//! * [`GanttChart`] — ASCII Gantt rendering of a [`tats_core::Schedule`];
+//! * [`csv`] — CSV export of schedules, evaluations and thermal traces;
+//! * [`json`] — a minimal JSON writer plus exports of schedules and the
+//!   paper's comparison tables;
+//! * [`markdown`] — markdown rendering of the reproduced Tables 1–3.
+//!
+//! # Examples
+//!
+//! ```
+//! use tats_core::{PlatformFlow, Policy};
+//! use tats_taskgraph::Benchmark;
+//! use tats_techlib::profiles;
+//! use tats_trace::{csv, GanttChart};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let library = profiles::standard_library(12)?;
+//! let graph = Benchmark::Bm1.task_graph()?;
+//! let result = PlatformFlow::new(&library)?.run(&graph, Policy::ThermalAware)?;
+//!
+//! let chart = GanttChart::new().render(&result.schedule, Some(&graph))?;
+//! let table = csv::schedule_to_csv(&result.schedule, Some(&graph))?;
+//! assert!(chart.contains("PE0") && table.contains("task,"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod csv;
+mod error;
+mod gantt;
+pub mod json;
+pub mod markdown;
+
+pub use error::TraceError;
+pub use gantt::GanttChart;
+pub use json::JsonValue;

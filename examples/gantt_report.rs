@@ -1,0 +1,48 @@
+//! Visual and machine-readable reports of one scheduling run.
+//!
+//! Renders the power-aware and thermal-aware mappings of the same benchmark
+//! side by side as ASCII Gantt charts, then emits the thermal-aware schedule
+//! as CSV, JSON and TGFF so it can be consumed by external tooling.
+//!
+//! ```bash
+//! cargo run --release --example gantt_report
+//! ```
+
+use tats_core::{PlatformFlow, Policy, PowerHeuristic};
+use tats_taskgraph::{tgff, Benchmark};
+use tats_techlib::profiles;
+use tats_trace::{csv, json, GanttChart};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = profiles::standard_library(12)?;
+    let graph = Benchmark::Bm1.task_graph()?;
+    let flow = PlatformFlow::new(&library)?;
+
+    let power = flow.run(&graph, Policy::PowerAware(PowerHeuristic::MinTaskEnergy))?;
+    let thermal = flow.run(&graph, Policy::ThermalAware)?;
+
+    let chart = GanttChart::new().with_width(72)?;
+    println!("== power-aware (heuristic 3) ==");
+    println!(
+        "max temp {:.2} C, avg temp {:.2} C",
+        power.evaluation.max_temperature_c, power.evaluation.avg_temperature_c
+    );
+    println!("{}", chart.render(&power.schedule, Some(&graph))?);
+
+    println!("== thermal-aware ==");
+    println!(
+        "max temp {:.2} C, avg temp {:.2} C",
+        thermal.evaluation.max_temperature_c, thermal.evaluation.avg_temperature_c
+    );
+    println!("{}", chart.render(&thermal.schedule, Some(&graph))?);
+
+    println!("== thermal-aware schedule as CSV ==");
+    println!("{}", csv::schedule_to_csv(&thermal.schedule, Some(&graph))?);
+
+    println!("== thermal-aware schedule as JSON ==");
+    println!("{}", json::schedule_to_json(&thermal.schedule, Some(&graph)).to_json());
+
+    println!("\n== benchmark graph as TGFF ==");
+    println!("{}", tgff::to_tgff(&graph));
+    Ok(())
+}

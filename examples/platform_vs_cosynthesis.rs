@@ -1,0 +1,63 @@
+//! Compare the paper's two design flows on every benchmark: the co-synthesis
+//! flow (customised architecture + thermal-aware floorplanning, Figure 1.a)
+//! against the platform-based flow (four identical PEs, Figure 1.b), under
+//! the best power heuristic and the thermal-aware policy.
+//!
+//! ```bash
+//! cargo run --release --example platform_vs_cosynthesis
+//! ```
+
+use tats_core::{CoSynthesis, PlatformFlow, Policy, PowerHeuristic, ScheduleEvaluation};
+use tats_floorplan::GaConfig;
+use tats_taskgraph::Benchmark;
+use tats_techlib::profiles;
+
+fn row(label: &str, eval: &ScheduleEvaluation) {
+    println!(
+        "  {:<26} {:>9.2} {:>9.2} {:>9.2} {:>9.1}",
+        label,
+        eval.total_average_power,
+        eval.max_temperature_c,
+        eval.avg_temperature_c,
+        eval.makespan
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = profiles::standard_library(10)?;
+    let platform = PlatformFlow::new(&library)?;
+    let cosynthesis = CoSynthesis::new(&library).with_floorplan_ga(GaConfig {
+        population: 12,
+        generations: 12,
+        ..GaConfig::default()
+    });
+
+    for bm in Benchmark::ALL {
+        let graph = bm.task_graph()?;
+        println!("{bm}");
+        println!(
+            "  {:<26} {:>9} {:>9} {:>9} {:>9}",
+            "flow / policy", "Total Pow", "Max Temp", "Avg Temp", "makespan"
+        );
+
+        for (name, policy) in [
+            ("power-aware (H3)", Policy::PowerAware(PowerHeuristic::MinTaskEnergy)),
+            ("thermal-aware", Policy::ThermalAware),
+        ] {
+            let co = cosynthesis.run(&graph, policy)?;
+            let pe_names: Vec<&str> = co
+                .architecture
+                .instances()
+                .iter()
+                .map(|i| library.pe_type(i.type_id()).map(|t| t.name()).unwrap_or("?"))
+                .collect();
+            row(&format!("co-synthesis, {name}"), &co.evaluation);
+            println!("      selected PEs: {pe_names:?}");
+
+            let pl = platform.run(&graph, policy)?;
+            row(&format!("platform, {name}"), &pl.evaluation);
+        }
+        println!();
+    }
+    Ok(())
+}

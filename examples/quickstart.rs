@@ -1,0 +1,62 @@
+//! Quickstart: schedule one of the paper's benchmarks on the platform-based
+//! architecture with every policy and print the table metrics.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use tats_core::{PlatformFlow, Policy};
+use tats_taskgraph::Benchmark;
+use tats_techlib::profiles;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The task graph: Bm1/19/19/790 from the paper, generated with a fixed
+    //    seed so every run sees exactly the same workload.
+    let graph = Benchmark::Bm1.task_graph()?;
+    println!("benchmark    : {graph}");
+
+    // 2. The technology library (WCET / WCPC tables) and the platform-based
+    //    architecture: four identical fast GPPs on a 2x2 floorplan.
+    let library = profiles::standard_library(10)?;
+    let flow = PlatformFlow::new(&library)?;
+    println!(
+        "architecture : {} ({} PE types in the library)",
+        flow.architecture(),
+        library.pe_type_count()
+    );
+    println!("floorplan    : {}\n", flow.floorplan());
+
+    // 3. Run the allocation and scheduling procedure under every policy the
+    //    paper evaluates and report the three table metrics.
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "policy", "Total Pow", "Max Temp", "Avg Temp", "makespan", "deadline"
+    );
+    for policy in Policy::ALL {
+        let result = flow.run(&graph, policy)?;
+        let eval = &result.evaluation;
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.1} {:>9}",
+            policy.label(),
+            eval.total_average_power,
+            eval.max_temperature_c,
+            eval.avg_temperature_c,
+            eval.makespan,
+            if eval.meets_deadline { "met" } else { "MISSED" }
+        );
+    }
+
+    // 4. Inspect the thermal-aware schedule in more detail.
+    let thermal = flow.run(&graph, Policy::ThermalAware)?;
+    println!("\nthermal-aware schedule: {}", thermal.schedule);
+    for pe in thermal.architecture.pe_ids() {
+        let tasks = thermal.schedule.assignments_on(pe).len();
+        let busy = thermal.schedule.busy_time(pe);
+        println!(
+            "  {pe}: {tasks:>2} tasks, busy {busy:>6.1} time units, {:.2} W sustained, {:.2} C",
+            thermal.evaluation.per_pe_power[pe.index()],
+            thermal.evaluation.temperatures.block(pe.index())?
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Transient thermal replay of a schedule, with leakage feedback.
+//!
+//! The scheduler works with steady-state temperatures; this example shows
+//! the time-domain picture of one finished schedule: the per-segment power
+//! profile, the transient temperature trace (exported as CSV), and the
+//! leakage-aware operating point of the busiest segment.
+//!
+//! ```bash
+//! cargo run --release --example transient_trace > trace.csv
+//! ```
+
+use tats_core::{PlatformFlow, Policy};
+use tats_power::{ArchitectureLeakage, LeakageFeedback, PowerProfile, ScheduleSimulator};
+use tats_taskgraph::Benchmark;
+use tats_techlib::profiles;
+use tats_thermal::{ThermalConfig, ThermalModel};
+use tats_trace::csv;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = profiles::standard_library(12)?;
+    let graph = Benchmark::Bm2.task_graph()?;
+    let result = PlatformFlow::new(&library)?.run(&graph, Policy::ThermalAware)?;
+
+    let model = ThermalModel::new(&result.floorplan, ThermalConfig::default())?;
+    let profile = PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)?;
+    eprintln!(
+        "power profile: {} segments, peak {:.2} W, average {:.2} W",
+        profile.segment_count(),
+        profile.peak_total_power(),
+        profile.average_total_power()
+    );
+
+    // Transient replay, sampled every 10 schedule time units.
+    let trace = ScheduleSimulator::new(&model)
+        .with_sample_interval(10.0)
+        .simulate(&profile)?;
+    eprintln!(
+        "transient trace: {} samples, peak {:.2} C, largest per-block swing {:.2} C",
+        trace.len(),
+        trace.peak_c(),
+        trace.max_block_swing_c()
+    );
+
+    // Leakage-temperature fixed point at the schedule's sustained power.
+    let leakage = ArchitectureLeakage::from_architecture(&result.architecture, &library)?;
+    let sustained = result.schedule.sustained_power_per_pe();
+    let converged = LeakageFeedback::new(&model, &leakage).solve(&sustained)?;
+    eprintln!(
+        "leakage feedback: {:.2} W leakage on top of {:.2} W dynamic ({} iterations)",
+        converged.total_leakage(),
+        sustained.iter().sum::<f64>(),
+        converged.iterations
+    );
+
+    // The CSV trace goes to stdout so it can be piped into a plotting tool.
+    print!("{}", csv::thermal_trace_to_csv(&trace)?);
+    Ok(())
+}

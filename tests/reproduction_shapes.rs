@@ -1,0 +1,137 @@
+//! Shape checks for the paper's headline results, run with the fast
+//! experiment configuration.
+//!
+//! These tests do not compare absolute numbers against the paper (our
+//! technology library and thermal package are synthetic); they check the
+//! *qualitative* claims that EXPERIMENTS.md reports quantitatively:
+//!
+//! * every policy meets the real-time deadline on both flows;
+//! * on the platform, the thermal-aware ASP never has a higher peak
+//!   temperature than the best power heuristic (Table 3's direction);
+//! * on the co-synthesis architecture, the power- and thermal-aware policies
+//!   never consume more total power than the performance-only baseline
+//!   (Table 1/2's direction);
+//! * the platform architecture runs hotter than the co-synthesis architecture
+//!   in total power (it has more, faster PEs), mirroring the relationship
+//!   between the co-synthesis and platform columns of Table 1.
+
+use tats_core::experiment::{table1, table2, table3, ExperimentConfig, Table1};
+use tats_core::{Policy, PowerHeuristic};
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig::fast()
+}
+
+#[test]
+fn table3_shape_thermal_aware_is_not_hotter_than_power_aware() {
+    let table = table3(&config()).unwrap();
+    assert_eq!(table.rows.len(), 4);
+    for row in &table.rows {
+        assert!(
+            row.thermal_aware.max_temp_c <= row.power_aware.max_temp_c + 0.5,
+            "{}: thermal {:.2} C vs power-aware {:.2} C",
+            row.benchmark.name(),
+            row.thermal_aware.max_temp_c,
+            row.power_aware.max_temp_c
+        );
+    }
+    // On average the reduction is positive (the paper reports 9.75 C with its
+    // library; our synthetic platform leaves less headroom, see
+    // EXPERIMENTS.md).
+    assert!(table.mean_max_temp_reduction() >= 0.0);
+}
+
+#[test]
+fn table2_shape_thermal_and_power_aware_beat_the_baseline_cosynthesis() {
+    let cfg = config();
+    let t1 = table1(&cfg).unwrap();
+    let t2 = table2(&cfg).unwrap();
+    let mut power_delta_sum = 0.0;
+    for row in &t2.rows {
+        let baseline = t1
+            .benchmark_rows(row.benchmark)
+            .into_iter()
+            .find(|r| r.policy == Policy::Baseline)
+            .unwrap()
+            .cosynthesis;
+        // The thermal-aware schedule stays at or below the baseline peak
+        // temperature on every customised architecture.
+        assert!(
+            row.thermal_aware.max_temp_c <= baseline.max_temp_c + 0.5,
+            "{}: thermal-aware hotter than baseline",
+            row.benchmark.name()
+        );
+        // The power-aware policy never consumes more total power than the
+        // baseline on the same architecture.
+        assert!(
+            row.power_aware.total_power <= baseline.total_power + 1e-6,
+            "{}: power-aware consumes more power than baseline",
+            row.benchmark.name()
+        );
+        power_delta_sum += baseline.max_temp_c - row.power_aware.max_temp_c;
+    }
+    // On average (over the four benchmarks) the power-aware policy is also at
+    // least as cool as the baseline; individual benchmarks may differ by a
+    // degree because the spatial mixing of tasks changes.
+    assert!(power_delta_sum / t2.rows.len() as f64 >= -0.5);
+}
+
+#[test]
+fn table1_shape_heuristic3_is_the_best_power_heuristic_overall() {
+    let table = table1(&config()).unwrap();
+    assert_eq!(table.rows.len(), 16);
+    // Heuristic 3 achieves the lowest summed peak temperature across both
+    // architectures, which is why the paper carries it into Tables 2 and 3.
+    assert_eq!(
+        table.best_heuristic_by_max_temp(),
+        PowerHeuristic::MinTaskEnergy
+    );
+    // And it never consumes more total power than heuristics 1/2 on the
+    // co-synthesis architecture, per benchmark.
+    for bm in tats_taskgraph::Benchmark::ALL {
+        let rows = table.benchmark_rows(bm);
+        let power_of = |p: Policy| {
+            rows.iter()
+                .find(|r| r.policy == p)
+                .map(|r| r.cosynthesis.total_power)
+                .unwrap()
+        };
+        let h3 = power_of(Policy::PowerAware(PowerHeuristic::MinTaskEnergy));
+        let h1 = power_of(Policy::PowerAware(PowerHeuristic::MinTaskPower));
+        let h2 = power_of(Policy::PowerAware(PowerHeuristic::MinCumulativeAveragePower));
+        assert!(
+            h3 <= h1.max(h2) + 1e-6,
+            "{bm}: H3 consumes {h3:.2} W, more than the worse of H1/H2 ({:.2} W)",
+            h1.max(h2)
+        );
+    }
+}
+
+#[test]
+fn platform_total_power_exceeds_cosynthesis_total_power() {
+    // The platform instantiates four fast GPPs; the co-synthesis
+    // architectures are smaller and mix in efficient PEs, so their total
+    // sustained power is lower — the same relationship visible between the
+    // co-synthesis and platform columns of our Table 1 (note the paper's
+    // platform numbers go the other way because its platform PEs differ).
+    let table = table1(&config()).unwrap();
+    for row in &table.rows {
+        assert!(
+            row.cosynthesis.total_power < row.platform.total_power,
+            "{} / {}: co-synthesis {:.2} W vs platform {:.2} W",
+            row.benchmark.name(),
+            row.policy,
+            row.cosynthesis.total_power,
+            row.platform.total_power
+        );
+    }
+}
+
+#[test]
+fn experiment_drivers_are_deterministic() {
+    let cfg = config();
+    let a = table3(&cfg).unwrap();
+    let b = table3(&cfg).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(Table1::POLICIES.len(), 4);
+}
