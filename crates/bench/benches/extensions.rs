@@ -15,9 +15,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tats_bench::Fixture;
 use tats_core::Policy;
-use tats_power::{
-    ArchitectureLeakage, LeakageFeedback, PowerProfile, ScheduleSimulator,
-};
+use tats_power::{ArchitectureLeakage, LeakageFeedback, PowerProfile, ScheduleSimulator};
 use tats_reliability::ReliabilityAnalyzer;
 use tats_taskgraph::Benchmark;
 use tats_techlib::profiles;
@@ -34,23 +32,18 @@ fn bench_extensions(c: &mut Criterion) {
     for (index, bm) in Benchmark::ALL.iter().enumerate() {
         let graph = fixture.benchmark(index).clone();
         let result = flow.run(&graph, Policy::ThermalAware).expect("schedule");
-        let model =
-            ThermalModel::new(&result.floorplan, ThermalConfig::default()).expect("model");
-        let profile =
-            PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
-                .expect("profile");
+        let model = ThermalModel::new(&result.floorplan, ThermalConfig::default()).expect("model");
+        let profile = PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
+            .expect("profile");
         let leakage = ArchitectureLeakage::from_architecture(&result.architecture, &library)
             .expect("leakage");
         let sustained = result.schedule.sustained_power_per_pe();
 
         group.bench_function(BenchmarkId::new("profile+transient", bm.name()), |b| {
             b.iter(|| {
-                let profile = PowerProfile::from_schedule(
-                    &result.schedule,
-                    &result.architecture,
-                    &library,
-                )
-                .expect("profile");
+                let profile =
+                    PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
+                        .expect("profile");
                 ScheduleSimulator::new(&model)
                     .simulate(&profile)
                     .expect("trace")

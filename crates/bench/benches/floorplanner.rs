@@ -1,8 +1,16 @@
-//! Floorplanner ablation: genetic algorithm vs simulated annealing vs the
-//! unoptimised initial layout, with thermal-aware and area-only objectives.
+//! Floorplanner benches: the cost-evaluation hot path (naive per-candidate
+//! thermal-model rebuild vs the cached `ThermalSession` kernel vs the
+//! memoised kernel) plus the engine ablation (GA vs SA vs the unoptimised
+//! initial layout) with thermal-aware and area-only objectives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tats_floorplan::{CostWeights, Engine, Floorplanner, GaConfig, Module, SaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tats_floorplan::{
+    CostEvaluator, CostWeights, Engine, Floorplanner, GaConfig, Module, Net, Placement,
+    PolishExpression, SaConfig,
+};
+use tats_thermal::ThermalConfig;
 
 fn modules() -> Vec<Module> {
     vec![
@@ -13,6 +21,69 @@ fn modules() -> Vec<Module> {
         Module::from_mm("mem", 6.0, 4.0, 0.8),
         Module::from_mm("io", 3.0, 3.0, 0.4),
     ]
+}
+
+/// A deterministic set of distinct candidate placements, as the SA/GA inner
+/// loops would visit them.
+fn candidate_placements(modules: &[Module], count: usize) -> Vec<Placement> {
+    let mut rng = StdRng::seed_from_u64(0xF1004);
+    let mut expr = PolishExpression::initial(modules.len()).expect("modules");
+    let mut placements = Vec::with_capacity(count);
+    for _ in 0..count {
+        expr = expr.perturb(&mut rng);
+        placements.push(expr.evaluate(modules).expect("valid expression"));
+    }
+    placements
+}
+
+fn bench_cost_evaluation(c: &mut Criterion) {
+    let modules = modules();
+    let reference = PolishExpression::initial(modules.len())
+        .unwrap()
+        .evaluate(&modules)
+        .unwrap();
+    let evaluator = CostEvaluator::new(
+        modules.clone(),
+        vec![Net::new(vec![0, 1, 4]), Net::new(vec![2, 3, 5])],
+        CostWeights::thermal_aware(),
+        ThermalConfig::default(),
+        &reference,
+    )
+    .unwrap();
+    let placements = candidate_placements(&modules, 64);
+
+    let mut group = c.benchmark_group("floorplanner_cost_evaluation");
+    group.sample_size(20);
+    let mut index = 0usize;
+    group.bench_function("naive_rebuild", |b| {
+        b.iter(|| {
+            index = (index + 1) % placements.len();
+            evaluator.cost(&placements[index]).unwrap()
+        })
+    });
+    let mut scratch = evaluator.scratch().unwrap();
+    group.bench_function("cached_kernel", |b| {
+        b.iter(|| {
+            index = (index + 1) % placements.len();
+            // Fresh geometry every call (the memo is defeated by clearing),
+            // so this measures assemble + refactor + solve through the
+            // session's reused storage.
+            scratch.clear_memo();
+            evaluator
+                .cost_with(&placements[index], &mut scratch)
+                .unwrap()
+        })
+    });
+    let mut scratch = evaluator.scratch().unwrap();
+    group.bench_function("cached_kernel_memoised", |b| {
+        b.iter(|| {
+            index = (index + 1) % placements.len();
+            evaluator
+                .cost_with(&placements[index], &mut scratch)
+                .unwrap()
+        })
+    });
+    group.finish();
 }
 
 fn bench_engines(c: &mut Criterion) {
@@ -65,5 +136,5 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
+criterion_group!(benches, bench_cost_evaluation, bench_engines);
 criterion_main!(benches);

@@ -19,10 +19,7 @@ fn bench_scalability(c: &mut Criterion) {
     let flow = fixture.platform_flow().expect("platform flow");
     let policies = [
         ("baseline", Policy::Baseline),
-        (
-            "power3",
-            Policy::PowerAware(PowerHeuristic::MinTaskEnergy),
-        ),
+        ("power3", Policy::PowerAware(PowerHeuristic::MinTaskEnergy)),
         ("thermal", Policy::ThermalAware),
     ];
 
@@ -32,7 +29,12 @@ fn bench_scalability(c: &mut Criterion) {
         let graph = extended::graph_with_size(size, 11).expect("extended graph");
         for (label, policy) in policies {
             group.bench_function(BenchmarkId::new(label, size), |b| {
-                b.iter(|| flow.run(&graph, policy).expect("schedule").schedule.makespan())
+                b.iter(|| {
+                    flow.run(&graph, policy)
+                        .expect("schedule")
+                        .schedule
+                        .makespan()
+                })
             });
         }
     }

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tats_thermal::{
-    Block, Floorplan, GridModel, PowerPhase, Temperatures, ThermalConfig, ThermalModel,
-    TransientSolver,
+    Block, Floorplan, GridModel, PowerPhase, Rect, Temperatures, ThermalConfig, ThermalModel,
+    ThermalSession, TransientSolver,
 };
 
 fn floorplan(blocks: usize) -> Floorplan {
@@ -48,6 +48,61 @@ fn bench_model_construction(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-candidate evaluation as the floorplanner issues it: the geometry
+/// changes every call. Compares rebuilding the whole model against the
+/// cached session kernel reusing matrix/LU/solution storage.
+fn bench_per_candidate_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_per_candidate_evaluation");
+    group.sample_size(20);
+    for blocks in [4usize, 16, 36] {
+        let p = power(blocks);
+        let columns = (blocks as f64).sqrt().ceil() as usize;
+        let rects: Vec<Rect> = (0..blocks)
+            .map(|i| {
+                let col = (i % columns) as f64;
+                let row = (i / columns) as f64;
+                Rect::new(col * 7e-3, row * 7e-3, 7e-3, 7e-3)
+            })
+            .collect();
+        let mut shifted = rects.clone();
+        let mut flip = false;
+
+        group.bench_function(BenchmarkId::new("rebuild_model", blocks), |b| {
+            b.iter(|| {
+                // Move the layout so no construction work can be skipped.
+                flip = !flip;
+                let delta = if flip { 0.5e-3 } else { -0.5e-3 };
+                for r in &mut shifted {
+                    r.x += delta;
+                }
+                let plan = Floorplan::new(
+                    shifted
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| Block::new(format!("b{i}"), r.x, r.y, r.width, r.height))
+                        .collect(),
+                )
+                .unwrap();
+                let model = ThermalModel::new(&plan, ThermalConfig::default()).unwrap();
+                model.steady_state(&p).unwrap().max_c()
+            })
+        });
+
+        let mut session = ThermalSession::new(blocks, ThermalConfig::default()).unwrap();
+        group.bench_function(BenchmarkId::new("cached_session", blocks), |b| {
+            b.iter(|| {
+                flip = !flip;
+                let delta = if flip { 0.5e-3 } else { -0.5e-3 };
+                for r in &mut shifted {
+                    r.x += delta;
+                }
+                session.peak_temperature(&shifted, &p).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_grid_steady_state(c: &mut Criterion) {
     let plan = floorplan(4);
     let p = power(4);
@@ -81,6 +136,7 @@ criterion_group!(
     benches,
     bench_block_steady_state,
     bench_model_construction,
+    bench_per_candidate_evaluation,
     bench_grid_steady_state,
     bench_transient
 );

@@ -1,20 +1,190 @@
-//! Regenerates the paper's Tables 1–3 and prints them in a paper-like layout.
+//! Regenerates the paper's Tables 1–3, prints them in a paper-like layout,
+//! and records the floorplanner hot-loop perf baseline.
 //!
 //! ```bash
-//! cargo run --release -p tats-bench --bin reproduce            # all tables
-//! cargo run --release -p tats-bench --bin reproduce -- table3  # one table
+//! cargo run --release -p tats_bench --bin reproduce              # everything
+//! cargo run --release -p tats_bench --bin reproduce -- table3    # one table
+//! cargo run --release -p tats_bench --bin reproduce -- floorplan # perf only
 //! ```
 //!
-//! The output of this binary is the "measured" column of EXPERIMENTS.md.
+//! The table output is the "measured" column of EXPERIMENTS.md; the
+//! `floorplan` section additionally writes `BENCH_floorplan.json`
+//! (evaluations/sec of the naive, cached and memoised cost paths, wall
+//! times, and speedups vs the naive per-candidate `ThermalModel` rebuild) so
+//! future PRs have a machine-readable perf trajectory.
 
 use std::env;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use tats_core::experiment::{table1, table2, table3, ExperimentConfig};
+use tats_floorplan::{
+    anneal, evolve, CostEvaluator, CostWeights, GaConfig, Module, Net, Placement, PolishExpression,
+    SaConfig,
+};
+use tats_thermal::ThermalConfig;
+
+/// Evaluations/sec plus the raw numbers behind it.
+struct Throughput {
+    evaluations: usize,
+    wall_s: f64,
+}
+
+impl Throughput {
+    fn evals_per_sec(&self) -> f64 {
+        self.evaluations as f64 / self.wall_s.max(1e-12)
+    }
+}
+
+/// Times `f` over cycles of the placement set until ~0.3 s of wall time has
+/// accumulated, so fast paths get enough iterations to be measurable.
+fn measure(placements: &[Placement], mut f: impl FnMut(&Placement)) -> Throughput {
+    let mut evaluations = 0usize;
+    let start = Instant::now();
+    loop {
+        for placement in placements {
+            f(placement);
+        }
+        evaluations += placements.len();
+        if start.elapsed().as_secs_f64() >= 0.3 {
+            break;
+        }
+    }
+    Throughput {
+        evaluations,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn floorplan_modules() -> Vec<Module> {
+    vec![
+        Module::from_mm("cpu0", 7.0, 7.0, 6.5),
+        Module::from_mm("cpu1", 7.0, 7.0, 5.5),
+        Module::from_mm("dsp0", 5.0, 6.0, 2.5),
+        Module::from_mm("dsp1", 5.0, 6.0, 2.0),
+        Module::from_mm("accel", 4.0, 4.0, 1.2),
+        Module::from_mm("mem0", 6.0, 4.0, 0.8),
+        Module::from_mm("mem1", 6.0, 4.0, 0.7),
+        Module::from_mm("io", 3.0, 3.0, 0.4),
+    ]
+}
+
+/// Runs the floorplanner hot-loop baseline and returns the JSON report.
+fn bench_floorplan() -> Result<String, Box<dyn std::error::Error>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let modules = floorplan_modules();
+    let reference = PolishExpression::initial(modules.len())?.evaluate(&modules)?;
+    let evaluator = CostEvaluator::new(
+        modules.clone(),
+        vec![
+            Net::new(vec![0, 1, 5]),
+            Net::new(vec![2, 3, 6]),
+            Net::new(vec![4, 7]),
+        ],
+        CostWeights::thermal_aware(),
+        ThermalConfig::default(),
+        &reference,
+    )?;
+
+    // A deterministic set of distinct candidate placements.
+    let mut rng = StdRng::seed_from_u64(0xBA5E);
+    let mut expr = PolishExpression::initial(modules.len())?;
+    let mut placements = Vec::with_capacity(256);
+    for _ in 0..256 {
+        expr = expr.perturb(&mut rng);
+        placements.push(expr.evaluate(&modules)?);
+    }
+
+    // Naive baseline: rebuild Floorplan + ThermalModel (RC assembly + dense
+    // LU factorisation) per candidate.
+    let naive = measure(&placements, |p| {
+        evaluator.cost(p).expect("naive cost");
+    });
+
+    // Cached kernel, memo defeated: assemble + refactor + solve through the
+    // session's reused storage for every call.
+    let mut scratch = evaluator.scratch()?;
+    let cached = measure(&placements, |p| {
+        scratch.clear_memo();
+        evaluator.cost_with(p, &mut scratch).expect("cached cost");
+    });
+
+    // Cached kernel with the memo warm (the steady state of a converging SA
+    // run revisiting placements).
+    let mut scratch = evaluator.scratch()?;
+    let memoised = measure(&placements, |p| {
+        evaluator.cost_with(p, &mut scratch).expect("memoised cost");
+    });
+
+    // End-to-end engine wall times through the cached kernel.
+    let sa_start = Instant::now();
+    let sa = anneal(&evaluator, SaConfig::default())?;
+    let sa_wall = sa_start.elapsed().as_secs_f64();
+    let ga_start = Instant::now();
+    let ga = evolve(
+        &evaluator,
+        GaConfig {
+            population: 24,
+            generations: 30,
+            ..GaConfig::default()
+        },
+    )?;
+    let ga_wall = ga_start.elapsed().as_secs_f64();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"floorplan_hot_loop\",\n",
+            "  \"modules\": {},\n",
+            "  \"distinct_placements\": {},\n",
+            "  \"naive_rebuild\": {{ \"evaluations\": {}, \"wall_s\": {:.6}, \"evals_per_sec\": {:.1} }},\n",
+            "  \"cached_kernel\": {{ \"evaluations\": {}, \"wall_s\": {:.6}, \"evals_per_sec\": {:.1} }},\n",
+            "  \"cached_kernel_memoised\": {{ \"evaluations\": {}, \"wall_s\": {:.6}, \"evals_per_sec\": {:.1} }},\n",
+            "  \"speedup_cached_vs_naive\": {:.2},\n",
+            "  \"speedup_memoised_vs_naive\": {:.2},\n",
+            "  \"sa\": {{ \"wall_s\": {:.6}, \"evaluations\": {}, \"evals_per_sec\": {:.1}, \"best_weighted_cost\": {:.9} }},\n",
+            "  \"ga\": {{ \"wall_s\": {:.6}, \"evaluations\": {}, \"evals_per_sec\": {:.1}, \"best_weighted_cost\": {:.9} }}\n",
+            "}}\n"
+        ),
+        modules.len(),
+        placements.len(),
+        naive.evaluations,
+        naive.wall_s,
+        naive.evals_per_sec(),
+        cached.evaluations,
+        cached.wall_s,
+        cached.evals_per_sec(),
+        memoised.evaluations,
+        memoised.wall_s,
+        memoised.evals_per_sec(),
+        cached.evals_per_sec() / naive.evals_per_sec(),
+        memoised.evals_per_sec() / naive.evals_per_sec(),
+        sa_wall,
+        sa.evaluations,
+        sa.evaluations as f64 / sa_wall.max(1e-12),
+        sa.cost.weighted,
+        ga_wall,
+        ga.evaluations,
+        ga.evaluations as f64 / ga_wall.max(1e-12),
+        ga.cost.weighted,
+    );
+    Ok(json)
+}
+
+/// The sections this binary can reproduce, in run order.
+const SECTIONS: [&str; 4] = ["table1", "table2", "table3", "floorplan"];
 
 fn main() -> ExitCode {
     let selection: Vec<String> = env::args().skip(1).collect();
+    if let Some(unknown) = selection.iter().find(|s| !SECTIONS.contains(&s.as_str())) {
+        eprintln!(
+            "unknown section '{unknown}'; available: {}",
+            SECTIONS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
     let wants = |name: &str| selection.is_empty() || selection.iter().any(|s| s == name);
     let config = ExperimentConfig::default();
 
@@ -42,6 +212,22 @@ fn main() -> ExitCode {
             Ok(table) => println!("{table}"),
             Err(e) => {
                 eprintln!("table 3 failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if wants("floorplan") {
+        match bench_floorplan() {
+            Ok(json) => {
+                print!("{json}");
+                if let Err(e) = std::fs::write("BENCH_floorplan.json", &json) {
+                    eprintln!("could not write BENCH_floorplan.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("(wrote BENCH_floorplan.json)");
+            }
+            Err(e) => {
+                eprintln!("floorplan bench failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -193,7 +193,14 @@ pub fn sweep(options: &Options) -> Result<String, CliError> {
     }
     let mut out = format!("Scalability sweep with {policy} on the 4-PE platform\n\n");
     out.push_str(&markdown::markdown_table(
-        &["tasks", "edges", "makespan", "max temp", "avg temp", "deadline met"],
+        &[
+            "tasks",
+            "edges",
+            "makespan",
+            "max temp",
+            "avg temp",
+            "deadline met",
+        ],
         &rows,
     ));
     Ok(out)
@@ -259,8 +266,8 @@ pub fn dvs(options: &Options) -> Result<String, CliError> {
         .map_err(execution_error)?;
 
     // Temperature before and after, using the same thermal model.
-    let model = ThermalModel::new(&result.floorplan, ThermalConfig::default())
-        .map_err(execution_error)?;
+    let model =
+        ThermalModel::new(&result.floorplan, ThermalConfig::default()).map_err(execution_error)?;
     let before_profile =
         PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
             .map_err(execution_error)?;
@@ -271,7 +278,10 @@ pub fn dvs(options: &Options) -> Result<String, CliError> {
     let after = model.steady_state(&after_power).map_err(execution_error)?;
 
     let mut out = format!("DVS slack reclamation for {benchmark} with {policy}\n\n");
-    out.push_str(&format!("selected operating point: {}\n", scaled.operating_point()));
+    out.push_str(&format!(
+        "selected operating point: {}\n",
+        scaled.operating_point()
+    ));
     out.push_str(&format!(
         "makespan: {:.1} -> {:.1} (deadline {})\n",
         scaled.nominal_makespan(),
@@ -317,7 +327,14 @@ mod tests {
     #[test]
     fn help_mentions_every_command() {
         let text = help();
-        for command in ["tables", "schedule", "sweep", "reliability", "dvs", "export"] {
+        for command in [
+            "tables",
+            "schedule",
+            "sweep",
+            "reliability",
+            "dvs",
+            "export",
+        ] {
             assert!(text.contains(command), "help must mention {command}");
         }
     }
@@ -325,7 +342,15 @@ mod tests {
     #[test]
     fn schedule_platform_reports_metrics_and_artefacts() {
         let options = opts(
-            &["--benchmark", "Bm1", "--policy", "thermal", "--gantt", "--csv", "--json"],
+            &[
+                "--benchmark",
+                "Bm1",
+                "--policy",
+                "thermal",
+                "--gantt",
+                "--csv",
+                "--json",
+            ],
             &["benchmark", "policy", "arch"],
         );
         let out = schedule(&options).expect("schedule");
@@ -346,8 +371,8 @@ mod tests {
 
     #[test]
     fn export_produces_tgff_and_dot() {
-        let tgff_out = export(&opts(&["--benchmark", "Bm2"], &["benchmark", "format"]))
-            .expect("tgff export");
+        let tgff_out =
+            export(&opts(&["--benchmark", "Bm2"], &["benchmark", "format"])).expect("tgff export");
         assert!(tgff_out.starts_with("@GRAPH Bm2"));
         let dot_out = export(&opts(
             &["--benchmark", "Bm2", "--format", "dot"],
@@ -360,7 +385,10 @@ mod tests {
 
     #[test]
     fn sweep_produces_one_row_per_size() {
-        let options = opts(&["--sizes", "10,20", "--policy", "baseline"], &["sizes", "policy"]);
+        let options = opts(
+            &["--sizes", "10,20", "--policy", "baseline"],
+            &["sizes", "policy"],
+        );
         let out = sweep(&options).expect("sweep");
         let data_rows = out
             .lines()
@@ -389,7 +417,10 @@ mod tests {
     #[test]
     fn tables_rejects_unknown_selection() {
         let options = opts(&["--which", "table9"], &["which"]);
-        assert!(matches!(tables(&options), Err(CliError::InvalidValue { .. })));
+        assert!(matches!(
+            tables(&options),
+            Err(CliError::InvalidValue { .. })
+        ));
     }
 
     #[test]

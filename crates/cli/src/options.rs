@@ -87,9 +87,7 @@ impl Options {
                 let value = args
                     .get(index)
                     .ok_or_else(|| CliError::MissingValue(arg.clone()))?;
-                options
-                    .values
-                    .insert(name_part.to_string(), value.clone());
+                options.values.insert(name_part.to_string(), value.clone());
             } else {
                 options.switches.push(name_part.to_string());
             }
@@ -140,11 +138,13 @@ impl Options {
             Some(text) => text
                 .split(',')
                 .map(|item| {
-                    item.trim().parse::<usize>().map_err(|_| CliError::InvalidValue {
-                        option: name.to_string(),
-                        value: item.to_string(),
-                        expected: "a comma-separated list of integers".to_string(),
-                    })
+                    item.trim()
+                        .parse::<usize>()
+                        .map_err(|_| CliError::InvalidValue {
+                            option: name.to_string(),
+                            value: item.to_string(),
+                            expected: "a comma-separated list of integers".to_string(),
+                        })
                 })
                 .collect(),
         }
@@ -182,7 +182,9 @@ pub fn parse_policy(name: &str) -> Result<Policy, CliError> {
     match name.to_ascii_lowercase().as_str() {
         "baseline" => Ok(Policy::Baseline),
         "power1" | "h1" => Ok(Policy::PowerAware(PowerHeuristic::MinTaskPower)),
-        "power2" | "h2" => Ok(Policy::PowerAware(PowerHeuristic::MinCumulativeAveragePower)),
+        "power2" | "h2" => Ok(Policy::PowerAware(
+            PowerHeuristic::MinCumulativeAveragePower,
+        )),
         "power3" | "h3" => Ok(Policy::PowerAware(PowerHeuristic::MinTaskEnergy)),
         "thermal" | "thermal-aware" => Ok(Policy::ThermalAware),
         _ => Err(CliError::InvalidValue {
@@ -240,7 +242,10 @@ mod tests {
             options.usize_list("sizes", &[1]).expect("list"),
             vec![10, 20, 30]
         );
-        assert_eq!(options.usize_list("missing", &[5]).expect("default"), vec![5]);
+        assert_eq!(
+            options.usize_list("missing", &[5]).expect("default"),
+            vec![5]
+        );
         let bad = Options::parse(&args(&["--scale", "fast"]), &["scale"]).expect("parse");
         assert!(bad.number("scale", 1.0).is_err());
     }
@@ -260,7 +265,9 @@ mod tests {
     #[test]
     fn error_display_is_informative() {
         assert!(CliError::MissingCommand.to_string().contains("help"));
-        assert!(CliError::UnknownCommand("x".into()).to_string().contains('x'));
+        assert!(CliError::UnknownCommand("x".into())
+            .to_string()
+            .contains('x'));
         assert!(CliError::InvalidValue {
             option: "policy".into(),
             value: "zzz".into(),

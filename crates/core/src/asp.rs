@@ -242,6 +242,7 @@ impl<'a> Asp<'a> {
                     .iter()
                     .map(|p| finish_time[p.index()])
                     .fold(0.0_f64, f64::max);
+                #[allow(clippy::needless_range_loop)] // pe_index builds PeId and indexes two arrays
                 for pe_index in 0..pe_count {
                     let pe = PeId(pe_index);
                     let pe_type = self.architecture.pe_type_of(pe)?;
@@ -258,8 +259,9 @@ impl<'a> Asp<'a> {
                         }
                         Policy::PowerAware(PowerHeuristic::MinTaskEnergy) => wcet * wcpc,
                         Policy::ThermalAware => {
-                            let model =
-                                thermal_model.as_ref().expect("built for the thermal policy");
+                            let model = thermal_model
+                                .as_ref()
+                                .expect("built for the thermal policy");
                             // Sustained power of every PE (energy over busy
                             // time) with the candidate task folded into the
                             // candidate PE — i.e. "the cumulating power
@@ -276,8 +278,7 @@ impl<'a> Asp<'a> {
                                     Ok(if busy > 0.0 { energy / busy } else { 0.0 })
                                 })
                                 .collect::<Result<_, CoreError>>()?;
-                            let score =
-                                self.thermal_objective.score(&model.steady_state(&power)?);
+                            let score = self.thermal_objective.score(&model.steady_state(&power)?);
                             // Express the predicted temperature rise above
                             // ambient in schedule time units so that it can
                             // compete with the WCET and start-time terms.
@@ -286,10 +287,8 @@ impl<'a> Asp<'a> {
                         }
                     };
 
-                    let mut dc = analysis.static_criticality(task_id)
-                        - wcet
-                        - est
-                        - self.cost_scale * cost;
+                    let mut dc =
+                        analysis.static_criticality(task_id) - wcet - est - self.cost_scale * cost;
                     if est > latest_start[task_id.index()] + 1e-9 {
                         dc -= LATE_PENALTY;
                     }
@@ -338,11 +337,7 @@ impl<'a> Asp<'a> {
             .into_iter()
             .map(|a| a.expect("every task was scheduled"))
             .collect();
-        Ok(Schedule::new(
-            assignments,
-            pe_count,
-            self.graph.deadline(),
-        ))
+        Ok(Schedule::new(assignments, pe_count, self.graph.deadline()))
     }
 }
 

@@ -230,8 +230,7 @@ impl<'a> CoSynthesis<'a> {
                     best_addition = Some((pe_type.id(), makespan));
                 }
             }
-            let (chosen, makespan) =
-                best_addition.expect("the library has at least one PE type");
+            let (chosen, makespan) = best_addition.expect("the library has at least one PE type");
             architecture.add_instance(chosen);
             best_makespan = makespan;
             if makespan <= graph.deadline() {
@@ -254,10 +253,7 @@ impl<'a> CoSynthesis<'a> {
             order.sort_by(|&a, &b| {
                 let cost = |i: usize| {
                     let ty = architecture.instances()[i].type_id();
-                    self.library
-                        .pe_type(ty)
-                        .map(|t| t.cost())
-                        .unwrap_or(0.0)
+                    self.library.pe_type(ty).map(|t| t.cost()).unwrap_or(0.0)
                 };
                 cost(b).total_cmp(&cost(a))
             });
@@ -403,10 +399,7 @@ mod tests {
         let result = quick_cosynthesis(&library)
             .with_max_pes(2)
             .run(&graph, Policy::Baseline);
-        assert!(matches!(
-            result,
-            Err(CoreError::DeadlineUnreachable { .. })
-        ));
+        assert!(matches!(result, Err(CoreError::DeadlineUnreachable { .. })));
     }
 
     #[test]

@@ -110,9 +110,7 @@ mod tests {
         assert!(eval.avg_temperature_c > 45.0);
         assert!(eval.meets_deadline);
         assert_eq!(eval.per_pe_power.len(), 4);
-        assert!(
-            (eval.per_pe_power.iter().sum::<f64>() - eval.total_average_power).abs() < 1e-9
-        );
+        assert!((eval.per_pe_power.iter().sum::<f64>() - eval.total_average_power).abs() < 1e-9);
         assert_eq!(eval.makespan, schedule.makespan());
         assert!(eval.to_string().contains("met"));
     }
@@ -176,8 +174,7 @@ mod tests {
             1_000.0,
         );
 
-        let balanced_eval =
-            evaluate_schedule(&balanced, &plan, ThermalConfig::default()).unwrap();
+        let balanced_eval = evaluate_schedule(&balanced, &plan, ThermalConfig::default()).unwrap();
         let concentrated_eval =
             evaluate_schedule(&concentrated, &plan, ThermalConfig::default()).unwrap();
         assert!(

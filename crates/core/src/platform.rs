@@ -191,8 +191,7 @@ mod tests {
             let baseline = flow.run(&graph, Policy::Baseline).unwrap();
             let thermal = flow.run(&graph, Policy::ThermalAware).unwrap();
             assert!(
-                thermal.evaluation.max_temperature_c
-                    <= baseline.evaluation.max_temperature_c + 1.0,
+                thermal.evaluation.max_temperature_c <= baseline.evaluation.max_temperature_c + 1.0,
                 "{bm}: thermal {:.2} C vs baseline {:.2} C",
                 thermal.evaluation.max_temperature_c,
                 baseline.evaluation.max_temperature_c

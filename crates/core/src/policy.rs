@@ -135,9 +135,7 @@ impl ThermalObjective {
         match self {
             ThermalObjective::Average => temperatures.average_c(),
             ThermalObjective::Peak => temperatures.max_c(),
-            ThermalObjective::Blended => {
-                0.5 * (temperatures.average_c() + temperatures.max_c())
-            }
+            ThermalObjective::Blended => 0.5 * (temperatures.average_c() + temperatures.max_c()),
         }
     }
 }
@@ -179,7 +177,10 @@ mod tests {
         let labels: std::collections::HashSet<String> =
             Policy::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), Policy::ALL.len());
-        assert_eq!(Policy::PowerAware(PowerHeuristic::MinTaskEnergy).to_string(), "Heuristic 3");
+        assert_eq!(
+            Policy::PowerAware(PowerHeuristic::MinTaskEnergy).to_string(),
+            "Heuristic 3"
+        );
     }
 
     #[test]

@@ -120,8 +120,7 @@ impl Schedule {
 
     /// Assignments executed by a given PE, ordered by start time.
     pub fn assignments_on(&self, pe: PeId) -> Vec<&Assignment> {
-        let mut list: Vec<&Assignment> =
-            self.assignments.iter().filter(|a| a.pe == pe).collect();
+        let mut list: Vec<&Assignment> = self.assignments.iter().filter(|a| a.pe == pe).collect();
         list.sort_by(|a, b| a.start.total_cmp(&b.start));
         list
     }

@@ -59,8 +59,7 @@ impl SaConfig {
         }
         if !(self.final_temperature > 0.0 && self.final_temperature < self.initial_temperature) {
             return Err(FloorplanError::InvalidParameter(
-                "final temperature must be positive and below the initial temperature"
-                    .to_string(),
+                "final temperature must be positive and below the initial temperature".to_string(),
             ));
         }
         Ok(())
@@ -93,9 +92,16 @@ pub fn anneal(
     let module_count = evaluator.modules().len();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
+    // One scratch for the whole run: the thermal kernel's storage is reused
+    // by every move, and the memo short-circuits revisited placements (SA
+    // revisits constantly near convergence). Costs are identical to the
+    // naive `CostEvaluator::cost`, so acceptance decisions — and therefore
+    // the whole trajectory — are unchanged.
+    let mut scratch = evaluator.scratch()?;
+
     let mut current = PolishExpression::initial(module_count)?;
     let mut current_placement = current.evaluate(evaluator.modules())?;
-    let mut current_cost = evaluator.cost(&current_placement)?;
+    let mut current_cost = evaluator.cost_with(&current_placement, &mut scratch)?;
     let mut best = current.clone();
     let mut best_placement = current_placement.clone();
     let mut best_cost = current_cost;
@@ -106,7 +112,7 @@ pub fn anneal(
         for _ in 0..config.moves_per_temperature {
             let candidate = current.perturb(&mut rng);
             let placement = candidate.evaluate(evaluator.modules())?;
-            let cost = evaluator.cost(&placement)?;
+            let cost = evaluator.cost_with(&placement, &mut scratch)?;
             evaluations += 1;
             let delta = cost.weighted - current_cost.weighted;
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
@@ -179,8 +185,29 @@ mod tests {
         let eval = evaluator();
         let a = anneal(&eval, SaConfig::default()).unwrap();
         let b = anneal(&eval, SaConfig::default()).unwrap();
+        // Bit-level determinism, not merely approximate equality: the cached
+        // kernel (memo included) must not perturb a single ulp of the
+        // trajectory between runs.
+        assert_eq!(a.cost.weighted.to_bits(), b.cost.weighted.to_bits());
+        assert_eq!(
+            a.cost.peak_temperature_c.to_bits(),
+            b.cost.peak_temperature_c.to_bits()
+        );
         assert_eq!(a.cost, b.cost);
         assert_eq!(a.expression, b.expression);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn annealing_cost_matches_the_naive_path_on_its_result() {
+        // The winning placement's cached cost must agree with the
+        // rebuild-everything reference evaluation to 1e-9.
+        let eval = evaluator();
+        let result = anneal(&eval, SaConfig::default()).unwrap();
+        let naive = eval.cost(&result.placement).unwrap();
+        assert!((naive.weighted - result.cost.weighted).abs() < 1e-9);
+        assert!((naive.peak_temperature_c - result.cost.peak_temperature_c).abs() < 1e-9);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! term is evaluated by running the compact thermal model on the candidate
 //! placement with the modules' estimated average powers.
 
-use tats_thermal::{Block, Floorplan, ThermalConfig, ThermalModel};
+use std::collections::HashMap;
+
+use tats_thermal::{Block, Floorplan, Rect, ThermalConfig, ThermalModel, ThermalSession};
 
 use crate::error::FloorplanError;
 use crate::module::{validate_modules, Module};
@@ -105,6 +107,66 @@ pub struct CostBreakdown {
     pub weighted: f64,
 }
 
+/// One memoised thermal solve: the exact module positions it was computed
+/// for (as raw bits, verified on every hit so a hash collision can never
+/// return another placement's temperature) and the resulting peak.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    position_bits: Vec<(u64, u64)>,
+    peak_temperature_c: f64,
+}
+
+impl MemoEntry {
+    fn matches(&self, placement: &Placement) -> bool {
+        self.position_bits.len() == placement.positions().len()
+            && self
+                .position_bits
+                .iter()
+                .zip(placement.positions())
+                .all(|(&(bx, by), &(x, y))| bx == x.to_bits() && by == y.to_bits())
+    }
+}
+
+/// Bounded memo plus reusable thermal kernel for the hot cost path.
+///
+/// One `CostScratch` per optimisation thread: the scratch owns the
+/// [`ThermalSession`] (matrix/LU/solution storage reused across candidates),
+/// the candidate geometry buffer, and a geometry-hash → peak-temperature
+/// memo. Simulated annealing revisits placements constantly, so the memo
+/// turns most thermal solves into a hash lookup; memoised answers are the
+/// exact previously computed values, never approximations (hits verify the
+/// full stored geometry, not just the hash).
+#[derive(Debug, Clone)]
+pub struct CostScratch {
+    session: ThermalSession,
+    rects: Vec<Rect>,
+    memo: HashMap<u64, MemoEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The memo is cleared once it reaches this many entries, bounding memory
+/// for arbitrarily long optimisation runs.
+const MEMO_CAPACITY: usize = 1 << 16;
+
+impl CostScratch {
+    /// Thermal-solve memo hits so far (diagnostics for benches).
+    pub fn memo_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Thermal solves actually performed so far (diagnostics for benches).
+    pub fn memo_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Empties the memo (the benches use this to measure the un-memoised
+    /// kernel); the thermal session's storage is unaffected.
+    pub fn clear_memo(&mut self) {
+        self.memo.clear();
+    }
+}
+
 /// Evaluates placements against the weighted cost function.
 #[derive(Debug, Clone)]
 pub struct CostEvaluator {
@@ -115,6 +177,12 @@ pub struct CostEvaluator {
     reference_area: f64,
     reference_wirelength: f64,
     reference_temperature_rise: f64,
+    /// Precomputed module half-extents: centre of module `m` in a placement
+    /// is `position + (half_width[m], half_height[m])`.
+    half_width: Vec<f64>,
+    half_height: Vec<f64>,
+    /// Precomputed per-module average powers, in module order.
+    powers: Vec<f64>,
 }
 
 impl CostEvaluator {
@@ -141,6 +209,9 @@ impl CostEvaluator {
                 }
             }
         }
+        let half_width: Vec<f64> = modules.iter().map(|m| m.width() / 2.0).collect();
+        let half_height: Vec<f64> = modules.iter().map(|m| m.height() / 2.0).collect();
+        let powers: Vec<f64> = modules.iter().map(Module::power).collect();
         let mut evaluator = CostEvaluator {
             modules,
             nets,
@@ -149,6 +220,9 @@ impl CostEvaluator {
             reference_area: 1.0,
             reference_wirelength: 1.0,
             reference_temperature_rise: 1.0,
+            half_width,
+            half_height,
+            powers,
         };
         let reference_cost = evaluator.raw_terms(reference)?;
         evaluator.reference_area = reference_cost.0.max(1e-12);
@@ -189,58 +263,170 @@ impl CostEvaluator {
         let peak = if self.weights.temperature > 0.0 {
             let plan = self.to_thermal_floorplan(placement)?;
             let model = ThermalModel::new(&plan, self.thermal_config)?;
-            let powers: Vec<f64> = self.modules.iter().map(Module::power).collect();
-            model.steady_state(&powers)?.max_c()
+            model.steady_state(&self.powers)?.max_c()
         } else {
             self.thermal_config.ambient_c
         };
         Ok((area, wirelength, peak))
     }
 
+    /// Half-perimeter wirelength over all nets: a single pass per net
+    /// tracking the bounding box of module centres — no per-net allocation.
     fn wirelength(&self, placement: &Placement) -> f64 {
+        let positions = placement.positions();
         self.nets
             .iter()
             .map(|net| {
                 if net.modules().len() < 2 {
                     return 0.0;
                 }
-                let centres: Vec<(f64, f64)> = net
-                    .modules()
-                    .iter()
-                    .map(|&m| {
-                        let (x, y) = placement.positions()[m];
-                        (
-                            x + self.modules[m].width() / 2.0,
-                            y + self.modules[m].height() / 2.0,
-                        )
-                    })
-                    .collect();
-                let min_x = centres.iter().map(|c| c.0).fold(f64::INFINITY, f64::min);
-                let max_x = centres.iter().map(|c| c.0).fold(f64::NEG_INFINITY, f64::max);
-                let min_y = centres.iter().map(|c| c.1).fold(f64::INFINITY, f64::min);
-                let max_y = centres.iter().map(|c| c.1).fold(f64::NEG_INFINITY, f64::max);
+                let mut min_x = f64::INFINITY;
+                let mut max_x = f64::NEG_INFINITY;
+                let mut min_y = f64::INFINITY;
+                let mut max_y = f64::NEG_INFINITY;
+                for &m in net.modules() {
+                    let (x, y) = positions[m];
+                    let cx = x + self.half_width[m];
+                    let cy = y + self.half_height[m];
+                    min_x = min_x.min(cx);
+                    max_x = max_x.max(cx);
+                    min_y = min_y.min(cy);
+                    max_y = max_y.max(cy);
+                }
                 (max_x - min_x) + (max_y - min_y)
             })
             .sum()
     }
 
-    /// Evaluates the weighted cost of a placement.
+    /// Hashes the candidate geometry (module positions; dimensions are fixed
+    /// per evaluator) for the peak-temperature memo: a word-at-a-time
+    /// multiply-xor mix over the raw float bits. Identical placements — the
+    /// only thing SA revisits — hash identically.
+    fn geometry_hash(&self, placement: &Placement) -> u64 {
+        let mut hash: u64 = 0x9E37_79B9_7F4A_7C15;
+        for &(x, y) in placement.positions() {
+            for bits in [x.to_bits(), y.to_bits()] {
+                hash = (hash ^ bits).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                hash ^= hash >> 29;
+            }
+        }
+        hash
+    }
+
+    /// Creates the per-thread scratch state for [`CostEvaluator::cost_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-session construction errors.
+    pub fn scratch(&self) -> Result<CostScratch, FloorplanError> {
+        Ok(CostScratch {
+            session: ThermalSession::new(self.modules.len(), self.thermal_config)?,
+            rects: vec![Rect::default(); self.modules.len()],
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    fn weighted_breakdown(&self, area: f64, wirelength: f64, peak: f64) -> CostBreakdown {
+        let temperature_rise = (peak - self.thermal_config.ambient_c).max(0.0);
+        let weighted = self.weights.area * area / self.reference_area
+            + self.weights.wirelength * wirelength / self.reference_wirelength
+            + self.weights.temperature * temperature_rise / self.reference_temperature_rise;
+        CostBreakdown {
+            area_m2: area,
+            wirelength_m: wirelength,
+            peak_temperature_c: peak,
+            weighted,
+        }
+    }
+
+    /// Evaluates the weighted cost of a placement by rebuilding the full
+    /// thermal model from scratch.
+    ///
+    /// This is the *reference* implementation: correct for any placement
+    /// (including overlapping ones, which it rejects) but O(n³) in
+    /// allocations and factorisation per call. The optimisers use
+    /// [`CostEvaluator::cost_with`], which returns identical values through
+    /// the cached kernel; this path remains as the equivalence oracle and
+    /// the baseline for the perf benches.
     ///
     /// # Errors
     ///
     /// Propagates thermal-model failures (e.g. a degenerate placement).
     pub fn cost(&self, placement: &Placement) -> Result<CostBreakdown, FloorplanError> {
         let (area, wirelength, peak) = self.raw_terms(placement)?;
-        let temperature_rise = (peak - self.thermal_config.ambient_c).max(0.0);
-        let weighted = self.weights.area * area / self.reference_area
-            + self.weights.wirelength * wirelength / self.reference_wirelength
-            + self.weights.temperature * temperature_rise / self.reference_temperature_rise;
-        Ok(CostBreakdown {
-            area_m2: area,
-            wirelength_m: wirelength,
-            peak_temperature_c: peak,
-            weighted,
-        })
+        Ok(self.weighted_breakdown(area, wirelength, peak))
+    }
+
+    /// Evaluates the weighted cost of a placement through the cached thermal
+    /// kernel in `scratch`: the cheap area/wirelength terms are computed
+    /// directly, and the exact thermal solve reuses the session's matrix, LU
+    /// workspace and solution storage, short-circuiting entirely when the
+    /// geometry was evaluated before (bounded memo).
+    ///
+    /// Returns values identical to [`CostEvaluator::cost`] for every
+    /// non-overlapping placement (slicing-tree placements always are); the
+    /// geometry is not re-validated here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-kernel failures (e.g. a degenerate placement).
+    pub fn cost_with(
+        &self,
+        placement: &Placement,
+        scratch: &mut CostScratch,
+    ) -> Result<CostBreakdown, FloorplanError> {
+        let area = placement.area();
+        let wirelength = self.wirelength(placement);
+        let peak = if self.weights.temperature > 0.0 {
+            let key = self.geometry_hash(placement);
+            // A same-hash entry for different geometry (astronomically rare)
+            // fails the `matches` check and is recomputed and replaced.
+            let memoised = scratch
+                .memo
+                .get(&key)
+                .filter(|entry| entry.matches(placement))
+                .map(|entry| entry.peak_temperature_c);
+            match memoised {
+                Some(peak) => {
+                    scratch.hits += 1;
+                    peak
+                }
+                None => {
+                    scratch.misses += 1;
+                    for ((rect, module), &(x, y)) in scratch
+                        .rects
+                        .iter_mut()
+                        .zip(&self.modules)
+                        .zip(placement.positions())
+                    {
+                        *rect = Rect::new(x, y, module.width(), module.height());
+                    }
+                    let peak = scratch
+                        .session
+                        .peak_temperature(&scratch.rects, &self.powers)?;
+                    if scratch.memo.len() >= MEMO_CAPACITY {
+                        scratch.memo.clear();
+                    }
+                    scratch.memo.insert(
+                        key,
+                        MemoEntry {
+                            position_bits: placement
+                                .positions()
+                                .iter()
+                                .map(|&(x, y)| (x.to_bits(), y.to_bits()))
+                                .collect(),
+                            peak_temperature_c: peak,
+                        },
+                    );
+                    peak
+                }
+            }
+        } else {
+            self.thermal_config.ambient_c
+        };
+        Ok(self.weighted_breakdown(area, wirelength, peak))
     }
 }
 
@@ -263,14 +449,8 @@ mod tests {
         let expr = PolishExpression::initial(mods.len()).unwrap();
         let placement = expr.evaluate(&mods).unwrap();
         let nets = vec![Net::new(vec![0, 1]), Net::new(vec![1, 2, 3])];
-        let eval = CostEvaluator::new(
-            mods,
-            nets,
-            weights,
-            ThermalConfig::default(),
-            &placement,
-        )
-        .unwrap();
+        let eval =
+            CostEvaluator::new(mods, nets, weights, ThermalConfig::default(), &placement).unwrap();
         (eval, placement)
     }
 
@@ -386,6 +566,66 @@ mod tests {
             &placement
         )
         .is_err());
+    }
+
+    #[test]
+    fn cached_path_matches_naive_rebuild_on_randomized_placements() {
+        use crate::polish::PolishExpression;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mods = modules();
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut expr = PolishExpression::initial(mods.len()).unwrap();
+        let reference = expr.evaluate(&mods).unwrap();
+        let nets = vec![Net::new(vec![0, 1]), Net::new(vec![1, 2, 3])];
+        let eval = CostEvaluator::new(
+            mods.clone(),
+            nets,
+            CostWeights::thermal_aware(),
+            ThermalConfig::default(),
+            &reference,
+        )
+        .unwrap();
+        let mut scratch = eval.scratch().unwrap();
+        for step in 0..60 {
+            expr = expr.perturb(&mut rng);
+            let placement = expr.evaluate(&mods).unwrap();
+            let naive = eval.cost(&placement).unwrap();
+            let cached = eval.cost_with(&placement, &mut scratch).unwrap();
+            assert!(
+                (naive.weighted - cached.weighted).abs() < 1e-9,
+                "step {step}: weighted {} vs {}",
+                naive.weighted,
+                cached.weighted
+            );
+            assert!((naive.peak_temperature_c - cached.peak_temperature_c).abs() < 1e-9);
+            assert_eq!(naive.area_m2, cached.area_m2);
+            assert_eq!(naive.wirelength_m, cached.wirelength_m);
+        }
+    }
+
+    #[test]
+    fn memo_short_circuits_revisited_geometry_with_exact_values() {
+        let (eval, placement) = evaluator(CostWeights::thermal_aware());
+        let mut scratch = eval.scratch().unwrap();
+        let first = eval.cost_with(&placement, &mut scratch).unwrap();
+        assert_eq!(scratch.memo_misses(), 1);
+        assert_eq!(scratch.memo_hits(), 0);
+        let second = eval.cost_with(&placement, &mut scratch).unwrap();
+        assert_eq!(scratch.memo_misses(), 1);
+        assert_eq!(scratch.memo_hits(), 1);
+        // Memoised answers are bit-identical, not approximate.
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn area_only_cached_path_skips_the_thermal_model() {
+        let (eval, placement) = evaluator(CostWeights::area_only());
+        let mut scratch = eval.scratch().unwrap();
+        let cost = eval.cost_with(&placement, &mut scratch).unwrap();
+        assert_eq!(cost.peak_temperature_c, 45.0);
+        assert_eq!(scratch.memo_misses(), 0);
     }
 
     #[test]

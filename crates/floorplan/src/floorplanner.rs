@@ -115,8 +115,7 @@ impl Floorplanner {
     /// errors.
     pub fn run(&self) -> Result<FloorplanSolution, FloorplanError> {
         validate_modules(&self.modules)?;
-        let reference = PolishExpression::initial(self.modules.len())?
-            .evaluate(&self.modules)?;
+        let reference = PolishExpression::initial(self.modules.len())?.evaluate(&self.modules)?;
         let evaluator = CostEvaluator::new(
             self.modules.clone(),
             self.nets.clone(),
@@ -131,7 +130,7 @@ impl Floorplanner {
             Engine::InitialOnly => {
                 let expression = PolishExpression::initial(self.modules.len())?;
                 let placement = expression.evaluate(&self.modules)?;
-                let cost = evaluator.cost(&placement)?;
+                let cost = evaluator.cost_with(&placement, &mut evaluator.scratch()?)?;
                 OptimisedFloorplan {
                     expression,
                     placement,

@@ -9,11 +9,41 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::annealing::OptimisedFloorplan;
 use crate::cost::CostEvaluator;
 use crate::error::FloorplanError;
-use crate::polish::{Element, PolishExpression};
+use crate::polish::{Element, Placement, PolishExpression};
+
+/// One evaluated chromosome.
+type Scored = (PolishExpression, crate::cost::CostBreakdown, Placement);
+
+/// Evaluates a batch of chromosomes in parallel, one cached thermal kernel
+/// per worker chunk. Evaluation is pure, so the result is independent of the
+/// thread count and identical to a serial evaluation.
+fn score_population(
+    evaluator: &CostEvaluator,
+    population: Vec<PolishExpression>,
+) -> Result<Vec<Scored>, FloorplanError> {
+    let workers = rayon::current_num_threads().max(1);
+    let chunk_size = population.len().div_ceil(workers).max(1);
+    let chunks: Result<Vec<Vec<Scored>>, FloorplanError> = population
+        .par_chunks(chunk_size)
+        .map(|chunk| {
+            let mut scratch = evaluator.scratch()?;
+            chunk
+                .iter()
+                .map(|expr| {
+                    let placement = expr.evaluate(evaluator.modules())?;
+                    let cost = evaluator.cost_with(&placement, &mut scratch)?;
+                    Ok((expr.clone(), cost, placement))
+                })
+                .collect()
+        })
+        .collect();
+    Ok(chunks?.into_iter().flatten().collect())
+}
 
 /// Parameters of the genetic floorplanning engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,32 +165,20 @@ pub fn evolve(
         population.push(individual);
     }
 
-    let mut evaluations = 0usize;
-    let score = |expr: &PolishExpression,
-                     evaluations: &mut usize|
-     -> Result<(crate::cost::CostBreakdown, crate::polish::Placement), FloorplanError> {
-        let placement = expr.evaluate(evaluator.modules())?;
-        let cost = evaluator.cost(&placement)?;
-        *evaluations += 1;
-        Ok((cost, placement))
-    };
-
-    let mut scored: Vec<(PolishExpression, crate::cost::CostBreakdown, crate::polish::Placement)> =
-        Vec::with_capacity(config.population);
-    for expr in population {
-        let (cost, placement) = score(&expr, &mut evaluations)?;
-        scored.push((expr, cost, placement));
-    }
+    // Parallel population evaluation: children are generated serially (the
+    // RNG stream is untouched relative to a serial GA because scoring draws
+    // no randomness), then scored concurrently across worker threads, each
+    // with its own cached thermal kernel.
+    let mut evaluations = population.len();
+    let mut scored: Vec<Scored> = score_population(evaluator, population)?;
 
     for _generation in 0..config.generations {
         scored.sort_by(|a, b| a.1.weighted.total_cmp(&b.1.weighted));
-        let mut next: Vec<(
-            PolishExpression,
-            crate::cost::CostBreakdown,
-            crate::polish::Placement,
-        )> = scored.iter().take(config.elitism).cloned().collect();
+        let mut next: Vec<Scored> = scored.iter().take(config.elitism).cloned().collect();
 
-        while next.len() < config.population {
+        let mut children: Vec<PolishExpression> =
+            Vec::with_capacity(config.population - next.len());
+        while next.len() + children.len() < config.population {
             let pick = |rng: &mut StdRng| -> usize {
                 (0..config.tournament_size)
                     .map(|_| rng.gen_range(0..scored.len()))
@@ -172,15 +190,20 @@ pub fn evolve(
             let mut child = if rng.gen::<f64>() < config.crossover_rate {
                 crossover(&scored[a].0, &scored[b].0)
             } else {
-                let fitter = if scored[a].1.weighted <= scored[b].1.weighted { a } else { b };
+                let fitter = if scored[a].1.weighted <= scored[b].1.weighted {
+                    a
+                } else {
+                    b
+                };
                 scored[fitter].0.clone()
             };
             if rng.gen::<f64>() < config.mutation_rate {
                 child = child.perturb(&mut rng);
             }
-            let (cost, placement) = score(&child, &mut evaluations)?;
-            next.push((child, cost, placement));
+            children.push(child);
         }
+        evaluations += children.len();
+        next.extend(score_population(evaluator, children)?);
         // Shuffle to avoid positional bias from elitism ordering.
         next.shuffle(&mut rng);
         scored = next;
@@ -249,10 +272,24 @@ mod tests {
 
     #[test]
     fn ga_is_deterministic_for_a_fixed_seed() {
+        // Parallel population evaluation must not leak thread-count
+        // nondeterminism into the result: scoring is pure and the RNG stream
+        // is consumed serially, so repeated runs agree to the bit.
         let eval = evaluator(CostWeights::thermal_aware());
         let a = evolve(&eval, quick_config()).unwrap();
         let b = evolve(&eval, quick_config()).unwrap();
+        assert_eq!(a.cost.weighted.to_bits(), b.cost.weighted.to_bits());
         assert_eq!(a.cost, b.cost);
+        assert_eq!(a.expression, b.expression);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn ga_cost_matches_the_naive_path_on_its_result() {
+        let eval = evaluator(CostWeights::thermal_aware());
+        let result = evolve(&eval, quick_config()).unwrap();
+        let naive = eval.cost(&result.placement).unwrap();
+        assert!((naive.weighted - result.cost.weighted).abs() < 1e-9);
     }
 
     #[test]

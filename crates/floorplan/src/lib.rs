@@ -50,7 +50,7 @@ mod module;
 mod polish;
 
 pub use annealing::{anneal, OptimisedFloorplan, SaConfig};
-pub use cost::{CostBreakdown, CostEvaluator, CostWeights, Net};
+pub use cost::{CostBreakdown, CostEvaluator, CostScratch, CostWeights, Net};
 pub use error::FloorplanError;
 pub use floorplanner::{Engine, FloorplanSolution, Floorplanner};
 pub use ga::{evolve, GaConfig};

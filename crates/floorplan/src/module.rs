@@ -65,8 +65,10 @@ impl Module {
     /// Returns [`FloorplanError::InvalidModule`] when any field is
     /// non-finite, the dimensions are non-positive or the power is negative.
     pub fn validate(&self, index: usize) -> Result<(), FloorplanError> {
-        if !(self.width.is_finite() && self.width > 0.0)
-            || !(self.height.is_finite() && self.height > 0.0)
+        if !(self.width.is_finite()
+            && self.width > 0.0
+            && self.height.is_finite()
+            && self.height > 0.0)
         {
             return Err(FloorplanError::InvalidModule {
                 module: index,

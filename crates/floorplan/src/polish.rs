@@ -178,6 +178,11 @@ impl PolishExpression {
 
     /// Evaluates the expression into concrete module positions.
     ///
+    /// Runs in two flat passes over the postfix elements — a forward pass
+    /// computing subtree dimensions/spans and a backward pass assigning
+    /// positions — with no recursion and no per-node boxed tree, which keeps
+    /// the optimisers' perturb→evaluate→cost loop cheap.
+    ///
     /// # Errors
     ///
     /// Returns [`FloorplanError::InvalidParameter`] when the module list
@@ -191,78 +196,64 @@ impl PolishExpression {
             )));
         }
 
-        #[derive(Clone)]
-        enum Node {
-            Leaf(usize),
-            Cut {
-                op: Element,
-                left: Box<Node>,
-                right: Box<Node>,
-                width: f64,
-                height: f64,
-            },
-        }
-
-        fn dims(node: &Node, modules: &[Module]) -> (f64, f64) {
-            match node {
-                Node::Leaf(m) => (modules[*m].width(), modules[*m].height()),
-                Node::Cut { width, height, .. } => (*width, *height),
-            }
-        }
-
-        let mut stack: Vec<Node> = Vec::new();
-        for e in &self.elements {
+        let element_count = self.elements.len();
+        // Forward pass: for the subtree rooted at element `i`, its bounding
+        // box and the number of elements it spans.
+        let mut dims: Vec<(f64, f64)> = vec![(0.0, 0.0); element_count];
+        let mut spans: Vec<usize> = vec![0; element_count];
+        let mut stack: Vec<usize> = Vec::with_capacity(self.module_count);
+        for (i, e) in self.elements.iter().enumerate() {
             match e {
-                Element::Operand(m) => stack.push(Node::Leaf(*m)),
+                Element::Operand(m) => {
+                    dims[i] = (modules[*m].width(), modules[*m].height());
+                    spans[i] = 1;
+                    stack.push(i);
+                }
                 op @ (Element::H | Element::V) => {
                     let right = stack.pop().expect("validated expression");
                     let left = stack.pop().expect("validated expression");
-                    let (lw, lh) = dims(&left, modules);
-                    let (rw, rh) = dims(&right, modules);
-                    let (width, height) = match op {
+                    let (lw, lh) = dims[left];
+                    let (rw, rh) = dims[right];
+                    dims[i] = match op {
                         Element::V => (lw + rw, lh.max(rh)),
                         Element::H => (lw.max(rw), lh + rh),
                         Element::Operand(_) => unreachable!(),
                     };
-                    stack.push(Node::Cut {
-                        op: *op,
-                        left: Box::new(left),
-                        right: Box::new(right),
-                        width,
-                        height,
-                    });
+                    spans[i] = spans[left] + spans[right] + 1;
+                    stack.push(i);
                 }
             }
         }
         let root = stack.pop().expect("validated expression");
         debug_assert!(stack.is_empty());
+        debug_assert_eq!(root, element_count - 1);
+        let (width, height) = dims[root];
 
+        // Backward pass: walk the postfix string from the root down, handing
+        // each subtree its lower-left corner via an explicit stack. For a cut
+        // at `i` the right subtree roots at `i - 1` and the left subtree at
+        // `i - 1 - spans[i - 1]` (postfix subtrees are contiguous), so pushing
+        // left-then-right pairs exactly matches the reverse scan order.
         let mut positions = vec![(0.0, 0.0); modules.len()];
-        fn place(
-            node: &Node,
-            x: f64,
-            y: f64,
-            modules: &[Module],
-            positions: &mut [(f64, f64)],
-        ) {
-            match node {
-                Node::Leaf(m) => positions[*m] = (x, y),
-                Node::Cut { op, left, right, .. } => {
-                    let (lw, lh) = match left.as_ref() {
-                        Node::Leaf(m) => (modules[*m].width(), modules[*m].height()),
-                        Node::Cut { width, height, .. } => (*width, *height),
-                    };
-                    place(left, x, y, modules, positions);
+        let mut corners: Vec<(f64, f64)> = Vec::with_capacity(self.module_count);
+        corners.push((0.0, 0.0));
+        for i in (0..element_count).rev() {
+            let (x, y) = corners.pop().expect("one corner per subtree");
+            match self.elements[i] {
+                Element::Operand(m) => positions[m] = (x, y),
+                op @ (Element::H | Element::V) => {
+                    let left = i - 1 - spans[i - 1];
+                    let (lw, lh) = dims[left];
+                    corners.push((x, y));
                     match op {
-                        Element::V => place(right, x + lw, y, modules, positions),
-                        Element::H => place(right, x, y + lh, modules, positions),
+                        Element::V => corners.push((x + lw, y)),
+                        Element::H => corners.push((x, y + lh)),
                         Element::Operand(_) => unreachable!(),
                     }
                 }
             }
         }
-        let (width, height) = dims(&root, modules);
-        place(&root, 0.0, 0.0, modules, &mut positions);
+        debug_assert!(corners.is_empty());
 
         Ok(Placement {
             positions,
@@ -410,10 +401,10 @@ mod tests {
                 for j in (i + 1)..6 {
                     let (xi, yi) = p.positions()[i];
                     let (xj, yj) = p.positions()[j];
-                    let overlap_x = (xi + modules[i].width()).min(xj + modules[j].width())
-                        - xi.max(xj);
-                    let overlap_y = (yi + modules[i].height()).min(yj + modules[j].height())
-                        - yi.max(yj);
+                    let overlap_x =
+                        (xi + modules[i].width()).min(xj + modules[j].width()) - xi.max(xj);
+                    let overlap_y =
+                        (yi + modules[i].height()).min(yj + modules[j].height()) - yi.max(yj);
                     assert!(
                         overlap_x <= 1e-12 || overlap_y <= 1e-12,
                         "modules {i} and {j} overlap"
@@ -426,11 +417,7 @@ mod tests {
     #[test]
     fn invalid_expressions_are_rejected() {
         // Too few operators.
-        assert!(PolishExpression::new(
-            vec![Element::Operand(0), Element::Operand(1)],
-            2
-        )
-        .is_err());
+        assert!(PolishExpression::new(vec![Element::Operand(0), Element::Operand(1)], 2).is_err());
         // Operator before two operands.
         assert!(PolishExpression::new(
             vec![Element::Operand(0), Element::H, Element::Operand(1)],

@@ -102,10 +102,7 @@ impl ScaledSchedule {
 
     /// Total task energy after scaling.
     pub fn energy(&self) -> f64 {
-        self.assignments
-            .iter()
-            .map(ScaledAssignment::energy)
-            .sum()
+        self.assignments.iter().map(ScaledAssignment::energy).sum()
     }
 
     /// Fraction of the nominal task energy saved by scaling (0 when the

@@ -129,26 +129,37 @@ impl<'a> LeakageFeedback<'a> {
             });
         }
 
+        // Fixed-point iteration over raw node buffers: the thermal model's
+        // factorisation is queried through the allocation-reusing
+        // `steady_state_nodes_into` path and the leakage through
+        // `leakage_into`, so each iteration costs one in-place solve and no
+        // per-iteration heap allocation.
+        let mut nodes: Vec<f64> = Vec::new();
+        let mut previous_blocks: Vec<f64> = Vec::new();
+        let mut leakage_power: Vec<f64> = Vec::new();
+        let mut total: Vec<f64> = vec![0.0; block_count];
+
         // Start from the leakage-free solution.
-        let mut temperatures = self.model.steady_state(dynamic_power)?;
-        let mut leakage_power = self.leakage.leakage_at(&temperatures)?;
+        self.model
+            .steady_state_nodes_into(dynamic_power, &mut nodes)?;
+        self.leakage
+            .leakage_into(&nodes[..block_count], &mut leakage_power)?;
+        previous_blocks.extend_from_slice(&nodes[..block_count]);
         let mut residual = f64::INFINITY;
 
         for iteration in 1..=self.max_iterations {
-            let total: Vec<f64> = dynamic_power
+            for ((slot, dynamic), leak) in total.iter_mut().zip(dynamic_power).zip(&leakage_power) {
+                *slot = dynamic + leak;
+            }
+            self.model.steady_state_nodes_into(&total, &mut nodes)?;
+            residual = previous_blocks
                 .iter()
-                .zip(&leakage_power)
-                .map(|(dynamic, leak)| dynamic + leak)
-                .collect();
-            let next = self.model.steady_state(&total)?;
-            residual = temperatures
-                .blocks()
-                .iter()
-                .zip(next.blocks())
+                .zip(&nodes[..block_count])
                 .map(|(old, new)| (old - new).abs())
                 .fold(0.0, f64::max);
-            temperatures = next;
-            leakage_power = self.leakage.leakage_at(&temperatures)?;
+            previous_blocks.copy_from_slice(&nodes[..block_count]);
+            self.leakage
+                .leakage_into(&nodes[..block_count], &mut leakage_power)?;
             if residual <= self.tolerance_c {
                 let total_power: Vec<f64> = dynamic_power
                     .iter()
@@ -156,7 +167,7 @@ impl<'a> LeakageFeedback<'a> {
                     .map(|(dynamic, leak)| dynamic + leak)
                     .collect();
                 return Ok(ConvergedThermal {
-                    temperatures,
+                    temperatures: self.model.temperatures_from_nodes(&nodes)?,
                     leakage_power,
                     total_power,
                     iterations: iteration,
@@ -184,8 +195,7 @@ mod tests {
         let platform = profiles::platform_architecture(&library).expect("platform");
         let floorplan = layout::grid_floorplan(&platform, &library).expect("floorplan");
         let model = ThermalModel::new(&floorplan, ThermalConfig::default()).expect("model");
-        let leakage =
-            ArchitectureLeakage::from_architecture(&platform, &library).expect("leakage");
+        let leakage = ArchitectureLeakage::from_architecture(&platform, &library).expect("leakage");
         let count = platform.pe_count();
         (model, leakage, count)
     }

@@ -225,6 +225,36 @@ impl ArchitectureLeakage {
             .collect())
     }
 
+    /// Per-PE leakage given raw per-block temperatures (°C), written into a
+    /// caller-provided buffer whose allocation is reused across calls. This
+    /// is the allocation-free counterpart of [`ArchitectureLeakage::leakage_at`]
+    /// used by the leakage-temperature feedback loop's inner iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::LengthMismatch`] when `block_temps_c` does not
+    /// have one entry per PE.
+    pub fn leakage_into(
+        &self,
+        block_temps_c: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), PowerError> {
+        if block_temps_c.len() != self.models.len() {
+            return Err(PowerError::LengthMismatch {
+                expected: self.models.len(),
+                actual: block_temps_c.len(),
+            });
+        }
+        out.clear();
+        out.extend(
+            self.models
+                .iter()
+                .zip(block_temps_c)
+                .map(|(model, &temp)| model.leakage_at(temp)),
+        );
+        Ok(())
+    }
+
     /// Total leakage across all PEs at the given block temperatures, watts.
     ///
     /// # Errors
@@ -284,8 +314,7 @@ mod tests {
     fn architecture_leakage_has_one_model_per_pe() {
         let library = profiles::standard_library(8).expect("library");
         let platform = profiles::platform_architecture(&library).expect("platform");
-        let leakage =
-            ArchitectureLeakage::from_architecture(&platform, &library).expect("leakage");
+        let leakage = ArchitectureLeakage::from_architecture(&platform, &library).expect("leakage");
         assert_eq!(leakage.pe_count(), platform.pe_count());
         let uniform = leakage.leakage_at_uniform(45.0);
         assert_eq!(uniform.len(), platform.pe_count());
@@ -298,8 +327,7 @@ mod tests {
     fn per_block_leakage_requires_matching_field() {
         let library = profiles::standard_library(8).expect("library");
         let platform = profiles::platform_architecture(&library).expect("platform");
-        let leakage =
-            ArchitectureLeakage::from_architecture(&platform, &library).expect("leakage");
+        let leakage = ArchitectureLeakage::from_architecture(&platform, &library).expect("leakage");
         let wrong = Temperatures::uniform(leakage.pe_count() + 1, 50.0);
         assert!(matches!(
             leakage.leakage_at(&wrong),

@@ -276,9 +276,8 @@ mod tests {
             .expect("flow")
             .run(&graph, Policy::Baseline)
             .expect("result");
-        let profile =
-            PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
-                .expect("profile");
+        let profile = PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
+            .expect("profile");
         (profile, result.schedule)
     }
 

@@ -323,11 +323,9 @@ mod tests {
             .expect("flow")
             .run(&graph, Policy::Baseline)
             .expect("result");
-        let profile =
-            PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
-                .expect("profile");
-        let floorplan =
-            layout::grid_floorplan(&result.architecture, &library).expect("floorplan");
+        let profile = PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
+            .expect("profile");
+        let floorplan = layout::grid_floorplan(&result.architecture, &library).expect("floorplan");
         let model = ThermalModel::new(&floorplan, ThermalConfig::default()).expect("model");
         Fixture { profile, model }
     }
@@ -419,7 +417,10 @@ mod tests {
 
     #[test]
     fn trace_constructor_validates_inputs() {
-        let samples = vec![Temperatures::uniform(2, 40.0), Temperatures::uniform(2, 42.0)];
+        let samples = vec![
+            Temperatures::uniform(2, 40.0),
+            Temperatures::uniform(2, 42.0),
+        ];
         assert!(ThermalTrace::new(vec![1.0, 2.0], samples.clone()).is_ok());
         assert!(ThermalTrace::new(vec![2.0, 1.0], samples.clone()).is_err());
         assert!(ThermalTrace::new(vec![1.0], samples).is_err());

@@ -193,8 +193,7 @@ impl DvfsTable {
     pub fn standard() -> Self {
         DvfsTable::new(vec![
             OperatingPoint::nominal(),
-            OperatingPoint::new("balanced", 0.85, 0.75)
-                .expect("standard balanced point is valid"),
+            OperatingPoint::new("balanced", 0.85, 0.75).expect("standard balanced point is valid"),
             OperatingPoint::new("eco", 0.7, 0.5).expect("standard eco point is valid"),
         ])
         .expect("standard table contains the nominal point")

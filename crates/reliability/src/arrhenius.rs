@@ -65,7 +65,8 @@ pub fn acceleration_factor(
             "temperatures must be above absolute zero".into(),
         ));
     }
-    let exponent = (activation_energy_ev / BOLTZMANN_EV_PER_K) * (1.0 / reference_k - 1.0 / stress_k);
+    let exponent =
+        (activation_energy_ev / BOLTZMANN_EV_PER_K) * (1.0 / reference_k - 1.0 / stress_k);
     Ok(exponent.exp())
 }
 

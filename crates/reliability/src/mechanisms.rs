@@ -130,8 +130,12 @@ impl Electromigration {
 
     /// A conventional qualification: 10 years at 55 °C with Ea = 0.7 eV.
     pub fn standard() -> Self {
-        Electromigration::new(55.0, 10.0 * 365.25 * 24.0, Self::DEFAULT_ACTIVATION_ENERGY_EV)
-            .expect("standard EM parameters are valid")
+        Electromigration::new(
+            55.0,
+            10.0 * 365.25 * 24.0,
+            Self::DEFAULT_ACTIVATION_ENERGY_EV,
+        )
+        .expect("standard EM parameters are valid")
     }
 }
 
@@ -178,8 +182,12 @@ impl StressMigration {
 
     /// A conventional qualification: 12 years at 55 °C with Ea = 0.9 eV.
     pub fn standard() -> Self {
-        StressMigration::new(55.0, 12.0 * 365.25 * 24.0, Self::DEFAULT_ACTIVATION_ENERGY_EV)
-            .expect("standard stress-migration parameters are valid")
+        StressMigration::new(
+            55.0,
+            12.0 * 365.25 * 24.0,
+            Self::DEFAULT_ACTIVATION_ENERGY_EV,
+        )
+        .expect("standard stress-migration parameters are valid")
     }
 }
 
@@ -298,10 +306,8 @@ mod tests {
         // same temperature increase.
         let em = Electromigration::standard();
         let sm = StressMigration::standard();
-        let em_ratio =
-            em.mttf_hours(55.0).expect("valid") / em.mttf_hours(95.0).expect("valid");
-        let sm_ratio =
-            sm.mttf_hours(55.0).expect("valid") / sm.mttf_hours(95.0).expect("valid");
+        let em_ratio = em.mttf_hours(55.0).expect("valid") / em.mttf_hours(95.0).expect("valid");
+        let sm_ratio = sm.mttf_hours(55.0).expect("valid") / sm.mttf_hours(95.0).expect("valid");
         assert!(sm_ratio > em_ratio);
     }
 

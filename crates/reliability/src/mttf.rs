@@ -314,8 +314,8 @@ mod tests {
     fn single_mechanism_analyzer_matches_the_mechanism_directly() {
         let em = Electromigration::standard();
         let expected = em.mttf_hours(85.0).expect("valid");
-        let analyzer =
-            ReliabilityAnalyzer::new().with_mechanisms(vec![Box::new(Electromigration::standard())]);
+        let analyzer = ReliabilityAnalyzer::new()
+            .with_mechanisms(vec![Box::new(Electromigration::standard())]);
         let system = analyzer
             .from_steady_temperatures(&Temperatures::uniform(1, 85.0))
             .expect("system");

@@ -75,9 +75,7 @@ impl GraphAnalysis {
         }
         let asap = top_level.clone();
 
-        let makespan_lower_bound = (0..n)
-            .map(|i| asap[i] + weights[i])
-            .fold(0.0_f64, f64::max);
+        let makespan_lower_bound = (0..n).map(|i| asap[i] + weights[i]).fold(0.0_f64, f64::max);
 
         // ALAP relative to the critical-path length.
         let mut alap = vec![0.0_f64; n];
@@ -297,10 +295,7 @@ mod tests {
         assert_eq!(a.slack(TaskId(3)), 0.0);
         assert!(a.slack(TaskId(1)) > 0.0);
         assert_eq!(a.critical_tasks(), vec![TaskId(0), TaskId(2), TaskId(3)]);
-        assert_eq!(
-            a.critical_path(&g),
-            vec![TaskId(0), TaskId(2), TaskId(3)]
-        );
+        assert_eq!(a.critical_path(&g), vec![TaskId(0), TaskId(2), TaskId(3)]);
     }
 
     #[test]

@@ -91,11 +91,7 @@ impl TaskGraphBuilder {
         if src == dst {
             return Err(GraphError::SelfLoop(src));
         }
-        if self
-            .edges
-            .iter()
-            .any(|e| e.src() == src && e.dst() == dst)
-        {
+        if self.edges.iter().any(|e| e.src() == src && e.dst() == dst) {
             return Err(GraphError::DuplicateEdge(src, dst));
         }
         let id = EdgeId(self.edges.len());

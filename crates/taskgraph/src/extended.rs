@@ -91,7 +91,10 @@ mod tests {
         assert_eq!(suite.len(), DEFAULT_SCALABILITY_SIZES.len());
         for (graph, &size) in suite.iter().zip(DEFAULT_SCALABILITY_SIZES.iter()) {
             assert_eq!(graph.task_count(), size);
-            assert!(graph.edge_count() >= size - 1, "graph must be connected enough");
+            assert!(
+                graph.edge_count() >= size - 1,
+                "graph must be connected enough"
+            );
             assert!(graph.deadline() > 0.0);
         }
     }

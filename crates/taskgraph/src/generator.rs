@@ -176,9 +176,7 @@ impl GeneratorConfig {
         for (i, &layer) in layer_of.iter().enumerate() {
             candidates_by_layer[layer].push(i);
         }
-        let mut connect_order: Vec<usize> = (0..self.tasks)
-            .filter(|&i| layer_of[i] > 0)
-            .collect();
+        let mut connect_order: Vec<usize> = (0..self.tasks).filter(|&i| layer_of[i] > 0).collect();
         connect_order.shuffle(&mut rng);
         for &dst in &connect_order {
             if edges_added >= self.edges {
@@ -205,7 +203,11 @@ impl GeneratorConfig {
             if a == b || layer_of[a] == layer_of[b] {
                 continue;
             }
-            let (src, dst) = if layer_of[a] < layer_of[b] { (a, b) } else { (b, a) };
+            let (src, dst) = if layer_of[a] < layer_of[b] {
+                (a, b)
+            } else {
+                (b, a)
+            };
             if builder.has_edge(TaskId(src), TaskId(dst)) {
                 continue;
             }
@@ -312,7 +314,9 @@ mod tests {
     #[test]
     fn zero_layers_rejected() {
         assert!(matches!(
-            GeneratorConfig::new("g", 5, 4, 10.0).with_layers(0).generate(),
+            GeneratorConfig::new("g", 5, 4, 10.0)
+                .with_layers(0)
+                .generate(),
             Err(GraphError::InvalidParameter(_))
         ));
     }

@@ -331,10 +331,7 @@ mod tests {
     fn non_positive_deadline_is_rejected() {
         let mut b = TaskGraphBuilder::new("bad", 0.0);
         b.add_task("a", TaskKind::Control, 0);
-        assert_eq!(
-            b.build().unwrap_err(),
-            GraphError::NonPositiveDeadline(0.0)
-        );
+        assert_eq!(b.build().unwrap_err(), GraphError::NonPositiveDeadline(0.0));
     }
 
     #[test]

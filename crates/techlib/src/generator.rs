@@ -136,9 +136,9 @@ impl LibraryGenerator {
 
         let mut builder = TechLibraryBuilder::new(self.task_type_count);
         let add_class = |builder: &mut TechLibraryBuilder,
-                             rng: &mut StdRng,
-                             class: PeClass,
-                             index: usize|
+                         rng: &mut StdRng,
+                         class: PeClass,
+                         index: usize|
          -> Result<(), LibraryError> {
             let (name_prefix, width, height, cost, idle) = match class {
                 PeClass::GppFast => ("gpp-fast", 7.0, 7.0, rng.gen_range(60.0..80.0), 0.40),
@@ -150,18 +150,9 @@ impl LibraryGenerator {
             let mut wcpc = Vec::with_capacity(self.task_type_count);
             for &bt in &base_time {
                 let (speed, power) = match class {
-                    PeClass::GppFast => (
-                        rng.gen_range(0.55..0.75),
-                        rng.gen_range(4.0..6.5),
-                    ),
-                    PeClass::GppSlow => (
-                        rng.gen_range(1.20..1.60),
-                        rng.gen_range(1.4..2.4),
-                    ),
-                    PeClass::Dsp => (
-                        rng.gen_range(0.60..1.20),
-                        rng.gen_range(2.0..3.5),
-                    ),
+                    PeClass::GppFast => (rng.gen_range(0.55..0.75), rng.gen_range(4.0..6.5)),
+                    PeClass::GppSlow => (rng.gen_range(1.20..1.60), rng.gen_range(1.4..2.4)),
+                    PeClass::Dsp => (rng.gen_range(0.60..1.20), rng.gen_range(2.0..3.5)),
                     PeClass::Accelerator => {
                         // Accelerators are excellent for roughly a third of
                         // the task types and mediocre for the rest.

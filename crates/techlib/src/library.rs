@@ -429,7 +429,10 @@ mod tests {
                 vec![1.0, 2.0],
             )
             .unwrap_err();
-        assert!(matches!(err, LibraryError::InvalidEntry { task_type: 1, .. }));
+        assert!(matches!(
+            err,
+            LibraryError::InvalidEntry { task_type: 1, .. }
+        ));
 
         let mut b = TechLibraryBuilder::new(1);
         let err = b

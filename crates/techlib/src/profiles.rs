@@ -11,7 +11,7 @@ use crate::library::TechLibrary;
 use crate::pe::{PeClass, PeTypeId};
 
 /// Seed of the standard experiment library.
-pub const STANDARD_LIBRARY_SEED: u64 = 0x2005_DA7E;
+pub const STANDARD_LIBRARY_SEED: u64 = 0xDA7E_2005;
 
 /// Number of identical PEs in the paper's platform-based architecture.
 pub const PLATFORM_PE_COUNT: usize = 4;

@@ -64,14 +64,21 @@ impl Block {
         self.height
     }
 
+    /// The block's bare geometry (no name), as consumed by the cached
+    /// thermal kernel. The geometric predicates below delegate to
+    /// [`crate::Rect`] so the numerics have a single definition.
+    pub fn rect(&self) -> crate::Rect {
+        crate::Rect::new(self.x, self.y, self.width, self.height)
+    }
+
     /// Area, square metres.
     pub fn area(&self) -> f64 {
-        self.width * self.height
+        self.rect().area()
     }
 
     /// Centre coordinates, metres.
     pub fn center(&self) -> (f64, f64) {
-        (self.x + self.width / 2.0, self.y + self.height / 2.0)
+        self.rect().center()
     }
 
     /// Returns `true` if the interiors of `self` and `other` overlap.
@@ -86,35 +93,12 @@ impl Block {
     /// Length of the edge shared with `other`, in metres; zero when the
     /// blocks do not abut.
     pub fn shared_edge_length(&self, other: &Block) -> f64 {
-        let eps = 1e-9;
-        // Vertical contact: right edge of one touches left edge of the other.
-        let touches_vertically = (self.x + self.width - other.x).abs() < eps
-            || (other.x + other.width - self.x).abs() < eps;
-        if touches_vertically {
-            let overlap = (self.y + self.height).min(other.y + other.height)
-                - self.y.max(other.y);
-            if overlap > eps {
-                return overlap;
-            }
-        }
-        // Horizontal contact: top edge of one touches bottom edge of the other.
-        let touches_horizontally = (self.y + self.height - other.y).abs() < eps
-            || (other.y + other.height - self.y).abs() < eps;
-        if touches_horizontally {
-            let overlap =
-                (self.x + self.width).min(other.x + other.width) - self.x.max(other.x);
-            if overlap > eps {
-                return overlap;
-            }
-        }
-        0.0
+        self.rect().shared_edge_length(&other.rect())
     }
 
     /// Euclidean distance between block centres, metres.
     pub fn center_distance(&self, other: &Block) -> f64 {
-        let (ax, ay) = self.center();
-        let (bx, by) = other.center();
-        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        self.rect().center_distance(&other.rect())
     }
 }
 
@@ -168,10 +152,8 @@ impl Floorplan {
             return Err(ThermalError::EmptyFloorplan);
         }
         for (i, b) in blocks.iter().enumerate() {
-            let finite = b.width.is_finite()
-                && b.height.is_finite()
-                && b.x.is_finite()
-                && b.y.is_finite();
+            let finite =
+                b.width.is_finite() && b.height.is_finite() && b.x.is_finite() && b.y.is_finite();
             if !finite || b.width <= 0.0 || b.height <= 0.0 {
                 return Err(ThermalError::DegenerateBlock {
                     block: i,
@@ -268,8 +250,16 @@ impl Floorplan {
 
     /// Width and height of the bounding box enclosing all blocks, metres.
     pub fn bounding_box(&self) -> (f64, f64) {
-        let min_x = self.blocks.iter().map(|b| b.x).fold(f64::INFINITY, f64::min);
-        let min_y = self.blocks.iter().map(|b| b.y).fold(f64::INFINITY, f64::min);
+        let min_x = self
+            .blocks
+            .iter()
+            .map(|b| b.x)
+            .fold(f64::INFINITY, f64::min);
+        let min_y = self
+            .blocks
+            .iter()
+            .map(|b| b.y)
+            .fold(f64::INFINITY, f64::min);
         let max_x = self
             .blocks
             .iter()
@@ -418,10 +408,7 @@ mod tests {
     fn block_lookup_errors_out_of_range() {
         let plan = Floorplan::new(vec![Block::from_mm("a", 0.0, 0.0, 4.0, 4.0)]).unwrap();
         assert!(plan.block(0).is_ok());
-        assert_eq!(
-            plan.block(3).unwrap_err(),
-            ThermalError::UnknownBlock(3)
-        );
+        assert_eq!(plan.block(3).unwrap_err(), ThermalError::UnknownBlock(3));
         assert!(plan.shared_edge_length(0, 3).is_err());
     }
 }

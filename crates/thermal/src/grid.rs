@@ -59,7 +59,10 @@ impl GridTemperatures {
 
     /// Hottest cell temperature on the whole die, °C.
     pub fn max_c(&self) -> f64 {
-        self.cell_c.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.cell_c
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -281,8 +284,8 @@ impl GridModel {
             t[spreader] = new_spreader;
 
             // Sink node: spreader on one side, ambient on the other.
-            let new_sink = (g_sp_sink * t[spreader] + g_conv * self.config.ambient_c)
-                / (g_sp_sink + g_conv);
+            let new_sink =
+                (g_sp_sink * t[spreader] + g_conv * self.config.ambient_c) / (g_sp_sink + g_conv);
             max_change = max_change.max((new_sink - t[sink]).abs());
             t[sink] = new_sink;
 
@@ -399,7 +402,10 @@ mod tests {
                 }
             }
         }
-        assert!(best.0 < nx / 2, "hottest cell {best:?} not in the hot block");
+        assert!(
+            best.0 < nx / 2,
+            "hottest cell {best:?} not in the hot block"
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod linalg;
 mod materials;
 mod model;
 mod network;
+mod session;
 mod transient;
 
 pub use error::ThermalError;
@@ -57,6 +58,7 @@ pub use grid::{GridModel, GridTemperatures};
 pub use materials::ThermalConfig;
 pub use model::{Temperatures, ThermalModel};
 pub use network::RcNetwork;
+pub use session::{Rect, ThermalSession};
 pub use transient::{PowerPhase, TransientMethod, TransientSolver};
 
 #[cfg(test)]

@@ -118,11 +118,11 @@ impl Matrix {
                 x.len()
             )));
         }
-        let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
+        let y = self
+            .data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect();
         Ok(y)
     }
 
@@ -142,20 +142,36 @@ impl Matrix {
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
     }
+
+    /// The row-major backing storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Sets every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (row, col): (usize, usize)) -> &f64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         &self.data[row * self.cols + col]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         &mut self.data[row * self.cols + col]
     }
 }
@@ -183,7 +199,48 @@ impl fmt::Display for Matrix {
 pub struct LuDecomposition {
     n: usize,
     lu: Vec<f64>,
-    pivots: Vec<usize>,
+    /// Pivoting recorded as a swap sequence (LAPACK `ipiv` style):
+    /// at elimination step `col`, rows `col` and `swaps[col]` were exchanged.
+    /// Unlike a gathered permutation vector, a swap sequence can be applied
+    /// to a right-hand side *in place*, which is what makes
+    /// [`LuDecomposition::solve_into`] allocation free.
+    swaps: Vec<usize>,
+}
+
+/// The shared elimination kernel: factorises `lu` (row-major, `n x n`) in
+/// place, recording row exchanges in `swaps`.
+fn factorize_in_place(lu: &mut [f64], swaps: &mut [usize], n: usize) -> Result<(), ThermalError> {
+    for col in 0..n {
+        // Find pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = lu[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = lu[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(ThermalError::SingularSystem);
+        }
+        swaps[col] = pivot_row;
+        if pivot_row != col {
+            for k in 0..n {
+                lu.swap(col * n + k, pivot_row * n + k);
+            }
+        }
+        // Eliminate below.
+        let pivot = lu[col * n + col];
+        for row in (col + 1)..n {
+            let factor = lu[row * n + col] / pivot;
+            lu[row * n + col] = factor;
+            for k in (col + 1)..n {
+                lu[row * n + k] -= factor * lu[col * n + k];
+            }
+        }
+    }
+    Ok(())
 }
 
 impl LuDecomposition {
@@ -201,40 +258,53 @@ impl LuDecomposition {
         }
         let n = matrix.rows();
         let mut lu = matrix.data.clone();
-        let mut pivots: Vec<usize> = (0..n).collect();
+        let mut swaps: Vec<usize> = (0..n).collect();
+        factorize_in_place(&mut lu, &mut swaps, n)?;
+        Ok(LuDecomposition { n, lu, swaps })
+    }
 
-        for col in 0..n {
-            // Find pivot.
-            let mut pivot_row = col;
-            let mut pivot_val = lu[col * n + col].abs();
-            for row in (col + 1)..n {
-                let v = lu[row * n + col].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = row;
-                }
-            }
-            if pivot_val < 1e-300 {
-                return Err(ThermalError::SingularSystem);
-            }
-            if pivot_row != col {
-                for k in 0..n {
-                    lu.swap(col * n + k, pivot_row * n + k);
-                }
-                pivots.swap(col, pivot_row);
-            }
-            // Eliminate below.
-            let pivot = lu[col * n + col];
-            for row in (col + 1)..n {
-                let factor = lu[row * n + col] / pivot;
-                lu[row * n + col] = factor;
-                for k in (col + 1)..n {
-                    lu[row * n + k] -= factor * lu[col * n + k];
-                }
-            }
+    /// Creates an unfactorised placeholder of dimension `n` whose storage is
+    /// meant to be filled by [`LuDecomposition::refactor`] before the first
+    /// solve (a solve against the untouched placeholder yields non-finite
+    /// values, never undefined behaviour).
+    pub fn placeholder(n: usize) -> Self {
+        LuDecomposition {
+            n,
+            lu: vec![0.0; n * n],
+            swaps: (0..n).collect(),
         }
+    }
 
-        Ok(LuDecomposition { n, lu, pivots })
+    /// Re-factorises `matrix` reusing this decomposition's storage; no heap
+    /// allocation occurs when the dimension is unchanged.
+    ///
+    /// This is the "rebuild only what moved" half of the floorplanner's
+    /// cached thermal kernel: the matrix entries change with every candidate
+    /// placement, but the workspace does not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for non-square input and
+    /// [`ThermalError::SingularSystem`] for singular matrices (the stored
+    /// factorisation is invalidated in that case).
+    pub fn refactor(&mut self, matrix: &Matrix) -> Result<(), ThermalError> {
+        if !matrix.is_square() {
+            return Err(ThermalError::InvalidParameter(
+                "LU decomposition requires a square matrix".to_string(),
+            ));
+        }
+        let n = matrix.rows();
+        if n != self.n {
+            self.n = n;
+            self.lu.clear();
+            self.lu.reserve(n * n);
+            self.swaps.clear();
+            self.swaps.extend(0..n);
+            self.lu.extend_from_slice(&matrix.data);
+        } else {
+            self.lu.copy_from_slice(&matrix.data);
+        }
+        factorize_in_place(&mut self.lu, &mut self.swaps, n)
     }
 
     /// Dimension of the factorised system.
@@ -249,6 +319,20 @@ impl LuDecomposition {
     /// Returns [`ThermalError::InvalidParameter`] when `b.len()` differs from
     /// the system dimension.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, ThermalError> {
+        let mut x = b.to_vec();
+        self.solve_into(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` in place: `b` holds the right-hand side on entry and
+    /// the solution on exit. Performs **zero heap allocations** — this is the
+    /// steady-state query path of the cached thermal kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] when `b.len()` differs from
+    /// the system dimension.
+    pub fn solve_into(&self, b: &mut [f64]) -> Result<(), ThermalError> {
         if b.len() != self.n {
             return Err(ThermalError::InvalidParameter(format!(
                 "right-hand side has {} entries, expected {}",
@@ -257,25 +341,34 @@ impl LuDecomposition {
             )));
         }
         let n = self.n;
-        // Apply the row permutation.
-        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        // Apply the recorded row exchanges.
+        for (col, &swap_row) in self.swaps.iter().enumerate() {
+            if swap_row != col {
+                b.swap(col, swap_row);
+            }
+        }
         // Forward substitution (L has an implicit unit diagonal).
         for i in 1..n {
-            let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[i * n + j] * x[j];
+            let (solved, rest) = b.split_at_mut(i);
+            let mut sum = rest[0];
+            for (l, x) in self.lu[i * n..i * n + i].iter().zip(solved.iter()) {
+                sum -= l * x;
             }
-            x[i] = sum;
+            rest[0] = sum;
         }
         // Backward substitution.
         for i in (0..n).rev() {
-            let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[i * n + j] * x[j];
+            let (head, solved) = b.split_at_mut(i + 1);
+            let mut sum = head[i];
+            for (u, x) in self.lu[i * n + i + 1..(i + 1) * n]
+                .iter()
+                .zip(solved.iter())
+            {
+                sum -= u * x;
             }
-            x[i] = sum / self.lu[i * n + i];
+            head[i] = sum / self.lu[i * n + i];
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -309,7 +402,10 @@ mod tests {
     #[test]
     fn singular_matrix_is_detected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), ThermalError::SingularSystem);
+        assert_eq!(
+            a.solve(&[1.0, 2.0]).unwrap_err(),
+            ThermalError::SingularSystem
+        );
     }
 
     #[test]
@@ -367,6 +463,64 @@ mod tests {
             assert!((back[1] - b[1]).abs() < 1e-12);
         }
         assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = Matrix::from_rows(&[
+            &[10.0, 2.0, 0.5, 0.0],
+            &[2.0, 8.0, 1.0, 0.3],
+            &[0.5, 1.0, 6.0, 1.2],
+            &[0.0, 0.3, 1.2, 9.0],
+        ])
+        .unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let b = vec![1.0, -2.0, 3.0, 4.0];
+        let expected = lu.solve(&b).unwrap();
+        let mut in_place = b.clone();
+        lu.solve_into(&mut in_place).unwrap();
+        assert_eq!(in_place, expected);
+        let mut wrong = vec![1.0; 3];
+        assert!(lu.solve_into(&mut wrong).is_err());
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_matches_fresh_factorisation() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let mut lu = LuDecomposition::placeholder(2);
+        lu.refactor(&a).unwrap();
+        assert_eq!(
+            lu.solve(&[2.0, 5.0]).unwrap(),
+            LuDecomposition::new(&a)
+                .unwrap()
+                .solve(&[2.0, 5.0])
+                .unwrap()
+        );
+        lu.refactor(&b).unwrap();
+        assert_eq!(
+            lu.solve(&[1.0, 0.0]).unwrap(),
+            LuDecomposition::new(&b)
+                .unwrap()
+                .solve(&[1.0, 0.0])
+                .unwrap()
+        );
+        // Dimension changes are accommodated.
+        let c = Matrix::identity(3);
+        lu.refactor(&c).unwrap();
+        assert_eq!(lu.dim(), 3);
+        assert_eq!(lu.solve(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+        // Singular refactor is reported.
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(lu.refactor(&s).unwrap_err(), ThermalError::SingularSystem);
+    }
+
+    #[test]
+    fn matrix_slice_and_reset_helpers() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        m.fill_zero();
+        assert_eq!(m.max_abs(), 0.0);
     }
 
     #[test]

@@ -133,17 +133,23 @@ mod tests {
 
     #[test]
     fn invalid_fields_are_named() {
-        let mut c = ThermalConfig::default();
-        c.die_thickness = 0.0;
+        let c = ThermalConfig {
+            die_thickness: 0.0,
+            ..ThermalConfig::default()
+        };
         let msg = c.validate().unwrap_err().to_string();
         assert!(msg.contains("die_thickness"));
 
-        let mut c = ThermalConfig::default();
-        c.ambient_c = f64::NAN;
+        let c = ThermalConfig {
+            ambient_c: f64::NAN,
+            ..ThermalConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = ThermalConfig::default();
-        c.convection_resistance = -1.0;
+        let c = ThermalConfig {
+            convection_resistance: -1.0,
+            ..ThermalConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

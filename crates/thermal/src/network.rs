@@ -14,7 +14,7 @@
 //! distance). The spreader connects to the sink, the sink to the ambient.
 
 use crate::error::ThermalError;
-use crate::floorplan::Floorplan;
+use crate::floorplan::{Block, Floorplan};
 use crate::linalg::{LuDecomposition, Matrix};
 use crate::materials::ThermalConfig;
 
@@ -49,50 +49,14 @@ impl RcNetwork {
     pub fn new(floorplan: &Floorplan, config: &ThermalConfig) -> Result<Self, ThermalError> {
         config.validate()?;
         let n = floorplan.block_count();
-        let spreader = n;
-        let sink = n + 1;
         let total = n + 2;
 
+        // The stencil lives in `session::assemble_conductance` so this path
+        // and the cached `ThermalSession` kernel stay bit-identical.
         let mut g = Matrix::zeros(total, total);
-        let add_conductance = |g: &mut Matrix, a: usize, b: usize, value: f64| {
-            if value <= 0.0 {
-                return;
-            }
-            g.add_to(a, a, value);
-            g.add_to(b, b, value);
-            g.add_to(a, b, -value);
-            g.add_to(b, a, -value);
-        };
-
-        // Vertical paths: block -> spreader.
-        for (i, block) in floorplan.blocks().iter().enumerate() {
-            let gv = config.vertical_conductance(block.area());
-            add_conductance(&mut g, i, spreader, gv);
-        }
-
-        // Lateral paths between abutting blocks.
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let shared = floorplan.blocks()[i].shared_edge_length(&floorplan.blocks()[j]);
-                if shared > 0.0 {
-                    let dist = floorplan.blocks()[i].center_distance(&floorplan.blocks()[j]);
-                    let gl = config.lateral_conductance(dist, shared);
-                    add_conductance(&mut g, i, j, gl);
-                }
-            }
-        }
-
-        // Package path: spreader -> sink -> ambient.
-        add_conductance(
-            &mut g,
-            spreader,
-            sink,
-            1.0 / config.spreader_to_sink_resistance,
-        );
+        let rects: Vec<crate::Rect> = floorplan.blocks().iter().map(Block::rect).collect();
+        crate::session::assemble_conductance(&mut g, &rects, config);
         let ambient_conductance = 1.0 / config.convection_resistance;
-        // The ambient is a Dirichlet boundary: it only contributes to the
-        // sink's diagonal and to the right-hand side of the solve.
-        g.add_to(sink, sink, ambient_conductance);
 
         // Capacitances.
         let mut capacitance = Vec::with_capacity(total);
@@ -190,6 +154,39 @@ impl RcNetwork {
     pub fn steady_state(&self, block_power: &[f64]) -> Result<Vec<f64>, ThermalError> {
         let q = self.heat_input(block_power)?;
         self.lu.solve(&q)
+    }
+
+    /// Solves the steady-state system into a caller-provided buffer, reusing
+    /// its allocation across calls (the buffer is resized to the node count).
+    /// This is the path iterative clients — the leakage-temperature feedback
+    /// loop, the schedule simulator — should use in their inner loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RcNetwork::heat_input`] validation errors.
+    pub fn steady_state_into(
+        &self,
+        block_power: &[f64],
+        nodes: &mut Vec<f64>,
+    ) -> Result<(), ThermalError> {
+        if block_power.len() != self.block_count {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.block_count,
+                actual: block_power.len(),
+            });
+        }
+        if let Some((i, &p)) = block_power
+            .iter()
+            .enumerate()
+            .find(|(_, p)| !p.is_finite() || **p < 0.0)
+        {
+            return Err(ThermalError::InvalidPower(i, p));
+        }
+        nodes.clear();
+        nodes.resize(self.node_count(), 0.0);
+        nodes[..self.block_count].copy_from_slice(block_power);
+        nodes[self.block_count + 1] = self.ambient_conductance * self.ambient_c;
+        self.lu.solve_into(nodes)
     }
 
     /// Computes `dT/dt` for the transient solvers:
@@ -312,7 +309,10 @@ mod tests {
         let (net, _) = quad_network();
         assert!(matches!(
             net.steady_state(&[1.0, 2.0]),
-            Err(ThermalError::PowerLengthMismatch { expected: 4, actual: 2 })
+            Err(ThermalError::PowerLengthMismatch {
+                expected: 4,
+                actual: 2
+            })
         ));
         assert!(matches!(
             net.steady_state(&[1.0, -2.0, 0.0, 0.0]),
@@ -346,8 +346,10 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let plan = Floorplan::new(vec![Block::from_mm("pe0", 0.0, 0.0, 7.0, 7.0)]).unwrap();
-        let mut config = ThermalConfig::default();
-        config.convection_resistance = 0.0;
+        let config = ThermalConfig {
+            convection_resistance: 0.0,
+            ..ThermalConfig::default()
+        };
         assert!(RcNetwork::new(&plan, &config).is_err());
     }
 }

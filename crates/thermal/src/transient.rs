@@ -176,8 +176,7 @@ impl<'a> TransientSolver<'a> {
                             .map(|(t, k)| t + 0.5 * dt * k)
                             .collect();
                         let k3 = network.derivative(&s3, &q);
-                        let s4: Vec<f64> =
-                            state.iter().zip(&k3).map(|(t, k)| t + dt * k).collect();
+                        let s4: Vec<f64> = state.iter().zip(&k3).map(|(t, k)| t + dt * k).collect();
                         let k4 = network.derivative(&s4, &q);
                         for i in 0..state.len() {
                             state[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);

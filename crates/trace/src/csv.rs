@@ -127,7 +127,9 @@ pub fn evaluation_to_csv(label: &str, evaluation: &ScheduleEvaluation) -> String
 /// Returns [`TraceError::EmptyInput`] for an empty trace.
 pub fn thermal_trace_to_csv(trace: &ThermalTrace) -> Result<String, TraceError> {
     if trace.is_empty() {
-        return Err(TraceError::EmptyInput("thermal trace has no samples".into()));
+        return Err(TraceError::EmptyInput(
+            "thermal trace has no samples".into(),
+        ));
     }
     let block_count = trace.samples()[0].block_count();
     let mut header = vec!["time".to_string()];
@@ -171,7 +173,13 @@ mod tests {
         // Start times are non-decreasing because rows are sorted.
         let starts: Vec<f64> = lines[1..]
             .iter()
-            .map(|line| line.split(',').nth(3).expect("start column").parse().expect("float"))
+            .map(|line| {
+                line.split(',')
+                    .nth(3)
+                    .expect("start column")
+                    .parse()
+                    .expect("float")
+            })
             .collect();
         for pair in starts.windows(2) {
             assert!(pair[0] <= pair[1] + 1e-9);
@@ -187,7 +195,12 @@ mod tests {
         let values = lines.next().expect("values");
         assert!(header.contains("max_temp_c"));
         assert!(values.starts_with("baseline,"));
-        let max_temp: f64 = values.split(',').nth(2).expect("column").parse().expect("float");
+        let max_temp: f64 = values
+            .split(',')
+            .nth(2)
+            .expect("column")
+            .parse()
+            .expect("float");
         assert!((max_temp - evaluation.max_temperature_c).abs() < 1e-3);
     }
 

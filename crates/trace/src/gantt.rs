@@ -162,8 +162,7 @@ impl GanttChart {
         }
 
         if self.show_deadline {
-            let deadline_cell =
-                ((schedule.deadline() * scale).round() as usize).min(self.width);
+            let deadline_cell = ((schedule.deadline() * scale).round() as usize).min(self.width);
             let mut marker = vec![b' '; self.width];
             if deadline_cell > 0 {
                 marker[deadline_cell - 1] = b'^';

@@ -276,7 +276,10 @@ mod tests {
     #[test]
     fn arrays_and_objects_nest() {
         let value = JsonValue::object(vec![
-            ("b".to_string(), JsonValue::Array(vec![1.0.into(), 2.0.into()])),
+            (
+                "b".to_string(),
+                JsonValue::Array(vec![1.0.into(), 2.0.into()]),
+            ),
             ("a".to_string(), JsonValue::from(true)),
         ]);
         // Keys are sorted for deterministic output.
@@ -294,7 +297,10 @@ mod tests {
             .expect("result");
         let json = schedule_to_json(&result.schedule, Some(&graph)).to_json();
         assert!(json.contains("\"assignments\":["));
-        assert_eq!(json.matches("\"task\":").count(), result.schedule.task_count());
+        assert_eq!(
+            json.matches("\"task\":").count(),
+            result.schedule.task_count()
+        );
         let eval_json = evaluation_to_json(&result.evaluation).to_json();
         assert!(eval_json.contains("max_temp_c"));
     }

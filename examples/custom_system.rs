@@ -89,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Module::from_mm("dsp", 5.0, 6.0, 2.5),
         Module::from_mm("motion-accel", 4.0, 4.0, 1.4),
     ];
-    let nets = vec![Net::new(vec![0, 1]), Net::new(vec![0, 2]), Net::new(vec![1, 2])];
+    let nets = vec![
+        Net::new(vec![0, 1]),
+        Net::new(vec![0, 2]),
+        Net::new(vec![1, 2]),
+    ];
     let solution = Floorplanner::new(modules)
         .with_nets(nets)
         .with_weights(CostWeights::thermal_aware())

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * scaled.energy_saving_fraction(),
             nominal_trace.peak_c(),
         );
-        assert!(scaled.meets_deadline(), "reclamation must never break the deadline");
+        assert!(
+            scaled.meets_deadline(),
+            "reclamation must never break the deadline"
+        );
     }
     Ok(())
 }

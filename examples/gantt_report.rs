@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", csv::schedule_to_csv(&thermal.schedule, Some(&graph))?);
 
     println!("== thermal-aware schedule as JSON ==");
-    println!("{}", json::schedule_to_json(&thermal.schedule, Some(&graph)).to_json());
+    println!(
+        "{}",
+        json::schedule_to_json(&thermal.schedule, Some(&graph)).to_json()
+    );
 
     println!("\n== benchmark graph as TGFF ==");
     println!("{}", tgff::to_tgff(&graph));

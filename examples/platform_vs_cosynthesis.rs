@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         for (name, policy) in [
-            ("power-aware (H3)", Policy::PowerAware(PowerHeuristic::MinTaskEnergy)),
+            (
+                "power-aware (H3)",
+                Policy::PowerAware(PowerHeuristic::MinTaskEnergy),
+            ),
             ("thermal-aware", Policy::ThermalAware),
         ] {
             let co = cosynthesis.run(&graph, policy)?;
@@ -49,7 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .architecture
                 .instances()
                 .iter()
-                .map(|i| library.pe_type(i.type_id()).map(|t| t.name()).unwrap_or("?"))
+                .map(|i| {
+                    library
+                        .pe_type(i.type_id())
+                        .map(|t| t.name())
+                        .unwrap_or("?")
+                })
                 .collect();
             row(&format!("co-synthesis, {name}"), &co.evaluation);
             println!("      selected PEs: {pe_names:?}");

@@ -37,16 +37,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             steady.block(i)?
         );
     }
-    println!("  max {:.2} C, avg {:.2} C, spread {:.2} C", steady.max_c(), steady.average_c(), steady.spread_c());
+    println!(
+        "  max {:.2} C, avg {:.2} C, spread {:.2} C",
+        steady.max_c(),
+        steady.average_c(),
+        steady.spread_c()
+    );
 
     // Grid-refined temperature map (ASCII heat map, hottest = '#').
     let grid = GridModel::new(&floorplan, config, 28, 28)?;
     let grid_temps = grid.steady_state(&sustained)?;
     let (nx, ny) = grid_temps.resolution();
-    let (min_t, max_t) = grid_temps.cells().iter().fold(
-        (f64::INFINITY, f64::NEG_INFINITY),
-        |(lo, hi), &t| (lo.min(t), hi.max(t)),
-    );
+    let (min_t, max_t) = grid_temps
+        .cells()
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &t| {
+            (lo.min(t), hi.max(t))
+        });
     println!("\ngrid model {nx}x{ny} ({min_t:.1} C .. {max_t:.1} C):");
     let shades = [' ', '.', ':', '-', '=', '+', '*', '%', '#'];
     for iy in (0..ny).rev() {
@@ -79,10 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let overlap = (a.end.min(until) - a.start.max(from)).max(0.0);
             window_energy[a.pe.index()] += overlap * a.power;
         }
-        let window_power: Vec<f64> = window_energy
-            .iter()
-            .map(|e| e / (until - from))
-            .collect();
+        let window_power: Vec<f64> = window_energy.iter().map(|e| e / (until - from)).collect();
         state = solver.run(&state, &[PowerPhase::new(until - from, window_power)])?;
         println!(
             "  t = {until:>7.1}: max {:>6.2} C, avg {:>6.2} C",

@@ -58,7 +58,10 @@ fn cosynthesis_flow_end_to_end_on_the_smallest_benchmark() {
             .unwrap();
         // The co-synthesis architecture must be cheaper to run (in total
         // sustained power) than the 4-fast-GPP platform on the same workload.
-        let platform = PlatformFlow::new(&library).unwrap().run(&graph, policy).unwrap();
+        let platform = PlatformFlow::new(&library)
+            .unwrap()
+            .run(&graph, policy)
+            .unwrap();
         assert!(
             result.evaluation.total_average_power < platform.evaluation.total_average_power,
             "{policy}: co-synthesis should not burn more power than the platform"

@@ -27,10 +27,14 @@ fn power_profile_energy_matches_schedule_energy_plus_idle() {
     let library = profiles::standard_library(12).expect("library");
     for benchmark in Benchmark::ALL {
         let result = platform_result(benchmark, Policy::Baseline);
-        let profile =
-            PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
-                .expect("profile");
-        let busy_energy: f64 = result.schedule.assignments().iter().map(|a| a.energy()).sum();
+        let profile = PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
+            .expect("profile");
+        let busy_energy: f64 = result
+            .schedule
+            .assignments()
+            .iter()
+            .map(|a| a.energy())
+            .sum();
         // The profile charges every PE its idle power for the whole makespan
         // and adds the task power on top while busy.
         let mut idle_energy = 0.0;
@@ -59,7 +63,9 @@ fn transient_peak_is_bounded_by_worst_case_steady_state() {
     let model = ThermalModel::new(&result.floorplan, ThermalConfig::default()).expect("model");
     let profile = PowerProfile::from_schedule(&result.schedule, &result.architecture, &library)
         .expect("profile");
-    let trace = ScheduleSimulator::new(&model).simulate(&profile).expect("trace");
+    let trace = ScheduleSimulator::new(&model)
+        .simulate(&profile)
+        .expect("trace");
 
     let mut worst_case = vec![0.0; profile.pe_count()];
     for segment in profile.segments() {
@@ -67,7 +73,10 @@ fn transient_peak_is_bounded_by_worst_case_steady_state() {
             *bound = f64::max(*bound, *power);
         }
     }
-    let bound = model.steady_state(&worst_case).expect("steady state").max_c();
+    let bound = model
+        .steady_state(&worst_case)
+        .expect("steady state")
+        .max_c();
     let ambient = model.config().ambient_c;
     assert!(trace.peak_c() > ambient, "the schedule must heat the die");
     assert!(

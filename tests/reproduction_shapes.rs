@@ -98,7 +98,9 @@ fn table1_shape_heuristic3_is_the_best_power_heuristic_overall() {
         };
         let h3 = power_of(Policy::PowerAware(PowerHeuristic::MinTaskEnergy));
         let h1 = power_of(Policy::PowerAware(PowerHeuristic::MinTaskPower));
-        let h2 = power_of(Policy::PowerAware(PowerHeuristic::MinCumulativeAveragePower));
+        let h2 = power_of(Policy::PowerAware(
+            PowerHeuristic::MinCumulativeAveragePower,
+        ));
         assert!(
             h3 <= h1.max(h2) + 1e-6,
             "{bm}: H3 consumes {h3:.2} W, more than the worse of H1/H2 ({:.2} W)",

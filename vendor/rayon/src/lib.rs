@@ -1,0 +1,246 @@
+//! Vendored stand-in for the subset of the `rayon` API this workspace uses
+//! (the build environment has no access to crates.io).
+//!
+//! Work is distributed over `std::thread::scope` workers pulling indexed
+//! items from a shared queue, so results come back in input order and a
+//! panicking closure propagates to the caller, just like real rayon. Only
+//! the combinators the floorplanner needs are provided: `par_iter`,
+//! `into_par_iter`, `par_chunks`, `map` and `collect` into `Vec<T>` or
+//! `Result<Vec<T>, E>`.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// Maximum number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn run_parallel<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue poisoned").pop();
+                match next {
+                    Some((index, item)) => {
+                        let result = f(item);
+                        *slots[index].lock().expect("slot poisoned") = Some(result);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+/// An eager parallel iterator over an already-materialised item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel (lazily — work runs at
+    /// [`MapParIter::collect`]).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> MapParIter<T, F> {
+        MapParIter {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], awaiting a `collect` to do the work.
+pub struct MapParIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> MapParIter<T, F> {
+    /// Runs the map on a worker pool and gathers results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered_results(run_parallel(self.items, &self.f))
+    }
+}
+
+/// Collections that can absorb ordered parallel-map results.
+pub trait FromParallelIterator<R>: Sized {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_results(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_results(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_results(results: Vec<Result<T, E>>) -> Self {
+        results.into_iter().collect()
+    }
+}
+
+/// Types that can be turned into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item yielded by the iterator.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types that can be iterated in parallel by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the iterator (a reference).
+    type Item: Send;
+
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel iteration over contiguous sub-slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Returns a parallel iterator over `chunk_size`-sized sub-slices (the
+    /// final chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size.max(1)).collect(),
+        }
+    }
+}
+
+/// The usual rayon prelude.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let v = vec![1, 2, 3];
+        let out: Vec<i32> = v.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        let r: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(r, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn result_collection_short_circuits_to_err() {
+        let v: Vec<usize> = (0..100).collect();
+        let ok: Result<Vec<usize>, String> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<usize>, String> = v
+            .par_iter()
+            .map(|&x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn par_chunks_covers_all_items() {
+        let v: Vec<usize> = (0..103).collect();
+        let sums: Vec<usize> = v
+            .par_chunks(10)
+            .map(|chunk| chunk.iter().sum::<usize>())
+            .collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<usize>(), (0..103).sum::<usize>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let v: Vec<usize> = (0..64).collect();
+        let _: Vec<usize> = v
+            .par_iter()
+            .map(|&x| {
+                assert!(x != 32, "deliberate panic");
+                x
+            })
+            .collect();
+    }
+}
