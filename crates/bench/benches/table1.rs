@@ -4,9 +4,13 @@
 //!
 //! Run `cargo run --release -p tats-bench --bin reproduce -- table1` to print
 //! the full table once; this bench measures how expensive regenerating each
-//! benchmark's row group is.
+//! benchmark's row group is. The four policies of one row group are
+//! independent, so they are evaluated with the same rayon pattern as the
+//! GA's population scoring — results come back in policy order, identical
+//! to a serial evaluation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::prelude::*;
 use tats_bench::{bench_experiment_config, Fixture};
 use tats_core::experiment::Table1;
 use tats_core::CoSynthesis;
@@ -25,15 +29,17 @@ fn bench_table1_row_groups(c: &mut Criterion) {
                 let cosynthesis = CoSynthesis::new(&fixture.library)
                     .with_max_pes(config.max_pes)
                     .with_floorplan_ga(config.floorplan_ga);
-                let mut rows = Vec::new();
-                for policy in Table1::POLICIES {
-                    let co = cosynthesis.run(&graph, policy).unwrap();
-                    let pl = flow.run(&graph, policy).unwrap();
-                    rows.push((
-                        co.evaluation.max_temperature_c,
-                        pl.evaluation.max_temperature_c,
-                    ));
-                }
+                let rows: Vec<(f64, f64)> = Table1::POLICIES
+                    .par_iter()
+                    .map(|&policy| {
+                        let co = cosynthesis.run(&graph, policy).unwrap();
+                        let pl = flow.run(&graph, policy).unwrap();
+                        (
+                            co.evaluation.max_temperature_c,
+                            pl.evaluation.max_temperature_c,
+                        )
+                    })
+                    .collect();
                 rows
             })
         });

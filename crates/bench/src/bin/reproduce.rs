@@ -11,7 +11,12 @@
 //! `floorplan` section additionally writes `BENCH_floorplan.json`
 //! (evaluations/sec of the naive, cached and memoised cost paths, wall
 //! times, and speedups vs the naive per-candidate `ThermalModel` rebuild) so
-//! future PRs have a machine-readable perf trajectory.
+//! future PRs have a machine-readable perf trajectory. The `grid` section
+//! writes `BENCH_grid.json`: per-solve times of the Gauss–Seidel reference
+//! vs the `tats_sparse` PCG and cached banded-Cholesky grid solvers at
+//! 32x32 (with speedups and cell-level agreement) plus the 64x64 and
+//! 128x128 resolutions the sparse paths make feasible, and an implicit
+//! transient sweep on the cached factor.
 
 use std::env;
 use std::process::ExitCode;
@@ -22,7 +27,9 @@ use tats_floorplan::{
     anneal, evolve, CostEvaluator, CostWeights, GaConfig, Module, Net, Placement, PolishExpression,
     SaConfig,
 };
-use tats_thermal::ThermalConfig;
+use tats_thermal::{
+    Block, Floorplan, GridModel, GridSolver, GridTransientSolver, PowerPhase, ThermalConfig,
+};
 
 /// Evaluations/sec plus the raw numbers behind it.
 struct Throughput {
@@ -173,8 +180,194 @@ fn bench_floorplan() -> Result<String, Box<dyn std::error::Error>> {
     Ok(json)
 }
 
+/// One timed grid-solver measurement.
+struct GridTiming {
+    solves: usize,
+    wall_s: f64,
+    /// Largest |cell difference| against the Gauss–Seidel reference, °C
+    /// (NaN when no reference was computed at this resolution).
+    max_diff_vs_reference: f64,
+}
+
+impl GridTiming {
+    fn ms_per_solve(&self) -> f64 {
+        self.wall_s * 1e3 / self.solves.max(1) as f64
+    }
+}
+
+/// Times steady-state solves of `model` over a cycle of *distinct* power
+/// vectors, reusing one workspace the way sweeps and ablations do. Cycling
+/// the powers keeps the measurement honest: a warm-started iterative solver
+/// re-solving an identical right-hand side would converge instantly.
+fn measure_grid(
+    model: &GridModel,
+    powers: &[Vec<f64>],
+    reference: Option<&[f64]>,
+    budget_s: f64,
+) -> Result<GridTiming, Box<dyn std::error::Error>> {
+    let mut workspace = model.workspace();
+    let first = model.steady_state_with(&powers[0], &mut workspace)?;
+    let max_diff_vs_reference = reference.map_or(f64::NAN, |cells| {
+        first
+            .cells()
+            .iter()
+            .zip(cells)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max)
+    });
+    let mut solves = 0usize;
+    let start = Instant::now();
+    let mut first_pass = true;
+    'timing: loop {
+        // The first pass skips powers[0]: the workspace already holds its
+        // solution from the verification solve above.
+        for power in powers.iter().skip(usize::from(first_pass)) {
+            model.steady_state_with(power, &mut workspace)?;
+            solves += 1;
+            if start.elapsed().as_secs_f64() >= budget_s {
+                break 'timing;
+            }
+        }
+        first_pass = false;
+        // Guard against an empty inner pass (single-entry power cycles).
+        if start.elapsed().as_secs_f64() >= budget_s {
+            break;
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Ok(GridTiming {
+        solves,
+        wall_s,
+        max_diff_vs_reference,
+    })
+}
+
+/// A deterministic cycle of power assignments sweeping the hot spot across
+/// the four PEs at varying intensity (the shape of a validation sweep).
+fn sweep_powers() -> Vec<Vec<f64>> {
+    let mut powers = Vec::new();
+    for hot in 0..4 {
+        for scale in [1.0, 0.6] {
+            let mut p = vec![1.0 * scale; 4];
+            p[hot] = 9.0 * scale;
+            p[(hot + 1) % 4] = 3.5 * scale;
+            powers.push(p);
+        }
+    }
+    powers
+}
+
+fn grid_timing_json(label: &str, timing: &GridTiming, setup_ms: f64) -> String {
+    format!(
+        "    \"{label}\": {{ \"solves\": {}, \"wall_s\": {:.6}, \"ms_per_solve\": {:.4}, \
+         \"setup_ms\": {:.3}, \"max_diff_vs_gauss_seidel_c\": {} }}",
+        timing.solves,
+        timing.wall_s,
+        timing.ms_per_solve(),
+        setup_ms,
+        if timing.max_diff_vs_reference.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{:.3e}", timing.max_diff_vs_reference)
+        },
+    )
+}
+
+/// Runs the grid-solver benchmark (Gauss–Seidel reference vs the
+/// `tats_sparse`-backed PCG and cached banded-Cholesky paths) and returns
+/// the JSON report.
+fn bench_grid() -> Result<String, Box<dyn std::error::Error>> {
+    // The platform architecture's four 7x7 mm PEs in a 2x2 arrangement,
+    // with a representative thermal-aware power split.
+    let plan = Floorplan::new(vec![
+        Block::from_mm("pe0", 0.0, 0.0, 7.0, 7.0),
+        Block::from_mm("pe1", 7.0, 0.0, 7.0, 7.0),
+        Block::from_mm("pe2", 0.0, 7.0, 7.0, 7.0),
+        Block::from_mm("pe3", 7.0, 7.0, 7.0, 7.0),
+    ])?;
+    let powers = sweep_powers();
+    let config = ThermalConfig::default();
+
+    let mut sections: Vec<String> = Vec::new();
+    let mut speedup_pcg_32 = f64::NAN;
+    let mut speedup_cholesky_32 = f64::NAN;
+    for resolution in [32usize, 64, 128] {
+        let mut lines: Vec<String> = Vec::new();
+        // Gauss–Seidel is the reference path; above 32x32 it is the
+        // bottleneck this subsystem removes, so only time it there.
+        let mut reference_cells: Option<Vec<f64>> = None;
+        let mut gs_ms = f64::NAN;
+        if resolution == 32 {
+            let model = GridModel::new(&plan, config, resolution, resolution)?;
+            let timing = measure_grid(&model, &powers, None, 0.5)?;
+            gs_ms = timing.ms_per_solve();
+            reference_cells = Some(model.steady_state(&powers[0])?.cells().to_vec());
+            lines.push(grid_timing_json("gauss_seidel", &timing, 0.0));
+        }
+        for (label, solver) in [
+            ("pcg_ic0", GridSolver::Pcg),
+            ("pcg_jacobi", GridSolver::PcgJacobi),
+            ("cholesky", GridSolver::BandedCholesky),
+        ] {
+            let setup_start = Instant::now();
+            let model =
+                GridModel::new(&plan, config, resolution, resolution)?.with_solver(solver)?;
+            let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+            let timing = measure_grid(&model, &powers, reference_cells.as_deref(), 0.3)?;
+            if resolution == 32 {
+                if solver == GridSolver::Pcg {
+                    speedup_pcg_32 = gs_ms / timing.ms_per_solve();
+                } else if solver == GridSolver::BandedCholesky {
+                    speedup_cholesky_32 = gs_ms / timing.ms_per_solve();
+                }
+            }
+            lines.push(grid_timing_json(label, &timing, setup_ms));
+        }
+        sections.push(format!(
+            "  \"grid_{resolution}x{resolution}\": {{\n{}\n  }}",
+            lines.join(",\n")
+        ));
+    }
+
+    // Implicit transient stepping on the cached banded factor: the workload
+    // the Gauss–Seidel path made impractical.
+    let model = GridModel::new(&plan, config, 32, 32)?;
+    let transient = GridTransientSolver::new(&model, 0.05)?;
+    let transient_start = Instant::now();
+    let result = transient.run(
+        config.ambient_c,
+        &[
+            PowerPhase::new(1_000.0, vec![6.5, 5.5, 2.5, 2.0]),
+            PowerPhase::new(1_000.0, vec![0.5, 0.5, 6.0, 6.0]),
+        ],
+    )?;
+    let transient_s = transient_start.elapsed().as_secs_f64();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"grid_steady_state\",\n",
+            "  \"blocks\": 4,\n",
+            "{},\n",
+            "  \"speedup_pcg_vs_gauss_seidel_32\": {:.1},\n",
+            "  \"speedup_cholesky_vs_gauss_seidel_32\": {:.1},\n",
+            "  \"transient_32x32\": {{ \"steps\": {}, \"wall_s\": {:.6}, ",
+            "\"steps_per_sec\": {:.1}, \"peak_c\": {:.2} }}\n",
+            "}}\n"
+        ),
+        sections.join(",\n"),
+        speedup_pcg_32,
+        speedup_cholesky_32,
+        result.steps,
+        transient_s,
+        result.steps as f64 / transient_s.max(1e-12),
+        result.peak_c,
+    );
+    Ok(json)
+}
+
 /// The sections this binary can reproduce, in run order.
-const SECTIONS: [&str; 4] = ["table1", "table2", "table3", "floorplan"];
+const SECTIONS: [&str; 5] = ["table1", "table2", "table3", "floorplan", "grid"];
 
 fn main() -> ExitCode {
     let selection: Vec<String> = env::args().skip(1).collect();
@@ -228,6 +421,22 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("floorplan bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if wants("grid") {
+        match bench_grid() {
+            Ok(json) => {
+                print!("{json}");
+                if let Err(e) = std::fs::write("BENCH_grid.json", &json) {
+                    eprintln!("could not write BENCH_grid.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("(wrote BENCH_grid.json)");
+            }
+            Err(e) => {
+                eprintln!("grid bench failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

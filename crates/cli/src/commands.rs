@@ -9,10 +9,10 @@ use tats_power::{simulate_schedule, DvfsTable, PowerProfile, ScheduleSimulator, 
 use tats_reliability::ReliabilityAnalyzer;
 use tats_taskgraph::{dot, extended, tgff};
 use tats_techlib::profiles;
-use tats_thermal::{ThermalConfig, ThermalModel};
+use tats_thermal::{GridModel, ThermalConfig, ThermalModel};
 use tats_trace::{csv, json, markdown, GanttChart};
 
-use crate::options::{parse_benchmark, parse_policy, CliError, Options};
+use crate::options::{parse_benchmark, parse_grid_solver, parse_policy, CliError, Options};
 
 /// Number of task types used by the CLI's technology library (matches the
 /// experiment driver in `tats-core`).
@@ -46,6 +46,10 @@ COMMANDS:
                    --benchmark Bm1..Bm4               (default: Bm1)
     dvs          DVS slack reclamation on top of a schedule
                    --benchmark Bm1..Bm4 --policy ...  (default: Bm1, thermal)
+    grid         Fine-grained grid thermal validation of a schedule
+                   --benchmark Bm1..Bm4 --policy ...  (default: Bm1, thermal)
+                   --nx 32 --ny 32                    grid resolution
+                   --solver gauss-seidel|pcg|pcg-jacobi|cholesky (default: cholesky)
     export       Export a benchmark task graph
                    --benchmark Bm1..Bm4 --format tgff|dot
     help         Show this message
@@ -300,6 +304,68 @@ pub fn dvs(options: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `tats grid` — validate a schedule's steady state on the fine grid model,
+/// with selectable sparse solver (see `tats_thermal::GridSolver`).
+pub fn grid(options: &Options) -> Result<String, CliError> {
+    let benchmark = parse_benchmark(options.value_or("benchmark", "Bm1"))?;
+    let policy = parse_policy(options.value_or("policy", "thermal"))?;
+    let solver = parse_grid_solver(options.value_or("solver", "cholesky"))?;
+    let nx = options.number("nx", 32.0)? as usize;
+    let ny = options.number("ny", 32.0)? as usize;
+
+    let library = profiles::standard_library(TASK_TYPES).map_err(execution_error)?;
+    let graph = benchmark.task_graph().map_err(execution_error)?;
+    let result = PlatformFlow::new(&library)
+        .map_err(execution_error)?
+        .run(&graph, policy)
+        .map_err(execution_error)?;
+
+    let build_start = std::time::Instant::now();
+    let model = GridModel::new(&result.floorplan, ThermalConfig::default(), nx, ny)
+        .map_err(execution_error)?
+        .with_solver(solver)
+        .map_err(execution_error)?;
+    let build_s = build_start.elapsed().as_secs_f64();
+    let solve_start = std::time::Instant::now();
+    let temps = model
+        .steady_state(&result.evaluation.per_pe_power)
+        .map_err(execution_error)?;
+    let solve_s = solve_start.elapsed().as_secs_f64();
+
+    let mut out = format!(
+        "Grid thermal validation of {benchmark} with {policy} ({nx}x{ny} cells, {solver} solver)\n\n"
+    );
+    let rows: Vec<Vec<String>> = result
+        .evaluation
+        .per_pe_power
+        .iter()
+        .enumerate()
+        .map(|(pe, &power)| {
+            vec![
+                format!("PE{pe}"),
+                format!("{power:.3}"),
+                format!("{:.2}", temps.block_average_c()[pe]),
+                format!("{:.2}", temps.block_max_c()[pe]),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown::markdown_table(
+        &["PE", "power (W)", "grid avg (C)", "grid max (C)"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nblock-model max temp: {:.2} C, hottest grid cell: {:.2} C\n",
+        result.evaluation.max_temperature_c,
+        temps.max_c()
+    ));
+    out.push_str(&format!(
+        "solver setup {:.1} ms, steady-state solve {:.3} ms\n",
+        build_s * 1e3,
+        solve_s * 1e3
+    ));
+    Ok(out)
+}
+
 /// `tats export` — export a benchmark task graph as TGFF text or Graphviz.
 pub fn export(options: &Options) -> Result<String, CliError> {
     let benchmark = parse_benchmark(options.value_or("benchmark", "Bm1"))?;
@@ -333,6 +399,7 @@ mod tests {
             "sweep",
             "reliability",
             "dvs",
+            "grid",
             "export",
         ] {
             assert!(text.contains(command), "help must mention {command}");
@@ -403,6 +470,35 @@ mod tests {
         let out = dvs(&options).expect("dvs");
         assert!(out.contains("selected operating point"));
         assert!(out.contains("energy saving"));
+    }
+
+    #[test]
+    fn grid_reports_per_pe_temperatures_for_every_solver() {
+        for solver in ["gauss-seidel", "pcg", "pcg-jacobi", "cholesky"] {
+            let options = opts(
+                &[
+                    "--benchmark",
+                    "Bm1",
+                    "--nx",
+                    "16",
+                    "--ny",
+                    "16",
+                    "--solver",
+                    solver,
+                ],
+                &["benchmark", "policy", "nx", "ny", "solver"],
+            );
+            let out = grid(&options).expect("grid");
+            assert!(out.contains("PE0"), "{solver}");
+            assert!(out.contains("hottest grid cell"), "{solver}");
+            assert!(out.contains(solver), "{solver}");
+        }
+    }
+
+    #[test]
+    fn grid_rejects_unknown_solver() {
+        let options = opts(&["--solver", "multigrid"], &["solver"]);
+        assert!(matches!(grid(&options), Err(CliError::InvalidValue { .. })));
     }
 
     #[test]

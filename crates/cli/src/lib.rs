@@ -33,6 +33,7 @@ fn value_options(command: &str) -> &'static [&'static str] {
         "sweep" => &["sizes", "policy"],
         "reliability" => &["benchmark"],
         "dvs" => &["benchmark", "policy"],
+        "grid" => &["benchmark", "policy", "nx", "ny", "solver"],
         "export" => &["benchmark", "format"],
         _ => &[],
     }
@@ -66,6 +67,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "sweep" => commands::sweep(&options),
         "reliability" => commands::reliability(&options),
         "dvs" => commands::dvs(&options),
+        "grid" => commands::grid(&options),
         "export" => commands::export(&options),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

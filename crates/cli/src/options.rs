@@ -10,6 +10,7 @@ use std::fmt;
 
 use tats_core::{Policy, PowerHeuristic};
 use tats_taskgraph::Benchmark;
+use tats_thermal::GridSolver;
 
 /// Errors produced while parsing the command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,6 +171,26 @@ pub fn parse_benchmark(name: &str) -> Result<Benchmark, CliError> {
     }
 }
 
+/// Parses a grid-solver name (`gauss-seidel`, `pcg`, `pcg-jacobi`,
+/// `cholesky`).
+///
+/// # Errors
+///
+/// Returns [`CliError::InvalidValue`] for unknown names.
+pub fn parse_grid_solver(name: &str) -> Result<GridSolver, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "gauss-seidel" | "gs" => Ok(GridSolver::GaussSeidel),
+        "pcg" => Ok(GridSolver::Pcg),
+        "pcg-jacobi" => Ok(GridSolver::PcgJacobi),
+        "cholesky" | "banded-cholesky" => Ok(GridSolver::BandedCholesky),
+        _ => Err(CliError::InvalidValue {
+            option: "solver".to_string(),
+            value: name.to_string(),
+            expected: "gauss-seidel, pcg, pcg-jacobi or cholesky".to_string(),
+        }),
+    }
+}
+
 /// Parses a scheduling policy name.
 ///
 /// Accepted spellings: `baseline`, `power1`/`h1`, `power2`/`h2`,
@@ -248,6 +269,28 @@ mod tests {
         );
         let bad = Options::parse(&args(&["--scale", "fast"]), &["scale"]).expect("parse");
         assert!(bad.number("scale", 1.0).is_err());
+    }
+
+    #[test]
+    fn grid_solver_names_parse() {
+        assert_eq!(
+            parse_grid_solver("gauss-seidel").expect("ok"),
+            GridSolver::GaussSeidel
+        );
+        assert_eq!(
+            parse_grid_solver("gs").expect("ok"),
+            GridSolver::GaussSeidel
+        );
+        assert_eq!(parse_grid_solver("PCG").expect("ok"), GridSolver::Pcg);
+        assert_eq!(
+            parse_grid_solver("pcg-jacobi").expect("ok"),
+            GridSolver::PcgJacobi
+        );
+        assert_eq!(
+            parse_grid_solver("cholesky").expect("ok"),
+            GridSolver::BandedCholesky
+        );
+        assert!(parse_grid_solver("multigrid").is_err());
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Compressed sparse row matrices and the SPD assembly builder.
+//!
+//! [`CsrMatrix`] is the workhorse storage of the subsystem: three flat
+//! arrays (`row_ptr`, `col_idx`, `values`) with the columns of every row
+//! sorted, so [`CsrMatrix::spmv_into`] is a single allocation-free sweep and
+//! structural queries are binary searches. [`SpdBuilder`] accumulates
+//! stamp-style contributions (duplicates add) the way finite-volume
+//! assembly produces them and checks symmetry at build time.
+
+use crate::error::SparseError;
+
+/// An `n x n` sparse matrix in compressed sparse row format.
+///
+/// # Examples
+///
+/// ```
+/// use tats_sparse::SpdBuilder;
+///
+/// # fn main() -> Result<(), tats_sparse::SparseError> {
+/// // [ 2 -1 ]
+/// // [-1  2 ]
+/// let mut builder = SpdBuilder::new(2);
+/// builder.add_diagonal(0, 2.0)?;
+/// builder.add_diagonal(1, 2.0)?;
+/// builder.add_symmetric_pair(0, 1, -1.0)?;
+/// let a = builder.build()?;
+/// let mut y = [0.0; 2];
+/// a.spmv_into(&[1.0, 1.0], &mut y)?;
+/// assert_eq!(y, [1.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Dimension of the (square) matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(column, value)` pairs of one row, columns ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= n`.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let span = self.row_ptr[row]..self.row_ptr[row + 1];
+        self.col_idx[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[span].iter().copied())
+    }
+
+    /// The stored value at `(row, col)`, or 0 for a structural zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "csr index out of bounds");
+        let span = self.row_ptr[row]..self.row_ptr[row + 1];
+        match self.col_idx[span.clone()].binary_search(&col) {
+            Ok(offset) => self.values[span.start + offset],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix–vector product `y = A x`, allocation free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when `x` or `y` is not of
+    /// length `n`.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
+        if x.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                context: "spmv input",
+                expected: self.n,
+                actual: x.len(),
+            });
+        }
+        if y.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                context: "spmv output",
+                expected: self.n,
+                actual: y.len(),
+            });
+        }
+        for (row, out) in y.iter_mut().enumerate() {
+            let span = self.row_ptr[row]..self.row_ptr[row + 1];
+            let mut acc = 0.0;
+            for (&col, &value) in self.col_idx[span.clone()].iter().zip(&self.values[span]) {
+                acc += value * x[col];
+            }
+            *out = acc;
+        }
+        Ok(())
+    }
+
+    /// The diagonal entries (0 where the diagonal is structurally absent).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Largest absolute asymmetry `max |a_ij - a_ji|` over the stored
+    /// pattern. 0 for an exactly symmetric matrix.
+    pub fn max_asymmetry(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for row in 0..self.n {
+            for (col, value) in self.row(row) {
+                worst = worst.max((value - self.get(col, row)).abs());
+            }
+        }
+        worst
+    }
+
+    /// Whether every row is diagonally dominant
+    /// (`|a_ii| >= sum_{j != i} |a_ij| - slack`).
+    pub fn is_diagonally_dominant(&self, slack: f64) -> bool {
+        (0..self.n).all(|row| {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (col, value) in self.row(row) {
+                if col == row {
+                    diag = value.abs();
+                } else {
+                    off += value.abs();
+                }
+            }
+            diag + slack >= off
+        })
+    }
+}
+
+/// Assembly builder for symmetric positive-definite systems.
+///
+/// Contributions accumulate (stamping the same entry twice adds), matching
+/// how conductance networks are assembled: one diagonal stamp per node plus
+/// one symmetric pair per branch. [`SpdBuilder::build`] sorts each row,
+/// merges duplicates and verifies symmetry and positive diagonals.
+#[derive(Debug, Clone)]
+pub struct SpdBuilder {
+    n: usize,
+    /// Per-row `(column, value)` stamps, unsorted and possibly duplicated.
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl SpdBuilder {
+    /// Creates a builder for an `n x n` system.
+    pub fn new(n: usize) -> Self {
+        SpdBuilder {
+            n,
+            rows: vec![Vec::new(); n],
+        }
+    }
+
+    /// Dimension of the system under assembly.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn check(&self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
+        if row >= self.n || col >= self.n {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n: self.n,
+            });
+        }
+        if !value.is_finite() {
+            return Err(SparseError::InvalidValue {
+                context: "matrix entry",
+                value,
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds `value` to the diagonal entry `(i, i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] / [`SparseError::InvalidValue`]
+    /// for bad input.
+    pub fn add_diagonal(&mut self, i: usize, value: f64) -> Result<(), SparseError> {
+        self.check(i, i, value)?;
+        self.rows[i].push((i, value));
+        Ok(())
+    }
+
+    /// Adds `value` to both `(i, j)` and `(j, i)`, keeping the stamp
+    /// symmetric by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] for `i == j` or
+    /// out-of-range indices and [`SparseError::InvalidValue`] for non-finite
+    /// values.
+    pub fn add_symmetric_pair(
+        &mut self,
+        i: usize,
+        j: usize,
+        value: f64,
+    ) -> Result<(), SparseError> {
+        self.check(i, j, value)?;
+        if i == j {
+            return Err(SparseError::IndexOutOfBounds {
+                row: i,
+                col: j,
+                n: self.n,
+            });
+        }
+        self.rows[i].push((j, value));
+        self.rows[j].push((i, value));
+        Ok(())
+    }
+
+    /// Stamps a conductance branch between nodes `i` and `j`: adds `g` to
+    /// both diagonals and `-g` to both off-diagonals (the classic nodal
+    /// analysis stamp, which preserves symmetric diagonal dominance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the index and value checks of the underlying adds.
+    pub fn add_branch(&mut self, i: usize, j: usize, g: f64) -> Result<(), SparseError> {
+        self.add_diagonal(i, g)?;
+        self.add_diagonal(j, g)?;
+        self.add_symmetric_pair(i, j, -g)
+    }
+
+    /// Finalises the assembly into a [`CsrMatrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSymmetric`] if the accumulated stamps are
+    /// asymmetric beyond `1e-12` relative to the largest entry and
+    /// [`SparseError::NotPositiveDefinite`] if any diagonal entry is not
+    /// strictly positive (a necessary condition for SPD).
+    pub fn build(self) -> Result<CsrMatrix, SparseError> {
+        let n = self.n;
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for mut row in self.rows {
+            row.sort_unstable_by_key(|&(col, _)| col);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(row.len());
+            for (col, value) in row {
+                match merged.last_mut() {
+                    Some((last_col, last_value)) if *last_col == col => *last_value += value,
+                    _ => merged.push((col, value)),
+                }
+            }
+            for (col, value) in merged {
+                col_idx.push(col);
+                values.push(value);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let matrix = CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        };
+
+        let scale = matrix.values.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+        for row in 0..n {
+            for (col, value) in matrix.row(row) {
+                let mirrored = matrix.get(col, row);
+                let asymmetry = (value - mirrored).abs();
+                if asymmetry > 1e-12 * scale {
+                    return Err(SparseError::NotSymmetric {
+                        row,
+                        col,
+                        asymmetry,
+                    });
+                }
+            }
+        }
+        for i in 0..n {
+            let diag = matrix.get(i, i);
+            if diag <= 0.0 || diag.is_nan() {
+                return Err(SparseError::NotPositiveDefinite {
+                    pivot: i,
+                    value: diag,
+                });
+            }
+        }
+        Ok(matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        // Path-graph Laplacian + I: tridiagonal SPD.
+        let mut builder = SpdBuilder::new(n);
+        for i in 0..n {
+            builder.add_diagonal(i, 1.0).unwrap();
+        }
+        for i in 0..n - 1 {
+            builder.add_branch(i, i + 1, 1.0).unwrap();
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_sorted_merged_rows() {
+        let a = laplacian_1d(4);
+        assert_eq!(a.n(), 4);
+        assert_eq!(a.nnz(), 4 + 2 * 3);
+        let row1: Vec<(usize, f64)> = a.row(1).collect();
+        assert_eq!(row1, vec![(0, -1.0), (1, 3.0), (2, -1.0)]);
+        assert_eq!(a.get(0, 3), 0.0);
+        assert_eq!(a.get(2, 1), -1.0);
+    }
+
+    #[test]
+    fn duplicate_stamps_accumulate() {
+        let mut builder = SpdBuilder::new(2);
+        builder.add_diagonal(0, 1.0).unwrap();
+        builder.add_diagonal(0, 2.5).unwrap();
+        builder.add_diagonal(1, 1.0).unwrap();
+        let a = builder.build().unwrap();
+        assert_eq!(a.get(0, 0), 3.5);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn spmv_matches_dense_product() {
+        let a = laplacian_1d(5);
+        let x = [1.0, -2.0, 3.0, 0.5, 0.0];
+        let mut y = [0.0; 5];
+        a.spmv_into(&x, &mut y).unwrap();
+        for i in 0..5 {
+            let mut expected = 0.0;
+            for j in 0..5 {
+                expected += a.get(i, j) * x[j];
+            }
+            assert!((y[i] - expected).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn spmv_rejects_wrong_lengths() {
+        let a = laplacian_1d(3);
+        let mut y = [0.0; 3];
+        assert!(matches!(
+            a.spmv_into(&[1.0, 2.0], &mut y),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+        let mut short = [0.0; 2];
+        assert!(a.spmv_into(&[1.0, 2.0, 3.0], &mut short).is_err());
+    }
+
+    #[test]
+    fn symmetry_and_dominance_helpers() {
+        let a = laplacian_1d(6);
+        assert_eq!(a.max_asymmetry(), 0.0);
+        assert!(a.is_diagonally_dominant(0.0));
+        assert_eq!(a.diagonal().len(), 6);
+    }
+
+    #[test]
+    fn asymmetric_assembly_is_rejected() {
+        let mut builder = SpdBuilder::new(2);
+        builder.add_diagonal(0, 1.0).unwrap();
+        builder.add_diagonal(1, 1.0).unwrap();
+        // Bypass the symmetric stamp to force asymmetry.
+        builder.rows[0].push((1, -0.5));
+        assert!(matches!(
+            builder.build(),
+            Err(SparseError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn non_positive_diagonal_is_rejected() {
+        let mut builder = SpdBuilder::new(2);
+        builder.add_diagonal(0, 1.0).unwrap();
+        builder.add_diagonal(1, -1.0).unwrap();
+        assert!(matches!(
+            builder.build(),
+            Err(SparseError::NotPositiveDefinite { .. })
+        ));
+        // A missing diagonal is equally fatal.
+        let mut builder = SpdBuilder::new(1);
+        builder.rows[0].clear();
+        assert!(builder.build().is_err());
+    }
+
+    #[test]
+    fn stamps_reject_bad_indices_and_values() {
+        let mut builder = SpdBuilder::new(3);
+        assert!(builder.add_diagonal(3, 1.0).is_err());
+        assert!(builder.add_diagonal(0, f64::NAN).is_err());
+        assert!(builder.add_symmetric_pair(1, 1, 1.0).is_err());
+        assert!(builder.add_symmetric_pair(0, 5, 1.0).is_err());
+        assert!(builder.add_branch(0, 1, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Error types of the sparse linear-algebra subsystem.
+
+use std::fmt;
+
+/// Errors produced while assembling or solving sparse systems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// A dimension did not match (vector length, matrix size, bandwidth).
+    DimensionMismatch {
+        /// What was being matched (e.g. "spmv input").
+        context: &'static str,
+        /// The dimension the operation required.
+        expected: usize,
+        /// The dimension it was given.
+        actual: usize,
+    },
+    /// An index was outside the matrix.
+    IndexOutOfBounds {
+        /// Row index supplied.
+        row: usize,
+        /// Column index supplied.
+        col: usize,
+        /// Matrix dimension.
+        n: usize,
+    },
+    /// The assembled matrix is not symmetric within tolerance.
+    NotSymmetric {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// `|a_ij - a_ji|` at that position.
+        asymmetry: f64,
+    },
+    /// A pivot required by a Cholesky-type factorisation was not positive:
+    /// the matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Elimination step at which the pivot failed.
+        pivot: usize,
+        /// The offending pivot value.
+        value: f64,
+    },
+    /// An iterative solver exhausted its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Relative residual norm `||b - Ax|| / ||b||` at the last iteration.
+        residual: f64,
+        /// Relative residual the solver was asked to reach.
+        tolerance: f64,
+    },
+    /// A value that must be finite (and possibly positive) was not.
+    InvalidValue {
+        /// What the value was (e.g. "matrix entry", "tolerance").
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(f, "{context}: expected dimension {expected}, got {actual}"),
+            SparseError::IndexOutOfBounds { row, col, n } => {
+                write!(f, "entry ({row}, {col}) outside {n} x {n} matrix")
+            }
+            SparseError::NotSymmetric {
+                row,
+                col,
+                asymmetry,
+            } => write!(
+                f,
+                "matrix is not symmetric: |a[{row},{col}] - a[{col},{row}]| = {asymmetry:.3e}"
+            ),
+            SparseError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} is {value:.3e}"
+            ),
+            SparseError::NoConvergence {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations: \
+                 relative residual {residual:.3e} vs requested {tolerance:.3e}"
+            ),
+            SparseError::InvalidValue { context, value } => {
+                write!(f, "{context} must be finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_have_nonempty_messages() {
+        let errors = [
+            SparseError::DimensionMismatch {
+                context: "spmv input",
+                expected: 4,
+                actual: 3,
+            },
+            SparseError::IndexOutOfBounds {
+                row: 5,
+                col: 0,
+                n: 4,
+            },
+            SparseError::NotSymmetric {
+                row: 1,
+                col: 2,
+                asymmetry: 0.5,
+            },
+            SparseError::NotPositiveDefinite {
+                pivot: 3,
+                value: -1.0,
+            },
+            SparseError::NoConvergence {
+                iterations: 100,
+                residual: 1e-3,
+                tolerance: 1e-9,
+            },
+            SparseError::InvalidValue {
+                context: "matrix entry",
+                value: f64::NAN,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn no_convergence_reports_achieved_vs_requested() {
+        let message = SparseError::NoConvergence {
+            iterations: 7,
+            residual: 2e-3,
+            tolerance: 1e-10,
+        }
+        .to_string();
+        assert!(message.contains('7'));
+        assert!(message.contains("2.000e-3"));
+        assert!(message.contains("1.000e-10"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync>() {}
+        assert_bounds::<SparseError>();
+    }
+}

@@ -5,11 +5,49 @@
 //! and for the ablation benches this module also provides a finer grid model:
 //! the floorplan bounding box is discretised into `nx × ny` cells, block
 //! power is distributed over the cells it covers, and the resulting sparse
-//! system is solved with Gauss–Seidel iteration.
+//! system is solved with one of three interchangeable solvers (see
+//! [`GridSolver`]).
+//!
+//! # Solver selection
+//!
+//! | solver | per-query cost | when it wins |
+//! |---|---|---|
+//! | [`GridSolver::GaussSeidel`] | `O(iterations · cells)`, thousands of sweeps | reference path; tiny grids; no extra setup |
+//! | [`GridSolver::Pcg`] (IC(0)) | tens of sparse sweeps | single queries on large grids; lowest setup cost |
+//! | [`GridSolver::PcgJacobi`] | hundreds of sparse sweeps | diagnostics; preconditioner ablations |
+//! | [`GridSolver::BandedCholesky`] | one banded sweep (`O(cells · nx)`) after an `O(cells · nx²)` factorisation cached at construction | repeated right-hand sides: sweeps, ablations, transient stepping |
+//!
+//! The three paths agree to solver tolerance; the equivalence tests in this
+//! module pin them together within `1e-6`.
 
 use crate::error::ThermalError;
 use crate::floorplan::Floorplan;
 use crate::materials::ThermalConfig;
+use tats_sparse::{
+    BandedMatrix, BorderedBandedCholesky, CgWorkspace, CsrMatrix, PcgSolver, Preconditioner,
+    SparseError, SpdBuilder,
+};
+
+/// Banded cell core, dense border columns and corner block of the grid
+/// system in the form [`BorderedBandedCholesky`] consumes.
+pub(crate) type BorderedSystem = (BandedMatrix, Vec<Vec<f64>>, Vec<Vec<f64>>);
+
+/// Converts a sparse-subsystem failure into the thermal error vocabulary.
+pub(crate) fn from_sparse(error: SparseError) -> ThermalError {
+    match error {
+        SparseError::NoConvergence {
+            iterations,
+            residual,
+            tolerance,
+        } => ThermalError::NoConvergence {
+            iterations,
+            residual,
+            tolerance,
+        },
+        SparseError::NotPositiveDefinite { .. } => ThermalError::SingularSystem,
+        other => ThermalError::InvalidParameter(other.to_string()),
+    }
+}
 
 /// Per-cell steady-state temperatures produced by [`GridModel::steady_state`].
 #[derive(Debug, Clone, PartialEq)]
@@ -66,19 +104,82 @@ impl GridTemperatures {
     }
 }
 
+/// Steady-state solution strategy of a [`GridModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GridSolver {
+    /// Point-wise Gauss–Seidel relaxation — the reference implementation.
+    #[default]
+    GaussSeidel,
+    /// Conjugate gradients with a zero-fill incomplete Cholesky (IC(0))
+    /// preconditioner over the assembled sparse system.
+    Pcg,
+    /// Conjugate gradients with the cheaper Jacobi (diagonal)
+    /// preconditioner.
+    PcgJacobi,
+    /// Direct banded Cholesky factorisation of the cell Laplacian
+    /// (bandwidth `nx`) with the dense spreader/sink rows handled by block
+    /// elimination; the factor is computed once at selection time and
+    /// cached for every subsequent right-hand side.
+    BandedCholesky,
+}
+
+impl GridSolver {
+    /// Stable textual name (accepted back by the CLI's `--solver` option).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GridSolver::GaussSeidel => "gauss-seidel",
+            GridSolver::Pcg => "pcg",
+            GridSolver::PcgJacobi => "pcg-jacobi",
+            GridSolver::BandedCholesky => "cholesky",
+        }
+    }
+}
+
+impl std::fmt::Display for GridSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Solver-specific cached artefacts, built once per [`GridModel`].
+#[derive(Debug, Clone)]
+enum SolverEngine {
+    GaussSeidel,
+    Pcg {
+        matrix: CsrMatrix,
+        preconditioner: Preconditioner,
+    },
+    Cholesky {
+        factor: BorderedBandedCholesky,
+    },
+}
+
+/// Reusable buffers for repeated [`GridModel::steady_state_with`] queries:
+/// the node temperature vector doubles as the warm start of iterative
+/// solves, so parameter sweeps converge in a handful of iterations.
+#[derive(Debug, Clone)]
+pub struct GridWorkspace {
+    /// Node temperatures: cells, then spreader, then sink.
+    t: Vec<f64>,
+    /// Heat input per node.
+    q: Vec<f64>,
+    cg: CgWorkspace,
+}
+
 /// Grid-based steady-state thermal solver.
 ///
 /// # Examples
 ///
 /// ```
-/// use tats_thermal::{Block, Floorplan, GridModel, ThermalConfig};
+/// use tats_thermal::{Block, Floorplan, GridModel, GridSolver, ThermalConfig};
 ///
 /// # fn main() -> Result<(), tats_thermal::ThermalError> {
 /// let plan = Floorplan::new(vec![
 ///     Block::from_mm("hot", 0.0, 0.0, 7.0, 7.0),
 ///     Block::from_mm("cold", 7.0, 0.0, 7.0, 7.0),
 /// ])?;
-/// let grid = GridModel::new(&plan, ThermalConfig::default(), 16, 8)?;
+/// let grid = GridModel::new(&plan, ThermalConfig::default(), 16, 8)?
+///     .with_solver(GridSolver::BandedCholesky)?;
 /// let temps = grid.steady_state(&[8.0, 0.5])?;
 /// assert!(temps.block_average_c()[0] > temps.block_average_c()[1]);
 /// # Ok(())
@@ -98,12 +199,15 @@ pub struct GridModel {
     g_lateral_y: f64,
     /// Vertical conductance of one cell towards the spreader, W/K.
     g_vertical: f64,
+    solver: GridSolver,
+    engine: SolverEngine,
     max_iterations: usize,
     tolerance: f64,
 }
 
 impl GridModel {
-    /// Builds a grid model over the floorplan bounding box.
+    /// Builds a grid model over the floorplan bounding box, defaulting to
+    /// the Gauss–Seidel reference solver (see [`GridModel::with_solver`]).
     ///
     /// # Errors
     ///
@@ -167,12 +271,56 @@ impl GridModel {
             g_lateral_x,
             g_lateral_y,
             g_vertical,
+            solver: GridSolver::GaussSeidel,
+            engine: SolverEngine::GaussSeidel,
             max_iterations: 20_000,
             tolerance: 1e-7,
         })
     }
 
-    /// Overrides the Gauss–Seidel iteration budget and tolerance.
+    /// Selects the steady-state solver, building and caching its artefacts
+    /// (assembled sparse system, preconditioner or banded factorisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::SingularSystem`] if the assembled system is
+    /// not positive definite (cannot happen for validated configurations).
+    pub fn with_solver(mut self, solver: GridSolver) -> Result<Self, ThermalError> {
+        self.engine = match solver {
+            GridSolver::GaussSeidel => SolverEngine::GaussSeidel,
+            GridSolver::Pcg | GridSolver::PcgJacobi => {
+                let matrix = self.assemble_csr()?;
+                let preconditioner = if solver == GridSolver::Pcg {
+                    Preconditioner::ic0(&matrix)
+                } else {
+                    Preconditioner::jacobi(&matrix)
+                }
+                .map_err(from_sparse)?;
+                SolverEngine::Pcg {
+                    matrix,
+                    preconditioner,
+                }
+            }
+            GridSolver::BandedCholesky => {
+                let (core, border, corner) = self.assemble_bordered(0.0, 0.0, 0.0)?;
+                let factor =
+                    BorderedBandedCholesky::new(&core, &border, &corner).map_err(from_sparse)?;
+                SolverEngine::Cholesky { factor }
+            }
+        };
+        self.solver = solver;
+        Ok(self)
+    }
+
+    /// The selected steady-state solver.
+    pub fn solver(&self) -> GridSolver {
+        self.solver
+    }
+
+    /// Overrides the iteration budget and tolerance of the iterative
+    /// solvers (Gauss–Seidel: maximum per-sweep temperature change; PCG:
+    /// relative residual). The banded Cholesky path is direct and ignores
+    /// both.
     pub fn with_solver_limits(mut self, max_iterations: usize, tolerance: f64) -> Self {
         self.max_iterations = max_iterations;
         self.tolerance = tolerance;
@@ -189,14 +337,108 @@ impl GridModel {
         self.cell_area
     }
 
-    /// Solves the steady-state grid system for the given per-block powers.
+    /// Number of unknowns of the assembled system (cells + spreader + sink).
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny + 2
+    }
+
+    /// Assembles the full steady-state conductance matrix (cells, then
+    /// spreader, then sink) as a CSR matrix — the system the PCG path
+    /// solves and the object the symmetry/diagonal-dominance validation
+    /// tests inspect.
     ///
     /// # Errors
     ///
-    /// Returns [`ThermalError::PowerLengthMismatch`] /
-    /// [`ThermalError::InvalidPower`] for malformed input and
-    /// [`ThermalError::NoConvergence`] if Gauss–Seidel stalls.
-    pub fn steady_state(&self, block_power: &[f64]) -> Result<GridTemperatures, ThermalError> {
+    /// Propagates assembly failures from the sparse builder.
+    pub fn system_matrix(&self) -> Result<CsrMatrix, ThermalError> {
+        self.assemble_csr()
+    }
+
+    fn assemble_csr(&self) -> Result<CsrMatrix, ThermalError> {
+        let cells = self.nx * self.ny;
+        let spreader = cells;
+        let sink = cells + 1;
+        let mut builder = SpdBuilder::new(cells + 2);
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let idx = iy * self.nx + ix;
+                builder
+                    .add_branch(idx, spreader, self.g_vertical)
+                    .map_err(from_sparse)?;
+                if ix + 1 < self.nx {
+                    builder
+                        .add_branch(idx, idx + 1, self.g_lateral_x)
+                        .map_err(from_sparse)?;
+                }
+                if iy + 1 < self.ny {
+                    builder
+                        .add_branch(idx, idx + self.nx, self.g_lateral_y)
+                        .map_err(from_sparse)?;
+                }
+            }
+        }
+        builder
+            .add_branch(
+                spreader,
+                sink,
+                1.0 / self.config.spreader_to_sink_resistance,
+            )
+            .map_err(from_sparse)?;
+        // The convection branch to the (grounded) ambient only touches the
+        // sink diagonal; the ambient temperature enters through the rhs.
+        builder
+            .add_diagonal(sink, 1.0 / self.config.convection_resistance)
+            .map_err(from_sparse)?;
+        builder.build().map_err(from_sparse)
+    }
+
+    /// Assembles the bordered-banded form of the system: the banded cell
+    /// Laplacian (bandwidth `nx`), the dense spreader/sink border and the
+    /// 2×2 corner. The `*_shift` arguments add to the respective diagonals,
+    /// which is how the implicit transient stepper injects `C/dt`.
+    pub(crate) fn assemble_bordered(
+        &self,
+        cell_diagonal_shift: f64,
+        spreader_shift: f64,
+        sink_shift: f64,
+    ) -> Result<BorderedSystem, ThermalError> {
+        let cells = self.nx * self.ny;
+        let g_sp_sink = 1.0 / self.config.spreader_to_sink_resistance;
+        let g_conv = 1.0 / self.config.convection_resistance;
+        let mut core = BandedMatrix::zeros(cells, self.nx.min(cells.saturating_sub(1)).max(1));
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let idx = iy * self.nx + ix;
+                core.add(idx, idx, self.g_vertical + cell_diagonal_shift)
+                    .map_err(from_sparse)?;
+                if ix + 1 < self.nx {
+                    core.add(idx, idx, self.g_lateral_x).map_err(from_sparse)?;
+                    core.add(idx + 1, idx + 1, self.g_lateral_x)
+                        .map_err(from_sparse)?;
+                    core.add(idx + 1, idx, -self.g_lateral_x)
+                        .map_err(from_sparse)?;
+                }
+                if iy + 1 < self.ny {
+                    core.add(idx, idx, self.g_lateral_y).map_err(from_sparse)?;
+                    core.add(idx + self.nx, idx + self.nx, self.g_lateral_y)
+                        .map_err(from_sparse)?;
+                    core.add(idx + self.nx, idx, -self.g_lateral_y)
+                        .map_err(from_sparse)?;
+                }
+            }
+        }
+        let border = vec![vec![-self.g_vertical; cells], vec![0.0; cells]];
+        let corner = vec![
+            vec![
+                cells as f64 * self.g_vertical + g_sp_sink + spreader_shift,
+                -g_sp_sink,
+            ],
+            vec![-g_sp_sink, g_sp_sink + g_conv + sink_shift],
+        ];
+        Ok((core, border, corner))
+    }
+
+    pub(crate) fn validate_power(&self, block_power: &[f64]) -> Result<(), ThermalError> {
         let block_count = self.coverage.len();
         if block_power.len() != block_count {
             return Err(ThermalError::PowerLengthMismatch {
@@ -211,11 +453,14 @@ impl GridModel {
         {
             return Err(ThermalError::InvalidPower(i, p));
         }
+        Ok(())
+    }
 
+    /// Distributes block power over covered cells proportionally to the
+    /// covered area and fills the spreader/sink right-hand-side entries.
+    pub(crate) fn heat_input_into(&self, block_power: &[f64], q: &mut [f64]) {
         let cells = self.nx * self.ny;
-        // Distribute block power over covered cells proportionally to the
-        // covered area (power density × overlap area).
-        let mut q = vec![0.0; cells];
+        q.fill(0.0);
         for (b, &p) in block_power.iter().enumerate() {
             let covered: f64 = self.coverage[b].iter().sum();
             if covered <= 0.0 {
@@ -225,83 +470,90 @@ impl GridModel {
                 q[c] += p * frac / covered;
             }
         }
+        q[cells] = 0.0;
+        q[cells + 1] = self.config.ambient_c / self.config.convection_resistance;
+    }
 
-        // Unknowns: cell temperatures + spreader + sink.
-        let spreader = cells;
-        let sink = cells + 1;
-        let mut t = vec![self.config.ambient_c; cells + 2];
-        let g_sp_sink = 1.0 / self.config.spreader_to_sink_resistance;
-        let g_conv = 1.0 / self.config.convection_resistance;
+    /// Creates a workspace sized for this model, with every node at the
+    /// ambient temperature (the iterative solvers' initial guess).
+    pub fn workspace(&self) -> GridWorkspace {
+        let n = self.node_count();
+        GridWorkspace {
+            t: vec![self.config.ambient_c; n],
+            q: vec![0.0; n],
+            cg: CgWorkspace::new(n),
+        }
+    }
 
-        let neighbour_conductances = |ix: usize, iy: usize| {
-            let mut list: Vec<(usize, f64)> = Vec::with_capacity(4);
-            if ix > 0 {
-                list.push((iy * self.nx + ix - 1, self.g_lateral_x));
+    /// Solves the steady-state grid system for the given per-block powers.
+    ///
+    /// Convenience wrapper around [`GridModel::steady_state_with`] that
+    /// creates a fresh workspace per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] /
+    /// [`ThermalError::InvalidPower`] for malformed input and
+    /// [`ThermalError::NoConvergence`] (carrying the achieved residual and
+    /// iteration count) if an iterative solver stalls.
+    pub fn steady_state(&self, block_power: &[f64]) -> Result<GridTemperatures, ThermalError> {
+        self.steady_state_with(block_power, &mut self.workspace())
+    }
+
+    /// Solves the steady-state grid system reusing caller-owned buffers.
+    /// After the first call no heap allocation occurs on the solve path
+    /// (the returned [`GridTemperatures`] owns fresh statistics vectors);
+    /// iterative solvers warm-start from the workspace's previous solution.
+    ///
+    /// # Errors
+    ///
+    /// See [`GridModel::steady_state`].
+    pub fn steady_state_with(
+        &self,
+        block_power: &[f64],
+        workspace: &mut GridWorkspace,
+    ) -> Result<GridTemperatures, ThermalError> {
+        self.validate_power(block_power)?;
+        let n = self.node_count();
+        if workspace.t.len() != n {
+            workspace.t = vec![self.config.ambient_c; n];
+            workspace.q = vec![0.0; n];
+            workspace.cg = CgWorkspace::new(n);
+        }
+        self.heat_input_into(block_power, &mut workspace.q);
+
+        match &self.engine {
+            SolverEngine::GaussSeidel => {
+                self.gauss_seidel(&workspace.q, &mut workspace.t)?;
             }
-            if ix + 1 < self.nx {
-                list.push((iy * self.nx + ix + 1, self.g_lateral_x));
+            SolverEngine::Pcg {
+                matrix,
+                preconditioner,
+            } => {
+                PcgSolver::new(self.max_iterations, self.tolerance)
+                    .solve_into(
+                        matrix,
+                        preconditioner,
+                        &workspace.q,
+                        &mut workspace.t,
+                        &mut workspace.cg,
+                    )
+                    .map_err(from_sparse)?;
             }
-            if iy > 0 {
-                list.push(((iy - 1) * self.nx + ix, self.g_lateral_y));
-            }
-            if iy + 1 < self.ny {
-                list.push(((iy + 1) * self.nx + ix, self.g_lateral_y));
-            }
-            list
-        };
-
-        let mut iterations = 0;
-        let mut residual = f64::INFINITY;
-        while iterations < self.max_iterations {
-            iterations += 1;
-            let mut max_change: f64 = 0.0;
-
-            for iy in 0..self.ny {
-                for ix in 0..self.nx {
-                    let idx = iy * self.nx + ix;
-                    let mut num = q[idx] + self.g_vertical * t[spreader];
-                    let mut den = self.g_vertical;
-                    for (n, g) in neighbour_conductances(ix, iy) {
-                        num += g * t[n];
-                        den += g;
-                    }
-                    let new_t = num / den;
-                    max_change = max_change.max((new_t - t[idx]).abs());
-                    t[idx] = new_t;
-                }
-            }
-
-            // Spreader node: connected to every cell and to the sink.
-            let mut num = g_sp_sink * t[sink];
-            let mut den = g_sp_sink;
-            for (idx, temp) in t.iter().enumerate().take(cells) {
-                num += self.g_vertical * temp;
-                den += self.g_vertical;
-                let _ = idx;
-            }
-            let new_spreader = num / den;
-            max_change = max_change.max((new_spreader - t[spreader]).abs());
-            t[spreader] = new_spreader;
-
-            // Sink node: spreader on one side, ambient on the other.
-            let new_sink =
-                (g_sp_sink * t[spreader] + g_conv * self.config.ambient_c) / (g_sp_sink + g_conv);
-            max_change = max_change.max((new_sink - t[sink]).abs());
-            t[sink] = new_sink;
-
-            residual = max_change;
-            if residual < self.tolerance {
-                break;
+            SolverEngine::Cholesky { factor } => {
+                workspace.t.copy_from_slice(&workspace.q);
+                factor.solve_into(&mut workspace.t).map_err(from_sparse)?;
             }
         }
-        if residual >= self.tolerance {
-            return Err(ThermalError::NoConvergence {
-                iterations,
-                residual,
-            });
-        }
 
-        // Per-block statistics over covered cells.
+        Ok(self.temperatures_from_cells(&workspace.t))
+    }
+
+    /// Builds the per-block statistics from a node temperature vector
+    /// (cells first; trailing spreader/sink entries are ignored).
+    pub(crate) fn temperatures_from_cells(&self, t: &[f64]) -> GridTemperatures {
+        let cells = self.nx * self.ny;
+        let block_count = self.coverage.len();
         let mut block_avg = vec![0.0; block_count];
         let mut block_max = vec![f64::NEG_INFINITY; block_count];
         for (b, cover) in self.coverage.iter().enumerate() {
@@ -324,13 +576,93 @@ impl GridModel {
             }
         }
 
-        Ok(GridTemperatures {
+        GridTemperatures {
             nx: self.nx,
             ny: self.ny,
             cell_c: t[..cells].to_vec(),
             block_avg_c: block_avg,
             block_max_c: block_max,
+        }
+    }
+
+    /// The Gauss–Seidel reference sweep over cells + spreader + sink.
+    fn gauss_seidel(&self, q: &[f64], t: &mut [f64]) -> Result<(), ThermalError> {
+        let cells = self.nx * self.ny;
+        let spreader = cells;
+        let sink = cells + 1;
+        let g_sp_sink = 1.0 / self.config.spreader_to_sink_resistance;
+        let g_conv = 1.0 / self.config.convection_resistance;
+
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let mut max_change: f64 = 0.0;
+
+            for iy in 0..self.ny {
+                for ix in 0..self.nx {
+                    let idx = iy * self.nx + ix;
+                    let mut num = q[idx] + self.g_vertical * t[spreader];
+                    let mut den = self.g_vertical;
+                    if ix > 0 {
+                        num += self.g_lateral_x * t[idx - 1];
+                        den += self.g_lateral_x;
+                    }
+                    if ix + 1 < self.nx {
+                        num += self.g_lateral_x * t[idx + 1];
+                        den += self.g_lateral_x;
+                    }
+                    if iy > 0 {
+                        num += self.g_lateral_y * t[idx - self.nx];
+                        den += self.g_lateral_y;
+                    }
+                    if iy + 1 < self.ny {
+                        num += self.g_lateral_y * t[idx + self.nx];
+                        den += self.g_lateral_y;
+                    }
+                    let new_t = num / den;
+                    max_change = max_change.max((new_t - t[idx]).abs());
+                    t[idx] = new_t;
+                }
+            }
+
+            // Spreader node: connected to every cell and to the sink.
+            let mut num = g_sp_sink * t[sink];
+            let mut den = g_sp_sink;
+            for temp in t.iter().take(cells) {
+                num += self.g_vertical * temp;
+                den += self.g_vertical;
+            }
+            let new_spreader = num / den;
+            max_change = max_change.max((new_spreader - t[spreader]).abs());
+            t[spreader] = new_spreader;
+
+            // Sink node: spreader on one side, ambient on the other.
+            let new_sink =
+                (g_sp_sink * t[spreader] + g_conv * self.config.ambient_c) / (g_sp_sink + g_conv);
+            max_change = max_change.max((new_sink - t[sink]).abs());
+            t[sink] = new_sink;
+
+            residual = max_change;
+            if residual < self.tolerance {
+                return Ok(());
+            }
+        }
+        Err(ThermalError::NoConvergence {
+            iterations,
+            residual,
+            tolerance: self.tolerance,
         })
+    }
+
+    /// Thermal configuration the model was built with.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.config
+    }
+
+    /// Number of floorplan blocks the model distributes power over.
+    pub fn block_count(&self) -> usize {
+        self.coverage.len()
     }
 }
 
@@ -348,14 +680,30 @@ mod tests {
         .unwrap()
     }
 
+    const ALL_SOLVERS: [GridSolver; 4] = [
+        GridSolver::GaussSeidel,
+        GridSolver::Pcg,
+        GridSolver::PcgJacobi,
+        GridSolver::BandedCholesky,
+    ];
+
     #[test]
-    fn hot_block_cells_are_hotter() {
-        let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 14, 7).unwrap();
-        let temps = grid.steady_state(&[8.0, 0.5]).unwrap();
-        assert!(temps.block_average_c()[0] > temps.block_average_c()[1]);
-        assert!(temps.block_max_c()[0] >= temps.block_average_c()[0]);
-        assert_eq!(temps.resolution(), (14, 7));
-        assert_eq!(temps.cells().len(), 14 * 7);
+    fn hot_block_cells_are_hotter_with_every_solver() {
+        for solver in ALL_SOLVERS {
+            let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 14, 7)
+                .unwrap()
+                .with_solver(solver)
+                .unwrap();
+            assert_eq!(grid.solver(), solver);
+            let temps = grid.steady_state(&[8.0, 0.5]).unwrap();
+            assert!(
+                temps.block_average_c()[0] > temps.block_average_c()[1],
+                "{solver}"
+            );
+            assert!(temps.block_max_c()[0] >= temps.block_average_c()[0]);
+            assert_eq!(temps.resolution(), (14, 7));
+            assert_eq!(temps.cells().len(), 14 * 7);
+        }
     }
 
     #[test]
@@ -377,12 +725,17 @@ mod tests {
 
     #[test]
     fn zero_power_settles_at_ambient_everywhere() {
-        let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 8, 4).unwrap();
-        let temps = grid.steady_state(&[0.0, 0.0]).unwrap();
-        for &c in temps.cells() {
-            assert!((c - 45.0).abs() < 1e-3);
+        for solver in ALL_SOLVERS {
+            let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 8, 4)
+                .unwrap()
+                .with_solver(solver)
+                .unwrap();
+            let temps = grid.steady_state(&[0.0, 0.0]).unwrap();
+            for &c in temps.cells() {
+                assert!((c - 45.0).abs() < 1e-3, "{solver}: {c}");
+            }
+            assert!((temps.max_c() - 45.0).abs() < 1e-3);
         }
-        assert!((temps.max_c() - 45.0).abs() < 1e-3);
     }
 
     #[test]
@@ -419,13 +772,141 @@ mod tests {
     }
 
     #[test]
-    fn starved_solver_reports_no_convergence() {
-        let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 16, 8)
+    fn starved_solvers_report_achieved_residual() {
+        for solver in [GridSolver::GaussSeidel, GridSolver::PcgJacobi] {
+            let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 16, 8)
+                .unwrap()
+                .with_solver(solver)
+                .unwrap()
+                .with_solver_limits(2, 1e-12);
+            match grid.steady_state(&[5.0, 5.0]) {
+                Err(ThermalError::NoConvergence {
+                    iterations,
+                    residual,
+                    tolerance,
+                }) => {
+                    assert_eq!(iterations, 2, "{solver}");
+                    assert!(residual > tolerance);
+                }
+                other => panic!("{solver}: expected NoConvergence, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 12, 6)
             .unwrap()
-            .with_solver_limits(2, 1e-12);
-        assert!(matches!(
-            grid.steady_state(&[5.0, 5.0]),
-            Err(ThermalError::NoConvergence { .. })
-        ));
+            .with_solver(GridSolver::BandedCholesky)
+            .unwrap();
+        let mut workspace = grid.workspace();
+        for power in [[3.0, 1.0], [0.5, 9.0], [2.0, 2.0]] {
+            let reused = grid.steady_state_with(&power, &mut workspace).unwrap();
+            let fresh = grid.steady_state(&power).unwrap();
+            for (a, b) in reused.cells().iter().zip(fresh.cells()) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn system_matrix_shape_matches_node_count() {
+        let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 6, 3).unwrap();
+        let matrix = grid.system_matrix().unwrap();
+        assert_eq!(matrix.n(), grid.node_count());
+        assert_eq!(matrix.n(), 6 * 3 + 2);
+        // 5-point stencil + spreader coupling per cell, spreader-sink
+        // branch, convection diagonal.
+        assert!(matrix.nnz() > 5 * 18);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::floorplan::Block;
+    use proptest::prelude::*;
+
+    /// A randomized strip floorplan: blocks of random sizes side by side
+    /// (never overlapping by construction).
+    fn strip_plan(widths_mm: &[f64], height_mm: f64) -> Floorplan {
+        let mut x = 0.0;
+        let mut blocks = Vec::with_capacity(widths_mm.len());
+        for (i, &w) in widths_mm.iter().enumerate() {
+            blocks.push(Block::from_mm(format!("b{i}"), x, 0.0, w, height_mm));
+            x += w;
+        }
+        Floorplan::new(blocks).unwrap()
+    }
+
+    proptest! {
+        /// PCG (both preconditioners) and banded Cholesky match the
+        /// tight-tolerance Gauss–Seidel reference within 1e-6 on randomized
+        /// floorplans and power assignments.
+        #[test]
+        fn sparse_solvers_match_gauss_seidel(
+            widths in proptest::collection::vec(2.0f64..8.0, 2..5),
+            height in 4.0f64..10.0,
+            powers in proptest::collection::vec(0.0f64..10.0, 4),
+            nx in 6usize..12,
+            ny in 3usize..7,
+        ) {
+            let plan = strip_plan(&widths, height);
+            let power = &powers[..widths.len()];
+            let config = ThermalConfig::default();
+            let reference = GridModel::new(&plan, config, nx, ny)
+                .unwrap()
+                .with_solver_limits(500_000, 1e-11)
+                .steady_state(power)
+                .unwrap();
+            for solver in [
+                GridSolver::Pcg,
+                GridSolver::PcgJacobi,
+                GridSolver::BandedCholesky,
+            ] {
+                let temps = GridModel::new(&plan, config, nx, ny)
+                    .unwrap()
+                    .with_solver(solver)
+                    .unwrap()
+                    .with_solver_limits(100_000, 1e-12)
+                    .steady_state(power)
+                    .unwrap();
+                for (cell, (a, b)) in temps.cells().iter().zip(reference.cells()).enumerate() {
+                    prop_assert!(
+                        (a - b).abs() < 1e-6,
+                        "{solver} cell {cell}: {a} vs {b}"
+                    );
+                }
+                for (a, b) in temps
+                    .block_average_c()
+                    .iter()
+                    .zip(reference.block_average_c())
+                {
+                    prop_assert!((a - b).abs() < 1e-6, "{solver} block avg {a} vs {b}");
+                }
+            }
+        }
+
+        /// Every assembled grid system is symmetric and diagonally dominant
+        /// (the structural properties PCG and Cholesky rely on).
+        #[test]
+        fn assembled_grid_matrices_are_symmetric_diagonally_dominant(
+            widths in proptest::collection::vec(2.0f64..8.0, 2..5),
+            height in 4.0f64..10.0,
+            nx in 1usize..14,
+            ny in 1usize..9,
+        ) {
+            let plan = strip_plan(&widths, height);
+            let matrix = GridModel::new(&plan, ThermalConfig::default(), nx, ny)
+                .unwrap()
+                .system_matrix()
+                .unwrap();
+            prop_assert_eq!(matrix.n(), nx * ny + 2);
+            prop_assert_eq!(matrix.max_asymmetry(), 0.0);
+            prop_assert!(matrix.is_diagonally_dominant(1e-9 * matrix.n() as f64));
+            for (i, d) in matrix.diagonal().into_iter().enumerate() {
+                prop_assert!(d > 0.0, "diagonal {i} is {d}");
+            }
+        }
     }
 }

@@ -15,7 +15,14 @@
 //! * [`TransientSolver`] — time-domain integration of piecewise-constant
 //!   power traces (backward Euler or RK4),
 //! * [`GridModel`] — finer grid-refined steady-state solver used for
-//!   validation and ablations,
+//!   validation and ablations, with a selectable [`GridSolver`] backend:
+//!   the Gauss–Seidel reference sweep, IC(0)- or Jacobi-preconditioned
+//!   conjugate gradients over the assembled `tats_sparse` CSR system, or a
+//!   cached banded Cholesky factorisation (bandwidth `nx`, with the dense
+//!   spreader/sink rows handled by block elimination). Gauss–Seidel is the
+//!   reference; PCG wins for one-off queries on large grids; the cached
+//!   Cholesky factor wins whenever many right-hand sides hit one model —
+//!   sweeps, ablations and the implicit [`GridTransientSolver`] steps,
 //! * [`linalg`] — the small dense LU solver behind the block model.
 //!
 //! # Examples
@@ -45,6 +52,7 @@
 mod error;
 mod floorplan;
 mod grid;
+mod grid_transient;
 pub mod linalg;
 mod materials;
 mod model;
@@ -54,7 +62,8 @@ mod transient;
 
 pub use error::ThermalError;
 pub use floorplan::{Block, Floorplan};
-pub use grid::{GridModel, GridTemperatures};
+pub use grid::{GridModel, GridSolver, GridTemperatures, GridWorkspace};
+pub use grid_transient::{GridTransientResult, GridTransientSolver};
 pub use materials::ThermalConfig;
 pub use model::{Temperatures, ThermalModel};
 pub use network::RcNetwork;
