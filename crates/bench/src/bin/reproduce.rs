@@ -16,13 +16,18 @@
 //! vs the `tats_sparse` PCG and cached banded-Cholesky grid solvers at
 //! 32x32 (with speedups and cell-level agreement) plus the 64x64 and
 //! 128x128 resolutions the sparse paths make feasible, and an implicit
-//! transient sweep on the cached factor.
+//! transient sweep on the cached factor. The `batch` section writes
+//! `BENCH_batch.json`: campaign throughput (scenarios/sec) of the
+//! `tats_engine` executor at 1/2/4/8 worker threads over a 120-scenario
+//! two-flow campaign, with per-worker cache hit rates and a determinism
+//! cross-check between thread counts.
 
 use std::env;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use tats_core::experiment::{table1, table2, table3, ExperimentConfig};
+use tats_core::experiment::ExperimentConfig;
+use tats_engine::{table1, table2, table3, Campaign, Executor, FlowKind};
 use tats_floorplan::{
     anneal, evolve, CostEvaluator, CostWeights, GaConfig, Module, Net, Placement, PolishExpression,
     SaConfig,
@@ -366,8 +371,86 @@ fn bench_grid() -> Result<String, Box<dyn std::error::Error>> {
     Ok(json)
 }
 
+/// Runs the batch-engine campaign throughput baseline and returns the JSON
+/// report: one fixed campaign (all four benchmarks, both design flows, all
+/// five policies, three seeds = 120 scenarios) executed at 1/2/4/8 worker
+/// threads, with per-run wall time, scenarios/sec, speedups vs
+/// single-threaded and the merged per-worker cache hit rate.
+///
+/// Thread scaling is bounded by the machine: on a single-core container
+/// every thread count measures ~1.0x (the report records
+/// `available_parallelism` so readers can tell). The cache hit rate is
+/// hardware-independent: every worker shares one platform geometry, so all
+/// scenarios after each worker's first are cache hits.
+fn bench_batch() -> Result<String, Box<dyn std::error::Error>> {
+    // Both flows so the workload is realistic: platform scenarios are
+    // sub-millisecond (the cache turns them into pure scheduling), while
+    // co-synthesis scenarios carry the GA floorplanner and dominate the
+    // wall time — exactly the mix a real campaign fans out.
+    let campaign = Campaign::new(ExperimentConfig::fast())
+        .with_flows(vec![FlowKind::Platform, FlowKind::CoSynthesis])
+        .with_seeds(vec![0, 1, 2]);
+    let scenarios = campaign.scenarios();
+
+    // The timed 1-thread run doubles as the determinism reference: every
+    // later thread count must reproduce its record set exactly.
+    let mut reference: Vec<tats_engine::ScenarioRecord> = Vec::new();
+
+    let mut sections = Vec::new();
+    let mut single_rate = f64::NAN;
+    let mut speedup_4 = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        let run =
+            Executor::new(threads).run(&campaign, &scenarios, &Default::default(), |_| Ok(()))?;
+        if threads == 1 {
+            reference = run.records.clone();
+        } else if run.records != reference {
+            return Err(format!("{threads}-thread run diverged from the 1-thread run").into());
+        }
+        let rate = run.report.scenarios_per_sec();
+        if threads == 1 {
+            single_rate = rate;
+        }
+        let speedup = rate / single_rate;
+        if threads == 4 {
+            speedup_4 = speedup;
+        }
+        sections.push(format!(
+            "    \"threads_{threads}\": {{ \"scenarios\": {}, \"wall_s\": {:.6}, \
+             \"scenarios_per_sec\": {:.2}, \"speedup_vs_1\": {:.2}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4} }}",
+            run.report.completed,
+            run.report.wall_s,
+            rate,
+            speedup,
+            run.report.cache.hits,
+            run.report.cache.misses,
+            run.report.cache.hit_rate(),
+        ));
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"batch_campaign_throughput\",\n",
+            "  \"scenarios\": {},\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"deterministic_across_thread_counts\": true,\n",
+            "  \"runs\": {{\n{}\n  }},\n",
+            "  \"speedup_4_threads_vs_1\": {:.2}\n",
+            "}}\n"
+        ),
+        scenarios.len(),
+        cores,
+        sections.join(",\n"),
+        speedup_4,
+    );
+    Ok(json)
+}
+
 /// The sections this binary can reproduce, in run order.
-const SECTIONS: [&str; 5] = ["table1", "table2", "table3", "floorplan", "grid"];
+const SECTIONS: [&str; 6] = ["table1", "table2", "table3", "floorplan", "grid", "batch"];
 
 fn main() -> ExitCode {
     let selection: Vec<String> = env::args().skip(1).collect();
@@ -437,6 +520,22 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("grid bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if wants("batch") {
+        match bench_batch() {
+            Ok(json) => {
+                print!("{json}");
+                if let Err(e) = std::fs::write("BENCH_batch.json", &json) {
+                    eprintln!("could not write BENCH_batch.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("(wrote BENCH_batch.json)");
+            }
+            Err(e) => {
+                eprintln!("batch bench failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -3,8 +3,9 @@
 //! Every command returns its output as a `String` so the binary stays a thin
 //! printing wrapper and the commands are unit-testable.
 
-use tats_core::experiment::{table1, table2, table3, ExperimentConfig};
+use tats_core::experiment::ExperimentConfig;
 use tats_core::{CoSynthesis, PlatformFlow, Policy, ScheduleEvaluation};
+use tats_engine::{table1, table2, table3, Campaign, Executor, FlowKind, Shard, Summary};
 use tats_power::{simulate_schedule, DvfsTable, PowerProfile, ScheduleSimulator, SlackReclaimer};
 use tats_reliability::ReliabilityAnalyzer;
 use tats_taskgraph::{dot, extended, tgff};
@@ -12,7 +13,10 @@ use tats_techlib::profiles;
 use tats_thermal::{GridModel, ThermalConfig, ThermalModel};
 use tats_trace::{csv, json, markdown, GanttChart};
 
-use crate::options::{parse_benchmark, parse_grid_solver, parse_policy, CliError, Options};
+use crate::options::{
+    parse_benchmark, parse_benchmark_list, parse_grid_solver, parse_policy, parse_policy_list,
+    CliError, Options,
+};
 
 /// Number of task types used by the CLI's technology library (matches the
 /// experiment driver in `tats-core`).
@@ -50,6 +54,18 @@ COMMANDS:
                    --benchmark Bm1..Bm4 --policy ...  (default: Bm1, thermal)
                    --nx 32 --ny 32                    grid resolution
                    --solver gauss-seidel|pcg|pcg-jacobi|cholesky (default: cholesky)
+    batch        Run a scenario campaign through the sharded batch engine
+                   --benchmarks Bm1,Bm3|all           (default: all)
+                   --flows platform,cosynthesis|all   (default: platform)
+                   --policies baseline,power1..3,thermal|all (default: all)
+                   --seeds 0,1,2                      seed grid (0 = canonical graphs)
+                   --grid-solver cholesky|pcg|...     add fine-grid validation axis
+                   --nx 16 --ny 16                    grid resolution for that axis
+                   --shard 0/4                        run only this shard of the campaign
+                   --threads 4                        worker threads (0 = all cores)
+                   --out results.jsonl                stream results to a JSONL file
+                   --resume                           skip scenario ids already in --out
+                   --full                             full-effort co-synthesis config
     export       Export a benchmark task graph
                    --benchmark Bm1..Bm4 --format tgff|dot
     help         Show this message
@@ -366,6 +382,190 @@ pub fn grid(options: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn parse_flows(text: &str) -> Result<Vec<FlowKind>, CliError> {
+    if text.eq_ignore_ascii_case("all") {
+        return Ok(FlowKind::ALL.to_vec());
+    }
+    text.split(',')
+        .map(|item| match item.trim().to_ascii_lowercase().as_str() {
+            "platform" => Ok(FlowKind::Platform),
+            "cosynthesis" | "co-synthesis" => Ok(FlowKind::CoSynthesis),
+            other => Err(CliError::InvalidValue {
+                option: "flows".to_string(),
+                value: other.to_string(),
+                expected: "platform, cosynthesis or all".to_string(),
+            }),
+        })
+        .collect()
+}
+
+/// `tats batch` — run a scenario campaign through the sharded batch engine.
+///
+/// Results stream to `--out` as JSON Lines the moment each scenario
+/// completes (or into the returned output without `--out`); the command then
+/// prints the campaign summary, throughput and cache statistics. `--shard
+/// i/n` runs the deterministic `i`-of-`n` slice of the scenario list, and
+/// `--resume` skips scenario ids already present in `--out`, so campaigns
+/// are splittable across machines and restartable after an interrupt.
+pub fn batch(options: &Options) -> Result<String, CliError> {
+    let config = if options.switch("full") {
+        ExperimentConfig::default()
+    } else {
+        ExperimentConfig::fast()
+    };
+    let benchmarks = parse_benchmark_list(options.value_or("benchmarks", "all"))?;
+    let flows = parse_flows(options.value_or("flows", "platform"))?;
+    let policies = parse_policy_list(options.value_or("policies", "all"))?;
+    let seeds = options.u64_list("seeds", &[0])?;
+    let solvers = match options.value("grid-solver") {
+        None => vec![None],
+        Some(name) => vec![Some(parse_grid_solver(name)?)],
+    };
+    let nx = options.number("nx", 16.0)? as usize;
+    let ny = options.number("ny", 16.0)? as usize;
+    let shard = Shard::parse(options.value_or("shard", "0/1")).map_err(execution_error)?;
+    let threads = options.number("threads", 0.0)? as usize;
+
+    let campaign = Campaign::new(config)
+        .with_benchmarks(benchmarks)
+        .with_flows(flows)
+        .with_policies(policies)
+        .with_seeds(seeds)
+        .with_solvers(solvers)
+        .with_grid_resolution(nx, ny);
+    if campaign.is_empty() {
+        return Err(CliError::Execution(
+            "the campaign has no scenarios (an axis is empty)".to_string(),
+        ));
+    }
+    let scenarios = campaign.shard_scenarios(shard);
+
+    // Resume: collect the scenario ids already present in the output file.
+    // Ids are enumeration indices of the *current* campaign definition, so
+    // every line must also carry the key that campaign assigns to its id —
+    // otherwise the file belongs to a different campaign and trusting its
+    // ids would silently drop scenarios and mix mislabeled records.
+    let out_path = options.value("out");
+    let mut skip = std::collections::BTreeSet::new();
+    if options.switch("resume") {
+        let Some(path) = out_path else {
+            return Err(CliError::Execution(
+                "--resume needs --out to know which results already exist".to_string(),
+            ));
+        };
+        match std::fs::read_to_string(path) {
+            Ok(existing) => {
+                let expected: std::collections::HashMap<u64, String> = campaign
+                    .scenarios()
+                    .iter()
+                    .map(|s| (s.id, s.key()))
+                    .collect();
+                for line in existing.lines().filter(|l| !l.trim().is_empty()) {
+                    let Some(id) = tats_trace::jsonl::line_id(line) else {
+                        continue; // truncated line: scenario simply re-runs
+                    };
+                    let key = tats_trace::jsonl::line_str_field(line, "key");
+                    match (expected.get(&id), key) {
+                        (Some(want), Some(got)) if want == got => {
+                            skip.insert(id);
+                        }
+                        _ => {
+                            return Err(CliError::Execution(format!(
+                                "'{path}' was not produced by this campaign (scenario id {id} \
+                                 is {} there but {} here); point --out at a fresh file",
+                                key.unwrap_or("unlabeled"),
+                                expected
+                                    .get(&id)
+                                    .map(String::as_str)
+                                    .unwrap_or("out of range"),
+                            )))
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(execution_error(e)),
+        }
+    } else if let Some(path) = out_path {
+        // Without --resume an existing non-empty output would be appended
+        // to, duplicating every id — refuse instead of corrupting it.
+        if std::fs::metadata(path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+        {
+            return Err(CliError::Execution(format!(
+                "output file '{path}' already exists and is not empty; \
+                 pass --resume to continue it or remove it first"
+            )));
+        }
+    }
+
+    let executor = Executor::new(threads);
+    let mut summary = Summary::new();
+    let mut inline_lines = String::new();
+    let run = match out_path {
+        Some(path) => {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(execution_error)?;
+            let mut writer = tats_trace::jsonl::JsonlWriter::new(file);
+            executor
+                .run(&campaign, &scenarios, &skip, |record| {
+                    writer.write(&record.to_json())?;
+                    summary.record(record);
+                    Ok(())
+                })
+                .map_err(execution_error)?
+        }
+        None => executor
+            .run(&campaign, &scenarios, &skip, |record| {
+                inline_lines.push_str(&record.to_json().to_json());
+                inline_lines.push('\n');
+                summary.record(record);
+                Ok(())
+            })
+            .map_err(execution_error)?,
+    };
+
+    // The report's thread count is what actually ran (the executor clamps
+    // to the number of pending scenarios), so the header can't contradict
+    // the summary.
+    let mut out = format!(
+        "batch campaign: {} scenarios in shard {shard} (of {} total), {} worker thread(s)\n",
+        scenarios.len(),
+        campaign.len(),
+        run.report.threads,
+    );
+    if run.report.skipped > 0 {
+        out.push_str(&format!(
+            "resumed: {} scenario(s) already in {}, skipped\n",
+            run.report.skipped,
+            out_path.unwrap_or("the output"),
+        ));
+    }
+    out.push_str(&inline_lines);
+    out.push('\n');
+    out.push_str(&summary.to_string());
+    out.push_str(&format!(
+        "throughput: {:.2} scenarios/sec ({} scenarios in {:.2} s), cache hit rate {:.1}% ({} hits / {} misses)\n",
+        run.report.scenarios_per_sec(),
+        run.report.completed,
+        run.report.wall_s,
+        100.0 * run.report.cache.hit_rate(),
+        run.report.cache.hits,
+        run.report.cache.misses,
+    ));
+    if let Some(path) = out_path {
+        out.push_str(&format!(
+            "wrote {} record(s) to {path}\n",
+            run.report.completed
+        ));
+    }
+    Ok(out)
+}
+
 /// `tats export` — export a benchmark task graph as TGFF text or Graphviz.
 pub fn export(options: &Options) -> Result<String, CliError> {
     let benchmark = parse_benchmark(options.value_or("benchmark", "Bm1"))?;
@@ -385,9 +585,9 @@ pub fn export(options: &Options) -> Result<String, CliError> {
 mod tests {
     use super::*;
 
-    fn opts(args: &[&str], values: &[&str]) -> Options {
+    fn opts(args: &[&str], values: &[&str], switches: &[&str]) -> Options {
         let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-        Options::parse(&args, values).expect("parse")
+        Options::parse(&args, values, switches).expect("parse")
     }
 
     #[test]
@@ -400,9 +600,13 @@ mod tests {
             "reliability",
             "dvs",
             "grid",
+            "batch",
             "export",
         ] {
             assert!(text.contains(command), "help must mention {command}");
+        }
+        for option in ["--shard", "--resume", "--threads", "--out"] {
+            assert!(text.contains(option), "help must document {option}");
         }
     }
 
@@ -419,6 +623,7 @@ mod tests {
                 "--json",
             ],
             &["benchmark", "policy", "arch"],
+            &["gantt", "csv", "json"],
         );
         let out = schedule(&options).expect("schedule");
         assert!(out.contains("max temp"));
@@ -429,7 +634,7 @@ mod tests {
 
     #[test]
     fn schedule_rejects_unknown_architecture() {
-        let options = opts(&["--arch", "fpga"], &["arch"]);
+        let options = opts(&["--arch", "fpga"], &["arch"], &[]);
         assert!(matches!(
             schedule(&options),
             Err(CliError::InvalidValue { .. })
@@ -438,16 +643,21 @@ mod tests {
 
     #[test]
     fn export_produces_tgff_and_dot() {
-        let tgff_out =
-            export(&opts(&["--benchmark", "Bm2"], &["benchmark", "format"])).expect("tgff export");
+        let tgff_out = export(&opts(
+            &["--benchmark", "Bm2"],
+            &["benchmark", "format"],
+            &[],
+        ))
+        .expect("tgff export");
         assert!(tgff_out.starts_with("@GRAPH Bm2"));
         let dot_out = export(&opts(
             &["--benchmark", "Bm2", "--format", "dot"],
             &["benchmark", "format"],
+            &[],
         ))
         .expect("dot export");
         assert!(dot_out.contains("digraph"));
-        assert!(export(&opts(&["--format", "png"], &["format"])).is_err());
+        assert!(export(&opts(&["--format", "png"], &["format"], &[])).is_err());
     }
 
     #[test]
@@ -455,6 +665,7 @@ mod tests {
         let options = opts(
             &["--sizes", "10,20", "--policy", "baseline"],
             &["sizes", "policy"],
+            &[],
         );
         let out = sweep(&options).expect("sweep");
         let data_rows = out
@@ -466,7 +677,7 @@ mod tests {
 
     #[test]
     fn dvs_reports_an_operating_point() {
-        let options = opts(&["--benchmark", "Bm1"], &["benchmark", "policy"]);
+        let options = opts(&["--benchmark", "Bm1"], &["benchmark", "policy"], &[]);
         let out = dvs(&options).expect("dvs");
         assert!(out.contains("selected operating point"));
         assert!(out.contains("energy saving"));
@@ -487,6 +698,7 @@ mod tests {
                     solver,
                 ],
                 &["benchmark", "policy", "nx", "ny", "solver"],
+                &[],
             );
             let out = grid(&options).expect("grid");
             assert!(out.contains("PE0"), "{solver}");
@@ -497,22 +709,183 @@ mod tests {
 
     #[test]
     fn grid_rejects_unknown_solver() {
-        let options = opts(&["--solver", "multigrid"], &["solver"]);
+        let options = opts(&["--solver", "multigrid"], &["solver"], &[]);
         assert!(matches!(grid(&options), Err(CliError::InvalidValue { .. })));
     }
 
     #[test]
     fn reliability_compares_two_policies() {
-        let options = opts(&["--benchmark", "Bm1"], &["benchmark"]);
+        let options = opts(&["--benchmark", "Bm1"], &["benchmark"], &[]);
         let out = reliability(&options).expect("reliability");
         assert!(out.contains("Thermal-aware"));
         assert!(out.contains("Heuristic 3"));
         assert!(out.contains("system MTTF"));
     }
 
+    const BATCH_VALUES: &[&str] = &[
+        "benchmarks",
+        "flows",
+        "policies",
+        "seeds",
+        "grid-solver",
+        "nx",
+        "ny",
+        "shard",
+        "threads",
+        "out",
+    ];
+
+    #[test]
+    fn batch_streams_records_and_summarises() {
+        let options = opts(
+            &[
+                "--benchmarks",
+                "Bm1",
+                "--policies",
+                "baseline,thermal",
+                "--threads",
+                "1",
+            ],
+            BATCH_VALUES,
+            &["resume", "full"],
+        );
+        let out = batch(&options).expect("batch");
+        assert!(out.contains("batch campaign: 2 scenarios"), "{out}");
+        assert_eq!(out.matches("\"id\":").count(), 2, "{out}");
+        assert!(out.contains("\"policy\":\"baseline\""), "{out}");
+        assert!(out.contains("campaign summary: 2 scenarios"), "{out}");
+        assert!(out.contains("vs baseline"), "{out}");
+        assert!(out.contains("cache hit rate"), "{out}");
+    }
+
+    #[test]
+    fn batch_shards_partition_the_inline_output() {
+        let run_shard = |spec: &str| {
+            let options = opts(
+                &[
+                    "--benchmarks",
+                    "Bm1",
+                    "--policies",
+                    "baseline,power3,thermal",
+                    "--shard",
+                    spec,
+                    "--threads",
+                    "1",
+                ],
+                BATCH_VALUES,
+                &["resume", "full"],
+            );
+            batch(&options).expect("batch shard")
+        };
+        let full: Vec<String> = run_shard("0/1")
+            .lines()
+            .filter(|l| l.starts_with('{'))
+            .map(str::to_string)
+            .collect();
+        let mut merged: Vec<String> = ["0/2", "1/2"]
+            .iter()
+            .flat_map(|spec| {
+                run_shard(spec)
+                    .lines()
+                    .filter(|l| l.starts_with('{'))
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        merged.sort_by_key(|line| tats_trace::jsonl::line_id(line));
+        assert_eq!(full, merged);
+    }
+
+    #[test]
+    fn batch_out_file_supports_resume() {
+        let path = std::env::temp_dir().join("tats_cli_batch_resume_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let path_s = path.to_str().expect("utf8 temp path");
+        let run = |extra: &[&str]| {
+            let mut args = vec![
+                "--benchmarks",
+                "Bm1",
+                "--policies",
+                "baseline,thermal",
+                "--threads",
+                "1",
+                "--out",
+                path_s,
+            ];
+            args.extend_from_slice(extra);
+            batch(&opts(&args, BATCH_VALUES, &["resume", "full"])).expect("batch with --out")
+        };
+        // First: only shard 0/2 (scenario id 0) lands in the file.
+        run(&["--shard", "0/2"]);
+        // Then: the full campaign with --resume skips it and appends id 1.
+        let out = run(&["--resume"]);
+        assert!(out.contains("resumed: 1 scenario(s)"), "{out}");
+        let file = std::fs::File::open(&path).expect("output exists");
+        let ids = tats_trace::jsonl::completed_ids(std::io::BufReader::new(file)).expect("scan");
+        assert_eq!(ids.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_protects_existing_output_files() {
+        let path = std::env::temp_dir().join("tats_cli_batch_guard_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let path_s = path.to_str().expect("utf8 temp path");
+        let run = |extra: &[&str]| {
+            let mut args = vec![
+                "--benchmarks",
+                "Bm1",
+                "--policies",
+                "baseline",
+                "--threads",
+                "1",
+                "--out",
+                path_s,
+            ];
+            args.extend_from_slice(extra);
+            batch(&opts(&args, BATCH_VALUES, &["resume", "full"]))
+        };
+        run(&[]).expect("fresh file");
+        // Re-running without --resume would duplicate every id: refused.
+        let error = run(&[]).expect_err("must refuse to append blindly");
+        assert!(error.to_string().contains("--resume"), "{error}");
+        // Resuming under a *different* campaign definition: the file's id 0
+        // is Bm1/baseline, the new campaign's id 0 is Bm2/thermal — refused.
+        let other = batch(&opts(
+            &[
+                "--benchmarks",
+                "Bm2",
+                "--policies",
+                "thermal",
+                "--threads",
+                "1",
+                "--out",
+                path_s,
+                "--resume",
+            ],
+            BATCH_VALUES,
+            &["resume", "full"],
+        ))
+        .expect_err("campaign mismatch must be detected");
+        assert!(
+            other.to_string().contains("not produced by this campaign"),
+            "{other}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_rejects_bad_shard_and_resume_without_out() {
+        let bad_shard = opts(&["--shard", "9/3"], BATCH_VALUES, &["resume", "full"]);
+        assert!(matches!(batch(&bad_shard), Err(CliError::Execution(_))));
+        let resume = opts(&["--resume"], BATCH_VALUES, &["resume", "full"]);
+        let error = batch(&resume).expect_err("resume without out");
+        assert!(error.to_string().contains("--out"));
+    }
+
     #[test]
     fn tables_rejects_unknown_selection() {
-        let options = opts(&["--which", "table9"], &["which"]);
+        let options = opts(&["--which", "table9"], &["which"], &[]);
         assert!(matches!(
             tables(&options),
             Err(CliError::InvalidValue { .. })
@@ -521,7 +894,7 @@ mod tests {
 
     #[test]
     fn tables_renders_the_platform_comparison() {
-        let options = opts(&["--which", "table3"], &["which"]);
+        let options = opts(&["--which", "table3"], &["which"], &[]);
         let out = tables(&options).expect("table3");
         assert!(out.contains("Table 3"));
         assert!(out.contains("Bm1"));

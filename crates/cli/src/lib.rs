@@ -9,6 +9,7 @@
 //! tats sweep --sizes 25,50,100
 //! tats reliability --benchmark Bm1
 //! tats dvs --benchmark Bm1 --policy thermal
+//! tats batch --benchmarks all --policies all --shard 0/2 --out results.jsonl
 //! tats export --benchmark Bm1 --format tgff
 //! ```
 //!
@@ -25,17 +26,34 @@ pub use options::CliError;
 
 use options::Options;
 
-/// Option names that take a value, per subcommand.
-fn value_options(command: &str) -> &'static [&'static str] {
+/// Per subcommand: the option names that take a value and the boolean
+/// switches. Anything else on the command line is rejected with the full
+/// accepted list (see [`Options::parse`]).
+fn command_options(command: &str) -> (&'static [&'static str], &'static [&'static str]) {
     match command {
-        "tables" => &["which"],
-        "schedule" => &["benchmark", "policy", "arch"],
-        "sweep" => &["sizes", "policy"],
-        "reliability" => &["benchmark"],
-        "dvs" => &["benchmark", "policy"],
-        "grid" => &["benchmark", "policy", "nx", "ny", "solver"],
-        "export" => &["benchmark", "format"],
-        _ => &[],
+        "tables" => (&["which"], &["full"]),
+        "schedule" => (&["benchmark", "policy", "arch"], &["gantt", "csv", "json"]),
+        "sweep" => (&["sizes", "policy"], &[]),
+        "reliability" => (&["benchmark"], &[]),
+        "dvs" => (&["benchmark", "policy"], &[]),
+        "grid" => (&["benchmark", "policy", "nx", "ny", "solver"], &[]),
+        "batch" => (
+            &[
+                "benchmarks",
+                "flows",
+                "policies",
+                "seeds",
+                "grid-solver",
+                "nx",
+                "ny",
+                "shard",
+                "threads",
+                "out",
+            ],
+            &["resume", "full"],
+        ),
+        "export" => (&["benchmark", "format"], &[]),
+        _ => (&[], &[]),
     }
 }
 
@@ -59,7 +77,8 @@ fn value_options(command: &str) -> &'static [&'static str] {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let command = args.first().ok_or(CliError::MissingCommand)?;
     let rest = &args[1..];
-    let options = Options::parse(rest, value_options(command))?;
+    let (values, switches) = command_options(command);
+    let options = Options::parse(rest, values, switches)?;
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(commands::help()),
         "tables" => commands::tables(&options),
@@ -68,6 +87,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "reliability" => commands::reliability(&options),
         "dvs" => commands::dvs(&options),
         "grid" => commands::grid(&options),
+        "batch" => commands::batch(&options),
         "export" => commands::export(&options),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

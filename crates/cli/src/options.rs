@@ -19,8 +19,14 @@ pub enum CliError {
     MissingCommand,
     /// The subcommand is not recognised.
     UnknownCommand(String),
-    /// An option is not recognised by the subcommand.
-    UnknownOption(String),
+    /// An option is not recognised by the subcommand; carries the options
+    /// the subcommand does accept so the error is self-explanatory.
+    UnknownOption {
+        /// The offending argument as given.
+        option: String,
+        /// Every option the subcommand accepts (`--` prefixed, sorted).
+        accepted: Vec<String>,
+    },
     /// An option that requires a value was given without one.
     MissingValue(String),
     /// An option value could not be interpreted.
@@ -41,7 +47,20 @@ impl fmt::Display for CliError {
         match self {
             CliError::MissingCommand => write!(f, "no command given; try 'tats help'"),
             CliError::UnknownCommand(cmd) => write!(f, "unknown command '{cmd}'; try 'tats help'"),
-            CliError::UnknownOption(opt) => write!(f, "unknown option '{opt}'"),
+            CliError::UnknownOption { option, accepted } => {
+                if accepted.is_empty() {
+                    write!(
+                        f,
+                        "unknown option '{option}'; this command takes no options"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "unknown option '{option}'; accepted options: {}",
+                        accepted.join(", ")
+                    )
+                }
+            }
             CliError::MissingValue(opt) => write!(f, "option '{opt}' requires a value"),
             CliError::InvalidValue {
                 option,
@@ -65,23 +84,44 @@ pub struct Options {
 impl Options {
     /// Parses `--key value`, `--key=value` and bare `--switch` arguments.
     ///
-    /// `known_values` lists options that take a value; every other `--name`
-    /// is treated as a boolean switch.
+    /// `known_values` lists options that take a value, `known_switches` the
+    /// boolean flags; anything else — a positional argument, a misspelled
+    /// option, a `--switch=value` — errors with the full accepted-option
+    /// list, so a typo never silently becomes an ignored switch.
     ///
     /// # Errors
     ///
     /// Returns [`CliError::MissingValue`] when a value option ends the
-    /// argument list and [`CliError::UnknownOption`] for positional
-    /// arguments.
-    pub fn parse(args: &[String], known_values: &[&str]) -> Result<Self, CliError> {
+    /// argument list and [`CliError::UnknownOption`] (naming every accepted
+    /// option) otherwise.
+    pub fn parse(
+        args: &[String],
+        known_values: &[&str],
+        known_switches: &[&str],
+    ) -> Result<Self, CliError> {
+        let unknown = |arg: &str| {
+            let mut accepted: Vec<String> = known_values
+                .iter()
+                .chain(known_switches)
+                .map(|name| format!("--{name}"))
+                .collect();
+            accepted.sort();
+            CliError::UnknownOption {
+                option: arg.to_string(),
+                accepted,
+            }
+        };
         let mut options = Options::default();
         let mut index = 0;
         while index < args.len() {
             let arg = &args[index];
             let Some(name_part) = arg.strip_prefix("--") else {
-                return Err(CliError::UnknownOption(arg.clone()));
+                return Err(unknown(arg));
             };
             if let Some((name, value)) = name_part.split_once('=') {
+                if !known_values.contains(&name) {
+                    return Err(unknown(arg));
+                }
                 options.values.insert(name.to_string(), value.to_string());
             } else if known_values.contains(&name_part) {
                 index += 1;
@@ -89,8 +129,10 @@ impl Options {
                     .get(index)
                     .ok_or_else(|| CliError::MissingValue(arg.clone()))?;
                 options.values.insert(name_part.to_string(), value.clone());
-            } else {
+            } else if known_switches.contains(&name_part) {
                 options.switches.push(name_part.to_string());
+            } else {
+                return Err(unknown(arg));
             }
             index += 1;
         }
@@ -125,6 +167,30 @@ impl Options {
                 value: text.to_string(),
                 expected: "a number".to_string(),
             }),
+        }
+    }
+
+    /// Parses a comma-separated list of unsigned 64-bit integers (the batch
+    /// command's seed grid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::InvalidValue`] for malformed entries.
+    pub fn u64_list(&self, name: &str, default: &[u64]) -> Result<Vec<u64>, CliError> {
+        match self.value(name) {
+            None => Ok(default.to_vec()),
+            Some(text) => text
+                .split(',')
+                .map(|item| {
+                    item.trim()
+                        .parse::<u64>()
+                        .map_err(|_| CliError::InvalidValue {
+                            option: name.to_string(),
+                            value: item.to_string(),
+                            expected: "a comma-separated list of integers".to_string(),
+                        })
+                })
+                .collect(),
         }
     }
 
@@ -191,6 +257,35 @@ pub fn parse_grid_solver(name: &str) -> Result<GridSolver, CliError> {
     }
 }
 
+/// Parses a comma-separated benchmark list; `all` selects every benchmark.
+///
+/// # Errors
+///
+/// Returns [`CliError::InvalidValue`] for unknown names.
+pub fn parse_benchmark_list(text: &str) -> Result<Vec<Benchmark>, CliError> {
+    if text.eq_ignore_ascii_case("all") {
+        return Ok(Benchmark::ALL.to_vec());
+    }
+    text.split(',')
+        .map(|item| parse_benchmark(item.trim()))
+        .collect()
+}
+
+/// Parses a comma-separated policy list; `all` selects every policy in
+/// table order.
+///
+/// # Errors
+///
+/// Returns [`CliError::InvalidValue`] for unknown names.
+pub fn parse_policy_list(text: &str) -> Result<Vec<Policy>, CliError> {
+    if text.eq_ignore_ascii_case("all") {
+        return Ok(Policy::ALL.to_vec());
+    }
+    text.split(',')
+        .map(|item| parse_policy(item.trim()))
+        .collect()
+}
+
 /// Parses a scheduling policy name.
 ///
 /// Accepted spellings: `baseline`, `power1`/`h1`, `power2`/`h2`,
@@ -229,6 +324,7 @@ mod tests {
         let options = Options::parse(
             &args(&["--benchmark", "Bm2", "--policy=thermal", "--gantt"]),
             &["benchmark", "policy"],
+            &["gantt", "csv"],
         )
         .expect("parse");
         assert_eq!(options.value("benchmark"), Some("Bm2"));
@@ -241,20 +337,44 @@ mod tests {
     #[test]
     fn missing_value_and_positional_arguments_error() {
         assert!(matches!(
-            Options::parse(&args(&["--benchmark"]), &["benchmark"]),
+            Options::parse(&args(&["--benchmark"]), &["benchmark"], &[]),
             Err(CliError::MissingValue(_))
         ));
         assert!(matches!(
-            Options::parse(&args(&["positional"]), &[]),
-            Err(CliError::UnknownOption(_))
+            Options::parse(&args(&["positional"]), &[], &[]),
+            Err(CliError::UnknownOption { .. })
         ));
+    }
+
+    #[test]
+    fn unknown_options_list_what_the_command_accepts() {
+        let error = Options::parse(
+            &args(&["--benchmrk", "Bm2"]),
+            &["benchmark", "policy"],
+            &["gantt"],
+        )
+        .expect_err("misspelled option must error");
+        let text = error.to_string();
+        assert!(text.contains("--benchmrk"), "{text}");
+        assert!(text.contains("--benchmark"), "{text}");
+        assert!(text.contains("--policy"), "{text}");
+        assert!(text.contains("--gantt"), "{text}");
+        // An unknown --switch=value form errors too.
+        assert!(matches!(
+            Options::parse(&args(&["--gantt=yes"]), &["benchmark"], &["gantt"]),
+            Err(CliError::UnknownOption { .. })
+        ));
+        // A command without options says so.
+        let bare = Options::parse(&args(&["--anything"]), &[], &[]).expect_err("no options");
+        assert!(bare.to_string().contains("takes no options"));
     }
 
     #[test]
     fn numeric_and_list_options_parse() {
         let options = Options::parse(
-            &args(&["--scale", "2.5", "--sizes", "10, 20,30"]),
-            &["scale", "sizes"],
+            &args(&["--scale", "2.5", "--sizes", "10, 20,30", "--seeds", "0,4"]),
+            &["scale", "sizes", "seeds"],
+            &[],
         )
         .expect("parse");
         assert!((options.number("scale", 1.0).expect("number") - 2.5).abs() < 1e-12);
@@ -267,8 +387,27 @@ mod tests {
             options.usize_list("missing", &[5]).expect("default"),
             vec![5]
         );
-        let bad = Options::parse(&args(&["--scale", "fast"]), &["scale"]).expect("parse");
+        assert_eq!(options.u64_list("seeds", &[0]).expect("seeds"), vec![0, 4]);
+        assert_eq!(options.u64_list("missing", &[9]).expect("default"), vec![9]);
+        let bad = Options::parse(&args(&["--scale", "fast"]), &["scale"], &[]).expect("parse");
         assert!(bad.number("scale", 1.0).is_err());
+        assert!(bad.u64_list("scale", &[0]).is_err());
+    }
+
+    #[test]
+    fn benchmark_and_policy_lists_parse() {
+        assert_eq!(parse_benchmark_list("all").expect("all").len(), 4);
+        assert_eq!(
+            parse_benchmark_list("bm1, bm3").expect("list"),
+            vec![Benchmark::Bm1, Benchmark::Bm3]
+        );
+        assert!(parse_benchmark_list("bm1,bm9").is_err());
+        assert_eq!(parse_policy_list("all").expect("all").len(), 5);
+        assert_eq!(
+            parse_policy_list("baseline,thermal").expect("list"),
+            vec![Policy::Baseline, Policy::ThermalAware]
+        );
+        assert!(parse_policy_list("warp").is_err());
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub struct Asp<'a> {
     architecture: &'a Architecture,
     policy: Policy,
     floorplan: Option<Floorplan>,
+    shared_thermal_model: Option<std::sync::Arc<ThermalModel>>,
     thermal_config: ThermalConfig,
     thermal_objective: ThermalObjective,
     temperature_weight: f64,
@@ -90,6 +91,7 @@ impl<'a> Asp<'a> {
             architecture,
             policy: Policy::Baseline,
             floorplan: None,
+            shared_thermal_model: None,
             thermal_config: ThermalConfig::default(),
             thermal_objective: ThermalObjective::default(),
             temperature_weight: 25.0,
@@ -109,6 +111,20 @@ impl<'a> Asp<'a> {
     /// a grid layout derived from the architecture is used.
     pub fn with_floorplan(mut self, floorplan: Floorplan) -> Self {
         self.floorplan = Some(floorplan);
+        self
+    }
+
+    /// Supplies a pre-built (typically cached) thermal model for the
+    /// thermal-aware policy, skipping the per-`schedule()` RC assembly and
+    /// factorisation.
+    ///
+    /// The model must have been built for the floorplan this ASP schedules
+    /// against (same block order as the architecture's PEs); `schedule()`
+    /// still checks the block count. The scheduling result is bit-identical
+    /// to building the model internally, because model construction is
+    /// deterministic in the floorplan and configuration.
+    pub fn with_shared_thermal_model(mut self, model: std::sync::Arc<ThermalModel>) -> Self {
+        self.shared_thermal_model = Some(model);
         self
     }
 
@@ -180,24 +196,43 @@ impl<'a> Asp<'a> {
             .collect::<Result<_, _>>()?;
         let analysis = GraphAnalysis::new(self.graph, &weights)?;
 
-        // Thermal model (thermal-aware policy only).
-        let thermal_model = if self.policy.needs_thermal_model() {
-            let plan = match &self.floorplan {
-                Some(plan) => {
-                    if plan.block_count() != self.architecture.pe_count() {
-                        return Err(CoreError::FloorplanMismatch {
-                            pes: self.architecture.pe_count(),
-                            blocks: plan.block_count(),
-                        });
+        // Thermal model (thermal-aware policy only): reuse a shared cached
+        // model when one was supplied, otherwise build one for the given (or
+        // derived grid) floorplan.
+        let thermal_model: Option<std::sync::Arc<ThermalModel>> =
+            if self.policy.needs_thermal_model() {
+                match &self.shared_thermal_model {
+                    Some(model) => {
+                        if model.block_count() != self.architecture.pe_count() {
+                            return Err(CoreError::FloorplanMismatch {
+                                pes: self.architecture.pe_count(),
+                                blocks: model.block_count(),
+                            });
+                        }
+                        Some(std::sync::Arc::clone(model))
                     }
-                    plan.clone()
+                    None => {
+                        let plan = match &self.floorplan {
+                            Some(plan) => {
+                                if plan.block_count() != self.architecture.pe_count() {
+                                    return Err(CoreError::FloorplanMismatch {
+                                        pes: self.architecture.pe_count(),
+                                        blocks: plan.block_count(),
+                                    });
+                                }
+                                plan.clone()
+                            }
+                            None => layout::grid_floorplan(self.architecture, self.library)?,
+                        };
+                        Some(std::sync::Arc::new(ThermalModel::new(
+                            &plan,
+                            self.thermal_config,
+                        )?))
+                    }
                 }
-                None => layout::grid_floorplan(self.architecture, self.library)?,
+            } else {
+                None
             };
-            Some(ThermalModel::new(&plan, self.thermal_config)?)
-        } else {
-            None
-        };
 
         // Latest start times that keep the downstream critical path within
         // the deadline (computed with average WCETs). Candidates that would
@@ -542,7 +577,7 @@ mod tests {
             .schedule()
             .unwrap();
         assert_eq!(schedule.task_count(), 1);
-        assert_eq!(schedule.used_pes().len(), 1);
+        assert_eq!(schedule.used_pes().count(), 1);
         schedule.validate(&graph, &platform, &library).unwrap();
     }
 }

@@ -28,9 +28,10 @@ use tats_techlib::{Architecture, PeTypeId, TechLibrary};
 use tats_thermal::{Floorplan, ThermalConfig};
 
 use crate::asp::Asp;
+use crate::cache::ThermalModelCache;
 use crate::error::CoreError;
 use crate::layout;
-use crate::metrics::{evaluate_schedule, ScheduleEvaluation};
+use crate::metrics::{evaluate_schedule, evaluate_schedule_with_model, ScheduleEvaluation};
 use crate::policy::{Policy, ThermalObjective};
 use crate::schedule::Schedule;
 
@@ -132,7 +133,14 @@ impl<'a> CoSynthesis<'a> {
         policy: Policy,
         floorplan: Option<&Floorplan>,
     ) -> Result<Schedule, CoreError> {
-        self.schedule_scaled(graph, architecture, policy, floorplan, self.cost_scale)
+        self.schedule_scaled(
+            graph,
+            architecture,
+            policy,
+            floorplan,
+            self.cost_scale,
+            None,
+        )
     }
 
     fn schedule_scaled(
@@ -142,6 +150,7 @@ impl<'a> CoSynthesis<'a> {
         policy: Policy,
         floorplan: Option<&Floorplan>,
         cost_scale: f64,
+        cache: Option<&mut ThermalModelCache>,
     ) -> Result<Schedule, CoreError> {
         let mut asp = Asp::new(graph, self.library, architecture)?
             .with_policy(policy)
@@ -150,6 +159,22 @@ impl<'a> CoSynthesis<'a> {
             .with_cost_scale(cost_scale);
         if let Some(plan) = floorplan {
             asp = asp.with_floorplan(plan.clone());
+        }
+        // With a cache, resolve the floorplan the ASP would derive anyway and
+        // source the thermal model from the cache; the ASP then skips its own
+        // build. Results are identical — model construction is deterministic
+        // in (floorplan, config).
+        if let Some(cache) = cache {
+            if policy.needs_thermal_model() {
+                let plan = match floorplan {
+                    Some(plan) => plan.clone(),
+                    None => layout::grid_floorplan(architecture, self.library)?,
+                };
+                if plan.block_count() == architecture.pe_count() {
+                    let model = cache.get_or_build(&plan, self.thermal_config)?;
+                    asp = asp.with_shared_thermal_model(model);
+                }
+            }
         }
         asp.schedule()
     }
@@ -167,6 +192,7 @@ impl<'a> CoSynthesis<'a> {
         policy: Policy,
         floorplan: Option<&Floorplan>,
         explored: &mut usize,
+        mut cache: Option<&mut ThermalModelCache>,
     ) -> Result<Schedule, CoreError> {
         let scales = [1.0, 0.5, 0.25, 0.1, 0.0];
         let mut last = None;
@@ -177,6 +203,7 @@ impl<'a> CoSynthesis<'a> {
                 policy,
                 floorplan,
                 self.cost_scale * factor,
+                cache.as_deref_mut(),
             )?;
             *explored += 1;
             if schedule.meets_deadline() {
@@ -195,6 +222,35 @@ impl<'a> CoSynthesis<'a> {
     /// the PE budget meets the deadline, [`CoreError::InvalidParameter`] for
     /// a zero PE budget, and propagates substrate errors.
     pub fn run(&self, graph: &TaskGraph, policy: Policy) -> Result<CoSynthesisResult, CoreError> {
+        self.run_impl(graph, policy, None)
+    }
+
+    /// Like [`CoSynthesis::run`], but sources thermal models from a
+    /// geometry-keyed cache. The thermal-aware scheduling passes and the
+    /// final evaluation reuse cached factorisations whenever the flow
+    /// revisits a floorplan geometry (common across the policies and seeds of
+    /// a batch campaign, which share the baseline-driven architecture and
+    /// often the GA's floorplan). Results are identical to
+    /// [`CoSynthesis::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoSynthesis::run`].
+    pub fn run_with_cache(
+        &self,
+        graph: &TaskGraph,
+        policy: Policy,
+        cache: &mut ThermalModelCache,
+    ) -> Result<CoSynthesisResult, CoreError> {
+        self.run_impl(graph, policy, Some(cache))
+    }
+
+    fn run_impl(
+        &self,
+        graph: &TaskGraph,
+        policy: Policy,
+        mut cache: Option<&mut ThermalModelCache>,
+    ) -> Result<CoSynthesisResult, CoreError> {
         if self.max_pes == 0 {
             return Err(CoreError::InvalidParameter(
                 "co-synthesis needs a PE budget of at least 1".to_string(),
@@ -283,8 +339,14 @@ impl<'a> CoSynthesis<'a> {
         // --- Feasibility under the target policy: if the (power/thermal
         //     aware) ASP misses the deadline on the baseline-sized
         //     architecture, back off its power/thermal bias until it fits. ---
-        let schedule =
-            self.schedule_with_backoff(graph, &architecture, policy, None, &mut explored)?;
+        let schedule = self.schedule_with_backoff(
+            graph,
+            &architecture,
+            policy,
+            None,
+            &mut explored,
+            cache.as_deref_mut(),
+        )?;
         if !schedule.meets_deadline() {
             return Err(CoreError::DeadlineUnreachable {
                 deadline: graph.deadline(),
@@ -319,13 +381,20 @@ impl<'a> CoSynthesis<'a> {
             policy,
             Some(&floorplan),
             &mut explored,
+            cache.as_deref_mut(),
         )?;
         let schedule = if final_schedule.meets_deadline() {
             final_schedule
         } else {
             schedule
         };
-        let evaluation = evaluate_schedule(&schedule, &floorplan, self.thermal_config)?;
+        let evaluation = match cache {
+            Some(cache) if floorplan.block_count() == schedule.pe_count() => {
+                let model = cache.get_or_build(&floorplan, self.thermal_config)?;
+                evaluate_schedule_with_model(&schedule, &model)?
+            }
+            _ => evaluate_schedule(&schedule, &floorplan, self.thermal_config)?,
+        };
 
         Ok(CoSynthesisResult {
             architecture,
@@ -412,6 +481,25 @@ mod tests {
                 .run(&graph, Policy::Baseline),
             Err(CoreError::InvalidParameter(_))
         ));
+    }
+
+    #[test]
+    fn cached_cosynthesis_matches_uncached_exactly() {
+        let library = profiles::standard_library(10).unwrap();
+        let graph = Benchmark::Bm1.task_graph().unwrap();
+        let mut cache = ThermalModelCache::new();
+        for policy in [Policy::Baseline, Policy::ThermalAware] {
+            let direct = quick_cosynthesis(&library).run(&graph, policy).unwrap();
+            let cached = quick_cosynthesis(&library)
+                .run_with_cache(&graph, policy, &mut cache)
+                .unwrap();
+            assert_eq!(direct.schedule, cached.schedule, "{policy}");
+            assert_eq!(direct.evaluation, cached.evaluation, "{policy}");
+            assert_eq!(direct.architecture, cached.architecture, "{policy}");
+        }
+        // The thermal-aware run queries the cache (back-off passes and the
+        // final evaluation revisit the same geometries).
+        assert!(cache.stats().hits + cache.stats().misses > 0);
     }
 
     #[test]

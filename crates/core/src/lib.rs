@@ -16,7 +16,11 @@
 //!   floorplanning (Figure 1.a),
 //! * [`evaluate_schedule`] — the "Total Pow. / Max Temp. / Avg Temp." table
 //!   metrics,
-//! * [`experiment`] — drivers regenerating Tables 1–3.
+//! * [`ThermalModelCache`] — geometry-keyed cache of factorised thermal
+//!   models shared by the batch campaign engine,
+//! * [`experiment`] — the table row/config types; the drivers regenerating
+//!   Tables 1–3 live in the `tats_engine` crate and run through its batch
+//!   campaign executor.
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 mod asp;
+mod cache;
 mod cosynthesis;
 mod error;
 pub mod experiment;
@@ -57,9 +62,10 @@ mod policy;
 mod schedule;
 
 pub use asp::Asp;
+pub use cache::{geometry_config_bits, CacheStats, FifoCache, ThermalModelCache};
 pub use cosynthesis::{CoSynthesis, CoSynthesisResult};
 pub use error::CoreError;
-pub use metrics::{evaluate_schedule, ScheduleEvaluation};
+pub use metrics::{evaluate_schedule, evaluate_schedule_with_model, ScheduleEvaluation};
 pub use platform::{PlatformFlow, PlatformResult};
 pub use policy::{Policy, PowerHeuristic, ThermalObjective};
 pub use schedule::{Assignment, Schedule};

@@ -70,8 +70,34 @@ pub fn evaluate_schedule(
             blocks: floorplan.block_count(),
         });
     }
-    let per_pe_power = schedule.sustained_power_per_pe();
     let model = ThermalModel::new(floorplan, thermal_config)?;
+    evaluate_schedule_with_model(schedule, &model)
+}
+
+/// Evaluates a schedule against an already-built thermal model, skipping the
+/// RC assembly and factorisation that [`evaluate_schedule`] pays per call.
+///
+/// This is the batch-campaign fast path: the engine caches one model per
+/// distinct floorplan geometry (see [`crate::ThermalModelCache`]) and
+/// evaluates every scenario sharing that geometry through it. Results are
+/// bit-identical to [`evaluate_schedule`] on the same floorplan and
+/// configuration, because model construction is deterministic.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FloorplanMismatch`] if the model's block count
+/// differs from the schedule's PE count and propagates thermal solve errors.
+pub fn evaluate_schedule_with_model(
+    schedule: &Schedule,
+    model: &ThermalModel,
+) -> Result<ScheduleEvaluation, CoreError> {
+    if model.block_count() != schedule.pe_count() {
+        return Err(CoreError::FloorplanMismatch {
+            pes: schedule.pe_count(),
+            blocks: model.block_count(),
+        });
+    }
+    let per_pe_power = schedule.sustained_power_per_pe();
     let temperatures = model.steady_state(&per_pe_power)?;
     Ok(ScheduleEvaluation {
         total_average_power: per_pe_power.iter().sum(),

@@ -10,9 +10,10 @@ use tats_techlib::{Architecture, TechLibrary};
 use tats_thermal::{Floorplan, ThermalConfig};
 
 use crate::asp::Asp;
+use crate::cache::ThermalModelCache;
 use crate::error::CoreError;
 use crate::layout;
-use crate::metrics::{evaluate_schedule, ScheduleEvaluation};
+use crate::metrics::{evaluate_schedule, evaluate_schedule_with_model, ScheduleEvaluation};
 use crate::policy::{Policy, ThermalObjective};
 use crate::schedule::Schedule;
 
@@ -143,6 +144,44 @@ impl<'a> PlatformFlow<'a> {
             evaluation,
         })
     }
+
+    /// Like [`PlatformFlow::run`], but sources the thermal model from a
+    /// geometry-keyed cache so repeated runs against the same platform
+    /// floorplan (a batch campaign, a policy sweep) skip the RC assembly and
+    /// factorisation entirely.
+    ///
+    /// The result is identical to [`PlatformFlow::run`]: model construction
+    /// is deterministic, so a cached model answers every query with the same
+    /// bits a freshly built one would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and evaluation errors.
+    pub fn run_with_cache(
+        &self,
+        graph: &TaskGraph,
+        policy: Policy,
+        cache: &mut ThermalModelCache,
+    ) -> Result<PlatformResult, CoreError> {
+        let model = cache.get_or_build(&self.floorplan, self.thermal_config)?;
+        let mut asp = Asp::new(graph, self.library, &self.architecture)?
+            .with_policy(policy)
+            .with_floorplan(self.floorplan.clone())
+            .with_thermal_config(self.thermal_config)
+            .with_thermal_objective(self.thermal_objective)
+            .with_cost_scale(self.cost_scale);
+        if policy.needs_thermal_model() {
+            asp = asp.with_shared_thermal_model(std::sync::Arc::clone(&model));
+        }
+        let schedule = asp.schedule()?;
+        let evaluation = evaluate_schedule_with_model(&schedule, &model)?;
+        Ok(PlatformResult {
+            architecture: self.architecture.clone(),
+            floorplan: self.floorplan.clone(),
+            schedule,
+            evaluation,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +249,25 @@ mod tests {
             .unwrap();
         assert_eq!(result.architecture.pe_count(), 2);
         assert_eq!(result.evaluation.per_pe_power.len(), 2);
+    }
+
+    #[test]
+    fn cached_run_matches_uncached_run_exactly() {
+        let library = profiles::standard_library(10).unwrap();
+        let flow = PlatformFlow::new(&library).unwrap();
+        let graph = Benchmark::Bm1.task_graph().unwrap();
+        let mut cache = ThermalModelCache::new();
+        for policy in [Policy::Baseline, Policy::ThermalAware] {
+            let direct = flow.run(&graph, policy).unwrap();
+            let cached = flow.run_with_cache(&graph, policy, &mut cache).unwrap();
+            assert_eq!(direct.schedule, cached.schedule, "{policy}");
+            assert_eq!(direct.evaluation, cached.evaluation, "{policy}");
+        }
+        // Both cached runs share one geometry: the first lookup builds, the
+        // second hits.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert!(cache.stats().hits >= 1);
     }
 
     #[test]

@@ -118,57 +118,92 @@ impl Schedule {
         self.makespan() <= self.deadline + 1e-9
     }
 
-    /// Assignments executed by a given PE, ordered by start time.
-    pub fn assignments_on(&self, pe: PeId) -> Vec<&Assignment> {
-        let mut list: Vec<&Assignment> = self.assignments.iter().filter(|a| a.pe == pe).collect();
-        list.sort_by(|a, b| a.start.total_cmp(&b.start));
-        list
+    /// Assignments executed by a given PE, in task-id order.
+    ///
+    /// The iterator borrows the schedule and allocates nothing; callers that
+    /// need start-time order (Gantt rendering, overlap checks) should collect
+    /// into a scratch buffer and sort, or use
+    /// [`Schedule::assignments_on_sorted_into`].
+    pub fn assignments_on(&self, pe: PeId) -> impl Iterator<Item = &Assignment> + '_ {
+        self.assignments.iter().filter(move |a| a.pe == pe)
+    }
+
+    /// Fills `out` with the PE's assignments ordered by start time, reusing
+    /// the buffer's capacity.
+    pub fn assignments_on_sorted_into<'s>(&'s self, pe: PeId, out: &mut Vec<&'s Assignment>) {
+        out.clear();
+        out.extend(self.assignments_on(pe));
+        out.sort_by(|a, b| a.start.total_cmp(&b.start));
     }
 
     /// Total busy time of a PE.
     pub fn busy_time(&self, pe: PeId) -> f64 {
-        self.assignments_on(pe).iter().map(|a| a.duration()).sum()
+        self.assignments_on(pe).map(|a| a.duration()).sum()
     }
 
     /// Total energy consumed by tasks on a PE.
     pub fn busy_energy(&self, pe: PeId) -> f64 {
-        self.assignments_on(pe).iter().map(|a| a.energy()).sum()
+        self.assignments_on(pe).map(|a| a.energy()).sum()
     }
 
-    /// Average power of each PE over the makespan — the per-block power
-    /// vector handed to the thermal model when evaluating the schedule.
-    pub fn average_power_per_pe(&self) -> Vec<f64> {
+    /// Fills `out` with the average power of each PE over the makespan — the
+    /// per-block power vector handed to the thermal model when evaluating the
+    /// schedule. Single pass over the assignments, no allocation beyond the
+    /// buffer's capacity.
+    pub fn average_power_per_pe_into(&self, out: &mut Vec<f64>) {
         let horizon = self.makespan().max(1e-9);
-        (0..self.pe_count)
-            .map(|i| self.busy_energy(PeId(i)) / horizon)
-            .collect()
+        out.clear();
+        out.resize(self.pe_count, 0.0);
+        for a in &self.assignments {
+            out[a.pe.index()] += a.energy();
+        }
+        for power in out.iter_mut() {
+            *power /= horizon;
+        }
+    }
+
+    /// Average power of each PE over the makespan (allocating convenience
+    /// wrapper around [`Schedule::average_power_per_pe_into`]).
+    pub fn average_power_per_pe(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.pe_count);
+        self.average_power_per_pe_into(&mut out);
+        out
     }
 
     /// Sum of the per-PE average powers — the "Total Pow." column of the
-    /// paper's tables.
+    /// paper's tables. Computed directly from the assignments; allocates
+    /// nothing.
     pub fn total_average_power(&self) -> f64 {
-        self.average_power_per_pe().iter().sum()
+        let horizon = self.makespan().max(1e-9);
+        self.assignments.iter().map(|a| a.energy()).sum::<f64>() / horizon
     }
 
-    /// Sustained power of each PE: the energy it consumes divided by the time
-    /// it is busy (zero for idle PEs).
+    /// Fills `out` with the sustained power of each PE: the energy it
+    /// consumes divided by the time it is busy (zero for idle PEs).
     ///
     /// This is the thermal load a PE dissipates *while it is running* and is
     /// the per-block power vector used for steady-state temperature
     /// evaluation; unlike the makespan-normalised average it does not reward
     /// schedules merely for taking longer.
+    pub fn sustained_power_per_pe_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.pe_count, 0.0);
+        let mut busy = vec![0.0_f64; self.pe_count];
+        for a in &self.assignments {
+            out[a.pe.index()] += a.energy();
+            busy[a.pe.index()] += a.duration();
+        }
+        for (energy, busy) in out.iter_mut().zip(&busy) {
+            *energy = if *busy > 0.0 { *energy / *busy } else { 0.0 };
+        }
+    }
+
+    /// Sustained power of each PE (allocating convenience wrapper around
+    /// [`Schedule::sustained_power_per_pe_into`]).
     pub fn sustained_power_per_pe(&self) -> Vec<f64> {
-        (0..self.pe_count)
-            .map(|i| {
-                let pe = PeId(i);
-                let busy = self.busy_time(pe);
-                if busy > 0.0 {
-                    self.busy_energy(pe) / busy
-                } else {
-                    0.0
-                }
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.pe_count);
+        self.sustained_power_per_pe_into(&mut out);
+        out
     }
 
     /// Sum of the per-PE sustained powers.
@@ -176,12 +211,11 @@ impl Schedule {
         self.sustained_power_per_pe().iter().sum()
     }
 
-    /// Ids of PEs that execute at least one task.
-    pub fn used_pes(&self) -> Vec<PeId> {
+    /// Ids of PEs that execute at least one task, in id order.
+    pub fn used_pes(&self) -> impl Iterator<Item = PeId> + '_ {
         (0..self.pe_count)
             .map(PeId)
-            .filter(|&pe| self.assignments.iter().any(|a| a.pe == pe))
-            .collect()
+            .filter(move |&pe| self.assignments.iter().any(|a| a.pe == pe))
     }
 
     /// Validates the schedule against its graph, architecture and library.
@@ -254,9 +288,10 @@ impl Schedule {
             }
         }
         // No overlap per PE.
+        let mut on_pe: Vec<&Assignment> = Vec::new();
         for pe in 0..self.pe_count {
             let pe = PeId(pe);
-            let on_pe = self.assignments_on(pe);
+            self.assignments_on_sorted_into(pe, &mut on_pe);
             for pair in on_pe.windows(2) {
                 if pair[0].end > pair[1].start + 1e-9 {
                     return Err(CoreError::OverlappingAssignments(
@@ -333,7 +368,14 @@ mod tests {
         // sustains exactly 2 W.
         assert_eq!(s.sustained_power_per_pe(), vec![2.0, 2.0]);
         assert!((s.total_sustained_power() - 4.0).abs() < 1e-12);
-        assert_eq!(s.used_pes(), vec![PeId(0), PeId(1)]);
+        assert_eq!(s.used_pes().collect::<Vec<_>>(), vec![PeId(0), PeId(1)]);
+        // The _into variants reuse the buffer and agree with the allocating
+        // wrappers.
+        let mut scratch = vec![9.9; 7];
+        s.average_power_per_pe_into(&mut scratch);
+        assert_eq!(scratch, p);
+        s.sustained_power_per_pe_into(&mut scratch);
+        assert_eq!(scratch, vec![2.0, 2.0]);
     }
 
     #[test]
@@ -356,7 +398,7 @@ mod tests {
     }
 
     #[test]
-    fn assignments_on_sorts_by_start() {
+    fn assignments_on_iterates_and_sorted_into_orders_by_start() {
         let s = Schedule::new(
             vec![
                 assignment(0, 0, 20.0, 30.0),
@@ -366,7 +408,12 @@ mod tests {
             2,
             100.0,
         );
-        let on0 = s.assignments_on(PeId(0));
+        // The raw iterator yields task-id order without allocating.
+        let ids: Vec<TaskId> = s.assignments_on(PeId(0)).map(|a| a.task).collect();
+        assert_eq!(ids, vec![TaskId(0), TaskId(1)]);
+        // The sorted variant orders by start time into a reusable buffer.
+        let mut on0 = Vec::new();
+        s.assignments_on_sorted_into(PeId(0), &mut on0);
         assert_eq!(on0[0].task, TaskId(1));
         assert_eq!(on0[1].task, TaskId(0));
         assert!(s.to_string().contains("3 tasks"));

@@ -1,0 +1,482 @@
+//! The campaign executor: a work-stealing worker pool with per-worker
+//! thermal caches and streamed results.
+//!
+//! Scenarios are independent, so the pool is a shared atomic cursor over the
+//! (shard's) scenario list: idle workers grab the next index, heavy
+//! scenarios never block light ones behind a static partition. Every worker
+//! owns its caches — a [`ThermalModelCache`] for block-model factorisations
+//! and a grid-model cache for the fine-grid validation backends — keyed by
+//! floorplan geometry, so thermal sessions and Cholesky factors are *reused
+//! across scenarios* instead of rebuilt per run. Completed records flow
+//! through a channel to the caller's sink as they finish (streaming JSONL),
+//! and per-worker cache counters are merged into the final report.
+//!
+//! Execution order is non-deterministic under threads; the *result set* is
+//! not: every scenario evaluation is deterministic and isolated, so any
+//! thread count, sharding or resume schedule produces the same records
+//! (pinned by the shard-invariance tests).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use tats_core::{
+    CacheStats, CoSynthesis, FifoCache, PlatformFlow, ScheduleEvaluation, ThermalModelCache,
+};
+use tats_thermal::{Floorplan, GridModel, GridSolver};
+use tats_trace::JsonValue;
+
+use crate::error::EngineError;
+use crate::scenario::{policy_slug, Campaign, FlowKind, Scenario};
+
+/// The streamed result of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    /// Scenario id (index in the campaign's stable enumeration).
+    pub id: u64,
+    /// Stable scenario key (`Bm1/platform/thermal/s0`).
+    pub key: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Design flow name.
+    pub flow: String,
+    /// Policy slug.
+    pub policy: String,
+    /// Seed axis value.
+    pub seed: u64,
+    /// Grid-validation backend name, when that axis is set.
+    pub solver: Option<String>,
+    /// "Total Pow." — sum of per-PE sustained powers, watts.
+    pub total_power: f64,
+    /// "Max Temp." — peak steady-state block temperature, °C.
+    pub max_temp_c: f64,
+    /// "Avg Temp." — mean steady-state block temperature, °C.
+    pub avg_temp_c: f64,
+    /// Schedule makespan, schedule time units.
+    pub makespan: f64,
+    /// Whether the schedule met the benchmark deadline.
+    pub meets_deadline: bool,
+    /// Total energy of the schedule (sum of per-assignment energies).
+    pub energy: f64,
+    /// Hottest fine-grid cell, °C — only for grid-validation scenarios.
+    pub grid_max_temp_c: Option<f64>,
+}
+
+impl ScenarioRecord {
+    /// Serialises the record as one JSONL object. Keys come out sorted (the
+    /// writer's object model is a `BTreeMap`), so the literal `"id":` the
+    /// resume scanner looks for appears exactly once, at the top level.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("id".to_string(), JsonValue::from(self.id as usize)),
+            ("key".to_string(), JsonValue::from(self.key.as_str())),
+            (
+                "benchmark".to_string(),
+                JsonValue::from(self.benchmark.as_str()),
+            ),
+            ("flow".to_string(), JsonValue::from(self.flow.as_str())),
+            ("policy".to_string(), JsonValue::from(self.policy.as_str())),
+            ("seed".to_string(), JsonValue::from(self.seed as usize)),
+            ("total_power".to_string(), JsonValue::from(self.total_power)),
+            ("max_temp_c".to_string(), JsonValue::from(self.max_temp_c)),
+            ("avg_temp_c".to_string(), JsonValue::from(self.avg_temp_c)),
+            ("makespan".to_string(), JsonValue::from(self.makespan)),
+            (
+                "meets_deadline".to_string(),
+                JsonValue::from(self.meets_deadline),
+            ),
+            ("energy".to_string(), JsonValue::from(self.energy)),
+        ];
+        if let Some(solver) = &self.solver {
+            pairs.push(("solver".to_string(), JsonValue::from(solver.as_str())));
+        }
+        if let Some(grid_max) = self.grid_max_temp_c {
+            pairs.push(("grid_max_temp_c".to_string(), JsonValue::from(grid_max)));
+        }
+        JsonValue::object(pairs)
+    }
+}
+
+/// Executor-level statistics of one campaign run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchReport {
+    /// Scenarios evaluated in this run (excluding skipped ones).
+    pub completed: usize,
+    /// Scenarios skipped because their id was in the resume set.
+    pub skipped: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall time of the executor, seconds.
+    pub wall_s: f64,
+    /// Merged per-worker cache counters (block models and grid models).
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// Campaign throughput of this run.
+    pub fn scenarios_per_sec(&self) -> f64 {
+        self.completed as f64 / self.wall_s.max(1e-12)
+    }
+}
+
+/// A completed campaign run: the records (sorted by scenario id) plus the
+/// executor report.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// All records of this run, in scenario-id order. (The sink already saw
+    /// them in completion order.)
+    pub records: Vec<ScenarioRecord>,
+    /// Executor statistics.
+    pub report: BatchReport,
+}
+
+/// Per-worker cache bundle: block-model factorisations plus grid models
+/// (whose cached Cholesky factors are the expensive part), both keyed by
+/// the exact-bits `(floorplan, config)` material from
+/// [`tats_core::geometry_config_bits`]. The grid side is a FIFO-bounded
+/// [`FifoCache`] like the thermal side, because co-synthesis campaigns can
+/// produce a distinct floorplan per scenario and a 128×128 factor is
+/// megabytes.
+struct WorkerCaches {
+    thermal: ThermalModelCache,
+    grid: FifoCache<GridKey, GridModel>,
+}
+
+/// Distinct grid models per worker kept alive at once.
+const GRID_CACHE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GridKey {
+    geometry: Vec<u64>,
+    nx: usize,
+    ny: usize,
+    solver: &'static str,
+}
+
+impl GridKey {
+    fn new(
+        floorplan: &Floorplan,
+        config: &tats_thermal::ThermalConfig,
+        nx: usize,
+        ny: usize,
+        solver: GridSolver,
+    ) -> Self {
+        GridKey {
+            geometry: tats_core::geometry_config_bits(floorplan, config),
+            nx,
+            ny,
+            solver: solver.name(),
+        }
+    }
+}
+
+impl WorkerCaches {
+    fn new() -> Self {
+        WorkerCaches {
+            thermal: ThermalModelCache::new(),
+            grid: FifoCache::with_capacity(GRID_CACHE_CAPACITY),
+        }
+    }
+
+    /// The grid model for this geometry/resolution/backend, built on miss
+    /// (evicting the oldest entry when the bound is hit).
+    fn grid_model(
+        &mut self,
+        floorplan: &Floorplan,
+        campaign: &Campaign,
+        solver: GridSolver,
+    ) -> Result<&GridModel, EngineError> {
+        let (nx, ny) = campaign.grid_resolution();
+        let config = campaign.experiment().thermal_config;
+        let key = GridKey::new(floorplan, &config, nx, ny, solver);
+        self.grid.get_or_try_insert_with(key, || {
+            Ok::<_, EngineError>(GridModel::new(floorplan, config, nx, ny)?.with_solver(solver)?)
+        })
+    }
+
+    fn stats(&self) -> CacheStats {
+        let mut merged = self.thermal.stats();
+        merged.merge(self.grid.stats());
+        merged
+    }
+}
+
+/// Evaluates one scenario with this worker's caches.
+fn run_scenario(
+    scenario: &Scenario,
+    campaign: &Campaign,
+    library: &tats_techlib::TechLibrary,
+    caches: &mut WorkerCaches,
+) -> Result<ScenarioRecord, EngineError> {
+    let experiment = campaign.experiment();
+    let graph = scenario.task_graph()?;
+    let (schedule, evaluation, floorplan): (_, ScheduleEvaluation, Floorplan) = match scenario.flow
+    {
+        FlowKind::Platform => {
+            let flow = PlatformFlow::new(library)?.with_thermal_config(experiment.thermal_config);
+            let result = flow.run_with_cache(&graph, scenario.policy, &mut caches.thermal)?;
+            (result.schedule, result.evaluation, result.floorplan)
+        }
+        FlowKind::CoSynthesis => {
+            let flow = CoSynthesis::new(library)
+                .with_max_pes(experiment.max_pes)
+                .with_thermal_config(experiment.thermal_config)
+                .with_floorplan_ga(experiment.floorplan_ga);
+            let result = flow.run_with_cache(&graph, scenario.policy, &mut caches.thermal)?;
+            (result.schedule, result.evaluation, result.floorplan)
+        }
+    };
+
+    let grid_max_temp_c = match scenario.solver {
+        None => None,
+        Some(solver) => {
+            let model = caches.grid_model(&floorplan, campaign, solver)?;
+            Some(model.steady_state(&evaluation.per_pe_power)?.max_c())
+        }
+    };
+
+    let energy: f64 = schedule.assignments().iter().map(|a| a.energy()).sum();
+    Ok(ScenarioRecord {
+        id: scenario.id,
+        key: scenario.key(),
+        benchmark: scenario.benchmark.name().to_string(),
+        flow: scenario.flow.name().to_string(),
+        policy: policy_slug(scenario.policy).to_string(),
+        seed: scenario.seed,
+        solver: scenario.solver.map(|s| s.name().to_string()),
+        total_power: evaluation.total_average_power,
+        max_temp_c: evaluation.max_temperature_c,
+        avg_temp_c: evaluation.avg_temperature_c,
+        makespan: evaluation.makespan,
+        meets_deadline: evaluation.meets_deadline,
+        energy,
+        grid_max_temp_c,
+    })
+}
+
+enum Message {
+    Record(Box<ScenarioRecord>),
+    Failed(Box<EngineError>),
+    WorkerDone(CacheStats),
+}
+
+/// The campaign worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor with the given worker count; `0` selects the
+    /// machine's available parallelism.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        Executor { threads }
+    }
+
+    /// The worker count this executor will spawn.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the given scenarios of a campaign, skipping ids in `skip` (the
+    /// resume set) and handing each completed record to `sink` as it
+    /// finishes. Returns all records sorted by scenario id plus the
+    /// executor report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario or sink failure; either aborts the
+    /// remaining work (in-flight scenarios finish, their sends fail, the
+    /// workers exit). Records already handed to the sink stay on disk and
+    /// remain valid `--resume` input.
+    pub fn run<F>(
+        &self,
+        campaign: &Campaign,
+        scenarios: &[Scenario],
+        skip: &BTreeSet<u64>,
+        mut sink: F,
+    ) -> Result<BatchRun, EngineError>
+    where
+        F: FnMut(&ScenarioRecord) -> Result<(), EngineError>,
+    {
+        let todo: Vec<&Scenario> = scenarios.iter().filter(|s| !skip.contains(&s.id)).collect();
+        let skipped = scenarios.len() - todo.len();
+        let workers = self.threads.min(todo.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<Message>();
+
+        let start = Instant::now();
+        let mut records: Vec<ScenarioRecord> = Vec::with_capacity(todo.len());
+        let mut cache = CacheStats::default();
+        let mut failure: Option<EngineError> = None;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let todo = &todo;
+                scope.spawn(move || {
+                    let library = match campaign.experiment().library() {
+                        Ok(library) => library,
+                        Err(error) => {
+                            let _ = tx.send(Message::Failed(Box::new(EngineError::from(error))));
+                            let _ = tx.send(Message::WorkerDone(CacheStats::default()));
+                            return;
+                        }
+                    };
+                    let mut caches = WorkerCaches::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(scenario) = todo.get(index) else {
+                            break;
+                        };
+                        let message = match run_scenario(scenario, campaign, &library, &mut caches)
+                        {
+                            Ok(record) => Message::Record(Box::new(record)),
+                            Err(error) => {
+                                Message::Failed(Box::new(error.in_scenario(&scenario.key())))
+                            }
+                        };
+                        if tx.send(message).is_err() {
+                            break;
+                        }
+                    }
+                    let _ = tx.send(Message::WorkerDone(caches.stats()));
+                });
+            }
+            // The receiving end runs on the caller's thread so the sink (a
+            // JSONL file, a summary accumulator) needs no synchronisation.
+            drop(tx);
+            for message in rx {
+                match message {
+                    Message::Record(record) => {
+                        if let Err(error) = sink(&record) {
+                            // A dead sink (disk full, closed pipe) aborts:
+                            // dropping the receiver makes every worker's
+                            // next send fail and exit its loop.
+                            failure = Some(error);
+                            break;
+                        }
+                        records.push(*record);
+                    }
+                    Message::Failed(error) => {
+                        // A failed scenario likewise aborts the campaign —
+                        // results already streamed to the sink remain valid
+                        // resume input, so nothing is lost by stopping
+                        // instead of grinding through the rest of the grid.
+                        failure = Some(*error);
+                        break;
+                    }
+                    Message::WorkerDone(stats) => cache.merge(stats),
+                }
+            }
+        });
+
+        if let Some(error) = failure {
+            return Err(error);
+        }
+        records.sort_by_key(|r| r.id);
+        Ok(BatchRun {
+            records,
+            report: BatchReport {
+                completed: todo.len(),
+                skipped,
+                threads: workers,
+                wall_s: start.elapsed().as_secs_f64(),
+                cache,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Shard;
+    use tats_core::Policy;
+    use tats_taskgraph::Benchmark;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign::default()
+            .with_benchmarks(vec![Benchmark::Bm1])
+            .with_policies(vec![Policy::Baseline, Policy::ThermalAware])
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result_set() {
+        let campaign = tiny_campaign();
+        let scenarios = campaign.scenarios();
+        let skip = BTreeSet::new();
+        let serial = Executor::new(1)
+            .run(&campaign, &scenarios, &skip, |_| Ok(()))
+            .unwrap();
+        let threaded = Executor::new(3)
+            .run(&campaign, &scenarios, &skip, |_| Ok(()))
+            .unwrap();
+        assert_eq!(serial.records, threaded.records);
+        assert_eq!(serial.report.completed, 2);
+        assert!(serial.report.scenarios_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn caches_hit_across_scenarios_of_one_geometry() {
+        let campaign = tiny_campaign();
+        let scenarios = campaign.scenarios();
+        let run = Executor::new(1)
+            .run(&campaign, &scenarios, &BTreeSet::new(), |_| Ok(()))
+            .unwrap();
+        // Two platform scenarios share the 2x2 grid: one miss, one-plus hit.
+        assert_eq!(run.report.cache.misses, 1);
+        assert!(run.report.cache.hits >= 1);
+    }
+
+    #[test]
+    fn skip_set_suppresses_completed_scenarios() {
+        let campaign = tiny_campaign();
+        let scenarios = campaign.scenarios();
+        let skip: BTreeSet<u64> = [scenarios[0].id].into_iter().collect();
+        let mut streamed = Vec::new();
+        let run = Executor::new(2)
+            .run(&campaign, &scenarios, &skip, |r| {
+                streamed.push(r.id);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(run.report.skipped, 1);
+        assert_eq!(run.report.completed, 1);
+        assert_eq!(run.records.len(), 1);
+        assert_eq!(streamed, vec![scenarios[1].id]);
+    }
+
+    #[test]
+    fn sink_errors_abort_the_run() {
+        let campaign = tiny_campaign();
+        let scenarios = campaign.scenarios();
+        let result = Executor::new(1).run(&campaign, &scenarios, &BTreeSet::new(), |_| {
+            Err(EngineError::InvalidParameter("sink is full".to_string()))
+        });
+        assert!(matches!(result, Err(EngineError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn records_serialise_with_leading_id() {
+        let campaign = tiny_campaign();
+        let scenarios = campaign.shard_scenarios(Shard::default());
+        let run = Executor::new(1)
+            .run(&campaign, &scenarios, &BTreeSet::new(), |_| Ok(()))
+            .unwrap();
+        let line = run.records[0].to_json().to_json();
+        assert!(line.contains("\"id\":0"));
+        assert!(line.contains("\"max_temp_c\":"));
+        assert!(line.contains("\"policy\":\"baseline\""));
+        assert_eq!(tats_trace::jsonl::line_id(&line), Some(0));
+    }
+}

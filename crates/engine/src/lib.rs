@@ -1,0 +1,68 @@
+//! `tats_engine` — the sharded batch campaign engine.
+//!
+//! The paper's evaluation is a fixed grid of scenarios (benchmark ×
+//! architecture flow × policy × thermal backend × seed). Earlier PRs made a
+//! *single* evaluation fast (cached thermal sessions, sparse grid solvers);
+//! this crate is the layer that keeps thousands of them fed:
+//!
+//! * [`Campaign`] enumerates a scenario space into a **stable, totally
+//!   ordered** list ([`Scenario`]s with ids = enumeration indices), so runs
+//!   are splittable and restartable by construction;
+//! * [`Shard`] partitions that list deterministically (`--shard i/n` keeps
+//!   ids with `id % n == i`) for fan-out across machines;
+//! * [`Executor`] runs scenarios on a work-stealing worker pool where every
+//!   worker owns geometry-keyed caches (block-model factorisations, grid
+//!   models with their Cholesky factors), so thermal state is **reused
+//!   across scenarios** instead of rebuilt per run;
+//! * results stream through the caller's sink as they complete — the CLI
+//!   writes JSON Lines via `tats_trace::jsonl`, which also provides the
+//!   resume scanner (`--resume` skips scenario ids already on disk);
+//! * [`Summary`] aggregates the record set (peak/mean temperature,
+//!   makespan, energy, per-policy deltas vs the baseline);
+//! * [`table1`]/[`table2`]/[`table3`] regenerate the paper's tables as
+//!   campaign summaries, pinned byte-identical to the original in-process
+//!   loops.
+//!
+//! Determinism contract: thread count, sharding and resume schedules change
+//! *when* scenarios run, never *what* they compute. One shard, `k` merged
+//! shards and an interrupted-then-resumed run all yield the same record
+//! set (see `tests/shard_invariance.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use tats_engine::{Campaign, Executor, Summary};
+//! use tats_core::experiment::ExperimentConfig;
+//! use tats_core::Policy;
+//! use tats_taskgraph::Benchmark;
+//!
+//! # fn main() -> Result<(), tats_engine::EngineError> {
+//! let campaign = Campaign::new(ExperimentConfig::fast())
+//!     .with_benchmarks(vec![Benchmark::Bm1])
+//!     .with_policies(vec![Policy::Baseline, Policy::ThermalAware]);
+//! let scenarios = campaign.scenarios();
+//! let mut summary = Summary::new();
+//! let run = Executor::new(2).run(&campaign, &scenarios, &Default::default(), |record| {
+//!     summary.record(record); // a real caller would also stream JSONL here
+//!     Ok(())
+//! })?;
+//! assert_eq!(run.records.len(), 2);
+//! assert_eq!(summary.scenarios, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod executor;
+mod scenario;
+mod summary;
+mod tables;
+
+pub use error::EngineError;
+pub use executor::{BatchReport, BatchRun, Executor, ScenarioRecord};
+pub use scenario::{policy_slug, Campaign, FlowKind, Scenario, Shard};
+pub use summary::{PolicyAggregate, Summary};
+pub use tables::{table1, table2, table3};

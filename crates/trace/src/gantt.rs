@@ -109,15 +109,11 @@ impl GanttChart {
             width = self.width.saturating_sub(2)
         ));
 
+        let mut assignments = Vec::new();
         for pe_index in 0..schedule.pe_count() {
             let pe = PeId(pe_index);
             let mut row = vec![b'.'; self.width];
-            let mut assignments = schedule.assignments_on(pe);
-            assignments.sort_by(|a, b| {
-                a.start
-                    .partial_cmp(&b.start)
-                    .expect("schedule times are finite")
-            });
+            schedule.assignments_on_sorted_into(pe, &mut assignments);
             for assignment in &assignments {
                 let start_cell =
                     ((assignment.start * scale).floor() as usize).min(self.width.saturating_sub(1));

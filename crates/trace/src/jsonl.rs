@@ -1,0 +1,179 @@
+//! Streaming JSON-Lines output for batch campaign results.
+//!
+//! The batch engine completes scenarios out of order and wants each result
+//! on disk the moment it exists (so an interrupted run loses nothing and a
+//! `--resume` can pick up where it stopped). JSON Lines is the natural
+//! format: one self-contained [`JsonValue`] object per line, appendable,
+//! mergeable with `cat`.
+//!
+//! The workspace deliberately carries no JSON *parser*; resuming only needs
+//! the numeric `id` field of each line, so [`completed_ids`] recovers those
+//! with a targeted scan that is exact for lines produced by
+//! [`JsonlWriter`] (keys are emitted sorted and escaped, so the literal
+//! `"id":` substring appears exactly once, at the top level).
+
+use std::collections::BTreeSet;
+use std::io::{self, BufRead, Write};
+
+use crate::json::JsonValue;
+
+/// Writes one JSON value per line, flushing after every record so results
+/// survive an interrupt.
+///
+/// # Examples
+///
+/// ```
+/// use tats_trace::jsonl::JsonlWriter;
+/// use tats_trace::JsonValue;
+///
+/// let mut out = Vec::new();
+/// let mut writer = JsonlWriter::new(&mut out);
+/// writer.write(&JsonValue::object(vec![
+///     ("id".to_string(), JsonValue::from(3usize)),
+/// ])).unwrap();
+/// assert_eq!(String::from_utf8(out).unwrap(), "{\"id\":3}\n");
+/// ```
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    inner: W,
+    records: usize,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps a writer (a file opened in append mode, a `Vec<u8>`, ...).
+    pub fn new(inner: W) -> Self {
+        JsonlWriter { inner, records: 0 }
+    }
+
+    /// Serialises `value` as one line and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write(&mut self, value: &JsonValue) -> io::Result<()> {
+        let mut line = value.to_json();
+        line.push('\n');
+        self.inner.write_all(line.as_bytes())?;
+        self.inner.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// Extracts the top-level numeric `"id"` field of a JSONL line written by
+/// [`JsonlWriter`]. Returns `None` for lines without one (or with a
+/// non-numeric id).
+pub fn line_id(line: &str) -> Option<u64> {
+    let start = line.find("\"id\":")? + "\"id\":".len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    if digits.is_empty() {
+        None
+    } else {
+        digits.parse().ok()
+    }
+}
+
+/// Extracts a top-level string field of a JSONL line written by
+/// [`JsonlWriter`]. Returns the raw bytes between the quotes, so it is only
+/// exact for values that serialise without escapes — which scenario keys
+/// (`Bm1/platform/thermal/s0`) satisfy by construction.
+pub fn line_str_field<'l>(line: &'l str, field: &str) -> Option<&'l str> {
+    let marker = format!("\"{field}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Scans an existing JSONL stream and collects the scenario ids already
+/// present — the resume set of a batch campaign. Blank lines and lines
+/// without an id are skipped (a line truncated by a crash simply doesn't
+/// count as done).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader.
+pub fn completed_ids(reader: impl BufRead) -> io::Result<BTreeSet<u64>> {
+    let mut ids = BTreeSet::new();
+    for line in reader.lines() {
+        let line = line?;
+        if let Some(id) = line_id(&line) {
+            ids.insert(id);
+        }
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: usize, temp: f64) -> JsonValue {
+        JsonValue::object(vec![
+            ("id".to_string(), JsonValue::from(id)),
+            ("max_temp_c".to_string(), JsonValue::from(temp)),
+        ])
+    }
+
+    #[test]
+    fn writer_emits_one_line_per_record() {
+        let mut writer = JsonlWriter::new(Vec::new());
+        writer.write(&record(0, 81.5)).unwrap();
+        writer.write(&record(7, 79.25)).unwrap();
+        assert_eq!(writer.records(), 2);
+        let text = String::from_utf8(writer.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn completed_ids_round_trips_written_records() {
+        let mut writer = JsonlWriter::new(Vec::new());
+        for id in [4usize, 0, 9] {
+            writer.write(&record(id, 50.0)).unwrap();
+        }
+        let bytes = writer.into_inner();
+        let ids = completed_ids(bytes.as_slice()).unwrap();
+        assert_eq!(ids.into_iter().collect::<Vec<_>>(), vec![0, 4, 9]);
+    }
+
+    #[test]
+    fn malformed_and_blank_lines_are_skipped() {
+        let text = "\n{\"id\":3}\n{\"other\":1}\ngarbage\n{\"id\":no}\n{\"id\":12";
+        let ids = completed_ids(text.as_bytes()).unwrap();
+        // A truncated final line whose id survived still counts as done; a
+        // line cut before the id is simply skipped and its scenario re-runs.
+        // Either way the resume set stays sound.
+        assert_eq!(ids.into_iter().collect::<Vec<_>>(), vec![3, 12]);
+    }
+
+    #[test]
+    fn line_id_parses_only_leading_digits() {
+        assert_eq!(line_id("{\"id\":42,\"x\":1}"), Some(42));
+        assert_eq!(line_id("{\"x\":1}"), None);
+        assert_eq!(line_id(""), None);
+    }
+
+    #[test]
+    fn line_str_field_extracts_plain_string_values() {
+        let line = "{\"id\":3,\"key\":\"Bm1/platform/thermal/s0\",\"flow\":\"platform\"}";
+        assert_eq!(line_str_field(line, "key"), Some("Bm1/platform/thermal/s0"));
+        assert_eq!(line_str_field(line, "flow"), Some("platform"));
+        assert_eq!(line_str_field(line, "missing"), None);
+        assert_eq!(line_str_field("{\"key\":3}", "key"), None);
+    }
+}

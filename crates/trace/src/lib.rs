@@ -8,6 +8,8 @@
 //! * [`csv`] — CSV export of schedules, evaluations and thermal traces;
 //! * [`json`] — a minimal JSON writer plus exports of schedules and the
 //!   paper's comparison tables;
+//! * [`jsonl`] — streaming JSON-Lines output (one record per line, flushed
+//!   eagerly) used by the batch campaign engine, plus the resume-id scanner;
 //! * [`markdown`] — markdown rendering of the reproduced Tables 1–3.
 //!
 //! # Examples
@@ -37,6 +39,7 @@ pub mod csv;
 mod error;
 mod gantt;
 pub mod json;
+pub mod jsonl;
 pub mod markdown;
 
 pub use error::TraceError;

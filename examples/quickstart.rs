@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let thermal = flow.run(&graph, Policy::ThermalAware)?;
     println!("\nthermal-aware schedule: {}", thermal.schedule);
     for pe in thermal.architecture.pe_ids() {
-        let tasks = thermal.schedule.assignments_on(pe).len();
+        let tasks = thermal.schedule.assignments_on(pe).count();
         let busy = thermal.schedule.busy_time(pe);
         println!(
             "  {pe}: {tasks:>2} tasks, busy {busy:>6.1} time units, {:.2} W sustained, {:.2} C",

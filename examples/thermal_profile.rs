@@ -100,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nhottest PE is {} with {} assignments and {:.1} busy time units",
         floorplan.block(hottest)?.name(),
-        schedule.assignments_on(PeId(hottest)).len(),
+        schedule.assignments_on(PeId(hottest)).count(),
         schedule.busy_time(PeId(hottest))
     );
     Ok(())

@@ -2,9 +2,11 @@
 //!
 //! See the individual crates for details:
 //! [`tats_core`], [`tats_taskgraph`], [`tats_techlib`], [`tats_thermal`],
-//! [`tats_floorplan`], [`tats_power`], [`tats_reliability`], [`tats_trace`].
+//! [`tats_floorplan`], [`tats_power`], [`tats_reliability`], [`tats_trace`],
+//! [`tats_engine`].
 
 pub use tats_core as core;
+pub use tats_engine as engine;
 pub use tats_floorplan as floorplan;
 pub use tats_power as power;
 pub use tats_reliability as reliability;

@@ -15,8 +15,9 @@
 //!   in total power (it has more, faster PEs), mirroring the relationship
 //!   between the co-synthesis and platform columns of Table 1.
 
-use tats_core::experiment::{table1, table2, table3, ExperimentConfig, Table1};
+use tats_core::experiment::{ExperimentConfig, Table1};
 use tats_core::{Policy, PowerHeuristic};
+use tats_engine::{table1, table2, table3};
 
 fn config() -> ExperimentConfig {
     ExperimentConfig::fast()
