@@ -20,7 +20,10 @@
 //! `BENCH_batch.json`: campaign throughput (scenarios/sec) of the
 //! `tats_engine` executor at 1/2/4/8 worker threads over a 120-scenario
 //! two-flow campaign, with per-worker cache hit rates and a determinism
-//! cross-check between thread counts.
+//! cross-check between thread counts. The `service` section writes
+//! `BENCH_service.json`: the same campaign as an end-to-end `tats_service`
+//! job (1 server + 1/2/4 local pull workers over loopback HTTP) vs the
+//! in-process executor, with a byte-identical record-set cross-check.
 
 use std::env;
 use std::process::ExitCode;
@@ -449,8 +452,162 @@ fn bench_batch() -> Result<String, Box<dyn std::error::Error>> {
     Ok(json)
 }
 
+/// Runs the campaign-service end-to-end baseline and returns the JSON
+/// report: the 120-scenario campaign of `bench_batch`, executed as a
+/// service job (1 server + 1/2/4 local pull workers over loopback HTTP,
+/// each an embedded single-threaded `Executor`) against the in-process
+/// executor as the reference. Every distributed run's record set is
+/// verified byte-identical to the in-process run — the merged-shards ≡
+/// single-run invariant extended across process boundaries — and
+/// `available_parallelism` is recorded, since on a single-core container
+/// worker scaling (like thread scaling) is necessarily flat.
+fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
+    use tats_engine::CampaignSpec;
+    use tats_service::{client, run_worker, Service, ServiceConfig, WorkerConfig};
+    use tats_trace::{jsonl, JsonValue};
+
+    let campaign = Campaign::new(ExperimentConfig::fast())
+        .with_flows(vec![FlowKind::Platform, FlowKind::CoSynthesis])
+        .with_seeds(vec![0, 1, 2]);
+    let spec = CampaignSpec::from_campaign(&campaign)?;
+    let scenarios = campaign.scenarios();
+    const SHARDS: usize = 8;
+
+    // In-process reference: the same campaign through one executor (one
+    // thread per worker-count being compared is the honest baseline; use 1
+    // so "1 worker vs in-process" isolates pure service overhead).
+    let start = Instant::now();
+    let reference = Executor::new(1).run(&campaign, &scenarios, &Default::default(), |_| Ok(()))?;
+    let in_process_wall = start.elapsed().as_secs_f64();
+    let in_process_rate = scenarios.len() as f64 / in_process_wall.max(1e-12);
+    let mut reference_lines: Vec<String> = reference
+        .records
+        .iter()
+        .map(|record| record.to_json().to_json())
+        .collect();
+    reference_lines.sort_by_key(|line| jsonl::line_id(line));
+
+    let server =
+        Service::bind("127.0.0.1:0", ServiceConfig::default()).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr_string();
+
+    let mut sections = Vec::new();
+    let mut speedup_4 = f64::NAN;
+    let mut single_rate = f64::NAN;
+    for workers in [1usize, 2, 4] {
+        // Submit first, then start the workers: no lease/drain race.
+        let response = client::post_json(
+            &addr,
+            "/jobs",
+            &JsonValue::object(vec![
+                ("spec".to_string(), spec.to_json()),
+                ("shards".to_string(), JsonValue::from(SHARDS)),
+            ]),
+        )
+        .map_err(|e| format!("submit: {e}"))?;
+        let job = response
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .ok_or("no job id")?
+            .to_string();
+
+        let start = Instant::now();
+        std::thread::scope(|scope| -> Result<(), String> {
+            let handles: Vec<_> = (0..workers)
+                .map(|index| {
+                    let addr = addr.clone();
+                    let name = format!("bench-{workers}w-{index}");
+                    scope.spawn(move || {
+                        run_worker(
+                            &addr,
+                            &WorkerConfig {
+                                name,
+                                threads: 1,
+                                poll_ms: 5,
+                                exit_when_drained: true,
+                                fail_after_records: None,
+                            },
+                        )
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle
+                    .join()
+                    .map_err(|_| "worker panicked".to_string())?
+                    .map_err(|e| format!("worker: {e}"))?;
+            }
+            Ok(())
+        })?;
+        let wall = start.elapsed().as_secs_f64();
+        let rate = scenarios.len() as f64 / wall.max(1e-12);
+        if workers == 1 {
+            single_rate = rate;
+        }
+        if workers == 4 {
+            speedup_4 = rate / single_rate;
+        }
+
+        // Distributed-equivalence check: the fetched record set must be
+        // byte-identical to the in-process run.
+        let records = client::get(&addr, &format!("/jobs/{job}/records"))
+            .map_err(|e| format!("records: {e}"))?;
+        let mut lines: Vec<String> = records.body.lines().map(str::to_string).collect();
+        lines.sort_by_key(|line| jsonl::line_id(line));
+        if lines != reference_lines {
+            return Err(
+                format!("{workers}-worker service run diverged from the in-process run").into(),
+            );
+        }
+
+        sections.push(format!(
+            "    \"workers_{workers}\": {{ \"scenarios\": {}, \"wall_s\": {:.6}, \
+             \"scenarios_per_sec\": {:.2}, \"speedup_vs_in_process\": {:.2}, \
+             \"speedup_vs_1_worker\": {:.2} }}",
+            scenarios.len(),
+            wall,
+            rate,
+            rate / in_process_rate,
+            rate / single_rate,
+        ));
+    }
+    server.stop();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"campaign_service_end_to_end\",\n",
+            "  \"scenarios\": {},\n",
+            "  \"shards\": {},\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"deterministic_vs_in_process\": true,\n",
+            "  \"in_process\": {{ \"wall_s\": {:.6}, \"scenarios_per_sec\": {:.2} }},\n",
+            "  \"runs\": {{\n{}\n  }},\n",
+            "  \"speedup_4_workers_vs_1\": {:.2}\n",
+            "}}\n"
+        ),
+        scenarios.len(),
+        SHARDS,
+        cores,
+        in_process_wall,
+        in_process_rate,
+        sections.join(",\n"),
+        speedup_4,
+    );
+    Ok(json)
+}
+
 /// The sections this binary can reproduce, in run order.
-const SECTIONS: [&str; 6] = ["table1", "table2", "table3", "floorplan", "grid", "batch"];
+const SECTIONS: [&str; 7] = [
+    "table1",
+    "table2",
+    "table3",
+    "floorplan",
+    "grid",
+    "batch",
+    "service",
+];
 
 fn main() -> ExitCode {
     let selection: Vec<String> = env::args().skip(1).collect();
@@ -536,6 +693,22 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("batch bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if wants("service") {
+        match bench_service() {
+            Ok(json) => {
+                print!("{json}");
+                if let Err(e) = std::fs::write("BENCH_service.json", &json) {
+                    eprintln!("could not write BENCH_service.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("(wrote BENCH_service.json)");
+            }
+            Err(e) => {
+                eprintln!("service bench failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -66,6 +66,23 @@ COMMANDS:
                    --out results.jsonl                stream results to a JSONL file
                    --resume                           skip scenario ids already in --out
                    --full                             full-effort co-synthesis config
+                   --dry-run                          print the scenario list and shard
+                                                      assignment without running anything
+    serve        Run the campaign service HTTP server (blocks until killed)
+                   --host 127.0.0.1 --port 7070       bind address (0 = ephemeral port)
+                   --lease-ttl-ms 15000               shard lease TTL for dead-worker retry
+    worker       Lease and run campaign shards from a tats serve instance
+                   --connect HOST:PORT                server address (required)
+                   --threads 0 --poll-ms 200          executor threads, idle poll interval
+                   --name w1                          lease-ownership name (default: worker-PID)
+                   --exit-when-drained                exit once the server has no work left
+    submit       Submit a campaign to a tats serve instance
+                   --connect HOST:PORT                server address (required)
+                   (campaign axes as for batch: --benchmarks --flows --policies
+                    --seeds --grid-solver --nx --ny --full)
+                   --shards 4                         split the job into n shards
+                   --wait                             stream records + summary until done
+                   --out results.jsonl --poll-ms 200  write fetched records to a file
     export       Export a benchmark task graph
                    --benchmark Bm1..Bm4 --format tgff|dot
     help         Show this message
@@ -399,15 +416,10 @@ fn parse_flows(text: &str) -> Result<Vec<FlowKind>, CliError> {
         .collect()
 }
 
-/// `tats batch` — run a scenario campaign through the sharded batch engine.
-///
-/// Results stream to `--out` as JSON Lines the moment each scenario
-/// completes (or into the returned output without `--out`); the command then
-/// prints the campaign summary, throughput and cache statistics. `--shard
-/// i/n` runs the deterministic `i`-of-`n` slice of the scenario list, and
-/// `--resume` skips scenario ids already present in `--out`, so campaigns
-/// are splittable across machines and restartable after an interrupt.
-pub fn batch(options: &Options) -> Result<String, CliError> {
+/// Builds the campaign the batch-style axis options describe (shared by
+/// `tats batch` and `tats submit`, so a submitted job means exactly what the
+/// same flags mean locally).
+fn campaign_from_options(options: &Options) -> Result<Campaign, CliError> {
     let config = if options.switch("full") {
         ExperimentConfig::default()
     } else {
@@ -423,9 +435,6 @@ pub fn batch(options: &Options) -> Result<String, CliError> {
     };
     let nx = options.number("nx", 16.0)? as usize;
     let ny = options.number("ny", 16.0)? as usize;
-    let shard = Shard::parse(options.value_or("shard", "0/1")).map_err(execution_error)?;
-    let threads = options.number("threads", 0.0)? as usize;
-
     let campaign = Campaign::new(config)
         .with_benchmarks(benchmarks)
         .with_flows(flows)
@@ -438,6 +447,70 @@ pub fn batch(options: &Options) -> Result<String, CliError> {
             "the campaign has no scenarios (an axis is empty)".to_string(),
         ));
     }
+    Ok(campaign)
+}
+
+/// `tats batch --dry-run` — the enumerated scenario list and shard
+/// assignment, without running anything. Operators planning a distributed
+/// campaign read this to see what each `--shard i/n` slice (or each of `n`
+/// service shards) will contain.
+fn batch_dry_run(campaign: &Campaign, shard: Shard) -> String {
+    let scenarios = campaign.scenarios();
+    let selected = campaign.shard_scenarios(shard).len();
+    let mut out = format!(
+        "batch campaign dry run: {} scenario(s) total; shard {shard} would run {selected}\n\n",
+        scenarios.len(),
+    );
+    let rows: Vec<Vec<String>> = scenarios
+        .iter()
+        .map(|scenario| {
+            vec![
+                scenario.id.to_string(),
+                scenario.benchmark.name().to_string(),
+                scenario.flow.name().to_string(),
+                tats_engine::policy_slug(scenario.policy).to_string(),
+                scenario
+                    .solver
+                    .map_or("-".to_string(), |solver| solver.name().to_string()),
+                scenario.seed.to_string(),
+                format!("{}/{}", scenario.id % shard.count as u64, shard.count),
+                if shard.owns(scenario.id) { "*" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown::markdown_table(
+        &[
+            "id",
+            "benchmark",
+            "flow",
+            "policy",
+            "solver",
+            "seed",
+            "shard",
+            "selected",
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// `tats batch` — run a scenario campaign through the sharded batch engine.
+///
+/// Results stream to `--out` as JSON Lines the moment each scenario
+/// completes (or into the returned output without `--out`); the command then
+/// prints the campaign summary, throughput and cache statistics. `--shard
+/// i/n` runs the deterministic `i`-of-`n` slice of the scenario list, and
+/// `--resume` skips scenario ids already present in `--out`, so campaigns
+/// are splittable across machines and restartable after an interrupt.
+/// `--dry-run` prints the scenario list and shard assignment instead of
+/// running.
+pub fn batch(options: &Options) -> Result<String, CliError> {
+    let shard = Shard::parse(options.value_or("shard", "0/1")).map_err(execution_error)?;
+    let threads = options.number("threads", 0.0)? as usize;
+    let campaign = campaign_from_options(options)?;
+    if options.switch("dry-run") {
+        return Ok(batch_dry_run(&campaign, shard));
+    }
     let scenarios = campaign.shard_scenarios(shard);
 
     // Resume: collect the scenario ids already present in the output file.
@@ -447,6 +520,7 @@ pub fn batch(options: &Options) -> Result<String, CliError> {
     // ids would silently drop scenarios and mix mislabeled records.
     let out_path = options.value("out");
     let mut skip = std::collections::BTreeSet::new();
+    let mut resumed_note = String::new();
     if options.switch("resume") {
         let Some(path) = out_path else {
             return Err(CliError::Execution(
@@ -461,8 +535,11 @@ pub fn batch(options: &Options) -> Result<String, CliError> {
                     .map(|s| (s.id, s.key()))
                     .collect();
                 for line in existing.lines().filter(|l| !l.trim().is_empty()) {
+                    if !tats_trace::jsonl::is_complete_record(line) {
+                        continue; // truncated record: scenario simply re-runs
+                    }
                     let Some(id) = tats_trace::jsonl::line_id(line) else {
-                        continue; // truncated line: scenario simply re-runs
+                        continue; // no id survived: likewise re-runs
                     };
                     let key = tats_trace::jsonl::line_str_field(line, "key");
                     match (expected.get(&id), key) {
@@ -485,6 +562,19 @@ pub fn batch(options: &Options) -> Result<String, CliError> {
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(execution_error(e)),
+        }
+        // Only after the file is validated as *this campaign's* output:
+        // a worker killed mid-write leaves a partial trailing line — drop
+        // it (the scenario re-runs) so the append below starts on a fresh
+        // line instead of concatenating onto the partial record. Mutating
+        // before validating would shrink a mismatched file and then error.
+        let dropped = tats_trace::jsonl::truncate_partial_tail(std::path::Path::new(path))
+            .map_err(execution_error)?;
+        if dropped > 0 {
+            resumed_note = format!(
+                "dropped a partial trailing record ({dropped} byte(s)) from {path}; \
+                 its scenario will re-run\n"
+            );
         }
     } else if let Some(path) = out_path {
         // Without --resume an existing non-empty output would be appended
@@ -538,6 +628,7 @@ pub fn batch(options: &Options) -> Result<String, CliError> {
         campaign.len(),
         run.report.threads,
     );
+    out.push_str(&resumed_note);
     if run.report.skipped > 0 {
         out.push_str(&format!(
             "resumed: {} scenario(s) already in {}, skipped\n",
@@ -562,6 +653,191 @@ pub fn batch(options: &Options) -> Result<String, CliError> {
             "wrote {} record(s) to {path}\n",
             run.report.completed
         ));
+    }
+    Ok(out)
+}
+
+/// `tats serve` — run the campaign service HTTP server.
+///
+/// Prints the bound address (pass `--port 0` for an ephemeral port) and
+/// blocks until the process is killed. Workers connect with `tats worker
+/// --connect`, campaigns arrive via `tats submit` (or plain `curl`; see the
+/// endpoint table in the `tats_service` docs).
+pub fn serve(options: &Options) -> Result<String, CliError> {
+    let host = options.value_or("host", "127.0.0.1");
+    let port = options.number("port", 7070.0)? as u16;
+    let lease_ttl_ms = options.number("lease-ttl-ms", 15_000.0)? as u64;
+    let handle = tats_service::Service::bind(
+        &format!("{host}:{port}"),
+        tats_service::ServiceConfig { lease_ttl_ms },
+    )
+    .map_err(execution_error)?;
+    // The binary prints the command's return value only when it *returns*;
+    // serve never does, so announce the address (CI and operators parse it)
+    // directly and keep serving until the process dies.
+    println!("tats_service listening on {}", handle.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `tats worker` — lease and run campaign shards from a `tats serve`
+/// instance until killed (or, with `--exit-when-drained`, until the server
+/// has no unfinished jobs).
+pub fn worker(options: &Options) -> Result<String, CliError> {
+    let addr = options
+        .value("connect")
+        .ok_or_else(|| CliError::Execution("worker requires --connect host:port".to_string()))?;
+    let config = tats_service::WorkerConfig {
+        name: options
+            .value_or("name", &tats_service::WorkerConfig::default().name)
+            .to_string(),
+        threads: options.number("threads", 0.0)? as usize,
+        poll_ms: options.number("poll-ms", 200.0)? as u64,
+        exit_when_drained: options.switch("exit-when-drained"),
+        fail_after_records: None,
+    };
+    let report = tats_service::run_worker(addr, &config).map_err(execution_error)?;
+    Ok(format!(
+        "worker {}: completed {} shard(s), streamed {} record(s), {} idle poll(s)\n",
+        config.name, report.shards_completed, report.records_posted, report.idle_polls,
+    ))
+}
+
+/// `tats submit` — submit a campaign (same axis options as `tats batch`) to
+/// a `tats serve` instance as a job of `--shards` deterministic shards.
+/// With `--wait`, polls the job, streams its records (to `--out` or into
+/// the output) as they arrive, and prints the same campaign summary `tats
+/// batch` prints — distributed and in-process runs are interchangeable at
+/// the command line.
+pub fn submit(options: &Options) -> Result<String, CliError> {
+    use tats_service::client;
+    use tats_trace::JsonValue;
+
+    let addr = options
+        .value("connect")
+        .ok_or_else(|| CliError::Execution("submit requires --connect host:port".to_string()))?;
+    let shards = options.number("shards", 4.0)? as usize;
+    let poll_ms = options.number("poll-ms", 200.0)? as u64;
+    let campaign = campaign_from_options(options)?;
+    let spec = tats_engine::CampaignSpec::from_campaign(&campaign).map_err(execution_error)?;
+
+    let out_path = options.value("out");
+    if let Some(path) = out_path {
+        if std::fs::metadata(path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+        {
+            return Err(CliError::Execution(format!(
+                "output file '{path}' already exists and is not empty; remove it first"
+            )));
+        }
+    }
+
+    let response = client::post_json(
+        addr,
+        "/jobs",
+        &JsonValue::object(vec![
+            ("spec".to_string(), spec.to_json()),
+            ("shards".to_string(), JsonValue::from(shards)),
+        ]),
+    )
+    .map_err(execution_error)?;
+    let job = response
+        .get("job")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| CliError::Execution("server response carries no job id".to_string()))?
+        .to_string();
+    let shard_count = response
+        .get("shards")
+        .and_then(|s| s.get("count"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(shards as u64);
+    // Cross-check the fingerprint: server and submitter must agree on what
+    // every scenario id means before anyone trusts the record stream.
+    let fingerprint = response
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_default();
+    if fingerprint != spec.fingerprint() {
+        return Err(CliError::Execution(format!(
+            "campaign fingerprint mismatch: server derived {fingerprint}, \
+             this build derives {} — refusing to trust the job",
+            spec.fingerprint()
+        )));
+    }
+
+    let mut out = format!(
+        "submitted job {job}: {} scenario(s) in {} shard(s) on {addr} (fingerprint {fingerprint})\n",
+        campaign.len(),
+        shard_count,
+    );
+    if !options.switch("wait") {
+        out.push_str(&format!(
+            "poll with: curl http://{addr}/jobs/{job}  (records: /jobs/{job}/records)\n"
+        ));
+        return Ok(out);
+    }
+
+    // Wait: page records as they arrive, aggregate the same summary `tats
+    // batch` prints, and stop once the job reports done and the stream is
+    // fully fetched.
+    let mut writer: Option<tats_trace::jsonl::JsonlWriter<std::fs::File>> = match out_path {
+        Some(path) => {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(execution_error)?;
+            Some(tats_trace::jsonl::JsonlWriter::new(file))
+        }
+        None => None,
+    };
+    let mut summary = Summary::new();
+    let mut inline_lines = String::new();
+    let mut from = 0usize;
+    let mut fetched = 0usize;
+    loop {
+        let status = client::get(addr, &format!("/jobs/{job}")).map_err(execution_error)?;
+        let done = JsonValue::parse(&status.body)
+            .map_err(|e| CliError::Execution(format!("job status from server: {e}")))?
+            .field_str("state")
+            .map_err(|m| CliError::Execution(format!("job status from server: {m}")))?
+            == "done";
+        let page = client::get(addr, &format!("/jobs/{job}/records?from={from}"))
+            .map_err(execution_error)?;
+        for line in page.body.lines() {
+            let value = JsonValue::parse(line)
+                .map_err(|e| CliError::Execution(format!("record from server: {e}")))?;
+            let record = tats_engine::ScenarioRecord::from_json(&value).map_err(execution_error)?;
+            summary.record(&record);
+            match &mut writer {
+                Some(writer) => writer.write(&value).map_err(execution_error)?,
+                None => {
+                    inline_lines.push_str(line);
+                    inline_lines.push('\n');
+                }
+            }
+            fetched += 1;
+        }
+        from = page
+            .header("x-next-from")
+            .and_then(|value| value.parse().ok())
+            .unwrap_or(from + page.body.lines().count());
+        if done {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(1)));
+    }
+
+    out.push_str(&inline_lines);
+    out.push('\n');
+    out.push_str(&summary.to_string());
+    match out_path {
+        Some(path) => out.push_str(&format!("fetched {fetched} record(s) to {path}\n")),
+        None => out.push_str(&format!("fetched {fetched} record(s)\n")),
     }
     Ok(out)
 }
@@ -601,11 +877,25 @@ mod tests {
             "dvs",
             "grid",
             "batch",
+            "serve",
+            "worker",
+            "submit",
             "export",
         ] {
             assert!(text.contains(command), "help must mention {command}");
         }
-        for option in ["--shard", "--resume", "--threads", "--out"] {
+        for option in [
+            "--shard",
+            "--resume",
+            "--threads",
+            "--out",
+            "--dry-run",
+            "--connect",
+            "--shards",
+            "--wait",
+            "--lease-ttl-ms",
+            "--exit-when-drained",
+        ] {
             assert!(text.contains(option), "help must document {option}");
         }
     }
@@ -872,6 +1162,192 @@ mod tests {
             "{other}"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    const BATCH_SWITCHES: &[&str] = &["resume", "full", "dry-run"];
+
+    #[test]
+    fn batch_dry_run_lists_scenarios_and_shard_assignment() {
+        let options = opts(
+            &[
+                "--benchmarks",
+                "Bm1,Bm2",
+                "--policies",
+                "baseline,thermal",
+                "--seeds",
+                "0,1",
+                "--shard",
+                "1/2",
+                "--dry-run",
+            ],
+            BATCH_VALUES,
+            BATCH_SWITCHES,
+        );
+        let start = std::time::Instant::now();
+        let out = batch(&options).expect("dry run");
+        // 2 benchmarks x 2 policies x 2 seeds = 8 scenarios enumerated...
+        assert!(out.contains("8 scenario(s) total"), "{out}");
+        // ...of which shard 1/2 owns the odd ids.
+        assert!(out.contains("shard 1/2 would run 4"), "{out}");
+        let selected = out
+            .lines()
+            .filter(|line| line.starts_with('|') && line.trim_end().ends_with("| * |"))
+            .count();
+        assert_eq!(selected, 4, "{out}");
+        // Every scenario row is printed with its owning shard.
+        assert_eq!(
+            out.matches("| Bm1").count() + out.matches("| Bm2").count(),
+            8,
+            "{out}"
+        );
+        assert!(out.contains("| baseline"), "{out}");
+        assert!(out.contains("| 1/2"), "{out}");
+        assert!(out.contains("| 0/2"), "{out}");
+        // Nothing ran: a dry run of 8 scheduling scenarios would take
+        // ~seconds; enumeration is instant.
+        assert!(
+            start.elapsed().as_secs_f64() < 1.0,
+            "dry run must not execute"
+        );
+        // No solver axis: the column shows '-'.
+        assert!(out.contains("| - "), "{out}");
+    }
+
+    #[test]
+    fn batch_resume_tolerates_a_truncated_final_record() {
+        let path = std::env::temp_dir().join("tats_cli_batch_truncated_tail_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let path_s = path.to_str().expect("utf8 temp path");
+        let run = |extra: &[&str]| {
+            let mut args = vec![
+                "--benchmarks",
+                "Bm1",
+                "--policies",
+                "baseline,thermal",
+                "--threads",
+                "1",
+                "--out",
+                path_s,
+            ];
+            args.extend_from_slice(extra);
+            batch(&opts(&args, BATCH_VALUES, BATCH_SWITCHES))
+        };
+        // Shard 0/2 writes scenario id 0 completely.
+        run(&["--shard", "0/2"]).expect("first run");
+        // Simulate a worker killed mid-write of scenario id 1: append a
+        // partial record with no trailing newline.
+        {
+            use std::io::Write;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("append");
+            write!(file, "{{\"id\":1,\"key\":\"Bm1/platform/therm").expect("partial write");
+        }
+        // Resume must NOT error (the old scanner did), must drop the partial
+        // tail, and must re-run exactly the truncated scenario.
+        let out = run(&["--resume"]).expect("resume over truncated tail");
+        assert!(out.contains("dropped a partial trailing record"), "{out}");
+        assert!(out.contains("resumed: 1 scenario(s)"), "{out}");
+        // The repaired file is clean JSONL with both scenarios exactly once.
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 2, "{text}");
+        assert!(
+            text.lines().all(tats_trace::jsonl::is_complete_record),
+            "{text}"
+        );
+        let ids = tats_trace::jsonl::completed_ids(text.as_bytes()).expect("scan");
+        assert_eq!(ids.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// End-to-end through the *commands*: serve (library bind), a detached
+    /// worker loop, `submit --wait` — and the fetched record set equals the
+    /// in-process `batch` run of the same axes.
+    #[test]
+    fn submit_round_trips_against_a_live_service() {
+        let server =
+            tats_service::Service::bind("127.0.0.1:0", tats_service::ServiceConfig::default())
+                .expect("bind");
+        let addr = server.addr_string();
+        // A worker without exit_when_drained polls until the server stops —
+        // no startup race with the submission. Detached on purpose; it ends
+        // when the server does.
+        {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let _ = tats_service::run_worker(
+                    &addr,
+                    &tats_service::WorkerConfig {
+                        name: "cli-test-worker".to_string(),
+                        poll_ms: 10,
+                        ..tats_service::WorkerConfig::default()
+                    },
+                );
+            });
+        }
+        let axes: &[&str] = &["--benchmarks", "Bm1", "--policies", "baseline,thermal"];
+
+        let mut submit_args = vec![
+            "--connect",
+            &addr,
+            "--shards",
+            "2",
+            "--wait",
+            "--poll-ms",
+            "20",
+        ];
+        submit_args.extend_from_slice(axes);
+        let submit_out = submit(&opts(
+            &submit_args,
+            &[
+                "connect",
+                "benchmarks",
+                "flows",
+                "policies",
+                "seeds",
+                "grid-solver",
+                "nx",
+                "ny",
+                "shards",
+                "poll-ms",
+                "out",
+            ],
+            &["full", "wait"],
+        ))
+        .expect("submit --wait");
+        assert!(submit_out.contains("submitted job j"), "{submit_out}");
+        assert!(
+            submit_out.contains("campaign summary: 2 scenarios"),
+            "{submit_out}"
+        );
+        assert!(submit_out.contains("fetched 2 record(s)"), "{submit_out}");
+
+        let mut batch_args = vec!["--threads", "1"];
+        batch_args.extend_from_slice(axes);
+        let batch_out = batch(&opts(&batch_args, BATCH_VALUES, BATCH_SWITCHES)).expect("batch");
+
+        // The JSONL lines are byte-identical between the distributed and
+        // in-process runs.
+        let pick = |text: &str| -> Vec<String> {
+            let mut lines: Vec<String> = text
+                .lines()
+                .filter(|line| line.starts_with('{'))
+                .map(str::to_string)
+                .collect();
+            lines.sort_by_key(|line| tats_trace::jsonl::line_id(line));
+            lines
+        };
+        assert_eq!(pick(&submit_out), pick(&batch_out));
+        server.stop();
+    }
+
+    #[test]
+    fn worker_and_submit_require_connect() {
+        let error = worker(&opts(&[], &["connect"], &[])).expect_err("no connect");
+        assert!(error.to_string().contains("--connect"), "{error}");
+        let error = submit(&opts(&[], &["connect"], &[])).expect_err("no connect");
+        assert!(error.to_string().contains("--connect"), "{error}");
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! tats reliability --benchmark Bm1
 //! tats dvs --benchmark Bm1 --policy thermal
 //! tats batch --benchmarks all --policies all --shard 0/2 --out results.jsonl
+//! tats serve --port 7070
+//! tats worker --connect 127.0.0.1:7070
+//! tats submit --connect 127.0.0.1:7070 --benchmarks all --shards 4 --wait
 //! tats export --benchmark Bm1 --format tgff
 //! ```
 //!
@@ -50,7 +53,28 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
                 "threads",
                 "out",
             ],
-            &["resume", "full"],
+            &["resume", "full", "dry-run"],
+        ),
+        "serve" => (&["host", "port", "lease-ttl-ms"], &[]),
+        "worker" => (
+            &["connect", "name", "threads", "poll-ms"],
+            &["exit-when-drained"],
+        ),
+        "submit" => (
+            &[
+                "connect",
+                "benchmarks",
+                "flows",
+                "policies",
+                "seeds",
+                "grid-solver",
+                "nx",
+                "ny",
+                "shards",
+                "poll-ms",
+                "out",
+            ],
+            &["full", "wait"],
         ),
         "export" => (&["benchmark", "format"], &[]),
         _ => (&[], &[]),
@@ -88,6 +112,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "dvs" => commands::dvs(&options),
         "grid" => commands::grid(&options),
         "batch" => commands::batch(&options),
+        "serve" => commands::serve(&options),
+        "worker" => commands::worker(&options),
+        "submit" => commands::submit(&options),
         "export" => commands::export(&options),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

@@ -230,6 +230,12 @@ impl<K: Eq + std::hash::Hash + Clone, V> FifoCache<K, V> {
         Ok(self.entries.get(&key).expect("present after hit or insert"))
     }
 
+    /// Returns `true` if `key` is currently cached (no effect on the
+    /// hit/miss counters).
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -310,6 +316,89 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &a2));
         assert_eq!(cache.stats().hits, 0);
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    /// Infallible insert helper for the generic-cache tests below.
+    fn put(cache: &mut FifoCache<u32, Arc<Vec<u8>>>, key: u32) -> Arc<Vec<u8>> {
+        let value = cache
+            .get_or_try_insert_with(key, || {
+                Ok::<_, std::convert::Infallible>(Arc::new(vec![key as u8; 4]))
+            })
+            .expect("infallible");
+        Arc::clone(value)
+    }
+
+    #[test]
+    fn fifo_evicts_in_insertion_order_not_recency() {
+        let mut cache: FifoCache<u32, Arc<Vec<u8>>> = FifoCache::with_capacity(3);
+        put(&mut cache, 1);
+        put(&mut cache, 2);
+        put(&mut cache, 3);
+        // Re-touch the oldest entry: FIFO deliberately ignores recency.
+        put(&mut cache, 1);
+        assert_eq!(cache.stats().hits, 1);
+        // Inserting a fourth key evicts key 1 (first in), not key 2.
+        put(&mut cache, 4);
+        assert!(!cache.contains(&1));
+        assert!(cache.contains(&2));
+        assert!(cache.contains(&3));
+        assert!(cache.contains(&4));
+        assert_eq!(cache.len(), 3);
+        // Sustained pressure walks the queue in order: 5 evicts 2, 6 evicts 3.
+        put(&mut cache, 5);
+        assert!(!cache.contains(&2));
+        put(&mut cache, 6);
+        assert!(!cache.contains(&3));
+        assert_eq!(
+            [4, 5, 6].iter().filter(|key| cache.contains(key)).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn hit_miss_accounting_is_exact() {
+        let mut cache: FifoCache<u32, Arc<Vec<u8>>> = FifoCache::with_capacity(2);
+        assert_eq!(cache.stats(), CacheStats::default());
+        put(&mut cache, 1); // miss
+        put(&mut cache, 1); // hit
+        put(&mut cache, 2); // miss
+        put(&mut cache, 1); // hit
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 2 });
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+        // A failed build counts as a miss and inserts nothing.
+        let result = cache.get_or_try_insert_with(3, || Err::<Arc<Vec<u8>>, &str>("boom"));
+        assert_eq!(result.unwrap_err(), "boom");
+        assert!(!cache.contains(&3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 3 });
+        // The failed key can be built successfully later.
+        put(&mut cache, 3);
+        assert!(cache.contains(&3));
+        assert_eq!(cache.stats().misses, 4);
+        // `contains` itself never moves the counters.
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 4 });
+    }
+
+    #[test]
+    fn evicted_arc_values_remain_valid_while_borrowed() {
+        let mut cache: FifoCache<u32, Arc<Vec<u8>>> = FifoCache::with_capacity(1);
+        let borrowed = put(&mut cache, 7);
+        assert_eq!(Arc::strong_count(&borrowed), 2, "cache + borrower");
+        // Evict key 7 while the Arc is still held outside the cache — the
+        // batch engine does exactly this when a scenario holds a cached
+        // thermal model across an eviction caused by the next scenario.
+        put(&mut cache, 8);
+        assert!(!cache.contains(&7));
+        assert_eq!(
+            Arc::strong_count(&borrowed),
+            1,
+            "the cache dropped its reference; the borrower's survives"
+        );
+        assert_eq!(*borrowed, vec![7u8; 4], "the evicted value is intact");
+        // Re-inserting the evicted key builds a fresh value.
+        let rebuilt = put(&mut cache, 7);
+        assert!(!Arc::ptr_eq(&borrowed, &rebuilt));
+        assert_eq!(*rebuilt, *borrowed);
     }
 
     #[test]

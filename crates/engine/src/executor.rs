@@ -96,6 +96,38 @@ impl ScenarioRecord {
         }
         JsonValue::object(pairs)
     }
+
+    /// Deserialises a record from the object form [`Self::to_json`] emits —
+    /// the inverse the campaign service needs to aggregate worker-streamed
+    /// JSONL lines into a [`Summary`](crate::Summary) server-side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidParameter`] naming the missing or
+    /// mistyped field.
+    pub fn from_json(value: &JsonValue) -> Result<ScenarioRecord, EngineError> {
+        let invalid =
+            |message: String| EngineError::InvalidParameter(format!("scenario record: {message}"));
+        Ok(ScenarioRecord {
+            id: value.field_u64("id").map_err(invalid)?,
+            key: value.field_str("key").map_err(invalid)?.to_string(),
+            benchmark: value.field_str("benchmark").map_err(invalid)?.to_string(),
+            flow: value.field_str("flow").map_err(invalid)?.to_string(),
+            policy: value.field_str("policy").map_err(invalid)?.to_string(),
+            seed: value.field_u64("seed").map_err(invalid)?,
+            solver: value
+                .get("solver")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            total_power: value.field_f64("total_power").map_err(invalid)?,
+            max_temp_c: value.field_f64("max_temp_c").map_err(invalid)?,
+            avg_temp_c: value.field_f64("avg_temp_c").map_err(invalid)?,
+            makespan: value.field_f64("makespan").map_err(invalid)?,
+            meets_deadline: value.field_bool("meets_deadline").map_err(invalid)?,
+            energy: value.field_f64("energy").map_err(invalid)?,
+            grid_max_temp_c: value.get("grid_max_temp_c").and_then(JsonValue::as_f64),
+        })
+    }
 }
 
 /// Executor-level statistics of one campaign run.
@@ -478,5 +510,39 @@ mod tests {
         assert!(line.contains("\"max_temp_c\":"));
         assert!(line.contains("\"policy\":\"baseline\""));
         assert_eq!(tats_trace::jsonl::line_id(&line), Some(0));
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let record = ScenarioRecord {
+            id: 17,
+            key: "Bm2/cosynthesis/thermal/cholesky/s3".to_string(),
+            benchmark: "Bm2".to_string(),
+            flow: "cosynthesis".to_string(),
+            policy: "thermal".to_string(),
+            seed: 3,
+            solver: Some("cholesky".to_string()),
+            total_power: 12.5,
+            max_temp_c: 83.25,
+            avg_temp_c: 74.5,
+            makespan: 1401.0,
+            meets_deadline: true,
+            energy: 9001.5,
+            grid_max_temp_c: Some(85.125),
+        };
+        let parsed = JsonValue::parse(&record.to_json().to_json()).expect("valid json");
+        assert_eq!(ScenarioRecord::from_json(&parsed).expect("inverse"), record);
+        // Optional fields stay optional.
+        let plain = ScenarioRecord {
+            solver: None,
+            grid_max_temp_c: None,
+            ..record.clone()
+        };
+        let parsed = JsonValue::parse(&plain.to_json().to_json()).expect("valid json");
+        assert_eq!(ScenarioRecord::from_json(&parsed).expect("inverse"), plain);
+        // Missing fields are named in the error.
+        let error =
+            ScenarioRecord::from_json(&JsonValue::parse("{\"id\": 1}").unwrap()).expect_err("bad");
+        assert!(error.to_string().contains("key"), "{error}");
     }
 }

@@ -1,0 +1,244 @@
+//! Shard leasing: the state machine a campaign scheduler runs per job.
+//!
+//! A distributed campaign is split into deterministic [`Shard`]s; workers
+//! *pull* shards, so the scheduler's only state is which shards are pending,
+//! leased (to whom, until when) or done. Leases expire — a worker that dies
+//! mid-shard simply stops renewing, and after the TTL the shard becomes
+//! leasable again. Combined with the engine's resume semantics (the next
+//! worker receives the completed ids of the shard and skips them), an
+//! expired lease costs at most the un-streamed remainder of the shard and
+//! can never duplicate or drop a record.
+//!
+//! The board is deliberately clock-free: every method takes `now_ms`, so the
+//! service layer feeds it a monotonic clock and tests feed it a scripted
+//! one.
+
+use std::fmt;
+
+use crate::scenario::Shard;
+
+/// The lifecycle of one shard on the board.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardState {
+    /// Not yet handed to any worker (or reclaimed after a lease expired).
+    Pending,
+    /// Held by a worker until the deadline (monotonic ms).
+    Leased {
+        /// The holder's self-reported name.
+        worker: String,
+        /// Lease deadline in the board's monotonic clock, ms.
+        deadline_ms: u64,
+    },
+    /// All of the shard's scenarios are recorded.
+    Done,
+}
+
+/// Per-job lease board over `count` deterministic shards.
+#[derive(Debug, Clone)]
+pub struct ShardBoard {
+    states: Vec<ShardState>,
+}
+
+impl ShardBoard {
+    /// A board of `count` shards (minimum 1), all pending.
+    pub fn new(count: usize) -> Self {
+        ShardBoard {
+            states: vec![ShardState::Pending; count.max(1)],
+        }
+    }
+
+    /// Number of shards on the board.
+    pub fn count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The state of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= count()`.
+    pub fn state(&self, index: usize) -> &ShardState {
+        &self.states[index]
+    }
+
+    /// Leases the lowest-indexed available shard to `worker`: a pending
+    /// shard, or one whose lease has expired (its holder died or stalled —
+    /// the new holder re-runs it with resume semantics). Returns `None` when
+    /// every shard is done or validly held.
+    pub fn lease(&mut self, worker: &str, now_ms: u64, ttl_ms: u64) -> Option<Shard> {
+        let count = self.count();
+        for (index, state) in self.states.iter_mut().enumerate() {
+            let available = match state {
+                ShardState::Pending => true,
+                ShardState::Leased { deadline_ms, .. } => *deadline_ms <= now_ms,
+                ShardState::Done => false,
+            };
+            if available {
+                *state = ShardState::Leased {
+                    worker: worker.to_string(),
+                    deadline_ms: now_ms + ttl_ms,
+                };
+                return Some(Shard { index, count });
+            }
+        }
+        None
+    }
+
+    /// Renews (or, if the shard went back to pending after an expiry,
+    /// re-acquires) `worker`'s lease on a shard. Returns `false` — and
+    /// changes nothing — when the shard is done or validly held by a
+    /// *different* worker: the caller has lost the shard and must stop
+    /// streaming into it.
+    pub fn renew(&mut self, index: usize, worker: &str, now_ms: u64, ttl_ms: u64) -> bool {
+        let Some(state) = self.states.get_mut(index) else {
+            return false;
+        };
+        let may_hold = match state {
+            ShardState::Pending => true,
+            ShardState::Leased {
+                worker: holder,
+                deadline_ms,
+            } => holder == worker || *deadline_ms <= now_ms,
+            ShardState::Done => false,
+        };
+        if may_hold {
+            *state = ShardState::Leased {
+                worker: worker.to_string(),
+                deadline_ms: now_ms + ttl_ms,
+            };
+        }
+        may_hold
+    }
+
+    /// Marks a shard done (idempotent). Returns `false` when the shard is
+    /// validly held by a different worker.
+    pub fn complete(&mut self, index: usize, worker: &str, now_ms: u64) -> bool {
+        let Some(state) = self.states.get_mut(index) else {
+            return false;
+        };
+        match state {
+            ShardState::Done => true,
+            ShardState::Pending => {
+                *state = ShardState::Done;
+                true
+            }
+            ShardState::Leased {
+                worker: holder,
+                deadline_ms,
+            } => {
+                if holder == worker || *deadline_ms <= now_ms {
+                    *state = ShardState::Done;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Shards marked done.
+    pub fn done_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, ShardState::Done))
+            .count()
+    }
+
+    /// Shards currently under a valid lease.
+    pub fn leased_count(&self, now_ms: u64) -> usize {
+        self.states
+            .iter()
+            .filter(
+                |s| matches!(s, ShardState::Leased { deadline_ms, .. } if *deadline_ms > now_ms),
+            )
+            .count()
+    }
+
+    /// Shards leasable right now (pending or expired).
+    pub fn pending_count(&self, now_ms: u64) -> usize {
+        self.count() - self.done_count() - self.leased_count(now_ms)
+    }
+
+    /// Returns `true` when every shard is done.
+    pub fn all_done(&self) -> bool {
+        self.done_count() == self.count()
+    }
+}
+
+impl fmt::Display for ShardBoard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} shard(s): {} done", self.count(), self.done_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: u64 = 100;
+
+    #[test]
+    fn leases_hand_out_disjoint_shards_in_order() {
+        let mut board = ShardBoard::new(3);
+        let a = board.lease("a", 0, TTL).expect("first");
+        let b = board.lease("b", 0, TTL).expect("second");
+        assert_eq!((a.index, a.count), (0, 3));
+        assert_eq!((b.index, b.count), (1, 3));
+        let c = board.lease("a", 0, TTL).expect("third goes to a again");
+        assert_eq!(c.index, 2);
+        // Everything is validly held: nothing to lease.
+        assert!(board.lease("c", 50, TTL).is_none());
+        assert_eq!(board.leased_count(50), 3);
+        assert_eq!(board.pending_count(50), 0);
+        assert!(!board.all_done());
+    }
+
+    #[test]
+    fn expired_leases_are_reassigned() {
+        let mut board = ShardBoard::new(1);
+        board.lease("dead", 0, TTL).expect("lease");
+        assert!(board.lease("next", 99, TTL).is_none(), "still valid at 99");
+        let again = board.lease("next", 100, TTL).expect("expired at 100");
+        assert_eq!(again.index, 0);
+        assert!(
+            matches!(board.state(0), ShardState::Leased { worker, .. } if worker == "next"),
+            "{:?}",
+            board.state(0)
+        );
+        // The dead worker coming back cannot renew a shard someone else
+        // validly holds.
+        assert!(!board.renew(0, "dead", 150, TTL));
+        assert!(board.renew(0, "next", 150, TTL));
+    }
+
+    #[test]
+    fn renew_extends_and_reacquires() {
+        let mut board = ShardBoard::new(1);
+        board.lease("w", 0, TTL).expect("lease");
+        assert!(board.renew(0, "w", 90, TTL), "holder renews");
+        // The renewal moved the deadline to 190.
+        assert!(board.lease("other", 150, TTL).is_none());
+        // After expiry a renew from anyone re-acquires.
+        assert!(board.renew(0, "other", 200, TTL));
+        assert!(!board.renew(0, "w", 210, TTL), "w lost the shard");
+        assert!(!board.renew(9, "w", 0, TTL), "out of range");
+    }
+
+    #[test]
+    fn completion_is_idempotent_and_ownership_checked() {
+        let mut board = ShardBoard::new(2);
+        board.lease("w", 0, TTL).expect("lease");
+        assert!(!board.complete(0, "thief", 10,), "held by w");
+        assert!(board.complete(0, "w", 10));
+        assert!(board.complete(0, "w", 20), "idempotent");
+        assert!(board.complete(0, "thief", 30), "done stays done for anyone");
+        assert!(!board.all_done());
+        // A pending shard may be completed directly (its records all arrived
+        // from an earlier holder before the lease expired).
+        assert!(board.complete(1, "w", 40));
+        assert!(board.all_done());
+        assert_eq!(board.done_count(), 2);
+        assert!(!board.complete(5, "w", 50), "out of range");
+        assert!(board.to_string().contains("2 done"));
+    }
+}

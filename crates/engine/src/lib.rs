@@ -19,6 +19,12 @@
 //!   resume scanner (`--resume` skips scenario ids already on disk);
 //! * [`Summary`] aggregates the record set (peak/mean temperature,
 //!   makespan, energy, per-policy deltas vs the baseline);
+//! * [`CampaignSpec`] is the serializable wire form of a campaign (stable
+//!   axis names + named [`Effort`], JSON round-trip, fingerprint) that the
+//!   campaign service ships between submitter, server and workers;
+//! * [`ShardBoard`] is the clock-free lease state machine a distributed
+//!   scheduler runs per job: pull-based shard leases with TTL expiry, so a
+//!   dead worker's shard is re-leased and finished under resume semantics;
 //! * [`table1`]/[`table2`]/[`table3`] regenerate the paper's tables as
 //!   campaign summaries, pinned byte-identical to the original in-process
 //!   loops.
@@ -57,12 +63,16 @@
 
 mod error;
 mod executor;
+mod lease;
 mod scenario;
+mod spec;
 mod summary;
 mod tables;
 
 pub use error::EngineError;
 pub use executor::{BatchReport, BatchRun, Executor, ScenarioRecord};
+pub use lease::{ShardBoard, ShardState};
 pub use scenario::{policy_slug, Campaign, FlowKind, Scenario, Shard};
+pub use spec::{CampaignSpec, Effort};
 pub use summary::{PolicyAggregate, Summary};
 pub use tables::{table1, table2, table3};

@@ -256,6 +256,31 @@ impl Campaign {
         &self.experiment
     }
 
+    /// The benchmark axis.
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// The flow axis.
+    pub fn flows(&self) -> &[FlowKind] {
+        &self.flows
+    }
+
+    /// The policy axis.
+    pub fn policies(&self) -> &[Policy] {
+        &self.policies
+    }
+
+    /// The grid-validation axis.
+    pub fn solvers(&self) -> &[Option<GridSolver>] {
+        &self.solvers
+    }
+
+    /// The seed axis.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
     /// The grid-model resolution used when a scenario's solver axis is set.
     pub fn grid_resolution(&self) -> (usize, usize) {
         self.grid_resolution

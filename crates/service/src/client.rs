@@ -1,0 +1,129 @@
+//! The tiny HTTP client the worker, the submitter and the tests share.
+//!
+//! One request per connection (`Connection: close`), JSON or JSONL bodies,
+//! blocking `std::net::TcpStream` underneath — the exact counterpart of the
+//! server in [`crate::http`].
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tats_trace::JsonValue;
+
+use crate::error::ServiceError;
+use crate::http::{read_response, Response};
+
+/// Per-request socket timeout. Generous: a lease request against a server
+/// busy ingesting a large record batch must not flap.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Performs one HTTP exchange against `addr` (a `host:port` string).
+/// Returns the response whatever its status; see [`expect_ok`] for the
+/// variant that turns error statuses into [`ServiceError::Http`].
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Io`] for connection failures and
+/// [`ServiceError::Protocol`] for unparsable responses.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, String)],
+    body: Option<&str>,
+) -> Result<Response, ServiceError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    let body = body.unwrap_or("");
+    head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    {
+        use std::io::Write;
+        let mut writer = &stream;
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(body.as_bytes())?;
+        writer.flush()?;
+    }
+    read_response(&mut BufReader::new(&stream))
+}
+
+/// Maps an error-status response to [`ServiceError::Http`], passing 2xx
+/// through.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Http`] carrying the status and body for non-2xx
+/// responses.
+pub fn expect_ok(response: Response) -> Result<Response, ServiceError> {
+    if (200..300).contains(&response.status) {
+        Ok(response)
+    } else {
+        Err(ServiceError::Http {
+            status: response.status,
+            message: response.body,
+        })
+    }
+}
+
+/// `GET path`, requiring a 2xx response.
+///
+/// # Errors
+///
+/// Propagates transport errors and non-2xx statuses.
+pub fn get(addr: &str, path: &str) -> Result<Response, ServiceError> {
+    expect_ok(request(addr, "GET", path, &[], None)?)
+}
+
+/// `POST path` with a JSON body, requiring a 2xx response whose body parses
+/// as JSON.
+///
+/// # Errors
+///
+/// Propagates transport errors, non-2xx statuses and unparsable bodies.
+pub fn post_json(addr: &str, path: &str, body: &JsonValue) -> Result<JsonValue, ServiceError> {
+    let response = expect_ok(request(
+        addr,
+        "POST",
+        path,
+        &[("content-type", "application/json".to_string())],
+        Some(&body.to_json()),
+    )?)?;
+    JsonValue::parse(&response.body)
+        .map_err(|e| ServiceError::Protocol(format!("unparsable response from {path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expect_ok_discriminates_statuses() {
+        let ok = Response {
+            status: 200,
+            headers: Vec::new(),
+            body: "{}".to_string(),
+        };
+        assert!(expect_ok(ok).is_ok());
+        let error = expect_ok(Response {
+            status: 409,
+            headers: Vec::new(),
+            body: "conflict: lease lost".to_string(),
+        })
+        .expect_err("409");
+        assert!(
+            matches!(error, ServiceError::Http { status: 409, .. }),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn connecting_to_a_dead_port_is_an_io_error() {
+        // Port 1 on localhost is essentially never listening.
+        let error = request("127.0.0.1:1", "GET", "/healthz", &[], None).expect_err("dead");
+        assert!(matches!(error, ServiceError::Io(_)), "{error}");
+    }
+}

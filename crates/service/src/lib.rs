@@ -1,0 +1,77 @@
+//! `tats_service` — the campaign service: an HTTP job server and
+//! distributed shard workers over the batch campaign engine.
+//!
+//! `tats batch --shard i/n` (PR 3) made campaigns deterministically
+//! partitionable; this crate adds the coordination layer that runs those
+//! shards on many machines and merges the streams, closing the ROADMAP's
+//! "Distributed campaigns" item. Everything is `std`-only:
+//! `std::net::TcpListener` plus a thread per (short-lived) connection on the
+//! server, blocking `std::net::TcpStream` clients, and the workspace's own
+//! JSON value model on the wire.
+//!
+//! * [`Service`] binds the HTTP server ([`ServiceHandle`] stops it); the
+//!   [`Registry`] behind it owns jobs, shard leases and record sets;
+//! * [`run_worker`] is the pull loop `tats worker --connect` runs: lease a
+//!   shard, run it through the engine's `Executor` (per-worker
+//!   geometry-keyed thermal caches and all), stream each record back the
+//!   moment it exists;
+//! * [`client`] and [`http`] are the shared minimal HTTP/1.1 plumbing.
+//!
+//! The distributed invariant mirrors the engine's: **1 server + k workers
+//! produce the record set of a single in-process `tats batch` run** of the
+//! same [`CampaignSpec`](tats_engine::CampaignSpec) — including under
+//! worker death, because leases expire (the shard is re-leased with the
+//! server's completed ids, the engine's resume semantics skip them) and
+//! ingest dedups by scenario id and fingerprint-checks every record against
+//! the job's own enumeration. Pinned end-to-end, kill included, in
+//! `tests/distributed_equivalence.rs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tats_service::{client, run_worker, Service, ServiceConfig, WorkerConfig};
+//! use tats_engine::CampaignSpec;
+//! use tats_trace::JsonValue;
+//!
+//! # fn main() -> Result<(), tats_service::ServiceError> {
+//! let server = Service::bind("127.0.0.1:0", ServiceConfig::default())?;
+//! let addr = server.addr_string();
+//!
+//! // Submit the default campaign (20 scenarios) split into 2 shards.
+//! let mut spec = CampaignSpec::default();
+//! spec.benchmarks.truncate(1); // keep the doctest quick: 5 scenarios
+//! let job = client::post_json(&addr, "/jobs", &JsonValue::object(vec![
+//!     ("spec".to_string(), spec.to_json()),
+//!     ("shards".to_string(), JsonValue::from(2usize)),
+//! ]))?;
+//!
+//! // One local worker drains it.
+//! let report = run_worker(&addr, &WorkerConfig {
+//!     exit_when_drained: true,
+//!     poll_ms: 10,
+//!     ..WorkerConfig::default()
+//! })?;
+//! assert_eq!(report.records_posted, 5);
+//!
+//! let id = job.get("job").and_then(JsonValue::as_str).unwrap();
+//! let records = client::get(&addr, &format!("/jobs/{id}/records"))?;
+//! assert_eq!(records.body.lines().count(), 5);
+//! server.stop();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+mod error;
+pub mod http;
+mod registry;
+mod server;
+mod worker;
+
+pub use error::ServiceError;
+pub use registry::{IngestReport, Registry};
+pub use server::{Service, ServiceConfig, ServiceHandle};
+pub use worker::{run_worker, WorkerConfig, WorkerReport};

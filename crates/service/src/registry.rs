@@ -1,0 +1,756 @@
+//! The job registry: every piece of campaign-service state that is not a
+//! socket.
+//!
+//! A *job* is a submitted [`CampaignSpec`] plus the scheduler state needed
+//! to run it across pull-based workers: the deterministic shard board
+//! ([`ShardBoard`]), the record set collected so far (JSONL lines exactly as
+//! workers streamed them), the completed-id set, and a running
+//! [`Summary`]. The registry owns the correctness invariants:
+//!
+//! * **fingerprinted ingest** — a record is only accepted when its `id` maps
+//!   to the `key` the job's own enumeration assigns to that id (the same
+//!   discipline `tats batch --resume` applies to files), so a worker running
+//!   a different campaign definition is rejected, never silently merged;
+//! * **dedup by scenario id** — re-leased shards re-stream deterministic
+//!   records; duplicates are counted and dropped, so a record set can never
+//!   contain a scenario twice;
+//! * **complete shards only** — a shard can only be marked done when every
+//!   scenario id it owns has a record, so `state == "done"` implies the
+//!   record set is exactly the campaign enumeration.
+//!
+//! The registry is clock-free (every method takes `now_ms`) and lock-free
+//! (the server wraps it in a mutex); unit tests drive it with a scripted
+//! clock.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use tats_engine::{CampaignSpec, ScenarioRecord, Shard, ShardBoard, Summary};
+use tats_trace::{jsonl, JsonValue};
+
+use crate::error::ServiceError;
+
+/// One submitted campaign and its scheduling state.
+#[derive(Debug)]
+pub struct Job {
+    id: String,
+    spec: CampaignSpec,
+    fingerprint: String,
+    /// `id -> key` of the job's scenario enumeration: the ingest-side
+    /// fingerprint check.
+    expected: HashMap<u64, String>,
+    board: ShardBoard,
+    /// Accepted JSONL lines, in arrival order (the streaming read model).
+    records: Vec<String>,
+    /// Scenario ids with an accepted record.
+    completed: BTreeSet<u64>,
+    summary: Summary,
+    created_ms: u64,
+}
+
+impl Job {
+    /// The job's lifecycle state: `queued` (nothing happened yet),
+    /// `running`, or `done` (every shard complete).
+    fn state(&self, now_ms: u64) -> &'static str {
+        if self.board.all_done() {
+            "done"
+        } else if self.records.is_empty()
+            && self.board.done_count() == 0
+            && self.board.leased_count(now_ms) == 0
+        {
+            "queued"
+        } else {
+            "running"
+        }
+    }
+
+    /// The scenario ids of one shard that already have records.
+    fn completed_in_shard(&self, shard: Shard) -> Vec<u64> {
+        self.completed
+            .iter()
+            .copied()
+            .filter(|&id| shard.owns(id))
+            .collect()
+    }
+
+    /// The number of scenario ids one shard owns in total.
+    fn shard_size(&self, shard: Shard) -> usize {
+        self.expected.keys().filter(|&&id| shard.owns(id)).count()
+    }
+
+    fn status_json(&self, now_ms: u64) -> JsonValue {
+        JsonValue::object(vec![
+            ("job".to_string(), JsonValue::from(self.id.as_str())),
+            ("state".to_string(), JsonValue::from(self.state(now_ms))),
+            (
+                "fingerprint".to_string(),
+                JsonValue::from(self.fingerprint.as_str()),
+            ),
+            (
+                "scenarios".to_string(),
+                JsonValue::from(self.expected.len()),
+            ),
+            ("records".to_string(), JsonValue::from(self.records.len())),
+            (
+                "shards".to_string(),
+                JsonValue::object(vec![
+                    ("count".to_string(), JsonValue::from(self.board.count())),
+                    ("done".to_string(), JsonValue::from(self.board.done_count())),
+                    (
+                        "leased".to_string(),
+                        JsonValue::from(self.board.leased_count(now_ms)),
+                    ),
+                    (
+                        "pending".to_string(),
+                        JsonValue::from(self.board.pending_count(now_ms)),
+                    ),
+                ]),
+            ),
+            (
+                "created_ms".to_string(),
+                JsonValue::from(self.created_ms as usize),
+            ),
+        ])
+    }
+}
+
+/// Per-worker bookkeeping, reported by `GET /workers`.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerInfo {
+    leases: u64,
+    records: u64,
+    shards_done: u64,
+    last_seen_ms: u64,
+}
+
+/// The result of ingesting one record batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records accepted (new scenario ids).
+    pub accepted: usize,
+    /// Records dropped because their scenario id was already recorded.
+    pub duplicates: usize,
+    /// Structurally incomplete lines ignored (trailing partial record of a
+    /// crashed sender).
+    pub ignored: usize,
+}
+
+/// The whole service state: jobs, workers and the lease policy.
+#[derive(Debug)]
+pub struct Registry {
+    jobs: BTreeMap<String, Job>,
+    next_job: u64,
+    workers: BTreeMap<String, WorkerInfo>,
+    lease_ttl_ms: u64,
+}
+
+impl Registry {
+    /// An empty registry whose leases expire after `lease_ttl_ms`.
+    pub fn new(lease_ttl_ms: u64) -> Self {
+        Registry {
+            jobs: BTreeMap::new(),
+            next_job: 1,
+            workers: BTreeMap::new(),
+            lease_ttl_ms: lease_ttl_ms.max(1),
+        }
+    }
+
+    /// The lease TTL the registry applies, ms.
+    pub fn lease_ttl_ms(&self) -> u64 {
+        self.lease_ttl_ms
+    }
+
+    fn job(&self, id: &str) -> Result<&Job, ServiceError> {
+        self.jobs
+            .get(id)
+            .ok_or_else(|| ServiceError::NotFound(format!("job '{id}'")))
+    }
+
+    fn job_mut(&mut self, id: &str) -> Result<&mut Job, ServiceError> {
+        self.jobs
+            .get_mut(id)
+            .ok_or_else(|| ServiceError::NotFound(format!("job '{id}'")))
+    }
+
+    fn touch_worker(&mut self, worker: &str, now_ms: u64) -> &mut WorkerInfo {
+        let info = self.workers.entry(worker.to_string()).or_default();
+        info.last_seen_ms = now_ms;
+        info
+    }
+
+    /// Submits a campaign as a new job split into `shards` deterministic
+    /// shards (clamped to the scenario count). Returns the created job's
+    /// status object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::BadRequest`] for empty campaigns.
+    pub fn submit(
+        &mut self,
+        spec: CampaignSpec,
+        shards: usize,
+        now_ms: u64,
+    ) -> Result<JsonValue, ServiceError> {
+        let campaign = spec.to_campaign();
+        let scenarios = campaign.scenarios();
+        if scenarios.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "the campaign has no scenarios (an axis is empty)".to_string(),
+            ));
+        }
+        let shard_count = shards.clamp(1, scenarios.len());
+        // Zero-padded ids keep BTreeMap order == submission order, which is
+        // the FIFO the lease scan walks.
+        let id = format!("j{:06}", self.next_job);
+        self.next_job += 1;
+        let job = Job {
+            id: id.clone(),
+            fingerprint: spec.fingerprint(),
+            expected: scenarios.iter().map(|s| (s.id, s.key())).collect(),
+            spec,
+            board: ShardBoard::new(shard_count),
+            records: Vec::new(),
+            completed: BTreeSet::new(),
+            summary: Summary::new(),
+            created_ms: now_ms,
+        };
+        let status = job.status_json(now_ms);
+        self.jobs.insert(id, job);
+        Ok(status)
+    }
+
+    /// Leases the next available shard to `worker`: the lowest-indexed
+    /// pending-or-expired shard of the oldest job with one. The response is
+    /// self-contained — spec, fingerprint, shard, completed ids — so a
+    /// worker needs no other state to run (and resume) the shard.
+    pub fn lease(&mut self, worker: &str, now_ms: u64) -> JsonValue {
+        let ttl = self.lease_ttl_ms;
+        self.touch_worker(worker, now_ms);
+        let mut granted: Option<JsonValue> = None;
+        for job in self.jobs.values_mut() {
+            if job.board.all_done() {
+                continue;
+            }
+            if let Some(shard) = job.board.lease(worker, now_ms, ttl) {
+                let completed: Vec<JsonValue> = job
+                    .completed_in_shard(shard)
+                    .into_iter()
+                    .map(|id| JsonValue::from(id as usize))
+                    .collect();
+                granted = Some(JsonValue::object(vec![(
+                    "lease".to_string(),
+                    JsonValue::object(vec![
+                        ("job".to_string(), JsonValue::from(job.id.as_str())),
+                        (
+                            "shard".to_string(),
+                            JsonValue::from(shard.to_string().as_str()),
+                        ),
+                        ("spec".to_string(), job.spec.to_json()),
+                        (
+                            "fingerprint".to_string(),
+                            JsonValue::from(job.fingerprint.as_str()),
+                        ),
+                        ("completed_ids".to_string(), JsonValue::Array(completed)),
+                        ("ttl_ms".to_string(), JsonValue::from(ttl as usize)),
+                    ]),
+                )]));
+                break;
+            }
+        }
+        match granted {
+            Some(response) => {
+                // Count leases actually granted, not idle polls: the
+                // `/workers` statistic means "shards handed to this worker".
+                self.touch_worker(worker, now_ms).leases += 1;
+                response
+            }
+            None => JsonValue::object(vec![
+                ("idle".to_string(), JsonValue::from(true)),
+                ("drained".to_string(), JsonValue::from(self.drained())),
+            ]),
+        }
+    }
+
+    /// Returns `true` when no job has unfinished work (vacuously true for an
+    /// empty registry): the signal that lets batch-mode workers exit.
+    pub fn drained(&self) -> bool {
+        self.jobs.values().all(|job| job.board.all_done())
+    }
+
+    /// Ingests a batch of JSONL record lines streamed by `worker` for one
+    /// shard, renewing (or re-acquiring) its lease as a side effect.
+    /// Duplicate scenario ids are dropped, structurally incomplete trailing
+    /// lines are ignored, and every accepted record must pass the
+    /// fingerprint check (`id` maps to the key this job's enumeration
+    /// assigns).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::NotFound`] — unknown job;
+    /// * [`ServiceError::BadRequest`] — shard index out of range, malformed
+    ///   record, or a record that belongs to a different campaign/shard;
+    /// * [`ServiceError::Conflict`] — the shard is validly leased to a
+    ///   different worker (the caller must stop streaming into it).
+    pub fn ingest(
+        &mut self,
+        job_id: &str,
+        shard_index: usize,
+        worker: &str,
+        body: &str,
+        now_ms: u64,
+    ) -> Result<IngestReport, ServiceError> {
+        let ttl = self.lease_ttl_ms;
+        self.touch_worker(worker, now_ms);
+        let job = self.job_mut(job_id)?;
+        let count = job.board.count();
+        if shard_index >= count {
+            return Err(ServiceError::BadRequest(format!(
+                "shard {shard_index} out of range (job has {count} shards)"
+            )));
+        }
+        if !job.board.renew(shard_index, worker, now_ms, ttl) {
+            return Err(ServiceError::Conflict(format!(
+                "shard {shard_index} of {job_id} is leased to another worker"
+            )));
+        }
+        let shard = Shard {
+            index: shard_index,
+            count,
+        };
+        let mut report = IngestReport {
+            accepted: 0,
+            duplicates: 0,
+            ignored: 0,
+        };
+        for line in body.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !jsonl::is_complete_record(line) {
+                report.ignored += 1;
+                continue;
+            }
+            let value = JsonValue::parse(line)
+                .map_err(|e| ServiceError::BadRequest(format!("unparsable record line: {e}")))?;
+            let record = ScenarioRecord::from_json(&value)
+                .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+            match job.expected.get(&record.id) {
+                Some(expected_key) if *expected_key == record.key => {}
+                Some(expected_key) => {
+                    return Err(ServiceError::BadRequest(format!(
+                        "record id {} is '{}' but this campaign enumerates it as '{}' \
+                         (fingerprint mismatch — the worker runs a different campaign)",
+                        record.id, record.key, expected_key
+                    )));
+                }
+                None => {
+                    return Err(ServiceError::BadRequest(format!(
+                        "record id {} is outside this campaign (0..{})",
+                        record.id,
+                        job.expected.len()
+                    )));
+                }
+            }
+            if !shard.owns(record.id) {
+                return Err(ServiceError::BadRequest(format!(
+                    "record id {} does not belong to shard {shard}",
+                    record.id
+                )));
+            }
+            if job.completed.insert(record.id) {
+                job.summary.record(&record);
+                job.records.push(line.to_string());
+                report.accepted += 1;
+            } else {
+                report.duplicates += 1;
+            }
+        }
+        self.touch_worker(worker, now_ms).records += report.accepted as u64;
+        Ok(report)
+    }
+
+    /// Marks a shard done on behalf of `worker`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::NotFound`] — unknown job;
+    /// * [`ServiceError::BadRequest`] — shard index out of range;
+    /// * [`ServiceError::Conflict`] — records are missing for ids the shard
+    ///   owns, or the shard is validly leased to a different worker.
+    pub fn shard_done(
+        &mut self,
+        job_id: &str,
+        shard_index: usize,
+        worker: &str,
+        now_ms: u64,
+    ) -> Result<JsonValue, ServiceError> {
+        self.touch_worker(worker, now_ms);
+        let job = self.job_mut(job_id)?;
+        let count = job.board.count();
+        if shard_index >= count {
+            return Err(ServiceError::BadRequest(format!(
+                "shard {shard_index} out of range (job has {count} shards)"
+            )));
+        }
+        let shard = Shard {
+            index: shard_index,
+            count,
+        };
+        let have = job.completed_in_shard(shard).len();
+        let want = job.shard_size(shard);
+        if have != want {
+            return Err(ServiceError::Conflict(format!(
+                "shard {shard} has {have} of {want} records; refusing to mark it done"
+            )));
+        }
+        if !job.board.complete(shard_index, worker, now_ms) {
+            return Err(ServiceError::Conflict(format!(
+                "shard {shard_index} of {job_id} is leased to another worker"
+            )));
+        }
+        let status = job.status_json(now_ms);
+        self.touch_worker(worker, now_ms).shards_done += 1;
+        Ok(status)
+    }
+
+    /// One job's status object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::NotFound`] for unknown jobs.
+    pub fn job_status(&self, job_id: &str, now_ms: u64) -> Result<JsonValue, ServiceError> {
+        Ok(self.job(job_id)?.status_json(now_ms))
+    }
+
+    /// Status of every job, oldest first.
+    pub fn jobs_status(&self, now_ms: u64) -> JsonValue {
+        JsonValue::object(vec![(
+            "jobs".to_string(),
+            JsonValue::Array(
+                self.jobs
+                    .values()
+                    .map(|job| job.status_json(now_ms))
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// The job's JSONL record stream starting at record index `from`,
+    /// joined with newlines (empty when `from` is past the end), plus the
+    /// next index to poll from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::NotFound`] for unknown jobs.
+    pub fn records_from(&self, job_id: &str, from: usize) -> Result<(String, usize), ServiceError> {
+        let job = self.job(job_id)?;
+        let start = from.min(job.records.len());
+        let mut body = String::new();
+        for line in &job.records[start..] {
+            body.push_str(line);
+            body.push('\n');
+        }
+        Ok((body, job.records.len()))
+    }
+
+    /// The job's aggregated summary (partial while the job runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::NotFound`] for unknown jobs.
+    pub fn summary(&self, job_id: &str, now_ms: u64) -> Result<JsonValue, ServiceError> {
+        let job = self.job(job_id)?;
+        Ok(JsonValue::object(vec![
+            ("job".to_string(), JsonValue::from(job.id.as_str())),
+            ("state".to_string(), JsonValue::from(job.state(now_ms))),
+            ("summary".to_string(), job.summary.to_json()),
+        ]))
+    }
+
+    /// Everything known about the workers that have talked to this server.
+    pub fn workers_status(&self) -> JsonValue {
+        JsonValue::object(vec![(
+            "workers".to_string(),
+            JsonValue::Array(
+                self.workers
+                    .iter()
+                    .map(|(name, info)| {
+                        JsonValue::object(vec![
+                            ("name".to_string(), JsonValue::from(name.as_str())),
+                            ("leases".to_string(), JsonValue::from(info.leases as usize)),
+                            (
+                                "records".to_string(),
+                                JsonValue::from(info.records as usize),
+                            ),
+                            (
+                                "shards_done".to_string(),
+                                JsonValue::from(info.shards_done as usize),
+                            ),
+                            (
+                                "last_seen_ms".to_string(),
+                                JsonValue::from(info.last_seen_ms as usize),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tats_core::Policy;
+    use tats_engine::Effort;
+    use tats_taskgraph::Benchmark;
+
+    const TTL: u64 = 100;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            benchmarks: vec![Benchmark::Bm1],
+            flows: vec![tats_engine::FlowKind::Platform],
+            policies: vec![Policy::Baseline, Policy::ThermalAware],
+            solvers: vec![None],
+            seeds: vec![0, 1],
+            grid_resolution: (16, 16),
+            effort: Effort::Fast,
+        }
+    }
+
+    /// JSONL lines of the in-process run of the spec's campaign — the
+    /// deterministic ground truth workers would stream.
+    fn reference_lines(spec: &CampaignSpec) -> Vec<String> {
+        let campaign = spec.to_campaign();
+        let scenarios = campaign.scenarios();
+        tats_engine::Executor::new(1)
+            .run(&campaign, &scenarios, &Default::default(), |_| Ok(()))
+            .expect("run")
+            .records
+            .iter()
+            .map(|r| r.to_json().to_json())
+            .collect()
+    }
+
+    #[test]
+    fn submit_lease_ingest_done_lifecycle() {
+        let mut registry = Registry::new(TTL);
+        let status = registry.submit(tiny_spec(), 2, 0).expect("submit");
+        let job = status.get("job").and_then(JsonValue::as_str).unwrap();
+        assert_eq!(job, "j000001");
+        assert_eq!(
+            status.get("state").and_then(JsonValue::as_str),
+            Some("queued")
+        );
+        assert_eq!(status.get("scenarios").and_then(JsonValue::as_u64), Some(4));
+        assert!(!registry.drained());
+
+        let lease = registry.lease("w1", 10);
+        let lease = lease.get("lease").expect("a shard is available");
+        assert_eq!(lease.get("job").and_then(JsonValue::as_str), Some(job));
+        assert_eq!(lease.get("shard").and_then(JsonValue::as_str), Some("0/2"));
+        assert_eq!(
+            lease.get("fingerprint").and_then(JsonValue::as_str),
+            Some(tiny_spec().fingerprint().as_str())
+        );
+
+        let lines = reference_lines(&tiny_spec());
+        // Shard 0/2 owns ids 0 and 2.
+        let body = format!("{}\n{}\n", lines[0], lines[2]);
+        let report = registry.ingest(job, 0, "w1", &body, 20).expect("ingest");
+        assert_eq!(
+            report,
+            IngestReport {
+                accepted: 2,
+                duplicates: 0,
+                ignored: 0
+            }
+        );
+        registry.shard_done(job, 0, "w1", 30).expect("done");
+
+        // Second shard by another worker.
+        let lease = registry.lease("w2", 40);
+        assert_eq!(
+            lease
+                .get("lease")
+                .and_then(|l| l.get("shard"))
+                .and_then(JsonValue::as_str),
+            Some("1/2")
+        );
+        let body = format!("{}\n{}\n", lines[1], lines[3]);
+        registry.ingest(job, 1, "w2", &body, 50).expect("ingest");
+        let status = registry.shard_done(job, 1, "w2", 60).expect("done");
+        assert_eq!(
+            status.get("state").and_then(JsonValue::as_str),
+            Some("done")
+        );
+        assert!(registry.drained());
+        assert!(registry.lease("w3", 70).get("lease").is_none());
+
+        // The streamed record set equals the in-process run.
+        let (all, next) = registry.records_from(job, 0).expect("records");
+        assert_eq!(next, 4);
+        let mut got: Vec<&str> = all.lines().collect();
+        got.sort_by_key(|line| jsonl::line_id(line));
+        let want: Vec<&str> = lines.iter().map(String::as_str).collect();
+        assert_eq!(got, want);
+        // Incremental polling picks up where it left off.
+        let (tail, next_after) = registry.records_from(job, next).expect("tail");
+        assert!(tail.is_empty());
+        assert_eq!(next_after, next);
+
+        let summary = registry.summary(job, 70).expect("summary");
+        let text = summary.to_json();
+        assert!(text.contains("\"scenarios\":4"), "{text}");
+
+        let workers = registry.workers_status().to_json();
+        assert!(workers.contains("\"name\":\"w1\""), "{workers}");
+        assert!(workers.contains("\"name\":\"w2\""), "{workers}");
+    }
+
+    #[test]
+    fn ingest_rejects_foreign_and_misrouted_records() {
+        let mut registry = Registry::new(TTL);
+        let status = registry.submit(tiny_spec(), 2, 0).expect("submit");
+        let job = status
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string();
+        registry.lease("w1", 0);
+        let lines = reference_lines(&tiny_spec());
+
+        // A record whose id/key pair belongs to a different campaign.
+        let foreign = lines[0].replace("Bm1", "Bm2");
+        let error = registry
+            .ingest(&job, 0, "w1", &foreign, 10)
+            .expect_err("foreign");
+        assert!(error.to_string().contains("fingerprint"), "{error}");
+
+        // A record owned by the other shard.
+        let error = registry
+            .ingest(&job, 0, "w1", &lines[1], 10)
+            .expect_err("misrouted");
+        assert!(error.to_string().contains("shard"), "{error}");
+
+        // An id outside the campaign.
+        let outside = lines[0].replace("\"id\":0", "\"id\":40");
+        let error = registry
+            .ingest(&job, 0, "w1", &outside, 10)
+            .expect_err("outside");
+        assert!(error.to_string().contains("outside"), "{error}");
+
+        // Unknown job / shard out of range.
+        assert!(matches!(
+            registry.ingest("j999999", 0, "w1", &lines[0], 10),
+            Err(ServiceError::NotFound(_))
+        ));
+        assert!(matches!(
+            registry.ingest(&job, 9, "w1", &lines[0], 10),
+            Err(ServiceError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn duplicates_and_partial_lines_are_tolerated() {
+        let mut registry = Registry::new(TTL);
+        let job = registry
+            .submit(tiny_spec(), 1, 0)
+            .expect("submit")
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string();
+        registry.lease("w1", 0);
+        let lines = reference_lines(&tiny_spec());
+        let body = format!("{}\n{}\n", lines[0], lines[1]);
+        registry.ingest(&job, 0, "w1", &body, 10).expect("first");
+        // Re-streaming the same records (a re-leased shard) only counts
+        // duplicates; a trailing partial line (crashed sender) is ignored.
+        let partial = &lines[2][..lines[2].len() - 4];
+        let body = format!("{}\n{}\n{partial}", lines[0], lines[2]);
+        let report = registry.ingest(&job, 0, "w1", &body, 20).expect("second");
+        assert_eq!(
+            report,
+            IngestReport {
+                accepted: 1,
+                duplicates: 1,
+                ignored: 1
+            }
+        );
+        // Marking done with a missing record is refused.
+        let error = registry
+            .shard_done(&job, 0, "w1", 30)
+            .expect_err("incomplete");
+        assert!(error.to_string().contains("3 of 4"), "{error}");
+        registry.ingest(&job, 0, "w1", &lines[3], 40).expect("last");
+        registry.shard_done(&job, 0, "w1", 50).expect("done");
+    }
+
+    #[test]
+    fn expired_leases_move_to_new_workers_and_block_zombies() {
+        let mut registry = Registry::new(TTL);
+        let job = registry
+            .submit(tiny_spec(), 1, 0)
+            .expect("submit")
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string();
+        let lines = reference_lines(&tiny_spec());
+        registry.lease("dead", 0);
+        registry
+            .ingest(&job, 0, "dead", &lines[0], 10)
+            .expect("partial progress");
+        // Not expired yet: another worker cannot take or write the shard.
+        assert!(registry.lease("next", 60).get("lease").is_none());
+        assert!(matches!(
+            registry.ingest(&job, 0, "next", &lines[1], 60),
+            Err(ServiceError::Conflict(_))
+        ));
+        // After the TTL the shard is re-leased with the completed ids.
+        let lease = registry.lease("next", 200);
+        let lease = lease.get("lease").expect("expired lease is reassigned");
+        let completed: Vec<u64> = lease
+            .get("completed_ids")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(JsonValue::as_u64)
+            .collect();
+        assert_eq!(completed, vec![0]);
+        // The zombie's writes now conflict; the new worker's are accepted,
+        // and its re-streams of the zombie's records dedup.
+        assert!(matches!(
+            registry.ingest(&job, 0, "dead", &lines[1], 210),
+            Err(ServiceError::Conflict(_))
+        ));
+        let body = format!("{}\n{}\n{}\n", lines[1], lines[2], lines[3]);
+        let report = registry
+            .ingest(&job, 0, "next", &body, 220)
+            .expect("ingest");
+        assert_eq!(report.accepted, 3);
+        registry.shard_done(&job, 0, "next", 230).expect("done");
+        assert!(registry.drained());
+    }
+
+    #[test]
+    fn empty_campaigns_are_rejected_and_shards_clamp() {
+        let mut registry = Registry::new(TTL);
+        let mut empty = tiny_spec();
+        empty.policies.clear();
+        assert!(matches!(
+            registry.submit(empty, 2, 0),
+            Err(ServiceError::BadRequest(_))
+        ));
+        // 99 shards over 4 scenarios clamps to 4.
+        let status = registry.submit(tiny_spec(), 99, 0).expect("submit");
+        assert_eq!(
+            status
+                .get("shards")
+                .and_then(|s| s.get("count"))
+                .and_then(JsonValue::as_u64),
+            Some(4)
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! The HTTP front of the campaign service: a `std::net::TcpListener`
+//! accept loop that routes requests into the [`Registry`].
+//!
+//! Connections are short-lived (`Connection: close`, one request each) and
+//! each is handled on its own thread, so a slow client never blocks the
+//! accept loop and the registry mutex is the only synchronisation point.
+//! The server is clocked by a monotonic `Instant` taken at bind time; all
+//! lease deadlines live in that clock.
+//!
+//! # Endpoints
+//!
+//! | method & path | body | purpose |
+//! |---|---|---|
+//! | `GET /healthz` | — | liveness probe |
+//! | `POST /jobs` | `{"spec": <campaign spec>, "shards": n}` | submit a campaign, get a job id |
+//! | `GET /jobs` | — | status of every job |
+//! | `GET /jobs/{id}` | — | one job's status |
+//! | `GET /jobs/{id}/records?from=k` | — | JSONL records from index `k` (header `x-next-from`) |
+//! | `GET /jobs/{id}/summary` | — | aggregated campaign summary |
+//! | `GET /workers` | — | per-worker statistics |
+//! | `POST /lease` | `{"worker": name}` | lease the next available shard |
+//! | `POST /jobs/{id}/shards/{i}/records` | JSONL lines (`x-worker` header) | stream shard records |
+//! | `POST /jobs/{id}/shards/{i}/done` | — (`x-worker` header) | mark a shard complete |
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tats_engine::CampaignSpec;
+use tats_trace::JsonValue;
+
+use crate::error::ServiceError;
+use crate::http::{read_request, write_response, Request};
+use crate::registry::Registry;
+
+/// Tunables of one service instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Shard-lease TTL, ms: how long a silent worker keeps a shard before it
+    /// is re-leased. Every record batch a worker streams renews its lease,
+    /// so the TTL only has to outlast the gap *between* records of the
+    /// heaviest scenario, not the whole shard.
+    pub lease_ttl_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            lease_ttl_ms: 15_000,
+        }
+    }
+}
+
+/// A running campaign service.
+///
+/// Dropping the handle stops the server (see [`ServiceHandle::stop`]).
+#[derive(Debug)]
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound address (useful with an ephemeral `:0` bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The `host:port` string clients pass to [`crate::client`] and
+    /// `tats worker --connect`.
+    pub fn addr_string(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// connection handlers finish on their own threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The campaign service entry point.
+#[derive(Debug)]
+pub struct Service;
+
+impl Service {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, config: ServiceConfig) -> Result<ServiceHandle, ServiceError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(Mutex::new(Registry::new(config.lease_ttl_ms)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let epoch = Instant::now();
+            loop {
+                let Ok((stream, _)) = listener.accept() else {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // A persistent accept error (e.g. EMFILE while the
+                    // thread-per-connection pool is saturated) must not
+                    // busy-spin a core; back off briefly and retry.
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                };
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || handle_connection(stream, &registry, epoch));
+            }
+        });
+        Ok(ServiceHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Milliseconds since the server's epoch — the clock every lease deadline
+/// lives in.
+fn now_ms(epoch: Instant) -> u64 {
+    epoch.elapsed().as_millis() as u64
+}
+
+fn handle_connection(stream: TcpStream, registry: &Mutex<Registry>, epoch: Instant) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    match read_request(&mut reader) {
+        Err(error) => {
+            let _ = write_response(&mut writer, 400, "text/plain", &[], &format!("{error}\n"));
+        }
+        Ok(request) => {
+            let (status, content_type, extra, body) = route(&request, registry, epoch);
+            let extra: Vec<(&str, String)> = extra
+                .iter()
+                .map(|(name, value)| (name.as_str(), value.clone()))
+                .collect();
+            let _ = write_response(&mut writer, status, content_type, &extra, &body);
+        }
+    }
+}
+
+/// Routes one request. Returns `(status, content-type, extra headers,
+/// body)`; errors become plain-text bodies with the error's status code.
+fn route(
+    request: &Request,
+    registry: &Mutex<Registry>,
+    epoch: Instant,
+) -> (u16, &'static str, Vec<(String, String)>, String) {
+    match dispatch(request, registry, epoch) {
+        Ok(Reply {
+            status,
+            content_type,
+            extra,
+            body,
+        }) => (status, content_type, extra, body),
+        Err(error) => (
+            error.status_code(),
+            "text/plain",
+            Vec::new(),
+            format!("{error}\n"),
+        ),
+    }
+}
+
+/// A successful route result.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    extra: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn json(value: &JsonValue) -> Reply {
+        Reply {
+            status: 200,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: value.to_json(),
+        }
+    }
+}
+
+/// The `x-worker` header, required on shard mutations so ownership checks
+/// have a name to check against.
+fn worker_header(request: &Request) -> Result<&str, ServiceError> {
+    request
+        .header("x-worker")
+        .ok_or_else(|| ServiceError::BadRequest("missing x-worker header".to_string()))
+}
+
+fn parse_body_json(request: &Request) -> Result<JsonValue, ServiceError> {
+    JsonValue::parse(&request.body)
+        .map_err(|e| ServiceError::BadRequest(format!("request body: {e}")))
+}
+
+fn dispatch(
+    request: &Request,
+    registry: &Mutex<Registry>,
+    epoch: Instant,
+) -> Result<Reply, ServiceError> {
+    let segments = request.segments();
+    // Parse JSON bodies (and the campaign spec) *before* taking the
+    // registry lock: a large or malformed body must never stall the
+    // endpoints every worker depends on (lease renewal, ingest).
+    let body_json = match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"] | ["lease"]) => Some(parse_body_json(request)?),
+        _ => None,
+    };
+    let mut registry = registry.lock().map_err(|_| {
+        ServiceError::Protocol("registry mutex poisoned (a handler panicked)".to_string())
+    })?;
+    let now = now_ms(epoch);
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok(Reply::json(&JsonValue::object(vec![(
+            "ok".to_string(),
+            JsonValue::from(true),
+        )]))),
+        ("POST", ["jobs"]) => {
+            let body = body_json.as_ref().expect("parsed above");
+            let spec =
+                CampaignSpec::from_json(body.field("spec").map_err(ServiceError::BadRequest)?)
+                    .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+            let shards = body
+                .get("shards")
+                .map(|value| {
+                    value.as_u64().map(|n| n as usize).ok_or_else(|| {
+                        ServiceError::BadRequest(
+                            "'shards' must be a non-negative integer".to_string(),
+                        )
+                    })
+                })
+                .transpose()?
+                .unwrap_or(1);
+            let status = registry.submit(spec, shards, now)?;
+            Ok(Reply {
+                status: 201,
+                content_type: "application/json",
+                extra: Vec::new(),
+                body: status.to_json(),
+            })
+        }
+        ("GET", ["jobs"]) => Ok(Reply::json(&registry.jobs_status(now))),
+        ("GET", ["jobs", job]) => Ok(Reply::json(&registry.job_status(job, now)?)),
+        ("GET", ["jobs", job, "records"]) => {
+            let from = request
+                .query_param("from")
+                .map(|value| {
+                    value.parse::<usize>().map_err(|_| {
+                        ServiceError::BadRequest(format!("bad 'from' value '{value}'"))
+                    })
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let (body, next) = registry.records_from(job, from)?;
+            Ok(Reply {
+                status: 200,
+                content_type: "application/jsonl",
+                extra: vec![("x-next-from".to_string(), next.to_string())],
+                body,
+            })
+        }
+        ("GET", ["jobs", job, "summary"]) => Ok(Reply::json(&registry.summary(job, now)?)),
+        ("GET", ["workers"]) => Ok(Reply::json(&registry.workers_status())),
+        ("POST", ["lease"]) => {
+            let worker = body_json
+                .as_ref()
+                .expect("parsed above")
+                .field_str("worker")
+                .map_err(ServiceError::BadRequest)?;
+            Ok(Reply::json(&registry.lease(worker, now)))
+        }
+        ("POST", ["jobs", job, "shards", index, "records"]) => {
+            let worker = worker_header(request)?;
+            let index = parse_shard_index(index)?;
+            let report = registry.ingest(job, index, worker, &request.body, now)?;
+            Ok(Reply::json(&JsonValue::object(vec![
+                ("accepted".to_string(), JsonValue::from(report.accepted)),
+                ("duplicates".to_string(), JsonValue::from(report.duplicates)),
+                ("ignored".to_string(), JsonValue::from(report.ignored)),
+            ])))
+        }
+        ("POST", ["jobs", job, "shards", index, "done"]) => {
+            let worker = worker_header(request)?;
+            let index = parse_shard_index(index)?;
+            Ok(Reply::json(&registry.shard_done(job, index, worker, now)?))
+        }
+        (_, _) => Err(ServiceError::NotFound(format!(
+            "{} {}",
+            request.method, request.path
+        ))),
+    }
+}
+
+fn parse_shard_index(text: &str) -> Result<usize, ServiceError> {
+    text.parse::<usize>()
+        .map_err(|_| ServiceError::BadRequest(format!("bad shard index '{text}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let handle = Service::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+        let addr = handle.addr_string();
+        let health = client::get(&addr, "/healthz").expect("healthz");
+        assert_eq!(health.body, "{\"ok\":true}");
+        let missing = client::request(&addr, "GET", "/nope", &[], None).expect("request");
+        assert_eq!(missing.status, 404);
+        let bad = client::request(&addr, "POST", "/jobs", &[], Some("not json")).expect("request");
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("request body"), "{}", bad.body);
+        let unknown_job = client::request(&addr, "GET", "/jobs/j000009", &[], None).expect("req");
+        assert_eq!(unknown_job.status, 404);
+        handle.stop();
+    }
+
+    #[test]
+    fn stop_unbinds_the_port() {
+        let handle = Service::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+        let addr = handle.addr_string();
+        client::get(&addr, "/healthz").expect("alive");
+        handle.stop();
+        // After stop the listener is gone: connecting fails (or the probe
+        // errors), never hangs.
+        assert!(client::get(&addr, "/healthz").is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! The shard worker: a pull loop that turns lease responses into campaign
+//! work.
+//!
+//! A worker owns no state the server cannot reconstruct. Each iteration it
+//! asks `POST /lease` for a shard; the response is self-contained (campaign
+//! spec, shard selector, completed scenario ids), so the worker rebuilds the
+//! [`Campaign`](tats_engine::Campaign) locally, verifies the spec
+//! fingerprint matches the server's, and runs the shard's missing scenarios
+//! through the existing [`Executor`] — per-worker geometry-keyed thermal
+//! caches included. Every completed record is streamed back immediately
+//! (`POST .../records`, which also renews the lease), so a worker killed
+//! mid-shard loses at most the scenario in flight: the re-leased shard
+//! resumes from the server's completed ids and the server dedups re-streams,
+//! so records are never duplicated or dropped.
+
+use std::collections::BTreeSet;
+use std::process;
+use std::time::Duration;
+
+use tats_engine::{CampaignSpec, EngineError, Executor, Shard};
+use tats_trace::JsonValue;
+
+use crate::client;
+use crate::error::ServiceError;
+
+/// Tunables of one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Self-reported name, the unit of lease ownership. Must be unique per
+    /// live worker (the default includes the process id).
+    pub name: String,
+    /// Worker threads of the embedded executor (`0` = all cores).
+    pub threads: usize,
+    /// Sleep between polls while no shard is available, ms.
+    pub poll_ms: u64,
+    /// Exit once the server reports itself drained (every submitted job
+    /// done) instead of polling forever. Batch drivers (the bench, CI) set
+    /// this; long-lived fleet workers keep the default `false`.
+    pub exit_when_drained: bool,
+    /// Test hook: abort the process-visible part of the worker (return an
+    /// error as a crash would) after this many records have been streamed.
+    /// Exercises the killed-worker → lease-expiry → resume path without
+    /// spawning and killing real processes.
+    pub fail_after_records: Option<usize>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            name: format!("worker-{}", process::id()),
+            threads: 1,
+            poll_ms: 200,
+            exit_when_drained: false,
+            fail_after_records: None,
+        }
+    }
+}
+
+/// What a worker accomplished before exiting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Shards leased, run to completion and acknowledged as done.
+    pub shards_completed: usize,
+    /// Records streamed to the server (across all shards and attempts).
+    pub records_posted: usize,
+    /// Lease polls that came back idle.
+    pub idle_polls: u64,
+}
+
+/// One parsed lease.
+#[derive(Debug)]
+struct Lease {
+    job: String,
+    shard: Shard,
+    spec: CampaignSpec,
+    completed: BTreeSet<u64>,
+}
+
+/// Wraps a field-accessor message (`JsonValue::field_*`) as a lease
+/// protocol error.
+fn lease_error(message: String) -> ServiceError {
+    ServiceError::Protocol(format!("lease response: {message}"))
+}
+
+fn parse_lease(value: &JsonValue) -> Result<Lease, ServiceError> {
+    let job = value.field_str("job").map_err(lease_error)?.to_string();
+    let shard = Shard::parse(value.field_str("shard").map_err(lease_error)?)
+        .map_err(|e| ServiceError::Protocol(e.to_string()))?;
+    let spec = CampaignSpec::from_json(value.field("spec").map_err(lease_error)?)
+        .map_err(|e| ServiceError::Protocol(format!("lease spec: {e}")))?;
+    // The spec fingerprint is the cross-process resume contract: if our
+    // parse of the spec hashes differently than the server's, the two sides
+    // would disagree on what each scenario id means — refuse to run.
+    let fingerprint = value.field_str("fingerprint").map_err(lease_error)?;
+    if spec.fingerprint() != fingerprint {
+        return Err(ServiceError::Protocol(format!(
+            "campaign fingerprint mismatch: server says {fingerprint}, this build derives {}",
+            spec.fingerprint()
+        )));
+    }
+    let completed = value
+        .field_array("completed_ids")
+        .map_err(lease_error)?
+        .iter()
+        .map(|id| {
+            id.as_u64()
+                .ok_or_else(|| lease_error("field 'completed_ids' must contain integers".into()))
+        })
+        .collect::<Result<BTreeSet<u64>, _>>()?;
+    Ok(Lease {
+        job,
+        shard,
+        spec,
+        completed,
+    })
+}
+
+/// Runs one leased shard, streaming records back and counting each
+/// successful post into `posted_total` (which therefore survives failed
+/// attempts). `Err(ServiceError::Http {status: 409, ..})` means the lease
+/// was lost (the caller abandons the shard and polls again), `Aborted` is
+/// the injected-crash hook, anything else is fatal.
+fn run_shard(
+    addr: &str,
+    config: &WorkerConfig,
+    lease: &Lease,
+    posted_total: &mut usize,
+) -> Result<(), ServiceError> {
+    let campaign = lease.spec.to_campaign();
+    let scenarios = campaign.shard_scenarios(lease.shard);
+    let records_path = format!("/jobs/{}/shards/{}/records", lease.job, lease.shard.index);
+    let headers = [("x-worker", config.name.clone())];
+    let mut failure: Option<ServiceError> = None;
+    let run =
+        Executor::new(config.threads).run(&campaign, &scenarios, &lease.completed, |record| {
+            if let Some(limit) = config.fail_after_records {
+                if *posted_total >= limit {
+                    failure = Some(ServiceError::Aborted(format!(
+                        "injected failure after {limit} records"
+                    )));
+                    return Err(EngineError::InvalidParameter("injected failure".into()));
+                }
+            }
+            let mut line = record.to_json().to_json();
+            line.push('\n');
+            let response = client::request(addr, "POST", &records_path, &headers, Some(&line))
+                .and_then(client::expect_ok);
+            match response {
+                Ok(_) => {
+                    *posted_total += 1;
+                    Ok(())
+                }
+                Err(error) => {
+                    failure = Some(error);
+                    Err(EngineError::InvalidParameter("record post failed".into()))
+                }
+            }
+        });
+    match run {
+        Ok(_) => {
+            client::request(
+                addr,
+                "POST",
+                &format!("/jobs/{}/shards/{}/done", lease.job, lease.shard.index),
+                &headers,
+                None,
+            )
+            .and_then(client::expect_ok)?;
+            Ok(())
+        }
+        Err(engine_error) => Err(match failure {
+            // The sink aborted the run: surface the transport/injected error.
+            Some(error) => error,
+            // The scenario itself failed — a real evaluation bug, fatal.
+            None => ServiceError::Engine(engine_error),
+        }),
+    }
+}
+
+/// The worker main loop: poll `addr` for shard leases and run them until
+/// the server is drained (with [`WorkerConfig::exit_when_drained`]) or the
+/// process is killed.
+///
+/// # Errors
+///
+/// Returns transport errors against an unreachable server, protocol errors
+/// (including a campaign-fingerprint mismatch), scenario-evaluation
+/// failures, and [`ServiceError::Aborted`] from the injected-crash hook. A
+/// *lost lease* (HTTP 409) is not an error: the shard was re-leased to a
+/// healthier worker, so this one abandons it and polls on.
+pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, ServiceError> {
+    let mut report = WorkerReport::default();
+    loop {
+        let lease_request = JsonValue::object(vec![(
+            "worker".to_string(),
+            JsonValue::from(config.name.as_str()),
+        )]);
+        let response = client::post_json(addr, "/lease", &lease_request)?;
+        if let Some(lease_value) = response.get("lease") {
+            let lease = parse_lease(lease_value)?;
+            match run_shard(addr, config, &lease, &mut report.records_posted) {
+                Ok(()) => report.shards_completed += 1,
+                Err(ServiceError::Http { status: 409, .. }) => {
+                    // Lease lost: our records so far are (deduped) on the
+                    // server, the shard belongs to someone else now.
+                    continue;
+                }
+                // An injected crash must look like one: propagate.
+                Err(error) => return Err(error),
+            }
+        } else {
+            report.idle_polls += 1;
+            let drained = response
+                .get("drained")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false);
+            if drained && config.exit_when_drained {
+                return Ok(report);
+            }
+            std::thread::sleep(Duration::from_millis(config.poll_ms.max(1)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_parsing_validates_shape_and_fingerprint() {
+        let spec = CampaignSpec::default();
+        let mut fields = vec![
+            ("job".to_string(), JsonValue::from("j000001")),
+            ("shard".to_string(), JsonValue::from("0/2")),
+            ("spec".to_string(), spec.to_json()),
+            (
+                "fingerprint".to_string(),
+                JsonValue::from(spec.fingerprint().as_str()),
+            ),
+            (
+                "completed_ids".to_string(),
+                JsonValue::Array(vec![JsonValue::from(0usize), JsonValue::from(2usize)]),
+            ),
+            ("ttl_ms".to_string(), JsonValue::from(1000usize)),
+        ];
+        let lease = parse_lease(&JsonValue::object(fields.clone())).expect("valid lease");
+        assert_eq!(lease.job, "j000001");
+        assert_eq!((lease.shard.index, lease.shard.count), (0, 2));
+        assert_eq!(lease.completed.iter().copied().collect::<Vec<_>>(), [0, 2]);
+
+        // A fingerprint that does not match the spec is refused.
+        fields[3] = ("fingerprint".to_string(), JsonValue::from("deadbeef"));
+        let error = parse_lease(&JsonValue::object(fields.clone())).expect_err("mismatch");
+        assert!(error.to_string().contains("fingerprint"), "{error}");
+
+        // Missing fields are named.
+        let error = parse_lease(&JsonValue::object(vec![])).expect_err("empty");
+        assert!(error.to_string().contains("job"), "{error}");
+    }
+
+    #[test]
+    fn default_config_names_include_the_pid() {
+        let config = WorkerConfig::default();
+        assert!(config.name.starts_with("worker-"));
+        assert_eq!(config.threads, 1);
+        assert!(!config.exit_when_drained);
+    }
+}

@@ -10,6 +10,14 @@ pub enum TraceError {
     InvalidParameter(String),
     /// The object being rendered was empty.
     EmptyInput(String),
+    /// A JSON document could not be parsed; carries the byte offset of the
+    /// failure and a description of what was expected.
+    Parse {
+        /// Byte offset in the input where parsing failed.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -17,6 +25,9 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::InvalidParameter(message) => write!(f, "invalid parameter: {message}"),
             TraceError::EmptyInput(what) => write!(f, "nothing to render: {what}"),
+            TraceError::Parse { offset, message } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
         }
     }
 }

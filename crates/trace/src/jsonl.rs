@@ -70,6 +70,44 @@ impl<W: Write> JsonlWriter<W> {
     }
 }
 
+/// Returns `true` if a line is a structurally complete JSONL record — it
+/// opens and closes an object. A process killed mid-[`JsonlWriter::write`]
+/// leaves a partial final line; such a line must be *ignored* by the resume
+/// scanner (the scenario simply re-runs), never trusted (its id may have
+/// survived while the rest of the record did not) and never treated as an
+/// error (a killed worker must leave a resumable file).
+pub fn is_complete_record(line: &str) -> bool {
+    let trimmed = line.trim();
+    trimmed.starts_with('{') && trimmed.ends_with('}')
+}
+
+/// Repairs a JSONL file whose final record was truncated by a crash
+/// mid-write: drops every byte after the last newline, so subsequent appends
+/// start on a fresh line instead of concatenating onto the partial record.
+/// Returns the number of bytes dropped (0 for a clean file or a missing
+/// one).
+///
+/// # Errors
+///
+/// Propagates I/O errors (other than the file not existing).
+pub fn truncate_partial_tail(path: &std::path::Path) -> io::Result<u64> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(0);
+    }
+    let keep = bytes
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |index| index + 1) as u64;
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep)?;
+    Ok(bytes.len() as u64 - keep)
+}
+
 /// Extracts the top-level numeric `"id"` field of a JSONL line written by
 /// [`JsonlWriter`]. Returns `None` for lines without one (or with a
 /// non-numeric id).
@@ -99,9 +137,11 @@ pub fn line_str_field<'l>(line: &'l str, field: &str) -> Option<&'l str> {
 }
 
 /// Scans an existing JSONL stream and collects the scenario ids already
-/// present — the resume set of a batch campaign. Blank lines and lines
-/// without an id are skipped (a line truncated by a crash simply doesn't
-/// count as done).
+/// present — the resume set of a batch campaign. Blank lines, lines without
+/// an id and structurally incomplete lines are skipped: a record truncated
+/// by a crash mid-write does not count as done even when its `"id"` field
+/// happens to have reached the disk, so the scenario re-runs instead of its
+/// partial data being trusted.
 ///
 /// # Errors
 ///
@@ -110,6 +150,9 @@ pub fn completed_ids(reader: impl BufRead) -> io::Result<BTreeSet<u64>> {
     let mut ids = BTreeSet::new();
     for line in reader.lines() {
         let line = line?;
+        if !is_complete_record(&line) {
+            continue;
+        }
         if let Some(id) = line_id(&line) {
             ids.insert(id);
         }
@@ -153,12 +196,44 @@ mod tests {
 
     #[test]
     fn malformed_and_blank_lines_are_skipped() {
-        let text = "\n{\"id\":3}\n{\"other\":1}\ngarbage\n{\"id\":no}\n{\"id\":12";
+        let text = "\n{\"id\":3}\n{\"other\":1}\ngarbage\n{\"id\":no}\n{\"id\":12,\"max_temp_c\":4";
         let ids = completed_ids(text.as_bytes()).unwrap();
-        // A truncated final line whose id survived still counts as done; a
-        // line cut before the id is simply skipped and its scenario re-runs.
-        // Either way the resume set stays sound.
-        assert_eq!(ids.into_iter().collect::<Vec<_>>(), vec![3, 12]);
+        // The final line was truncated by a crash mid-write: even though its
+        // id survived, the record did not, so it must NOT count as done —
+        // the scenario re-runs and the resume set stays sound.
+        assert_eq!(ids.into_iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn complete_record_detection() {
+        assert!(is_complete_record("{\"id\":3}"));
+        assert!(is_complete_record("  {\"id\":3}  "));
+        assert!(!is_complete_record("{\"id\":3"));
+        assert!(!is_complete_record(""));
+        assert!(!is_complete_record("garbage"));
+    }
+
+    #[test]
+    fn truncate_partial_tail_repairs_crashed_files() {
+        let path = std::env::temp_dir().join("tats_trace_truncate_tail_test.jsonl");
+        // A clean file is untouched.
+        std::fs::write(&path, "{\"id\":0}\n{\"id\":1}\n").unwrap();
+        assert_eq!(truncate_partial_tail(&path).unwrap(), 0);
+        // A partial trailing record (crash mid-write) is dropped so appends
+        // start on a fresh line.
+        std::fs::write(&path, "{\"id\":0}\n{\"id\":1}\n{\"id\":2,\"max_t").unwrap();
+        assert_eq!(truncate_partial_tail(&path).unwrap(), 14);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"id\":0}\n{\"id\":1}\n"
+        );
+        // A file that is nothing but a partial record empties out.
+        std::fs::write(&path, "{\"id\":7,\"ke").unwrap();
+        assert_eq!(truncate_partial_tail(&path).unwrap(), 11);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        // Missing files are fine (first run of a campaign).
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(truncate_partial_tail(&path).unwrap(), 0);
     }
 
     #[test]
