@@ -1,14 +1,16 @@
 //! Floorplanner benches: the cost-evaluation hot path (naive per-candidate
 //! thermal-model rebuild vs the cached `ThermalSession` kernel vs the
-//! memoised kernel) plus the engine ablation (GA vs SA vs the unoptimised
-//! initial layout) with thermal-aware and area-only objectives.
+//! memoised kernel), the placement-evaluation tier (full `O(n)` Polish
+//! re-evaluation vs the incremental `O(depth)` Stockmeyer slicing tree, with
+//! the area-only root-curve tier) and the engine ablation (GA vs SA vs the
+//! unoptimised initial layout) with thermal-aware and area-only objectives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use tats_floorplan::{
-    CostEvaluator, CostWeights, Engine, Floorplanner, GaConfig, Module, Net, Placement,
-    PolishExpression, SaConfig,
+    testutil, CostEvaluator, CostWeights, Engine, Floorplanner, GaConfig, Module, Net, Placement,
+    PolishExpression, SaConfig, ShapeMode, SlicingTree,
 };
 use tats_thermal::ThermalConfig;
 
@@ -86,6 +88,70 @@ fn bench_cost_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The SA inner-loop placement tier at growing module counts: one move,
+/// one evaluation, accept half the time. `full` re-evaluates the whole
+/// expression; `incremental` updates the slicing tree's touched root path
+/// (same placements to the bit); `area_tier` additionally skips the
+/// placement walk and reads the root curve only (the area-only objective).
+fn bench_placement_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("floorplanner_placement_evaluation");
+    group.sample_size(20);
+    for count in [8usize, 32, 64] {
+        let modules = testutil::module_set(count, 0xBE7C);
+
+        group.bench_function(BenchmarkId::new("full", count), |b| {
+            let mut expr = PolishExpression::initial(count).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let (candidate, _mv) = expr.perturb_move(&mut rng);
+                let placement = candidate.evaluate(&modules).unwrap();
+                if rng.gen_bool(0.5) {
+                    expr = candidate;
+                }
+                placement.area()
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("incremental", count), |b| {
+            let mut expr = PolishExpression::initial(count).unwrap();
+            let mut tree = SlicingTree::new(&expr, &modules, ShapeMode::Fixed).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut placement = expr.evaluate(&modules).unwrap();
+            b.iter(|| {
+                let (candidate, mv) = expr.perturb_move(&mut rng);
+                tree.apply(&mv);
+                tree.placement_into(&mut placement);
+                if rng.gen_bool(0.5) {
+                    tree.commit();
+                    expr = candidate;
+                } else {
+                    tree.rollback();
+                }
+                placement.area()
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("area_tier", count), |b| {
+            let mut expr = PolishExpression::initial(count).unwrap();
+            let mut tree = SlicingTree::new(&expr, &modules, ShapeMode::Fixed).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let (candidate, mv) = expr.perturb_move(&mut rng);
+                tree.apply(&mv);
+                let (width, height) = tree.min_area_shape();
+                if rng.gen_bool(0.5) {
+                    tree.commit();
+                    expr = candidate;
+                } else {
+                    tree.rollback();
+                }
+                width * height
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_engines(c: &mut Criterion) {
     let engines: Vec<(&str, Engine)> = vec![
         ("initial_only", Engine::InitialOnly),
@@ -136,5 +202,10 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cost_evaluation, bench_engines);
+criterion_group!(
+    benches,
+    bench_cost_evaluation,
+    bench_placement_evaluation,
+    bench_engines
+);
 criterion_main!(benches);

@@ -50,6 +50,13 @@ COMMANDS:
                    --benchmark Bm1..Bm4               (default: Bm1)
     dvs          DVS slack reclamation on top of a schedule
                    --benchmark Bm1..Bm4 --policy ...  (default: Bm1, thermal)
+    floorplan    Run the thermal-aware floorplanner standalone
+                   --modules 8 --seed 7               deterministic module/net set
+                   --engine sa|ga|initial             (default: sa)
+                   --eval full|incremental            candidate evaluator (default:
+                                                      incremental Stockmeyer curves;
+                                                      results are identical)
+                   --weights area|thermal             objective (default: area)
     grid         Fine-grained grid thermal validation of a schedule
                    --benchmark Bm1..Bm4 --policy ...  (default: Bm1, thermal)
                    --nx 32 --ny 32                    grid resolution
@@ -395,6 +402,104 @@ pub fn grid(options: &Options) -> Result<String, CliError> {
         "solver setup {:.1} ms, steady-state solve {:.3} ms\n",
         build_s * 1e3,
         solve_s * 1e3
+    ));
+    Ok(out)
+}
+
+/// `tats floorplan` — run the thermal-aware floorplanner standalone over a
+/// deterministic module set, with selectable engine and candidate-evaluation
+/// strategy (`--eval full|incremental`; identical results, different speed).
+pub fn floorplan(options: &Options) -> Result<String, CliError> {
+    use tats_floorplan::{
+        testutil, CostWeights, Engine, EvalStrategy, Floorplanner, GaConfig, SaConfig,
+    };
+
+    let count = options.number("modules", 8.0)? as usize;
+    if count == 0 {
+        return Err(CliError::InvalidValue {
+            option: "modules".to_string(),
+            value: "0".to_string(),
+            expected: "at least one module".to_string(),
+        });
+    }
+    let seed = options.number("seed", 7.0)? as u64;
+    let eval = match options.value_or("eval", "incremental") {
+        "full" => EvalStrategy::Full,
+        "incremental" => EvalStrategy::Incremental,
+        other => {
+            return Err(CliError::InvalidValue {
+                option: "eval".to_string(),
+                value: other.to_string(),
+                expected: "full or incremental".to_string(),
+            })
+        }
+    };
+    let weights = match options.value_or("weights", "area") {
+        "area" => CostWeights::area_only(),
+        "thermal" => CostWeights::thermal_aware(),
+        other => {
+            return Err(CliError::InvalidValue {
+                option: "weights".to_string(),
+                value: other.to_string(),
+                expected: "area or thermal".to_string(),
+            })
+        }
+    };
+    let (engine_name, engine) = match options.value_or("engine", "sa") {
+        "sa" | "annealing" => (
+            "simulated annealing",
+            Engine::Annealing(SaConfig {
+                seed,
+                eval,
+                ..SaConfig::default()
+            }),
+        ),
+        "ga" | "genetic" => (
+            "genetic algorithm",
+            Engine::Genetic(GaConfig {
+                seed,
+                eval,
+                ..GaConfig::default()
+            }),
+        ),
+        "initial" => ("initial layout only", Engine::InitialOnly),
+        other => {
+            return Err(CliError::InvalidValue {
+                option: "engine".to_string(),
+                value: other.to_string(),
+                expected: "sa, ga or initial".to_string(),
+            })
+        }
+    };
+
+    let modules = testutil::module_set(count, seed);
+    let nets = testutil::net_set(count / 2, count, seed);
+    let start = std::time::Instant::now();
+    let solution = Floorplanner::new(modules)
+        .with_nets(nets)
+        .with_weights(weights)
+        .with_engine(engine)
+        .run()
+        .map_err(execution_error)?;
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let eval_name = match eval {
+        EvalStrategy::Full => "full O(n) re-evaluation",
+        EvalStrategy::Incremental => "incremental shape curves",
+    };
+    let mut out = format!("Floorplanned {count} modules with {engine_name} ({eval_name})\n\n");
+    out.push_str(&format!(
+        "chip area: {:.2} mm2, wirelength: {:.2} mm, peak temperature: {:.2} C\n",
+        solution.cost.area_m2 * 1e6,
+        solution.cost.wirelength_m * 1e3,
+        solution.cost.peak_temperature_c,
+    ));
+    out.push_str(&format!(
+        "weighted cost: {:.9}\n{} candidate evaluation(s) in {:.3} s ({:.0} evals/sec)\n",
+        solution.cost.weighted,
+        solution.evaluations,
+        wall_s,
+        solution.evaluations as f64 / wall_s.max(1e-12),
     ));
     Ok(out)
 }
@@ -1357,6 +1462,59 @@ mod tests {
         let resume = opts(&["--resume"], BATCH_VALUES, &["resume", "full"]);
         let error = batch(&resume).expect_err("resume without out");
         assert!(error.to_string().contains("--out"));
+    }
+
+    #[test]
+    fn floorplan_runs_and_both_eval_strategies_agree() {
+        const FLOORPLAN_VALUES: &[&str] = &["modules", "seed", "engine", "eval", "weights"];
+        let run = |eval: &str| {
+            floorplan(&opts(
+                &["--modules", "6", "--engine", "sa", "--eval", eval],
+                FLOORPLAN_VALUES,
+                &[],
+            ))
+            .expect("floorplan")
+        };
+        let incremental = run("incremental");
+        assert!(incremental.contains("6 modules"), "{incremental}");
+        assert!(
+            incremental.contains("incremental shape curves"),
+            "{incremental}"
+        );
+        assert!(incremental.contains("weighted cost:"), "{incremental}");
+        let full = run("full");
+        // Identical solution either way: compare everything after the
+        // strategy banner — costs, dims and the candidate-evaluation count
+        // (trajectory length), dropping only the wall-clock portion.
+        let tail = |text: &str| {
+            text.lines()
+                .filter_map(|line| {
+                    if line.contains("chip area") || line.contains("weighted cost") {
+                        Some(line.to_string())
+                    } else {
+                        line.split_once(" candidate evaluation(s)")
+                            .map(|(count, _)| format!("{count} evaluations"))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&incremental), tail(&full));
+    }
+
+    #[test]
+    fn floorplan_rejects_bad_options() {
+        const FLOORPLAN_VALUES: &[&str] = &["modules", "seed", "engine", "eval", "weights"];
+        for (option, value) in [
+            ("--modules", "0"),
+            ("--engine", "warp"),
+            ("--eval", "psychic"),
+            ("--weights", "vibes"),
+        ] {
+            let error =
+                floorplan(&opts(&[option, value], FLOORPLAN_VALUES, &[])).expect_err("must reject");
+            assert!(matches!(error, CliError::InvalidValue { .. }), "{option}");
+        }
     }
 
     #[test]

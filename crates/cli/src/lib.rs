@@ -9,6 +9,7 @@
 //! tats sweep --sizes 25,50,100
 //! tats reliability --benchmark Bm1
 //! tats dvs --benchmark Bm1 --policy thermal
+//! tats floorplan --modules 16 --engine sa --eval incremental
 //! tats batch --benchmarks all --policies all --shard 0/2 --out results.jsonl
 //! tats serve --port 7070
 //! tats worker --connect 127.0.0.1:7070
@@ -40,6 +41,7 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
         "reliability" => (&["benchmark"], &[]),
         "dvs" => (&["benchmark", "policy"], &[]),
         "grid" => (&["benchmark", "policy", "nx", "ny", "solver"], &[]),
+        "floorplan" => (&["modules", "seed", "engine", "eval", "weights"], &[]),
         "batch" => (
             &[
                 "benchmarks",
@@ -111,6 +113,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "reliability" => commands::reliability(&options),
         "dvs" => commands::dvs(&options),
         "grid" => commands::grid(&options),
+        "floorplan" => commands::floorplan(&options),
         "batch" => commands::batch(&options),
         "serve" => commands::serve(&options),
         "worker" => commands::worker(&options),

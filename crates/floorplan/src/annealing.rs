@@ -12,6 +12,8 @@ use rand::{Rng, SeedableRng};
 use crate::cost::{CostBreakdown, CostEvaluator};
 use crate::error::FloorplanError;
 use crate::polish::{Placement, PolishExpression};
+use crate::shapes::ShapeMode;
+use crate::slicing::{EvalStrategy, SlicingTree};
 
 /// Parameters of the simulated-annealing engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +28,9 @@ pub struct SaConfig {
     pub final_temperature: f64,
     /// Seed of the pseudo-random generator.
     pub seed: u64,
+    /// Candidate evaluator: incremental shape curves (default) or the full
+    /// `O(n)` re-evaluation. Both produce bit-identical trajectories.
+    pub eval: EvalStrategy,
 }
 
 impl Default for SaConfig {
@@ -36,6 +41,7 @@ impl Default for SaConfig {
             moves_per_temperature: 40,
             final_temperature: 1e-3,
             seed: 0x5A5A,
+            eval: EvalStrategy::Incremental,
         }
     }
 }
@@ -81,6 +87,13 @@ pub struct OptimisedFloorplan {
 
 /// Runs simulated annealing over Polish expressions.
 ///
+/// With [`EvalStrategy::Incremental`] (the default) the annealer maintains
+/// one [`SlicingTree`] across the whole run: each move updates only the
+/// touched root path, a rejected move is a journaled rollback, and under an
+/// area-only objective acceptance is decided from the root shape curve alone
+/// — `O(depth)` per move with no placement walk. Trajectories (and results)
+/// are bit-identical to [`EvalStrategy::Full`].
+///
 /// # Errors
 ///
 /// Propagates configuration validation and cost-evaluation errors.
@@ -107,27 +120,77 @@ pub fn anneal(
     let mut best_cost = current_cost;
     let mut evaluations = 1usize;
 
+    // Incremental state: the slicing tree tracks `current`, the buffer
+    // receives candidate placements without reallocating. The shape tier
+    // (area-only weights) skips the placement walk entirely and only
+    // materialises the winning placement after the run.
+    let incremental = config.eval == EvalStrategy::Incremental;
+    let shape_tier = incremental && evaluator.is_area_only();
+    let mut tree = if incremental {
+        Some(SlicingTree::new(
+            &current,
+            evaluator.modules(),
+            ShapeMode::Fixed,
+        )?)
+    } else {
+        None
+    };
+    let mut candidate_placement = current_placement.clone();
+
     let mut temperature = config.initial_temperature;
     while temperature > config.final_temperature {
         for _ in 0..config.moves_per_temperature {
-            let candidate = current.perturb(&mut rng);
-            let placement = candidate.evaluate(evaluator.modules())?;
-            let cost = evaluator.cost_with(&placement, &mut scratch)?;
+            let (candidate, mv) = current.perturb_move(&mut rng);
+            let cost = match tree.as_mut() {
+                Some(tree) => {
+                    tree.apply(&mv);
+                    debug_assert_eq!(tree.elements(), candidate.elements());
+                    if shape_tier {
+                        let (width, height) = tree.min_area_shape();
+                        evaluator.cost_of_shape(width, height)
+                    } else {
+                        tree.placement_into(&mut candidate_placement);
+                        evaluator.cost_with(&candidate_placement, &mut scratch)?
+                    }
+                }
+                None => {
+                    candidate_placement = candidate.evaluate(evaluator.modules())?;
+                    evaluator.cost_with(&candidate_placement, &mut scratch)?
+                }
+            };
             evaluations += 1;
             let delta = cost.weighted - current_cost.weighted;
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
             if accept {
+                if let Some(tree) = tree.as_mut() {
+                    tree.commit();
+                }
                 current = candidate;
-                current_placement = placement;
                 current_cost = cost;
+                if !shape_tier {
+                    current_placement.clone_from(&candidate_placement);
+                }
                 if current_cost.weighted < best_cost.weighted {
                     best = current.clone();
-                    best_placement = current_placement.clone();
                     best_cost = current_cost;
+                    if !shape_tier {
+                        best_placement.clone_from(&current_placement);
+                    }
                 }
+            } else if let Some(tree) = tree.as_mut() {
+                tree.rollback();
             }
         }
         temperature *= config.cooling_rate;
+    }
+
+    if shape_tier {
+        // Materialise the winning placement once; `cost_with` reproduces the
+        // exact breakdown the full path would have recorded at acceptance
+        // time (the zero-weight terms carry their actual values).
+        best_placement =
+            SlicingTree::new(&best, evaluator.modules(), ShapeMode::Fixed)?.placement();
+        best_cost = evaluator.cost_with(&best_placement, &mut scratch)?;
     }
 
     Ok(OptimisedFloorplan {
@@ -141,30 +204,12 @@ pub fn anneal(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::{CostWeights, Net};
-    use crate::module::Module;
-    use tats_thermal::ThermalConfig;
+    use crate::cost::CostWeights;
+    use crate::testutil;
 
+    /// The shared deterministic five-module fixture (see [`testutil`]).
     fn evaluator() -> CostEvaluator {
-        let modules = vec![
-            Module::from_mm("a", 8.0, 3.0, 6.0),
-            Module::from_mm("b", 3.0, 8.0, 2.0),
-            Module::from_mm("c", 5.0, 5.0, 1.0),
-            Module::from_mm("d", 4.0, 6.0, 4.0),
-            Module::from_mm("e", 6.0, 4.0, 0.5),
-        ];
-        let reference = PolishExpression::initial(modules.len())
-            .unwrap()
-            .evaluate(&modules)
-            .unwrap();
-        CostEvaluator::new(
-            modules,
-            vec![Net::new(vec![0, 1, 2]), Net::new(vec![3, 4])],
-            CostWeights::thermal_aware(),
-            ThermalConfig::default(),
-            &reference,
-        )
-        .unwrap()
+        testutil::evaluator(5, 0x5A, CostWeights::thermal_aware()).unwrap()
     }
 
     #[test]
@@ -214,21 +259,11 @@ mod tests {
     fn annealing_improves_area_over_the_strip_layout() {
         // The initial alternating expression is already decent; a pure-area
         // anneal should at least not regress and usually squeeze the box.
-        let modules: Vec<Module> = (0..6)
-            .map(|i| Module::from_mm(format!("m{i}"), 2.0 + i as f64, 8.0 - i as f64, 1.0))
-            .collect();
-        let reference = PolishExpression::initial(modules.len())
+        let eval = testutil::evaluator(6, 0xA0EA, CostWeights::area_only()).unwrap();
+        let reference = PolishExpression::initial(6)
             .unwrap()
-            .evaluate(&modules)
+            .evaluate(eval.modules())
             .unwrap();
-        let eval = CostEvaluator::new(
-            modules,
-            vec![],
-            CostWeights::area_only(),
-            ThermalConfig::default(),
-            &reference,
-        )
-        .unwrap();
         let result = anneal(
             &eval,
             SaConfig {
@@ -238,6 +273,41 @@ mod tests {
         )
         .unwrap();
         assert!(result.cost.area_m2 <= reference.area() + 1e-12);
+    }
+
+    #[test]
+    fn full_and_incremental_evaluation_are_bit_identical() {
+        // The tentpole acceptance bar: swapping the evaluator must not move
+        // a single ulp of the trajectory — same expression, same placement,
+        // same cost bits — under both the placement path (thermal-aware
+        // weights) and the O(depth) shape tier (area-only weights).
+        for weights in [CostWeights::thermal_aware(), CostWeights::area_only()] {
+            let eval = testutil::evaluator(6, 0xB17, weights).unwrap();
+            let full = anneal(
+                &eval,
+                SaConfig {
+                    eval: EvalStrategy::Full,
+                    ..SaConfig::default()
+                },
+            )
+            .unwrap();
+            let incremental = anneal(
+                &eval,
+                SaConfig {
+                    eval: EvalStrategy::Incremental,
+                    ..SaConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(full.expression, incremental.expression);
+            assert_eq!(full.placement, incremental.placement);
+            assert_eq!(full.cost, incremental.cost);
+            assert_eq!(
+                full.cost.weighted.to_bits(),
+                incremental.cost.weighted.to_bits()
+            );
+            assert_eq!(full.evaluations, incremental.evaluations);
+        }
     }
 
     #[test]

@@ -8,7 +8,15 @@
 //!
 //! * [`Module`] — rectangular blocks with estimated average power,
 //! * [`PolishExpression`] — slicing floorplans in postfix notation with the
-//!   classical perturbation moves,
+//!   classical perturbation moves (reported as [`Move`]s for incremental
+//!   evaluation),
+//! * [`shapes`]/[`slicing`] — Stockmeyer shape curves and the incremental
+//!   [`SlicingTree`] evaluator. Curves are monotone staircases (widths
+//!   strictly increase, heights strictly decrease, no dominated or
+//!   duplicate-width corners) and fixed-shape curve evaluation is
+//!   bit-identical to [`PolishExpression::evaluate`]; SA/GA moves update
+//!   only the touched root path ([`EvalStrategy::Incremental`], the
+//!   default), with journaled rollback for rejected moves,
 //! * [`CostEvaluator`] / [`CostWeights`] — weighted area + wirelength +
 //!   peak-temperature objective (the temperature term runs the compact
 //!   thermal model of [`tats_thermal`]),
@@ -48,6 +56,9 @@ mod floorplanner;
 pub mod ga;
 mod module;
 mod polish;
+pub mod shapes;
+pub mod slicing;
+pub mod testutil;
 
 pub use annealing::{anneal, OptimisedFloorplan, SaConfig};
 pub use cost::{CostBreakdown, CostEvaluator, CostScratch, CostWeights, Net};
@@ -55,7 +66,9 @@ pub use error::FloorplanError;
 pub use floorplanner::{Engine, FloorplanSolution, Floorplanner};
 pub use ga::{evolve, GaConfig};
 pub use module::Module;
-pub use polish::{Element, Placement, PolishExpression};
+pub use polish::{Element, Move, Placement, PolishExpression};
+pub use shapes::{CurvePoint, Cut, ShapeCurve, ShapeMode};
+pub use slicing::{EvalStrategy, SlicingTree};
 
 #[cfg(test)]
 mod proptests {
@@ -66,17 +79,7 @@ mod proptests {
 
     prop_compose! {
         fn module_set()(count in 2usize..8, seed in any::<u64>()) -> (Vec<Module>, u64) {
-            let modules = (0..count)
-                .map(|i| {
-                    Module::from_mm(
-                        format!("m{i}"),
-                        3.0 + (i % 4) as f64,
-                        2.0 + ((i + seed as usize) % 5) as f64,
-                        0.5 + (i % 3) as f64,
-                    )
-                })
-                .collect();
-            (modules, seed)
+            (testutil::module_set(count, seed), seed)
         }
     }
 

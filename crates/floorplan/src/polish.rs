@@ -57,7 +57,60 @@ pub struct Placement {
     height: f64,
 }
 
+/// One applied perturbation, reported in terms of the postfix positions it
+/// touched so an incremental evaluator ([`crate::SlicingTree`]) can update
+/// only the affected root paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// The perturbation could not be applied (too few candidates, or an M3
+    /// swap that would have produced an invalid expression); the expression
+    /// is unchanged.
+    Noop,
+    /// M1: the operands at postfix positions `a` and `b` swapped (`a < b`).
+    SwapOperands {
+        /// Position of the first swapped operand.
+        a: usize,
+        /// Position of the second swapped operand.
+        b: usize,
+    },
+    /// M2: every operator in `start..end` was complemented (H <-> V).
+    ComplementChain {
+        /// First complemented position.
+        start: usize,
+        /// One past the last complemented position.
+        end: usize,
+    },
+    /// M3: the adjacent operand/operator pair at `index`, `index + 1`
+    /// swapped (the only move that changes the slicing-tree structure).
+    SwapAdjacent {
+        /// Position of the first element of the swapped pair.
+        index: usize,
+    },
+}
+
 impl Placement {
+    /// An all-zero placement for `modules` modules (filled in by the
+    /// slicing-tree walker).
+    pub(crate) fn zeroed(modules: usize) -> Self {
+        Placement {
+            positions: vec![(0.0, 0.0); modules],
+            width: 0.0,
+            height: 0.0,
+        }
+    }
+
+    /// Resets the buffer for `modules` modules with the given bounding box.
+    pub(crate) fn reset(&mut self, modules: usize, width: f64, height: f64) {
+        self.positions.clear();
+        self.positions.resize(modules, (0.0, 0.0));
+        self.width = width;
+        self.height = height;
+    }
+
+    /// Writes one module's lower-left corner.
+    pub(crate) fn set_position(&mut self, module: usize, x: f64, y: f64) {
+        self.positions[module] = (x, y);
+    }
     /// Lower-left corner of every module, metres, indexed by module.
     pub fn positions(&self) -> &[(f64, f64)] {
         &self.positions
@@ -131,6 +184,16 @@ impl PolishExpression {
             return Err(FloorplanError::InvalidExpression(
                 "expression must cover at least one module".to_string(),
             ));
+        }
+        // A valid expression has exactly `2 * module_count - 1` elements
+        // (checked overflow-free as: odd length whose operand half matches).
+        // Checking the length first keeps an absurd `module_count` (for
+        // example `usize::MAX`) from allocating the `seen` table below.
+        if elements.len().is_multiple_of(2) || elements.len() / 2 + 1 != module_count {
+            return Err(FloorplanError::InvalidExpression(format!(
+                "{} elements cannot encode a slicing tree over {module_count} modules",
+                elements.len()
+            )));
         }
         let mut seen = vec![false; module_count];
         let mut operands = 0usize;
@@ -267,11 +330,20 @@ impl PolishExpression {
     ///
     /// M1 swaps two adjacent operands, M2 complements a chain of operators,
     /// M3 swaps an adjacent operand/operator pair when the result remains a
-    /// valid expression.
+    /// valid expression. Equivalent to [`PolishExpression::perturb_move`]
+    /// without the move report (both consume the identical random stream, so
+    /// swapping one for the other preserves optimiser trajectories).
     pub fn perturb<R: Rng>(&self, rng: &mut R) -> PolishExpression {
+        self.perturb_move(rng).0
+    }
+
+    /// Like [`PolishExpression::perturb`], but also reports *which* postfix
+    /// positions the move touched, so an incremental evaluator can recompute
+    /// only the affected root paths instead of the whole placement.
+    pub fn perturb_move<R: Rng>(&self, rng: &mut R) -> (PolishExpression, Move) {
         let mut elements = self.elements.clone();
         let move_kind = rng.gen_range(0..3);
-        match move_kind {
+        let applied = match move_kind {
             0 => {
                 // M1: swap two adjacent operands (in operand order).
                 let operand_positions: Vec<usize> = elements
@@ -282,7 +354,11 @@ impl PolishExpression {
                     .collect();
                 if operand_positions.len() >= 2 {
                     let k = rng.gen_range(0..operand_positions.len() - 1);
-                    elements.swap(operand_positions[k], operand_positions[k + 1]);
+                    let (a, b) = (operand_positions[k], operand_positions[k + 1]);
+                    elements.swap(a, b);
+                    Move::SwapOperands { a, b }
+                } else {
+                    Move::Noop
                 }
             }
             1 => {
@@ -307,6 +383,9 @@ impl PolishExpression {
                         }
                         i += 1;
                     }
+                    Move::ComplementChain { start, end: i }
+                } else {
+                    Move::Noop
                 }
             }
             _ => {
@@ -325,14 +404,22 @@ impl PolishExpression {
                     elements.swap(i, i + 1);
                     if Self::validate(&elements, self.module_count).is_err() {
                         elements.swap(i, i + 1);
+                        Move::Noop
+                    } else {
+                        Move::SwapAdjacent { index: i }
                     }
+                } else {
+                    Move::Noop
                 }
             }
-        }
-        PolishExpression {
-            elements,
-            module_count: self.module_count,
-        }
+        };
+        (
+            PolishExpression {
+                elements,
+                module_count: self.module_count,
+            },
+            applied,
+        )
     }
 }
 
@@ -439,6 +526,91 @@ mod tests {
         // Zero modules.
         assert!(PolishExpression::new(vec![], 0).is_err());
         assert!(PolishExpression::initial(0).is_err());
+    }
+
+    #[test]
+    fn malformed_expressions_error_instead_of_panicking() {
+        use Element::{Operand, H, V};
+        // Operator first.
+        assert!(PolishExpression::new(vec![H, Operand(0), Operand(1)], 2).is_err());
+        // Operator as the entire expression.
+        assert!(PolishExpression::new(vec![V], 1).is_err());
+        // Only operators.
+        assert!(PolishExpression::new(vec![H, V, H], 2).is_err());
+        // Right count of elements but an operand repeated in place of
+        // another (duplicate id with correct module_count).
+        assert!(PolishExpression::new(vec![Operand(0), Operand(0), V], 2).is_err());
+        // module_count larger than the operand set can cover.
+        assert!(PolishExpression::new(vec![Operand(0)], 2).is_err());
+        // module_count smaller than the operands present.
+        assert!(PolishExpression::new(vec![Operand(0), Operand(1), V, Operand(2), H], 2).is_err());
+        // Even-length element lists can never balance.
+        assert!(PolishExpression::new(vec![Operand(0), Operand(1), V, H], 2).is_err());
+        // An absurd module_count must error quickly instead of trying to
+        // allocate a bookkeeping table for usize::MAX modules.
+        assert!(PolishExpression::new(vec![Operand(0)], usize::MAX).is_err());
+        assert!(PolishExpression::new(vec![], usize::MAX).is_err());
+    }
+
+    #[test]
+    fn perturb_move_reports_exactly_what_changed() {
+        let mut rng = StdRng::seed_from_u64(0x11);
+        let mut expr = PolishExpression::initial(6).unwrap();
+        for _ in 0..300 {
+            let before = expr.elements().to_vec();
+            let (candidate, mv) = expr.perturb_move(&mut rng);
+            let after = candidate.elements();
+            match mv {
+                Move::Noop => assert_eq!(after, &before[..]),
+                Move::SwapOperands { a, b } => {
+                    assert!(a < b);
+                    assert_eq!(after[a], before[b]);
+                    assert_eq!(after[b], before[a]);
+                    assert!(matches!(after[a], Element::Operand(_)));
+                    assert!(matches!(after[b], Element::Operand(_)));
+                    for i in (0..before.len()).filter(|&i| i != a && i != b) {
+                        assert_eq!(after[i], before[i]);
+                    }
+                }
+                Move::ComplementChain { start, end } => {
+                    assert!(start < end);
+                    for i in start..end {
+                        match before[i] {
+                            Element::H => assert_eq!(after[i], Element::V),
+                            Element::V => assert_eq!(after[i], Element::H),
+                            Element::Operand(_) => panic!("chain covered an operand"),
+                        }
+                    }
+                    for i in (0..before.len()).filter(|&i| !(start..end).contains(&i)) {
+                        assert_eq!(after[i], before[i]);
+                    }
+                }
+                Move::SwapAdjacent { index } => {
+                    assert_eq!(after[index], before[index + 1]);
+                    assert_eq!(after[index + 1], before[index]);
+                    for i in (0..before.len()).filter(|&i| i != index && i != index + 1) {
+                        assert_eq!(after[i], before[i]);
+                    }
+                }
+            }
+            expr = candidate;
+        }
+    }
+
+    #[test]
+    fn perturb_and_perturb_move_share_one_random_stream() {
+        // Swapping `perturb` for `perturb_move` must not shift the RNG, so
+        // optimiser trajectories are identical whichever entry point is used.
+        let expr = PolishExpression::initial(7).unwrap();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut via_perturb = expr.clone();
+        let mut via_move = expr;
+        for _ in 0..120 {
+            via_perturb = via_perturb.perturb(&mut a);
+            via_move = via_move.perturb_move(&mut b).0;
+            assert_eq!(via_perturb, via_move);
+        }
     }
 
     #[test]

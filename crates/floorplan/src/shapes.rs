@@ -1,0 +1,424 @@
+//! Stockmeyer shape curves: the set of undominated bounding boxes a slicing
+//! subtree can realise.
+//!
+//! A *shape curve* is a staircase of `(width, height)` corner points sorted
+//! by strictly increasing width and strictly decreasing height — every point
+//! is the minimum height achievable at (or below) its width, and no point
+//! dominates another. Leaf curves come from a module's admissible shapes
+//! ([`ShapeMode`]); internal curves are built by [`ShapeCurve::combine`],
+//! the classical Stockmeyer merge: for a vertical cut widths add and heights
+//! max, for a horizontal cut heights add and widths max, and the merged
+//! staircase is produced in `O(|left| + |right|)` by advancing whichever
+//! operand is binding. Each combined point records which operand corners
+//! produced it, so the chosen root corner back-propagates to a concrete
+//! shape for every module.
+//!
+//! Invariants pinned by the tests in this module (and relied on by
+//! [`crate::slicing`]):
+//!
+//! * widths strictly increase and heights strictly decrease along a curve
+//!   (monotone, no dominated or duplicate-width corners),
+//! * [`ShapeCurve::combine`] preserves that invariant and is symmetric in
+//!   its operands up to provenance (the `(width, height)` multiset does not
+//!   depend on operand order),
+//! * with single-point operands the combined point uses exactly the
+//!   `left + right` / `left.max(right)` evaluation order of
+//!   [`crate::PolishExpression::evaluate`], so fixed-shape curve evaluation
+//!   is bit-identical to the legacy placement path.
+
+use crate::module::Module;
+
+/// Which way a slicing cut composes two child shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cut {
+    /// Children side by side: widths add, heights max.
+    Vertical,
+    /// Second child stacked on top of the first: heights add, widths max.
+    Horizontal,
+}
+
+/// One corner of a shape curve: a realisable bounding box plus the operand
+/// corners (or leaf shape variant) that realise it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Bounding-box width, metres.
+    pub width: f64,
+    /// Bounding-box height, metres.
+    pub height: f64,
+    /// Index into the left child's curve (for a leaf: the shape-variant
+    /// index).
+    pub left: u32,
+    /// Index into the right child's curve (unused for leaves).
+    pub right: u32,
+}
+
+/// A monotone staircase of undominated `(width, height)` corners.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShapeCurve {
+    points: Vec<CurvePoint>,
+}
+
+impl ShapeCurve {
+    /// Builds a leaf curve from a module's admissible shapes.
+    ///
+    /// Shapes are sorted by width, duplicate widths keep only the smallest
+    /// height, and dominated shapes (no smaller height than a narrower one)
+    /// are pruned; `left` records each survivor's index into `shapes`.
+    pub fn from_shapes(shapes: &[(f64, f64)]) -> Self {
+        let mut order: Vec<usize> = (0..shapes.len()).collect();
+        order.sort_by(|&a, &b| {
+            shapes[a]
+                .0
+                .total_cmp(&shapes[b].0)
+                .then(shapes[a].1.total_cmp(&shapes[b].1))
+        });
+        let mut points: Vec<CurvePoint> = Vec::with_capacity(shapes.len());
+        for variant in order {
+            let (width, height) = shapes[variant];
+            if let Some(last) = points.last() {
+                // Same width: the sort already put the smallest height
+                // first. Taller-or-equal at a larger width: dominated.
+                if width == last.width || height >= last.height {
+                    continue;
+                }
+            }
+            points.push(CurvePoint {
+                width,
+                height,
+                left: variant as u32,
+                right: 0,
+            });
+        }
+        ShapeCurve { points }
+    }
+
+    /// The staircase corners, by strictly increasing width.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Number of corners.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the curve has no corners (only a default-constructed curve).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Empties the curve, keeping its allocation (scratch reuse).
+    pub(crate) fn clear(&mut self) {
+        self.points.clear();
+    }
+
+    /// Overwrites this curve with `other`, reusing the existing allocation
+    /// (unlike the derived `Clone`, which would reallocate).
+    pub(crate) fn copy_from(&mut self, other: &ShapeCurve) {
+        self.set_from_slice(&other.points);
+    }
+
+    /// Overwrites this curve with the given corners, reusing the existing
+    /// allocation (the slicing tree's journal restores snapshots this way).
+    pub(crate) fn set_from_slice(&mut self, points: &[CurvePoint]) {
+        self.points.clear();
+        self.points.extend_from_slice(points);
+    }
+
+    /// The corner minimising bounding-box area, as `(index, width, height)`.
+    /// Ties pick the narrowest corner, so the choice is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty curve (never produced for a built tree).
+    pub fn min_area(&self) -> (usize, f64, f64) {
+        let mut best = 0usize;
+        let mut best_area = f64::INFINITY;
+        for (i, p) in self.points.iter().enumerate() {
+            let area = p.width * p.height;
+            if area < best_area {
+                best = i;
+                best_area = area;
+            }
+        }
+        let p = self.points[best];
+        (best, p.width, p.height)
+    }
+
+    /// Stockmeyer merge: writes the curve of `cut(left, right)` into `out`
+    /// (cleared first; its allocation is reused).
+    ///
+    /// Runs in `O(left.len() + right.len())`: both staircases are walked
+    /// once, advancing whichever operand is binding (the taller one for a
+    /// vertical cut, the wider one for a horizontal cut; both on a tie).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is empty.
+    pub fn combine(cut: Cut, left: &ShapeCurve, right: &ShapeCurve, out: &mut ShapeCurve) {
+        assert!(
+            !left.is_empty() && !right.is_empty(),
+            "combine needs non-empty operand curves"
+        );
+        out.clear();
+        // Fixed-shape trees have single-corner curves everywhere; combine
+        // them directly (same arithmetic and operand order as the general
+        // merge below, so results are identical to the bit).
+        if left.points.len() == 1 && right.points.len() == 1 {
+            let (pa, pb) = (left.points[0], right.points[0]);
+            let (width, height) = match cut {
+                Cut::Vertical => (pa.width + pb.width, pa.height.max(pb.height)),
+                Cut::Horizontal => (pa.width.max(pb.width), pa.height + pb.height),
+            };
+            out.points.push(CurvePoint {
+                width,
+                height,
+                left: 0,
+                right: 0,
+            });
+            return;
+        }
+        match cut {
+            Cut::Vertical => {
+                // Start at the narrowest (tallest) corners; each step trades
+                // width for height by advancing the binding (taller) side.
+                let (a, b) = (&left.points, &right.points);
+                let (mut i, mut j) = (0usize, 0usize);
+                loop {
+                    let (pa, pb) = (a[i], b[j]);
+                    out.points.push(CurvePoint {
+                        width: pa.width + pb.width,
+                        height: pa.height.max(pb.height),
+                        left: i as u32,
+                        right: j as u32,
+                    });
+                    let advance_a = pa.height >= pb.height;
+                    let advance_b = pb.height >= pa.height;
+                    if (advance_a && i + 1 == a.len()) || (advance_b && j + 1 == b.len()) {
+                        break;
+                    }
+                    i += usize::from(advance_a);
+                    j += usize::from(advance_b);
+                }
+            }
+            Cut::Horizontal => {
+                // Mirror image: start at the widest (shortest) corners and
+                // retreat the binding (wider) side, then restore width order.
+                let (a, b) = (&left.points, &right.points);
+                let (mut i, mut j) = (a.len() - 1, b.len() - 1);
+                loop {
+                    let (pa, pb) = (a[i], b[j]);
+                    out.points.push(CurvePoint {
+                        width: pa.width.max(pb.width),
+                        height: pa.height + pb.height,
+                        left: i as u32,
+                        right: j as u32,
+                    });
+                    let retreat_a = pa.width >= pb.width;
+                    let retreat_b = pb.width >= pa.width;
+                    if (retreat_a && i == 0) || (retreat_b && j == 0) {
+                        break;
+                    }
+                    i -= usize::from(retreat_a);
+                    j -= usize::from(retreat_b);
+                }
+                out.points.reverse();
+            }
+        }
+        debug_assert!(out.is_staircase(), "combine must preserve monotonicity");
+    }
+
+    /// Whether widths strictly increase and heights strictly decrease (the
+    /// curve invariant; used by debug assertions and the algebra tests).
+    pub fn is_staircase(&self) -> bool {
+        self.points.windows(2).all(|w| {
+            let (a, b) = (w[0], w[1]);
+            b.width > a.width && b.height < a.height
+        })
+    }
+}
+
+/// How many shapes each module contributes to its leaf curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShapeMode {
+    /// Exactly the given `width x height` — curve evaluation is then
+    /// bit-identical to [`crate::PolishExpression::evaluate`].
+    #[default]
+    Fixed,
+    /// The given orientation plus its 90-degree rotation (`height x width`);
+    /// square modules collapse to a single corner.
+    Rotatable,
+    /// Soft module: `variants` area-preserving aspect ratios geometrically
+    /// interpolated between the module's two orientations (rotation
+    /// endpoints included; values below 2 behave like `Rotatable`).
+    Soft {
+        /// Number of aspect-ratio variants per module (minimum 2).
+        variants: usize,
+    },
+}
+
+impl ShapeMode {
+    /// The admissible `(width, height)` shapes of `module` under this mode,
+    /// in variant order (the order leaf-curve provenance indexes).
+    pub fn shapes_for(self, module: &Module) -> Vec<(f64, f64)> {
+        let (w, h) = (module.width(), module.height());
+        match self {
+            ShapeMode::Fixed => vec![(w, h)],
+            ShapeMode::Rotatable => vec![(w, h), (h, w)],
+            ShapeMode::Soft { variants } => {
+                let variants = variants.max(2);
+                let area = w * h;
+                let (lo, hi) = (w.min(h), w.max(h));
+                (0..variants)
+                    .map(|k| {
+                        let t = k as f64 / (variants - 1) as f64;
+                        // Geometric interpolation keeps the aspect-ratio
+                        // steps even on a log scale.
+                        let width = lo * (hi / lo).powf(t);
+                        (width, area / width)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The leaf curve of `module` under this mode.
+    pub fn curve_for(self, module: &Module) -> ShapeCurve {
+        ShapeCurve::from_shapes(&self.shapes_for(module))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(shapes: &[(f64, f64)]) -> ShapeCurve {
+        ShapeCurve::from_shapes(shapes)
+    }
+
+    fn dims(c: &ShapeCurve) -> Vec<(f64, f64)> {
+        c.points().iter().map(|p| (p.width, p.height)).collect()
+    }
+
+    #[test]
+    fn leaf_curves_sort_prune_and_dedup() {
+        // Duplicate width keeps the smaller height; dominated point dropped.
+        let c = curve(&[(4.0, 2.0), (2.0, 5.0), (4.0, 3.0), (3.0, 6.0)]);
+        assert_eq!(dims(&c), vec![(2.0, 5.0), (4.0, 2.0)]);
+        assert!(c.is_staircase());
+        // Provenance points at the surviving variant.
+        assert_eq!(c.points()[1].left, 0);
+    }
+
+    #[test]
+    fn square_rotatable_collapses_to_one_corner() {
+        let m = Module::from_mm("sq", 4.0, 4.0, 1.0);
+        let c = ShapeMode::Rotatable.curve_for(&m);
+        assert_eq!(c.len(), 1);
+        let m = Module::from_mm("rect", 6.0, 3.0, 1.0);
+        let c = ShapeMode::Rotatable.curve_for(&m);
+        assert_eq!(c.len(), 2);
+        assert!(c.is_staircase());
+    }
+
+    #[test]
+    fn soft_mode_preserves_area_and_monotonicity() {
+        let m = Module::from_mm("soft", 8.0, 2.0, 1.0);
+        for variants in [2usize, 3, 7] {
+            let c = ShapeMode::Soft { variants }.curve_for(&m);
+            assert_eq!(c.len(), variants);
+            assert!(c.is_staircase());
+            for p in c.points() {
+                assert!((p.width * p.height - m.area()).abs() < 1e-18);
+            }
+            // Endpoints are the two orientations.
+            assert!((c.points()[0].width - 2e-3).abs() < 1e-12);
+            assert!((c.points()[variants - 1].width - 8e-3).abs() < 1e-12);
+        }
+        // Degenerate variant counts fall back to the rotation endpoints.
+        assert_eq!(ShapeMode::Soft { variants: 0 }.curve_for(&m).len(), 2);
+    }
+
+    #[test]
+    fn vertical_combine_adds_widths_and_maxes_heights() {
+        let a = curve(&[(2.0, 6.0), (3.0, 4.0)]);
+        let b = curve(&[(1.0, 5.0), (4.0, 1.0)]);
+        let mut out = ShapeCurve::default();
+        ShapeCurve::combine(Cut::Vertical, &a, &b, &mut out);
+        // (2,6)+(1,5) -> (3,6); advance a: (3,4)+(1,5) -> (4,5);
+        // advance b: (3,4)+(4,1) -> (7,4); a exhausted & binding -> stop.
+        assert_eq!(dims(&out), vec![(3.0, 6.0), (4.0, 5.0), (7.0, 4.0)]);
+        assert!(out.is_staircase());
+        // Provenance reconstructs each corner from its operands.
+        for p in out.points() {
+            let (pa, pb) = (a.points()[p.left as usize], b.points()[p.right as usize]);
+            assert_eq!(p.width, pa.width + pb.width);
+            assert_eq!(p.height, pa.height.max(pb.height));
+        }
+    }
+
+    #[test]
+    fn horizontal_combine_adds_heights_and_maxes_widths() {
+        let a = curve(&[(2.0, 6.0), (3.0, 4.0)]);
+        let b = curve(&[(1.0, 5.0), (4.0, 1.0)]);
+        let mut out = ShapeCurve::default();
+        ShapeCurve::combine(Cut::Horizontal, &a, &b, &mut out);
+        assert!(out.is_staircase());
+        for p in out.points() {
+            let (pa, pb) = (a.points()[p.left as usize], b.points()[p.right as usize]);
+            assert_eq!(p.width, pa.width.max(pb.width));
+            assert_eq!(p.height, pa.height + pb.height);
+        }
+    }
+
+    #[test]
+    fn combine_dimensions_are_operand_order_independent() {
+        // The (width, height) staircase must not depend on which operand is
+        // "left" — only provenance may differ.
+        let a = curve(&[(1.0, 9.0), (2.0, 5.0), (6.0, 2.0)]);
+        let b = curve(&[(1.5, 7.0), (3.0, 3.0), (8.0, 0.5)]);
+        for cut in [Cut::Vertical, Cut::Horizontal] {
+            let (mut ab, mut ba) = (ShapeCurve::default(), ShapeCurve::default());
+            ShapeCurve::combine(cut, &a, &b, &mut ab);
+            ShapeCurve::combine(cut, &b, &a, &mut ba);
+            assert_eq!(dims(&ab), dims(&ba), "{cut:?}");
+        }
+    }
+
+    #[test]
+    fn single_point_combines_match_the_legacy_evaluation_exactly() {
+        let a = curve(&[(3.1, 2.7)]);
+        let b = curve(&[(1.9, 4.3)]);
+        let mut out = ShapeCurve::default();
+        ShapeCurve::combine(Cut::Vertical, &a, &b, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.points()[0].width.to_bits(), (3.1f64 + 1.9).to_bits());
+        assert_eq!(out.points()[0].height.to_bits(), 2.7f64.max(4.3).to_bits());
+        ShapeCurve::combine(Cut::Horizontal, &a, &b, &mut out);
+        assert_eq!(out.points()[0].width.to_bits(), 3.1f64.max(1.9).to_bits());
+        assert_eq!(out.points()[0].height.to_bits(), (2.7f64 + 4.3).to_bits());
+    }
+
+    #[test]
+    fn min_area_is_deterministic_under_ties() {
+        // Two corners with identical area: the narrower one wins.
+        let c = curve(&[(2.0, 6.0), (6.0, 2.0)]);
+        let (index, w, h) = c.min_area();
+        assert_eq!((index, w, h), (0, 2.0, 6.0));
+    }
+
+    #[test]
+    fn merged_curves_stay_within_operand_bounds() {
+        // The combined curve's extremes are bounded by the operands'.
+        let a = curve(&[(1.0, 8.0), (2.0, 4.0), (5.0, 1.0)]);
+        let b = curve(&[(2.0, 3.0), (3.0, 2.0)]);
+        let mut out = ShapeCurve::default();
+        ShapeCurve::combine(Cut::Vertical, &a, &b, &mut out);
+        let first = out.points()[0];
+        let last = out.points()[out.len() - 1];
+        // Narrowest corner: both operands at their narrowest. Shortest
+        // corner: the taller operand's minimum height is binding.
+        assert_eq!(first.width, 1.0 + 2.0);
+        assert_eq!(last.height, 1.0f64.max(2.0));
+    }
+}

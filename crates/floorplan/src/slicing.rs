@@ -1,0 +1,691 @@
+//! Explicit slicing trees with incrementally-maintained Stockmeyer shape
+//! curves.
+//!
+//! A [`SlicingTree`] parses a [`PolishExpression`] into one node per postfix
+//! position and stores, for every node, the [`ShapeCurve`] of its subtree
+//! (see [`crate::shapes`] for the curve algebra). The root curve's
+//! minimum-area corner is back-propagated through the recorded provenance to
+//! concrete module positions, which in [`ShapeMode::Fixed`] is **bit
+//! identical** to [`PolishExpression::evaluate`] — the same additions and
+//! `max` calls in the same operand order — so the optimisers can swap one
+//! for the other without perturbing a single ulp of their trajectories.
+//!
+//! The tree is *incremental*: [`SlicingTree::apply`] takes the [`Move`]
+//! report of a perturbation and recomputes only the curves whose subtree
+//! actually changed —
+//!
+//! * M1 (operand swap) and M2 (chain complement) leave the tree structure
+//!   intact, so exactly the touched nodes plus their root paths are
+//!   recombined: `O(depth)` curve merges instead of `O(n)`;
+//! * M3 (operand/operator swap) restructures the tree, so the child/span
+//!   arrays are rebuilt in one cheap integer pass while every subtree whose
+//!   postfix span is untouched keeps its cached curve — again only the
+//!   changed spine pays for curve merges.
+//!
+//! Every replaced curve goes into an undo journal, so a rejected move is a
+//! cheap [`SlicingTree::rollback`] (restore the journaled root path) and an
+//! accepted one a trivial [`SlicingTree::commit`]. The differential proptest
+//! suite (`tests/differential.rs`) pins, after every move of randomized
+//! sequences: incremental state ≡ from-scratch build ≡ legacy
+//! `evaluate`, including rollback.
+
+use crate::error::FloorplanError;
+use crate::module::Module;
+use crate::polish::{Element, Move, Placement, PolishExpression};
+use crate::shapes::{CurvePoint, Cut, ShapeCurve, ShapeMode};
+
+/// Which candidate-placement evaluator the optimisation engines use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// Re-evaluate the whole Polish expression per candidate
+    /// ([`PolishExpression::evaluate`], `O(n)` per move). Kept as the
+    /// reference path and perf baseline.
+    Full,
+    /// Maintain a [`SlicingTree`] across moves and recompute only the
+    /// touched root path (`O(depth)` curve work per move). Bit-identical to
+    /// [`EvalStrategy::Full`] in [`ShapeMode::Fixed`].
+    #[default]
+    Incremental,
+}
+
+/// Sentinel for "no parent / no child" in the node arrays.
+const NONE: usize = usize::MAX;
+
+/// A slicing tree over the nodes of a Polish expression, with cached shape
+/// curves and an undo journal for incremental move evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use tats_floorplan::{Module, PolishExpression, ShapeMode, SlicingTree};
+///
+/// # fn main() -> Result<(), tats_floorplan::FloorplanError> {
+/// let modules = vec![
+///     Module::from_mm("a", 4.0, 2.0, 1.0),
+///     Module::from_mm("b", 3.0, 5.0, 1.0),
+/// ];
+/// let expr = PolishExpression::initial(2)?;
+/// let tree = SlicingTree::new(&expr, &modules, ShapeMode::Fixed)?;
+/// assert_eq!(tree.placement(), expr.evaluate(&modules)?);
+/// // Rotations can only shrink the bounding box.
+/// let rotatable = SlicingTree::new(&expr, &modules, ShapeMode::Rotatable)?;
+/// assert!(rotatable.placement().area() <= tree.placement().area());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlicingTree {
+    elements: Vec<Element>,
+    module_count: usize,
+    mode: ShapeMode,
+    /// Leaf curve per module id (fixed for the tree's lifetime).
+    leaf_curves: Vec<ShapeCurve>,
+    /// Per postfix position: subtree size in elements.
+    spans: Vec<usize>,
+    /// Per postfix position: children/parent positions (`NONE` for leaves
+    /// and the root respectively).
+    lefts: Vec<usize>,
+    rights: Vec<usize>,
+    parents: Vec<usize>,
+    /// Per postfix position: the subtree's shape curve.
+    curves: Vec<ShapeCurve>,
+    // -- undo journal for the in-flight (uncommitted) move --
+    undo_elements: Vec<(usize, Element)>,
+    /// Curve snapshots as `(position, start, len)` ranges into
+    /// [`SlicingTree::undo_points`]: a flat copy journal, so replacing a
+    /// curve neither allocates nor disturbs its capacity.
+    undo_curve_index: Vec<(u32, u32, u32)>,
+    undo_points: Vec<CurvePoint>,
+    /// `(position, [span, left, right, parent])` snapshots taken before the
+    /// M3 pointer surgery or a span update touches a node.
+    undo_structure: Vec<(usize, [usize; 4])>,
+    // -- reusable scratch --
+    dirty: Vec<usize>,
+    build_stack: Vec<usize>,
+    walk: Vec<(usize, u32, f64, f64)>,
+}
+
+impl SlicingTree {
+    /// Builds the tree and all shape curves bottom-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidParameter`] when the module list
+    /// length differs from the expression's module count.
+    pub fn new(
+        expr: &PolishExpression,
+        modules: &[Module],
+        mode: ShapeMode,
+    ) -> Result<Self, FloorplanError> {
+        if modules.len() != expr.module_count() {
+            return Err(FloorplanError::InvalidParameter(format!(
+                "expression covers {} modules but {} were supplied",
+                expr.module_count(),
+                modules.len()
+            )));
+        }
+        let leaf_curves: Vec<ShapeCurve> = modules.iter().map(|m| mode.curve_for(m)).collect();
+        let mut tree = SlicingTree {
+            elements: Vec::new(),
+            module_count: modules.len(),
+            mode,
+            leaf_curves,
+            spans: Vec::new(),
+            lefts: Vec::new(),
+            rights: Vec::new(),
+            parents: Vec::new(),
+            curves: Vec::new(),
+            undo_elements: Vec::new(),
+            undo_curve_index: Vec::new(),
+            undo_points: Vec::new(),
+            undo_structure: Vec::new(),
+            dirty: Vec::new(),
+            build_stack: Vec::new(),
+            walk: Vec::new(),
+        };
+        tree.recompute_full(expr.elements());
+        Ok(tree)
+    }
+
+    /// Rebuilds the tree for a different expression over the same module
+    /// set, reusing every allocation (the GA scores whole populations
+    /// through one tree this way). Any uncommitted move is discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidParameter`] when the expression
+    /// covers a different number of modules.
+    pub fn rebuild(&mut self, expr: &PolishExpression) -> Result<(), FloorplanError> {
+        if expr.module_count() != self.module_count {
+            return Err(FloorplanError::InvalidParameter(format!(
+                "tree holds {} modules but the expression covers {}",
+                self.module_count,
+                expr.module_count()
+            )));
+        }
+        self.clear_journal();
+        self.recompute_full(expr.elements());
+        Ok(())
+    }
+
+    /// The postfix elements the tree currently represents.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of modules the tree places.
+    pub fn module_count(&self) -> usize {
+        self.module_count
+    }
+
+    /// The shape mode leaf curves were built with.
+    pub fn mode(&self) -> ShapeMode {
+        self.mode
+    }
+
+    /// The root shape curve: every undominated bounding box the floorplan
+    /// can realise.
+    pub fn root_curve(&self) -> &ShapeCurve {
+        &self.curves[self.elements.len() - 1]
+    }
+
+    /// The minimum-area root corner as `(width, height)` — the `O(1)`
+    /// area-only evaluation tier (no placement walk).
+    pub fn min_area_shape(&self) -> (f64, f64) {
+        let (_, width, height) = self.root_curve().min_area();
+        (width, height)
+    }
+
+    /// Evaluates the tree into a fresh placement (min-area root corner,
+    /// provenance-directed walk).
+    pub fn placement(&self) -> Placement {
+        let mut out = Placement::zeroed(self.module_count);
+        let mut stack = Vec::with_capacity(self.module_count);
+        self.walk_into(&mut out, &mut stack, None);
+        out
+    }
+
+    /// Evaluates into a caller-owned buffer with zero allocations — the
+    /// optimisers' hot path.
+    pub fn placement_into(&mut self, out: &mut Placement) {
+        let mut stack = std::mem::take(&mut self.walk);
+        self.walk_into(out, &mut stack, None);
+        self.walk = stack;
+    }
+
+    /// Like [`SlicingTree::placement`], additionally reporting the chosen
+    /// `(width, height)` of every module — the shapes differ from the input
+    /// modules under [`ShapeMode::Rotatable`]/[`ShapeMode::Soft`].
+    pub fn placement_with_shapes(&self) -> (Placement, Vec<(f64, f64)>) {
+        let mut out = Placement::zeroed(self.module_count);
+        let mut stack = Vec::with_capacity(self.module_count);
+        let mut shapes = vec![(0.0, 0.0); self.module_count];
+        self.walk_into(&mut out, &mut stack, Some(&mut shapes));
+        (out, shapes)
+    }
+
+    /// Applies a [`Move`] reported by [`PolishExpression::perturb_move`],
+    /// recomputing only the affected curves and journaling everything it
+    /// replaces. Follow with [`SlicingTree::commit`] (keep) or
+    /// [`SlicingTree::rollback`] (undo); a new move may only be applied
+    /// once the previous one is resolved.
+    pub fn apply(&mut self, mv: &Move) {
+        debug_assert!(
+            self.undo_elements.is_empty()
+                && self.undo_curve_index.is_empty()
+                && self.undo_structure.is_empty(),
+            "apply called with an unresolved move in flight"
+        );
+        match *mv {
+            Move::Noop => {}
+            Move::SwapOperands { a, b } => {
+                self.undo_elements.push((a, self.elements[a]));
+                self.undo_elements.push((b, self.elements[b]));
+                self.elements.swap(a, b);
+                self.set_leaf_curve(a);
+                self.set_leaf_curve(b);
+                self.dirty.clear();
+                self.mark_ancestors(a);
+                self.mark_ancestors(b);
+                self.recompute_dirty();
+            }
+            Move::ComplementChain { start, end } => {
+                self.dirty.clear();
+                for i in start..end {
+                    self.undo_elements.push((i, self.elements[i]));
+                    self.elements[i] = match self.elements[i] {
+                        Element::H => Element::V,
+                        Element::V => Element::H,
+                        operand @ Element::Operand(_) => operand,
+                    };
+                    self.dirty.push(i);
+                }
+                self.mark_ancestors(end - 1);
+                self.recompute_dirty();
+            }
+            Move::SwapAdjacent { index } => {
+                self.undo_elements.push((index, self.elements[index]));
+                self.undo_elements
+                    .push((index + 1, self.elements[index + 1]));
+                self.elements.swap(index, index + 1);
+                self.swap_adjacent_structure(index);
+            }
+        }
+    }
+
+    /// Keeps the applied move: discards the journal (O(1) — the buffers are
+    /// retained for the next move).
+    pub fn commit(&mut self) {
+        self.clear_journal();
+    }
+
+    /// Undoes the applied move: restores the journaled elements, curve
+    /// snapshots and node snapshots — the touched root path only, no
+    /// rebuild.
+    pub fn rollback(&mut self) {
+        for (k, element) in self.undo_elements.drain(..).rev() {
+            self.elements[k] = element;
+        }
+        // Reverse order makes double-journaled positions land on their
+        // oldest (pre-move) snapshot.
+        for index in (0..self.undo_curve_index.len()).rev() {
+            let (k, start, len) = self.undo_curve_index[index];
+            let (start, len) = (start as usize, len as usize);
+            self.curves[k as usize].set_from_slice(&self.undo_points[start..start + len]);
+        }
+        self.undo_curve_index.clear();
+        self.undo_points.clear();
+        for (k, [span, left, right, parent]) in self.undo_structure.drain(..).rev() {
+            self.spans[k] = span;
+            self.lefts[k] = left;
+            self.rights[k] = right;
+            self.parents[k] = parent;
+        }
+    }
+
+    fn clear_journal(&mut self) {
+        self.undo_elements.clear();
+        self.undo_curve_index.clear();
+        self.undo_points.clear();
+        self.undo_structure.clear();
+    }
+
+    /// Snapshots a curve into the flat copy journal before it is replaced.
+    fn journal_curve(&mut self, k: usize) {
+        let points = self.curves[k].points();
+        self.undo_curve_index
+            .push((k as u32, self.undo_points.len() as u32, points.len() as u32));
+        self.undo_points.extend_from_slice(points);
+    }
+
+    /// Full bottom-up recomputation of structure and curves, reusing the
+    /// existing allocations.
+    fn recompute_full(&mut self, elements: &[Element]) {
+        self.elements.clear();
+        self.elements.extend_from_slice(elements);
+        let n = elements.len();
+        self.spans.clear();
+        self.spans.resize(n, 0);
+        self.lefts.clear();
+        self.lefts.resize(n, NONE);
+        self.rights.clear();
+        self.rights.resize(n, NONE);
+        self.parents.clear();
+        self.parents.resize(n, NONE);
+        self.curves.resize_with(n, ShapeCurve::default);
+        self.build_stack.clear();
+        for i in 0..n {
+            match self.elements[i] {
+                Element::Operand(m) => {
+                    self.spans[i] = 1;
+                    self.curves[i].copy_from(&self.leaf_curves[m]);
+                    self.build_stack.push(i);
+                }
+                Element::H | Element::V => {
+                    let right = self.build_stack.pop().expect("validated expression");
+                    let left = self.build_stack.pop().expect("validated expression");
+                    self.spans[i] = self.spans[left] + self.spans[right] + 1;
+                    self.lefts[i] = left;
+                    self.rights[i] = right;
+                    self.parents[left] = i;
+                    self.parents[right] = i;
+                    self.recombine(i);
+                    self.build_stack.push(i);
+                }
+            }
+        }
+        let root = self.build_stack.pop().expect("validated expression");
+        debug_assert_eq!(root, n - 1);
+        debug_assert!(self.build_stack.is_empty());
+    }
+
+    /// Snapshots a node's structure fields before the M3 surgery edits them.
+    fn journal_structure(&mut self, k: usize) {
+        self.undo_structure.push((
+            k,
+            [
+                self.spans[k],
+                self.lefts[k],
+                self.rights[k],
+                self.parents[k],
+            ],
+        ));
+    }
+
+    /// M3 as local tree surgery: swapping the operand/operator pair at
+    /// `(i, i + 1)` re-hangs exactly one subtree, so only a constant number
+    /// of node pointers change and the curves to recompute are the two
+    /// touched positions' root paths — `O(depth)`, like M1/M2.
+    ///
+    /// The key invariant is that postfix evaluation stacks line up slot by
+    /// slot: outside the swapped pair every stack slot holds a subtree with
+    /// the same root position before and after the move, so all other
+    /// parent/child links survive untouched.
+    fn swap_adjacent_structure(&mut self, i: usize) {
+        self.dirty.clear();
+        match (self.elements[i], self.elements[i + 1]) {
+            (Element::H | Element::V, Element::Operand(_)) => {
+                // `[.., K, L, x, op] -> [.., K, L, op, x]`: `op(L, x)` at
+                // `i + 1` becomes `op(K, L)` at `i`, and `x` floats up to
+                // whatever used to pop `op`'s result (same stack slot, no
+                // pointer edit). `K` re-hangs from its old parent onto the
+                // moved operator.
+                let l = i - 1;
+                let k = l - self.spans[l];
+                let k_parent = self.parents[k];
+                debug_assert_ne!(k_parent, NONE, "validated move implies K has a parent");
+                for pos in [i, i + 1, k, l, k_parent] {
+                    self.journal_structure(pos);
+                }
+                self.spans[i] = self.spans[k] + self.spans[l] + 1;
+                self.lefts[i] = k;
+                self.rights[i] = l;
+                self.parents[i] = k_parent;
+                self.spans[i + 1] = 1;
+                self.lefts[i + 1] = NONE;
+                self.rights[i + 1] = NONE;
+                self.parents[k] = i;
+                self.parents[l] = i;
+                if self.lefts[k_parent] == k {
+                    self.lefts[k_parent] = i;
+                } else {
+                    debug_assert_eq!(self.rights[k_parent], k);
+                    self.rights[k_parent] = i;
+                }
+                self.set_leaf_curve(i + 1);
+                // `recompute_dirty` journals and recombines the moved
+                // operator itself along with both root paths.
+                self.dirty.push(i);
+                self.mark_ancestors(i);
+                self.mark_ancestors(i + 1);
+            }
+            (Element::Operand(_), Element::H | Element::V) => {
+                // `[.., A, B, op, x] -> [.., A, B, x, op]`: `op(A, B)` at `i`
+                // becomes `op(B, x)` at `i + 1`, and `A` floats up to `op`'s
+                // old parent (taking over its stack slot).
+                let b = i - 1;
+                let a = b - self.spans[b];
+                let op_parent = self.parents[i];
+                debug_assert_ne!(op_parent, NONE, "validated move implies op is not the root");
+                for pos in [i, i + 1, a, b, op_parent] {
+                    self.journal_structure(pos);
+                }
+                self.spans[i + 1] = self.spans[b] + 2;
+                self.lefts[i + 1] = b;
+                self.rights[i + 1] = i;
+                self.spans[i] = 1;
+                self.lefts[i] = NONE;
+                self.rights[i] = NONE;
+                self.parents[i] = i + 1;
+                self.parents[b] = i + 1;
+                self.parents[a] = op_parent;
+                if self.lefts[op_parent] == i {
+                    self.lefts[op_parent] = a;
+                } else {
+                    debug_assert_eq!(self.rights[op_parent], i);
+                    self.rights[op_parent] = a;
+                }
+                self.set_leaf_curve(i);
+                self.dirty.push(i + 1);
+                self.mark_ancestors(i + 1);
+                self.mark_ancestors(a);
+            }
+            _ => unreachable!("M3 swaps an operand/operator pair"),
+        }
+        self.recompute_dirty();
+    }
+
+    /// Journals and replaces the curve at leaf position `k` with the leaf
+    /// curve of the operand now stored there.
+    fn set_leaf_curve(&mut self, k: usize) {
+        let Element::Operand(m) = self.elements[k] else {
+            unreachable!("set_leaf_curve on an operator position");
+        };
+        self.journal_curve(k);
+        let (curves, leaves) = (&mut self.curves, &self.leaf_curves);
+        curves[k].copy_from(&leaves[m]);
+    }
+
+    /// Pushes every ancestor of `pos` (exclusive) onto the dirty list.
+    fn mark_ancestors(&mut self, pos: usize) {
+        let mut p = self.parents[pos];
+        while p != NONE {
+            self.dirty.push(p);
+            p = self.parents[p];
+        }
+    }
+
+    /// Recomputes the dirty operator positions bottom-up (ascending postfix
+    /// position implies children before parents), journaling each old curve
+    /// and node snapshot. Spans are re-derived from the children while
+    /// walking up: an M3 rotation moves a subtree from one slot's lineage to
+    /// the other's, changing every span between the touched slots and their
+    /// common ancestor (a no-op for M1/M2, whose structure is fixed).
+    fn recompute_dirty(&mut self) {
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        for idx in 0..self.dirty.len() {
+            let k = self.dirty[idx];
+            self.journal_structure(k);
+            self.spans[k] = self.spans[self.lefts[k]] + self.spans[self.rights[k]] + 1;
+            self.journal_curve(k);
+            self.recombine(k);
+        }
+    }
+
+    /// Writes the combined curve of operator position `k` from its children
+    /// (both strictly below `k` in postfix order).
+    fn recombine(&mut self, k: usize) {
+        let cut = match self.elements[k] {
+            Element::V => Cut::Vertical,
+            Element::H => Cut::Horizontal,
+            Element::Operand(_) => unreachable!("recombine on an operand position"),
+        };
+        let (left, right) = (self.lefts[k], self.rights[k]);
+        let (head, tail) = self.curves.split_at_mut(k);
+        ShapeCurve::combine(cut, &head[left], &head[right], &mut tail[0]);
+    }
+
+    /// Provenance-directed downward walk assigning the chosen corner of
+    /// every subtree, mirroring the arithmetic of the legacy backward pass.
+    fn walk_into(
+        &self,
+        out: &mut Placement,
+        stack: &mut Vec<(usize, u32, f64, f64)>,
+        mut shapes: Option<&mut Vec<(f64, f64)>>,
+    ) {
+        let root = self.elements.len() - 1;
+        let (choice, width, height) = self.curves[root].min_area();
+        out.reset(self.module_count, width, height);
+        if let Some(shapes) = shapes.as_deref_mut() {
+            shapes.clear();
+            shapes.resize(self.module_count, (0.0, 0.0));
+        }
+        stack.clear();
+        stack.push((root, choice as u32, 0.0, 0.0));
+        while let Some((node, choice, x, y)) = stack.pop() {
+            let point = self.curves[node].points()[choice as usize];
+            match self.elements[node] {
+                Element::Operand(m) => {
+                    out.set_position(m, x, y);
+                    if let Some(shapes) = shapes.as_deref_mut() {
+                        shapes[m] = (point.width, point.height);
+                    }
+                }
+                op @ (Element::H | Element::V) => {
+                    let (left, right) = (self.lefts[node], self.rights[node]);
+                    let chosen_left = self.curves[left].points()[point.left as usize];
+                    stack.push((left, point.left, x, y));
+                    match op {
+                        Element::V => stack.push((right, point.right, x + chosen_left.width, y)),
+                        Element::H => stack.push((right, point.right, x, y + chosen_left.height)),
+                        Element::Operand(_) => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn modules(n: usize) -> Vec<Module> {
+        (0..n)
+            .map(|i| {
+                Module::from_mm(
+                    format!("m{i}"),
+                    2.0 + (i % 5) as f64,
+                    3.0 + (i % 3) as f64,
+                    1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fixed_mode_matches_legacy_evaluate_on_random_expressions() {
+        let mods = modules(9);
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        let mut expr = PolishExpression::initial(9).unwrap();
+        for _ in 0..60 {
+            expr = expr.perturb(&mut rng);
+            let tree = SlicingTree::new(&expr, &mods, ShapeMode::Fixed).unwrap();
+            assert_eq!(tree.placement(), expr.evaluate(&mods).unwrap());
+        }
+    }
+
+    #[test]
+    fn incremental_apply_tracks_every_move_kind_with_rollback() {
+        let mods = modules(8);
+        let mut rng = StdRng::seed_from_u64(0x17C);
+        let mut expr = PolishExpression::initial(8).unwrap();
+        let mut tree = SlicingTree::new(&expr, &mods, ShapeMode::Fixed).unwrap();
+        for step in 0..200 {
+            let (candidate, mv) = expr.perturb_move(&mut rng);
+            tree.apply(&mv);
+            assert_eq!(tree.elements(), candidate.elements(), "step {step}");
+            let incremental = tree.placement();
+            let scratch = SlicingTree::new(&candidate, &mods, ShapeMode::Fixed).unwrap();
+            assert_eq!(incremental, scratch.placement(), "step {step}");
+            assert_eq!(
+                incremental,
+                candidate.evaluate(&mods).unwrap(),
+                "step {step}"
+            );
+            if step % 3 == 0 {
+                tree.rollback();
+                assert_eq!(tree.elements(), expr.elements(), "rollback step {step}");
+                assert_eq!(tree.placement(), expr.evaluate(&mods).unwrap());
+            } else {
+                tree.commit();
+                expr = candidate;
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_chain_trees_sum_one_dimension() {
+        // A pure V chain lines modules up: width sums, height maxes.
+        let mods = modules(6);
+        let mut elements = vec![Element::Operand(0)];
+        for m in 1..6 {
+            elements.push(Element::Operand(m));
+            elements.push(Element::V);
+        }
+        let expr = PolishExpression::new(elements, 6).unwrap();
+        let tree = SlicingTree::new(&expr, &mods, ShapeMode::Fixed).unwrap();
+        let placement = tree.placement();
+        let total_width: f64 = mods.iter().map(Module::width).sum();
+        let max_height = mods.iter().map(Module::height).fold(0.0, f64::max);
+        assert!((placement.width() - total_width).abs() < 1e-15);
+        assert_eq!(placement.height(), max_height);
+        assert_eq!(tree.root_curve().len(), 1);
+    }
+
+    #[test]
+    fn single_module_tree_is_the_leaf_curve() {
+        let mods = modules(1);
+        let expr = PolishExpression::initial(1).unwrap();
+        let tree = SlicingTree::new(&expr, &mods, ShapeMode::Rotatable).unwrap();
+        assert_eq!(tree.root_curve().len(), 2);
+        let (placement, shapes) = tree.placement_with_shapes();
+        assert_eq!(placement.positions()[0], (0.0, 0.0));
+        // Min-area tie between the two orientations picks the narrower one.
+        assert_eq!(
+            shapes[0],
+            (
+                mods[0].width().min(mods[0].height()),
+                mods[0].width().max(mods[0].height())
+            )
+        );
+    }
+
+    #[test]
+    fn rotatable_mode_never_increases_the_best_area() {
+        let mods = modules(7);
+        let mut rng = StdRng::seed_from_u64(0x2071);
+        let mut expr = PolishExpression::initial(7).unwrap();
+        for _ in 0..25 {
+            expr = expr.perturb(&mut rng);
+            let fixed = SlicingTree::new(&expr, &mods, ShapeMode::Fixed).unwrap();
+            let rotatable = SlicingTree::new(&expr, &mods, ShapeMode::Rotatable).unwrap();
+            let (_, fw, fh) = fixed.root_curve().min_area();
+            let (_, rw, rh) = rotatable.root_curve().min_area();
+            assert!(rw * rh <= fw * fh + 1e-18);
+            assert!(rotatable.root_curve().is_staircase());
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_the_tree_across_expressions() {
+        let mods = modules(6);
+        let mut rng = StdRng::seed_from_u64(0x9);
+        let mut expr = PolishExpression::initial(6).unwrap();
+        let mut tree = SlicingTree::new(&expr, &mods, ShapeMode::Fixed).unwrap();
+        for _ in 0..30 {
+            expr = expr.perturb(&mut rng);
+            tree.rebuild(&expr).unwrap();
+            assert_eq!(tree.placement(), expr.evaluate(&mods).unwrap());
+        }
+        // Module-count mismatches are rejected.
+        assert!(tree
+            .rebuild(&PolishExpression::initial(3).unwrap())
+            .is_err());
+        assert!(SlicingTree::new(&expr, &modules(4), ShapeMode::Fixed).is_err());
+    }
+
+    #[test]
+    fn min_area_shape_matches_the_placement_bounding_box() {
+        let mods = modules(5);
+        let expr = PolishExpression::initial(5).unwrap();
+        let tree = SlicingTree::new(&expr, &mods, ShapeMode::Rotatable).unwrap();
+        let (w, h) = tree.min_area_shape();
+        let placement = tree.placement();
+        assert_eq!(placement.width(), w);
+        assert_eq!(placement.height(), h);
+    }
+}

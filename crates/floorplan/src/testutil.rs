@@ -1,0 +1,163 @@
+//! Deterministic floorplanning fixtures shared by this crate's unit and
+//! property tests, the differential equivalence suite, the perf benches and
+//! the `tats floorplan` CLI demo.
+//!
+//! Everything here is a pure function of its `(count, seed)` arguments, so
+//! fixtures are reproducible across test runs, bench runs and processes
+//! without copy-pasted module tables.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tats_thermal::ThermalConfig;
+
+use crate::cost::{CostEvaluator, CostWeights, Net};
+use crate::error::FloorplanError;
+use crate::module::Module;
+use crate::polish::{Element, PolishExpression};
+
+/// A deterministic set of `count` modules with varied dimensions (2–8 mm a
+/// side) and strictly positive powers (0.4–7.4 W), fully determined by
+/// `(count, seed)`.
+pub fn module_set(count: usize, seed: u64) -> Vec<Module> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x05EE_D0D5);
+    (0..count)
+        .map(|i| {
+            let width = 2.0 + rng.gen::<f64>() * 6.0;
+            let height = 2.0 + rng.gen::<f64>() * 6.0;
+            let power = 0.4 + rng.gen::<f64>() * 7.0;
+            Module::from_mm(format!("m{i}"), width, height, power)
+        })
+        .collect()
+}
+
+/// A deterministic set of `count` nets over `modules` modules, each
+/// connecting two to four distinct modules. Fewer than two modules cannot
+/// form a net, so the set is empty then.
+pub fn net_set(count: usize, modules: usize, seed: u64) -> Vec<Net> {
+    if modules < 2 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x17E75);
+    (0..count)
+        .map(|_| {
+            let arity = rng.gen_range(2..=4usize.min(modules));
+            let mut pins: Vec<usize> = (0..modules).collect();
+            pins.shuffle(&mut rng);
+            pins.truncate(arity);
+            Net::new(pins)
+        })
+        .collect()
+}
+
+/// A uniformly random *valid* Polish expression over `modules` modules:
+/// operands are a random permutation and operators are inserted at random
+/// points where the balloting property allows one.
+pub fn random_expression<R: Rng>(modules: usize, rng: &mut R) -> PolishExpression {
+    assert!(modules > 0, "need at least one module");
+    let mut order: Vec<usize> = (0..modules).collect();
+    order.shuffle(rng);
+    let mut elements: Vec<Element> = Vec::with_capacity(2 * modules - 1);
+    let mut available = 0usize; // operands on the stack minus operators applied
+    let mut operators_left = modules - 1;
+    for (placed, &module) in order.iter().enumerate() {
+        elements.push(Element::Operand(module));
+        available += 1;
+        // Optionally close some subtrees before the next operand; always
+        // close everything after the last one.
+        let last = placed + 1 == modules;
+        while operators_left > 0 && available >= 2 && (last || rng.gen_bool(0.4)) {
+            elements.push(if rng.gen_bool(0.5) {
+                Element::V
+            } else {
+                Element::H
+            });
+            available -= 1;
+            operators_left -= 1;
+        }
+    }
+    PolishExpression::new(elements, modules).expect("generator emits valid expressions")
+}
+
+/// A ready-made [`CostEvaluator`] over [`module_set`]`(count, seed)` with a
+/// couple of [`net_set`] nets, normalised against the canonical initial
+/// placement — the fixture the annealing/GA tests share.
+///
+/// # Errors
+///
+/// Propagates evaluator construction errors (none for valid `count > 0`).
+pub fn evaluator(
+    count: usize,
+    seed: u64,
+    weights: CostWeights,
+) -> Result<CostEvaluator, FloorplanError> {
+    let modules = module_set(count, seed);
+    let nets = net_set(count / 2, count, seed);
+    let reference = PolishExpression::initial(count)?.evaluate(&modules)?;
+    CostEvaluator::new(modules, nets, weights, ThermalConfig::default(), &reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(module_set(6, 3), module_set(6, 3));
+        assert_ne!(module_set(6, 3), module_set(6, 4));
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(random_expression(9, &mut a), random_expression(9, &mut b));
+    }
+
+    #[test]
+    fn generated_modules_are_valid() {
+        let modules = module_set(12, 0xF00);
+        crate::module::validate_modules(&modules).unwrap();
+        for m in &modules {
+            assert!(m.power() > 0.0);
+        }
+    }
+
+    #[test]
+    fn net_set_is_empty_below_two_modules() {
+        assert!(net_set(3, 0, 1).is_empty());
+        assert!(net_set(3, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn generated_nets_reference_existing_distinct_modules() {
+        for seed in 0..5 {
+            for net in net_set(6, 7, seed) {
+                assert!(net.modules().len() >= 2);
+                let mut pins = net.modules().to_vec();
+                pins.sort_unstable();
+                pins.dedup();
+                assert_eq!(pins.len(), net.modules().len());
+                assert!(pins.iter().all(|&m| m < 7));
+            }
+        }
+    }
+
+    #[test]
+    fn random_expressions_are_valid_and_varied() {
+        let mut rng = StdRng::seed_from_u64(0xE59);
+        let mut shapes = std::collections::HashSet::new();
+        for _ in 0..40 {
+            let expr = random_expression(8, &mut rng);
+            assert_eq!(expr.module_count(), 8);
+            // `new` inside the generator already validated; spot-check the
+            // element count invariant too.
+            assert_eq!(expr.elements().len(), 15);
+            shapes.insert(format!("{:?}", expr.elements()));
+        }
+        // The generator explores many distinct tree shapes.
+        assert!(shapes.len() > 20, "only {} distinct shapes", shapes.len());
+    }
+
+    #[test]
+    fn evaluator_fixture_builds() {
+        let eval = evaluator(5, 9, CostWeights::area_only()).unwrap();
+        assert_eq!(eval.modules().len(), 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Differential property suite pinning the incremental Stockmeyer evaluator
+//! to the O(n) reference paths.
+//!
+//! For random module sets, random valid Polish expressions and random M1–M3
+//! move sequences, after *every* move three evaluations must agree exactly
+//! (`Placement`'s `PartialEq` is raw `f64` equality, i.e. positions within
+//! 0.0 and bit-identical bounding boxes):
+//!
+//! 1. the incrementally maintained [`SlicingTree`] (only the touched root
+//!    path recomputed, journaled rollback on rejection),
+//! 2. a [`SlicingTree`] built from scratch for the candidate expression,
+//! 3. the legacy [`PolishExpression::evaluate`] placement (fixed shapes).
+//!
+//! Run with a larger budget via `PROPTEST_CASES=<n>` (the CI equivalence
+//! smoke step does).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tats_floorplan::{testutil, Module, PolishExpression, ShapeMode, SlicingTree};
+
+prop_compose! {
+    fn scenario()(
+        count in 2usize..12,
+        fixture_seed in any::<u64>(),
+        move_seed in any::<u64>(),
+        moves in 1usize..40,
+    ) -> (Vec<Module>, PolishExpression, u64, usize) {
+        let modules = testutil::module_set(count, fixture_seed);
+        let mut rng = StdRng::seed_from_u64(fixture_seed ^ 0xE0);
+        let expr = testutil::random_expression(count, &mut rng);
+        (modules, expr, move_seed, moves)
+    }
+}
+
+proptest! {
+    /// Fixed shapes: incremental ≡ from-scratch ≡ legacy after every move,
+    /// including rejected-move rollback (the tree must then reproduce the
+    /// pre-move placement bit-for-bit).
+    #[test]
+    fn incremental_equals_scratch_equals_legacy((modules, start, move_seed, moves) in scenario()) {
+        let mut rng = StdRng::seed_from_u64(move_seed);
+        let mut expr = start;
+        let mut tree = SlicingTree::new(&expr, &modules, ShapeMode::Fixed).unwrap();
+        for step in 0..moves {
+            let (candidate, mv) = expr.perturb_move(&mut rng);
+            tree.apply(&mv);
+            prop_assert_eq!(tree.elements(), candidate.elements());
+
+            let incremental = tree.placement();
+            let scratch = SlicingTree::new(&candidate, &modules, ShapeMode::Fixed)
+                .unwrap()
+                .placement();
+            let legacy = candidate.evaluate(&modules).unwrap();
+            prop_assert_eq!(&incremental, &scratch, "scratch divergence at step {}", step);
+            prop_assert_eq!(&incremental, &legacy, "legacy divergence at step {}", step);
+            // The O(1) shape tier agrees with the placement bounding box.
+            let (width, height) = tree.min_area_shape();
+            prop_assert_eq!(incremental.width().to_bits(), width.to_bits());
+            prop_assert_eq!(incremental.height().to_bits(), height.to_bits());
+
+            if rng.gen_bool(0.5) {
+                tree.commit();
+                expr = candidate;
+            } else {
+                tree.rollback();
+                prop_assert_eq!(tree.elements(), expr.elements());
+                let restored = tree.placement();
+                let reference = expr.evaluate(&modules).unwrap();
+                prop_assert_eq!(&restored, &reference, "rollback divergence at step {}", step);
+            }
+        }
+    }
+
+    /// Rotatable and soft shapes: incremental ≡ from-scratch (there is no
+    /// legacy path for them), the curve invariant holds at the root after
+    /// every move, and free orientations never lose to fixed ones.
+    #[test]
+    fn shaped_modes_track_scratch_builds((modules, start, move_seed, moves) in scenario()) {
+        for mode in [ShapeMode::Rotatable, ShapeMode::Soft { variants: 3 }] {
+            let mut rng = StdRng::seed_from_u64(move_seed);
+            let mut expr = start.clone();
+            let mut tree = SlicingTree::new(&expr, &modules, mode).unwrap();
+            for step in 0..moves {
+                let (candidate, mv) = expr.perturb_move(&mut rng);
+                tree.apply(&mv);
+                let scratch = SlicingTree::new(&candidate, &modules, mode).unwrap();
+                prop_assert_eq!(
+                    &tree.placement(),
+                    &scratch.placement(),
+                    "{:?} divergence at step {}", mode, step
+                );
+                prop_assert!(tree.root_curve().is_staircase());
+                let fixed = SlicingTree::new(&candidate, &modules, ShapeMode::Fixed).unwrap();
+                let (fw, fh) = fixed.min_area_shape();
+                let (sw, sh) = tree.min_area_shape();
+                prop_assert!(sw * sh <= fw * fh + 1e-18);
+                if rng.gen_bool(0.5) {
+                    tree.commit();
+                    expr = candidate;
+                } else {
+                    tree.rollback();
+                }
+            }
+        }
+    }
+
+    /// Chosen shapes under rotation are genuine module shapes: each module
+    /// keeps its area and is either unrotated or transposed.
+    #[test]
+    fn rotated_placements_use_real_module_shapes((modules, start, move_seed, _m) in scenario()) {
+        let mut rng = StdRng::seed_from_u64(move_seed);
+        let mut expr = start;
+        for _ in 0..5 {
+            expr = expr.perturb(&mut rng);
+        }
+        let tree = SlicingTree::new(&expr, &modules, ShapeMode::Rotatable).unwrap();
+        let (placement, shapes) = tree.placement_with_shapes();
+        prop_assert_eq!(placement.positions().len(), modules.len());
+        for (module, &(w, h)) in modules.iter().zip(&shapes) {
+            let kept = w == module.width() && h == module.height();
+            let transposed = w == module.height() && h == module.width();
+            prop_assert!(kept || transposed, "module {} got {}x{}", module.name(), w, h);
+        }
+    }
+}

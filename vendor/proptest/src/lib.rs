@@ -198,8 +198,16 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 32 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable (like the real crate) so CI can run the same suites with a
+    /// larger budget without recompiling.
     fn default() -> Self {
-        ProptestConfig { cases: 32 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|value| value.trim().parse().ok())
+            .filter(|&cases| cases > 0)
+            .unwrap_or(32);
+        ProptestConfig { cases }
     }
 }
 
@@ -328,7 +336,8 @@ macro_rules! prop_assert {
     };
 }
 
-/// Equality variant of [`prop_assert!`].
+/// Equality variant of [`prop_assert!`]; like the real crate, an optional
+/// trailing format string and arguments annotate the failure.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
@@ -338,6 +347,17 @@ macro_rules! prop_assert_eq {
                 "assertion failed: {} == {} ({left:?} vs {right:?})",
                 stringify!($left),
                 stringify!($right)
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({left:?} vs {right:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+)
             )));
         }
     }};
@@ -387,6 +407,21 @@ mod tests {
         fn composed_strategies_apply_their_body(n in small_even()) {
             prop_assert_eq!(n % 2, 0);
         }
+    }
+
+    #[test]
+    fn default_case_count_respects_the_environment() {
+        // Runs in its own process-global env slot; restore before exiting so
+        // parallel default-config tests (which only panic at case 0 anyway)
+        // are unaffected.
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(ProptestConfig::default().cases, 7);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(ProptestConfig::default().cases, 32);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(ProptestConfig::default().cases, 32);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::default().cases, 32);
     }
 
     #[test]
