@@ -646,6 +646,13 @@ fn bench_batch() -> Result<String, Box<dyn std::error::Error>> {
 /// single-run invariant extended across process boundaries — and
 /// `available_parallelism` is recorded, since on a single-core container
 /// worker scaling (like thread scaling) is necessarily flat.
+///
+/// Two robustness-PR comparisons ride along: a transport microbenchmark
+/// (the same probes over one keep-alive connection vs one-shot
+/// `Connection: close` requests — the per-request dial cost the persistent
+/// client removed) and a journaled 1-worker run (append-and-flush on every
+/// mutation) against the plain 1-worker wall, reported as
+/// `overhead_vs_no_journal_pct`.
 fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
     use tats_engine::CampaignSpec;
     use tats_service::{client, run_worker, Service, ServiceConfig, WorkerConfig};
@@ -679,6 +686,7 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
     let mut sections = Vec::new();
     let mut speedup_4 = f64::NAN;
     let mut single_rate = f64::NAN;
+    let mut single_wall = f64::NAN;
     for workers in [1usize, 2, 4] {
         // Submit first, then start the workers: no lease/drain race.
         let response = client::post_json(
@@ -710,7 +718,7 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
                                 threads: 1,
                                 poll_ms: 5,
                                 exit_when_drained: true,
-                                fail_after_records: None,
+                                ..WorkerConfig::default()
                             },
                         )
                     })
@@ -728,6 +736,7 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
         let rate = scenarios.len() as f64 / wall.max(1e-12);
         if workers == 1 {
             single_rate = rate;
+            single_wall = wall;
         }
         if workers == 4 {
             speedup_4 = rate / single_rate;
@@ -756,7 +765,80 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
             rate / single_rate,
         ));
     }
+
+    // Transport microbenchmark: the same status probes over one persistent
+    // keep-alive connection vs one-shot `Connection: close` requests. This
+    // isolates the per-request dial+teardown cost the keep-alive client
+    // removed from record distribution.
+    const PROBES: usize = 200;
+    let start = Instant::now();
+    let mut connection = client::Connection::new(&addr);
+    for _ in 0..PROBES {
+        connection
+            .get("/healthz")
+            .map_err(|e| format!("probe: {e}"))?;
+    }
+    let keep_alive_wall = start.elapsed().as_secs_f64();
+    let keep_alive_dials = connection.dials();
+    drop(connection);
+    let start = Instant::now();
+    for _ in 0..PROBES {
+        client::get(&addr, "/healthz").map_err(|e| format!("probe: {e}"))?;
+    }
+    let close_wall = start.elapsed().as_secs_f64();
     server.stop();
+
+    // Journal overhead: the 1-worker distributed run again, but against a
+    // journaled server (every submit/lease/ingest/done fsync-flushed to the
+    // JSONL journal before the 2xx), compared to the plain 1-worker wall.
+    let journal_path = std::env::temp_dir().join("tats_bench_service_journal.jsonl");
+    let _ = std::fs::remove_file(&journal_path);
+    let server = Service::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            journal: Some(journal_path.clone()),
+            ..ServiceConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind journaled: {e}"))?;
+    let addr = server.addr_string();
+    let response = client::post_json(
+        &addr,
+        "/jobs",
+        &JsonValue::object(vec![
+            ("spec".to_string(), spec.to_json()),
+            ("shards".to_string(), JsonValue::from(SHARDS)),
+        ]),
+    )
+    .map_err(|e| format!("submit journaled: {e}"))?;
+    let job = response
+        .get("job")
+        .and_then(JsonValue::as_str)
+        .ok_or("no job id")?
+        .to_string();
+    let start = Instant::now();
+    run_worker(
+        &addr,
+        &WorkerConfig {
+            name: "bench-journal-w0".to_string(),
+            threads: 1,
+            poll_ms: 5,
+            exit_when_drained: true,
+            ..WorkerConfig::default()
+        },
+    )
+    .map_err(|e| format!("journaled worker: {e}"))?;
+    let journal_wall = start.elapsed().as_secs_f64();
+    let records =
+        client::get(&addr, &format!("/jobs/{job}/records")).map_err(|e| format!("records: {e}"))?;
+    let mut lines: Vec<String> = records.body.lines().map(str::to_string).collect();
+    lines.sort_by_key(|line| jsonl::line_id(line));
+    if lines != reference_lines {
+        return Err("journaled service run diverged from the in-process run".into());
+    }
+    let journal_bytes = std::fs::metadata(&journal_path).map_or(0, |m| m.len());
+    server.stop();
+    let _ = std::fs::remove_file(&journal_path);
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
@@ -769,7 +851,15 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
             "  \"deterministic_vs_in_process\": true,\n",
             "  \"in_process\": {{ \"wall_s\": {:.6}, \"scenarios_per_sec\": {:.2} }},\n",
             "  \"runs\": {{\n{}\n  }},\n",
-            "  \"speedup_4_workers_vs_1\": {:.2}\n",
+            "  \"speedup_4_workers_vs_1\": {:.2},\n",
+            "  \"transport\": {{\n",
+            "    \"probes\": {},\n",
+            "    \"keep_alive\": {{ \"wall_s\": {:.6}, \"requests_per_sec\": {:.0}, \"dials\": {} }},\n",
+            "    \"connection_close\": {{ \"wall_s\": {:.6}, \"requests_per_sec\": {:.0}, \"dials\": {} }},\n",
+            "    \"keep_alive_speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"journal\": {{ \"workers\": 1, \"wall_s\": {:.6}, \"scenarios_per_sec\": {:.2}, ",
+            "\"journal_bytes\": {}, \"overhead_vs_no_journal_pct\": {:.1} }}\n",
             "}}\n"
         ),
         scenarios.len(),
@@ -779,6 +869,18 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
         in_process_rate,
         sections.join(",\n"),
         speedup_4,
+        PROBES,
+        keep_alive_wall,
+        PROBES as f64 / keep_alive_wall.max(1e-12),
+        keep_alive_dials,
+        close_wall,
+        PROBES as f64 / close_wall.max(1e-12),
+        PROBES,
+        close_wall / keep_alive_wall.max(1e-12),
+        journal_wall,
+        scenarios.len() as f64 / journal_wall.max(1e-12),
+        journal_bytes,
+        100.0 * (journal_wall - single_wall) / single_wall.max(1e-12),
     );
     Ok(json)
 }

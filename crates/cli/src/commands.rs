@@ -78,6 +78,11 @@ COMMANDS:
     serve        Run the campaign service HTTP server (blocks until killed)
                    --host 127.0.0.1 --port 7070       bind address (0 = ephemeral port)
                    --lease-ttl-ms 15000               shard lease TTL for dead-worker retry
+                   --journal state.jsonl              append-only journal; a restart on the
+                                                      same path replays jobs, records and
+                                                      shard states (kill -9 safe)
+                   --no-keep-alive                    close the connection after every
+                                                      request (diagnostic / benchmarking)
     worker       Lease and run campaign shards from a tats serve instance
                    --connect HOST:PORT                server address (required)
                    --threads 0 --poll-ms 200          executor threads, idle poll interval
@@ -89,6 +94,8 @@ COMMANDS:
                     --seeds --grid-solver --nx --ny --full)
                    --shards 4                         split the job into n shards
                    --wait                             stream records + summary until done
+                                                      (rides out server restarts, resuming
+                                                      from the last x-next-from)
                    --out results.jsonl --poll-ms 200  write fetched records to a file
     export       Export a benchmark task graph
                    --benchmark Bm1..Bm4 --format tgff|dot
@@ -767,20 +774,37 @@ pub fn batch(options: &Options) -> Result<String, CliError> {
 /// Prints the bound address (pass `--port 0` for an ephemeral port) and
 /// blocks until the process is killed. Workers connect with `tats worker
 /// --connect`, campaigns arrive via `tats submit` (or plain `curl`; see the
-/// endpoint table in the `tats_service` docs).
+/// endpoint table in the `tats_service` docs). With `--journal` every
+/// registry transition is persisted before it is acknowledged, and a
+/// restart on the same path replays it — `kill -9` loses nothing the
+/// server said yes to.
 pub fn serve(options: &Options) -> Result<String, CliError> {
     let host = options.value_or("host", "127.0.0.1");
     let port = options.number("port", 7070.0)? as u16;
     let lease_ttl_ms = options.number("lease-ttl-ms", 15_000.0)? as u64;
-    let handle = tats_service::Service::bind(
-        &format!("{host}:{port}"),
-        tats_service::ServiceConfig { lease_ttl_ms },
-    )
-    .map_err(execution_error)?;
+    let journal = options.value("journal").map(std::path::PathBuf::from);
+    let journaled = journal.is_some();
+    let mut config = tats_service::ServiceConfig {
+        lease_ttl_ms,
+        journal,
+        ..tats_service::ServiceConfig::default()
+    };
+    if options.switch("no-keep-alive") {
+        config.keep_alive_max_requests = 0;
+    }
+    let handle =
+        tats_service::Service::bind(&format!("{host}:{port}"), config).map_err(execution_error)?;
     // The binary prints the command's return value only when it *returns*;
     // serve never does, so announce the address (CI and operators parse it)
     // directly and keep serving until the process dies.
     println!("tats_service listening on {}", handle.addr());
+    if journaled {
+        let replay = handle.replay_report();
+        println!(
+            "journal replayed: {} event(s), {} job(s), {} record(s), {} repaired byte(s)",
+            replay.events, replay.jobs, replay.records, replay.repaired_bytes,
+        );
+    }
     use std::io::Write;
     let _ = std::io::stdout().flush();
     loop {
@@ -802,7 +826,7 @@ pub fn worker(options: &Options) -> Result<String, CliError> {
         threads: options.number("threads", 0.0)? as usize,
         poll_ms: options.number("poll-ms", 200.0)? as u64,
         exit_when_drained: options.switch("exit-when-drained"),
-        fail_after_records: None,
+        ..tats_service::WorkerConfig::default()
     };
     let report = tats_service::run_worker(addr, &config).map_err(execution_error)?;
     Ok(format!(
@@ -813,10 +837,13 @@ pub fn worker(options: &Options) -> Result<String, CliError> {
 
 /// `tats submit` — submit a campaign (same axis options as `tats batch`) to
 /// a `tats serve` instance as a job of `--shards` deterministic shards.
-/// With `--wait`, polls the job, streams its records (to `--out` or into
-/// the output) as they arrive, and prints the same campaign summary `tats
-/// batch` prints — distributed and in-process runs are interchangeable at
-/// the command line.
+/// With `--wait`, polls the job over one keep-alive connection, streams its
+/// records (to `--out` or into the output) as they arrive, and prints the
+/// same campaign summary `tats batch` prints — distributed and in-process
+/// runs are interchangeable at the command line. The poll loop retries
+/// transient failures with capped backoff and resumes from the last
+/// `x-next-from`, so a journaled server restart mid-wait neither
+/// duplicates nor drops a record.
 pub fn submit(options: &Options) -> Result<String, CliError> {
     use tats_service::client;
     use tats_trace::JsonValue;
@@ -904,14 +931,24 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
     let mut inline_lines = String::new();
     let mut from = 0usize;
     let mut fetched = 0usize;
+    // One keep-alive connection for the whole wait; the retry policy rides
+    // out a server restart (the journal preserves the job, `from` preserves
+    // our place in its record stream).
+    let retry = tats_service::RetryPolicy::default();
+    let mut connection = client::Connection::new(addr);
     loop {
-        let status = client::get(addr, &format!("/jobs/{job}")).map_err(execution_error)?;
+        let status_path = format!("/jobs/{job}");
+        let status = retry
+            .run(|| connection.get(&status_path))
+            .map_err(execution_error)?;
         let done = JsonValue::parse(&status.body)
             .map_err(|e| CliError::Execution(format!("job status from server: {e}")))?
             .field_str("state")
             .map_err(|m| CliError::Execution(format!("job status from server: {m}")))?
             == "done";
-        let page = client::get(addr, &format!("/jobs/{job}/records?from={from}"))
+        let page_path = format!("/jobs/{job}/records?from={from}");
+        let page = retry
+            .run(|| connection.get(&page_path))
             .map_err(execution_error)?;
         for line in page.body.lines() {
             let value = JsonValue::parse(line)
@@ -1445,6 +1482,83 @@ mod tests {
         };
         assert_eq!(pick(&submit_out), pick(&batch_out));
         server.stop();
+    }
+
+    /// Satellite of the crash-safety PR: `submit --wait` keeps its place in
+    /// the record stream across a journaled server restart — the supervisor
+    /// thread kills the server after the first record lands and rebinds it
+    /// on the same journal and port while the wait loop is still polling.
+    #[test]
+    fn submit_wait_survives_a_journaled_server_restart() {
+        let path = std::env::temp_dir().join("tats_cli_submit_restart.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let config = tats_service::ServiceConfig {
+            lease_ttl_ms: 5_000,
+            journal: Some(path.clone()),
+            ..tats_service::ServiceConfig::default()
+        };
+        let server = tats_service::Service::bind("127.0.0.1:0", config.clone()).expect("bind");
+        let addr = server.addr_string();
+        {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let _ = tats_service::run_worker(
+                    &addr,
+                    &tats_service::WorkerConfig {
+                        name: "cli-restart-worker".to_string(),
+                        poll_ms: 10,
+                        ..tats_service::WorkerConfig::default()
+                    },
+                );
+            });
+        }
+        // Supervisor: wait for the first record of the first job, then
+        // abort the server and bring it back on the same journal and port.
+        let supervisor = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                loop {
+                    match tats_service::client::get(&addr, "/jobs/j000001/records") {
+                        Ok(response) if !response.body.is_empty() => break,
+                        _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+                    }
+                }
+                server.abort();
+                tats_service::Service::bind(&addr, config).expect("rebind")
+            })
+        };
+
+        // 10 scenarios, so the restart lands mid-stream.
+        let axes: &[&str] = &["--benchmarks", "Bm1", "--policies", "all", "--seeds", "0,1"];
+        let mut submit_args = vec!["--connect", &addr, "--shards", "2", "--wait"];
+        submit_args.extend_from_slice(axes);
+        let submit_out = submit(&opts(
+            &submit_args,
+            &["connect", "benchmarks", "policies", "seeds", "shards"],
+            &["wait"],
+        ))
+        .expect("submit --wait must ride out the restart");
+        assert!(submit_out.contains("fetched 10 record(s)"), "{submit_out}");
+
+        let mut batch_args = vec!["--threads", "1"];
+        batch_args.extend_from_slice(axes);
+        let batch_out = batch(&opts(&batch_args, BATCH_VALUES, BATCH_SWITCHES)).expect("batch");
+        let pick = |text: &str| -> Vec<String> {
+            let mut lines: Vec<String> = text
+                .lines()
+                .filter(|line| line.starts_with('{'))
+                .map(str::to_string)
+                .collect();
+            lines.sort_by_key(|line| tats_trace::jsonl::line_id(line));
+            lines
+        };
+        assert_eq!(
+            pick(&submit_out),
+            pick(&batch_out),
+            "no record duplicated or dropped across the restart"
+        );
+        supervisor.join().expect("supervisor").stop();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

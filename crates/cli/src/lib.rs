@@ -57,7 +57,10 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
             ],
             &["resume", "full", "dry-run"],
         ),
-        "serve" => (&["host", "port", "lease-ttl-ms"], &[]),
+        "serve" => (
+            &["host", "port", "lease-ttl-ms", "journal"],
+            &["no-keep-alive"],
+        ),
         "worker" => (
             &["connect", "name", "threads", "poll-ms"],
             &["exit-when-drained"],

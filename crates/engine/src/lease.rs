@@ -136,6 +136,25 @@ impl ShardBoard {
         }
     }
 
+    /// Converts every live lease back to pending and returns how many were
+    /// reset. A restarted server calls this after journal replay: lease
+    /// deadlines live in the dead process's monotonic clock, so they cannot
+    /// be compared against the new epoch — the shards simply become leasable
+    /// again. A still-live worker loses nothing: its next record batch
+    /// re-acquires the (now pending) shard through [`ShardBoard::renew`],
+    /// and the ingest dedup absorbs any re-streams if another worker won the
+    /// race in between.
+    pub fn reset_leases(&mut self) -> usize {
+        let mut reset = 0;
+        for state in &mut self.states {
+            if matches!(state, ShardState::Leased { .. }) {
+                *state = ShardState::Pending;
+                reset += 1;
+            }
+        }
+        reset
+    }
+
     /// Shards marked done.
     pub fn done_count(&self) -> usize {
         self.states
@@ -222,6 +241,23 @@ mod tests {
         assert!(board.renew(0, "other", 200, TTL));
         assert!(!board.renew(0, "w", 210, TTL), "w lost the shard");
         assert!(!board.renew(9, "w", 0, TTL), "out of range");
+    }
+
+    #[test]
+    fn reset_leases_reopens_live_leases_but_not_done_shards() {
+        let mut board = ShardBoard::new(3);
+        board.lease("w1", 0, TTL).expect("lease 0");
+        board.lease("w2", 0, TTL).expect("lease 1");
+        assert!(board.complete(0, "w1", 10));
+        // One done, one leased, one pending: only the lease resets.
+        assert_eq!(board.reset_leases(), 1);
+        assert!(matches!(board.state(0), ShardState::Done));
+        assert!(matches!(board.state(1), ShardState::Pending));
+        assert!(matches!(board.state(2), ShardState::Pending));
+        // The old holder re-acquires its shard through renew (a restarted
+        // server sees the worker's next record batch), even at time 0.
+        assert!(board.renew(1, "w2", 0, TTL));
+        assert_eq!(board.reset_leases(), 1);
     }
 
     #[test]

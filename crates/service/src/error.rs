@@ -36,6 +36,10 @@ pub enum ServiceError {
     /// The worker deliberately aborted mid-shard (the injected-failure test
     /// hook simulating a crash).
     Aborted(String),
+    /// The server exists but cannot serve the request *yet* (journal replay
+    /// in progress) or any more (aborted). Clients treat this as transient
+    /// and retry with backoff — see [`crate::retry::is_transient`].
+    Unavailable(String),
 }
 
 impl ServiceError {
@@ -49,6 +53,7 @@ impl ServiceError {
                 400
             }
             ServiceError::Io(_) | ServiceError::Http { .. } | ServiceError::Aborted(_) => 500,
+            ServiceError::Unavailable(_) => 503,
         }
     }
 }
@@ -66,6 +71,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "http {status}: {message}")
             }
             ServiceError::Aborted(message) => write!(f, "worker aborted: {message}"),
+            ServiceError::Unavailable(message) => write!(f, "unavailable: {message}"),
         }
     }
 }
@@ -97,6 +103,10 @@ mod tests {
         assert_eq!(
             ServiceError::Io(io::Error::other("boom")).status_code(),
             500
+        );
+        assert_eq!(
+            ServiceError::Unavailable("replaying journal".into()).status_code(),
+            503
         );
     }
 

@@ -1,11 +1,19 @@
 //! A deliberately small HTTP/1.1 implementation over `std::io` streams.
 //!
-//! The campaign service needs exactly one shape of HTTP: short
-//! `Connection: close` exchanges with `Content-Length` bodies between
+//! The campaign service needs exactly one shape of HTTP: serial
+//! request/response exchanges with `Content-Length` bodies between
 //! processes that trust each other's framing (the CLI, the workers, a
 //! `curl` for inspection). This module implements that shape and nothing
-//! else — no chunked encoding, no keep-alive, no TLS — so the whole wire
+//! else — no chunked encoding, no pipelining, no TLS — so the whole wire
 //! layer stays auditable and dependency-free.
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive) by default: every
+//! response is `Content-Length`-framed, so one socket carries many
+//! exchanges and a record-streaming worker pays connection setup once per
+//! shard rather than once per record. Either side opts out per exchange
+//! with a `Connection: close` header ([`Request::wants_close`] /
+//! [`Response::allows_reuse`]); the server also closes on its per-
+//! connection request bound, on idle timeout, and on shutdown.
 
 use std::io::{BufRead, Write};
 
@@ -55,6 +63,13 @@ impl Request {
     /// The path split into non-empty `/`-separated segments.
     pub fn segments(&self) -> Vec<&str> {
         self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Returns `true` when the client asked for the connection to be closed
+    /// after this exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|value| value.eq_ignore_ascii_case("close"))
     }
 }
 
@@ -172,12 +187,16 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Writes a complete `Connection: close` response with a `Content-Length`
-/// body.
+/// Writes a complete `Content-Length`-framed response. `keep_alive`
+/// selects the `Connection:` header: `keep-alive` keeps the socket open
+/// for the next exchange, `close` tells the peer this was the last one
+/// (per-connection request bound reached, client asked, or the server is
+/// shutting down).
 ///
 /// # Errors
 ///
@@ -188,9 +207,11 @@ pub fn write_response(
     content_type: &str,
     extra_headers: &[(&str, String)],
     body: &str,
+    keep_alive: bool,
 ) -> Result<(), ServiceError> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         reason(status),
         body.len(),
     );
@@ -198,8 +219,11 @@ pub fn write_response(
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
+    // One write per response: two small writes on a keep-alive socket make
+    // Nagle hold the second until the first is ACKed — with the peer's
+    // delayed ACK that is a ~40 ms stall per exchange.
+    head.push_str(body);
     writer.write_all(head.as_bytes())?;
-    writer.write_all(body.as_bytes())?;
     writer.flush()?;
     Ok(())
 }
@@ -223,6 +247,17 @@ impl Response {
             .iter()
             .find(|(key, _)| *key == name)
             .map(|(_, value)| value.as_str())
+    }
+
+    /// Returns `true` when the connection that carried this response may be
+    /// reused for another exchange: the server said `Connection: keep-alive`
+    /// *and* the body was `Content-Length`-framed (a read-to-EOF body
+    /// consumed the stream). Absent or different `Connection:` values mean
+    /// close — the conservative HTTP/1.0-compatible reading.
+    pub fn allows_reuse(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|value| value.eq_ignore_ascii_case("keep-alive"))
+            && self.header("content-length").is_some()
     }
 }
 
@@ -319,23 +354,55 @@ mod tests {
             "application/json",
             &[("x-job", "j1".to_string())],
             "{\"job\":\"j1\"}",
+            false,
         )
         .expect("write");
         let response = read_response(&mut BufReader::new(wire.as_slice())).expect("read");
         assert_eq!(response.status, 201);
         assert_eq!(response.header("X-Job"), Some("j1"));
         assert_eq!(response.body, "{\"job\":\"j1\"}");
+        assert!(!response.allows_reuse());
         let text = String::from_utf8(wire).unwrap();
         assert!(text.starts_with("HTTP/1.1 201 Created\r\n"));
         assert!(text.contains("connection: close"));
     }
 
     #[test]
+    fn keep_alive_responses_frame_back_to_back_exchanges() {
+        // Two keep-alive responses on one stream: each is consumed exactly
+        // by its content-length, so the second parses cleanly after the
+        // first — the framing persistent connections rely on.
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "text/plain", &[], "first", true).expect("write 1");
+        write_response(&mut wire, 200, "text/plain", &[], "second", false).expect("write 2");
+        let mut reader = BufReader::new(wire.as_slice());
+        let first = read_response(&mut reader).expect("read 1");
+        assert_eq!(first.body, "first");
+        assert!(first.allows_reuse());
+        let second = read_response(&mut reader).expect("read 2");
+        assert_eq!(second.body, "second");
+        assert!(!second.allows_reuse());
+    }
+
+    #[test]
+    fn connection_close_requests_are_recognised() {
+        let raw = "GET /healthz HTTP/1.1\r\nConnection: Close\r\n\r\n";
+        let request = read_request(&mut BufReader::new(raw.as_bytes())).expect("parse");
+        assert!(request.wants_close());
+        let raw = "GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        let request = read_request(&mut BufReader::new(raw.as_bytes())).expect("parse");
+        assert!(!request.wants_close());
+    }
+
+    #[test]
     fn response_without_content_length_reads_to_eof() {
-        let raw = "HTTP/1.1 200 OK\r\n\r\nstreamed until close";
+        let raw = "HTTP/1.1 200 OK\r\nconnection: keep-alive\r\n\r\nstreamed until close";
         let response = read_response(&mut BufReader::new(raw.as_bytes())).expect("read");
         assert_eq!(response.status, 200);
         assert_eq!(response.body, "streamed until close");
+        // Without content-length framing the stream was consumed: no reuse,
+        // whatever the connection header claims.
+        assert!(!response.allows_reuse());
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! The registry journal: crash-safe persistence for the campaign service.
+//!
+//! PR 3's batch engine already survives `kill -9` because its JSONL result
+//! file doubles as a write-ahead log (`tats batch --resume`). This module
+//! gives the *service* the same property: every state transition of the
+//! [`Registry`] — job submitted, shard leased, record batch ingested, shard
+//! done, leases reset — is appended to a JSONL journal the moment it
+//! happens, and a restarted server replays the journal to reconstruct the
+//! registry exactly.
+//!
+//! # Replay ≡ live, by construction
+//!
+//! The journal does not serialise registry *state*; it records the
+//! *inputs* of every successful mutating call, including the `now_ms`
+//! timestamp the live server used. The registry is a deterministic state
+//! machine (clock-free, lock-free: every method takes `now_ms`), so
+//! re-applying the same calls with the same timestamps reproduces the same
+//! state — [`replay`] literally calls the same public [`Registry`] methods
+//! the live server called. The `journal_replay` test suite pins
+//! `snapshot(replay(journal)) == snapshot(live)` across randomised
+//! interleavings, truncated tails included.
+//!
+//! Two deliberate asymmetries:
+//!
+//! * **Idle lease polls are not journaled.** They change no replayable
+//!   state (only per-worker statistics, which [`Registry::snapshot`]
+//!   excludes); journaling them would bloat the file with heartbeats.
+//! * **Lease *grants* are verified on replay.** The journaled event carries
+//!   the job and shard the live server granted; replay re-runs the lease
+//!   scan and refuses the journal (with [`ServiceError::Protocol`]) if it
+//!   would grant anything else — a corrupted or hand-edited journal fails
+//!   loudly at boot instead of silently diverging.
+//!
+//! # Ordering and crash windows
+//!
+//! A mutation is applied to the in-memory registry first, then journaled
+//! (flushed per line), then acknowledged over HTTP. A crash between apply
+//! and acknowledge means the client never saw a 2xx, retries, and the
+//! server-side dedup (ingest by scenario id, idempotent done, lease TTLs)
+//! absorbs the repeat — so the journal never acknowledges state it did not
+//! persist. A `kill -9` mid-append leaves at most one partial final line,
+//! which [`JournaledRegistry::open`] repairs with the same
+//! `truncate_partial_tail` discipline the batch engine uses.
+//!
+//! Lease deadlines live in the dead process's monotonic clock, so after
+//! replay the server calls [`JournaledRegistry::reset_leases`], which
+//! journals a `reset_leases` event and converts live leases back to
+//! pending. Still-running workers re-acquire their shard on their next
+//! record batch; dedup absorbs any re-streams.
+
+use std::path::Path;
+
+use tats_engine::CampaignSpec;
+use tats_trace::{jsonl, JsonValue};
+
+use crate::error::ServiceError;
+use crate::registry::{IngestReport, Registry};
+
+/// What [`replay`] reconstructed from a journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Complete journal events applied.
+    pub events: usize,
+    /// Jobs reconstructed (submit events).
+    pub jobs: usize,
+    /// Records re-ingested (accepted lines across ingest events).
+    pub records: usize,
+    /// Bytes of partial trailing line dropped by the crash repair (only
+    /// set by [`JournaledRegistry::open`], which owns the file).
+    pub repaired_bytes: u64,
+}
+
+fn protocol(message: String) -> ServiceError {
+    ServiceError::Protocol(format!("journal: {message}"))
+}
+
+fn field_u64(event: &JsonValue, name: &str) -> Result<u64, ServiceError> {
+    event
+        .get(name)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| protocol(format!("event missing numeric field '{name}'")))
+}
+
+fn field_str<'e>(event: &'e JsonValue, name: &str) -> Result<&'e str, ServiceError> {
+    event
+        .get(name)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| protocol(format!("event missing string field '{name}'")))
+}
+
+/// Replays a journal into a fresh [`Registry`] with the given lease TTL.
+///
+/// Purely a reader: blank and structurally incomplete lines (a crash
+/// mid-append) are skipped, the file is not modified. Use
+/// [`JournaledRegistry::open`] to also repair the tail and continue
+/// appending.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Io`] for unreadable files and
+/// [`ServiceError::Protocol`] for malformed events or events the registry
+/// refuses — including a lease grant that does not reproduce, the signature
+/// of a corrupted journal. A missing file replays to an empty registry.
+pub fn replay(path: &Path, lease_ttl_ms: u64) -> Result<(Registry, ReplayReport), ServiceError> {
+    let mut registry = Registry::new(lease_ttl_ms);
+    let mut report = ReplayReport::default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((registry, report)),
+        Err(e) => return Err(ServiceError::Io(e)),
+    };
+    for line in text.lines() {
+        if line.trim().is_empty() || !jsonl::is_complete_record(line) {
+            continue;
+        }
+        let event = JsonValue::parse(line).map_err(|e| protocol(format!("unparsable: {e}")))?;
+        apply(&mut registry, &event, &mut report)?;
+        report.events += 1;
+    }
+    Ok((registry, report))
+}
+
+/// Applies one journaled event to `registry`, verifying that the outcome
+/// matches what the live server recorded.
+fn apply(
+    registry: &mut Registry,
+    event: &JsonValue,
+    report: &mut ReplayReport,
+) -> Result<(), ServiceError> {
+    match field_str(event, "event")? {
+        "submit" => {
+            let spec = CampaignSpec::from_json(
+                event
+                    .get("spec")
+                    .ok_or_else(|| protocol("submit event missing 'spec'".to_string()))?,
+            )
+            .map_err(|e| protocol(format!("submit spec: {e}")))?;
+            let shards = field_u64(event, "shards")? as usize;
+            let now_ms = field_u64(event, "now_ms")?;
+            let journaled_job = field_str(event, "job")?;
+            let status = registry
+                .submit(spec, shards, now_ms)
+                .map_err(|e| protocol(format!("submit refused on replay: {e}")))?;
+            let job = status.get("job").and_then(JsonValue::as_str).unwrap_or("");
+            if job != journaled_job {
+                return Err(protocol(format!(
+                    "submit replayed as job '{job}' but the journal says '{journaled_job}'"
+                )));
+            }
+            report.jobs += 1;
+        }
+        "lease" => {
+            let worker = field_str(event, "worker")?;
+            let now_ms = field_u64(event, "now_ms")?;
+            let journaled_job = field_str(event, "job")?;
+            let journaled_shard = field_u64(event, "shard")?;
+            let response = registry.lease(worker, now_ms);
+            let granted = response
+                .get("lease")
+                .ok_or_else(|| {
+                    protocol(format!(
+                        "lease for '{worker}' granted nothing on replay but the journal \
+                         says shard {journaled_shard} of '{journaled_job}'"
+                    ))
+                })?
+                .clone();
+            let job = granted.get("job").and_then(JsonValue::as_str).unwrap_or("");
+            let shard = granted
+                .get("shard")
+                .and_then(JsonValue::as_str)
+                .and_then(|s| s.split('/').next())
+                .and_then(|index| index.parse::<u64>().ok());
+            if job != journaled_job || shard != Some(journaled_shard) {
+                return Err(protocol(format!(
+                    "lease for '{worker}' replayed as {job}:{shard:?} but the journal \
+                     says shard {journaled_shard} of '{journaled_job}'"
+                )));
+            }
+        }
+        "ingest" => {
+            let job = field_str(event, "job")?;
+            let shard = field_u64(event, "shard")? as usize;
+            let worker = field_str(event, "worker")?;
+            let body = field_str(event, "body")?;
+            let now_ms = field_u64(event, "now_ms")?;
+            let ingested = registry
+                .ingest(job, shard, worker, body, now_ms)
+                .map_err(|e| protocol(format!("ingest refused on replay: {e}")))?;
+            report.records += ingested.accepted;
+        }
+        "done" => {
+            let job = field_str(event, "job")?;
+            let shard = field_u64(event, "shard")? as usize;
+            let worker = field_str(event, "worker")?;
+            let now_ms = field_u64(event, "now_ms")?;
+            registry
+                .shard_done(job, shard, worker, now_ms)
+                .map_err(|e| protocol(format!("done refused on replay: {e}")))?;
+        }
+        "reset_leases" => {
+            registry.reset_leases();
+        }
+        other => return Err(protocol(format!("unknown event '{other}'"))),
+    }
+    Ok(())
+}
+
+/// A [`Registry`] whose every successful state transition is appended to an
+/// optional JSONL journal — the single type both the live server and the
+/// replay tests drive, so "what gets journaled" cannot drift from "what
+/// gets applied".
+///
+/// Without a journal (`journal: None`) it behaves exactly like a bare
+/// registry; [`JournaledRegistry::seal`] flips it into the aborted state
+/// where every mutation is refused — the in-process stand-in for a killed
+/// server, used by the crash tests and [`ServiceHandle::abort`].
+///
+/// [`ServiceHandle::abort`]: crate::ServiceHandle::abort
+#[derive(Debug)]
+pub struct JournaledRegistry {
+    registry: Registry,
+    journal: Option<jsonl::JsonlWriter<std::fs::File>>,
+    sealed: bool,
+}
+
+impl JournaledRegistry {
+    /// A journal-less registry (state lives and dies with the process).
+    pub fn new(lease_ttl_ms: u64) -> Self {
+        JournaledRegistry {
+            registry: Registry::new(lease_ttl_ms),
+            journal: None,
+            sealed: false,
+        }
+    }
+
+    /// Opens (or creates) a journal at `path`: repairs a partial trailing
+    /// line left by a crash, replays every event into a fresh registry, and
+    /// keeps the file open for appending subsequent transitions.
+    ///
+    /// The caller (the server, once it trusts the replay) should follow up
+    /// with [`JournaledRegistry::reset_leases`] — leases replayed from a
+    /// dead process's clock are meaningless in the new one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`replay`] errors and I/O failures opening the file.
+    pub fn open(path: &Path, lease_ttl_ms: u64) -> Result<(Self, ReplayReport), ServiceError> {
+        let (writer, repaired_bytes) = jsonl::append_repaired(path)?;
+        let (registry, mut report) = replay(path, lease_ttl_ms)?;
+        report.repaired_bytes = repaired_bytes;
+        Ok((
+            JournaledRegistry {
+                registry,
+                journal: Some(writer),
+                sealed: false,
+            },
+            report,
+        ))
+    }
+
+    /// Read access to the underlying registry (status, records, snapshots).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Refuses every further mutation and closes the journal file. This is
+    /// the `kill -9` stand-in: a sealed registry performs no transition and
+    /// writes no byte, so a restarted server replaying the same journal
+    /// file sees exactly what a real dead process would have left.
+    pub fn seal(&mut self) {
+        self.sealed = true;
+        self.journal = None;
+    }
+
+    /// Whether [`JournaledRegistry::seal`] was called.
+    pub fn sealed(&self) -> bool {
+        self.sealed
+    }
+
+    fn check_sealed(&self) -> Result<(), ServiceError> {
+        if self.sealed {
+            Err(ServiceError::Unavailable(
+                "server aborted; no further state transitions".to_string(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn append(&mut self, event: JsonValue) -> Result<(), ServiceError> {
+        if let Some(writer) = &mut self.journal {
+            writer.write(&event).map_err(ServiceError::Io)?;
+        }
+        Ok(())
+    }
+
+    /// [`Registry::submit`], journaled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the registry's refusal, [`ServiceError::Unavailable`]
+    /// when sealed, and journal-append I/O failures.
+    pub fn submit(
+        &mut self,
+        spec: CampaignSpec,
+        shards: usize,
+        now_ms: u64,
+    ) -> Result<JsonValue, ServiceError> {
+        self.check_sealed()?;
+        let spec_json = spec.to_json();
+        let status = self.registry.submit(spec, shards, now_ms)?;
+        let job = status
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_string();
+        self.append(JsonValue::object(vec![
+            ("event".to_string(), JsonValue::from("submit")),
+            ("now_ms".to_string(), JsonValue::from(now_ms as usize)),
+            ("job".to_string(), JsonValue::from(job.as_str())),
+            ("shards".to_string(), JsonValue::from(shards)),
+            ("spec".to_string(), spec_json),
+        ]))?;
+        Ok(status)
+    }
+
+    /// [`Registry::lease`], journaled when a shard is actually granted
+    /// (idle polls change no replayable state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Unavailable`] when sealed and journal-append
+    /// I/O failures.
+    pub fn lease(&mut self, worker: &str, now_ms: u64) -> Result<JsonValue, ServiceError> {
+        self.check_sealed()?;
+        let response = self.registry.lease(worker, now_ms);
+        if let Some(lease) = response.get("lease") {
+            let job = lease
+                .get("job")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string();
+            let shard = lease
+                .get("shard")
+                .and_then(JsonValue::as_str)
+                .and_then(|s| s.split('/').next())
+                .and_then(|index| index.parse::<u64>().ok())
+                .unwrap_or(0);
+            self.append(JsonValue::object(vec![
+                ("event".to_string(), JsonValue::from("lease")),
+                ("now_ms".to_string(), JsonValue::from(now_ms as usize)),
+                ("worker".to_string(), JsonValue::from(worker)),
+                ("job".to_string(), JsonValue::from(job.as_str())),
+                ("shard".to_string(), JsonValue::from(shard as usize)),
+            ]))?;
+        }
+        Ok(response)
+    }
+
+    /// [`Registry::ingest`], journaled on success with the raw JSONL body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the registry's refusal, [`ServiceError::Unavailable`]
+    /// when sealed, and journal-append I/O failures.
+    pub fn ingest(
+        &mut self,
+        job: &str,
+        shard: usize,
+        worker: &str,
+        body: &str,
+        now_ms: u64,
+    ) -> Result<IngestReport, ServiceError> {
+        self.check_sealed()?;
+        let report = self.registry.ingest(job, shard, worker, body, now_ms)?;
+        self.append(JsonValue::object(vec![
+            ("event".to_string(), JsonValue::from("ingest")),
+            ("now_ms".to_string(), JsonValue::from(now_ms as usize)),
+            ("job".to_string(), JsonValue::from(job)),
+            ("shard".to_string(), JsonValue::from(shard)),
+            ("worker".to_string(), JsonValue::from(worker)),
+            ("body".to_string(), JsonValue::from(body)),
+        ]))?;
+        Ok(report)
+    }
+
+    /// [`Registry::shard_done`], journaled on success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the registry's refusal, [`ServiceError::Unavailable`]
+    /// when sealed, and journal-append I/O failures.
+    pub fn shard_done(
+        &mut self,
+        job: &str,
+        shard: usize,
+        worker: &str,
+        now_ms: u64,
+    ) -> Result<JsonValue, ServiceError> {
+        self.check_sealed()?;
+        let status = self.registry.shard_done(job, shard, worker, now_ms)?;
+        self.append(JsonValue::object(vec![
+            ("event".to_string(), JsonValue::from("done")),
+            ("now_ms".to_string(), JsonValue::from(now_ms as usize)),
+            ("job".to_string(), JsonValue::from(job)),
+            ("shard".to_string(), JsonValue::from(shard)),
+            ("worker".to_string(), JsonValue::from(worker)),
+        ]))?;
+        Ok(status)
+    }
+
+    /// [`Registry::reset_leases`], journaled when it reset anything. The
+    /// reset must be journaled: subsequent lease grants depend on it, so a
+    /// second replay without it would grant different shards and refuse the
+    /// journal as corrupt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Unavailable`] when sealed and journal-append
+    /// I/O failures.
+    pub fn reset_leases(&mut self) -> Result<usize, ServiceError> {
+        self.check_sealed()?;
+        let reset = self.registry.reset_leases();
+        if reset > 0 {
+            self.append(JsonValue::object(vec![(
+                "event".to_string(),
+                JsonValue::from("reset_leases"),
+            )]))?;
+        }
+        Ok(reset)
+    }
+}

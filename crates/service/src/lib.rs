@@ -1,30 +1,68 @@
-//! `tats_service` — the campaign service: an HTTP job server and
+//! `tats_service` — the campaign service: a crash-safe HTTP job server and
 //! distributed shard workers over the batch campaign engine.
 //!
 //! `tats batch --shard i/n` (PR 3) made campaigns deterministically
 //! partitionable; this crate adds the coordination layer that runs those
-//! shards on many machines and merges the streams, closing the ROADMAP's
-//! "Distributed campaigns" item. Everything is `std`-only:
-//! `std::net::TcpListener` plus a thread per (short-lived) connection on the
+//! shards on many machines and merges the streams, and (PR 6) makes that
+//! layer survive crashes on both sides of the wire. Everything is
+//! `std`-only: `std::net::TcpListener` plus a thread per connection on the
 //! server, blocking `std::net::TcpStream` clients, and the workspace's own
 //! JSON value model on the wire.
 //!
-//! * [`Service`] binds the HTTP server ([`ServiceHandle`] stops it); the
+//! * [`Service`] binds the HTTP server ([`ServiceHandle`] stops it — or
+//!   [`ServiceHandle::abort`]s it, the in-process `kill -9`); the
 //!   [`Registry`] behind it owns jobs, shard leases and record sets;
+//! * [`journal`] persists every registry transition as append-only JSONL:
+//!   `tats serve --journal state.jsonl` survives a hard kill, and a restart
+//!   on the same path replays the journal — repairing a partial trailing
+//!   line, reconstructing jobs/records/shard states, and resetting stale
+//!   leases so the work re-issues;
+//! * [`retry`] is the shared transient-vs-fatal classification and capped
+//!   exponential backoff (deterministic jitter) that the worker loop,
+//!   record streaming and `tats submit --wait` all apply, so a fleet rides
+//!   out a server restart instead of dying with it;
 //! * [`run_worker`] is the pull loop `tats worker --connect` runs: lease a
 //!   shard, run it through the engine's `Executor` (per-worker
 //!   geometry-keyed thermal caches and all), stream each record back the
 //!   moment it exists;
-//! * [`client`] and [`http`] are the shared minimal HTTP/1.1 plumbing.
+//! * [`client`] and [`http`] are the shared minimal HTTP/1.1 plumbing —
+//!   persistent keep-alive connections by default ([`client::Connection`]),
+//!   with `Connection: close` one-shots for probes and non-idempotent
+//!   submits.
 //!
 //! The distributed invariant mirrors the engine's: **1 server + k workers
 //! produce the record set of a single in-process `tats batch` run** of the
 //! same [`CampaignSpec`](tats_engine::CampaignSpec) — including under
-//! worker death, because leases expire (the shard is re-leased with the
-//! server's completed ids, the engine's resume semantics skip them) and
-//! ingest dedups by scenario id and fingerprint-checks every record against
-//! the job's own enumeration. Pinned end-to-end, kill included, in
-//! `tests/distributed_equivalence.rs`.
+//! worker death *and server death*, because leases expire and re-issue,
+//! ingest dedups by scenario id and fingerprint-checks every record, and
+//! the journal acknowledges no transition it did not persist. Pinned
+//! end-to-end (kills included) in `tests/distributed_equivalence.rs` and
+//! `tests/crash_recovery.rs`; replay ≡ live is pinned property-style in
+//! `tests/journal_replay.rs`.
+//!
+//! # Liveness vs readiness
+//!
+//! `GET /healthz` answers 200 as soon as the socket is bound ("the process
+//! is alive"); `GET /readyz` answers 503 until the journal replay is being
+//! served and 200 after ("requests will succeed"), with replay statistics
+//! in the body. Orchestrators should gate traffic on `/readyz` and
+//! restarts on `/healthz`.
+//!
+//! # Talking to a (restarted) server with curl
+//!
+//! ```text
+//! $ tats serve --addr 127.0.0.1:7070 --journal state.jsonl &
+//! $ curl -s 127.0.0.1:7070/readyz
+//! {"ready":true,"replayed_events":0,...}
+//! $ curl -s -X POST 127.0.0.1:7070/jobs \
+//!     -d '{"spec":{"benchmarks":["Bm1"],...},"shards":4}'
+//! {"job":"j000001","state":"queued",...}
+//! $ kill -9 %1; tats serve --addr 127.0.0.1:7070 --journal state.jsonl &
+//! $ curl -s 127.0.0.1:7070/readyz        # the job survived the kill
+//! {"ready":true,"replayed_events":1,"replayed_jobs":1,...}
+//! $ curl -s '127.0.0.1:7070/jobs/j000001/records?from=0' -D- | grep x-next-from
+//! x-next-from: 0
+//! ```
 //!
 //! # Examples
 //!
@@ -67,11 +105,15 @@
 pub mod client;
 mod error;
 pub mod http;
+pub mod journal;
 mod registry;
+pub mod retry;
 mod server;
 mod worker;
 
 pub use error::ServiceError;
+pub use journal::{JournaledRegistry, ReplayReport};
 pub use registry::{IngestReport, Registry};
+pub use retry::RetryPolicy;
 pub use server::{Service, ServiceConfig, ServiceHandle};
 pub use worker::{run_worker, WorkerConfig, WorkerReport};

@@ -24,7 +24,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use tats_engine::{CampaignSpec, ScenarioRecord, Shard, ShardBoard, Summary};
+use tats_engine::{CampaignSpec, ScenarioRecord, Shard, ShardBoard, ShardState, Summary};
 use tats_trace::{jsonl, JsonValue};
 
 use crate::error::ServiceError;
@@ -307,20 +307,22 @@ impl Registry {
                 "shard {shard_index} out of range (job has {count} shards)"
             )));
         }
-        if !job.board.renew(shard_index, worker, now_ms, ttl) {
-            return Err(ServiceError::Conflict(format!(
-                "shard {shard_index} of {job_id} is leased to another worker"
-            )));
-        }
         let shard = Shard {
             index: shard_index,
             count,
         };
+        // Validate the whole batch before mutating anything — including the
+        // lease renewal: an ingest that errors must not leave records
+        // half-applied or the lease extended (the journal only records
+        // *successful* ingests, so any mutation on an error path would
+        // silently diverge from replay; and a worker streaming garbage has
+        // not earned a renewal anyway).
         let mut report = IngestReport {
             accepted: 0,
             duplicates: 0,
             ignored: 0,
         };
+        let mut accepted: Vec<(ScenarioRecord, &str)> = Vec::new();
         for line in body.lines() {
             if line.trim().is_empty() {
                 continue;
@@ -356,6 +358,14 @@ impl Registry {
                     record.id
                 )));
             }
+            accepted.push((record, line));
+        }
+        if !job.board.renew(shard_index, worker, now_ms, ttl) {
+            return Err(ServiceError::Conflict(format!(
+                "shard {shard_index} of {job_id} is leased to another worker"
+            )));
+        }
+        for (record, line) in accepted {
             if job.completed.insert(record.id) {
                 job.summary.record(&record);
                 job.records.push(line.to_string());
@@ -464,6 +474,81 @@ impl Registry {
             ("state".to_string(), JsonValue::from(job.state(now_ms))),
             ("summary".to_string(), job.summary.to_json()),
         ]))
+    }
+
+    /// Converts every live lease of every job back to pending, returning how
+    /// many were reset. A restarted server calls this once after journal
+    /// replay: the replayed deadlines live in the dead process's monotonic
+    /// clock and cannot be compared against the new epoch, so the shards
+    /// simply become leasable again. Still-live workers re-acquire their
+    /// shard on their next record batch (ingest renews pending shards) and
+    /// dedup absorbs any re-streams.
+    pub fn reset_leases(&mut self) -> usize {
+        self.jobs
+            .values_mut()
+            .map(|job| job.board.reset_leases())
+            .sum()
+    }
+
+    /// A deterministic, clock-free description of every piece of replayable
+    /// state: jobs with their full shard boards, record streams and running
+    /// summaries. Worker statistics are deliberately *excluded* — idle lease
+    /// polls touch them on a live server but are not journaled (they change
+    /// no replayable state), so they are exactly the part of the registry
+    /// that replay does not reconstruct. The journal tests pin
+    /// `snapshot(replay(journal)) == snapshot(live)` on this value.
+    pub fn snapshot(&self) -> JsonValue {
+        let jobs = self
+            .jobs
+            .values()
+            .map(|job| {
+                let shards: Vec<JsonValue> = (0..job.board.count())
+                    .map(|index| match job.board.state(index) {
+                        ShardState::Pending => JsonValue::from("pending"),
+                        ShardState::Done => JsonValue::from("done"),
+                        ShardState::Leased {
+                            worker,
+                            deadline_ms,
+                        } => JsonValue::object(vec![
+                            ("worker".to_string(), JsonValue::from(worker.as_str())),
+                            (
+                                "deadline_ms".to_string(),
+                                JsonValue::from(*deadline_ms as usize),
+                            ),
+                        ]),
+                    })
+                    .collect();
+                JsonValue::object(vec![
+                    ("job".to_string(), JsonValue::from(job.id.as_str())),
+                    (
+                        "fingerprint".to_string(),
+                        JsonValue::from(job.fingerprint.as_str()),
+                    ),
+                    (
+                        "created_ms".to_string(),
+                        JsonValue::from(job.created_ms as usize),
+                    ),
+                    ("shards".to_string(), JsonValue::Array(shards)),
+                    (
+                        "records".to_string(),
+                        JsonValue::Array(
+                            job.records
+                                .iter()
+                                .map(|line| JsonValue::from(line.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    ("summary".to_string(), job.summary.to_json()),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            (
+                "next_job".to_string(),
+                JsonValue::from(self.next_job as usize),
+            ),
+            ("jobs".to_string(), JsonValue::Array(jobs)),
+        ])
     }
 
     /// Everything known about the workers that have talked to this server.

@@ -1,17 +1,28 @@
 //! The HTTP front of the campaign service: a `std::net::TcpListener`
-//! accept loop that routes requests into the [`Registry`].
+//! accept loop that routes requests into the journaled [`Registry`].
 //!
-//! Connections are short-lived (`Connection: close`, one request each) and
-//! each is handled on its own thread, so a slow client never blocks the
-//! accept loop and the registry mutex is the only synchronisation point.
-//! The server is clocked by a monotonic `Instant` taken at bind time; all
-//! lease deadlines live in that clock.
+//! Connections are persistent HTTP/1.1 keep-alive by default — a worker
+//! streams every record of a shard over one TCP stream instead of paying a
+//! handshake per record (which measured at roughly a quarter of the whole
+//! distribution overhead). Each connection is handled on its own thread
+//! with a bounded request budget and an idle timeout, so a slow or
+//! abandoned client never blocks the accept loop and the registry mutex is
+//! the only synchronisation point. The server is clocked by a monotonic
+//! `Instant` taken at bind time; all lease deadlines live in that clock.
+//!
+//! With [`ServiceConfig::journal`] set, every state transition is appended
+//! to a JSONL journal ([`crate::journal`]) and a restart on the same file
+//! replays it — synchronously, inside [`Service::bind`], so a corrupt
+//! journal fails the boot instead of serving garbage. Until the replayed
+//! server declares itself ready, every endpoint except the probes answers
+//! `503` (transient — clients retry with [`crate::retry`]).
 //!
 //! # Endpoints
 //!
 //! | method & path | body | purpose |
 //! |---|---|---|
-//! | `GET /healthz` | — | liveness probe |
+//! | `GET /healthz` | — | liveness probe (200 as soon as the socket is bound) |
+//! | `GET /readyz` | — | readiness probe (503 until journal replay is served) |
 //! | `POST /jobs` | `{"spec": <campaign spec>, "shards": n}` | submit a campaign, get a job id |
 //! | `GET /jobs` | — | status of every job |
 //! | `GET /jobs/{id}` | — | one job's status |
@@ -22,8 +33,9 @@
 //! | `POST /jobs/{id}/shards/{i}/records` | JSONL lines (`x-worker` header) | stream shard records |
 //! | `POST /jobs/{id}/shards/{i}/done` | — (`x-worker` header) | mark a shard complete |
 
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -33,24 +45,62 @@ use tats_trace::JsonValue;
 
 use crate::error::ServiceError;
 use crate::http::{read_request, write_response, Request};
-use crate::registry::Registry;
+use crate::journal::{JournaledRegistry, ReplayReport};
 
 /// Tunables of one service instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Shard-lease TTL, ms: how long a silent worker keeps a shard before it
     /// is re-leased. Every record batch a worker streams renews its lease,
     /// so the TTL only has to outlast the gap *between* records of the
     /// heaviest scenario, not the whole shard.
     pub lease_ttl_ms: u64,
+    /// Journal file for crash-safe state. `None` (the default) keeps all
+    /// state in memory; with a path, every transition is appended there and
+    /// binding on the same path replays it (repairing a partial trailing
+    /// line first).
+    pub journal: Option<PathBuf>,
+    /// Requests served per keep-alive connection before the server answers
+    /// `connection: close` and recycles it (bounds per-connection memory
+    /// and thread lifetime). `0` disables keep-alive entirely — every
+    /// request gets `connection: close`, the pre-journal behaviour.
+    pub keep_alive_max_requests: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it, ms.
+    pub keep_alive_idle_timeout_ms: u64,
+    /// Delay between binding the socket and declaring the server ready, ms.
+    /// In production this stays `0` (replay happens synchronously inside
+    /// [`Service::bind`], so the server is ready the moment it accepts);
+    /// tests raise it to observe the `503`-until-ready window.
+    pub ready_holdoff_ms: u64,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             lease_ttl_ms: 15_000,
+            journal: None,
+            keep_alive_max_requests: 1_000,
+            keep_alive_idle_timeout_ms: 10_000,
+            ready_holdoff_ms: 0,
         }
     }
+}
+
+/// State shared between the accept loop, the connection handlers and the
+/// [`ServiceHandle`].
+struct Shared {
+    state: Mutex<JournaledRegistry>,
+    replay: ReplayReport,
+    leases_reset: usize,
+    /// Readiness gate: until set, every endpoint except the probes is 503.
+    ready: AtomicBool,
+    /// Graceful-shutdown flag: the accept loop exits, in-flight responses
+    /// carry `connection: close`.
+    stop: AtomicBool,
+    /// Crash-simulation flag ([`ServiceHandle::abort`]): handlers drop
+    /// their connection without answering, like a killed process would.
+    dead: AtomicBool,
 }
 
 /// A running campaign service.
@@ -59,8 +109,18 @@ impl Default for ServiceConfig {
 #[derive(Debug)]
 pub struct ServiceHandle {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("ready", &self.ready.load(Ordering::SeqCst))
+            .field("stop", &self.stop.load(Ordering::SeqCst))
+            .field("dead", &self.dead.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServiceHandle {
@@ -75,14 +135,40 @@ impl ServiceHandle {
         self.addr.to_string()
     }
 
-    /// Stops the accept loop and joins the server thread. In-flight
-    /// connection handlers finish on their own threads.
+    /// What the boot-time journal replay reconstructed.
+    pub fn replay_report(&self) -> ReplayReport {
+        self.shared.replay
+    }
+
+    /// Stops the accept loop gracefully and joins the server thread.
+    /// In-flight connection handlers finish on their own threads; their
+    /// final responses carry `connection: close`.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
+    /// Simulates `kill -9` from inside the process: seals the journal (no
+    /// further byte is written), refuses every further state transition and
+    /// drops connections without answering, then unbinds the port. A server
+    /// restarted on the same journal path sees exactly the file a really
+    /// killed process would have left. In-flight clients observe an I/O
+    /// error or an unanswered request — never a clean HTTP error — which is
+    /// what their retry policies must ride out.
+    pub fn abort(mut self) {
+        // `dead` first, then seal under the state lock: a handler
+        // mid-mutation finishes its apply+journal atomically; every
+        // handler that finds the registry sealed also finds `dead` set and
+        // drops its connection unanswered. No byte hits the journal once
+        // this returns.
+        self.shared.dead.store(true, Ordering::SeqCst);
+        if let Ok(mut state) = self.shared.state.lock() {
+            state.seal();
+        }
+        self.shutdown();
+    }
+
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(thread) = self.thread.take() {
@@ -103,40 +189,77 @@ pub struct Service;
 
 impl Service {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// serving on a background thread.
+    /// serving on a background thread. With [`ServiceConfig::journal`] set,
+    /// replays the journal synchronously first — jobs, records and shard
+    /// states are reconstructed before the socket accepts, and leases from
+    /// the previous incarnation are reset to pending (their deadlines lived
+    /// in the dead process's clock).
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures, journal I/O failures, and
+    /// [`ServiceError::Protocol`] for a journal that does not replay — a
+    /// corrupt journal fails the boot instead of serving wrong state.
     pub fn bind(addr: &str, config: ServiceConfig) -> Result<ServiceHandle, ServiceError> {
+        let (mut state, replay) = match &config.journal {
+            Some(path) => JournaledRegistry::open(path, config.lease_ttl_ms)?,
+            None => (
+                JournaledRegistry::new(config.lease_ttl_ms),
+                ReplayReport::default(),
+            ),
+        };
+        let leases_reset = state.reset_leases()?;
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let registry = Arc::new(Mutex::new(Registry::new(config.lease_ttl_ms)));
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = Arc::clone(&stop);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            replay,
+            leases_reset,
+            ready: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+        });
+        if config.ready_holdoff_ms == 0 {
+            shared.ready.store(true, Ordering::SeqCst);
+        } else {
+            // Test hook: keep the 503-until-ready window open long enough
+            // to observe. The warmup thread outlives nothing — it only
+            // flips an atomic.
+            let warmup = Arc::clone(&shared);
+            let holdoff = config.ready_holdoff_ms;
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(holdoff));
+                warmup.ready.store(true, Ordering::SeqCst);
+            });
+        }
+        let accept_shared = Arc::clone(&shared);
         let thread = std::thread::spawn(move || {
             let epoch = Instant::now();
+            // Escalating backoff for persistent accept errors (EMFILE while
+            // the thread-per-connection pool is saturated): never busy-spin
+            // a core, but recover quickly from a blip.
+            let mut backoff_ms = 0u64;
             loop {
                 let Ok((stream, _)) = listener.accept() else {
-                    if accept_stop.load(Ordering::SeqCst) {
+                    if accept_shared.stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    // A persistent accept error (e.g. EMFILE while the
-                    // thread-per-connection pool is saturated) must not
-                    // busy-spin a core; back off briefly and retry.
-                    std::thread::sleep(Duration::from_millis(20));
+                    backoff_ms = (backoff_ms.max(10) * 2).min(1_000);
+                    std::thread::sleep(Duration::from_millis(backoff_ms));
                     continue;
                 };
-                if accept_stop.load(Ordering::SeqCst) {
+                backoff_ms = 0;
+                if accept_shared.stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let registry = Arc::clone(&registry);
-                std::thread::spawn(move || handle_connection(stream, &registry, epoch));
+                let shared = Arc::clone(&accept_shared);
+                let config = config.clone();
+                std::thread::spawn(move || handle_connection(stream, &shared, &config, epoch));
             }
         });
         Ok(ServiceHandle {
             addr,
-            stop,
+            shared,
             thread: Some(thread),
         })
     }
@@ -148,25 +271,62 @@ fn now_ms(epoch: Instant) -> u64 {
     epoch.elapsed().as_millis() as u64
 }
 
-fn handle_connection(stream: TcpStream, registry: &Mutex<Registry>, epoch: Instant) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServiceConfig, epoch: Instant) {
+    // The read timeout doubles as the keep-alive idle timeout: a client
+    // that sends nothing for this long gets its connection closed.
+    let idle = Duration::from_millis(config.keep_alive_idle_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(idle));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    // Responses go out in full the moment they are written; see
+    // `client::dial` for why Nagle is wrong for this traffic.
+    let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     });
     let mut writer = stream;
-    match read_request(&mut reader) {
-        Err(error) => {
-            let _ = write_response(&mut writer, 400, "text/plain", &[], &format!("{error}\n"));
+    let mut served = 0usize;
+    loop {
+        // Wait for the next request (or a clean close / idle timeout)
+        // before parsing, so an idle keep-alive connection dies here and
+        // not with a half-parsed request.
+        match reader.fill_buf() {
+            Ok([]) => return, // client closed cleanly
+            Ok(_) => {}
+            Err(_) => return, // idle timeout or reset
         }
-        Ok(request) => {
-            let (status, content_type, extra, body) = route(&request, registry, epoch);
-            let extra: Vec<(&str, String)> = extra
-                .iter()
-                .map(|(name, value)| (name.as_str(), value.clone()))
-                .collect();
-            let _ = write_response(&mut writer, status, content_type, &extra, &body);
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(error) => {
+                let _ = write_response(
+                    &mut writer,
+                    400,
+                    "text/plain",
+                    &[],
+                    &format!("{error}\n"),
+                    false,
+                );
+                return;
+            }
+        };
+        served += 1;
+        let keep_alive = served < config.keep_alive_max_requests
+            && !request.wants_close()
+            && !shared.stop.load(Ordering::SeqCst);
+        let (status, content_type, extra, body) = route(&request, shared, epoch);
+        if shared.dead.load(Ordering::SeqCst) {
+            // An aborted (pseudo-killed) server does not answer; the client
+            // sees a dropped connection, exactly like a real crash.
+            return;
+        }
+        let extra: Vec<(&str, String)> = extra
+            .iter()
+            .map(|(name, value)| (name.as_str(), value.clone()))
+            .collect();
+        if write_response(&mut writer, status, content_type, &extra, &body, keep_alive).is_err()
+            || !keep_alive
+        {
+            return;
         }
     }
 }
@@ -175,10 +335,10 @@ fn handle_connection(stream: TcpStream, registry: &Mutex<Registry>, epoch: Insta
 /// body)`; errors become plain-text bodies with the error's status code.
 fn route(
     request: &Request,
-    registry: &Mutex<Registry>,
+    shared: &Shared,
     epoch: Instant,
 ) -> (u16, &'static str, Vec<(String, String)>, String) {
-    match dispatch(request, registry, epoch) {
+    match dispatch(request, shared, epoch) {
         Ok(Reply {
             status,
             content_type,
@@ -226,12 +386,57 @@ fn parse_body_json(request: &Request) -> Result<JsonValue, ServiceError> {
         .map_err(|e| ServiceError::BadRequest(format!("request body: {e}")))
 }
 
-fn dispatch(
-    request: &Request,
-    registry: &Mutex<Registry>,
-    epoch: Instant,
-) -> Result<Reply, ServiceError> {
+fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply, ServiceError> {
     let segments = request.segments();
+    // The probes bypass both the readiness gate and the registry lock:
+    // /healthz means "the process accepts connections", /readyz means "the
+    // journal is replayed and requests will be served".
+    let ready = shared.ready.load(Ordering::SeqCst);
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            return Ok(Reply::json(&JsonValue::object(vec![(
+                "ok".to_string(),
+                JsonValue::from(true),
+            )])))
+        }
+        ("GET", ["readyz"]) => {
+            let body = JsonValue::object(vec![
+                ("ready".to_string(), JsonValue::from(ready)),
+                (
+                    "replayed_events".to_string(),
+                    JsonValue::from(shared.replay.events),
+                ),
+                (
+                    "replayed_jobs".to_string(),
+                    JsonValue::from(shared.replay.jobs),
+                ),
+                (
+                    "replayed_records".to_string(),
+                    JsonValue::from(shared.replay.records),
+                ),
+                (
+                    "repaired_bytes".to_string(),
+                    JsonValue::from(shared.replay.repaired_bytes as usize),
+                ),
+                (
+                    "leases_reset".to_string(),
+                    JsonValue::from(shared.leases_reset),
+                ),
+            ]);
+            return Ok(Reply {
+                status: if ready { 200 } else { 503 },
+                content_type: "application/json",
+                extra: Vec::new(),
+                body: body.to_json(),
+            });
+        }
+        _ => {}
+    }
+    if !ready {
+        return Err(ServiceError::Unavailable(
+            "starting up (journal replay not yet served); retry shortly".to_string(),
+        ));
+    }
     // Parse JSON bodies (and the campaign spec) *before* taking the
     // registry lock: a large or malformed body must never stall the
     // endpoints every worker depends on (lease renewal, ingest).
@@ -239,15 +444,11 @@ fn dispatch(
         ("POST", ["jobs"] | ["lease"]) => Some(parse_body_json(request)?),
         _ => None,
     };
-    let mut registry = registry.lock().map_err(|_| {
+    let mut state = shared.state.lock().map_err(|_| {
         ServiceError::Protocol("registry mutex poisoned (a handler panicked)".to_string())
     })?;
     let now = now_ms(epoch);
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Ok(Reply::json(&JsonValue::object(vec![(
-            "ok".to_string(),
-            JsonValue::from(true),
-        )]))),
         ("POST", ["jobs"]) => {
             let body = body_json.as_ref().expect("parsed above");
             let spec =
@@ -264,7 +465,7 @@ fn dispatch(
                 })
                 .transpose()?
                 .unwrap_or(1);
-            let status = registry.submit(spec, shards, now)?;
+            let status = state.submit(spec, shards, now)?;
             Ok(Reply {
                 status: 201,
                 content_type: "application/json",
@@ -272,8 +473,8 @@ fn dispatch(
                 body: status.to_json(),
             })
         }
-        ("GET", ["jobs"]) => Ok(Reply::json(&registry.jobs_status(now))),
-        ("GET", ["jobs", job]) => Ok(Reply::json(&registry.job_status(job, now)?)),
+        ("GET", ["jobs"]) => Ok(Reply::json(&state.registry().jobs_status(now))),
+        ("GET", ["jobs", job]) => Ok(Reply::json(&state.registry().job_status(job, now)?)),
         ("GET", ["jobs", job, "records"]) => {
             let from = request
                 .query_param("from")
@@ -284,7 +485,7 @@ fn dispatch(
                 })
                 .transpose()?
                 .unwrap_or(0);
-            let (body, next) = registry.records_from(job, from)?;
+            let (body, next) = state.registry().records_from(job, from)?;
             Ok(Reply {
                 status: 200,
                 content_type: "application/jsonl",
@@ -292,20 +493,20 @@ fn dispatch(
                 body,
             })
         }
-        ("GET", ["jobs", job, "summary"]) => Ok(Reply::json(&registry.summary(job, now)?)),
-        ("GET", ["workers"]) => Ok(Reply::json(&registry.workers_status())),
+        ("GET", ["jobs", job, "summary"]) => Ok(Reply::json(&state.registry().summary(job, now)?)),
+        ("GET", ["workers"]) => Ok(Reply::json(&state.registry().workers_status())),
         ("POST", ["lease"]) => {
             let worker = body_json
                 .as_ref()
                 .expect("parsed above")
                 .field_str("worker")
                 .map_err(ServiceError::BadRequest)?;
-            Ok(Reply::json(&registry.lease(worker, now)))
+            Ok(Reply::json(&state.lease(worker, now)?))
         }
         ("POST", ["jobs", job, "shards", index, "records"]) => {
             let worker = worker_header(request)?;
             let index = parse_shard_index(index)?;
-            let report = registry.ingest(job, index, worker, &request.body, now)?;
+            let report = state.ingest(job, index, worker, &request.body, now)?;
             Ok(Reply::json(&JsonValue::object(vec![
                 ("accepted".to_string(), JsonValue::from(report.accepted)),
                 ("duplicates".to_string(), JsonValue::from(report.duplicates)),
@@ -315,7 +516,7 @@ fn dispatch(
         ("POST", ["jobs", job, "shards", index, "done"]) => {
             let worker = worker_header(request)?;
             let index = parse_shard_index(index)?;
-            Ok(Reply::json(&registry.shard_done(job, index, worker, now)?))
+            Ok(Reply::json(&state.shard_done(job, index, worker, now)?))
         }
         (_, _) => Err(ServiceError::NotFound(format!(
             "{} {}",
@@ -335,11 +536,13 @@ mod tests {
     use crate::client;
 
     #[test]
-    fn healthz_and_unknown_routes() {
+    fn healthz_readyz_and_unknown_routes() {
         let handle = Service::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind");
         let addr = handle.addr_string();
         let health = client::get(&addr, "/healthz").expect("healthz");
         assert_eq!(health.body, "{\"ok\":true}");
+        let ready = client::get(&addr, "/readyz").expect("readyz");
+        assert!(ready.body.contains("\"ready\":true"), "{}", ready.body);
         let missing = client::request(&addr, "GET", "/nope", &[], None).expect("request");
         assert_eq!(missing.status, 404);
         let bad = client::request(&addr, "POST", "/jobs", &[], Some("not json")).expect("request");
@@ -347,6 +550,70 @@ mod tests {
         assert!(bad.body.contains("request body"), "{}", bad.body);
         let unknown_job = client::request(&addr, "GET", "/jobs/j000009", &[], None).expect("req");
         assert_eq!(unknown_job.status, 404);
+        handle.stop();
+    }
+
+    #[test]
+    fn ready_holdoff_gates_everything_but_the_probes() {
+        let config = ServiceConfig {
+            ready_holdoff_ms: 60_000,
+            ..ServiceConfig::default()
+        };
+        let handle = Service::bind("127.0.0.1:0", config).expect("bind");
+        let addr = handle.addr_string();
+        // Alive but not ready: liveness 200, readiness 503, work 503.
+        assert_eq!(client::get(&addr, "/healthz").expect("alive").status, 200);
+        let ready = client::request(&addr, "GET", "/readyz", &[], None).expect("readyz");
+        assert_eq!(ready.status, 503);
+        assert!(ready.body.contains("\"ready\":false"), "{}", ready.body);
+        let jobs = client::request(&addr, "GET", "/jobs", &[], None).expect("jobs");
+        assert_eq!(jobs.status, 503);
+        assert!(jobs.body.contains("unavailable"), "{}", jobs.body);
+        handle.stop();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_stream() {
+        let handle = Service::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+        let mut connection = client::Connection::new(&handle.addr_string());
+        for _ in 0..5 {
+            assert_eq!(connection.get("/healthz").expect("healthz").status, 200);
+        }
+        assert_eq!(connection.exchanges(), 5);
+        assert_eq!(connection.dials(), 1, "one TCP dial for five exchanges");
+        handle.stop();
+    }
+
+    #[test]
+    fn keep_alive_request_cap_recycles_connections() {
+        let config = ServiceConfig {
+            keep_alive_max_requests: 2,
+            ..ServiceConfig::default()
+        };
+        let handle = Service::bind("127.0.0.1:0", config).expect("bind");
+        let mut connection = client::Connection::new(&handle.addr_string());
+        for _ in 0..6 {
+            assert_eq!(connection.get("/healthz").expect("healthz").status, 200);
+        }
+        // Every second response carries connection: close, so 6 exchanges
+        // cost 3 dials — and the client never noticed.
+        assert_eq!(connection.exchanges(), 6);
+        assert_eq!(connection.dials(), 3);
+        handle.stop();
+    }
+
+    #[test]
+    fn disabled_keep_alive_closes_after_every_request() {
+        let config = ServiceConfig {
+            keep_alive_max_requests: 0,
+            ..ServiceConfig::default()
+        };
+        let handle = Service::bind("127.0.0.1:0", config).expect("bind");
+        let mut connection = client::Connection::new(&handle.addr_string());
+        for _ in 0..3 {
+            assert_eq!(connection.get("/healthz").expect("healthz").status, 200);
+        }
+        assert_eq!(connection.dials(), 3, "connection: close on every response");
         handle.stop();
     }
 
@@ -359,5 +626,15 @@ mod tests {
         // After stop the listener is gone: connecting fails (or the probe
         // errors), never hangs.
         assert!(client::get(&addr, "/healthz").is_err());
+    }
+
+    #[test]
+    fn abort_drops_clients_without_a_response() {
+        let handle = Service::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+        let addr = handle.addr_string();
+        client::get(&addr, "/healthz").expect("alive");
+        handle.abort();
+        let error = client::get(&addr, "/healthz").expect_err("dead");
+        assert!(matches!(error, ServiceError::Io(_)), "{error}");
     }
 }

@@ -12,6 +12,18 @@
 //! mid-shard loses at most the scenario in flight: the re-leased shard
 //! resumes from the server's completed ids and the server dedups re-streams,
 //! so records are never duplicated or dropped.
+//!
+//! All server traffic flows over one persistent keep-alive
+//! [`Connection`](client::Connection) and through the worker's
+//! [`RetryPolicy`]: transient failures — the server restarting (connection
+//! refused, then 503 while it replays its journal), a dropped keep-alive
+//! stream — are ridden out with capped exponential backoff instead of
+//! killing the worker. Fatal errors still propagate immediately: a campaign
+//! fingerprint mismatch, a scenario-evaluation failure, a 4xx the server
+//! would repeat forever, and the injected-crash hook (which must look like
+//! a crash). Retrying a record post is safe by the same invariant as worker
+//! death: the server dedups by scenario id, so a repeat of a post whose
+//! response was lost is absorbed.
 
 use std::collections::BTreeSet;
 use std::process;
@@ -20,8 +32,9 @@ use std::time::Duration;
 use tats_engine::{CampaignSpec, EngineError, Executor, Shard};
 use tats_trace::JsonValue;
 
-use crate::client;
+use crate::client::{self, Connection};
 use crate::error::ServiceError;
+use crate::retry::RetryPolicy;
 
 /// Tunables of one worker process.
 #[derive(Debug, Clone)]
@@ -37,6 +50,11 @@ pub struct WorkerConfig {
     /// done) instead of polling forever. Batch drivers (the bench, CI) set
     /// this; long-lived fleet workers keep the default `false`.
     pub exit_when_drained: bool,
+    /// Retry policy for transient transport failures (server restarts,
+    /// dropped keep-alive connections). The policy is reseeded with the
+    /// worker's name at loop start, so a fleet killed by the same restart
+    /// does not retry in lockstep. [`RetryPolicy::none`] fails fast.
+    pub retry: RetryPolicy,
     /// Test hook: abort the process-visible part of the worker (return an
     /// error as a crash would) after this many records have been streamed.
     /// Exercises the killed-worker → lease-expiry → resume path without
@@ -51,6 +69,7 @@ impl Default for WorkerConfig {
             threads: 1,
             poll_ms: 200,
             exit_when_drained: false,
+            retry: RetryPolicy::default(),
             fail_after_records: None,
         }
     }
@@ -115,14 +134,16 @@ fn parse_lease(value: &JsonValue) -> Result<Lease, ServiceError> {
     })
 }
 
-/// Runs one leased shard, streaming records back and counting each
-/// successful post into `posted_total` (which therefore survives failed
-/// attempts). `Err(ServiceError::Http {status: 409, ..})` means the lease
-/// was lost (the caller abandons the shard and polls again), `Aborted` is
-/// the injected-crash hook, anything else is fatal.
+/// Runs one leased shard, streaming records back over the shared keep-alive
+/// connection and counting each successful post into `posted_total` (which
+/// therefore survives failed attempts). Record posts retry transient
+/// failures with `retry`; `Err(ServiceError::Http {status: 409, ..})` means
+/// the lease was lost (the caller abandons the shard and polls again),
+/// `Aborted` is the injected-crash hook, anything else is fatal.
 fn run_shard(
-    addr: &str,
+    connection: &mut Connection,
     config: &WorkerConfig,
+    retry: RetryPolicy,
     lease: &Lease,
     posted_total: &mut usize,
 ) -> Result<(), ServiceError> {
@@ -143,8 +164,11 @@ fn run_shard(
             }
             let mut line = record.to_json().to_json();
             line.push('\n');
-            let response = client::request(addr, "POST", &records_path, &headers, Some(&line))
-                .and_then(client::expect_ok);
+            let response = retry.run(|| {
+                connection
+                    .request("POST", &records_path, &headers, Some(&line))
+                    .and_then(client::expect_ok)
+            });
             match response {
                 Ok(_) => {
                     *posted_total += 1;
@@ -158,14 +182,16 @@ fn run_shard(
         });
     match run {
         Ok(_) => {
-            client::request(
-                addr,
-                "POST",
-                &format!("/jobs/{}/shards/{}/done", lease.job, lease.shard.index),
-                &headers,
-                None,
-            )
-            .and_then(client::expect_ok)?;
+            retry.run(|| {
+                connection
+                    .request(
+                        "POST",
+                        &format!("/jobs/{}/shards/{}/done", lease.job, lease.shard.index),
+                        &headers,
+                        None,
+                    )
+                    .and_then(client::expect_ok)
+            })?;
             Ok(())
         }
         Err(engine_error) => Err(match failure {
@@ -179,26 +205,37 @@ fn run_shard(
 
 /// The worker main loop: poll `addr` for shard leases and run them until
 /// the server is drained (with [`WorkerConfig::exit_when_drained`]) or the
-/// process is killed.
+/// process is killed. All traffic shares one keep-alive connection;
+/// transient transport failures retry per [`WorkerConfig::retry`], so the
+/// loop survives a server restart shorter than its retry budget.
 ///
 /// # Errors
 ///
-/// Returns transport errors against an unreachable server, protocol errors
-/// (including a campaign-fingerprint mismatch), scenario-evaluation
-/// failures, and [`ServiceError::Aborted`] from the injected-crash hook. A
-/// *lost lease* (HTTP 409) is not an error: the shard was re-leased to a
-/// healthier worker, so this one abandons it and polls on.
+/// Returns transport errors once the retry budget against an unreachable
+/// server is exhausted, protocol errors (including a campaign-fingerprint
+/// mismatch), scenario-evaluation failures, and [`ServiceError::Aborted`]
+/// from the injected-crash hook. A *lost lease* (HTTP 409) is not an error:
+/// the shard was re-leased to a healthier worker, so this one abandons it
+/// and polls on.
 pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, ServiceError> {
     let mut report = WorkerReport::default();
+    let retry = config.retry.seeded_for(&config.name);
+    let mut connection = Connection::new(addr);
     loop {
         let lease_request = JsonValue::object(vec![(
             "worker".to_string(),
             JsonValue::from(config.name.as_str()),
         )]);
-        let response = client::post_json(addr, "/lease", &lease_request)?;
+        let response = retry.run(|| connection.post_json("/lease", &lease_request))?;
         if let Some(lease_value) = response.get("lease") {
             let lease = parse_lease(lease_value)?;
-            match run_shard(addr, config, &lease, &mut report.records_posted) {
+            match run_shard(
+                &mut connection,
+                config,
+                retry,
+                &lease,
+                &mut report.records_posted,
+            ) {
                 Ok(()) => report.shards_completed += 1,
                 Err(ServiceError::Http { status: 409, .. }) => {
                     // Lease lost: our records so far are (deduped) on the
@@ -264,5 +301,6 @@ mod tests {
         assert!(config.name.starts_with("worker-"));
         assert_eq!(config.threads, 1);
         assert!(!config.exit_when_drained);
+        assert_eq!(config.retry.max_attempts, 10);
     }
 }

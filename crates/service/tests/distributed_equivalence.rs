@@ -170,7 +170,14 @@ fn assert_json_close(got: &JsonValue, want: &JsonValue) {
 fn killed_worker_is_re_leased_and_resumed_without_duplicates() {
     let (reference, _) = in_process_reference(&spec());
     // Short TTL so the dead worker's shard becomes leasable quickly.
-    let server = Service::bind("127.0.0.1:0", ServiceConfig { lease_ttl_ms: 200 }).expect("bind");
+    let server = Service::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            lease_ttl_ms: 200,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind");
     let addr = server.addr_string();
     let job = submit(&addr, &spec(), 1); // one shard: the kill is mid-shard
 

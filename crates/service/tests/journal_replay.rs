@@ -1,0 +1,323 @@
+//! Replay ≡ live, pinned.
+//!
+//! The journal records the *inputs* of every successful registry mutation
+//! (with the live server's `now_ms`), and replay re-applies them through
+//! the same public `Registry` methods — so for any interleaving of
+//! submit/lease/ingest/done/reset events, replaying the journal must
+//! reconstruct the live registry's replayable state exactly. This suite
+//! pins that equivalence:
+//!
+//! * unit cases for the full lifecycle, the crash-truncated final line,
+//!   the journaled lease reset (the double-crash scenario) and the sealed
+//!   (aborted) registry;
+//! * a property test driving randomised interleavings — including invalid
+//!   requests, expired leases and zombie writers — and checking
+//!   `snapshot(replay(journal)) == snapshot(live)` after every run, with
+//!   and without a partial trailing line.
+//!
+//! Run with a larger budget via `PROPTEST_CASES=<n>`.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tats_core::Policy;
+use tats_engine::{CampaignSpec, Effort, Executor, FlowKind};
+use tats_service::journal::{self, JournaledRegistry};
+use tats_service::ServiceError;
+use tats_taskgraph::Benchmark;
+use tats_trace::JsonValue;
+
+const TTL: u64 = 100;
+
+/// 1 benchmark x platform x 2 policies x 2 seeds = 4 scenarios.
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        benchmarks: vec![Benchmark::Bm1],
+        flows: vec![FlowKind::Platform],
+        policies: vec![Policy::Baseline, Policy::ThermalAware],
+        solvers: vec![None],
+        seeds: vec![0, 1],
+        grid_resolution: (16, 16),
+        effort: Effort::Fast,
+    }
+}
+
+/// The deterministic JSONL lines workers would stream for [`tiny_spec`],
+/// in scenario-id order (computed once — every job uses the same spec).
+fn reference_lines() -> &'static [String] {
+    static LINES: OnceLock<Vec<String>> = OnceLock::new();
+    LINES.get_or_init(|| {
+        let campaign = tiny_spec().to_campaign();
+        let scenarios = campaign.scenarios();
+        Executor::new(1)
+            .run(&campaign, &scenarios, &BTreeSet::new(), |_| Ok(()))
+            .expect("reference run")
+            .records
+            .iter()
+            .map(|r| r.to_json().to_json())
+            .collect()
+    })
+}
+
+/// A fresh journal path in the temp dir (removing any leftover file, since
+/// `JournaledRegistry::open` appends).
+fn journal_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("tats_journal_replay_{name}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn snapshot(live: &JournaledRegistry) -> String {
+    live.registry().snapshot().to_json()
+}
+
+/// Replays `path` and asserts the reconstruction matches `live` exactly.
+fn assert_replay_matches(path: &std::path::Path, live: &JournaledRegistry) {
+    let (replayed, _) = journal::replay(path, TTL).expect("replay");
+    assert_eq!(
+        replayed.snapshot().to_json(),
+        snapshot(live),
+        "replayed registry diverged from the live one"
+    );
+}
+
+#[test]
+fn full_lifecycle_replays_identically() {
+    let path = journal_path("lifecycle");
+    let (mut live, report) = JournaledRegistry::open(&path, TTL).expect("open");
+    assert_eq!(report.events, 0);
+    let lines = reference_lines();
+
+    let status = live.submit(tiny_spec(), 2, 5).expect("submit");
+    let job = status
+        .get("job")
+        .and_then(JsonValue::as_str)
+        .expect("job id")
+        .to_string();
+    let lease = live.lease("w1", 10).expect("lease");
+    assert!(lease.get("lease").is_some());
+    // Shard 0/2 owns ids 0 and 2.
+    let body = format!("{}\n{}\n", lines[0], lines[2]);
+    live.ingest(&job, 0, "w1", &body, 20).expect("ingest");
+    live.shard_done(&job, 0, "w1", 30).expect("done");
+    live.lease("w2", 40).expect("lease 2");
+    let body = format!("{}\n{}\n", lines[1], lines[3]);
+    live.ingest(&job, 1, "w2", &body, 50).expect("ingest 2");
+    live.shard_done(&job, 1, "w2", 60).expect("done 2");
+    // An idle poll on the drained registry is *not* journaled and must not
+    // disturb equivalence.
+    assert!(live.lease("w3", 70).expect("idle").get("lease").is_none());
+
+    assert_replay_matches(&path, &live);
+    let (_, report) = journal::replay(&path, TTL).expect("replay");
+    assert_eq!(report.events, 7, "submit + 2x(lease, ingest, done)");
+    assert_eq!(report.jobs, 1);
+    assert_eq!(report.records, 4);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_final_line_is_ignored_and_repaired() {
+    let path = journal_path("truncated");
+    let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
+    let lines = reference_lines();
+    let job = live
+        .submit(tiny_spec(), 1, 0)
+        .expect("submit")
+        .get("job")
+        .and_then(JsonValue::as_str)
+        .expect("job id")
+        .to_string();
+    live.lease("w1", 1).expect("lease");
+    live.ingest(&job, 0, "w1", &lines[0], 2).expect("ingest");
+    drop(live);
+
+    // Simulate a kill mid-append: a partial ingest event on the tail. The
+    // live server died before applying it (apply and journal happen
+    // atomically under the state lock), so replay must ignore it.
+    let clean = std::fs::read(&path).expect("read journal");
+    let mut bytes = clean.clone();
+    bytes.extend_from_slice(b"{\"event\":\"ingest\",\"job\":\"j0000");
+    std::fs::write(&path, &bytes).expect("corrupt");
+    let (replayed, report) = journal::replay(&path, TTL).expect("replay skips partial");
+    assert_eq!(report.events, 3);
+    assert_eq!(report.records, 1);
+
+    // Reopening repairs the tail (so appends start on a fresh line) and
+    // reconstructs the same state.
+    let (reopened, report) = JournaledRegistry::open(&path, TTL).expect("reopen");
+    assert_eq!(report.repaired_bytes, 30);
+    assert_eq!(snapshot(&reopened), replayed.snapshot().to_json());
+    assert_eq!(std::fs::read(&path).expect("repaired"), clean);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn journaled_lease_reset_keeps_double_replay_consistent() {
+    // The restart sequence: replay, reset stale leases, serve. The reset
+    // changes which shard the *next* lease grants, so it must itself be
+    // journaled — otherwise a second crash would replay the post-restart
+    // grants against un-reset state and refuse the journal.
+    let path = journal_path("reset");
+    let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
+    live.submit(tiny_spec(), 2, 0).expect("submit");
+    live.lease("w1", 1).expect("lease shard 0");
+    drop(live); // first crash: w1's lease is live in the journal
+
+    let (mut restarted, report) = JournaledRegistry::open(&path, TTL).expect("restart");
+    assert_eq!(report.events, 2);
+    assert_eq!(restarted.reset_leases().expect("reset"), 1);
+    // Post-restart, a different worker leases — and because the reset made
+    // shard 0 pending again, it gets shard 0, not shard 1.
+    let lease = restarted.lease("w2", 2).expect("lease");
+    let shard = lease
+        .get("lease")
+        .and_then(|l| l.get("shard"))
+        .and_then(JsonValue::as_str)
+        .expect("granted");
+    assert_eq!(shard, "0/2");
+
+    // Second crash: the full journal (reset event included) must replay.
+    assert_replay_matches(&path, &restarted);
+    // A reset that resets nothing appends no event.
+    let before = std::fs::read(&path).expect("read").len();
+    drop(restarted);
+    let (mut again, _) = JournaledRegistry::open(&path, TTL).expect("reopen");
+    again.reset_leases().expect("reset");
+    drop(again);
+    let with_reset = std::fs::read(&path).expect("read").len();
+    assert!(
+        with_reset > before,
+        "the second restart journaled its reset"
+    );
+    let (mut third, _) = JournaledRegistry::open(&path, TTL).expect("third");
+    assert_eq!(third.reset_leases().expect("no-op reset"), 0);
+    drop(third);
+    assert_eq!(
+        std::fs::read(&path).expect("read").len(),
+        with_reset,
+        "a reset that reset nothing must not append an event"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sealed_registry_refuses_every_mutation_and_writes_nothing() {
+    let path = journal_path("sealed");
+    let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
+    live.submit(tiny_spec(), 1, 0).expect("submit");
+    let bytes = std::fs::read(&path).expect("read").len();
+    live.seal();
+    assert!(live.sealed());
+    for error in [
+        live.submit(tiny_spec(), 1, 1).expect_err("submit"),
+        live.lease("w1", 1).expect_err("lease"),
+        live.ingest("j000001", 0, "w1", &reference_lines()[0], 1)
+            .expect_err("ingest"),
+        live.shard_done("j000001", 0, "w1", 1).expect_err("done"),
+        live.reset_leases().expect_err("reset"),
+    ] {
+        assert!(
+            matches!(error, ServiceError::Unavailable(_)),
+            "sealed mutation must be Unavailable, got {error}"
+        );
+    }
+    // Reads still work (the crash tests inspect sealed state), and not a
+    // byte hit the journal after the seal.
+    assert!(snapshot(&live).contains("j000001"));
+    assert_eq!(std::fs::read(&path).expect("read").len(), bytes);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_lease_grants_refuse_to_replay() {
+    let path = journal_path("corrupt");
+    let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
+    live.submit(tiny_spec(), 2, 0).expect("submit");
+    live.lease("w1", 1).expect("lease");
+    drop(live);
+    // Hand-edit the granted shard: replay re-runs the lease scan, grants
+    // shard 0, sees the journal claim shard 1, and refuses the file.
+    let text = std::fs::read_to_string(&path).expect("read");
+    assert!(text.contains("\"shard\":0"), "{text}");
+    std::fs::write(&path, text.replace("\"shard\":0", "\"shard\":1")).expect("tamper");
+    let error = journal::replay(&path, TTL).expect_err("tampered journal");
+    assert!(
+        matches!(&error, ServiceError::Protocol(message) if message.contains("lease")),
+        "{error}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+prop_compose! {
+    /// A randomised schedule: an op stream seed plus its length.
+    fn schedule()(seed in any::<u64>(), ops in 10usize..60) -> (u64, usize) {
+        (seed, ops)
+    }
+}
+
+proptest! {
+    /// For arbitrary interleavings of valid and invalid operations —
+    /// multiple jobs, racing workers, expired leases, zombie writers,
+    /// partial batches, resets — the journal replays to the live state,
+    /// with and without a crash-truncated final line.
+    #[test]
+    fn random_interleavings_replay_identically((seed, ops) in schedule()) {
+        let path = journal_path(&format!("prop_{seed:x}"));
+        let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
+        let lines = reference_lines();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now = 0u64;
+        let mut jobs = 0usize;
+        for _ in 0..ops {
+            // Sometimes jump past the lease TTL so expiries interleave.
+            now += [0, 1, 7, TTL + 1][rng.gen_range(0..4usize)];
+            let worker = format!("w{}", rng.gen_range(0..3));
+            match rng.gen_range(0..10) {
+                0..2 => {
+                    if jobs < 3 {
+                        live.submit(tiny_spec(), rng.gen_range(1..3), now).expect("submit");
+                        jobs += 1;
+                    }
+                }
+                2..4 => {
+                    live.lease(&worker, now).expect("lease");
+                }
+                4..8 => {
+                    // An ingest into a random job/shard: may succeed, renew,
+                    // dedup, conflict or be refused — all must replay.
+                    let job = format!("j{:06}", rng.gen_range(1..4));
+                    let shard = rng.gen_range(0..2);
+                    let mut body = String::new();
+                    for line in lines.iter().filter(|_| rng.gen_range(0..2) == 0) {
+                        body.push_str(line);
+                        body.push('\n');
+                    }
+                    let _ = live.ingest(&job, shard, &worker, &body, now);
+                }
+                8 => {
+                    let job = format!("j{:06}", rng.gen_range(1..4));
+                    let _ = live.shard_done(&job, rng.gen_range(0..2), &worker, now);
+                }
+                _ => {
+                    live.reset_leases().expect("reset");
+                }
+            }
+        }
+        let (replayed, _) = journal::replay(&path, TTL).expect("replay");
+        prop_assert_eq!(replayed.snapshot().to_json(), snapshot(&live));
+
+        // A crash mid-append leaves a partial final line; the event was
+        // never applied live, so replay must still match.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(b"{\"event\":\"lease\",\"now_ms\":99,\"wor");
+        std::fs::write(&path, &bytes).expect("append partial");
+        let (replayed, _) = journal::replay(&path, TTL).expect("replay truncated");
+        prop_assert_eq!(replayed.snapshot().to_json(), snapshot(&live));
+        let _ = std::fs::remove_file(&path);
+    }
+}

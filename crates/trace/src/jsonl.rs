@@ -108,6 +108,26 @@ pub fn truncate_partial_tail(path: &std::path::Path) -> io::Result<u64> {
     Ok(bytes.len() as u64 - keep)
 }
 
+/// Opens `path` for appending as a crash-safe JSONL journal: first repairs a
+/// partial trailing record left by a process killed mid-write (see
+/// [`truncate_partial_tail`]), then opens the file in append mode (creating
+/// it when missing). Returns the writer plus the number of repaired
+/// (dropped) bytes. Every [`JsonlWriter::write`] flushes, so the journal is
+/// durable line-by-line and the only possible damage from a hard kill is
+/// one partial final line — exactly what the repair on the next open fixes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the repair and the open.
+pub fn append_repaired(path: &std::path::Path) -> io::Result<(JsonlWriter<std::fs::File>, u64)> {
+    let repaired = truncate_partial_tail(path)?;
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    Ok((JsonlWriter::new(file), repaired))
+}
+
 /// Extracts the top-level numeric `"id"` field of a JSONL line written by
 /// [`JsonlWriter`]. Returns `None` for lines without one (or with a
 /// non-numeric id).
@@ -234,6 +254,29 @@ mod tests {
         // Missing files are fine (first run of a campaign).
         let _ = std::fs::remove_file(&path);
         assert_eq!(truncate_partial_tail(&path).unwrap(), 0);
+    }
+
+    #[test]
+    fn append_repaired_resumes_a_crashed_journal() {
+        let path = std::env::temp_dir().join("tats_trace_append_repaired_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        // First open creates the file.
+        let (mut writer, repaired) = append_repaired(&path).unwrap();
+        assert_eq!(repaired, 0);
+        writer.write(&record(0, 50.0)).unwrap();
+        drop(writer);
+        // Simulate a kill mid-write: a partial record on the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"id\":1,\"max_t");
+        std::fs::write(&path, &bytes).unwrap();
+        // Reopening repairs the tail and appends on a fresh line.
+        let (mut writer, repaired) = append_repaired(&path).unwrap();
+        assert_eq!(repaired, 14);
+        writer.write(&record(1, 60.0)).unwrap();
+        drop(writer);
+        let ids = completed_ids(std::fs::read(&path).unwrap().as_slice()).unwrap();
+        assert_eq!(ids.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
