@@ -83,6 +83,8 @@ COMMANDS:
                                                       shard states (kill -9 safe)
                    --no-keep-alive                    close the connection after every
                                                       request (diagnostic / benchmarking)
+                   --access-log events.jsonl          append one JSONL line per served
+                                                      request (GET /metrics for counters)
     worker       Lease and run campaign shards from a tats serve instance
                    --connect HOST:PORT                server address (required)
                    --threads 0 --poll-ms 200          executor threads, idle poll interval
@@ -95,7 +97,8 @@ COMMANDS:
                    --shards 4                         split the job into n shards
                    --wait                             stream records + summary until done
                                                       (rides out server restarts, resuming
-                                                      from the last x-next-from)
+                                                      from the last x-next-from; prints a
+                                                      progress/ETA line to stderr each second)
                    --out results.jsonl --poll-ms 200  write fetched records to a file
     export       Export a benchmark task graph
                    --benchmark Bm1..Bm4 --format tgff|dot
@@ -777,7 +780,9 @@ pub fn batch(options: &Options) -> Result<String, CliError> {
 /// endpoint table in the `tats_service` docs). With `--journal` every
 /// registry transition is persisted before it is acknowledged, and a
 /// restart on the same path replays it — `kill -9` loses nothing the
-/// server said yes to.
+/// server said yes to. `GET /metrics` serves fleet-wide Prometheus
+/// counters; `--access-log` additionally appends one JSONL line per
+/// served request.
 pub fn serve(options: &Options) -> Result<String, CliError> {
     let host = options.value_or("host", "127.0.0.1");
     let port = options.number("port", 7070.0)? as u16;
@@ -787,6 +792,7 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
     let mut config = tats_service::ServiceConfig {
         lease_ttl_ms,
         journal,
+        access_log: options.value("access-log").map(std::path::PathBuf::from),
         ..tats_service::ServiceConfig::default()
     };
     if options.switch("no-keep-alive") {
@@ -936,6 +942,7 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
     // our place in its record stream).
     let retry = tats_service::RetryPolicy::default();
     let mut connection = client::Connection::new(addr);
+    let mut last_progress: Option<std::time::Instant> = None;
     loop {
         let status_path = format!("/jobs/{job}");
         let status = retry
@@ -970,6 +977,36 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
             .unwrap_or(from + page.body.lines().count());
         if done {
             break;
+        }
+        // At most one progress line per second, on stderr so a redirected
+        // stdout still carries only records and the summary. Best-effort:
+        // a failed progress poll never fails the wait.
+        if last_progress
+            .is_none_or(|at: std::time::Instant| at.elapsed() >= std::time::Duration::from_secs(1))
+        {
+            last_progress = Some(std::time::Instant::now());
+            let progress_path = format!("/jobs/{job}/progress");
+            if let Ok(progress) = retry.run(|| connection.get(&progress_path)) {
+                if let Ok(progress) = JsonValue::parse(&progress.body) {
+                    let done = progress
+                        .get("done")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0);
+                    let total = progress
+                        .get("total")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0);
+                    let mut line = format!("job {job}: {done}/{total} record(s)");
+                    if let Some(rate) = progress.get("records_per_sec").and_then(JsonValue::as_f64)
+                    {
+                        line.push_str(&format!(", {rate:.1}/s"));
+                    }
+                    if let Some(eta) = progress.get("eta_s").and_then(JsonValue::as_f64) {
+                        line.push_str(&format!(", eta {eta:.0}s"));
+                    }
+                    eprintln!("{line}");
+                }
+            }
         }
         std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(1)));
     }

@@ -58,7 +58,7 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
             &["resume", "full", "dry-run"],
         ),
         "serve" => (
-            &["host", "port", "lease-ttl-ms", "journal"],
+            &["host", "port", "lease-ttl-ms", "journal", "access-log"],
             &["no-keep-alive"],
         ),
         "worker" => (

@@ -22,6 +22,8 @@
 //!    floorplan (the thermal-aware policy re-queries the thermal model), and
 //!    the resulting schedule is evaluated for the table metrics.
 
+use std::time::Instant;
+
 use tats_floorplan::{CostWeights, Engine, Floorplanner, GaConfig};
 use tats_taskgraph::TaskGraph;
 use tats_techlib::{Architecture, PeTypeId, TechLibrary};
@@ -32,6 +34,7 @@ use crate::cache::ThermalModelCache;
 use crate::error::CoreError;
 use crate::layout;
 use crate::metrics::{evaluate_schedule, evaluate_schedule_with_model, ScheduleEvaluation};
+use crate::phases::FlowPhases;
 use crate::policy::{Policy, ThermalObjective};
 use crate::schedule::Schedule;
 
@@ -245,12 +248,40 @@ impl<'a> CoSynthesis<'a> {
         self.run_impl(graph, policy, Some(cache))
     }
 
+    /// Like [`CoSynthesis::run_with_cache`], but also reports where the wall
+    /// clock went (allocation/pruning/back-off scheduling vs floorplanning vs
+    /// final thermal evaluation). Timing is observational only — the result
+    /// is bit-identical to [`CoSynthesis::run_with_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoSynthesis::run`].
+    pub fn run_with_cache_timed(
+        &self,
+        graph: &TaskGraph,
+        policy: Policy,
+        cache: &mut ThermalModelCache,
+    ) -> Result<(CoSynthesisResult, FlowPhases), CoreError> {
+        self.run_timed(graph, policy, Some(cache))
+    }
+
     fn run_impl(
         &self,
         graph: &TaskGraph,
         policy: Policy,
-        mut cache: Option<&mut ThermalModelCache>,
+        cache: Option<&mut ThermalModelCache>,
     ) -> Result<CoSynthesisResult, CoreError> {
+        self.run_timed(graph, policy, cache)
+            .map(|(result, _)| result)
+    }
+
+    fn run_timed(
+        &self,
+        graph: &TaskGraph,
+        policy: Policy,
+        mut cache: Option<&mut ThermalModelCache>,
+    ) -> Result<(CoSynthesisResult, FlowPhases), CoreError> {
+        let mut phases = FlowPhases::default();
         if self.max_pes == 0 {
             return Err(CoreError::InvalidParameter(
                 "co-synthesis needs a PE budget of at least 1".to_string(),
@@ -260,6 +291,7 @@ impl<'a> CoSynthesis<'a> {
         // --- Allocation: grow the architecture until the deadline is met,
         //     using the baseline (performance-driven) scheduler as the
         //     makespan estimator so all policies see the same architecture. ---
+        let clock = Instant::now();
         let mut architecture = Architecture::new("co-synthesis");
         let mut explored = 0usize;
         let mut best_makespan = f64::INFINITY;
@@ -347,6 +379,7 @@ impl<'a> CoSynthesis<'a> {
             &mut explored,
             cache.as_deref_mut(),
         )?;
+        phases.scheduling += clock.elapsed();
         if !schedule.meets_deadline() {
             return Err(CoreError::DeadlineUnreachable {
                 deadline: graph.deadline(),
@@ -355,6 +388,7 @@ impl<'a> CoSynthesis<'a> {
         }
 
         // --- Thermal-aware floorplanning of the selected architecture. ---
+        let clock = Instant::now();
         let per_pe_power = schedule.average_power_per_pe();
         let modules = layout::pe_modules(&architecture, self.library, &per_pe_power)?;
         let weights = if policy.needs_thermal_model() {
@@ -373,8 +407,10 @@ impl<'a> CoSynthesis<'a> {
                 .run()?
                 .floorplan
         };
+        phases.floorplan += clock.elapsed();
 
         // --- Final scheduling pass against the optimised floorplan. ---
+        let clock = Instant::now();
         let final_schedule = self.schedule_with_backoff(
             graph,
             &architecture,
@@ -388,6 +424,8 @@ impl<'a> CoSynthesis<'a> {
         } else {
             schedule
         };
+        phases.scheduling += clock.elapsed();
+        let clock = Instant::now();
         let evaluation = match cache {
             Some(cache) if floorplan.block_count() == schedule.pe_count() => {
                 let model = cache.get_or_build(&floorplan, self.thermal_config)?;
@@ -395,14 +433,18 @@ impl<'a> CoSynthesis<'a> {
             }
             _ => evaluate_schedule(&schedule, &floorplan, self.thermal_config)?,
         };
+        phases.thermal += clock.elapsed();
 
-        Ok(CoSynthesisResult {
-            architecture,
-            floorplan,
-            schedule,
-            evaluation,
-            architectures_explored: explored,
-        })
+        Ok((
+            CoSynthesisResult {
+                architecture,
+                floorplan,
+                schedule,
+                evaluation,
+                architectures_explored: explored,
+            },
+            phases,
+        ))
     }
 }
 

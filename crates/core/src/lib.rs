@@ -57,6 +57,7 @@ mod error;
 pub mod experiment;
 pub mod layout;
 mod metrics;
+mod phases;
 mod platform;
 mod policy;
 mod schedule;
@@ -66,6 +67,7 @@ pub use cache::{geometry_config_bits, CacheStats, FifoCache, ThermalModelCache};
 pub use cosynthesis::{CoSynthesis, CoSynthesisResult};
 pub use error::CoreError;
 pub use metrics::{evaluate_schedule, evaluate_schedule_with_model, ScheduleEvaluation};
+pub use phases::FlowPhases;
 pub use platform::{PlatformFlow, PlatformResult};
 pub use policy::{Policy, PowerHeuristic, ThermalObjective};
 pub use schedule::{Assignment, Schedule};

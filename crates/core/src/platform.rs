@@ -5,6 +5,8 @@
 //! (grid) floorplan, and the modified ASP issues thermal inquiries against
 //! that floorplan directly — no co-synthesis or floorplanning is involved.
 
+use std::time::Instant;
+
 use tats_taskgraph::TaskGraph;
 use tats_techlib::{Architecture, TechLibrary};
 use tats_thermal::{Floorplan, ThermalConfig};
@@ -14,6 +16,7 @@ use crate::cache::ThermalModelCache;
 use crate::error::CoreError;
 use crate::layout;
 use crate::metrics::{evaluate_schedule, evaluate_schedule_with_model, ScheduleEvaluation};
+use crate::phases::FlowPhases;
 use crate::policy::{Policy, ThermalObjective};
 use crate::schedule::Schedule;
 
@@ -163,7 +166,29 @@ impl<'a> PlatformFlow<'a> {
         policy: Policy,
         cache: &mut ThermalModelCache,
     ) -> Result<PlatformResult, CoreError> {
+        self.run_with_cache_timed(graph, policy, cache)
+            .map(|(result, _)| result)
+    }
+
+    /// Like [`PlatformFlow::run_with_cache`], but also reports where the wall
+    /// clock went (thermal model sourcing + evaluation vs ASP scheduling).
+    /// Timing is observational only — the result is bit-identical to
+    /// [`PlatformFlow::run_with_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and evaluation errors.
+    pub fn run_with_cache_timed(
+        &self,
+        graph: &TaskGraph,
+        policy: Policy,
+        cache: &mut ThermalModelCache,
+    ) -> Result<(PlatformResult, FlowPhases), CoreError> {
+        let mut phases = FlowPhases::default();
+        let clock = Instant::now();
         let model = cache.get_or_build(&self.floorplan, self.thermal_config)?;
+        phases.thermal += clock.elapsed();
+        let clock = Instant::now();
         let mut asp = Asp::new(graph, self.library, &self.architecture)?
             .with_policy(policy)
             .with_floorplan(self.floorplan.clone())
@@ -174,13 +199,19 @@ impl<'a> PlatformFlow<'a> {
             asp = asp.with_shared_thermal_model(std::sync::Arc::clone(&model));
         }
         let schedule = asp.schedule()?;
+        phases.scheduling += clock.elapsed();
+        let clock = Instant::now();
         let evaluation = evaluate_schedule_with_model(&schedule, &model)?;
-        Ok(PlatformResult {
-            architecture: self.architecture.clone(),
-            floorplan: self.floorplan.clone(),
-            schedule,
-            evaluation,
-        })
+        phases.thermal += clock.elapsed();
+        Ok((
+            PlatformResult {
+                architecture: self.architecture.clone(),
+                floorplan: self.floorplan.clone(),
+                schedule,
+                evaluation,
+            },
+            phases,
+        ))
     }
 }
 

@@ -19,13 +19,16 @@
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use tats_core::{
-    CacheStats, CoSynthesis, FifoCache, PlatformFlow, ScheduleEvaluation, ThermalModelCache,
+    CacheStats, CoSynthesis, FifoCache, FlowPhases, PlatformFlow, ScheduleEvaluation,
+    ThermalModelCache,
 };
 use tats_thermal::{Floorplan, GridModel, GridSolver};
-use tats_trace::JsonValue;
+use tats_trace::metrics::{Counter, Histogram};
+use tats_trace::{JsonValue, MetricsRegistry};
 
 use crate::error::EngineError;
 use crate::scenario::{policy_slug, Campaign, FlowKind, Scenario};
@@ -234,32 +237,71 @@ impl WorkerCaches {
     }
 }
 
+/// Pre-registered metric handles for the executor's hot path: looked up once
+/// per run, recorded with pure atomics from every worker thread. Phase
+/// histograms come from the flows' `*_timed` entry points, so `/metrics`
+/// reports the same phase split a profiler would see.
+struct EngineMetrics {
+    scenario_seconds: Arc<Histogram>,
+    scheduling_seconds: Arc<Histogram>,
+    thermal_seconds: Arc<Histogram>,
+    floorplan_seconds: Arc<Histogram>,
+    grid_seconds: Arc<Histogram>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let phase = |name: &str| registry.histogram("engine_phase_seconds", &[("phase", name)]);
+        EngineMetrics {
+            scenario_seconds: registry.histogram("engine_scenario_seconds", &[]),
+            scheduling_seconds: phase("scheduling"),
+            thermal_seconds: phase("thermal"),
+            floorplan_seconds: phase("floorplan"),
+            grid_seconds: phase("grid"),
+            completed: registry.counter("engine_scenarios_completed_total", &[]),
+            failed: registry.counter("engine_scenarios_failed_total", &[]),
+            cache_hits: registry.counter("engine_cache_hits_total", &[]),
+            cache_misses: registry.counter("engine_cache_misses_total", &[]),
+        }
+    }
+}
+
 /// Evaluates one scenario with this worker's caches.
 fn run_scenario(
     scenario: &Scenario,
     campaign: &Campaign,
     library: &tats_techlib::TechLibrary,
     caches: &mut WorkerCaches,
+    metrics: Option<&EngineMetrics>,
 ) -> Result<ScenarioRecord, EngineError> {
     let experiment = campaign.experiment();
+    let scenario_clock = Instant::now();
     let graph = scenario.task_graph()?;
-    let (schedule, evaluation, floorplan): (_, ScheduleEvaluation, Floorplan) = match scenario.flow
-    {
-        FlowKind::Platform => {
-            let flow = PlatformFlow::new(library)?.with_thermal_config(experiment.thermal_config);
-            let result = flow.run_with_cache(&graph, scenario.policy, &mut caches.thermal)?;
-            (result.schedule, result.evaluation, result.floorplan)
-        }
-        FlowKind::CoSynthesis => {
-            let flow = CoSynthesis::new(library)
-                .with_max_pes(experiment.max_pes)
-                .with_thermal_config(experiment.thermal_config)
-                .with_floorplan_ga(experiment.floorplan_ga);
-            let result = flow.run_with_cache(&graph, scenario.policy, &mut caches.thermal)?;
-            (result.schedule, result.evaluation, result.floorplan)
-        }
-    };
+    let (schedule, evaluation, floorplan, phases): (_, ScheduleEvaluation, Floorplan, FlowPhases) =
+        match scenario.flow {
+            FlowKind::Platform => {
+                let flow =
+                    PlatformFlow::new(library)?.with_thermal_config(experiment.thermal_config);
+                let (result, phases) =
+                    flow.run_with_cache_timed(&graph, scenario.policy, &mut caches.thermal)?;
+                (result.schedule, result.evaluation, result.floorplan, phases)
+            }
+            FlowKind::CoSynthesis => {
+                let flow = CoSynthesis::new(library)
+                    .with_max_pes(experiment.max_pes)
+                    .with_thermal_config(experiment.thermal_config)
+                    .with_floorplan_ga(experiment.floorplan_ga);
+                let (result, phases) =
+                    flow.run_with_cache_timed(&graph, scenario.policy, &mut caches.thermal)?;
+                (result.schedule, result.evaluation, result.floorplan, phases)
+            }
+        };
 
+    let grid_clock = Instant::now();
     let grid_max_temp_c = match scenario.solver {
         None => None,
         Some(solver) => {
@@ -267,6 +309,22 @@ fn run_scenario(
             Some(model.steady_state(&evaluation.per_pe_power)?.max_c())
         }
     };
+
+    if let Some(metrics) = metrics {
+        metrics
+            .scheduling_seconds
+            .record_duration(phases.scheduling);
+        metrics.thermal_seconds.record_duration(phases.thermal);
+        if scenario.flow == FlowKind::CoSynthesis {
+            metrics.floorplan_seconds.record_duration(phases.floorplan);
+        }
+        if scenario.solver.is_some() {
+            metrics.grid_seconds.record_duration(grid_clock.elapsed());
+        }
+        metrics
+            .scenario_seconds
+            .record_duration(scenario_clock.elapsed());
+    }
 
     let energy: f64 = schedule.assignments().iter().map(|a| a.energy()).sum();
     Ok(ScenarioRecord {
@@ -294,9 +352,10 @@ enum Message {
 }
 
 /// The campaign worker pool.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Executor {
     threads: usize,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Executor {
@@ -310,7 +369,20 @@ impl Executor {
         } else {
             threads
         };
-        Executor { threads }
+        Executor {
+            threads,
+            metrics: None,
+        }
+    }
+
+    /// Streams per-scenario phase spans, throughput counters and the merged
+    /// cache counters into `registry` (series prefixed `engine_`). The cache
+    /// counters added there are the same values [`BatchReport::cache`]
+    /// reports, so `/metrics` and `BENCH_*.json` agree by construction.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// The worker count this executor will spawn.
@@ -343,6 +415,7 @@ impl Executor {
         let skipped = scenarios.len() - todo.len();
         let workers = self.threads.min(todo.len()).max(1);
         let cursor = AtomicUsize::new(0);
+        let metrics = self.metrics.as_deref().map(EngineMetrics::new);
         let (tx, rx) = mpsc::channel::<Message>();
 
         let start = Instant::now();
@@ -355,6 +428,7 @@ impl Executor {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let todo = &todo;
+                let metrics = metrics.as_ref();
                 scope.spawn(move || {
                     let library = match campaign.experiment().library() {
                         Ok(library) => library,
@@ -370,10 +444,23 @@ impl Executor {
                         let Some(scenario) = todo.get(index) else {
                             break;
                         };
-                        let message = match run_scenario(scenario, campaign, &library, &mut caches)
-                        {
-                            Ok(record) => Message::Record(Box::new(record)),
+                        let message = match run_scenario(
+                            scenario,
+                            campaign,
+                            &library,
+                            &mut caches,
+                            metrics,
+                        ) {
+                            Ok(record) => {
+                                if let Some(metrics) = metrics {
+                                    metrics.completed.inc();
+                                }
+                                Message::Record(Box::new(record))
+                            }
                             Err(error) => {
+                                if let Some(metrics) = metrics {
+                                    metrics.failed.inc();
+                                }
                                 Message::Failed(Box::new(error.in_scenario(&scenario.key())))
                             }
                         };
@@ -414,6 +501,10 @@ impl Executor {
 
         if let Some(error) = failure {
             return Err(error);
+        }
+        if let Some(metrics) = &metrics {
+            metrics.cache_hits.add(cache.hits);
+            metrics.cache_misses.add(cache.misses);
         }
         records.sort_by_key(|r| r.id);
         Ok(BatchRun {
@@ -486,6 +577,41 @@ mod tests {
         assert_eq!(run.report.completed, 1);
         assert_eq!(run.records.len(), 1);
         assert_eq!(streamed, vec![scenarios[1].id]);
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_the_report() {
+        let campaign = tiny_campaign();
+        let scenarios = campaign.scenarios();
+        let registry = Arc::new(MetricsRegistry::new());
+        let run = Executor::new(2)
+            .with_metrics(Arc::clone(&registry))
+            .run(&campaign, &scenarios, &BTreeSet::new(), |_| Ok(()))
+            .unwrap();
+        let snapshot = registry.snapshot();
+        // The registry's cache counters are the very numbers the report
+        // carries into BENCH_*.json.
+        assert_eq!(
+            snapshot.counter_value("engine_cache_hits_total", &[]),
+            Some(run.report.cache.hits)
+        );
+        assert_eq!(
+            snapshot.counter_value("engine_cache_misses_total", &[]),
+            Some(run.report.cache.misses)
+        );
+        let completed = run.report.completed as u64;
+        assert_eq!(
+            snapshot.counter_value("engine_scenarios_completed_total", &[]),
+            Some(completed)
+        );
+        let scenario = snapshot
+            .histogram_value("engine_scenario_seconds", &[])
+            .unwrap();
+        assert_eq!(scenario.count(), completed);
+        let scheduling = snapshot
+            .histogram_value("engine_phase_seconds", &[("phase", "scheduling")])
+            .unwrap();
+        assert_eq!(scheduling.count(), completed);
     }
 
     #[test]

@@ -49,8 +49,11 @@
 //! record batch; dedup absorbs any re-streams.
 
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 use tats_engine::CampaignSpec;
+use tats_trace::metrics::Histogram;
 use tats_trace::{jsonl, JsonValue};
 
 use crate::error::ServiceError;
@@ -221,6 +224,9 @@ pub struct JournaledRegistry {
     registry: Registry,
     journal: Option<jsonl::JsonlWriter<std::fs::File>>,
     sealed: bool,
+    /// When set, every journal append (write + per-line flush) records its
+    /// latency here — the `journal_append_seconds` series of `/metrics`.
+    append_latency: Option<Arc<Histogram>>,
 }
 
 impl JournaledRegistry {
@@ -230,6 +236,7 @@ impl JournaledRegistry {
             registry: Registry::new(lease_ttl_ms),
             journal: None,
             sealed: false,
+            append_latency: None,
         }
     }
 
@@ -253,6 +260,7 @@ impl JournaledRegistry {
                 registry,
                 journal: Some(writer),
                 sealed: false,
+                append_latency: None,
             },
             report,
         ))
@@ -287,9 +295,18 @@ impl JournaledRegistry {
         }
     }
 
+    /// Installs the histogram that times every journal append.
+    pub fn set_append_latency(&mut self, histogram: Arc<Histogram>) {
+        self.append_latency = Some(histogram);
+    }
+
     fn append(&mut self, event: JsonValue) -> Result<(), ServiceError> {
         if let Some(writer) = &mut self.journal {
+            let clock = Instant::now();
             writer.write(&event).map_err(ServiceError::Io)?;
+            if let Some(histogram) = &self.append_latency {
+                histogram.record_duration(clock.elapsed());
+            }
         }
         Ok(())
     }

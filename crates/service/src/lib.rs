@@ -28,7 +28,15 @@
 //! * [`client`] and [`http`] are the shared minimal HTTP/1.1 plumbing —
 //!   persistent keep-alive connections by default ([`client::Connection`]),
 //!   with `Connection: close` one-shots for probes and non-idempotent
-//!   submits.
+//!   submits;
+//! * (PR 7) the whole stack is instrumented through
+//!   [`tats_trace::metrics`]: the server counts and times every request
+//!   per endpoint template, times journal appends, and exposes it all at
+//!   `GET /metrics` (Prometheus text); workers keep their own registries
+//!   (lease-wait time, shard/scenario/phase timings, engine cache
+//!   hits/misses, transient-vs-fatal retry counts) and piggyback a
+//!   snapshot on every lease poll, so one scrape of the server shows the
+//!   whole fleet, each series tagged `worker="name"`.
 //!
 //! The distributed invariant mirrors the engine's: **1 server + k workers
 //! produce the record set of a single in-process `tats batch` run** of the
@@ -46,7 +54,31 @@
 //! is alive"); `GET /readyz` answers 503 until the journal replay is being
 //! served and 200 after ("requests will succeed"), with replay statistics
 //! in the body. Orchestrators should gate traffic on `/readyz` and
-//! restarts on `/healthz`.
+//! restarts on `/healthz`. `GET /metrics` joins them on the unguarded
+//! side of the ready gate, so a replaying server is scrapeable and its
+//! `journal_replayed_*` gauges tell you what the replay recovered.
+//!
+//! # Scraping a live campaign
+//!
+//! ```text
+//! $ curl -s 127.0.0.1:7070/metrics | grep -E '^(http_requests_total|journal_)'
+//! http_requests_total{class="2xx",endpoint="POST /lease"} 412
+//! http_requests_total{class="2xx",endpoint="POST /jobs/{id}/shards/{i}/records"} 380
+//! journal_append_seconds_sum 0.0191
+//! journal_append_seconds_count 423
+//! journal_replayed_events 61
+//! $ curl -s 127.0.0.1:7070/metrics | grep 'worker="w1"' | head -2
+//! engine_cache_hits_total{worker="w1"} 96
+//! engine_phase_seconds_count{phase="thermal",worker="w1"} 120
+//! $ curl -s 127.0.0.1:7070/jobs/j000001/progress
+//! {"job":"j000001","state":"running","done":73,"total":120,
+//!  "records_per_sec":41.2,"eta_s":1.14,...}
+//! ```
+//!
+//! `tats submit --wait` prints that progress line to stderr once a second,
+//! and `tats serve --access-log events.jsonl` appends one JSONL event per
+//! request (method, path, status, duration, bytes, keep-alive) to a
+//! crash-repaired log file.
 //!
 //! # Talking to a (restarted) server with curl
 //!

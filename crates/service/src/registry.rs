@@ -45,6 +45,12 @@ pub struct Job {
     completed: BTreeSet<u64>,
     summary: Summary,
     created_ms: u64,
+    /// Arrival time of the first accepted record — the start of the
+    /// progress-rate window. Journaled ingest timestamps reconstruct both
+    /// fields on replay, so `/jobs/{id}/progress` is replay-deterministic.
+    first_record_ms: Option<u64>,
+    /// Arrival time of the most recent accepted record.
+    last_record_ms: Option<u64>,
 }
 
 impl Job {
@@ -111,6 +117,46 @@ impl Job {
             ),
         ])
     }
+
+    /// The live-progress view backing `GET /jobs/{id}/progress`: done/total
+    /// counts, the record arrival rate over the first→last record window,
+    /// and the ETA that rate implies for the remaining scenarios.
+    fn progress_json(&self, now_ms: u64) -> JsonValue {
+        let done = self.completed.len();
+        let total = self.expected.len();
+        let rate = match (self.first_record_ms, self.last_record_ms) {
+            (Some(first), Some(last)) if last > first => {
+                Some(done as f64 / ((last - first) as f64 / 1_000.0))
+            }
+            _ => None,
+        };
+        let eta_s = if done >= total {
+            Some(0.0)
+        } else {
+            rate.map(|r| (total - done) as f64 / r)
+        };
+        let elapsed_ms = self
+            .first_record_ms
+            .map(|first| now_ms.saturating_sub(first));
+        JsonValue::object(vec![
+            ("job".to_string(), JsonValue::from(self.id.as_str())),
+            ("state".to_string(), JsonValue::from(self.state(now_ms))),
+            ("done".to_string(), JsonValue::from(done)),
+            ("total".to_string(), JsonValue::from(total)),
+            (
+                "records_per_sec".to_string(),
+                rate.map_or(JsonValue::Null, JsonValue::Number),
+            ),
+            (
+                "eta_s".to_string(),
+                eta_s.map_or(JsonValue::Null, JsonValue::Number),
+            ),
+            (
+                "elapsed_ms".to_string(),
+                elapsed_ms.map_or(JsonValue::Null, |ms| JsonValue::from(ms as usize)),
+            ),
+        ])
+    }
 }
 
 /// Per-worker bookkeeping, reported by `GET /workers`.
@@ -119,6 +165,7 @@ struct WorkerInfo {
     leases: u64,
     records: u64,
     shards_done: u64,
+    first_seen_ms: u64,
     last_seen_ms: u64,
 }
 
@@ -172,7 +219,13 @@ impl Registry {
     }
 
     fn touch_worker(&mut self, worker: &str, now_ms: u64) -> &mut WorkerInfo {
-        let info = self.workers.entry(worker.to_string()).or_default();
+        let info = self
+            .workers
+            .entry(worker.to_string())
+            .or_insert_with(|| WorkerInfo {
+                first_seen_ms: now_ms,
+                ..WorkerInfo::default()
+            });
         info.last_seen_ms = now_ms;
         info
     }
@@ -212,6 +265,8 @@ impl Registry {
             completed: BTreeSet::new(),
             summary: Summary::new(),
             created_ms: now_ms,
+            first_record_ms: None,
+            last_record_ms: None,
         };
         let status = job.status_json(now_ms);
         self.jobs.insert(id, job);
@@ -374,6 +429,12 @@ impl Registry {
                 report.duplicates += 1;
             }
         }
+        if report.accepted > 0 {
+            // `now_ms` is the journaled ingest timestamp, so replay rebuilds
+            // the same progress window a live server saw.
+            job.first_record_ms.get_or_insert(now_ms);
+            job.last_record_ms = Some(now_ms);
+        }
         self.touch_worker(worker, now_ms).records += report.accepted as u64;
         Ok(report)
     }
@@ -429,6 +490,18 @@ impl Registry {
     /// Returns [`ServiceError::NotFound`] for unknown jobs.
     pub fn job_status(&self, job_id: &str, now_ms: u64) -> Result<JsonValue, ServiceError> {
         Ok(self.job(job_id)?.status_json(now_ms))
+    }
+
+    /// One job's live-progress object (`GET /jobs/{id}/progress`): done and
+    /// total scenario counts, records/sec over the ingest window, and the
+    /// ETA those imply. Rate and ETA are `null` until the window is wide
+    /// enough to measure (two distinct ingest timestamps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::NotFound`] for unknown jobs.
+    pub fn progress(&self, job_id: &str, now_ms: u64) -> Result<JsonValue, ServiceError> {
+        Ok(self.job(job_id)?.progress_json(now_ms))
     }
 
     /// Status of every job, oldest first.
@@ -530,6 +603,16 @@ impl Registry {
                     ),
                     ("shards".to_string(), JsonValue::Array(shards)),
                     (
+                        "first_record_ms".to_string(),
+                        job.first_record_ms
+                            .map_or(JsonValue::Null, |ms| JsonValue::from(ms as usize)),
+                    ),
+                    (
+                        "last_record_ms".to_string(),
+                        job.last_record_ms
+                            .map_or(JsonValue::Null, |ms| JsonValue::from(ms as usize)),
+                    ),
+                    (
                         "records".to_string(),
                         JsonValue::Array(
                             job.records
@@ -551,14 +634,25 @@ impl Registry {
         ])
     }
 
-    /// Everything known about the workers that have talked to this server.
-    pub fn workers_status(&self) -> JsonValue {
+    /// Everything known about the workers that have talked to this server,
+    /// including how long ago each was last seen and its lifetime record
+    /// rate (records posted over the first-seen → last-seen window; `null`
+    /// until the window is wide enough to measure).
+    pub fn workers_status(&self, now_ms: u64) -> JsonValue {
         JsonValue::object(vec![(
             "workers".to_string(),
             JsonValue::Array(
                 self.workers
                     .iter()
                     .map(|(name, info)| {
+                        let records_per_sec = if info.last_seen_ms > info.first_seen_ms {
+                            JsonValue::Number(
+                                info.records as f64
+                                    / ((info.last_seen_ms - info.first_seen_ms) as f64 / 1_000.0),
+                            )
+                        } else {
+                            JsonValue::Null
+                        };
                         JsonValue::object(vec![
                             ("name".to_string(), JsonValue::from(name.as_str())),
                             ("leases".to_string(), JsonValue::from(info.leases as usize)),
@@ -571,9 +665,18 @@ impl Registry {
                                 JsonValue::from(info.shards_done as usize),
                             ),
                             (
+                                "first_seen_ms".to_string(),
+                                JsonValue::from(info.first_seen_ms as usize),
+                            ),
+                            (
                                 "last_seen_ms".to_string(),
                                 JsonValue::from(info.last_seen_ms as usize),
                             ),
+                            (
+                                "last_seen_age_ms".to_string(),
+                                JsonValue::from(now_ms.saturating_sub(info.last_seen_ms) as usize),
+                            ),
+                            ("records_per_sec".to_string(), records_per_sec),
                         ])
                     })
                     .collect(),
@@ -688,9 +791,87 @@ mod tests {
         let text = summary.to_json();
         assert!(text.contains("\"scenarios\":4"), "{text}");
 
-        let workers = registry.workers_status().to_json();
+        let workers = registry.workers_status(80).to_json();
         assert!(workers.contains("\"name\":\"w1\""), "{workers}");
         assert!(workers.contains("\"name\":\"w2\""), "{workers}");
+    }
+
+    #[test]
+    fn progress_reports_rate_and_eta_from_ingest_timestamps() {
+        let mut registry = Registry::new(TTL);
+        let job = registry
+            .submit(tiny_spec(), 1, 0)
+            .expect("submit")
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string();
+
+        // No records yet: counts only, rate and ETA unknown.
+        let progress = registry.progress(&job, 5).expect("progress");
+        assert_eq!(progress.get("done").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(progress.get("total").and_then(JsonValue::as_u64), Some(4));
+        assert!(matches!(
+            progress.get("records_per_sec"),
+            Some(JsonValue::Null)
+        ));
+        assert!(matches!(progress.get("eta_s"), Some(JsonValue::Null)));
+
+        registry.lease("w1", 10);
+        let lines = reference_lines(&tiny_spec());
+        registry
+            .ingest(&job, 0, "w1", &lines[0], 1_000)
+            .expect("first");
+        // One ingest timestamp: rate is still unmeasurable.
+        let progress = registry.progress(&job, 1_000).expect("progress");
+        assert_eq!(progress.get("done").and_then(JsonValue::as_u64), Some(1));
+        assert!(matches!(
+            progress.get("records_per_sec"),
+            Some(JsonValue::Null)
+        ));
+
+        let body = format!("{}\n{}\n", lines[1], lines[2]);
+        registry.ingest(&job, 0, "w1", &body, 2_000).expect("more");
+        // 3 records over a 1 s window: 3/s, 1 remaining -> ETA 1/3 s.
+        let progress = registry.progress(&job, 2_000).expect("progress");
+        assert_eq!(progress.get("done").and_then(JsonValue::as_u64), Some(3));
+        let rate = progress
+            .get("records_per_sec")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!((rate - 3.0).abs() < 1e-9, "{rate}");
+        let eta = progress.get("eta_s").and_then(JsonValue::as_f64).unwrap();
+        assert!((eta - 1.0 / 3.0).abs() < 1e-9, "{eta}");
+
+        registry
+            .ingest(&job, 0, "w1", &lines[3], 3_000)
+            .expect("last");
+        registry.shard_done(&job, 0, "w1", 3_000).expect("done");
+        let progress = registry.progress(&job, 3_500).expect("progress");
+        assert_eq!(
+            progress.get("state").and_then(JsonValue::as_str),
+            Some("done")
+        );
+        let eta = progress.get("eta_s").and_then(JsonValue::as_f64).unwrap();
+        assert_eq!(eta, 0.0);
+
+        // The enriched workers view: age relative to `now`, lifetime rate
+        // over the first-seen..last-seen window (4 records over 2.99 s).
+        let workers = registry.workers_status(4_000);
+        let worker = workers
+            .get("workers")
+            .and_then(JsonValue::as_array)
+            .and_then(|list| list.first())
+            .unwrap();
+        assert_eq!(
+            worker.get("last_seen_age_ms").and_then(JsonValue::as_u64),
+            Some(1_000)
+        );
+        let rate = worker
+            .get("records_per_sec")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!((rate - 4.0 / 2.99).abs() < 1e-6, "{rate}");
     }
 
     #[test]

@@ -112,8 +112,21 @@ impl RetryPolicy {
     ///
     /// Returns the first fatal error, or the last transient error once the
     /// attempt budget is exhausted.
-    pub fn run<T>(
+    pub fn run<T>(&self, op: impl FnMut() -> Result<T, ServiceError>) -> Result<T, ServiceError> {
+        self.run_observed(|_, _| {}, op)
+    }
+
+    /// Like [`RetryPolicy::run`], but calls `observe` with every failed
+    /// attempt's error and its [`is_transient`] classification before the
+    /// retry/fail decision is made — the hook worker metrics use to count
+    /// transient vs fatal failures without owning the loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`RetryPolicy::run`].
+    pub fn run_observed<T>(
         &self,
+        mut observe: impl FnMut(&ServiceError, bool),
         mut op: impl FnMut() -> Result<T, ServiceError>,
     ) -> Result<T, ServiceError> {
         let attempts = self.max_attempts.max(1);
@@ -121,11 +134,16 @@ impl RetryPolicy {
         loop {
             match op() {
                 Ok(value) => return Ok(value),
-                Err(error) if is_transient(&error) && attempt + 1 < attempts => {
-                    std::thread::sleep(Duration::from_millis(self.delay_ms(attempt)));
-                    attempt += 1;
+                Err(error) => {
+                    let transient = is_transient(&error);
+                    observe(&error, transient);
+                    if transient && attempt + 1 < attempts {
+                        std::thread::sleep(Duration::from_millis(self.delay_ms(attempt)));
+                        attempt += 1;
+                    } else {
+                        return Err(error);
+                    }
                 }
-                Err(error) => return Err(error),
             }
         }
     }
@@ -255,5 +273,39 @@ mod tests {
             Err(ServiceError::Io(io::Error::other("refused")))
         });
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn run_observed_reports_each_failure_with_its_class() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 1,
+            max_delay_ms: 2,
+            jitter_seed: 0,
+        };
+        let mut transient = 0u32;
+        let mut fatal = 0u32;
+        let mut calls = 0;
+        let result: Result<u32, _> = policy.run_observed(
+            |_, is_transient| {
+                if is_transient {
+                    transient += 1;
+                } else {
+                    fatal += 1;
+                }
+            },
+            || {
+                calls += 1;
+                match calls {
+                    1 => Err(ServiceError::Io(io::Error::other("refused"))),
+                    _ => Err(ServiceError::BadRequest("no".into())),
+                }
+            },
+        );
+        // One transient failure observed and retried, then a fatal one
+        // observed and propagated.
+        assert!(matches!(result, Err(ServiceError::BadRequest(_))));
+        assert_eq!((transient, fatal), (1, 1));
+        assert_eq!(calls, 2);
     }
 }

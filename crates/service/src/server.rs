@@ -23,16 +23,34 @@
 //! |---|---|---|
 //! | `GET /healthz` | — | liveness probe (200 as soon as the socket is bound) |
 //! | `GET /readyz` | — | readiness probe (503 until journal replay is served) |
+//! | `GET /metrics` | — | Prometheus text exposition (served even before ready) |
 //! | `POST /jobs` | `{"spec": <campaign spec>, "shards": n}` | submit a campaign, get a job id |
 //! | `GET /jobs` | — | status of every job |
 //! | `GET /jobs/{id}` | — | one job's status |
 //! | `GET /jobs/{id}/records?from=k` | — | JSONL records from index `k` (header `x-next-from`) |
+//! | `GET /jobs/{id}/progress` | — | done/total, records/sec, ETA (live progress) |
 //! | `GET /jobs/{id}/summary` | — | aggregated campaign summary |
-//! | `GET /workers` | — | per-worker statistics |
-//! | `POST /lease` | `{"worker": name}` | lease the next available shard |
+//! | `GET /workers` | — | per-worker statistics (last-seen age, lifetime records/sec) |
+//! | `POST /lease` | `{"worker": name, "metrics"?: snapshot}` | lease the next available shard |
 //! | `POST /jobs/{id}/shards/{i}/records` | JSONL lines (`x-worker` header) | stream shard records |
 //! | `POST /jobs/{id}/shards/{i}/done` | — (`x-worker` header) | mark a shard complete |
+//!
+//! # Observability
+//!
+//! The server keeps a [`MetricsRegistry`] ([`tats_trace::metrics`]): one
+//! latency histogram and per-status-class request counters per endpoint,
+//! connection/accept-backoff counters, lease request/grant counters, the
+//! journal append+flush latency, and gauges describing what boot-time
+//! replay reconstructed. Workers piggyback a snapshot of their own
+//! registry (lease-wait time, retry counts, engine phase spans, thermal
+//! cache hits) on every `POST /lease`; `GET /metrics` merges the latest
+//! snapshot per worker — labelled `worker="name"` — into one Prometheus
+//! text page. `/metrics` bypasses the ready gate, so a replaying server
+//! can be scraped. With [`ServiceConfig::access_log`] set, every request
+//! is also appended to a JSONL access log (crash-repaired on reopen, like
+//! the journal).
 
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -41,7 +59,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tats_engine::CampaignSpec;
-use tats_trace::JsonValue;
+use tats_trace::metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+use tats_trace::{jsonl, JsonValue};
 
 use crate::error::ServiceError;
 use crate::http::{read_request, write_response, Request};
@@ -73,6 +92,12 @@ pub struct ServiceConfig {
     /// [`Service::bind`], so the server is ready the moment it accepts);
     /// tests raise it to observe the `503`-until-ready window.
     pub ready_holdoff_ms: u64,
+    /// JSONL access log: with a path, every served request appends one
+    /// `{ts_ms, method, path, status, duration_us, bytes_in, bytes_out,
+    /// keep_alive}` line there. The file is opened with the same
+    /// partial-tail repair as the journal, so a crash mid-append never
+    /// corrupts it. `None` (the default) logs nothing.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -83,6 +108,114 @@ impl Default for ServiceConfig {
             keep_alive_max_requests: 1_000,
             keep_alive_idle_timeout_ms: 10_000,
             ready_holdoff_ms: 0,
+            access_log: None,
+        }
+    }
+}
+
+/// Every endpoint label `GET /metrics` reports. Pre-registered at bind so
+/// the hot path is a `HashMap` lookup plus relaxed atomics — no lock, no
+/// allocation.
+const ENDPOINTS: [&str; 14] = [
+    "GET /healthz",
+    "GET /readyz",
+    "GET /metrics",
+    "POST /jobs",
+    "GET /jobs",
+    "GET /jobs/{id}",
+    "GET /jobs/{id}/records",
+    "GET /jobs/{id}/progress",
+    "GET /jobs/{id}/summary",
+    "GET /workers",
+    "POST /lease",
+    "POST /jobs/{id}/shards/{i}/records",
+    "POST /jobs/{id}/shards/{i}/done",
+    "other",
+];
+
+/// Status classes `http_requests_total` is partitioned into.
+const STATUS_CLASSES: [&str; 4] = ["2xx", "4xx", "5xx", "other"];
+
+fn status_class_index(status: u16) -> usize {
+    match status / 100 {
+        2 => 0,
+        4 => 1,
+        5 => 2,
+        _ => 3,
+    }
+}
+
+/// The template label a request routes to (path parameters collapsed, so
+/// the label set stays bounded no matter what clients send).
+fn endpoint_label(method: &str, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        ("GET", ["healthz"]) => "GET /healthz",
+        ("GET", ["readyz"]) => "GET /readyz",
+        ("GET", ["metrics"]) => "GET /metrics",
+        ("POST", ["jobs"]) => "POST /jobs",
+        ("GET", ["jobs"]) => "GET /jobs",
+        ("GET", ["jobs", _]) => "GET /jobs/{id}",
+        ("GET", ["jobs", _, "records"]) => "GET /jobs/{id}/records",
+        ("GET", ["jobs", _, "progress"]) => "GET /jobs/{id}/progress",
+        ("GET", ["jobs", _, "summary"]) => "GET /jobs/{id}/summary",
+        ("GET", ["workers"]) => "GET /workers",
+        ("POST", ["lease"]) => "POST /lease",
+        ("POST", ["jobs", _, "shards", _, "records"]) => "POST /jobs/{id}/shards/{i}/records",
+        ("POST", ["jobs", _, "shards", _, "done"]) => "POST /jobs/{id}/shards/{i}/done",
+        _ => "other",
+    }
+}
+
+/// Per-endpoint handles into the server's [`MetricsRegistry`].
+struct EndpointMetrics {
+    latency: Arc<Histogram>,
+    classes: [Arc<Counter>; 4],
+}
+
+/// The server side of the metrics registry: request latency and status
+/// counts per endpoint, connection and accept-loop health, lease traffic.
+struct ServerMetrics {
+    registry: MetricsRegistry,
+    endpoints: HashMap<&'static str, EndpointMetrics>,
+    connections: Arc<Counter>,
+    accept_backoff: Arc<Counter>,
+    lease_requests: Arc<Counter>,
+    leases_granted: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let mut endpoints = HashMap::new();
+        for endpoint in ENDPOINTS {
+            endpoints.insert(
+                endpoint,
+                EndpointMetrics {
+                    latency: registry.histogram("http_request_seconds", &[("endpoint", endpoint)]),
+                    classes: STATUS_CLASSES.map(|class| {
+                        registry.counter(
+                            "http_requests_total",
+                            &[("class", class), ("endpoint", endpoint)],
+                        )
+                    }),
+                },
+            );
+        }
+        ServerMetrics {
+            connections: registry.counter("http_connections_total", &[]),
+            accept_backoff: registry.counter("http_accept_backoff_total", &[]),
+            lease_requests: registry.counter("lease_requests_total", &[]),
+            leases_granted: registry.counter("leases_granted_total", &[]),
+            endpoints,
+            registry,
+        }
+    }
+
+    /// Records one served request under its endpoint template.
+    fn request(&self, endpoint: &'static str, status: u16, elapsed: Duration) {
+        if let Some(metrics) = self.endpoints.get(endpoint) {
+            metrics.latency.record_duration(elapsed);
+            metrics.classes[status_class_index(status)].inc();
         }
     }
 }
@@ -93,6 +226,13 @@ struct Shared {
     state: Mutex<JournaledRegistry>,
     replay: ReplayReport,
     leases_reset: usize,
+    metrics: ServerMetrics,
+    /// Latest metrics snapshot each worker piggybacked on `POST /lease`.
+    /// Latest-wins (worker registries are cumulative), merged fresh at
+    /// every `/metrics` scrape — accumulating them here would double-count.
+    worker_metrics: Mutex<BTreeMap<String, MetricsSnapshot>>,
+    /// JSONL access log ([`ServiceConfig::access_log`]).
+    access_log: Option<Mutex<jsonl::JsonlWriter<std::fs::File>>>,
     /// Readiness gate: until set, every endpoint except the probes is 503.
     ready: AtomicBool,
     /// Graceful-shutdown flag: the accept loop exits, in-flight responses
@@ -209,12 +349,42 @@ impl Service {
             ),
         };
         let leases_reset = state.reset_leases()?;
+        let metrics = ServerMetrics::new();
+        // What boot-time replay reconstructed, as gauges: the post-restart
+        // scrape target of the crash-recovery smoke test.
+        let registry = &metrics.registry;
+        registry
+            .gauge("journal_replayed_events", &[])
+            .set(replay.events as u64);
+        registry
+            .gauge("journal_replayed_jobs", &[])
+            .set(replay.jobs as u64);
+        registry
+            .gauge("journal_replayed_records", &[])
+            .set(replay.records as u64);
+        registry
+            .gauge("journal_repaired_bytes", &[])
+            .set(replay.repaired_bytes);
+        registry
+            .gauge("journal_leases_reset", &[])
+            .set(leases_reset as u64);
+        state.set_append_latency(registry.histogram("journal_append_seconds", &[]));
+        let access_log = match &config.access_log {
+            Some(path) => {
+                let (writer, _) = jsonl::append_repaired(path)?;
+                Some(Mutex::new(writer))
+            }
+            None => None,
+        };
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             state: Mutex::new(state),
             replay,
             leases_reset,
+            metrics,
+            worker_metrics: Mutex::new(BTreeMap::new()),
+            access_log,
             ready: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             dead: AtomicBool::new(false),
@@ -244,6 +414,7 @@ impl Service {
                     if accept_shared.stop.load(Ordering::SeqCst) {
                         break;
                     }
+                    accept_shared.metrics.accept_backoff.inc();
                     backoff_ms = (backoff_ms.max(10) * 2).min(1_000);
                     std::thread::sleep(Duration::from_millis(backoff_ms));
                     continue;
@@ -286,6 +457,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServiceConfig,
     });
     let mut writer = stream;
     let mut served = 0usize;
+    shared.metrics.connections.inc();
     loop {
         // Wait for the next request (or a clean close / idle timeout)
         // before parsing, so an idle keep-alive connection dies here and
@@ -313,11 +485,34 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServiceConfig,
         let keep_alive = served < config.keep_alive_max_requests
             && !request.wants_close()
             && !shared.stop.load(Ordering::SeqCst);
+        let clock = Instant::now();
+        let endpoint = endpoint_label(&request.method, &request.segments());
         let (status, content_type, extra, body) = route(&request, shared, epoch);
         if shared.dead.load(Ordering::SeqCst) {
             // An aborted (pseudo-killed) server does not answer; the client
             // sees a dropped connection, exactly like a real crash.
             return;
+        }
+        shared.metrics.request(endpoint, status, clock.elapsed());
+        if let Some(log) = &shared.access_log {
+            if let Ok(mut log) = log.lock() {
+                let _ = log.write(&JsonValue::object(vec![
+                    ("ts_ms".to_string(), JsonValue::from(now_ms(epoch) as usize)),
+                    (
+                        "method".to_string(),
+                        JsonValue::from(request.method.as_str()),
+                    ),
+                    ("path".to_string(), JsonValue::from(request.path.as_str())),
+                    ("status".to_string(), JsonValue::from(status as usize)),
+                    (
+                        "duration_us".to_string(),
+                        JsonValue::from(clock.elapsed().as_micros() as usize),
+                    ),
+                    ("bytes_in".to_string(), JsonValue::from(request.body.len())),
+                    ("bytes_out".to_string(), JsonValue::from(body.len())),
+                    ("keep_alive".to_string(), JsonValue::from(keep_alive)),
+                ]));
+            }
         }
         let extra: Vec<(&str, String)> = extra
             .iter()
@@ -430,6 +625,24 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
                 body: body.to_json(),
             });
         }
+        ("GET", ["metrics"]) => {
+            // Scrapeable before the ready gate, like the probes: a server
+            // replaying a large journal should be observable while it does.
+            let mut snapshot = shared.metrics.registry.snapshot();
+            let workers = shared
+                .worker_metrics
+                .lock()
+                .map_err(|_| ServiceError::Protocol("worker metrics mutex poisoned".to_string()))?;
+            for (worker, worker_snapshot) in workers.iter() {
+                snapshot.merge(&worker_snapshot.clone().with_label("worker", worker));
+            }
+            return Ok(Reply {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                extra: Vec::new(),
+                body: snapshot.render_prometheus(),
+            });
+        }
         _ => {}
     }
     if !ready {
@@ -493,15 +706,35 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
                 body,
             })
         }
+        ("GET", ["jobs", job, "progress"]) => {
+            Ok(Reply::json(&state.registry().progress(job, now)?))
+        }
         ("GET", ["jobs", job, "summary"]) => Ok(Reply::json(&state.registry().summary(job, now)?)),
-        ("GET", ["workers"]) => Ok(Reply::json(&state.registry().workers_status())),
+        ("GET", ["workers"]) => Ok(Reply::json(&state.registry().workers_status(now))),
         ("POST", ["lease"]) => {
-            let worker = body_json
-                .as_ref()
-                .expect("parsed above")
-                .field_str("worker")
-                .map_err(ServiceError::BadRequest)?;
-            Ok(Reply::json(&state.lease(worker, now)?))
+            let body = body_json.as_ref().expect("parsed above");
+            let worker = body.field_str("worker").map_err(ServiceError::BadRequest)?;
+            shared.metrics.lease_requests.inc();
+            // Workers piggyback their cumulative metrics snapshot on lease
+            // polls. Latest-wins storage; a malformed snapshot is dropped
+            // rather than failing the lease (metrics are best-effort, the
+            // lease is not).
+            if let Some(value) = body.get("metrics") {
+                if let Ok(snapshot) = MetricsSnapshot::from_json(value) {
+                    shared
+                        .worker_metrics
+                        .lock()
+                        .map_err(|_| {
+                            ServiceError::Protocol("worker metrics mutex poisoned".to_string())
+                        })?
+                        .insert(worker.to_string(), snapshot);
+                }
+            }
+            let response = state.lease(worker, now)?;
+            if response.get("lease").is_some() {
+                shared.metrics.leases_granted.inc();
+            }
+            Ok(Reply::json(&response))
         }
         ("POST", ["jobs", job, "shards", index, "records"]) => {
             let worker = worker_header(request)?;
@@ -570,6 +803,103 @@ mod tests {
         assert_eq!(jobs.status, 503);
         assert!(jobs.body.contains("unavailable"), "{}", jobs.body);
         handle.stop();
+    }
+
+    #[test]
+    fn metrics_serve_prometheus_text_even_before_ready() {
+        let config = ServiceConfig {
+            ready_holdoff_ms: 60_000,
+            ..ServiceConfig::default()
+        };
+        let handle = Service::bind("127.0.0.1:0", config).expect("bind");
+        let addr = handle.addr_string();
+        // Not ready yet — but scrapeable, like the probes.
+        let ready = client::request(&addr, "GET", "/readyz", &[], None).expect("readyz");
+        assert_eq!(ready.status, 503);
+        let metrics = client::get(&addr, "/metrics").expect("metrics");
+        assert_eq!(metrics.status, 200);
+        assert!(
+            metrics
+                .body
+                .contains("# TYPE http_request_seconds histogram"),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics.body.contains("journal_replayed_events 0"),
+            "{}",
+            metrics.body
+        );
+        handle.stop();
+    }
+
+    #[test]
+    fn metrics_count_requests_per_endpoint_and_class() {
+        let handle = Service::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+        let addr = handle.addr_string();
+        client::get(&addr, "/healthz").expect("healthz");
+        client::get(&addr, "/healthz").expect("healthz");
+        let missing = client::request(&addr, "GET", "/jobs/j000042", &[], None).expect("missing");
+        assert_eq!(missing.status, 404);
+        let metrics = client::get(&addr, "/metrics").expect("metrics");
+        assert!(
+            metrics
+                .body
+                .contains("http_requests_total{class=\"2xx\",endpoint=\"GET /healthz\"} 2"),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics
+                .body
+                .contains("http_requests_total{class=\"4xx\",endpoint=\"GET /jobs/{id}\"} 1"),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics
+                .body
+                .contains("http_request_seconds_count{endpoint=\"GET /healthz\"} 2"),
+            "{}",
+            metrics.body
+        );
+        handle.stop();
+    }
+
+    #[test]
+    fn access_log_records_every_request_as_jsonl() {
+        let path = std::env::temp_dir().join("tats_server_access_log_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let config = ServiceConfig {
+            access_log: Some(path.clone()),
+            ..ServiceConfig::default()
+        };
+        let handle = Service::bind("127.0.0.1:0", config).expect("bind");
+        let addr = handle.addr_string();
+        client::get(&addr, "/healthz").expect("healthz");
+        let missing = client::request(&addr, "GET", "/nope", &[], None).expect("nope");
+        assert_eq!(missing.status, 404);
+        handle.stop();
+        let text = std::fs::read_to_string(&path).expect("access log");
+        let lines: Vec<JsonValue> = text
+            .lines()
+            .map(|line| JsonValue::parse(line).expect("log line"))
+            .collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert_eq!(
+            lines[0].get("path").and_then(JsonValue::as_str),
+            Some("/healthz")
+        );
+        assert_eq!(
+            lines[0].get("status").and_then(JsonValue::as_u64),
+            Some(200)
+        );
+        assert_eq!(
+            lines[1].get("status").and_then(JsonValue::as_u64),
+            Some(404)
+        );
+        assert!(lines[1].get("duration_us").is_some());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

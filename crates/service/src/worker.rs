@@ -27,10 +27,12 @@
 
 use std::collections::BTreeSet;
 use std::process;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use tats_engine::{CampaignSpec, EngineError, Executor, Shard};
-use tats_trace::JsonValue;
+use tats_trace::metrics::{Counter, Histogram};
+use tats_trace::{JsonValue, MetricsRegistry};
 
 use crate::client::{self, Connection};
 use crate::error::ServiceError;
@@ -60,7 +62,23 @@ pub struct WorkerConfig {
     /// Exercises the killed-worker → lease-expiry → resume path without
     /// spawning and killing real processes.
     pub fail_after_records: Option<usize>,
+    /// The worker's metrics shard: lease-wait time, shard/record
+    /// throughput, transient-vs-fatal retry counts, plus everything the
+    /// embedded executor records (per-scenario phase spans, thermal cache
+    /// hits). A cumulative snapshot is piggybacked on `POST /lease` polls —
+    /// throttled to one per [`METRICS_PIGGYBACK_MS`] while work is flowing,
+    /// with a forced final flush before a drained exit so the server's
+    /// `GET /metrics` always ends exact. `None` disables all
+    /// instrumentation (the no-op baseline the bench compares against).
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
+
+/// Minimum interval between metrics snapshots piggybacked on lease polls.
+/// Serializing and shipping the full registry on every poll costs more than
+/// the instrumentation itself; one snapshot per interval (plus the forced
+/// flush before a drained exit) keeps scrape freshness at human timescales
+/// for a fraction of the cost.
+const METRICS_PIGGYBACK_MS: u64 = 500;
 
 impl Default for WorkerConfig {
     fn default() -> Self {
@@ -71,7 +89,57 @@ impl Default for WorkerConfig {
             exit_when_drained: false,
             retry: RetryPolicy::default(),
             fail_after_records: None,
+            metrics: Some(Arc::new(MetricsRegistry::new())),
         }
+    }
+}
+
+/// Pre-registered handles into the worker's [`MetricsRegistry`] (the hot
+/// paths must not take the registry's registration lock).
+struct WorkerMetrics {
+    lease_wait: Arc<Histogram>,
+    shard_seconds: Arc<Histogram>,
+    shards_completed: Arc<Counter>,
+    records_posted: Arc<Counter>,
+    idle_polls: Arc<Counter>,
+    leases_lost: Arc<Counter>,
+    retry_transient: Arc<Counter>,
+    retry_fatal: Arc<Counter>,
+}
+
+impl WorkerMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        WorkerMetrics {
+            lease_wait: registry.histogram("worker_lease_wait_seconds", &[]),
+            shard_seconds: registry.histogram("worker_shard_seconds", &[]),
+            shards_completed: registry.counter("worker_shards_completed_total", &[]),
+            records_posted: registry.counter("worker_records_posted_total", &[]),
+            idle_polls: registry.counter("worker_idle_polls_total", &[]),
+            leases_lost: registry.counter("worker_leases_lost_total", &[]),
+            retry_transient: registry.counter("worker_retry_transient_total", &[]),
+            retry_fatal: registry.counter("worker_retry_fatal_total", &[]),
+        }
+    }
+
+    fn observe_retry(&self, transient: bool) {
+        if transient {
+            self.retry_transient.inc();
+        } else {
+            self.retry_fatal.inc();
+        }
+    }
+}
+
+/// [`RetryPolicy::run`] with failures counted into the worker's registry
+/// when instrumentation is on.
+fn retry_observed<T>(
+    retry: &RetryPolicy,
+    metrics: Option<&WorkerMetrics>,
+    op: impl FnMut() -> Result<T, ServiceError>,
+) -> Result<T, ServiceError> {
+    match metrics {
+        Some(metrics) => retry.run_observed(|_, transient| metrics.observe_retry(transient), op),
+        None => retry.run(op),
     }
 }
 
@@ -146,43 +214,50 @@ fn run_shard(
     retry: RetryPolicy,
     lease: &Lease,
     posted_total: &mut usize,
+    metrics: Option<&WorkerMetrics>,
 ) -> Result<(), ServiceError> {
     let campaign = lease.spec.to_campaign();
     let scenarios = campaign.shard_scenarios(lease.shard);
     let records_path = format!("/jobs/{}/shards/{}/records", lease.job, lease.shard.index);
     let headers = [("x-worker", config.name.clone())];
     let mut failure: Option<ServiceError> = None;
-    let run =
-        Executor::new(config.threads).run(&campaign, &scenarios, &lease.completed, |record| {
-            if let Some(limit) = config.fail_after_records {
-                if *posted_total >= limit {
-                    failure = Some(ServiceError::Aborted(format!(
-                        "injected failure after {limit} records"
-                    )));
-                    return Err(EngineError::InvalidParameter("injected failure".into()));
-                }
+    let mut executor = Executor::new(config.threads);
+    if let Some(registry) = &config.metrics {
+        executor = executor.with_metrics(Arc::clone(registry));
+    }
+    let run = executor.run(&campaign, &scenarios, &lease.completed, |record| {
+        if let Some(limit) = config.fail_after_records {
+            if *posted_total >= limit {
+                failure = Some(ServiceError::Aborted(format!(
+                    "injected failure after {limit} records"
+                )));
+                return Err(EngineError::InvalidParameter("injected failure".into()));
             }
-            let mut line = record.to_json().to_json();
-            line.push('\n');
-            let response = retry.run(|| {
-                connection
-                    .request("POST", &records_path, &headers, Some(&line))
-                    .and_then(client::expect_ok)
-            });
-            match response {
-                Ok(_) => {
-                    *posted_total += 1;
-                    Ok(())
-                }
-                Err(error) => {
-                    failure = Some(error);
-                    Err(EngineError::InvalidParameter("record post failed".into()))
-                }
-            }
+        }
+        let mut line = record.to_json().to_json();
+        line.push('\n');
+        let response = retry_observed(&retry, metrics, || {
+            connection
+                .request("POST", &records_path, &headers, Some(&line))
+                .and_then(client::expect_ok)
         });
+        match response {
+            Ok(_) => {
+                *posted_total += 1;
+                if let Some(metrics) = metrics {
+                    metrics.records_posted.inc();
+                }
+                Ok(())
+            }
+            Err(error) => {
+                failure = Some(error);
+                Err(EngineError::InvalidParameter("record post failed".into()))
+            }
+        }
+    });
     match run {
         Ok(_) => {
-            retry.run(|| {
+            retry_observed(&retry, metrics, || {
                 connection
                     .request(
                         "POST",
@@ -221,25 +296,72 @@ pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, Ser
     let mut report = WorkerReport::default();
     let retry = config.retry.seeded_for(&config.name);
     let mut connection = Connection::new(addr);
+    let metrics = config.metrics.as_deref().map(WorkerMetrics::new);
+    // Time-to-lease starts when the worker begins looking for work and
+    // spans idle polls, so the histogram measures how long work was waited
+    // for, not how fast one HTTP round-trip is.
+    let mut wait_start = Instant::now();
+    // Snapshot shipping state: `metrics_dirty` means the registry holds
+    // work the server has not seen (starts true so the first poll announces
+    // the worker); `flush_metrics` forces the next poll to carry a snapshot
+    // regardless of the throttle (set before a drained exit).
+    let mut metrics_dirty = true;
+    let mut flush_metrics = false;
+    let mut last_snapshot: Option<Instant> = None;
     loop {
-        let lease_request = JsonValue::object(vec![(
-            "worker".to_string(),
-            JsonValue::from(config.name.as_str()),
-        )]);
-        let response = retry.run(|| connection.post_json("/lease", &lease_request))?;
+        let mut fields = vec![("worker".to_string(), JsonValue::from(config.name.as_str()))];
+        let mut snapshot_sent = false;
+        if let Some(registry) = &config.metrics {
+            // Piggyback the cumulative snapshot on the lease poll (the
+            // server keeps the latest per worker and merges at scrape
+            // time) — but only when there is unshipped work and the
+            // throttle allows, or a pre-exit flush demands it.
+            let throttle_open = last_snapshot
+                .is_none_or(|sent| sent.elapsed() >= Duration::from_millis(METRICS_PIGGYBACK_MS));
+            if flush_metrics || (metrics_dirty && throttle_open) {
+                fields.push(("metrics".to_string(), registry.snapshot().to_json()));
+                snapshot_sent = true;
+            }
+        }
+        let lease_request = JsonValue::object(fields);
+        let response = retry_observed(&retry, metrics.as_ref(), || {
+            connection.post_json("/lease", &lease_request)
+        })?;
+        if snapshot_sent {
+            last_snapshot = Some(Instant::now());
+            metrics_dirty = false;
+            flush_metrics = false;
+        }
         if let Some(lease_value) = response.get("lease") {
             let lease = parse_lease(lease_value)?;
+            metrics_dirty = true;
+            let shard_clock = Instant::now();
+            if let Some(metrics) = &metrics {
+                metrics.lease_wait.record_duration(wait_start.elapsed());
+            }
             match run_shard(
                 &mut connection,
                 config,
                 retry,
                 &lease,
                 &mut report.records_posted,
+                metrics.as_ref(),
             ) {
-                Ok(()) => report.shards_completed += 1,
+                Ok(()) => {
+                    report.shards_completed += 1;
+                    if let Some(metrics) = &metrics {
+                        metrics.shards_completed.inc();
+                        metrics.shard_seconds.record_duration(shard_clock.elapsed());
+                    }
+                    wait_start = Instant::now();
+                }
                 Err(ServiceError::Http { status: 409, .. }) => {
                     // Lease lost: our records so far are (deduped) on the
                     // server, the shard belongs to someone else now.
+                    if let Some(metrics) = &metrics {
+                        metrics.leases_lost.inc();
+                    }
+                    wait_start = Instant::now();
                     continue;
                 }
                 // An injected crash must look like one: propagate.
@@ -247,11 +369,21 @@ pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, Ser
             }
         } else {
             report.idle_polls += 1;
+            if let Some(metrics) = &metrics {
+                metrics.idle_polls.inc();
+            }
             let drained = response
                 .get("drained")
                 .and_then(JsonValue::as_bool)
                 .unwrap_or(false);
             if drained && config.exit_when_drained {
+                if config.metrics.is_some() && metrics_dirty {
+                    // The registry holds work the server has not seen;
+                    // flush it on one more poll so the scrape ends exact,
+                    // then exit on the next drained answer.
+                    flush_metrics = true;
+                    continue;
+                }
                 return Ok(report);
             }
             std::thread::sleep(Duration::from_millis(config.poll_ms.max(1)));

@@ -242,6 +242,98 @@ fn killed_worker_is_re_leased_and_resumed_without_duplicates() {
 }
 
 #[test]
+fn fleet_metrics_surface_on_the_server_scrape_and_progress_endpoint() {
+    let server = Service::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+    let addr = server.addr_string();
+    let job = submit(&addr, &spec(), 2);
+    let report = run_worker(
+        &addr,
+        &WorkerConfig {
+            name: "observed".to_string(),
+            poll_ms: 10,
+            exit_when_drained: true,
+            ..WorkerConfig::default()
+        },
+    )
+    .expect("worker");
+    assert_eq!(report.records_posted, 10);
+
+    // The drained poll that exited the worker carried its final snapshot,
+    // so the server-side scrape reports the whole fleet: server-side
+    // request/lease series unlabelled, worker series labelled by name.
+    let metrics = client::get(&addr, "/metrics").expect("metrics");
+    let body = &metrics.body;
+    assert!(
+        body.contains("# TYPE http_request_seconds histogram"),
+        "{body}"
+    );
+    assert!(
+        body.contains(
+            "http_request_seconds_count{endpoint=\"POST /jobs/{id}/shards/{i}/records\"} 10"
+        ),
+        "{body}"
+    );
+    assert!(body.contains("leases_granted_total 2"), "{body}");
+    assert!(
+        body.contains("worker_records_posted_total{worker=\"observed\"} 10"),
+        "{body}"
+    );
+    assert!(
+        body.contains("worker_shards_completed_total{worker=\"observed\"} 2"),
+        "{body}"
+    );
+    // The engine's own instrumentation (phase spans, thermal cache) rides
+    // the same snapshot: 10 scenarios ran, and the geometry-keyed cache
+    // saw exactly one miss per executor run (one shared platform geometry).
+    assert!(
+        body.contains("engine_scenarios_completed_total{worker=\"observed\"} 10"),
+        "{body}"
+    );
+    assert!(
+        body.contains("engine_scenario_seconds_count{worker=\"observed\"} 10"),
+        "{body}"
+    );
+    assert!(
+        body.contains("engine_cache_misses_total{worker=\"observed\"} 2"),
+        "{body}"
+    );
+    assert!(
+        body.contains("engine_cache_hits_total{worker=\"observed\"} 8"),
+        "{body}"
+    );
+    assert!(
+        body.contains("engine_phase_seconds_count{phase=\"scheduling\",worker=\"observed\"} 10"),
+        "{body}"
+    );
+
+    // The progress endpoint agrees with the finished job.
+    let progress = client::get(&addr, &format!("/jobs/{job}/progress")).expect("progress");
+    let progress = JsonValue::parse(&progress.body).expect("progress json");
+    assert_eq!(
+        progress.get("state").and_then(JsonValue::as_str),
+        Some("done")
+    );
+    assert_eq!(progress.get("done").and_then(JsonValue::as_u64), Some(10));
+    assert_eq!(progress.get("total").and_then(JsonValue::as_u64), Some(10));
+    assert_eq!(progress.get("eta_s").and_then(JsonValue::as_f64), Some(0.0));
+
+    // The enriched workers view names the worker with a lifetime rate.
+    let workers = client::get(&addr, "/workers").expect("workers");
+    assert!(
+        workers.body.contains("\"last_seen_age_ms\""),
+        "{}",
+        workers.body
+    );
+    assert!(
+        workers.body.contains("\"records_per_sec\""),
+        "{}",
+        workers.body
+    );
+
+    server.stop();
+}
+
+#[test]
 fn incremental_record_polling_sees_the_stream_grow() {
     let server = Service::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind");
     let addr = server.addr_string();

@@ -10,7 +10,10 @@
 //!   paper's comparison tables;
 //! * [`jsonl`] — streaming JSON-Lines output (one record per line, flushed
 //!   eagerly) used by the batch campaign engine, plus the resume-id scanner;
-//! * [`markdown`] — markdown rendering of the reproduced Tables 1–3.
+//! * [`markdown`] — markdown rendering of the reproduced Tables 1–3;
+//! * [`metrics`] — a lock-free-on-the-hot-path metrics registry (counters,
+//!   gauges, log-linear latency histograms, scoped spans) with Prometheus
+//!   text rendering and snapshot-based cross-worker merging.
 //!
 //! # Examples
 //!
@@ -41,7 +44,9 @@ mod gantt;
 pub mod json;
 pub mod jsonl;
 pub mod markdown;
+pub mod metrics;
 
 pub use error::TraceError;
 pub use gantt::GanttChart;
 pub use json::JsonValue;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
