@@ -658,7 +658,7 @@ fn bench_batch() -> Result<String, Box<dyn std::error::Error>> {
 fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
     use tats_engine::CampaignSpec;
     use tats_service::{client, run_worker, Service, ServiceConfig, WorkerConfig};
-    use tats_trace::{jsonl, JsonValue};
+    use tats_trace::{jsonl, spans, JsonValue};
 
     let campaign = Campaign::new(ExperimentConfig::fast())
         .with_flows(vec![FlowKind::Platform, FlowKind::CoSynthesis])
@@ -941,6 +941,157 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
     let kept = &paired_pct[2..paired_pct.len() - 2];
     let observability_overhead_pct = kept.iter().sum::<f64>() / kept.len() as f64;
 
+    // Tracing overhead: the same paired A/B design, but the arm under test
+    // is a *traced* campaign — the submit carries an `x-trace-id` (what
+    // `tats submit` sends), the server stamps transition spans on the job's
+    // synthetic clock, and the worker wraps every scenario in shard →
+    // scenario → phase spans piggybacked on its record posts. The off arm
+    // is an untraced submit through the same server, so the difference is
+    // the whole span pipeline end to end.
+    let server =
+        Service::bind("127.0.0.1:0", ServiceConfig::default()).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr_string();
+    // Single-job arms paired per round: the finest interleaving the service
+    // drain allows, so slow drift on a shared box cancels within each pair
+    // and the trimmed mean over many pairs resolves a small overhead that
+    // coarser 3-job arms could not.
+    const TRACING_ROUNDS: usize = 45;
+    let mut tracing_walls = [f64::INFINITY; 2];
+    let mut tracing_round_walls = [[f64::NAN; 2]; TRACING_ROUNDS];
+    let submit_body = JsonValue::object(vec![
+        ("spec".to_string(), spec.to_json()),
+        ("shards".to_string(), JsonValue::from(SHARDS)),
+    ])
+    .to_json();
+    let mut next_trace = 0xB0A7_1E55_0000_0001u64;
+    let parse_job = |body: &str| -> Result<String, String> {
+        JsonValue::parse(body)
+            .map_err(|e| format!("submit response: {e}"))?
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "no job id".to_string())
+    };
+    for (round, walls) in tracing_round_walls.iter_mut().enumerate() {
+        let mut pair = [(0usize, true), (1usize, false)];
+        if round % 2 == 1 {
+            pair.reverse();
+        }
+        for (slot, traced) in pair {
+            let headers: Vec<(&str, String)> = if traced {
+                next_trace += 1;
+                vec![("x-trace-id", spans::id_hex(next_trace))]
+            } else {
+                Vec::new()
+            };
+            let response = client::request(&addr, "POST", "/jobs", &headers, Some(&submit_body))
+                .and_then(client::expect_ok)
+                .map_err(|e| format!("submit tracing: {e}"))?;
+            let job = parse_job(&response.body)?;
+            let config = WorkerConfig {
+                name: if traced {
+                    "bench-trace-on".to_string()
+                } else {
+                    "bench-trace-off".to_string()
+                },
+                threads: 1,
+                poll_ms: 5,
+                exit_when_drained: true,
+                ..WorkerConfig::default()
+            };
+            let start = Instant::now();
+            run_worker(&addr, &config).map_err(|e| format!("tracing worker: {e}"))?;
+            let wall = start.elapsed().as_secs_f64();
+            walls[slot] = wall;
+            tracing_walls[slot] = tracing_walls[slot].min(wall);
+            let records = client::get(&addr, &format!("/jobs/{job}/records"))
+                .map_err(|e| format!("records: {e}"))?;
+            let mut lines: Vec<String> = records.body.lines().map(str::to_string).collect();
+            lines.sort_by_key(|line| jsonl::line_id(line));
+            if lines != reference_lines {
+                return Err("traced service run diverged from the in-process run".into());
+            }
+        }
+    }
+    let [traced_wall, untraced_wall] = tracing_walls;
+    let mut tracing_paired_pct: Vec<f64> = tracing_round_walls
+        .iter()
+        .map(|[on, off]| 100.0 * (on - off) / off.max(1e-12))
+        .collect();
+    tracing_paired_pct.sort_by(|a, b| a.total_cmp(b));
+    let trim = TRACING_ROUNDS / 4;
+    let kept = &tracing_paired_pct[trim..tracing_paired_pct.len() - trim];
+    let tracing_overhead_pct = kept.iter().sum::<f64>() / kept.len() as f64;
+
+    // Span-stream verification + wall-clock cross-check on one more traced
+    // job, untimed: drain it while polling its status every millisecond,
+    // then rebuild the span forest the way `tats trace` does and compare
+    // its extent against the externally measured submit→done wall. The
+    // forest is the job's own clock (synthetic-stamp transition spans), so
+    // the two must agree up to poll granularity.
+    next_trace += 1;
+    let headers: Vec<(&str, String)> = vec![("x-trace-id", spans::id_hex(next_trace))];
+    let response = client::request(&addr, "POST", "/jobs", &headers, Some(&submit_body))
+        .and_then(client::expect_ok)
+        .map_err(|e| format!("submit trace verify: {e}"))?;
+    let job = parse_job(&response.body)?;
+    let start = Instant::now();
+    let verify_worker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            run_worker(
+                &addr,
+                &WorkerConfig {
+                    name: "bench-trace-verify".to_string(),
+                    threads: 1,
+                    poll_ms: 5,
+                    exit_when_drained: true,
+                    ..WorkerConfig::default()
+                },
+            )
+        })
+    };
+    let measured_wall = loop {
+        let status =
+            client::get(&addr, &format!("/jobs/{job}")).map_err(|e| format!("status: {e}"))?;
+        if status.body.contains("\"state\":\"done\"") {
+            break start.elapsed().as_secs_f64();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    };
+    verify_worker
+        .join()
+        .map_err(|_| "verify worker panicked".to_string())?
+        .map_err(|e| format!("verify worker: {e}"))?;
+    let stream = client::get(&addr, &format!("/jobs/{job}/spans"))
+        .map_err(|e| format!("spans: {e}"))?
+        .body;
+    server.stop();
+    let parsed: Vec<spans::SpanEvent> = stream
+        .lines()
+        .map(spans::SpanEvent::parse_line)
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("span line: {e}"))?;
+    let span_count = parsed.len();
+    let scenario_spans = parsed.iter().filter(|s| s.name == "scenario").count();
+    if scenario_spans != scenarios.len() {
+        return Err(format!(
+            "traced job produced {scenario_spans} scenario spans for {} scenarios",
+            scenarios.len()
+        )
+        .into());
+    }
+    let forest = spans::SpanForest::build(parsed);
+    let trace_wall = forest.wall_us() as f64 / 1e6;
+    let wall_match_pct = 100.0 * (trace_wall - measured_wall).abs() / measured_wall.max(1e-12);
+    if wall_match_pct > 5.0 {
+        return Err(format!(
+            "span-forest wall {trace_wall:.6}s diverged from the measured job wall \
+             {measured_wall:.6}s by {wall_match_pct:.2}%"
+        )
+        .into());
+    }
+
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         concat!(
@@ -964,7 +1115,14 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
             "  \"observability\": {{ \"workers\": 1, \"runs_each\": {}, ",
             "\"scenarios_per_run\": {}, ",
             "\"metrics_on_wall_s\": {:.6}, \"metrics_off_wall_s\": {:.6}, ",
-            "\"overhead_pct\": {:.2}, \"scrape_series\": {} }}\n",
+            "\"overhead_pct\": {:.2}, \"scrape_series\": {} }},\n",
+            "  \"tracing\": {{ \"workers\": 1, \"runs_each\": {}, ",
+            "\"scenarios_per_run\": {}, ",
+            "\"traced_wall_s\": {:.6}, \"untraced_wall_s\": {:.6}, ",
+            "\"overhead_pct\": {:.2}, ",
+            "\"verify\": {{ \"spans\": {}, \"scenario_spans\": {}, ",
+            "\"trace_wall_s\": {:.6}, \"measured_wall_s\": {:.6}, ",
+            "\"wall_match_pct\": {:.2} }} }}\n",
             "}}\n"
         ),
         scenarios.len(),
@@ -992,6 +1150,16 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
         metrics_off_wall,
         observability_overhead_pct,
         scrape_series,
+        TRACING_ROUNDS,
+        scenarios.len(),
+        traced_wall,
+        untraced_wall,
+        tracing_overhead_pct,
+        span_count,
+        scenario_spans,
+        trace_wall,
+        measured_wall,
+        wall_match_pct,
     );
     Ok(json)
 }

@@ -85,6 +85,9 @@ COMMANDS:
                                                       request (diagnostic / benchmarking)
                    --access-log events.jsonl          append one JSONL line per served
                                                       request (GET /metrics for counters)
+                   --trace-log spans.jsonl            append every span the service sees
+                                                      (request spans + merged job streams;
+                                                      feed the file to tats trace)
     worker       Lease and run campaign shards from a tats serve instance
                    --connect HOST:PORT                server address (required)
                    --threads 0 --poll-ms 200          executor threads, idle poll interval
@@ -100,6 +103,15 @@ COMMANDS:
                                                       from the last x-next-from; prints a
                                                       progress/ETA line to stderr each second)
                    --out results.jsonl --poll-ms 200  write fetched records to a file
+                   --trace-seed 42                    pin the campaign trace id (default:
+                                                      derived from clock + pid; the id is
+                                                      echoed so spans can be correlated)
+    trace        Explore a span stream (from serve --trace-log or GET /jobs/{id}/spans)
+                   tats trace spans.jsonl             span forest, critical path, per-phase
+                                                      and benchmark x policy breakdowns,
+                                                      lease-to-first-record latency
+                   --chrome out.json                  write a Chrome trace-event timeline
+                                                      (chrome://tracing, ui.perfetto.dev)
     export       Export a benchmark task graph
                    --benchmark Bm1..Bm4 --format tgff|dot
     help         Show this message
@@ -793,6 +805,7 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
         lease_ttl_ms,
         journal,
         access_log: options.value("access-log").map(std::path::PathBuf::from),
+        trace_log: options.value("trace-log").map(std::path::PathBuf::from),
         ..tats_service::ServiceConfig::default()
     };
     if options.switch("no-keep-alive") {
@@ -874,15 +887,31 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
         }
     }
 
-    let response = client::post_json(
-        addr,
-        "/jobs",
-        &JsonValue::object(vec![
-            ("spec".to_string(), spec.to_json()),
-            ("shards".to_string(), JsonValue::from(shards)),
-        ]),
-    )
-    .map_err(execution_error)?;
+    // Every submission is traced end-to-end: the trace id sent with the job
+    // seeds the whole campaign's span stream (`GET /jobs/{id}/spans`,
+    // `tats trace`). `--trace-seed` pins it for reproducible streams; the
+    // default mixes the clock and pid so concurrent submitters differ.
+    let trace_seed = match options.value("trace-seed") {
+        Some(text) => text.parse::<u64>().map_err(|_| CliError::InvalidValue {
+            option: "trace-seed".to_string(),
+            value: text.to_string(),
+            expected: "an unsigned integer".to_string(),
+        })?,
+        None => tats_trace::spans::now_us() ^ u64::from(std::process::id()).rotate_left(40),
+    };
+    let trace_id = tats_trace::spans::SpanIdGen::seeded(trace_seed).next_id();
+    let trace_hex = tats_trace::spans::id_hex(trace_id);
+    let submit_body = JsonValue::object(vec![
+        ("spec".to_string(), spec.to_json()),
+        ("shards".to_string(), JsonValue::from(shards)),
+    ])
+    .to_json();
+    let submit_headers = [("x-trace-id", trace_hex.clone())];
+    let response = client::request(addr, "POST", "/jobs", &submit_headers, Some(&submit_body))
+        .and_then(client::expect_ok)
+        .map_err(execution_error)?;
+    let response = JsonValue::parse(&response.body)
+        .map_err(|e| CliError::Execution(format!("submit response from server: {e}")))?;
     let job = response
         .get("job")
         .and_then(JsonValue::as_str)
@@ -908,13 +937,15 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
     }
 
     let mut out = format!(
-        "submitted job {job}: {} scenario(s) in {} shard(s) on {addr} (fingerprint {fingerprint})\n",
+        "submitted job {job}: {} scenario(s) in {} shard(s) on {addr} \
+         (fingerprint {fingerprint}, trace {trace_hex})\n",
         campaign.len(),
         shard_count,
     );
     if !options.switch("wait") {
         out.push_str(&format!(
-            "poll with: curl http://{addr}/jobs/{job}  (records: /jobs/{job}/records)\n"
+            "poll with: curl http://{addr}/jobs/{job}  (records: /jobs/{job}/records, \
+             spans: /jobs/{job}/spans)\n"
         ));
         return Ok(out);
     }
@@ -1004,6 +1035,26 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
                     if let Some(eta) = progress.get("eta_s").and_then(JsonValue::as_f64) {
                         line.push_str(&format!(", eta {eta:.0}s"));
                     }
+                    // Name the engine phase with the worst tail latency so
+                    // an operator sees *where* a slow campaign is slow.
+                    if let Some((phase, p99_us)) = progress
+                        .get("phases")
+                        .and_then(JsonValue::as_array)
+                        .into_iter()
+                        .flatten()
+                        .filter_map(|entry| {
+                            Some((
+                                entry.get("phase")?.as_str()?,
+                                entry.get("p99_us")?.as_u64()?,
+                            ))
+                        })
+                        .max_by_key(|&(_, p99_us)| p99_us)
+                    {
+                        line.push_str(&format!(
+                            ", slow phase: {phase} p99 {}ms",
+                            p99_us.div_ceil(1_000)
+                        ));
+                    }
                     eprintln!("{line}");
                 }
             }
@@ -1017,6 +1068,186 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
     match out_path {
         Some(path) => out.push_str(&format!("fetched {fetched} record(s) to {path}\n")),
         None => out.push_str(&format!("fetched {fetched} record(s)\n")),
+    }
+    Ok(out)
+}
+
+/// `tats trace` — explore a span stream: reconstruct the span forest of a
+/// campaign (from `tats serve --trace-log` output or a drained
+/// `GET /jobs/{id}/spans` stream), print the critical path, per-phase and
+/// per-axis breakdowns and per-shard lease-to-first-record latency, and
+/// optionally export a Chrome trace-event timeline (`--chrome out.json`)
+/// loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn trace(input: Option<&str>, options: &Options) -> Result<String, CliError> {
+    use std::collections::BTreeMap;
+    use tats_trace::spans::{chrome_trace, SpanEvent, SpanForest};
+    use tats_trace::JsonValue;
+
+    let path = input.ok_or_else(|| {
+        CliError::Execution("trace needs a span file: tats trace <spans.jsonl>".to_string())
+    })?;
+    let text = std::fs::read_to_string(path).map_err(execution_error)?;
+    let mut spans = Vec::new();
+    let mut ignored = 0usize;
+    for line in text.lines().filter(|line| !line.trim().is_empty()) {
+        // Mixed streams are fine: non-span lines (an access log sharing the
+        // file, a partial tail) are counted and skipped, not fatal.
+        if !SpanEvent::is_span_line(line) {
+            ignored += 1;
+            continue;
+        }
+        match SpanEvent::parse_line(line) {
+            Ok(span) => spans.push(span),
+            Err(_) => ignored += 1,
+        }
+    }
+    if spans.is_empty() {
+        return Err(CliError::Execution(format!(
+            "'{path}' holds no span events"
+        )));
+    }
+    // Keep the first occurrence of every span id: a re-leased shard re-posts
+    // deterministic ids, and a crash-window trace log may repeat a batch.
+    let mut seen = std::collections::BTreeSet::new();
+    spans.retain(|span| seen.insert(span.span_id));
+    let traces: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.trace_id).collect();
+    let forest = SpanForest::build(spans);
+
+    let mut out = format!(
+        "span trace from {path}: {} span(s), {} trace(s), wall-clock {:.3} s\n",
+        forest.len(),
+        traces.len(),
+        forest.wall_us() as f64 / 1e6,
+    );
+    if ignored > 0 {
+        out.push_str(&format!("({ignored} non-span line(s) ignored)\n"));
+    }
+
+    // Critical path: the chain of spans that had to finish for the campaign
+    // to finish, each hop with its own duration and salient attributes.
+    let critical = forest.critical_path();
+    let names: Vec<&str> = critical.iter().map(|span| span.name.as_str()).collect();
+    out.push_str(&format!(
+        "\ncritical path ({} hop(s), {:.3} s): {}\n",
+        critical.len(),
+        critical
+            .first()
+            .map_or(0, |root| critical.last().expect("nonempty").end_us
+                - root.start_us) as f64
+            / 1e6,
+        names.join(" -> "),
+    ));
+    for span in &critical {
+        let mut attrs: Vec<String> = span
+            .attrs
+            .iter()
+            .filter(|(key, _)| {
+                ["benchmark", "policy", "shard", "worker", "job"].contains(&key.as_str())
+            })
+            .map(|(key, value)| format!("{key}={value}"))
+            .collect();
+        attrs.sort();
+        out.push_str(&format!(
+            "  {:<12} {:>12.3} ms  {}\n",
+            span.name,
+            span.duration_us() as f64 / 1e3,
+            attrs.join(" "),
+        ));
+    }
+
+    // Per-phase totals across every scenario.
+    out.push_str("\nper-phase totals:\n");
+    for phase in ["scheduling", "thermal", "floorplan", "grid"] {
+        let total = forest.total_us_where(|span| span.name == phase);
+        if total > 0 {
+            out.push_str(&format!("  {phase:<12} {:>12.3} ms\n", total as f64 / 1e3));
+        }
+    }
+
+    // Thermal-solve time by benchmark x policy: phase spans are children of
+    // their scenario span, which carries the axis attributes.
+    let mut thermal: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for scenario in forest.spans().iter().filter(|span| span.name == "scenario") {
+        let benchmark = scenario.attrs.get("benchmark").cloned().unwrap_or_default();
+        let policy = scenario.attrs.get("policy").cloned().unwrap_or_default();
+        let solve: u64 = forest
+            .children_of(scenario.span_id)
+            .filter(|child| child.name == "thermal")
+            .map(SpanEvent::duration_us)
+            .sum();
+        *thermal.entry((benchmark, policy)).or_insert(0) += solve;
+    }
+    if !thermal.is_empty() {
+        let rows: Vec<Vec<String>> = thermal
+            .iter()
+            .map(|((benchmark, policy), total)| {
+                vec![
+                    benchmark.clone(),
+                    policy.clone(),
+                    format!("{:.3}", *total as f64 / 1e3),
+                ]
+            })
+            .collect();
+        out.push_str("\nthermal solve by benchmark x policy:\n\n");
+        out.push_str(&markdown::markdown_table(
+            &["benchmark", "policy", "thermal ms"],
+            &rows,
+        ));
+    }
+
+    // Lease-to-first-record latency per shard, from the server's transition
+    // spans (both are zero-width stamps on the job's synthetic clock).
+    let mut lease_at: BTreeMap<String, u64> = BTreeMap::new();
+    let mut first_record_at: BTreeMap<String, u64> = BTreeMap::new();
+    for span in forest.spans() {
+        let Some(shard) = span.attrs.get("shard") else {
+            continue;
+        };
+        match span.name.as_str() {
+            "lease" => {
+                lease_at
+                    .entry(shard.clone())
+                    .and_modify(|at| *at = (*at).min(span.start_us))
+                    .or_insert(span.start_us);
+            }
+            "ingest" => {
+                first_record_at
+                    .entry(shard.clone())
+                    .and_modify(|at| *at = (*at).min(span.start_us))
+                    .or_insert(span.start_us);
+            }
+            _ => {}
+        }
+    }
+    if !lease_at.is_empty() {
+        out.push_str("\nlease-to-first-record latency per shard:\n");
+        for (shard, leased) in &lease_at {
+            match first_record_at.get(shard) {
+                Some(first) => out.push_str(&format!(
+                    "  shard {shard:<6} {:>12.3} ms\n",
+                    first.saturating_sub(*leased) as f64 / 1e3
+                )),
+                None => out.push_str(&format!("  shard {shard:<6}         (no records)\n")),
+            }
+        }
+    }
+
+    // Chrome trace-event export, validated by re-parsing so a file Perfetto
+    // rejects never leaves this command silently.
+    if let Some(chrome_path) = options.value("chrome") {
+        let exported = chrome_trace(forest.spans());
+        let serialized = exported.to_json();
+        JsonValue::parse(&serialized)
+            .map_err(|e| CliError::Execution(format!("chrome export does not round-trip: {e}")))?;
+        std::fs::write(chrome_path, &serialized).map_err(execution_error)?;
+        let events = exported
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .map_or(0, <[JsonValue]>::len);
+        out.push_str(&format!(
+            "\nwrote {events} trace event(s) to {chrome_path} \
+             (load in chrome://tracing or https://ui.perfetto.dev)\n"
+        ));
     }
     Ok(out)
 }
@@ -1059,6 +1290,7 @@ mod tests {
             "serve",
             "worker",
             "submit",
+            "trace",
             "export",
         ] {
             assert!(text.contains(command), "help must mention {command}");
@@ -1074,6 +1306,9 @@ mod tests {
             "--wait",
             "--lease-ttl-ms",
             "--exit-when-drained",
+            "--trace-log",
+            "--trace-seed",
+            "--chrome",
         ] {
             assert!(text.contains(option), "help must document {option}");
         }
@@ -1604,6 +1839,129 @@ mod tests {
         assert!(error.to_string().contains("--connect"), "{error}");
         let error = submit(&opts(&[], &["connect"], &[])).expect_err("no connect");
         assert!(error.to_string().contains("--connect"), "{error}");
+    }
+
+    #[test]
+    fn trace_requires_a_file_with_spans() {
+        let error = trace(None, &opts(&[], &["chrome"], &[])).expect_err("no input");
+        assert!(error.to_string().contains("tats trace"), "{error}");
+
+        let path = std::env::temp_dir().join("tats_cli_trace_empty_test.jsonl");
+        std::fs::write(&path, "{\"id\":\"not-a-span\"}\n").expect("write");
+        let error = trace(
+            Some(path.to_str().expect("utf8")),
+            &opts(&[], &["chrome"], &[]),
+        )
+        .expect_err("no spans");
+        assert!(error.to_string().contains("no span events"), "{error}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Tentpole end-to-end: submit a traced campaign against a live service,
+    /// drain the merged span stream from `GET /jobs/{id}/spans`, and explore
+    /// it with `tats trace --chrome`. The report must name the critical path
+    /// and per-phase breakdowns, the reported wall-clock must match the span
+    /// forest, and the Chrome export must survive a JSON round-trip.
+    #[test]
+    fn trace_explores_a_live_campaign_span_stream() {
+        let server =
+            tats_service::Service::bind("127.0.0.1:0", tats_service::ServiceConfig::default())
+                .expect("bind");
+        let addr = server.addr_string();
+        {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let _ = tats_service::run_worker(
+                    &addr,
+                    &tats_service::WorkerConfig {
+                        name: "cli-trace-worker".to_string(),
+                        poll_ms: 10,
+                        ..tats_service::WorkerConfig::default()
+                    },
+                );
+            });
+        }
+        let submit_out = submit(&opts(
+            &[
+                "--connect",
+                &addr,
+                "--benchmarks",
+                "Bm1",
+                "--policies",
+                "baseline,thermal",
+                "--shards",
+                "2",
+                "--trace-seed",
+                "42",
+                "--wait",
+                "--poll-ms",
+                "20",
+            ],
+            &[
+                "connect",
+                "benchmarks",
+                "policies",
+                "shards",
+                "trace-seed",
+                "poll-ms",
+            ],
+            &["wait"],
+        ))
+        .expect("submit --wait");
+        assert!(submit_out.contains("trace "), "{submit_out}");
+
+        let spans_body = tats_service::client::get(&addr, "/jobs/j000001/spans")
+            .expect("GET spans")
+            .body;
+        server.stop();
+        assert!(!spans_body.is_empty(), "span stream must not be empty");
+
+        let spans_path = std::env::temp_dir().join("tats_cli_trace_e2e_spans.jsonl");
+        let chrome_path = std::env::temp_dir().join("tats_cli_trace_e2e_chrome.json");
+        std::fs::write(&spans_path, &spans_body).expect("write spans");
+        let report = trace(
+            Some(spans_path.to_str().expect("utf8")),
+            &opts(
+                &["--chrome", chrome_path.to_str().expect("utf8")],
+                &["chrome"],
+                &[],
+            ),
+        )
+        .expect("trace report");
+
+        assert!(report.contains("critical path"), "{report}");
+        assert!(report.contains("campaign"), "{report}");
+        assert!(report.contains("per-phase totals"), "{report}");
+        assert!(
+            report.contains("thermal solve by benchmark x policy"),
+            "{report}"
+        );
+        assert!(report.contains("lease-to-first-record latency"), "{report}");
+        assert!(report.contains("| Bm1"), "{report}");
+
+        // The reported wall-clock is the span forest's own extent: the
+        // report reproduces the campaign wall-clock exactly (within the 1%
+        // acceptance bound by construction).
+        let forest = tats_trace::spans::SpanForest::build(
+            spans_body
+                .lines()
+                .filter(|line| tats_trace::spans::SpanEvent::is_span_line(line))
+                .map(|line| tats_trace::spans::SpanEvent::parse_line(line).expect("span"))
+                .collect(),
+        );
+        let expected = format!("wall-clock {:.3} s", forest.wall_us() as f64 / 1e6);
+        assert!(report.contains(&expected), "{report} vs {expected}");
+
+        // Chrome export: on disk, valid JSON, and shaped for chrome://tracing.
+        let exported = std::fs::read_to_string(&chrome_path).expect("chrome file");
+        let parsed = tats_trace::JsonValue::parse(&exported).expect("chrome JSON parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(tats_trace::JsonValue::as_array)
+            .expect("traceEvents");
+        assert!(!events.is_empty(), "chrome export must carry events");
+        let _ = std::fs::remove_file(&spans_path);
+        let _ = std::fs::remove_file(&chrome_path);
     }
 
     #[test]

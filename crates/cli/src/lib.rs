@@ -14,6 +14,7 @@
 //! tats serve --port 7070
 //! tats worker --connect 127.0.0.1:7070
 //! tats submit --connect 127.0.0.1:7070 --benchmarks all --shards 4 --wait
+//! tats trace spans.jsonl --chrome trace.json
 //! tats export --benchmark Bm1 --format tgff
 //! ```
 //!
@@ -58,7 +59,14 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
             &["resume", "full", "dry-run"],
         ),
         "serve" => (
-            &["host", "port", "lease-ttl-ms", "journal", "access-log"],
+            &[
+                "host",
+                "port",
+                "lease-ttl-ms",
+                "journal",
+                "access-log",
+                "trace-log",
+            ],
             &["no-keep-alive"],
         ),
         "worker" => (
@@ -78,9 +86,11 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
                 "shards",
                 "poll-ms",
                 "out",
+                "trace-seed",
             ],
             &["full", "wait"],
         ),
+        "trace" => (&["chrome"], &[]),
         "export" => (&["benchmark", "format"], &[]),
         _ => (&[], &[]),
     }
@@ -105,9 +115,19 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
 /// ```
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let command = args.first().ok_or(CliError::MissingCommand)?;
-    let rest = &args[1..];
+    let mut rest: Vec<String> = args[1..].to_vec();
+    // `tats trace <spans.jsonl>` takes its input as the one positional
+    // argument every other command rejects.
+    let positional = if command == "trace" {
+        match rest.first() {
+            Some(first) if !first.starts_with("--") => Some(rest.remove(0)),
+            _ => None,
+        }
+    } else {
+        None
+    };
     let (values, switches) = command_options(command);
-    let options = Options::parse(rest, values, switches)?;
+    let options = Options::parse(&rest, values, switches)?;
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(commands::help()),
         "tables" => commands::tables(&options),
@@ -121,6 +141,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "serve" => commands::serve(&options),
         "worker" => commands::worker(&options),
         "submit" => commands::submit(&options),
+        "trace" => commands::trace(positional.as_deref(), &options),
         "export" => commands::export(&options),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

@@ -27,7 +27,8 @@ use tats_core::{
     ThermalModelCache,
 };
 use tats_thermal::{Floorplan, GridModel, GridSolver};
-use tats_trace::metrics::{Counter, Histogram};
+use tats_trace::metrics::{Counter, Gauge, Histogram};
+use tats_trace::spans::{self, SpanEvent, SpanIdGen, SpanKind};
 use tats_trace::{JsonValue, MetricsRegistry};
 
 use crate::error::EngineError;
@@ -251,6 +252,16 @@ struct EngineMetrics {
     failed: Arc<Counter>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
+    /// Iterations per grid solve (Gauss–Seidel sweeps or PCG iterations;
+    /// the direct Cholesky path records 0). Raw counts, not seconds.
+    pcg_iterations: Arc<Histogram>,
+    /// Residual of the most recent grid solve, in 1e-12 units (gauges are
+    /// integers; the span attribute carries the exact float).
+    solver_residual: Arc<Gauge>,
+    /// Banded-Cholesky factorisations: one per grid-model cache miss with
+    /// the direct backend — the expensive rebuild a diverging cache
+    /// hit-rate turns into.
+    cholesky_refactors: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -266,20 +277,54 @@ impl EngineMetrics {
             failed: registry.counter("engine_scenarios_failed_total", &[]),
             cache_hits: registry.counter("engine_cache_hits_total", &[]),
             cache_misses: registry.counter("engine_cache_misses_total", &[]),
+            pcg_iterations: registry.histogram("engine_pcg_iterations", &[]),
+            solver_residual: registry.gauge("engine_solver_residual", &[]),
+            cholesky_refactors: registry.counter("engine_cholesky_refactors_total", &[]),
         }
     }
 }
 
-/// Evaluates one scenario with this worker's caches.
+/// The distributed-tracing context a service worker threads through the
+/// executor: when set (see [`Executor::with_trace`]), every scenario emits
+/// a span tree — a `scenario` span under `parent_span`, with `scheduling` /
+/// `thermal` / `floorplan` / `grid` phase children — delivered alongside
+/// its record through [`Executor::run_traced`]'s sink.
+///
+/// Span ids are derived statelessly from `(trace_id, scenario id, phase)`
+/// via [`SpanIdGen::derive`], so the tree's ids do not depend on thread
+/// interleaving and a scenario re-run after a crash reproduces them
+/// exactly (the server's span stream dedups on span id).
+#[derive(Debug, Clone)]
+pub struct TraceContext {
+    /// Campaign-wide trace id stamped on every span.
+    pub trace_id: u64,
+    /// Parent of the per-scenario spans (the worker's shard span).
+    pub parent_span: u64,
+    /// Worker name, stamped as the `worker` attribute (one Chrome-trace
+    /// track per worker).
+    pub worker: String,
+}
+
+impl TraceContext {
+    /// The deterministic span-id seed of one scenario of this trace.
+    fn scenario_seed(&self, scenario_id: u64) -> u64 {
+        self.trace_id ^ scenario_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Evaluates one scenario with this worker's caches, emitting its span
+/// tree when a trace context is set.
 fn run_scenario(
     scenario: &Scenario,
     campaign: &Campaign,
     library: &tats_techlib::TechLibrary,
     caches: &mut WorkerCaches,
     metrics: Option<&EngineMetrics>,
-) -> Result<ScenarioRecord, EngineError> {
+    trace: Option<&TraceContext>,
+) -> Result<(ScenarioRecord, Vec<SpanEvent>), EngineError> {
     let experiment = campaign.experiment();
     let scenario_clock = Instant::now();
+    let scenario_start_us = trace.map(|_| spans::now_us());
     let graph = scenario.task_graph()?;
     let (schedule, evaluation, floorplan, phases): (_, ScheduleEvaluation, Floorplan, FlowPhases) =
         match scenario.flow {
@@ -302,11 +347,24 @@ fn run_scenario(
         };
 
     let grid_clock = Instant::now();
+    let mut solver_telemetry: Option<(usize, f64)> = None;
     let grid_max_temp_c = match scenario.solver {
         None => None,
         Some(solver) => {
-            let model = caches.grid_model(&floorplan, campaign, solver)?;
-            Some(model.steady_state(&evaluation.per_pe_power)?.max_c())
+            let misses_before = caches.grid.stats().misses;
+            let max_c = {
+                let model = caches.grid_model(&floorplan, campaign, solver)?;
+                let mut workspace = model.workspace();
+                let temps = model.steady_state_with(&evaluation.per_pe_power, &mut workspace)?;
+                solver_telemetry = Some((workspace.last_iterations(), workspace.last_residual()));
+                temps.max_c()
+            };
+            if solver == GridSolver::BandedCholesky && caches.grid.stats().misses > misses_before {
+                if let Some(metrics) = metrics {
+                    metrics.cholesky_refactors.inc();
+                }
+            }
+            Some(max_c)
         }
     };
 
@@ -321,32 +379,102 @@ fn run_scenario(
         if scenario.solver.is_some() {
             metrics.grid_seconds.record_duration(grid_clock.elapsed());
         }
+        if let Some((iterations, residual)) = solver_telemetry {
+            metrics.pcg_iterations.record(iterations as u64);
+            metrics.solver_residual.set((residual * 1e12) as u64);
+        }
         metrics
             .scenario_seconds
             .record_duration(scenario_clock.elapsed());
     }
 
+    let mut span_events = Vec::new();
+    if let (Some(trace), Some(start_us)) = (trace, scenario_start_us) {
+        let seed = trace.scenario_seed(scenario.id);
+        let scenario_span = SpanIdGen::derive(seed, "scenario");
+        let end_us = start_us + scenario_clock.elapsed().as_micros() as u64;
+        let stamp = |span: SpanEvent| span.attr("worker", trace.worker.as_str());
+        span_events.push(stamp(
+            SpanEvent::new(
+                trace.trace_id,
+                scenario_span,
+                Some(trace.parent_span),
+                "scenario",
+                SpanKind::Worker,
+                start_us,
+                end_us,
+            )
+            .attr("key", scenario.key())
+            .attr("benchmark", scenario.benchmark.name())
+            .attr("flow", scenario.flow.name())
+            .attr("policy", policy_slug(scenario.policy))
+            .attr("seed", scenario.seed.to_string()),
+        ));
+        // Phase children laid out sequentially from the scenario start:
+        // exact measured durations, in execution order (their sum is at
+        // most the scenario's wall time, so nesting holds).
+        type NamedPhase = (&'static str, u64, Vec<(&'static str, String)>);
+        let mut cursor = start_us;
+        let mut named_phases: Vec<NamedPhase> = vec![
+            ("scheduling", phases.scheduling.as_micros() as u64, vec![]),
+            ("thermal", phases.thermal.as_micros() as u64, vec![]),
+        ];
+        if scenario.flow == FlowKind::CoSynthesis {
+            named_phases.push(("floorplan", phases.floorplan.as_micros() as u64, vec![]));
+        }
+        if let (Some(solver), Some((iterations, residual))) = (scenario.solver, solver_telemetry) {
+            named_phases.push((
+                "grid",
+                grid_clock.elapsed().as_micros() as u64,
+                vec![
+                    ("solver", solver.name().to_string()),
+                    ("iterations", iterations.to_string()),
+                    ("residual", format!("{residual:e}")),
+                ],
+            ));
+        }
+        for (name, duration_us, attrs) in named_phases {
+            let mut span = SpanEvent::new(
+                trace.trace_id,
+                SpanIdGen::derive(seed, name),
+                Some(scenario_span),
+                name,
+                SpanKind::Worker,
+                cursor,
+                cursor + duration_us,
+            );
+            for (key, value) in attrs {
+                span = span.attr(key, value);
+            }
+            span_events.push(stamp(span));
+            cursor += duration_us;
+        }
+    }
+
     let energy: f64 = schedule.assignments().iter().map(|a| a.energy()).sum();
-    Ok(ScenarioRecord {
-        id: scenario.id,
-        key: scenario.key(),
-        benchmark: scenario.benchmark.name().to_string(),
-        flow: scenario.flow.name().to_string(),
-        policy: policy_slug(scenario.policy).to_string(),
-        seed: scenario.seed,
-        solver: scenario.solver.map(|s| s.name().to_string()),
-        total_power: evaluation.total_average_power,
-        max_temp_c: evaluation.max_temperature_c,
-        avg_temp_c: evaluation.avg_temperature_c,
-        makespan: evaluation.makespan,
-        meets_deadline: evaluation.meets_deadline,
-        energy,
-        grid_max_temp_c,
-    })
+    Ok((
+        ScenarioRecord {
+            id: scenario.id,
+            key: scenario.key(),
+            benchmark: scenario.benchmark.name().to_string(),
+            flow: scenario.flow.name().to_string(),
+            policy: policy_slug(scenario.policy).to_string(),
+            seed: scenario.seed,
+            solver: scenario.solver.map(|s| s.name().to_string()),
+            total_power: evaluation.total_average_power,
+            max_temp_c: evaluation.max_temperature_c,
+            avg_temp_c: evaluation.avg_temperature_c,
+            makespan: evaluation.makespan,
+            meets_deadline: evaluation.meets_deadline,
+            energy,
+            grid_max_temp_c,
+        },
+        span_events,
+    ))
 }
 
 enum Message {
-    Record(Box<ScenarioRecord>),
+    Record(Box<(ScenarioRecord, Vec<SpanEvent>)>),
     Failed(Box<EngineError>),
     WorkerDone(CacheStats),
 }
@@ -356,6 +484,7 @@ enum Message {
 pub struct Executor {
     threads: usize,
     metrics: Option<Arc<MetricsRegistry>>,
+    trace: Option<TraceContext>,
 }
 
 impl Executor {
@@ -372,6 +501,7 @@ impl Executor {
         Executor {
             threads,
             metrics: None,
+            trace: None,
         }
     }
 
@@ -382,6 +512,16 @@ impl Executor {
     #[must_use]
     pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Emits a deterministic span tree per scenario (see [`TraceContext`]),
+    /// delivered with each record through [`Executor::run_traced`]'s sink.
+    /// Without this, `run_traced` hands every sink call an empty span
+    /// slice and tracing costs nothing on the scenario hot path.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -411,6 +551,26 @@ impl Executor {
     where
         F: FnMut(&ScenarioRecord) -> Result<(), EngineError>,
     {
+        self.run_traced(campaign, scenarios, skip, |record, _spans| sink(record))
+    }
+
+    /// Like [`Executor::run`], but the sink also receives each scenario's
+    /// completed span tree (empty unless [`Executor::with_trace`] is set) —
+    /// how a service worker piggybacks span batches on record posts.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run`].
+    pub fn run_traced<F>(
+        &self,
+        campaign: &Campaign,
+        scenarios: &[Scenario],
+        skip: &BTreeSet<u64>,
+        mut sink: F,
+    ) -> Result<BatchRun, EngineError>
+    where
+        F: FnMut(&ScenarioRecord, &[SpanEvent]) -> Result<(), EngineError>,
+    {
         let todo: Vec<&Scenario> = scenarios.iter().filter(|s| !skip.contains(&s.id)).collect();
         let skipped = scenarios.len() - todo.len();
         let workers = self.threads.min(todo.len()).max(1);
@@ -429,6 +589,7 @@ impl Executor {
                 let cursor = &cursor;
                 let todo = &todo;
                 let metrics = metrics.as_ref();
+                let trace = self.trace.as_ref();
                 scope.spawn(move || {
                     let library = match campaign.experiment().library() {
                         Ok(library) => library,
@@ -450,12 +611,13 @@ impl Executor {
                             &library,
                             &mut caches,
                             metrics,
+                            trace,
                         ) {
-                            Ok(record) => {
+                            Ok(outcome) => {
                                 if let Some(metrics) = metrics {
                                     metrics.completed.inc();
                                 }
-                                Message::Record(Box::new(record))
+                                Message::Record(Box::new(outcome))
                             }
                             Err(error) => {
                                 if let Some(metrics) = metrics {
@@ -476,15 +638,16 @@ impl Executor {
             drop(tx);
             for message in rx {
                 match message {
-                    Message::Record(record) => {
-                        if let Err(error) = sink(&record) {
+                    Message::Record(outcome) => {
+                        let (record, span_events) = *outcome;
+                        if let Err(error) = sink(&record, &span_events) {
                             // A dead sink (disk full, closed pipe) aborts:
                             // dropping the receiver makes every worker's
                             // next send fail and exit its loop.
                             failure = Some(error);
                             break;
                         }
-                        records.push(*record);
+                        records.push(record);
                     }
                     Message::Failed(error) => {
                         // A failed scenario likewise aborts the campaign —
@@ -612,6 +775,117 @@ mod tests {
             .histogram_value("engine_phase_seconds", &[("phase", "scheduling")])
             .unwrap();
         assert_eq!(scheduling.count(), completed);
+    }
+
+    #[test]
+    fn traced_runs_emit_deterministic_span_trees() {
+        let campaign = tiny_campaign();
+        let scenarios = campaign.scenarios();
+        let trace = TraceContext {
+            trace_id: 0xABCD,
+            parent_span: 0x11,
+            worker: "w0".to_string(),
+        };
+        let mut collected: Vec<SpanEvent> = Vec::new();
+        Executor::new(2)
+            .with_trace(trace.clone())
+            .run_traced(&campaign, &scenarios, &BTreeSet::new(), |record, spans| {
+                // Every record arrives with its scenario span plus the
+                // scheduling and thermal phase children.
+                assert_eq!(spans.len(), 3, "record {}", record.id);
+                collected.extend(spans.iter().cloned());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(collected.len(), 6);
+        for span in &collected {
+            assert_eq!(span.trace_id, 0xABCD);
+            assert_eq!(span.kind, SpanKind::Worker);
+            assert_eq!(span.attrs.get("worker").map(String::as_str), Some("w0"));
+        }
+        let scenario_spans: Vec<&SpanEvent> =
+            collected.iter().filter(|s| s.name == "scenario").collect();
+        assert_eq!(scenario_spans.len(), 2);
+        for scenario in &scenario_spans {
+            assert_eq!(scenario.parent_id, Some(0x11));
+            // Phase children nest inside their scenario and carry
+            // interleaving-independent derived ids.
+            for phase in collected
+                .iter()
+                .filter(|s| s.parent_id == Some(scenario.span_id))
+            {
+                assert!(phase.start_us >= scenario.start_us);
+                assert!(phase.end_us <= scenario.end_us);
+            }
+        }
+        // Re-running reproduces the exact same span ids (timestamps move,
+        // ids do not): derivation is stateless per (trace, scenario).
+        let mut second: Vec<u64> = Vec::new();
+        Executor::new(1)
+            .with_trace(trace)
+            .run_traced(&campaign, &scenarios, &BTreeSet::new(), |_, spans| {
+                second.extend(spans.iter().map(|s| s.span_id));
+                Ok(())
+            })
+            .unwrap();
+        let mut first_ids: Vec<u64> = collected.iter().map(|s| s.span_id).collect();
+        first_ids.sort_unstable();
+        second.sort_unstable();
+        assert_eq!(first_ids, second);
+        // An untraced run hands the sink empty span slices.
+        Executor::new(1)
+            .run_traced(&campaign, &scenarios, &BTreeSet::new(), |_, spans| {
+                assert!(spans.is_empty());
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn grid_scenarios_record_solver_telemetry() {
+        let campaign = tiny_campaign().with_solvers(vec![
+            Some(GridSolver::Pcg),
+            Some(GridSolver::BandedCholesky),
+        ]);
+        let scenarios = campaign.scenarios();
+        let registry = Arc::new(MetricsRegistry::new());
+        let trace = TraceContext {
+            trace_id: 0x1,
+            parent_span: 0x2,
+            worker: "w0".to_string(),
+        };
+        let mut grid_spans: Vec<SpanEvent> = Vec::new();
+        Executor::new(1)
+            .with_metrics(Arc::clone(&registry))
+            .with_trace(trace)
+            .run_traced(&campaign, &scenarios, &BTreeSet::new(), |_, spans| {
+                grid_spans.extend(spans.iter().filter(|s| s.name == "grid").cloned());
+                Ok(())
+            })
+            .unwrap();
+        let snapshot = registry.snapshot();
+        // One iteration sample per grid solve; the PCG ones are nonzero.
+        let iterations = snapshot
+            .histogram_value("engine_pcg_iterations", &[])
+            .unwrap();
+        assert_eq!(iterations.count(), scenarios.len() as u64);
+        assert!(iterations.max() > 0);
+        // One Cholesky refactor per worker for the shared geometry.
+        assert_eq!(
+            snapshot.counter_value("engine_cholesky_refactors_total", &[]),
+            Some(1)
+        );
+        // The grid phase spans carry the solver telemetry as attributes.
+        assert_eq!(grid_spans.len(), scenarios.len());
+        for span in &grid_spans {
+            assert!(span.attrs.contains_key("solver"));
+            assert!(span.attrs.contains_key("iterations"));
+            assert!(span.attrs.contains_key("residual"));
+        }
+        assert!(grid_spans
+            .iter()
+            .any(|s| s.attrs.get("solver").map(String::as_str) == Some("pcg")
+                && s.attrs.get("iterations").unwrap() != "0"));
     }
 
     #[test]

@@ -54,6 +54,7 @@ use std::time::Instant;
 
 use tats_engine::CampaignSpec;
 use tats_trace::metrics::Histogram;
+use tats_trace::spans::{id_hex, parse_id};
 use tats_trace::{jsonl, JsonValue};
 
 use crate::error::ServiceError;
@@ -141,8 +142,19 @@ fn apply(
             let shards = field_u64(event, "shards")? as usize;
             let now_ms = field_u64(event, "now_ms")?;
             let journaled_job = field_str(event, "job")?;
+            // Trace fields are absent from pre-tracing journals; those
+            // replay as untraced jobs, exactly as they ran.
+            let trace_id = event
+                .get("trace_id")
+                .and_then(JsonValue::as_str)
+                .and_then(parse_id)
+                .unwrap_or(0);
+            let trace_us = event
+                .get("trace_us")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0);
             let status = registry
-                .submit(spec, shards, now_ms)
+                .submit(spec, shards, trace_id, trace_us, now_ms)
                 .map_err(|e| protocol(format!("submit refused on replay: {e}")))?;
             let job = status.get("job").and_then(JsonValue::as_str).unwrap_or("");
             if job != journaled_job {
@@ -271,6 +283,20 @@ impl JournaledRegistry {
         &self.registry
     }
 
+    /// [`Registry::take_trace_lines`]: span lines appended since the last
+    /// call. Not journaled (the journal regenerates them by replay) and
+    /// not gated by sealing — draining writes nothing.
+    pub fn take_trace_lines(&mut self) -> Vec<String> {
+        self.registry.take_trace_lines()
+    }
+
+    /// [`Registry::set_trace_buffered`]: turns the trace-log feed on or
+    /// off. Not journaled — it only controls whether span lines are copied
+    /// for the feed, never what the per-job streams contain.
+    pub fn set_trace_buffered(&mut self, buffered: bool) {
+        self.registry.set_trace_buffered(buffered);
+    }
+
     /// Refuses every further mutation and closes the journal file. This is
     /// the `kill -9` stand-in: a sealed registry performs no transition and
     /// writes no byte, so a restarted server replaying the same journal
@@ -311,7 +337,8 @@ impl JournaledRegistry {
         Ok(())
     }
 
-    /// [`Registry::submit`], journaled.
+    /// [`Registry::submit`], journaled (trace context included, so replay
+    /// regenerates the job's transition spans byte-identically).
     ///
     /// # Errors
     ///
@@ -321,21 +348,32 @@ impl JournaledRegistry {
         &mut self,
         spec: CampaignSpec,
         shards: usize,
+        trace_id: u64,
+        trace_us: u64,
         now_ms: u64,
     ) -> Result<JsonValue, ServiceError> {
         self.check_sealed()?;
         let spec_json = spec.to_json();
-        let status = self.registry.submit(spec, shards, now_ms)?;
+        let status = self
+            .registry
+            .submit(spec, shards, trace_id, trace_us, now_ms)?;
         let job = status
             .get("job")
             .and_then(JsonValue::as_str)
             .unwrap_or("")
             .to_string();
+        let trace_hex = if trace_id == 0 {
+            String::new()
+        } else {
+            id_hex(trace_id)
+        };
         self.append(JsonValue::object(vec![
             ("event".to_string(), JsonValue::from("submit")),
             ("now_ms".to_string(), JsonValue::from(now_ms as usize)),
             ("job".to_string(), JsonValue::from(job.as_str())),
             ("shards".to_string(), JsonValue::from(shards)),
+            ("trace_id".to_string(), JsonValue::from(trace_hex.as_str())),
+            ("trace_us".to_string(), JsonValue::from(trace_us as usize)),
             ("spec".to_string(), spec_json),
         ]))?;
         Ok(status)

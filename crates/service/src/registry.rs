@@ -22,9 +22,10 @@
 //! (the server wraps it in a mutex); unit tests drive it with a scripted
 //! clock.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use tats_engine::{CampaignSpec, ScenarioRecord, Shard, ShardBoard, ShardState, Summary};
+use tats_trace::spans::{id_hex, SpanEvent, SpanIdGen, SpanKind};
 use tats_trace::{jsonl, JsonValue};
 
 use crate::error::ServiceError;
@@ -51,6 +52,18 @@ pub struct Job {
     first_record_ms: Option<u64>,
     /// Arrival time of the most recent accepted record.
     last_record_ms: Option<u64>,
+    /// Campaign-wide trace id (`0` = the submitter did not request
+    /// tracing; no spans are generated or accepted for the job).
+    trace_id: u64,
+    /// Unix-µs timestamp of the traced submit — the origin of the job's
+    /// synthetic span clock (see [`Job::span_us`]).
+    trace_us: u64,
+    /// The merged span stream: server transition spans and worker-posted
+    /// span batches, JSONL lines in arrival order, deduped by span id.
+    spans: Vec<String>,
+    /// Span ids already present in `spans` (re-leased shards re-post
+    /// deterministically derived ids; duplicates are dropped).
+    span_ids: HashSet<u64>,
 }
 
 impl Job {
@@ -81,6 +94,89 @@ impl Job {
     /// The number of scenario ids one shard owns in total.
     fn shard_size(&self, shard: Shard) -> usize {
         self.expected.keys().filter(|&&id| shard.owns(id)).count()
+    }
+
+    /// The root span id of the job's trace — derivable by every party
+    /// (client, server, worker) from the trace id alone, so the tree
+    /// connects without shipping the id around.
+    fn root_span_id(&self) -> u64 {
+        SpanIdGen::derive(self.trace_id, "campaign")
+    }
+
+    /// The synthetic span clock: the traced submit's Unix-µs timestamp
+    /// advanced by the registry's own (journaled) `now_ms` deltas. Server
+    /// transition spans are stamped with this clock instead of a live one,
+    /// which makes them pure functions of the journal — a replayed
+    /// registry regenerates the span stream byte-identically.
+    fn span_us(&self, now_ms: u64) -> u64 {
+        self.trace_us
+            .saturating_add(now_ms.saturating_sub(self.created_ms).saturating_mul(1_000))
+    }
+
+    /// Appends one span to the merged stream unless its id is already
+    /// present. Returns the trace-log copy of the line when `buffered`.
+    fn push_span(&mut self, span: &SpanEvent, buffered: bool) -> Option<String> {
+        self.push_span_line(span.span_id, span.to_line(), buffered)
+            .1
+    }
+
+    /// [`Job::push_span`] for a pre-serialized line (the ingest hot path:
+    /// worker batches are stored verbatim, skipping a re-serialization).
+    /// Returns whether the line was appended, plus a copy for the server's
+    /// trace-log feed when `buffered` — skipping that clone too when no
+    /// `--trace-log` consumer exists.
+    fn push_span_line(
+        &mut self,
+        span_id: u64,
+        line: String,
+        buffered: bool,
+    ) -> (bool, Option<String>) {
+        if !self.span_ids.insert(span_id) {
+            return (false, None);
+        }
+        if buffered {
+            self.spans.push(line.clone());
+            (true, Some(line))
+        } else {
+            self.spans.push(line);
+            (true, None)
+        }
+    }
+
+    /// Appends a zero-duration server transition span (`submit`, `lease`,
+    /// `ingest`, `done`) parented to the root span, stamped with the
+    /// synthetic clock. The span id is derived from `(trace_id, stream
+    /// position, name)`, so replaying the same transitions regenerates the
+    /// same ids. No-op for untraced jobs.
+    fn transition_span(
+        &mut self,
+        name: &str,
+        now_ms: u64,
+        attrs: &[(&str, &str)],
+        buffered: bool,
+    ) -> Option<String> {
+        if self.trace_id == 0 {
+            return None;
+        }
+        let seq = self.spans.len() as u64;
+        let span_id = SpanIdGen::derive(
+            self.trace_id ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            name,
+        );
+        let at = self.span_us(now_ms);
+        let mut span = SpanEvent::new(
+            self.trace_id,
+            span_id,
+            Some(self.root_span_id()),
+            name,
+            SpanKind::Server,
+            at,
+            at,
+        );
+        for (key, value) in attrs {
+            span = span.attr(key, *value);
+        }
+        self.push_span(&span, buffered)
     }
 
     fn status_json(&self, now_ms: u64) -> JsonValue {
@@ -115,6 +211,18 @@ impl Job {
                 "created_ms".to_string(),
                 JsonValue::from(self.created_ms as usize),
             ),
+            (
+                "trace_id".to_string(),
+                JsonValue::from(
+                    if self.trace_id == 0 {
+                        String::new()
+                    } else {
+                        id_hex(self.trace_id)
+                    }
+                    .as_str(),
+                ),
+            ),
+            ("spans".to_string(), JsonValue::from(self.spans.len())),
         ])
     }
 
@@ -179,6 +287,9 @@ pub struct IngestReport {
     /// Structurally incomplete lines ignored (trailing partial record of a
     /// crashed sender).
     pub ignored: usize,
+    /// Span lines accepted into the job's merged span stream (duplicates
+    /// of already-seen span ids are dropped without being counted).
+    pub spans: usize,
 }
 
 /// The whole service state: jobs, workers and the lease policy.
@@ -188,6 +299,16 @@ pub struct Registry {
     next_job: u64,
     workers: BTreeMap<String, WorkerInfo>,
     lease_ttl_ms: u64,
+    /// Span lines appended to any job since the last
+    /// [`Registry::take_trace_lines`] — the server drains this into its
+    /// `--trace-log` file after each request. Not replayable state: a
+    /// restarted server discards what replay regenerates here (those lines
+    /// were already written by the previous incarnation).
+    trace_out: Vec<String>,
+    /// Whether span lines are copied into [`Registry::trace_out`] at all.
+    /// The server turns this off when it has no `--trace-log` to feed, so
+    /// the merged per-job streams are built without per-span clones.
+    trace_buffered: bool,
 }
 
 impl Registry {
@@ -198,7 +319,22 @@ impl Registry {
             next_job: 1,
             workers: BTreeMap::new(),
             lease_ttl_ms: lease_ttl_ms.max(1),
+            trace_out: Vec::new(),
+            trace_buffered: true,
         }
+    }
+
+    /// Turns the [`Registry::take_trace_lines`] feed on or off. Off (the
+    /// no-`--trace-log` server) skips the per-span trace-log copies; the
+    /// merged per-job streams behind `GET /jobs/{id}/spans` are unaffected.
+    pub fn set_trace_buffered(&mut self, buffered: bool) {
+        self.trace_buffered = buffered;
+    }
+
+    /// Takes every span line appended since the last call — the server's
+    /// `--trace-log` feed. Cheap when nothing happened.
+    pub fn take_trace_lines(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.trace_out)
     }
 
     /// The lease TTL the registry applies, ms.
@@ -234,6 +370,12 @@ impl Registry {
     /// shards (clamped to the scenario count). Returns the created job's
     /// status object.
     ///
+    /// A nonzero `trace_id` (with `trace_us`, the submitter-side Unix-µs
+    /// timestamp anchoring the span clock) turns on distributed tracing
+    /// for the job: every registry transition appends a span to the job's
+    /// merged stream, lease responses carry the trace context to workers,
+    /// and ingest accepts worker span batches. `(0, 0)` submits untraced.
+    ///
     /// # Errors
     ///
     /// Returns [`ServiceError::BadRequest`] for empty campaigns.
@@ -241,6 +383,8 @@ impl Registry {
         &mut self,
         spec: CampaignSpec,
         shards: usize,
+        trace_id: u64,
+        trace_us: u64,
         now_ms: u64,
     ) -> Result<JsonValue, ServiceError> {
         let campaign = spec.to_campaign();
@@ -255,7 +399,7 @@ impl Registry {
         // the FIFO the lease scan walks.
         let id = format!("j{:06}", self.next_job);
         self.next_job += 1;
-        let job = Job {
+        let mut job = Job {
             id: id.clone(),
             fingerprint: spec.fingerprint(),
             expected: scenarios.iter().map(|s| (s.id, s.key())).collect(),
@@ -267,9 +411,21 @@ impl Registry {
             created_ms: now_ms,
             first_record_ms: None,
             last_record_ms: None,
+            trace_id,
+            trace_us: if trace_id == 0 { 0 } else { trace_us },
+            spans: Vec::new(),
+            span_ids: HashSet::new(),
         };
+        let shards_text = shard_count.to_string();
+        let trace_line = job.transition_span(
+            "submit",
+            now_ms,
+            &[("job", id.as_str()), ("shards", shards_text.as_str())],
+            self.trace_buffered,
+        );
         let status = job.status_json(now_ms);
         self.jobs.insert(id, job);
+        self.trace_out.extend(trace_line);
         Ok(status)
     }
 
@@ -279,8 +435,10 @@ impl Registry {
     /// worker needs no other state to run (and resume) the shard.
     pub fn lease(&mut self, worker: &str, now_ms: u64) -> JsonValue {
         let ttl = self.lease_ttl_ms;
+        let buffered = self.trace_buffered;
         self.touch_worker(worker, now_ms);
         let mut granted: Option<JsonValue> = None;
+        let mut trace_line: Option<String> = None;
         for job in self.jobs.values_mut() {
             if job.board.all_done() {
                 continue;
@@ -291,26 +449,48 @@ impl Registry {
                     .into_iter()
                     .map(|id| JsonValue::from(id as usize))
                     .collect();
+                let mut fields = vec![
+                    ("job".to_string(), JsonValue::from(job.id.as_str())),
+                    (
+                        "shard".to_string(),
+                        JsonValue::from(shard.to_string().as_str()),
+                    ),
+                    ("spec".to_string(), job.spec.to_json()),
+                    (
+                        "fingerprint".to_string(),
+                        JsonValue::from(job.fingerprint.as_str()),
+                    ),
+                    ("completed_ids".to_string(), JsonValue::Array(completed)),
+                    ("ttl_ms".to_string(), JsonValue::from(ttl as usize)),
+                ];
+                if job.trace_id != 0 {
+                    // The trace context rides the lease to the worker: the
+                    // worker parents its shard span to the root span and
+                    // stamps every span with the trace id.
+                    fields.push((
+                        "trace_id".to_string(),
+                        JsonValue::from(id_hex(job.trace_id).as_str()),
+                    ));
+                    fields.push((
+                        "root_span".to_string(),
+                        JsonValue::from(id_hex(job.root_span_id()).as_str()),
+                    ));
+                }
+                let shard_text = shard.index.to_string();
+                trace_line = job.transition_span(
+                    "lease",
+                    now_ms,
+                    &[("shard", shard_text.as_str()), ("peer", worker)],
+                    buffered,
+                );
                 granted = Some(JsonValue::object(vec![(
                     "lease".to_string(),
-                    JsonValue::object(vec![
-                        ("job".to_string(), JsonValue::from(job.id.as_str())),
-                        (
-                            "shard".to_string(),
-                            JsonValue::from(shard.to_string().as_str()),
-                        ),
-                        ("spec".to_string(), job.spec.to_json()),
-                        (
-                            "fingerprint".to_string(),
-                            JsonValue::from(job.fingerprint.as_str()),
-                        ),
-                        ("completed_ids".to_string(), JsonValue::Array(completed)),
-                        ("ttl_ms".to_string(), JsonValue::from(ttl as usize)),
-                    ]),
+                    JsonValue::object(fields),
                 )]));
                 break;
             }
         }
+        self.trace_out.extend(trace_line);
         match granted {
             Some(response) => {
                 // Count leases actually granted, not idle polls: the
@@ -354,6 +534,7 @@ impl Registry {
         now_ms: u64,
     ) -> Result<IngestReport, ServiceError> {
         let ttl = self.lease_ttl_ms;
+        let buffered = self.trace_buffered;
         self.touch_worker(worker, now_ms);
         let job = self.job_mut(job_id)?;
         let count = job.board.count();
@@ -376,14 +557,50 @@ impl Registry {
             accepted: 0,
             duplicates: 0,
             ignored: 0,
+            spans: 0,
         };
         let mut accepted: Vec<(ScenarioRecord, &str)> = Vec::new();
+        let mut span_batch: Vec<(u64, &str)> = Vec::new();
         for line in body.lines() {
             if line.trim().is_empty() {
                 continue;
             }
             if !jsonl::is_complete_record(line) {
                 report.ignored += 1;
+                continue;
+            }
+            // Workers piggyback completed span batches on record posts;
+            // span lines are validated with the same all-or-nothing
+            // discipline as records. Worker-built lines are in the exact
+            // canonical layout, so the allocation-free scan covers them;
+            // anything else that still looks like a span goes through the
+            // full parser for a field-naming error or acceptance.
+            let span_ids = match SpanEvent::canonical_ids(line) {
+                Some(ids) => Some(ids),
+                None if SpanEvent::is_span_line(line) => Some(
+                    SpanEvent::parse_line(line)
+                        .map(|span| (span.trace_id, span.span_id))
+                        .map_err(|e| {
+                            ServiceError::BadRequest(format!("unparsable span line: {e}"))
+                        })?,
+                ),
+                None => None,
+            };
+            if let Some((trace_id, span_id)) = span_ids {
+                if job.trace_id == 0 || trace_id != job.trace_id {
+                    return Err(ServiceError::BadRequest(format!(
+                        "span line for trace '{}' but job {job_id} traces '{}'",
+                        id_hex(trace_id),
+                        if job.trace_id == 0 {
+                            String::new()
+                        } else {
+                            id_hex(job.trace_id)
+                        }
+                    )));
+                }
+                // The verbatim line is what gets stored: the scan above is
+                // validation only, so the hot path skips a re-serialization.
+                span_batch.push((span_id, line));
                 continue;
             }
             let value = JsonValue::parse(line)
@@ -435,7 +652,25 @@ impl Registry {
             job.first_record_ms.get_or_insert(now_ms);
             job.last_record_ms = Some(now_ms);
         }
+        let shard_text = shard_index.to_string();
+        let mut new_lines: Vec<String> = job
+            .transition_span(
+                "ingest",
+                now_ms,
+                &[("shard", shard_text.as_str()), ("peer", worker)],
+                buffered,
+            )
+            .into_iter()
+            .collect();
+        for (span_id, line) in span_batch {
+            let (appended, copy) = job.push_span_line(span_id, line.to_string(), buffered);
+            if appended {
+                report.spans += 1;
+            }
+            new_lines.extend(copy);
+        }
         self.touch_worker(worker, now_ms).records += report.accepted as u64;
+        self.trace_out.extend(new_lines);
         Ok(report)
     }
 
@@ -454,6 +689,7 @@ impl Registry {
         worker: &str,
         now_ms: u64,
     ) -> Result<JsonValue, ServiceError> {
+        let buffered = self.trace_buffered;
         self.touch_worker(worker, now_ms);
         let job = self.job_mut(job_id)?;
         let count = job.board.count();
@@ -478,8 +714,35 @@ impl Registry {
                 "shard {shard_index} of {job_id} is leased to another worker"
             )));
         }
+        let shard_text = shard_index.to_string();
+        let mut new_lines: Vec<String> = job
+            .transition_span(
+                "done",
+                now_ms,
+                &[("shard", shard_text.as_str()), ("peer", worker)],
+                buffered,
+            )
+            .into_iter()
+            .collect();
+        if job.board.all_done() && job.trace_id != 0 {
+            // The final shard closes the campaign: materialise the root
+            // span covering submit → completion. Stamped with the synthetic
+            // clock, so replay regenerates it byte-identically.
+            let root = SpanEvent::new(
+                job.trace_id,
+                job.root_span_id(),
+                None,
+                "campaign",
+                SpanKind::Client,
+                job.trace_us,
+                job.span_us(now_ms),
+            )
+            .attr("job", job.id.as_str());
+            new_lines.extend(job.push_span(&root, buffered));
+        }
         let status = job.status_json(now_ms);
         self.touch_worker(worker, now_ms).shards_done += 1;
+        self.trace_out.extend(new_lines);
         Ok(status)
     }
 
@@ -533,6 +796,26 @@ impl Registry {
             body.push('\n');
         }
         Ok((body, job.records.len()))
+    }
+
+    /// The job's merged span stream — server transition spans and worker
+    /// span batches, deduped by span id — starting at span index `from`,
+    /// joined with newlines, plus the next index to poll from. Mirrors
+    /// [`Registry::records_from`] (`GET /jobs/{id}/spans?from=k`). Empty
+    /// for untraced jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::NotFound`] for unknown jobs.
+    pub fn spans_from(&self, job_id: &str, from: usize) -> Result<(String, usize), ServiceError> {
+        let job = self.job(job_id)?;
+        let start = from.min(job.spans.len());
+        let mut body = String::new();
+        for line in &job.spans[start..] {
+            body.push_str(line);
+            body.push('\n');
+        }
+        Ok((body, job.spans.len()))
     }
 
     /// The job's aggregated summary (partial while the job runs).
@@ -616,6 +899,26 @@ impl Registry {
                         "records".to_string(),
                         JsonValue::Array(
                             job.records
+                                .iter()
+                                .map(|line| JsonValue::from(line.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "trace_id".to_string(),
+                        JsonValue::from(
+                            if job.trace_id == 0 {
+                                String::new()
+                            } else {
+                                id_hex(job.trace_id)
+                            }
+                            .as_str(),
+                        ),
+                    ),
+                    (
+                        "spans".to_string(),
+                        JsonValue::Array(
+                            job.spans
                                 .iter()
                                 .map(|line| JsonValue::from(line.as_str()))
                                 .collect(),
@@ -723,7 +1026,7 @@ mod tests {
     #[test]
     fn submit_lease_ingest_done_lifecycle() {
         let mut registry = Registry::new(TTL);
-        let status = registry.submit(tiny_spec(), 2, 0).expect("submit");
+        let status = registry.submit(tiny_spec(), 2, 0, 0, 0).expect("submit");
         let job = status.get("job").and_then(JsonValue::as_str).unwrap();
         assert_eq!(job, "j000001");
         assert_eq!(
@@ -751,7 +1054,8 @@ mod tests {
             IngestReport {
                 accepted: 2,
                 duplicates: 0,
-                ignored: 0
+                ignored: 0,
+                spans: 0
             }
         );
         registry.shard_done(job, 0, "w1", 30).expect("done");
@@ -800,7 +1104,7 @@ mod tests {
     fn progress_reports_rate_and_eta_from_ingest_timestamps() {
         let mut registry = Registry::new(TTL);
         let job = registry
-            .submit(tiny_spec(), 1, 0)
+            .submit(tiny_spec(), 1, 0, 0, 0)
             .expect("submit")
             .get("job")
             .and_then(JsonValue::as_str)
@@ -877,7 +1181,7 @@ mod tests {
     #[test]
     fn ingest_rejects_foreign_and_misrouted_records() {
         let mut registry = Registry::new(TTL);
-        let status = registry.submit(tiny_spec(), 2, 0).expect("submit");
+        let status = registry.submit(tiny_spec(), 2, 0, 0, 0).expect("submit");
         let job = status
             .get("job")
             .and_then(JsonValue::as_str)
@@ -921,7 +1225,7 @@ mod tests {
     fn duplicates_and_partial_lines_are_tolerated() {
         let mut registry = Registry::new(TTL);
         let job = registry
-            .submit(tiny_spec(), 1, 0)
+            .submit(tiny_spec(), 1, 0, 0, 0)
             .expect("submit")
             .get("job")
             .and_then(JsonValue::as_str)
@@ -941,7 +1245,8 @@ mod tests {
             IngestReport {
                 accepted: 1,
                 duplicates: 1,
-                ignored: 1
+                ignored: 1,
+                spans: 0
             }
         );
         // Marking done with a missing record is refused.
@@ -957,7 +1262,7 @@ mod tests {
     fn expired_leases_move_to_new_workers_and_block_zombies() {
         let mut registry = Registry::new(TTL);
         let job = registry
-            .submit(tiny_spec(), 1, 0)
+            .submit(tiny_spec(), 1, 0, 0, 0)
             .expect("submit")
             .get("job")
             .and_then(JsonValue::as_str)
@@ -1006,11 +1311,11 @@ mod tests {
         let mut empty = tiny_spec();
         empty.policies.clear();
         assert!(matches!(
-            registry.submit(empty, 2, 0),
+            registry.submit(empty, 2, 0, 0, 0),
             Err(ServiceError::BadRequest(_))
         ));
         // 99 shards over 4 scenarios clamps to 4.
-        let status = registry.submit(tiny_spec(), 99, 0).expect("submit");
+        let status = registry.submit(tiny_spec(), 99, 0, 0, 0).expect("submit");
         assert_eq!(
             status
                 .get("shards")

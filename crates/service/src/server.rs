@@ -28,7 +28,8 @@
 //! | `GET /jobs` | — | status of every job |
 //! | `GET /jobs/{id}` | — | one job's status |
 //! | `GET /jobs/{id}/records?from=k` | — | JSONL records from index `k` (header `x-next-from`) |
-//! | `GET /jobs/{id}/progress` | — | done/total, records/sec, ETA (live progress) |
+//! | `GET /jobs/{id}/spans?from=k` | — | JSONL span events from index `k` (header `x-next-from`) |
+//! | `GET /jobs/{id}/progress` | — | done/total, records/sec, ETA, per-phase p50/p99 |
 //! | `GET /jobs/{id}/summary` | — | aggregated campaign summary |
 //! | `GET /workers` | — | per-worker statistics (last-seen age, lifetime records/sec) |
 //! | `POST /lease` | `{"worker": name, "metrics"?: snapshot}` | lease the next available shard |
@@ -48,7 +49,20 @@
 //! text page. `/metrics` bypasses the ready gate, so a replaying server
 //! can be scraped. With [`ServiceConfig::access_log`] set, every request
 //! is also appended to a JSONL access log (crash-repaired on reopen, like
-//! the journal).
+//! the journal); each access-log line carries the request's `x-trace-id`
+//! (empty string when the client sent none).
+//!
+//! # Distributed tracing
+//!
+//! With [`ServiceConfig::trace_log`] set, the server owns the merged span
+//! stream of every traced campaign ([`tats_trace::spans`]): registry
+//! transition spans (submit/lease/ingest/done), worker span batches
+//! piggybacked on record posts, one synthesized root `campaign` span when
+//! the last shard completes, and a request span for every request carrying
+//! `x-trace-id`. Job-owned spans are deterministic — derived ids plus a
+//! synthetic clock anchored at the submit instant make them pure functions
+//! of journaled events, so a restart replays the identical stream (served
+//! by `GET /jobs/{id}/spans`, analysed by `tats trace`).
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader};
@@ -60,6 +74,7 @@ use std::time::{Duration, Instant};
 
 use tats_engine::CampaignSpec;
 use tats_trace::metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+use tats_trace::spans::{self, SpanDrain, SpanEvent, SpanIdGen, SpanKind, SpanSink};
 use tats_trace::{jsonl, JsonValue};
 
 use crate::error::ServiceError;
@@ -98,6 +113,14 @@ pub struct ServiceConfig {
     /// partial-tail repair as the journal, so a crash mid-append never
     /// corrupts it. `None` (the default) logs nothing.
     pub access_log: Option<PathBuf>,
+    /// JSONL span log (`tats serve --trace-log`): with a path, every span
+    /// the server owns — registry transition spans, worker span batches
+    /// accepted by ingest, and one request span per request that carries an
+    /// `x-trace-id` header — is appended there (crash-repaired on reopen,
+    /// like the journal). `tats trace <file>` analyses it. `None` (the
+    /// default) keeps spans only in the per-job streams served by
+    /// `GET /jobs/{id}/spans`.
+    pub trace_log: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -109,6 +132,7 @@ impl Default for ServiceConfig {
             keep_alive_idle_timeout_ms: 10_000,
             ready_holdoff_ms: 0,
             access_log: None,
+            trace_log: None,
         }
     }
 }
@@ -116,7 +140,7 @@ impl Default for ServiceConfig {
 /// Every endpoint label `GET /metrics` reports. Pre-registered at bind so
 /// the hot path is a `HashMap` lookup plus relaxed atomics — no lock, no
 /// allocation.
-const ENDPOINTS: [&str; 14] = [
+const ENDPOINTS: [&str; 15] = [
     "GET /healthz",
     "GET /readyz",
     "GET /metrics",
@@ -124,6 +148,7 @@ const ENDPOINTS: [&str; 14] = [
     "GET /jobs",
     "GET /jobs/{id}",
     "GET /jobs/{id}/records",
+    "GET /jobs/{id}/spans",
     "GET /jobs/{id}/progress",
     "GET /jobs/{id}/summary",
     "GET /workers",
@@ -156,6 +181,7 @@ fn endpoint_label(method: &str, segments: &[&str]) -> &'static str {
         ("GET", ["jobs"]) => "GET /jobs",
         ("GET", ["jobs", _]) => "GET /jobs/{id}",
         ("GET", ["jobs", _, "records"]) => "GET /jobs/{id}/records",
+        ("GET", ["jobs", _, "spans"]) => "GET /jobs/{id}/spans",
         ("GET", ["jobs", _, "progress"]) => "GET /jobs/{id}/progress",
         ("GET", ["jobs", _, "summary"]) => "GET /jobs/{id}/summary",
         ("GET", ["workers"]) => "GET /workers",
@@ -220,6 +246,16 @@ impl ServerMetrics {
     }
 }
 
+/// The server's span-log plumbing ([`ServiceConfig::trace_log`]): one
+/// lock-free sink every connection handler records through, the drain
+/// that batches buffered lines into the crash-repaired file, and the id
+/// generator for per-request spans.
+struct TraceLog {
+    sink: SpanSink,
+    drain: Mutex<SpanDrain>,
+    ids: Mutex<SpanIdGen>,
+}
+
 /// State shared between the accept loop, the connection handlers and the
 /// [`ServiceHandle`].
 struct Shared {
@@ -233,6 +269,8 @@ struct Shared {
     worker_metrics: Mutex<BTreeMap<String, MetricsSnapshot>>,
     /// JSONL access log ([`ServiceConfig::access_log`]).
     access_log: Option<Mutex<jsonl::JsonlWriter<std::fs::File>>>,
+    /// JSONL span log ([`ServiceConfig::trace_log`]).
+    trace: Option<TraceLog>,
     /// Readiness gate: until set, every endpoint except the probes is 503.
     ready: AtomicBool,
     /// Graceful-shutdown flag: the accept loop exits, in-flight responses
@@ -376,6 +414,24 @@ impl Service {
             }
             None => None,
         };
+        let trace = match &config.trace_log {
+            Some(path) => {
+                let (sink, drain, _) = spans::span_log(path)?;
+                Some(TraceLog {
+                    sink,
+                    drain: Mutex::new(drain),
+                    ids: Mutex::new(SpanIdGen::seeded(spans::now_us())),
+                })
+            }
+            None => None,
+        };
+        // Journal replay regenerated the transition spans of every replayed
+        // job (they are pure functions of journaled events); the previous
+        // incarnation already wrote them to its trace log, so the replayed
+        // batch is discarded here instead of appended twice. Without a
+        // trace log the feed stays off entirely — no per-span copies.
+        let _ = state.take_trace_lines();
+        state.set_trace_buffered(trace.is_some());
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -385,6 +441,7 @@ impl Service {
             metrics,
             worker_metrics: Mutex::new(BTreeMap::new()),
             access_log,
+            trace,
             ready: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             dead: AtomicBool::new(false),
@@ -494,6 +551,46 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServiceConfig,
             return;
         }
         shared.metrics.request(endpoint, status, clock.elapsed());
+        // Registry transitions buffer the span lines they emit; drain them
+        // after every state-mutating request so the trace log trails the
+        // journal by at most one request. Drained even with no trace log
+        // configured, so the buffer never grows unbounded.
+        if request.method == "POST" {
+            if let Ok(mut state) = shared.state.lock() {
+                let lines = state.take_trace_lines();
+                if let Some(trace) = &shared.trace {
+                    for line in &lines {
+                        trace.sink.record_line(line);
+                    }
+                }
+            }
+        }
+        if let Some(trace) = &shared.trace {
+            // Any request carrying a valid x-trace-id gets a request span
+            // in the trace log (not in per-job streams: request spans are
+            // server-local observability, job streams are deterministic).
+            if let Some(trace_id) = request.header("x-trace-id").and_then(spans::parse_id) {
+                let end_us = spans::now_us();
+                let start_us = end_us.saturating_sub(clock.elapsed().as_micros() as u64);
+                let span_id = trace.ids.lock().map_or(1, |mut ids| ids.next_id());
+                let span = SpanEvent::new(
+                    trace_id,
+                    span_id,
+                    Some(SpanIdGen::derive(trace_id, "campaign")),
+                    endpoint,
+                    SpanKind::Server,
+                    start_us,
+                    end_us,
+                )
+                .attr("method", request.method.as_str())
+                .attr("path", request.path.as_str())
+                .attr("status", status.to_string());
+                trace.sink.record(&span);
+            }
+            if let Ok(mut drain) = trace.drain.lock() {
+                let _ = drain.flush();
+            }
+        }
         if let Some(log) = &shared.access_log {
             if let Ok(mut log) = log.lock() {
                 let _ = log.write(&JsonValue::object(vec![
@@ -511,6 +608,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServiceConfig,
                     ("bytes_in".to_string(), JsonValue::from(request.body.len())),
                     ("bytes_out".to_string(), JsonValue::from(body.len())),
                     ("keep_alive".to_string(), JsonValue::from(keep_alive)),
+                    (
+                        "trace_id".to_string(),
+                        JsonValue::from(request.header("x-trace-id").unwrap_or("")),
+                    ),
                 ]));
             }
         }
@@ -678,7 +779,16 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
                 })
                 .transpose()?
                 .unwrap_or(1);
-            let status = state.submit(spec, shards, now)?;
+            // A submitter that wants the campaign traced sends x-trace-id;
+            // the submit instant (Unix µs) anchors the job's synthetic span
+            // clock, so every later transition span is a pure function of
+            // journaled events (see `Registry::submit`).
+            let trace_id = request
+                .header("x-trace-id")
+                .and_then(spans::parse_id)
+                .unwrap_or(0);
+            let trace_us = if trace_id == 0 { 0 } else { spans::now_us() };
+            let status = state.submit(spec, shards, trace_id, trace_us, now)?;
             Ok(Reply {
                 status: 201,
                 content_type: "application/json",
@@ -706,8 +816,67 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
                 body,
             })
         }
+        ("GET", ["jobs", job, "spans"]) => {
+            let from = request
+                .query_param("from")
+                .map(|value| {
+                    value.parse::<usize>().map_err(|_| {
+                        ServiceError::BadRequest(format!("bad 'from' value '{value}'"))
+                    })
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let (body, next) = state.registry().spans_from(job, from)?;
+            Ok(Reply {
+                status: 200,
+                content_type: "application/jsonl",
+                extra: vec![("x-next-from".to_string(), next.to_string())],
+                body,
+            })
+        }
         ("GET", ["jobs", job, "progress"]) => {
-            Ok(Reply::json(&state.registry().progress(job, now)?))
+            let mut progress = state.registry().progress(job, now)?;
+            // Per-phase latency quantiles from the merged worker snapshots
+            // (the histograms record microseconds), so `submit --wait` can
+            // name the slowest engine phase without a /metrics scrape.
+            // Lock order state → worker_metrics, as in the lease handler.
+            let workers = shared
+                .worker_metrics
+                .lock()
+                .map_err(|_| ServiceError::Protocol("worker metrics mutex poisoned".to_string()))?;
+            let mut merged = MetricsSnapshot::default();
+            for snapshot in workers.values() {
+                merged.merge(snapshot);
+            }
+            drop(workers);
+            let phases: Vec<JsonValue> = ["scheduling", "thermal", "floorplan", "grid"]
+                .iter()
+                .filter_map(|phase| {
+                    let histogram =
+                        merged.histogram_value("engine_phase_seconds", &[("phase", phase)])?;
+                    (histogram.count() > 0).then(|| {
+                        JsonValue::object(vec![
+                            ("phase".to_string(), JsonValue::from(*phase)),
+                            (
+                                "count".to_string(),
+                                JsonValue::from(histogram.count() as usize),
+                            ),
+                            (
+                                "p50_us".to_string(),
+                                JsonValue::from(histogram.quantile(0.5) as usize),
+                            ),
+                            (
+                                "p99_us".to_string(),
+                                JsonValue::from(histogram.quantile(0.99) as usize),
+                            ),
+                        ])
+                    })
+                })
+                .collect();
+            if let JsonValue::Object(fields) = &mut progress {
+                fields.insert("phases".to_string(), JsonValue::Array(phases));
+            }
+            Ok(Reply::json(&progress))
         }
         ("GET", ["jobs", job, "summary"]) => Ok(Reply::json(&state.registry().summary(job, now)?)),
         ("GET", ["workers"]) => Ok(Reply::json(&state.registry().workers_status(now))),
@@ -879,13 +1048,22 @@ mod tests {
         client::get(&addr, "/healthz").expect("healthz");
         let missing = client::request(&addr, "GET", "/nope", &[], None).expect("nope");
         assert_eq!(missing.status, 404);
+        let traced = client::request(
+            &addr,
+            "GET",
+            "/healthz",
+            &[("x-trace-id", "00000000deadbeef".to_string())],
+            None,
+        )
+        .expect("traced healthz");
+        assert_eq!(traced.status, 200);
         handle.stop();
         let text = std::fs::read_to_string(&path).expect("access log");
         let lines: Vec<JsonValue> = text
             .lines()
             .map(|line| JsonValue::parse(line).expect("log line"))
             .collect();
-        assert_eq!(lines.len(), 2, "{text}");
+        assert_eq!(lines.len(), 3, "{text}");
         assert_eq!(
             lines[0].get("path").and_then(JsonValue::as_str),
             Some("/healthz")
@@ -899,6 +1077,63 @@ mod tests {
             Some(404)
         );
         assert!(lines[1].get("duration_us").is_some());
+        // Every line carries the trace correlation field: empty without an
+        // x-trace-id header, verbatim with one.
+        assert_eq!(
+            lines[0].get("trace_id").and_then(JsonValue::as_str),
+            Some("")
+        );
+        assert_eq!(
+            lines[2].get("trace_id").and_then(JsonValue::as_str),
+            Some("00000000deadbeef")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A hard kill can leave one partial final line in the access log; the
+    /// next bind repairs it. The reopened log must keep parsing line-for-line
+    /// — old lines intact, the torn tail gone, new lines appended cleanly.
+    #[test]
+    fn crash_repaired_access_log_parses_line_for_line() {
+        use std::io::Write as _;
+        let path = std::env::temp_dir().join("tats_server_access_log_repair_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let config = ServiceConfig {
+            access_log: Some(path.clone()),
+            ..ServiceConfig::default()
+        };
+        let handle = Service::bind("127.0.0.1:0", config.clone()).expect("bind");
+        let addr = handle.addr_string();
+        client::get(&addr, "/healthz").expect("healthz");
+        client::get(&addr, "/metrics").expect("metrics");
+        handle.abort();
+        let before: Vec<String> = std::fs::read_to_string(&path)
+            .expect("access log")
+            .lines()
+            .map(str::to_string)
+            .collect();
+        assert_eq!(before.len(), 2);
+
+        // Simulate the torn tail of a kill -9 mid-write.
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("reopen");
+        file.write_all(b"{\"ts_ms\":123,\"method\":\"GET\",\"path\":\"/torn")
+            .expect("torn tail");
+        drop(file);
+
+        let handle = Service::bind("127.0.0.1:0", config).expect("rebind");
+        client::get(&handle.addr_string(), "/healthz").expect("healthz after repair");
+        handle.stop();
+        let text = std::fs::read_to_string(&path).expect("access log");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert_eq!(&lines[..2], &before[..], "old lines survive verbatim");
+        for line in &lines {
+            let value = JsonValue::parse(line).expect("every line parses");
+            assert!(value.get("trace_id").is_some(), "{line}");
+        }
         let _ = std::fs::remove_file(&path);
     }
 

@@ -30,8 +30,9 @@ use std::process;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tats_engine::{CampaignSpec, EngineError, Executor, Shard};
+use tats_engine::{CampaignSpec, EngineError, Executor, Shard, TraceContext};
 use tats_trace::metrics::{Counter, Histogram};
+use tats_trace::spans::{self, id_hex, SpanEvent, SpanIdGen, SpanKind};
 use tats_trace::{JsonValue, MetricsRegistry};
 
 use crate::client::{self, Connection};
@@ -161,6 +162,10 @@ struct Lease {
     shard: Shard,
     spec: CampaignSpec,
     completed: BTreeSet<u64>,
+    /// `(trace_id, root_span_id)` when the job is traced: the worker wraps
+    /// the shard in a span parented on the campaign root and piggybacks the
+    /// executor's per-scenario span trees on record posts.
+    trace: Option<(u64, u64)>,
 }
 
 /// Wraps a field-accessor message (`JsonValue::field_*`) as a lease
@@ -194,11 +199,27 @@ fn parse_lease(value: &JsonValue) -> Result<Lease, ServiceError> {
                 .ok_or_else(|| lease_error("field 'completed_ids' must contain integers".into()))
         })
         .collect::<Result<BTreeSet<u64>, _>>()?;
+    // Trace context is optional (untraced jobs omit it). The root span id
+    // is derivable from the trace id alone, so a lease from an older server
+    // that ships only `trace_id` still parses.
+    let trace = value
+        .get("trace_id")
+        .and_then(JsonValue::as_str)
+        .and_then(spans::parse_id)
+        .map(|trace_id| {
+            let root = value
+                .get("root_span")
+                .and_then(JsonValue::as_str)
+                .and_then(spans::parse_id)
+                .unwrap_or_else(|| SpanIdGen::derive(trace_id, "campaign"));
+            (trace_id, root)
+        });
     Ok(Lease {
         job,
         shard,
         spec,
         completed,
+        trace,
     })
 }
 
@@ -219,13 +240,30 @@ fn run_shard(
     let campaign = lease.spec.to_campaign();
     let scenarios = campaign.shard_scenarios(lease.shard);
     let records_path = format!("/jobs/{}/shards/{}/records", lease.job, lease.shard.index);
-    let headers = [("x-worker", config.name.clone())];
+    let mut headers = vec![("x-worker", config.name.clone())];
+    // The shard span id is a pure function of (trace id, shard index), so a
+    // re-leased shard reproduces it and the server's dedup keeps one copy.
+    let shard_span = lease.trace.map(|(trace_id, root)| {
+        let seed = trace_id ^ (lease.shard.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (trace_id, root, SpanIdGen::derive(seed, "shard"))
+    });
+    if let Some((trace_id, _, _)) = shard_span {
+        headers.push(("x-trace-id", id_hex(trace_id)));
+    }
+    let shard_start_us = spans::now_us();
     let mut failure: Option<ServiceError> = None;
     let mut executor = Executor::new(config.threads);
     if let Some(registry) = &config.metrics {
         executor = executor.with_metrics(Arc::clone(registry));
     }
-    let run = executor.run(&campaign, &scenarios, &lease.completed, |record| {
+    if let Some((trace_id, _, span_id)) = shard_span {
+        executor = executor.with_trace(TraceContext {
+            trace_id,
+            parent_span: span_id,
+            worker: config.name.clone(),
+        });
+    }
+    let run = executor.run_traced(&campaign, &scenarios, &lease.completed, |record, spans| {
         if let Some(limit) = config.fail_after_records {
             if *posted_total >= limit {
                 failure = Some(ServiceError::Aborted(format!(
@@ -234,8 +272,15 @@ fn run_shard(
                 return Err(EngineError::InvalidParameter("injected failure".into()));
             }
         }
+        // One record plus its scenario's span tree per post: the spans ride
+        // the same journaled ingest, so a crash either keeps both or drops
+        // both, and the re-post after a lost response is deduped as a unit.
         let mut line = record.to_json().to_json();
         line.push('\n');
+        for span in spans {
+            line.push_str(&span.to_line());
+            line.push('\n');
+        }
         let response = retry_observed(&retry, metrics, || {
             connection
                 .request("POST", &records_path, &headers, Some(&line))
@@ -257,6 +302,29 @@ fn run_shard(
     });
     match run {
         Ok(_) => {
+            // Close the shard span before announcing done, so the server's
+            // merged stream has it by the time the root span is synthesized.
+            if let Some((trace_id, root, span_id)) = shard_span {
+                let span = SpanEvent::new(
+                    trace_id,
+                    span_id,
+                    Some(root),
+                    "shard",
+                    SpanKind::Worker,
+                    shard_start_us,
+                    spans::now_us(),
+                )
+                .attr("job", lease.job.as_str())
+                .attr("shard", lease.shard.to_string())
+                .attr("worker", config.name.as_str());
+                let mut line = span.to_line();
+                line.push('\n');
+                retry_observed(&retry, metrics, || {
+                    connection
+                        .request("POST", &records_path, &headers, Some(&line))
+                        .and_then(client::expect_ok)
+                })?;
+            }
             retry_observed(&retry, metrics, || {
                 connection
                     .request(

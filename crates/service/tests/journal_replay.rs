@@ -92,7 +92,7 @@ fn full_lifecycle_replays_identically() {
     assert_eq!(report.events, 0);
     let lines = reference_lines();
 
-    let status = live.submit(tiny_spec(), 2, 5).expect("submit");
+    let status = live.submit(tiny_spec(), 2, 0, 0, 5).expect("submit");
     let job = status
         .get("job")
         .and_then(JsonValue::as_str)
@@ -126,7 +126,7 @@ fn truncated_final_line_is_ignored_and_repaired() {
     let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
     let lines = reference_lines();
     let job = live
-        .submit(tiny_spec(), 1, 0)
+        .submit(tiny_spec(), 1, 0, 0, 0)
         .expect("submit")
         .get("job")
         .and_then(JsonValue::as_str)
@@ -164,7 +164,7 @@ fn journaled_lease_reset_keeps_double_replay_consistent() {
     // grants against un-reset state and refuse the journal.
     let path = journal_path("reset");
     let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
-    live.submit(tiny_spec(), 2, 0).expect("submit");
+    live.submit(tiny_spec(), 2, 0, 0, 0).expect("submit");
     live.lease("w1", 1).expect("lease shard 0");
     drop(live); // first crash: w1's lease is live in the journal
 
@@ -209,12 +209,12 @@ fn journaled_lease_reset_keeps_double_replay_consistent() {
 fn sealed_registry_refuses_every_mutation_and_writes_nothing() {
     let path = journal_path("sealed");
     let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
-    live.submit(tiny_spec(), 1, 0).expect("submit");
+    live.submit(tiny_spec(), 1, 0, 0, 0).expect("submit");
     let bytes = std::fs::read(&path).expect("read").len();
     live.seal();
     assert!(live.sealed());
     for error in [
-        live.submit(tiny_spec(), 1, 1).expect_err("submit"),
+        live.submit(tiny_spec(), 1, 0, 0, 1).expect_err("submit"),
         live.lease("w1", 1).expect_err("lease"),
         live.ingest("j000001", 0, "w1", &reference_lines()[0], 1)
             .expect_err("ingest"),
@@ -237,7 +237,7 @@ fn sealed_registry_refuses_every_mutation_and_writes_nothing() {
 fn corrupted_lease_grants_refuse_to_replay() {
     let path = journal_path("corrupt");
     let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
-    live.submit(tiny_spec(), 2, 0).expect("submit");
+    live.submit(tiny_spec(), 2, 0, 0, 0).expect("submit");
     live.lease("w1", 1).expect("lease");
     drop(live);
     // Hand-edit the granted shard: replay re-runs the lease scan, grants
@@ -280,7 +280,7 @@ proptest! {
             match rng.gen_range(0..10) {
                 0..2 => {
                     if jobs < 3 {
-                        live.submit(tiny_spec(), rng.gen_range(1..3), now).expect("submit");
+                        live.submit(tiny_spec(), rng.gen_range(1..3), 0, 0, now).expect("submit");
                         jobs += 1;
                     }
                 }

@@ -164,6 +164,27 @@ pub struct GridWorkspace {
     /// Heat input per node.
     q: Vec<f64>,
     cg: CgWorkspace,
+    /// Iterations of the most recent solve (0 for the direct Cholesky
+    /// path, which has no iteration count).
+    last_iterations: usize,
+    /// Residual the most recent solve achieved (0.0 for the direct path).
+    last_residual: f64,
+}
+
+impl GridWorkspace {
+    /// Iterations the most recent [`GridModel::steady_state_with`] call
+    /// took: Gauss–Seidel sweeps or PCG iterations. Zero before the first
+    /// solve and for the direct banded-Cholesky path.
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
+    }
+
+    /// Residual the most recent solve achieved (max temperature change
+    /// for Gauss–Seidel, relative residual for PCG). Zero before the
+    /// first solve and for the direct banded-Cholesky path.
+    pub fn last_residual(&self) -> f64 {
+        self.last_residual
+    }
 }
 
 /// Grid-based steady-state thermal solver.
@@ -482,6 +503,8 @@ impl GridModel {
             t: vec![self.config.ambient_c; n],
             q: vec![0.0; n],
             cg: CgWorkspace::new(n),
+            last_iterations: 0,
+            last_residual: 0.0,
         }
     }
 
@@ -524,13 +547,15 @@ impl GridModel {
 
         match &self.engine {
             SolverEngine::GaussSeidel => {
-                self.gauss_seidel(&workspace.q, &mut workspace.t)?;
+                let (iterations, residual) = self.gauss_seidel(&workspace.q, &mut workspace.t)?;
+                workspace.last_iterations = iterations;
+                workspace.last_residual = residual;
             }
             SolverEngine::Pcg {
                 matrix,
                 preconditioner,
             } => {
-                PcgSolver::new(self.max_iterations, self.tolerance)
+                let summary = PcgSolver::new(self.max_iterations, self.tolerance)
                     .solve_into(
                         matrix,
                         preconditioner,
@@ -539,10 +564,14 @@ impl GridModel {
                         &mut workspace.cg,
                     )
                     .map_err(from_sparse)?;
+                workspace.last_iterations = summary.iterations;
+                workspace.last_residual = summary.residual;
             }
             SolverEngine::Cholesky { factor } => {
                 workspace.t.copy_from_slice(&workspace.q);
                 factor.solve_into(&mut workspace.t).map_err(from_sparse)?;
+                workspace.last_iterations = 0;
+                workspace.last_residual = 0.0;
             }
         }
 
@@ -586,7 +615,8 @@ impl GridModel {
     }
 
     /// The Gauss–Seidel reference sweep over cells + spreader + sink.
-    fn gauss_seidel(&self, q: &[f64], t: &mut [f64]) -> Result<(), ThermalError> {
+    /// Returns the iteration count and achieved residual on convergence.
+    fn gauss_seidel(&self, q: &[f64], t: &mut [f64]) -> Result<(usize, f64), ThermalError> {
         let cells = self.nx * self.ny;
         let spreader = cells;
         let sink = cells + 1;
@@ -645,7 +675,7 @@ impl GridModel {
 
             residual = max_change;
             if residual < self.tolerance {
-                return Ok(());
+                return Ok((iterations, residual));
             }
         }
         Err(ThermalError::NoConvergence {
@@ -703,6 +733,36 @@ mod tests {
             assert!(temps.block_max_c()[0] >= temps.block_average_c()[0]);
             assert_eq!(temps.resolution(), (14, 7));
             assert_eq!(temps.cells().len(), 14 * 7);
+        }
+    }
+
+    #[test]
+    fn workspace_reports_solver_telemetry() {
+        for solver in ALL_SOLVERS {
+            let grid = GridModel::new(&two_block_plan(), ThermalConfig::default(), 14, 7)
+                .unwrap()
+                .with_solver(solver)
+                .unwrap();
+            let mut workspace = grid.workspace();
+            assert_eq!(workspace.last_iterations(), 0);
+            assert_eq!(workspace.last_residual(), 0.0);
+            grid.steady_state_with(&[8.0, 0.5], &mut workspace).unwrap();
+            if solver == GridSolver::BandedCholesky {
+                // Direct solve: no iteration count, exact residual.
+                assert_eq!(workspace.last_iterations(), 0);
+                assert_eq!(workspace.last_residual(), 0.0);
+            } else {
+                assert!(workspace.last_iterations() > 0, "{solver}");
+                assert!(
+                    workspace.last_residual().is_finite() && workspace.last_residual() >= 0.0,
+                    "{solver}: {}",
+                    workspace.last_residual()
+                );
+            }
+            // A warm restart of the same solve converges at least as fast.
+            let cold = workspace.last_iterations();
+            grid.steady_state_with(&[8.0, 0.5], &mut workspace).unwrap();
+            assert!(workspace.last_iterations() <= cold, "{solver}");
         }
     }
 

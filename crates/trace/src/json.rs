@@ -216,21 +216,7 @@ impl JsonValue {
                     out.push_str("null");
                 }
             }
-            JsonValue::String(value) => {
-                out.push('"');
-                for ch in value.chars() {
-                    match ch {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
+            JsonValue::String(value) => write_json_string(out, value),
             JsonValue::Array(items) => {
                 out.push('[');
                 for (index, item) in items.iter().enumerate() {
@@ -247,7 +233,7 @@ impl JsonValue {
                     if index > 0 {
                         out.push(',');
                     }
-                    JsonValue::String(key.clone()).write(out);
+                    write_json_string(out, key);
                     out.push(':');
                     value.write(out);
                 }
@@ -255,6 +241,26 @@ impl JsonValue {
             }
         }
     }
+}
+
+/// Writes `value` onto `out` as a JSON string literal — quotes plus the
+/// exact escaping [`JsonValue::to_json`] uses. Public so hand-rolled
+/// hot-path serializers (the span wire format) stay byte-compatible with
+/// the tree serializer without building a [`JsonValue`] first.
+pub fn write_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 impl fmt::Display for JsonValue {

@@ -13,7 +13,11 @@
 //! * [`markdown`] — markdown rendering of the reproduced Tables 1–3;
 //! * [`metrics`] — a lock-free-on-the-hot-path metrics registry (counters,
 //!   gauges, log-linear latency histograms, scoped spans) with Prometheus
-//!   text rendering and snapshot-based cross-worker merging.
+//!   text rendering and snapshot-based cross-worker merging;
+//! * [`spans`] — distributed-tracing span events (trace/span/parent ids,
+//!   µs intervals, attributes) with deterministic id generation, a buffered
+//!   [`spans::SpanSink`], span-forest reconstruction with critical-path
+//!   analysis, and Chrome trace-event export.
 //!
 //! # Examples
 //!
@@ -45,6 +49,7 @@ pub mod json;
 pub mod jsonl;
 pub mod markdown;
 pub mod metrics;
+pub mod spans;
 
 pub use error::TraceError;
 pub use gantt::GanttChart;

@@ -421,6 +421,30 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// The `q`-quantile (`q` in `[0, 1]`) of the frozen distribution — the
+    /// same bucket-upper-bound estimate as [`Histogram::quantile`], so a
+    /// snapshot (or a merge of worker snapshots) answers the question the
+    /// live histogram would. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // Buckets are kept index-sorted by construction; sort a copy anyway
+        // so a hand-built or deserialised snapshot cannot break the walk.
+        let mut buckets = self.buckets.clone();
+        buckets.sort_unstable();
+        let mut seen = 0u64;
+        for (index, count) in buckets {
+            seen = seen.saturating_add(count);
+            if seen >= target {
+                return bucket_high(index as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
     fn merge(&mut self, other: &HistogramSnapshot) {
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
