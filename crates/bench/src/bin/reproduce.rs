@@ -652,12 +652,16 @@ fn bench_batch() -> Result<String, Box<dyn std::error::Error>> {
 /// `Connection: close` requests — the per-request dial cost the persistent
 /// client removed), a journaled 1-worker run (append-and-flush on every
 /// mutation) against the plain 1-worker wall, reported as
-/// `overhead_vs_no_journal_pct`, and an observability A/B (the worker's
+/// `overhead_vs_no_journal_pct`, an observability A/B (the worker's
 /// metrics registry on — the default — vs `metrics: None`), reported as
-/// `observability.overhead_pct` with the scraped `/metrics` series count.
+/// `observability.overhead_pct` with the scraped `/metrics` series count,
+/// and a logging A/B (server `LogFilter` at `info` plus a channel-sinked
+/// worker vs `LogFilter::off()` and an unlogged worker), reported as
+/// `logging.overhead_pct` with the total appended log-line count.
 fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
     use tats_engine::CampaignSpec;
     use tats_service::{client, run_worker, Service, ServiceConfig, WorkerConfig};
+    use tats_trace::log::{log_channel, LogFilter, LogLevel};
     use tats_trace::{jsonl, spans, JsonValue};
 
     let campaign = Campaign::new(ExperimentConfig::fast())
@@ -941,6 +945,121 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
     let kept = &paired_pct[2..paired_pct.len() - 2];
     let observability_overhead_pct = kept.iter().sum::<f64>() / kept.len() as f64;
 
+    // Logging overhead: the same paired 1-worker design, with the arm
+    // under test running against a server that keeps structured logs at
+    // `info` (registry transitions and server lines through the lock-free
+    // sink into the ring) while the worker ships its own lines through a
+    // channel sink, vs a `LogFilter::off()` server and an unlogged
+    // worker. The off arm still executes every call site — the cheap
+    // level/target check is the cost being amortised — so the paired
+    // difference is the end-to-end price of leaving logging on in
+    // production. Two servers (one per arm) stay up across all rounds so
+    // neither arm pays a bind.
+    let log_on_server = Service::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            log_filter: Some(LogFilter::at(LogLevel::Info)),
+            ..ServiceConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind log-on: {e}"))?;
+    let log_off_server = Service::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            log_filter: Some(LogFilter::off()),
+            ..ServiceConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind log-off: {e}"))?;
+    let arm_addrs = [log_on_server.addr_string(), log_off_server.addr_string()];
+    const LOGGING_ROUNDS: usize = 9;
+    let mut logging_walls = [f64::INFINITY; 2];
+    let mut logging_round_walls = [[f64::NAN; 2]; LOGGING_ROUNDS];
+    let (log_sink, mut log_drain) = log_channel(LogFilter::at(LogLevel::Info));
+    for (round, walls) in logging_round_walls.iter_mut().enumerate() {
+        let mut pair = [(0usize, true), (1usize, false)];
+        if round % 2 == 1 {
+            pair.reverse();
+        }
+        for (slot, log_on) in pair {
+            let arm_addr = &arm_addrs[if log_on { 0 } else { 1 }];
+            let mut jobs = Vec::new();
+            for _ in 0..3 {
+                let response = client::post_json(
+                    arm_addr,
+                    "/jobs",
+                    &JsonValue::object(vec![
+                        ("spec".to_string(), spec.to_json()),
+                        ("shards".to_string(), JsonValue::from(SHARDS)),
+                    ]),
+                )
+                .map_err(|e| format!("submit logging: {e}"))?;
+                jobs.push(
+                    response
+                        .get("job")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("no job id")?
+                        .to_string(),
+                );
+            }
+            let config = WorkerConfig {
+                name: if log_on {
+                    "bench-log-on".to_string()
+                } else {
+                    "bench-log-off".to_string()
+                },
+                threads: 1,
+                poll_ms: 5,
+                exit_when_drained: true,
+                log: if log_on { Some(log_sink.clone()) } else { None },
+                ..WorkerConfig::default()
+            };
+            let start = Instant::now();
+            run_worker(arm_addr, &config).map_err(|e| format!("logging worker: {e}"))?;
+            let wall = start.elapsed().as_secs_f64();
+            walls[slot] = wall;
+            logging_walls[slot] = logging_walls[slot].min(wall);
+            // Drain the worker's channel outside the timed window so the
+            // on arm never measures an ever-growing buffer.
+            let _ = log_drain.drain_lines();
+            for job in &jobs {
+                let records = client::get(arm_addr, &format!("/jobs/{job}/records"))
+                    .map_err(|e| format!("records: {e}"))?;
+                let mut lines: Vec<String> = records.body.lines().map(str::to_string).collect();
+                lines.sort_by_key(|line| jsonl::line_id(line));
+                if lines != reference_lines {
+                    return Err("logging service run diverged from the in-process run".into());
+                }
+            }
+        }
+    }
+    // Prove the on arm actually logged (total appended count via the
+    // paging header) and the off arm stayed silent end to end.
+    let on_probe = client::get(&arm_addrs[0], &format!("/logs?from={}", usize::MAX))
+        .map_err(|e| format!("log probe: {e}"))?;
+    let log_lines: usize = on_probe
+        .header("x-next-from")
+        .and_then(|value| value.parse().ok())
+        .ok_or("no x-next-from on /logs")?;
+    if log_lines == 0 {
+        return Err("log-on server never appended a log line".into());
+    }
+    let off_probe = client::get(&arm_addrs[1], &format!("/logs?from={}", usize::MAX))
+        .map_err(|e| format!("log probe: {e}"))?;
+    if off_probe.header("x-next-from") != Some("0") {
+        return Err("log-off server logged despite LogFilter::off()".into());
+    }
+    log_on_server.stop();
+    log_off_server.stop();
+    let [log_on_wall, log_off_wall] = logging_walls;
+    let mut logging_paired_pct: Vec<f64> = logging_round_walls
+        .iter()
+        .map(|[on, off]| 100.0 * (on - off) / off.max(1e-12))
+        .collect();
+    logging_paired_pct.sort_by(|a, b| a.total_cmp(b));
+    let kept = &logging_paired_pct[2..logging_paired_pct.len() - 2];
+    let logging_overhead_pct = kept.iter().sum::<f64>() / kept.len() as f64;
+
     // Tracing overhead: the same paired A/B design, but the arm under test
     // is a *traced* campaign — the submit carries an `x-trace-id` (what
     // `tats submit` sends), the server stamps transition spans on the job's
@@ -1116,6 +1235,10 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
             "\"scenarios_per_run\": {}, ",
             "\"metrics_on_wall_s\": {:.6}, \"metrics_off_wall_s\": {:.6}, ",
             "\"overhead_pct\": {:.2}, \"scrape_series\": {} }},\n",
+            "  \"logging\": {{ \"workers\": 1, \"runs_each\": {}, ",
+            "\"scenarios_per_run\": {}, ",
+            "\"log_on_wall_s\": {:.6}, \"log_off_wall_s\": {:.6}, ",
+            "\"overhead_pct\": {:.2}, \"log_lines\": {} }},\n",
             "  \"tracing\": {{ \"workers\": 1, \"runs_each\": {}, ",
             "\"scenarios_per_run\": {}, ",
             "\"traced_wall_s\": {:.6}, \"untraced_wall_s\": {:.6}, ",
@@ -1150,6 +1273,12 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
         metrics_off_wall,
         observability_overhead_pct,
         scrape_series,
+        LOGGING_ROUNDS,
+        3 * scenarios.len(),
+        log_on_wall,
+        log_off_wall,
+        logging_overhead_pct,
+        log_lines,
         TRACING_ROUNDS,
         scenarios.len(),
         traced_wall,

@@ -88,6 +88,9 @@ COMMANDS:
                    --trace-log spans.jsonl            append every span the service sees
                                                       (request spans + merged job streams;
                                                       feed the file to tats trace)
+                   --log-file server.jsonl            append the structured log stream
+                                                      (also in memory via GET /logs;
+                                                      filter with TATS_LOG=info,lease=debug)
     worker       Lease and run campaign shards from a tats serve instance
                    --connect HOST:PORT                server address (required)
                    --threads 0 --poll-ms 200          executor threads, idle poll interval
@@ -106,6 +109,11 @@ COMMANDS:
                    --trace-seed 42                    pin the campaign trace id (default:
                                                       derived from clock + pid; the id is
                                                       echoed so spans can be correlated)
+    top          Live operator console for a tats serve fleet
+                   --connect HOST:PORT                server address (required)
+                   --interval-ms 1000                 refresh interval of the live view
+                   --once                             print one plain-text snapshot and
+                                                      exit (no ANSI; for scripts and CI)
     trace        Explore a span stream (from serve --trace-log or GET /jobs/{id}/spans)
                    tats trace spans.jsonl             span forest, critical path, per-phase
                                                       and benchmark x policy breakdowns,
@@ -794,7 +802,8 @@ pub fn batch(options: &Options) -> Result<String, CliError> {
 /// restart on the same path replays it — `kill -9` loses nothing the
 /// server said yes to. `GET /metrics` serves fleet-wide Prometheus
 /// counters; `--access-log` additionally appends one JSONL line per
-/// served request.
+/// served request. The structured log stream (`GET /logs`, filtered by
+/// `TATS_LOG`) tees to disk with `--log-file`.
 pub fn serve(options: &Options) -> Result<String, CliError> {
     let host = options.value_or("host", "127.0.0.1");
     let port = options.number("port", 7070.0)? as u16;
@@ -806,6 +815,7 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
         journal,
         access_log: options.value("access-log").map(std::path::PathBuf::from),
         trace_log: options.value("trace-log").map(std::path::PathBuf::from),
+        log_file: options.value("log-file").map(std::path::PathBuf::from),
         ..tats_service::ServiceConfig::default()
     };
     if options.switch("no-keep-alive") {
@@ -833,11 +843,16 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
 
 /// `tats worker` — lease and run campaign shards from a `tats serve`
 /// instance until killed (or, with `--exit-when-drained`, until the server
-/// has no unfinished jobs).
+/// has no unfinished jobs). Structured log events (lease churn, retries,
+/// the exit reason; `TATS_LOG`-filtered) stream to stderr as JSONL, so
+/// stdout stays the one-line report.
 pub fn worker(options: &Options) -> Result<String, CliError> {
+    use tats_trace::log::{log_channel, LogFilter};
+
     let addr = options
         .value("connect")
         .ok_or_else(|| CliError::Execution("worker requires --connect host:port".to_string()))?;
+    let (sink, mut drain) = log_channel(LogFilter::from_env());
     let config = tats_service::WorkerConfig {
         name: options
             .value_or("name", &tats_service::WorkerConfig::default().name)
@@ -845,9 +860,30 @@ pub fn worker(options: &Options) -> Result<String, CliError> {
         threads: options.number("threads", 0.0)? as usize,
         poll_ms: options.number("poll-ms", 200.0)? as u64,
         exit_when_drained: options.switch("exit-when-drained"),
+        log: Some(sink),
         ..tats_service::WorkerConfig::default()
     };
-    let report = tats_service::run_worker(addr, &config).map_err(execution_error)?;
+    // The worker loop blocks this thread, so a helper pumps the log drain
+    // to stderr until the loop returns; the final pass after the done flag
+    // is observed cannot miss lines because the loop has stopped emitting
+    // by the time the flag is set.
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let pump = {
+        let done = std::sync::Arc::clone(&done);
+        std::thread::spawn(move || loop {
+            for line in drain.drain_lines() {
+                eprintln!("{line}");
+            }
+            if done.load(std::sync::atomic::Ordering::Acquire) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        })
+    };
+    let result = tats_service::run_worker(addr, &config);
+    done.store(true, std::sync::atomic::Ordering::Release);
+    let _ = pump.join();
+    let report = result.map_err(execution_error)?;
     Ok(format!(
         "worker {}: completed {} shard(s), streamed {} record(s), {} idle poll(s)\n",
         config.name, report.shards_completed, report.records_posted, report.idle_polls,
@@ -974,6 +1010,11 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
     let retry = tats_service::RetryPolicy::default();
     let mut connection = client::Connection::new(addr);
     let mut last_progress: Option<std::time::Instant> = None;
+    // On an interactive terminal the progress line repaints in place
+    // (carriage return + erase-line); redirected to a file or pipe it
+    // degrades to one plain line per update, so logs stay grep-able.
+    let progress_tty = std::io::IsTerminal::is_terminal(&std::io::stderr());
+    let mut progress_inline = false;
     loop {
         let status_path = format!("/jobs/{job}");
         let status = retry
@@ -1055,11 +1096,23 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
                             p99_us.div_ceil(1_000)
                         ));
                     }
-                    eprintln!("{line}");
+                    if progress_tty {
+                        use std::io::Write;
+                        eprint!("\r\x1b[2K{line}");
+                        let _ = std::io::stderr().flush();
+                        progress_inline = true;
+                    } else {
+                        eprintln!("{line}");
+                    }
                 }
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(1)));
+    }
+    if progress_inline {
+        // Terminate the repainted progress line so the summary that follows
+        // starts on its own row.
+        eprintln!();
     }
 
     out.push_str(&inline_lines);
@@ -1070,6 +1123,199 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
         None => out.push_str(&format!("fetched {fetched} record(s)\n")),
     }
     Ok(out)
+}
+
+/// Lines of server log tail shown per `tats top` frame.
+const TOP_LOG_TAIL: usize = 12;
+
+/// One rendered `tats top` frame: fleet header, per-job progress rows
+/// (bar, rate, ETA, slowest engine phase), per-worker rows and the log
+/// tail. Plain text with no ANSI — the live view adds only the repaint
+/// prefix, so `--once` output is byte-for-byte a frame.
+fn top_frame(
+    connection: &mut tats_service::client::Connection,
+    retry: &tats_service::RetryPolicy,
+    addr: &str,
+) -> Result<String, CliError> {
+    use tats_trace::JsonValue;
+
+    let fetch = |connection: &mut tats_service::client::Connection,
+                 path: &str|
+     -> Result<JsonValue, CliError> {
+        let response = retry
+            .run(|| connection.get(path))
+            .map_err(execution_error)?;
+        JsonValue::parse(&response.body)
+            .map_err(|e| CliError::Execution(format!("{path} from server: {e}")))
+    };
+    let jobs_value = fetch(connection, "/jobs")?;
+    let workers_value = fetch(connection, "/workers")?;
+    let empty: &[JsonValue] = &[];
+    let jobs = jobs_value
+        .get("jobs")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(empty);
+    let workers = workers_value
+        .get("workers")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(empty);
+
+    let total_records: u64 = jobs
+        .iter()
+        .filter_map(|job| job.get("records").and_then(JsonValue::as_u64))
+        .sum();
+    // Fleet throughput: lifetime rates of the workers still inside their
+    // lease TTL (a stale worker's historical rate is not throughput).
+    let fleet_rate: f64 = workers
+        .iter()
+        .filter(|row| row.get("status").and_then(JsonValue::as_str) != Some("stale"))
+        .filter_map(|row| row.get("records_per_sec").and_then(JsonValue::as_f64))
+        .sum();
+    let mut frame = format!(
+        "tats top — {addr}\nfleet: {} job(s), {} worker(s), {} record(s), {:.1} records/s\n",
+        jobs.len(),
+        workers.len(),
+        total_records,
+        fleet_rate,
+    );
+
+    frame.push_str("\nJOB       STATE     PROGRESS                     RECORDS         RATE      ETA  SLOW PHASE\n");
+    if jobs.is_empty() {
+        frame.push_str("  (no jobs submitted)\n");
+    }
+    for job in jobs {
+        let id = job.get("job").and_then(JsonValue::as_str).unwrap_or("?");
+        let state = job.get("state").and_then(JsonValue::as_str).unwrap_or("?");
+        let progress = fetch(connection, &format!("/jobs/{id}/progress"))?;
+        let done = progress
+            .get("done")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let total = progress
+            .get("total")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let width = 20usize;
+        let filled = ((done.min(total) as usize * width) / total.max(1) as usize).min(width);
+        let bar = format!(
+            "[{}{}] {:>3}%",
+            "#".repeat(filled),
+            "-".repeat(width - filled),
+            done * 100 / total.max(1),
+        );
+        let rate = progress
+            .get("records_per_sec")
+            .and_then(JsonValue::as_f64)
+            .map_or_else(|| "-".to_string(), |rate| format!("{rate:.1}/s"));
+        let eta = progress
+            .get("eta_s")
+            .and_then(JsonValue::as_f64)
+            .map_or_else(|| "-".to_string(), |eta| format!("{eta:.0}s"));
+        // The engine phase with the worst tail latency, same signal the
+        // submit --wait progress line names.
+        let slow = progress
+            .get("phases")
+            .and_then(JsonValue::as_array)
+            .into_iter()
+            .flatten()
+            .filter_map(|entry| {
+                Some((
+                    entry.get("phase")?.as_str()?.to_string(),
+                    entry.get("p50_us")?.as_u64()?,
+                    entry.get("p99_us")?.as_u64()?,
+                ))
+            })
+            .max_by_key(|&(_, _, p99_us)| p99_us)
+            .map_or_else(
+                || "-".to_string(),
+                |(phase, p50_us, p99_us)| {
+                    format!(
+                        "{phase} p50 {}ms p99 {}ms",
+                        p50_us.div_ceil(1_000),
+                        p99_us.div_ceil(1_000)
+                    )
+                },
+            );
+        frame.push_str(&format!(
+            "{id:<9} {state:<9} {bar:<26} {done:>6}/{total:<6} {rate:>8} {eta:>8}  {slow}\n"
+        ));
+    }
+
+    frame.push_str("\nWORKER                STATUS   RECORDS      RATE  LAST SEEN\n");
+    if workers.is_empty() {
+        frame.push_str("  (no workers seen)\n");
+    }
+    for row in workers {
+        let name = row.get("name").and_then(JsonValue::as_str).unwrap_or("?");
+        let status = row.get("status").and_then(JsonValue::as_str).unwrap_or("?");
+        let records = row.get("records").and_then(JsonValue::as_u64).unwrap_or(0);
+        let rate = row
+            .get("records_per_sec")
+            .and_then(JsonValue::as_f64)
+            .map_or_else(|| "-".to_string(), |rate| format!("{rate:.1}/s"));
+        let age = row
+            .get("last_seen_age_ms")
+            .and_then(JsonValue::as_u64)
+            .map_or_else(
+                || "-".to_string(),
+                |ms| format!("{:.1}s ago", ms as f64 / 1_000.0),
+            );
+        frame.push_str(&format!(
+            "{name:<21} {status:<8} {records:>7} {rate:>9}  {age}\n"
+        ));
+    }
+
+    // Log tail: one empty probe learns the ring's next index from
+    // x-next-from, the second request pages just the last few lines.
+    let probe = retry
+        .run(|| connection.get(&format!("/logs?from={}", usize::MAX)))
+        .map_err(execution_error)?;
+    let next: usize = probe
+        .header("x-next-from")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(0);
+    let tail = retry
+        .run(|| connection.get(&format!("/logs?from={}", next.saturating_sub(TOP_LOG_TAIL))))
+        .map_err(execution_error)?;
+    let count = tail.body.lines().count();
+    frame.push_str(&format!("\nLOG  last {count} of {next} line(s)\n"));
+    if count == 0 {
+        frame.push_str("  (log ring is empty)\n");
+    }
+    for line in tail.body.lines() {
+        frame.push_str("  ");
+        frame.push_str(line);
+        frame.push('\n');
+    }
+    Ok(frame)
+}
+
+/// `tats top` — live operator console for a `tats serve` fleet: fleet
+/// throughput, per-job progress bars with rate/ETA and the slowest engine
+/// phase (p50/p99 from `GET /jobs/{id}/progress`), per-worker
+/// status/rate/last-seen rows, and a scrolling tail of the server's
+/// structured log (`GET /logs`). The live view repaints in place every
+/// `--interval-ms` until killed; `--once` returns a single plain-text
+/// snapshot (no ANSI) for scripts and CI.
+pub fn top(options: &Options) -> Result<String, CliError> {
+    let addr = options
+        .value("connect")
+        .ok_or_else(|| CliError::Execution("top requires --connect host:port".to_string()))?;
+    let interval_ms = options.number("interval-ms", 1_000.0)? as u64;
+    let retry = tats_service::RetryPolicy::default();
+    let mut connection = tats_service::client::Connection::new(addr);
+    if options.switch("once") {
+        return top_frame(&mut connection, &retry, addr);
+    }
+    loop {
+        let frame = top_frame(&mut connection, &retry, addr)?;
+        // Cursor home + clear: a steady repainted frame instead of
+        // scrollback spam. Only the live view emits ANSI.
+        print!("\x1b[H\x1b[2J{frame}");
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+    }
 }
 
 /// `tats trace` — explore a span stream: reconstruct the span forest of a
@@ -1290,6 +1536,7 @@ mod tests {
             "serve",
             "worker",
             "submit",
+            "top",
             "trace",
             "export",
         ] {
@@ -1309,6 +1556,9 @@ mod tests {
             "--trace-log",
             "--trace-seed",
             "--chrome",
+            "--log-file",
+            "--interval-ms",
+            "--once",
         ] {
             assert!(text.contains(option), "help must document {option}");
         }
@@ -1754,6 +2004,79 @@ mod tests {
         };
         assert_eq!(pick(&submit_out), pick(&batch_out));
         server.stop();
+    }
+
+    /// Operator-console end-to-end: drive a tiny campaign to done against a
+    /// live service, then render `tats top --once` and assert the frame
+    /// carries a job row with its progress bar, the worker row, and the
+    /// structured log tail — with no ANSI escapes (snapshot mode is for
+    /// scripts and CI).
+    #[test]
+    fn top_once_renders_jobs_workers_and_log_tail() {
+        let server = tats_service::Service::bind(
+            "127.0.0.1:0",
+            tats_service::ServiceConfig {
+                log_filter: Some(tats_trace::log::LogFilter::at(
+                    tats_trace::log::LogLevel::Debug,
+                )),
+                ..tats_service::ServiceConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.addr_string();
+        {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let _ = tats_service::run_worker(
+                    &addr,
+                    &tats_service::WorkerConfig {
+                        name: "cli-top-worker".to_string(),
+                        poll_ms: 10,
+                        ..tats_service::WorkerConfig::default()
+                    },
+                );
+            });
+        }
+        let submit_out = submit(&opts(
+            &[
+                "--connect",
+                &addr,
+                "--benchmarks",
+                "Bm1",
+                "--policies",
+                "baseline,thermal",
+                "--shards",
+                "2",
+                "--wait",
+                "--poll-ms",
+                "20",
+            ],
+            &["connect", "benchmarks", "policies", "shards", "poll-ms"],
+            &["wait"],
+        ))
+        .expect("submit --wait");
+        assert!(submit_out.contains("fetched 2 record(s)"), "{submit_out}");
+
+        let frame = top(&opts(
+            &["--connect", &addr, "--once"],
+            &["connect", "interval-ms"],
+            &["once"],
+        ))
+        .expect("top --once");
+        server.stop();
+
+        assert!(frame.contains("tats top"), "{frame}");
+        assert!(frame.contains("j000001"), "{frame}");
+        assert!(frame.contains("done"), "{frame}");
+        assert!(frame.contains("100%"), "{frame}");
+        assert!(frame.contains("2/2"), "{frame}");
+        assert!(frame.contains("cli-top-worker"), "{frame}");
+        assert!(frame.contains("\"message\":\"job submitted\""), "{frame}");
+        assert!(frame.contains("LOG"), "{frame}");
+        assert!(
+            !frame.contains('\x1b'),
+            "--once must not emit ANSI escapes: {frame}"
+        );
     }
 
     /// Satellite of the crash-safety PR: `submit --wait` keeps its place in

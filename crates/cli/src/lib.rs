@@ -14,6 +14,7 @@
 //! tats serve --port 7070
 //! tats worker --connect 127.0.0.1:7070
 //! tats submit --connect 127.0.0.1:7070 --benchmarks all --shards 4 --wait
+//! tats top --connect 127.0.0.1:7070
 //! tats trace spans.jsonl --chrome trace.json
 //! tats export --benchmark Bm1 --format tgff
 //! ```
@@ -66,6 +67,7 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
                 "journal",
                 "access-log",
                 "trace-log",
+                "log-file",
             ],
             &["no-keep-alive"],
         ),
@@ -90,6 +92,7 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
             ],
             &["full", "wait"],
         ),
+        "top" => (&["connect", "interval-ms"], &["once"]),
         "trace" => (&["chrome"], &[]),
         "export" => (&["benchmark", "format"], &[]),
         _ => (&[], &[]),
@@ -141,6 +144,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "serve" => commands::serve(&options),
         "worker" => commands::worker(&options),
         "submit" => commands::submit(&options),
+        "top" => commands::top(&options),
         "trace" => commands::trace(positional.as_deref(), &options),
         "export" => commands::export(&options),
         other => Err(CliError::UnknownCommand(other.to_string())),

@@ -53,6 +53,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use tats_engine::CampaignSpec;
+use tats_trace::log::LogFilter;
 use tats_trace::metrics::Histogram;
 use tats_trace::spans::{id_hex, parse_id};
 use tats_trace::{jsonl, JsonValue};
@@ -106,7 +107,25 @@ fn field_str<'e>(event: &'e JsonValue, name: &str) -> Result<&'e str, ServiceErr
 /// refuses — including a lease grant that does not reproduce, the signature
 /// of a corrupted journal. A missing file replays to an empty registry.
 pub fn replay(path: &Path, lease_ttl_ms: u64) -> Result<(Registry, ReplayReport), ServiceError> {
+    replay_with_filter(path, lease_ttl_ms, Arc::new(LogFilter::off()))
+}
+
+/// [`replay`] with a structured-log filter installed *before* the events
+/// are applied, so the registry regenerates the log lines of every
+/// journaled transition (they are pure functions of journaled inputs, like
+/// the transition spans). The server uses this to restore `GET /logs`
+/// continuity across a restart.
+///
+/// # Errors
+///
+/// As [`replay`].
+pub fn replay_with_filter(
+    path: &Path,
+    lease_ttl_ms: u64,
+    filter: Arc<LogFilter>,
+) -> Result<(Registry, ReplayReport), ServiceError> {
     let mut registry = Registry::new(lease_ttl_ms);
+    registry.set_log_filter(filter);
     let mut report = ReplayReport::default();
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
@@ -264,8 +283,23 @@ impl JournaledRegistry {
     ///
     /// Propagates [`replay`] errors and I/O failures opening the file.
     pub fn open(path: &Path, lease_ttl_ms: u64) -> Result<(Self, ReplayReport), ServiceError> {
+        Self::open_with_filter(path, lease_ttl_ms, Arc::new(LogFilter::off()))
+    }
+
+    /// [`JournaledRegistry::open`] with a structured-log filter installed
+    /// before replay, so the registry regenerates the log lines of every
+    /// replayed transition (see [`replay_with_filter`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`JournaledRegistry::open`].
+    pub fn open_with_filter(
+        path: &Path,
+        lease_ttl_ms: u64,
+        filter: Arc<LogFilter>,
+    ) -> Result<(Self, ReplayReport), ServiceError> {
         let (writer, repaired_bytes) = jsonl::append_repaired(path)?;
-        let (registry, mut report) = replay(path, lease_ttl_ms)?;
+        let (registry, mut report) = replay_with_filter(path, lease_ttl_ms, filter)?;
         report.repaired_bytes = repaired_bytes;
         Ok((
             JournaledRegistry {
@@ -295,6 +329,19 @@ impl JournaledRegistry {
     /// for the feed, never what the per-job streams contain.
     pub fn set_trace_buffered(&mut self, buffered: bool) {
         self.registry.set_trace_buffered(buffered);
+    }
+
+    /// [`Registry::set_log_filter`]: installs the structured-log filter.
+    /// Not journaled — it controls observability output, not state.
+    pub fn set_log_filter(&mut self, filter: Arc<LogFilter>) {
+        self.registry.set_log_filter(filter);
+    }
+
+    /// [`Registry::take_log_lines`]: structured log lines emitted since
+    /// the last call. Not journaled (replay regenerates them) and not
+    /// gated by sealing — draining writes nothing.
+    pub fn take_log_lines(&mut self) -> Vec<String> {
+        self.registry.take_log_lines()
     }
 
     /// Refuses every further mutation and closes the journal file. This is

@@ -75,10 +75,50 @@
 //!  "records_per_sec":41.2,"eta_s":1.14,...}
 //! ```
 //!
-//! `tats submit --wait` prints that progress line to stderr once a second,
-//! and `tats serve --access-log events.jsonl` appends one JSONL event per
-//! request (method, path, status, duration, bytes, keep-alive) to a
-//! crash-repaired log file.
+//! `tats submit --wait` prints that progress line to stderr once a second
+//! (a rewriting carriage-return line on a tty, plain appended lines when
+//! piped), and `tats serve --access-log events.jsonl` appends one JSONL
+//! event per request (method, path, status, duration, bytes, keep-alive)
+//! to a crash-repaired log file.
+//!
+//! # Operating the fleet (PR 9)
+//!
+//! The stack emits structured logs through [`tats_trace::log`]: leveled
+//! JSONL events with a target, sorted attributes and — when a span
+//! context is active — the campaign's `trace_id`. The server keeps the
+//! last 1024 lines in a bounded in-memory ring served at `GET
+//! /logs?from=k` (pages exactly like `/records` and `/spans`, with an
+//! `x-next-from` header) and `tats serve --log-file server.jsonl` tees
+//! every live line to a crash-repaired file. `TATS_LOG=info,lease=debug`
+//! filters per target; [`ServiceConfig::log_filter`] pins it
+//! programmatically. Registry transition lines (`"target":"registry"`)
+//! are stamped on the journaled clock, so a restart replays them into
+//! the ring byte-for-byte; lease grants and server lifecycle lines are
+//! live-only and may not survive a kill (pinned in
+//! `tests/log_stream.rs`). Workers opt in via [`WorkerConfig::log`]
+//! (`tats worker` streams its lines to stderr as JSONL).
+//!
+//! Two operator consoles sit on top: `tats top --connect HOST:PORT` is a
+//! live ANSI terminal dashboard (fleet throughput, per-worker rates and
+//! last-seen ages, per-job progress bars with phase p50/p99, a scrolling
+//! log tail; `--once` prints one plain-text frame for scripts), and
+//! `GET /dashboard` serves the same picture as a single self-contained
+//! HTML page — inline styling, inline SVG sparklines, an auto-refresh
+//! meta tag, and no external fetches of any kind.
+//!
+//! ## Which signal do I reach for?
+//!
+//! * **Metrics** (`GET /metrics`) answer "how much / how fast, right
+//!   now": rates, counts, latency histograms per endpoint and worker.
+//!   Cheap enough to scrape every second; no per-event detail.
+//! * **Spans** (`GET /jobs/{id}/spans`, `tats trace`) answer "where did
+//!   this job's time go": one tree per campaign with per-phase walls and
+//!   the critical path. Per-job, replayable, byte-stable.
+//! * **Logs** (`GET /logs`, `tats top`'s tail) answer "what happened,
+//!   in order": discrete events — submits, leases, ingests, retries,
+//!   crashes — each carrying the trace id that links it back to its
+//!   span tree. Start triage here, pivot by `trace_id` into the span
+//!   forest, quantify with the metrics page.
 //!
 //! # Talking to a (restarted) server with curl
 //!

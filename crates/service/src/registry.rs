@@ -23,12 +23,40 @@
 //! clock.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use tats_engine::{CampaignSpec, ScenarioRecord, Shard, ShardBoard, ShardState, Summary};
+use tats_trace::log::{LogEvent, LogFilter, LogLevel};
 use tats_trace::spans::{id_hex, SpanEvent, SpanIdGen, SpanKind};
 use tats_trace::{jsonl, JsonValue};
 
 use crate::error::ServiceError;
+
+/// Builds one registry log line when `filter` passes it, stamped with the
+/// *journaled* clock (`now_ms * 1000` µs, not the wall clock): a line built
+/// from a journaled transition (`submit`, `ingest`, `shard done`) is a pure
+/// function of the journal, so replay regenerates it byte-identically —
+/// the property the `/logs` crash-recovery tests pin.
+fn build_log(
+    filter: &LogFilter,
+    level: LogLevel,
+    target: &str,
+    message: &str,
+    trace_id: u64,
+    now_ms: u64,
+    attrs: &[(&str, &str)],
+) -> Option<String> {
+    if !filter.enabled(level, target) {
+        return None;
+    }
+    let mut event = LogEvent::new(level, target, message)
+        .at(now_ms.saturating_mul(1_000))
+        .trace(trace_id);
+    for (key, value) in attrs {
+        event = event.attr(key, *value);
+    }
+    Some(event.to_line())
+}
 
 /// One submitted campaign and its scheduling state.
 #[derive(Debug)]
@@ -309,6 +337,16 @@ pub struct Registry {
     /// The server turns this off when it has no `--trace-log` to feed, so
     /// the merged per-job streams are built without per-span clones.
     trace_buffered: bool,
+    /// Structured log lines emitted since the last
+    /// [`Registry::take_log_lines`] — the server drains this into its log
+    /// ring (and `--log-file`) after each request. Lines for journaled
+    /// transitions are stamped with the journaled clock, so replay
+    /// regenerates them byte-identically; lease-grant lines (target
+    /// `lease`) are live-only and vanish on restart.
+    log_out: Vec<String>,
+    /// The level/target filter applied before any log line is built. Off
+    /// by default; the server installs its configured filter at bind.
+    log_filter: Arc<LogFilter>,
 }
 
 impl Registry {
@@ -321,6 +359,8 @@ impl Registry {
             lease_ttl_ms: lease_ttl_ms.max(1),
             trace_out: Vec::new(),
             trace_buffered: true,
+            log_out: Vec::new(),
+            log_filter: Arc::new(LogFilter::off()),
         }
     }
 
@@ -335,6 +375,19 @@ impl Registry {
     /// `--trace-log` feed. Cheap when nothing happened.
     pub fn take_trace_lines(&mut self) -> Vec<String> {
         std::mem::take(&mut self.trace_out)
+    }
+
+    /// Installs the level/target filter registry log lines are checked
+    /// against before being built. [`LogFilter::off`] (the default) makes
+    /// every logging call site a single branch.
+    pub fn set_log_filter(&mut self, filter: Arc<LogFilter>) {
+        self.log_filter = filter;
+    }
+
+    /// Takes every structured log line emitted since the last call — the
+    /// server's log-ring/`--log-file` feed. Cheap when nothing happened.
+    pub fn take_log_lines(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.log_out)
     }
 
     /// The lease TTL the registry applies, ms.
@@ -423,9 +476,24 @@ impl Registry {
             &[("job", id.as_str()), ("shards", shards_text.as_str())],
             self.trace_buffered,
         );
+        let scenarios_text = job.expected.len().to_string();
+        let log_line = build_log(
+            &self.log_filter,
+            LogLevel::Info,
+            "registry",
+            "job submitted",
+            trace_id,
+            now_ms,
+            &[
+                ("job", id.as_str()),
+                ("scenarios", scenarios_text.as_str()),
+                ("shards", shards_text.as_str()),
+            ],
+        );
         let status = job.status_json(now_ms);
         self.jobs.insert(id, job);
         self.trace_out.extend(trace_line);
+        self.log_out.extend(log_line);
         Ok(status)
     }
 
@@ -436,9 +504,11 @@ impl Registry {
     pub fn lease(&mut self, worker: &str, now_ms: u64) -> JsonValue {
         let ttl = self.lease_ttl_ms;
         let buffered = self.trace_buffered;
+        let filter = Arc::clone(&self.log_filter);
         self.touch_worker(worker, now_ms);
         let mut granted: Option<JsonValue> = None;
         let mut trace_line: Option<String> = None;
+        let mut log_line: Option<String> = None;
         for job in self.jobs.values_mut() {
             if job.board.all_done() {
                 continue;
@@ -483,6 +553,22 @@ impl Registry {
                     &[("shard", shard_text.as_str()), ("peer", worker)],
                     buffered,
                 );
+                // Lease grants are *not* journaled, so their log lines use
+                // the live-only `lease` target — the crash-recovery tests
+                // pin only `registry`-target lines across a restart.
+                log_line = build_log(
+                    &filter,
+                    LogLevel::Debug,
+                    "lease",
+                    "shard leased",
+                    job.trace_id,
+                    now_ms,
+                    &[
+                        ("job", job.id.as_str()),
+                        ("shard", shard_text.as_str()),
+                        ("worker", worker),
+                    ],
+                );
                 granted = Some(JsonValue::object(vec![(
                     "lease".to_string(),
                     JsonValue::object(fields),
@@ -491,6 +577,7 @@ impl Registry {
             }
         }
         self.trace_out.extend(trace_line);
+        self.log_out.extend(log_line);
         match granted {
             Some(response) => {
                 // Count leases actually granted, not idle polls: the
@@ -535,6 +622,7 @@ impl Registry {
     ) -> Result<IngestReport, ServiceError> {
         let ttl = self.lease_ttl_ms;
         let buffered = self.trace_buffered;
+        let filter = Arc::clone(&self.log_filter);
         self.touch_worker(worker, now_ms);
         let job = self.job_mut(job_id)?;
         let count = job.board.count();
@@ -669,8 +757,28 @@ impl Registry {
             }
             new_lines.extend(copy);
         }
+        // `accepted`/`duplicates` replay identically (the journal records
+        // the successful body verbatim), so this line is replay-stable.
+        let accepted_text = report.accepted.to_string();
+        let duplicates_text = report.duplicates.to_string();
+        let log_line = build_log(
+            &filter,
+            LogLevel::Debug,
+            "registry",
+            "records ingested",
+            job.trace_id,
+            now_ms,
+            &[
+                ("accepted", accepted_text.as_str()),
+                ("duplicates", duplicates_text.as_str()),
+                ("job", job_id),
+                ("shard", shard_text.as_str()),
+                ("worker", worker),
+            ],
+        );
         self.touch_worker(worker, now_ms).records += report.accepted as u64;
         self.trace_out.extend(new_lines);
+        self.log_out.extend(log_line);
         Ok(report)
     }
 
@@ -690,6 +798,7 @@ impl Registry {
         now_ms: u64,
     ) -> Result<JsonValue, ServiceError> {
         let buffered = self.trace_buffered;
+        let filter = Arc::clone(&self.log_filter);
         self.touch_worker(worker, now_ms);
         let job = self.job_mut(job_id)?;
         let count = job.board.count();
@@ -740,9 +849,37 @@ impl Registry {
             .attr("job", job.id.as_str());
             new_lines.extend(job.push_span(&root, buffered));
         }
+        let mut log_lines: Vec<String> = build_log(
+            &filter,
+            LogLevel::Info,
+            "registry",
+            "shard done",
+            job.trace_id,
+            now_ms,
+            &[
+                ("job", job_id),
+                ("shard", shard_text.as_str()),
+                ("worker", worker),
+            ],
+        )
+        .into_iter()
+        .collect();
+        if job.board.all_done() {
+            let records_text = job.records.len().to_string();
+            log_lines.extend(build_log(
+                &filter,
+                LogLevel::Info,
+                "registry",
+                "job done",
+                job.trace_id,
+                now_ms,
+                &[("job", job_id), ("records", records_text.as_str())],
+            ));
+        }
         let status = job.status_json(now_ms);
         self.touch_worker(worker, now_ms).shards_done += 1;
         self.trace_out.extend(new_lines);
+        self.log_out.extend(log_lines);
         Ok(status)
     }
 
@@ -938,9 +1075,14 @@ impl Registry {
     }
 
     /// Everything known about the workers that have talked to this server,
-    /// including how long ago each was last seen and its lifetime record
-    /// rate (records posted over the first-seen → last-seen window; `null`
-    /// until the window is wide enough to measure).
+    /// including how long ago each was last seen, its lifetime record rate
+    /// (records posted over the first-seen → last-seen window; `null` until
+    /// the window is wide enough to measure), and a derived `status`:
+    /// `stale` when the worker has not been seen for longer than the lease
+    /// TTL (it would have polled or renewed by now — presumed dead),
+    /// `active` when it holds at least one unexpired lease, `idle`
+    /// otherwise (alive but nothing to do — a drained fleet, not a dead
+    /// one).
     pub fn workers_status(&self, now_ms: u64) -> JsonValue {
         JsonValue::object(vec![(
             "workers".to_string(),
@@ -956,8 +1098,26 @@ impl Registry {
                         } else {
                             JsonValue::Null
                         };
+                        let holds_lease = self.jobs.values().any(|job| {
+                            (0..job.board.count()).any(|index| match job.board.state(index) {
+                                ShardState::Leased {
+                                    worker,
+                                    deadline_ms,
+                                } => worker == name && *deadline_ms > now_ms,
+                                _ => false,
+                            })
+                        });
+                        let status = if now_ms.saturating_sub(info.last_seen_ms) > self.lease_ttl_ms
+                        {
+                            "stale"
+                        } else if holds_lease {
+                            "active"
+                        } else {
+                            "idle"
+                        };
                         JsonValue::object(vec![
                             ("name".to_string(), JsonValue::from(name.as_str())),
+                            ("status".to_string(), JsonValue::from(status)),
                             ("leases".to_string(), JsonValue::from(info.leases as usize)),
                             (
                                 "records".to_string(),

@@ -31,7 +31,9 @@
 //! | `GET /jobs/{id}/spans?from=k` | — | JSONL span events from index `k` (header `x-next-from`) |
 //! | `GET /jobs/{id}/progress` | — | done/total, records/sec, ETA, per-phase p50/p99 |
 //! | `GET /jobs/{id}/summary` | — | aggregated campaign summary |
-//! | `GET /workers` | — | per-worker statistics (last-seen age, lifetime records/sec) |
+//! | `GET /workers` | — | per-worker statistics (status, last-seen age, lifetime records/sec) |
+//! | `GET /logs?from=k` | — | JSONL structured log lines from ring index `k` (header `x-next-from`, served even before ready) |
+//! | `GET /dashboard` | — | self-contained auto-refreshing HTML fleet dashboard (served even before ready) |
 //! | `POST /lease` | `{"worker": name, "metrics"?: snapshot}` | lease the next available shard |
 //! | `POST /jobs/{id}/shards/{i}/records` | JSONL lines (`x-worker` header) | stream shard records |
 //! | `POST /jobs/{id}/shards/{i}/done` | — (`x-worker` header) | mark a shard complete |
@@ -63,6 +65,24 @@
 //! synthetic clock anchored at the submit instant make them pure functions
 //! of journaled events, so a restart replays the identical stream (served
 //! by `GET /jobs/{id}/spans`, analysed by `tats trace`).
+//!
+//! # Structured logging
+//!
+//! The server keeps the last [`LOG_RING_CAPACITY`] structured log lines
+//! ([`tats_trace::log`]) in a bounded ring with monotonic indices, paged
+//! by `GET /logs?from=k` exactly like `/records` and `/spans`. The ring
+//! collects registry transition lines (target `registry`: submit, ingest,
+//! shard/job done — stamped with the *journaled* clock, `now_ms × 1000`,
+//! so a restart regenerates them byte-identically from the journal),
+//! live-only lease-grant lines (target `lease`), and the server's own
+//! lifecycle events (target `server`: listening, journal replayed,
+//! unparsable requests — wall-clock stamped, not replayed). With
+//! [`ServiceConfig::log_file`] set, every *live-emitted* line is also
+//! appended to a crash-repaired JSONL file; replay-regenerated lines are
+//! restored to the ring only, never re-appended to the file (the previous
+//! incarnation already wrote them). [`ServiceConfig::log_filter`] (or the
+//! `TATS_LOG` environment variable) picks levels per target; filtering
+//! happens before a line is built, so disabled call sites cost one branch.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader};
@@ -73,6 +93,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tats_engine::CampaignSpec;
+use tats_trace::log::{log_channel, LogDrain, LogEvent, LogFilter, LogLevel, LogRing, LogSink};
 use tats_trace::metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use tats_trace::spans::{self, SpanDrain, SpanEvent, SpanIdGen, SpanKind, SpanSink};
 use tats_trace::{jsonl, JsonValue};
@@ -121,6 +142,18 @@ pub struct ServiceConfig {
     /// default) keeps spans only in the per-job streams served by
     /// `GET /jobs/{id}/spans`.
     pub trace_log: Option<PathBuf>,
+    /// JSONL structured-log file (`tats serve --log-file`): with a path,
+    /// every live-emitted log line is appended there (crash-repaired on
+    /// reopen, like the journal). Replay-regenerated registry lines are
+    /// restored to the in-memory ring behind `GET /logs` but never
+    /// re-appended to the file — the previous incarnation already wrote
+    /// them. `None` (the default) keeps logs only in the ring.
+    pub log_file: Option<PathBuf>,
+    /// Level/target filter for structured logs. `None` (the default)
+    /// reads the `TATS_LOG` environment variable, falling back to `info`;
+    /// tests and benchmarks pass an explicit filter ([`LogFilter::off`]
+    /// silences everything).
+    pub log_filter: Option<LogFilter>,
 }
 
 impl Default for ServiceConfig {
@@ -133,6 +166,8 @@ impl Default for ServiceConfig {
             ready_holdoff_ms: 0,
             access_log: None,
             trace_log: None,
+            log_file: None,
+            log_filter: None,
         }
     }
 }
@@ -140,10 +175,12 @@ impl Default for ServiceConfig {
 /// Every endpoint label `GET /metrics` reports. Pre-registered at bind so
 /// the hot path is a `HashMap` lookup plus relaxed atomics — no lock, no
 /// allocation.
-const ENDPOINTS: [&str; 15] = [
+const ENDPOINTS: [&str; 17] = [
     "GET /healthz",
     "GET /readyz",
     "GET /metrics",
+    "GET /logs",
+    "GET /dashboard",
     "POST /jobs",
     "GET /jobs",
     "GET /jobs/{id}",
@@ -177,6 +214,8 @@ fn endpoint_label(method: &str, segments: &[&str]) -> &'static str {
         ("GET", ["healthz"]) => "GET /healthz",
         ("GET", ["readyz"]) => "GET /readyz",
         ("GET", ["metrics"]) => "GET /metrics",
+        ("GET", ["logs"]) => "GET /logs",
+        ("GET", ["dashboard"]) => "GET /dashboard",
         ("POST", ["jobs"]) => "POST /jobs",
         ("GET", ["jobs"]) => "GET /jobs",
         ("GET", ["jobs", _]) => "GET /jobs/{id}",
@@ -256,6 +295,69 @@ struct TraceLog {
     ids: Mutex<SpanIdGen>,
 }
 
+/// Lines retained by the `GET /logs` ring. Indices are monotonic, so a
+/// pager that falls more than this far behind loses lines (served from
+/// the oldest retained index) but never stalls.
+pub const LOG_RING_CAPACITY: usize = 1_024;
+
+/// The server's structured-log plumbing: a lock-free sink the handlers
+/// and the registry feed, the drain that collects emitted lines, the
+/// bounded ring behind `GET /logs`, and the optional `--log-file`.
+struct ServerLogs {
+    sink: LogSink,
+    drain: Mutex<LogDrain>,
+    ring: Mutex<LogRing>,
+    file: Option<Mutex<std::fs::File>>,
+}
+
+impl ServerLogs {
+    fn new(filter: LogFilter, file: Option<std::fs::File>) -> ServerLogs {
+        let (sink, drain) = log_channel(filter);
+        ServerLogs {
+            sink,
+            drain: Mutex::new(drain),
+            ring: Mutex::new(LogRing::new(LOG_RING_CAPACITY)),
+            file: file.map(Mutex::new),
+        }
+    }
+
+    /// Moves every line emitted since the last call into the ring and, when
+    /// configured, the `--log-file` (one batched write + flush). Logging is
+    /// best-effort: I/O errors and poisoned locks drop lines, never requests.
+    fn flush(&self) {
+        let lines = match self.drain.lock() {
+            Ok(mut drain) => drain.drain_lines(),
+            Err(_) => return,
+        };
+        if lines.is_empty() {
+            return;
+        }
+        if let Some(file) = &self.file {
+            if let Ok(mut file) = file.lock() {
+                use std::io::Write as _;
+                let mut batch = String::new();
+                for line in &lines {
+                    batch.push_str(line);
+                    batch.push('\n');
+                }
+                let _ = file.write_all(batch.as_bytes());
+                let _ = file.flush();
+            }
+        }
+        if let Ok(mut ring) = self.ring.lock() {
+            ring.extend(lines);
+        }
+    }
+
+    /// Restores replay-regenerated lines to the ring without touching the
+    /// `--log-file` — the previous incarnation already wrote them there.
+    fn restore(&self, lines: Vec<String>) {
+        if let Ok(mut ring) = self.ring.lock() {
+            ring.extend(lines);
+        }
+    }
+}
+
 /// State shared between the accept loop, the connection handlers and the
 /// [`ServiceHandle`].
 struct Shared {
@@ -271,6 +373,11 @@ struct Shared {
     access_log: Option<Mutex<jsonl::JsonlWriter<std::fs::File>>>,
     /// JSONL span log ([`ServiceConfig::trace_log`]).
     trace: Option<TraceLog>,
+    /// Structured-log ring, sink and optional `--log-file`.
+    logs: ServerLogs,
+    /// `(now_ms, total records)` samples taken on each `GET /dashboard`
+    /// render — the fleet-throughput sparkline's data.
+    throughput: Mutex<Vec<(u64, u64)>>,
     /// Readiness gate: until set, every endpoint except the probes is 503.
     ready: AtomicBool,
     /// Graceful-shutdown flag: the accept loop exits, in-flight responses
@@ -379,14 +486,31 @@ impl Service {
     /// [`ServiceError::Protocol`] for a journal that does not replay — a
     /// corrupt journal fails the boot instead of serving wrong state.
     pub fn bind(addr: &str, config: ServiceConfig) -> Result<ServiceHandle, ServiceError> {
+        let log_filter = config
+            .log_filter
+            .clone()
+            .unwrap_or_else(LogFilter::from_env);
+        // The filter is installed before replay so the registry regenerates
+        // the log lines of every journaled transition — they are pure
+        // functions of journaled inputs (see `registry::build_log`), which
+        // is what keeps `GET /logs` byte-stable across a kill -9/restart.
         let (mut state, replay) = match &config.journal {
-            Some(path) => JournaledRegistry::open(path, config.lease_ttl_ms)?,
-            None => (
-                JournaledRegistry::new(config.lease_ttl_ms),
-                ReplayReport::default(),
-            ),
+            Some(path) => JournaledRegistry::open_with_filter(
+                path,
+                config.lease_ttl_ms,
+                Arc::new(log_filter.clone()),
+            )?,
+            None => {
+                let mut state = JournaledRegistry::new(config.lease_ttl_ms);
+                state.set_log_filter(Arc::new(log_filter.clone()));
+                (state, ReplayReport::default())
+            }
         };
         let leases_reset = state.reset_leases()?;
+        // Replay-regenerated log lines restore `GET /logs` continuity, but
+        // only through the ring: the previous incarnation already appended
+        // them to any `--log-file`.
+        let replayed_log_lines = state.take_log_lines();
         let metrics = ServerMetrics::new();
         // What boot-time replay reconstructed, as gauges: the post-restart
         // scrape target of the crash-recovery smoke test.
@@ -432,8 +556,30 @@ impl Service {
         // trace log the feed stays off entirely — no per-span copies.
         let _ = state.take_trace_lines();
         state.set_trace_buffered(trace.is_some());
+        let log_output = match &config.log_file {
+            Some(path) => {
+                let (writer, _) = jsonl::append_repaired(path)?;
+                Some(writer.into_inner())
+            }
+            None => None,
+        };
+        let logs = ServerLogs::new(log_filter, log_output);
+        logs.restore(replayed_log_lines);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        logs.sink.log(
+            &LogEvent::new(LogLevel::Info, "server", "listening").attr("addr", addr.to_string()),
+        );
+        if replay.events > 0 || leases_reset > 0 {
+            logs.sink.log(
+                &LogEvent::new(LogLevel::Info, "server", "journal replayed")
+                    .attr("events", replay.events.to_string())
+                    .attr("jobs", replay.jobs.to_string())
+                    .attr("records", replay.records.to_string())
+                    .attr("leases_reset", leases_reset.to_string()),
+            );
+        }
+        logs.flush();
         let shared = Arc::new(Shared {
             state: Mutex::new(state),
             replay,
@@ -442,6 +588,8 @@ impl Service {
             worker_metrics: Mutex::new(BTreeMap::new()),
             access_log,
             trace,
+            logs,
+            throughput: Mutex::new(Vec::new()),
             ready: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             dead: AtomicBool::new(false),
@@ -527,6 +675,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServiceConfig,
         let request = match read_request(&mut reader) {
             Ok(request) => request,
             Err(error) => {
+                shared.logs.sink.log(
+                    &LogEvent::new(LogLevel::Warn, "server", "unparsable request")
+                        .attr("error", error.to_string()),
+                );
+                shared.logs.flush();
                 let _ = write_response(
                     &mut writer,
                     400,
@@ -563,8 +716,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServiceConfig,
                         trace.sink.record_line(line);
                     }
                 }
+                // Registry log lines were filter-checked when built; they
+                // re-enter the server stream verbatim.
+                for line in state.take_log_lines() {
+                    shared.logs.sink.log_line(&line);
+                }
             }
         }
+        shared.logs.flush();
         if let Some(trace) = &shared.trace {
             // Any request carrying a valid x-trace-id gets a request span
             // in the trace log (not in per-job streams: request spans are
@@ -742,6 +901,39 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
                 content_type: "text/plain; version=0.0.4",
                 extra: Vec::new(),
                 body: snapshot.render_prometheus(),
+            });
+        }
+        ("GET", ["logs"]) => {
+            // Pre-ready like /metrics: a replaying server's logs are
+            // exactly what an operator wants to watch.
+            let from = request
+                .query_param("from")
+                .map(|value| {
+                    value.parse::<usize>().map_err(|_| {
+                        ServiceError::BadRequest(format!("bad 'from' value '{value}'"))
+                    })
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let (body, next) = shared
+                .logs
+                .ring
+                .lock()
+                .map_err(|_| ServiceError::Protocol("log ring mutex poisoned".to_string()))?
+                .page(from);
+            return Ok(Reply {
+                status: 200,
+                content_type: "application/jsonl",
+                extra: vec![("x-next-from".to_string(), next.to_string())],
+                body,
+            });
+        }
+        ("GET", ["dashboard"]) => {
+            return Ok(Reply {
+                status: 200,
+                content_type: "text/html; charset=utf-8",
+                extra: Vec::new(),
+                body: render_dashboard(shared, epoch)?,
             });
         }
         _ => {}
@@ -930,6 +1122,209 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
 fn parse_shard_index(text: &str) -> Result<usize, ServiceError> {
     text.parse::<usize>()
         .map_err(|_| ServiceError::BadRequest(format!("bad shard index '{text}'")))
+}
+
+/// Throughput samples retained for the dashboard sparkline (one per
+/// `GET /dashboard` render; at the page's 2 s auto-refresh this spans
+/// about three minutes).
+const SPARKLINE_SAMPLES: usize = 90;
+
+/// Minimal HTML escaping for text interpolated into the dashboard.
+fn html_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// An inline SVG sparkline of fleet throughput — records/sec between
+/// consecutive dashboard samples. A placeholder until two samples exist.
+fn sparkline_svg(samples: &[(u64, u64)]) -> String {
+    use std::fmt::Write as _;
+    let mut rates: Vec<f64> = Vec::new();
+    for pair in samples.windows(2) {
+        let ((t0, r0), (t1, r1)) = (pair[0], pair[1]);
+        let dt_ms = t1.saturating_sub(t0).max(1) as f64;
+        rates.push(r1.saturating_sub(r0) as f64 / dt_ms * 1_000.0);
+    }
+    if rates.is_empty() {
+        return "<p class=\"meta\">throughput: collecting samples…</p>".to_string();
+    }
+    let (width, height) = (360.0_f64, 48.0_f64);
+    let max = rates.iter().copied().fold(1.0_f64, f64::max);
+    let step = if rates.len() > 1 {
+        width / (rates.len() - 1) as f64
+    } else {
+        width
+    };
+    let mut points = String::new();
+    for (index, rate) in rates.iter().enumerate() {
+        let x = index as f64 * step;
+        let y = height - 2.0 - (rate / max) * (height - 4.0);
+        let _ = write!(points, "{}{x:.1},{y:.1}", if index > 0 { " " } else { "" });
+    }
+    format!(
+        "<svg width=\"360\" height=\"48\" viewBox=\"0 0 360 48\" role=\"img\" aria-label=\"throughput\">\
+         <polyline fill=\"none\" stroke=\"#2b7\" stroke-width=\"2\" points=\"{points}\"/></svg>\
+         <p class=\"meta\">throughput: {last:.1} records/s (peak {max:.1})</p>",
+        last = rates.last().copied().unwrap_or(0.0),
+    )
+}
+
+/// Renders `GET /dashboard`: one self-contained HTML page — inline CSS,
+/// inline SVG sparkline, `<meta http-equiv="refresh">` auto-refresh, no
+/// external resources — showing jobs with progress bars, workers with
+/// derived status, and the structured-log tail. A browser pointed at the
+/// server sees the whole fleet with zero tooling.
+fn render_dashboard(shared: &Shared, epoch: Instant) -> Result<String, ServiceError> {
+    use std::fmt::Write as _;
+    let now = now_ms(epoch);
+    let (jobs, workers) = {
+        let state = shared.state.lock().map_err(|_| {
+            ServiceError::Protocol("registry mutex poisoned (a handler panicked)".to_string())
+        })?;
+        (
+            state.registry().jobs_status(now),
+            state.registry().workers_status(now),
+        )
+    };
+    let job_rows: &[JsonValue] = match jobs.get("jobs") {
+        Some(JsonValue::Array(items)) => items.as_slice(),
+        _ => &[],
+    };
+    let worker_rows: &[JsonValue] = match workers.get("workers") {
+        Some(JsonValue::Array(items)) => items.as_slice(),
+        _ => &[],
+    };
+    let total_records: u64 = job_rows
+        .iter()
+        .filter_map(|job| job.get("records").and_then(JsonValue::as_u64))
+        .sum();
+    let samples = {
+        let mut samples = shared
+            .throughput
+            .lock()
+            .map_err(|_| ServiceError::Protocol("throughput mutex poisoned".to_string()))?;
+        samples.push((now, total_records));
+        let excess = samples.len().saturating_sub(SPARKLINE_SAMPLES);
+        if excess > 0 {
+            samples.drain(..excess);
+        }
+        samples.clone()
+    };
+    let tail: Vec<String> = shared
+        .logs
+        .ring
+        .lock()
+        .map_err(|_| ServiceError::Protocol("log ring mutex poisoned".to_string()))?
+        .tail(20)
+        .map(str::to_string)
+        .collect();
+
+    let mut html = String::with_capacity(4_096);
+    html.push_str(
+        "<!doctype html><html><head><meta charset=\"utf-8\">\
+         <meta http-equiv=\"refresh\" content=\"2\"><title>tats fleet</title><style>\
+         body{font-family:ui-monospace,monospace;margin:1.5rem;background:#111;color:#ddd}\
+         h1,h2{color:#fff;font-weight:600}h1{font-size:1.2rem}h2{font-size:1rem;margin-top:1.2rem}\
+         table{border-collapse:collapse;min-width:32rem}\
+         td,th{padding:.2rem .6rem;text-align:left;border-bottom:1px solid #333}\
+         .meta{color:#888}.bar{background:#333;width:10rem;height:.6rem;display:inline-block}\
+         .bar>span{background:#2b7;height:100%;display:block}\
+         pre{background:#000;padding:.6rem;overflow-x:auto;font-size:.75rem}\
+         .active{color:#2b7}.idle{color:#bb2}.stale{color:#b33}\
+         </style></head><body><h1>tats fleet dashboard</h1>",
+    );
+    let _ = write!(
+        html,
+        "<p class=\"meta\">uptime {:.1}s · {} job(s) · {} record(s) · {} worker(s) · auto-refresh 2s</p>",
+        now as f64 / 1_000.0,
+        job_rows.len(),
+        total_records,
+        worker_rows.len(),
+    );
+    html.push_str(&sparkline_svg(&samples));
+    html.push_str(
+        "<h2>jobs</h2><table><tr><th>job</th><th>state</th><th>progress</th>\
+         <th>records</th><th>shards</th></tr>",
+    );
+    for job in job_rows {
+        let id = job.get("job").and_then(JsonValue::as_str).unwrap_or("?");
+        let state = job.get("state").and_then(JsonValue::as_str).unwrap_or("?");
+        let records = job.get("records").and_then(JsonValue::as_u64).unwrap_or(0);
+        let scenarios = job
+            .get("scenarios")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            .max(1);
+        let pct = records * 100 / scenarios;
+        let shards = job.get("shards");
+        let done = shards
+            .and_then(|s| s.get("done"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let count = shards
+            .and_then(|s| s.get("count"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let _ = write!(
+            html,
+            "<tr><td>{}</td><td>{}</td>\
+             <td><span class=\"bar\"><span style=\"width:{pct}%\"></span></span> {pct}%</td>\
+             <td>{records}</td><td>{done}/{count}</td></tr>",
+            html_escape(id),
+            html_escape(state),
+        );
+    }
+    html.push_str("</table>");
+    html.push_str(
+        "<h2>workers</h2><table><tr><th>worker</th><th>status</th><th>records</th>\
+         <th>records/s</th><th>last seen</th></tr>",
+    );
+    for worker in worker_rows {
+        let name = worker
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?");
+        let status = worker
+            .get("status")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?");
+        let records = worker
+            .get("records")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let rate = match worker.get("records_per_sec") {
+            Some(JsonValue::Number(n)) => format!("{n:.1}"),
+            _ => "—".to_string(),
+        };
+        let age = worker
+            .get("last_seen_age_ms")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let _ = write!(
+            html,
+            "<tr><td>{}</td><td class=\"{}\">{}</td><td>{records}</td>\
+             <td>{rate}</td><td>{age} ms ago</td></tr>",
+            html_escape(name),
+            html_escape(status),
+            html_escape(status),
+        );
+    }
+    html.push_str("</table><h2>log tail</h2><pre>");
+    for line in &tail {
+        html.push_str(&html_escape(line));
+        html.push('\n');
+    }
+    html.push_str("</pre></body></html>");
+    Ok(html)
 }
 
 #[cfg(test)]

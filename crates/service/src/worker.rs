@@ -31,6 +31,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tats_engine::{CampaignSpec, EngineError, Executor, Shard, TraceContext};
+use tats_trace::log::{LogEvent, LogLevel, LogSink};
 use tats_trace::metrics::{Counter, Histogram};
 use tats_trace::spans::{self, id_hex, SpanEvent, SpanIdGen, SpanKind};
 use tats_trace::{JsonValue, MetricsRegistry};
@@ -72,6 +73,11 @@ pub struct WorkerConfig {
     /// `GET /metrics` always ends exact. `None` disables all
     /// instrumentation (the no-op baseline the bench compares against).
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Structured log sink (target `worker`): lease grants at debug, lost
+    /// leases and transient retries at warn, shard completions and the
+    /// drained exit at info, the fatal exit at error. Events carry the
+    /// job's trace id when the lease shipped one. `None` logs nothing.
+    pub log: Option<LogSink>,
 }
 
 /// Minimum interval between metrics snapshots piggybacked on lease polls.
@@ -91,6 +97,7 @@ impl Default for WorkerConfig {
             retry: RetryPolicy::default(),
             fail_after_records: None,
             metrics: Some(Arc::new(MetricsRegistry::new())),
+            log: None,
         }
     }
 }
@@ -131,17 +138,41 @@ impl WorkerMetrics {
     }
 }
 
+/// Emits one `worker`-target event through the sink, if there is one. The
+/// filter is checked before `build` runs, so disabled levels cost a branch
+/// and no allocation.
+fn worker_log(log: Option<&LogSink>, level: LogLevel, build: impl FnOnce() -> LogEvent) {
+    if let Some(sink) = log {
+        if sink.enabled(level, "worker") {
+            sink.log(&build());
+        }
+    }
+}
+
 /// [`RetryPolicy::run`] with failures counted into the worker's registry
-/// when instrumentation is on.
+/// when instrumentation is on, and transient (about-to-retry) failures
+/// logged at warn — the signal an operator sees while a fleet rides out a
+/// server restart.
 fn retry_observed<T>(
     retry: &RetryPolicy,
     metrics: Option<&WorkerMetrics>,
+    log: Option<&LogSink>,
     op: impl FnMut() -> Result<T, ServiceError>,
 ) -> Result<T, ServiceError> {
-    match metrics {
-        Some(metrics) => retry.run_observed(|_, transient| metrics.observe_retry(transient), op),
-        None => retry.run(op),
-    }
+    retry.run_observed(
+        |error, transient| {
+            if let Some(metrics) = metrics {
+                metrics.observe_retry(transient);
+            }
+            if transient {
+                worker_log(log, LogLevel::Warn, || {
+                    LogEvent::new(LogLevel::Warn, "worker", "transient failure; retrying")
+                        .attr("error", error.to_string())
+                });
+            }
+        },
+        op,
+    )
 }
 
 /// What a worker accomplished before exiting.
@@ -281,7 +312,7 @@ fn run_shard(
             line.push_str(&span.to_line());
             line.push('\n');
         }
-        let response = retry_observed(&retry, metrics, || {
+        let response = retry_observed(&retry, metrics, config.log.as_ref(), || {
             connection
                 .request("POST", &records_path, &headers, Some(&line))
                 .and_then(client::expect_ok)
@@ -319,13 +350,13 @@ fn run_shard(
                 .attr("worker", config.name.as_str());
                 let mut line = span.to_line();
                 line.push('\n');
-                retry_observed(&retry, metrics, || {
+                retry_observed(&retry, metrics, config.log.as_ref(), || {
                     connection
                         .request("POST", &records_path, &headers, Some(&line))
                         .and_then(client::expect_ok)
                 })?;
             }
-            retry_observed(&retry, metrics, || {
+            retry_observed(&retry, metrics, config.log.as_ref(), || {
                 connection
                     .request(
                         "POST",
@@ -361,6 +392,20 @@ fn run_shard(
 /// the shard was re-leased to a healthier worker, so this one abandons it
 /// and polls on.
 pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, ServiceError> {
+    let result = run_worker_loop(addr, config);
+    // Log the fatal exit here rather than at each early return, so every
+    // error path (retry budget exhausted, protocol mismatch, engine
+    // failure) leaves one last line explaining why the worker is gone.
+    if let Err(error) = &result {
+        worker_log(config.log.as_ref(), LogLevel::Error, || {
+            LogEvent::new(LogLevel::Error, "worker", "worker failed")
+                .attr("error", error.to_string())
+        });
+    }
+    result
+}
+
+fn run_worker_loop(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, ServiceError> {
     let mut report = WorkerReport::default();
     let retry = config.retry.seeded_for(&config.name);
     let mut connection = Connection::new(addr);
@@ -392,7 +437,7 @@ pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, Ser
             }
         }
         let lease_request = JsonValue::object(fields);
-        let response = retry_observed(&retry, metrics.as_ref(), || {
+        let response = retry_observed(&retry, metrics.as_ref(), config.log.as_ref(), || {
             connection.post_json("/lease", &lease_request)
         })?;
         if snapshot_sent {
@@ -402,6 +447,13 @@ pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, Ser
         }
         if let Some(lease_value) = response.get("lease") {
             let lease = parse_lease(lease_value)?;
+            let trace_id = lease.trace.map_or(0, |(trace_id, _)| trace_id);
+            worker_log(config.log.as_ref(), LogLevel::Debug, || {
+                LogEvent::new(LogLevel::Debug, "worker", "lease acquired")
+                    .trace(trace_id)
+                    .attr("job", lease.job.as_str())
+                    .attr("shard", lease.shard.to_string())
+            });
             metrics_dirty = true;
             let shard_clock = Instant::now();
             if let Some(metrics) = &metrics {
@@ -421,6 +473,12 @@ pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, Ser
                         metrics.shards_completed.inc();
                         metrics.shard_seconds.record_duration(shard_clock.elapsed());
                     }
+                    worker_log(config.log.as_ref(), LogLevel::Info, || {
+                        LogEvent::new(LogLevel::Info, "worker", "shard completed")
+                            .trace(trace_id)
+                            .attr("job", lease.job.as_str())
+                            .attr("shard", lease.shard.to_string())
+                    });
                     wait_start = Instant::now();
                 }
                 Err(ServiceError::Http { status: 409, .. }) => {
@@ -429,6 +487,12 @@ pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, Ser
                     if let Some(metrics) = &metrics {
                         metrics.leases_lost.inc();
                     }
+                    worker_log(config.log.as_ref(), LogLevel::Warn, || {
+                        LogEvent::new(LogLevel::Warn, "worker", "lease lost")
+                            .trace(trace_id)
+                            .attr("job", lease.job.as_str())
+                            .attr("shard", lease.shard.to_string())
+                    });
                     wait_start = Instant::now();
                     continue;
                 }
@@ -452,6 +516,11 @@ pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<WorkerReport, Ser
                     flush_metrics = true;
                     continue;
                 }
+                worker_log(config.log.as_ref(), LogLevel::Info, || {
+                    LogEvent::new(LogLevel::Info, "worker", "drained; exiting")
+                        .attr("shards", report.shards_completed.to_string())
+                        .attr("records", report.records_posted.to_string())
+                });
                 return Ok(report);
             }
             std::thread::sleep(Duration::from_millis(config.poll_ms.max(1)));

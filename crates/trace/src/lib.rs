@@ -10,6 +10,10 @@
 //!   paper's comparison tables;
 //! * [`jsonl`] — streaming JSON-Lines output (one record per line, flushed
 //!   eagerly) used by the batch campaign engine, plus the resume-id scanner;
+//! * [`log`] — structured, leveled log events (`TATS_LOG`-style filtering,
+//!   sorted-key JSONL schema, a lock-free-on-the-send-path [`log::LogSink`]
+//!   and a bounded monotonic-index [`log::LogRing`]) — the third
+//!   observability pillar next to [`metrics`] and [`spans`];
 //! * [`markdown`] — markdown rendering of the reproduced Tables 1–3;
 //! * [`metrics`] — a lock-free-on-the-hot-path metrics registry (counters,
 //!   gauges, log-linear latency histograms, scoped spans) with Prometheus
@@ -47,6 +51,7 @@ mod error;
 mod gantt;
 pub mod json;
 pub mod jsonl;
+pub mod log;
 pub mod markdown;
 pub mod metrics;
 pub mod spans;

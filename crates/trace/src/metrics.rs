@@ -956,6 +956,35 @@ mod tests {
         );
     }
 
+    /// Hostile label values must survive the full cross-worker path — the
+    /// worker's snapshot, its JSON wire round-trip, the server-side merge —
+    /// and still render escaped. Escaping only at render time means the
+    /// wire format must carry the *raw* value exactly once.
+    #[test]
+    fn prometheus_escaping_survives_the_snapshot_merge_round_trip() {
+        let hostile = "a\\b\"c\nd";
+        let worker = MetricsRegistry::new();
+        worker.counter("odd_total", &[("path", hostile)]).add(2);
+        let wire = worker.snapshot().to_json().to_json();
+        let shipped = MetricsSnapshot::from_json(&JsonValue::parse(&wire).expect("wire json"))
+            .expect("snapshot parses");
+
+        let mut merged = MetricsRegistry::new().snapshot();
+        merged.merge(&shipped);
+        merged.merge(&shipped);
+        let text = merged.render_prometheus();
+        assert!(
+            text.contains("odd_total{path=\"a\\\\b\\\"c\\nd\"} 4"),
+            "escapes intact and counts summed after a double merge: {text}"
+        );
+        // The raw value was never double-escaped on the wire.
+        assert_eq!(
+            escape_label(&escape_label(hostile)),
+            "a\\\\\\\\b\\\\\\\"c\\\\nd",
+            "double-escaping is distinguishable, so the render above proves single"
+        );
+    }
+
     #[test]
     fn prometheus_rendering_groups_series_and_is_cumulative() {
         let registry = MetricsRegistry::new();

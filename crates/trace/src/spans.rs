@@ -379,11 +379,7 @@ fn scan_canonical<'t>(
     line: &'t str,
     mut on_attr: impl FnMut(&'t str, &'t str),
 ) -> Option<RawSpan<'t>> {
-    let mut scan = Scan {
-        text: line,
-        bytes: line.as_bytes(),
-        pos: 0,
-    };
+    let mut scan = Scan::new(line);
     scan.expect(b"{\"attrs\":{")?;
     if scan.expect(b"}").is_none() {
         loop {
@@ -418,7 +414,7 @@ fn scan_canonical<'t>(
     scan.expect(b",\"trace_id\":")?;
     let trace_id = parse_id(scan.plain_string()?)?;
     scan.expect(b"}")?;
-    if scan.pos != scan.bytes.len() || end_us < start_us {
+    if !scan.at_end() || end_us < start_us {
         return None;
     }
     Some(RawSpan {
@@ -432,17 +428,31 @@ fn scan_canonical<'t>(
     })
 }
 
-/// Byte cursor for [`scan_canonical`]: every method returns `None` on the
-/// first deviation from the canonical layout, sending the caller to the
-/// full JSON parser.
-struct Scan<'t> {
+/// Byte cursor for canonical-layout scanners ([`scan_canonical`] here, the
+/// log-line fast path in [`crate::log`]): every method returns `None` on
+/// the first deviation from the canonical layout, sending the caller to
+/// the full JSON parser.
+pub(crate) struct Scan<'t> {
     text: &'t str,
     bytes: &'t [u8],
     pos: usize,
 }
 
 impl<'t> Scan<'t> {
-    fn expect(&mut self, token: &[u8]) -> Option<()> {
+    pub(crate) fn new(line: &'t str) -> Self {
+        Scan {
+            text: line,
+            bytes: line.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// `true` once the whole line has been consumed.
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    pub(crate) fn expect(&mut self, token: &[u8]) -> Option<()> {
         if self.bytes[self.pos..].starts_with(token) {
             self.pos += token.len();
             Some(())
@@ -455,7 +465,7 @@ impl<'t> Scan<'t> {
     /// is UTF-8 safe: 0x22 never occurs in a continuation byte). A
     /// backslash or control character bails to the slow path, which
     /// unescapes properly.
-    fn plain_string(&mut self) -> Option<&'t str> {
+    pub(crate) fn plain_string(&mut self) -> Option<&'t str> {
         self.expect(b"\"")?;
         let start = self.pos;
         while let Some(&byte) = self.bytes.get(self.pos) {
@@ -474,7 +484,7 @@ impl<'t> Scan<'t> {
     }
 
     /// A plain unsigned decimal (the only number shape `to_line` emits).
-    fn number(&mut self) -> Option<u64> {
+    pub(crate) fn number(&mut self) -> Option<u64> {
         let start = self.pos;
         let mut value = 0u64;
         while let Some(&byte) = self.bytes.get(self.pos) {
