@@ -660,7 +660,7 @@ fn bench_batch() -> Result<String, Box<dyn std::error::Error>> {
 /// `logging.overhead_pct` with the total appended log-line count.
 fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
     use tats_engine::CampaignSpec;
-    use tats_service::{client, run_worker, Service, ServiceConfig, WorkerConfig};
+    use tats_service::{client, journal, run_worker, Service, ServiceConfig, WorkerConfig};
     use tats_trace::log::{log_channel, LogFilter, LogLevel};
     use tats_trace::{jsonl, spans, JsonValue};
 
@@ -844,6 +844,29 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
     }
     let journal_bytes = std::fs::metadata(&journal_path).map_or(0, |m| m.len());
     server.stop();
+
+    // Compaction: replay the full drained history (the restart cost an
+    // operator actually pays), fold it into one snapshot event, then
+    // replay the compacted journal — the snapshot fast-forward must
+    // rebuild the identical registry while shrinking file and replay.
+    let start = Instant::now();
+    let (full_registry, _) =
+        journal::replay(&journal_path, 15_000).map_err(|e| format!("replay full: {e}"))?;
+    let replay_full_s = start.elapsed().as_secs_f64();
+    let reference_state = full_registry.snapshot().to_json();
+    let (mut journaled, _) = journal::JournaledRegistry::open(&journal_path, 15_000)
+        .map_err(|e| format!("reopen for compaction: {e}"))?;
+    let start = Instant::now();
+    let compact_report = journaled.compact().map_err(|e| format!("compact: {e}"))?;
+    let compact_s = start.elapsed().as_secs_f64();
+    drop(journaled);
+    let start = Instant::now();
+    let (compact_registry, compact_replay) =
+        journal::replay(&journal_path, 15_000).map_err(|e| format!("replay compacted: {e}"))?;
+    let replay_snapshot_s = start.elapsed().as_secs_f64();
+    if compact_replay.snapshots != 1 || compact_registry.snapshot().to_json() != reference_state {
+        return Err("compacted journal did not replay to the identical registry".into());
+    }
     let _ = std::fs::remove_file(&journal_path);
 
     // Observability overhead: the same 1-worker run with the worker's
@@ -1231,6 +1254,9 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
             "  }},\n",
             "  \"journal\": {{ \"workers\": 1, \"wall_s\": {:.6}, \"scenarios_per_sec\": {:.2}, ",
             "\"journal_bytes\": {}, \"overhead_vs_no_journal_pct\": {:.1} }},\n",
+            "  \"compaction\": {{ \"journal_bytes_before\": {}, \"journal_bytes_after\": {}, ",
+            "\"compact_s\": {:.6}, \"replay_full_s\": {:.6}, \"replay_snapshot_s\": {:.6}, ",
+            "\"replay_speedup_after_compact\": {:.2} }},\n",
             "  \"observability\": {{ \"workers\": 1, \"runs_each\": {}, ",
             "\"scenarios_per_run\": {}, ",
             "\"metrics_on_wall_s\": {:.6}, \"metrics_off_wall_s\": {:.6}, ",
@@ -1267,6 +1293,12 @@ fn bench_service() -> Result<String, Box<dyn std::error::Error>> {
         scenarios.len() as f64 / journal_wall.max(1e-12),
         journal_bytes,
         100.0 * (journal_wall - single_wall) / single_wall.max(1e-12),
+        compact_report.bytes_before,
+        compact_report.bytes_after,
+        compact_s,
+        replay_full_s,
+        replay_snapshot_s,
+        replay_full_s / replay_snapshot_s.max(1e-12),
         OBSERVABILITY_ROUNDS,
         3 * scenarios.len(),
         metrics_on_wall,

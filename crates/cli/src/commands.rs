@@ -91,6 +91,15 @@ COMMANDS:
                    --log-file server.jsonl            append the structured log stream
                                                       (also in memory via GET /logs;
                                                       filter with TATS_LOG=info,lease=debug)
+                   --compact-every-events 10000       fold the journal into one snapshot
+                                                      event whenever it reaches n events
+                                                      (POST /compact does it on demand)
+                   --client-quota 64                  per-client pending-shard cap; a
+                                                      submit over quota gets 429 +
+                                                      retry-after (0 = unlimited)
+                   --max-connections 256              concurrent connection cap; excess
+                                                      connects are shed with 503
+                                                      (0 = unlimited)
     worker       Lease and run campaign shards from a tats serve instance
                    --connect HOST:PORT                server address (required)
                    --threads 0 --poll-ms 200          executor threads, idle poll interval
@@ -109,6 +118,11 @@ COMMANDS:
                    --trace-seed 42                    pin the campaign trace id (default:
                                                       derived from clock + pid; the id is
                                                       echoed so spans can be correlated)
+                   --client ci --priority 2           admission identity and tier: leases
+                                                      round-robin fairly across clients
+                                                      within a priority (higher first)
+    compact      Fold a journaled server's log into one snapshot event
+                   --connect HOST:PORT                server address (required)
     top          Live operator console for a tats serve fleet
                    --connect HOST:PORT                server address (required)
                    --interval-ms 1000                 refresh interval of the live view
@@ -810,12 +824,22 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
     let lease_ttl_ms = options.number("lease-ttl-ms", 15_000.0)? as u64;
     let journal = options.value("journal").map(std::path::PathBuf::from);
     let journaled = journal.is_some();
+    let compact_every_events = match options.value("compact-every-events") {
+        Some(_) => Some(options.number("compact-every-events", 0.0)? as u64),
+        None => None,
+    };
     let mut config = tats_service::ServiceConfig {
         lease_ttl_ms,
         journal,
         access_log: options.value("access-log").map(std::path::PathBuf::from),
         trace_log: options.value("trace-log").map(std::path::PathBuf::from),
         log_file: options.value("log-file").map(std::path::PathBuf::from),
+        compact_every_events,
+        client_quota: options.number("client-quota", 0.0)? as usize,
+        max_connections: options.number(
+            "max-connections",
+            tats_service::ServiceConfig::default().max_connections as f64,
+        )? as usize,
         ..tats_service::ServiceConfig::default()
     };
     if options.switch("no-keep-alive") {
@@ -830,8 +854,9 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
     if journaled {
         let replay = handle.replay_report();
         println!(
-            "journal replayed: {} event(s), {} job(s), {} record(s), {} repaired byte(s)",
-            replay.events, replay.jobs, replay.records, replay.repaired_bytes,
+            "journal replayed: {} event(s), {} snapshot(s), {} job(s), {} record(s), \
+             {} repaired byte(s)",
+            replay.events, replay.snapshots, replay.jobs, replay.records, replay.repaired_bytes,
         );
     }
     use std::io::Write;
@@ -937,11 +962,25 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
     };
     let trace_id = tats_trace::spans::SpanIdGen::seeded(trace_seed).next_id();
     let trace_hex = tats_trace::spans::id_hex(trace_id);
-    let submit_body = JsonValue::object(vec![
+    // Admission identity: the server leases fairly across clients within a
+    // priority tier, and a per-client quota (429 + retry-after, retried by
+    // the policy below) may apply. Both fields are optional on the wire.
+    let mut submit_fields = vec![
         ("spec".to_string(), spec.to_json()),
         ("shards".to_string(), JsonValue::from(shards)),
-    ])
-    .to_json();
+    ];
+    if let Some(client) = options.value("client") {
+        submit_fields.push(("client".to_string(), JsonValue::from(client)));
+    }
+    if let Some(text) = options.value("priority") {
+        let priority = text.parse::<usize>().map_err(|_| CliError::InvalidValue {
+            option: "priority".to_string(),
+            value: text.to_string(),
+            expected: "an unsigned integer".to_string(),
+        })?;
+        submit_fields.push(("priority".to_string(), JsonValue::from(priority)));
+    }
+    let submit_body = JsonValue::object(submit_fields).to_json();
     let submit_headers = [("x-trace-id", trace_hex.clone())];
     let response = client::request(addr, "POST", "/jobs", &submit_headers, Some(&submit_body))
         .and_then(client::expect_ok)
@@ -1073,9 +1112,10 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
                     {
                         line.push_str(&format!(", {rate:.1}/s"));
                     }
-                    if let Some(eta) = progress.get("eta_s").and_then(JsonValue::as_f64) {
-                        line.push_str(&format!(", eta {eta:.0}s"));
-                    }
+                    line.push_str(&format!(
+                        ", eta {}",
+                        format_eta(progress.get("eta_s").and_then(JsonValue::as_f64))
+                    ));
                     // Name the engine phase with the worst tail latency so
                     // an operator sees *where* a slow campaign is slow.
                     if let Some((phase, p99_us)) = progress
@@ -1123,6 +1163,48 @@ pub fn submit(options: &Options) -> Result<String, CliError> {
         None => out.push_str(&format!("fetched {fetched} record(s)\n")),
     }
     Ok(out)
+}
+
+/// `tats compact` — ask a journaled `tats serve` instance to fold its
+/// journal into one snapshot event (`POST /compact`). Replay after a
+/// restart fast-forwards from the snapshot instead of re-applying the
+/// full history; the report prints how many bytes the fold reclaimed.
+/// A server running without `--journal` refuses with 400.
+pub fn compact(options: &Options) -> Result<String, CliError> {
+    use tats_service::client;
+    use tats_trace::JsonValue;
+
+    let addr = options
+        .value("connect")
+        .ok_or_else(|| CliError::Execution("compact requires --connect host:port".to_string()))?;
+    let report = client::post_json(addr, "/compact", &JsonValue::object(Vec::new()))
+        .map_err(execution_error)?;
+    let bytes_before = report
+        .get("bytes_before")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| CliError::Execution("compact response carries no bytes_before".into()))?;
+    let bytes_after = report
+        .get("bytes_after")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| CliError::Execution("compact response carries no bytes_after".into()))?;
+    Ok(format!(
+        "journal compacted on {addr}: {bytes_before} -> {bytes_after} byte(s)\n"
+    ))
+}
+
+/// ETAs beyond this horizon (30 days, in seconds) are noise, not a
+/// forecast: a throughput that rounds to zero divides into an absurd
+/// number that would still be printed as if it meant something.
+const ETA_CLAMP_S: f64 = 30.0 * 24.0 * 3_600.0;
+
+/// Renders a progress `eta_s` field for the `submit --wait` progress line
+/// and the `tats top` job table. Missing, non-finite, negative and
+/// over-horizon values all collapse to `--` instead of a nonsense number.
+fn format_eta(eta_s: Option<f64>) -> String {
+    match eta_s {
+        Some(eta) if eta.is_finite() && (0.0..=ETA_CLAMP_S).contains(&eta) => format!("{eta:.0}s"),
+        _ => "--".to_string(),
+    }
 }
 
 /// Lines of server log tail shown per `tats top` frame.
@@ -1207,10 +1289,7 @@ fn top_frame(
             .get("records_per_sec")
             .and_then(JsonValue::as_f64)
             .map_or_else(|| "-".to_string(), |rate| format!("{rate:.1}/s"));
-        let eta = progress
-            .get("eta_s")
-            .and_then(JsonValue::as_f64)
-            .map_or_else(|| "-".to_string(), |eta| format!("{eta:.0}s"));
+        let eta = format_eta(progress.get("eta_s").and_then(JsonValue::as_f64));
         // The engine phase with the worst tail latency, same signal the
         // submit --wait progress line names.
         let slow = progress
@@ -1536,6 +1615,7 @@ mod tests {
             "serve",
             "worker",
             "submit",
+            "compact",
             "top",
             "trace",
             "export",
@@ -1559,9 +1639,28 @@ mod tests {
             "--log-file",
             "--interval-ms",
             "--once",
+            "--compact-every-events",
+            "--client-quota",
+            "--max-connections",
+            "--client",
+            "--priority",
         ] {
             assert!(text.contains(option), "help must document {option}");
         }
+    }
+
+    #[test]
+    fn eta_formatting_clamps_nonsense_to_dashes() {
+        assert_eq!(format_eta(Some(42.4)), "42s");
+        assert_eq!(format_eta(Some(0.0)), "0s");
+        // A rate that rounds to zero yields a missing, infinite or absurd
+        // eta_s — every shape of that must print as `--`, not a number.
+        assert_eq!(format_eta(None), "--");
+        assert_eq!(format_eta(Some(f64::NAN)), "--");
+        assert_eq!(format_eta(Some(f64::INFINITY)), "--");
+        assert_eq!(format_eta(Some(-3.0)), "--");
+        assert_eq!(format_eta(Some(ETA_CLAMP_S + 1.0)), "--");
+        assert_eq!(format_eta(Some(ETA_CLAMP_S)), "2592000s");
     }
 
     #[test]

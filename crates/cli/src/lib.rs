@@ -14,6 +14,7 @@
 //! tats serve --port 7070
 //! tats worker --connect 127.0.0.1:7070
 //! tats submit --connect 127.0.0.1:7070 --benchmarks all --shards 4 --wait
+//! tats compact --connect 127.0.0.1:7070
 //! tats top --connect 127.0.0.1:7070
 //! tats trace spans.jsonl --chrome trace.json
 //! tats export --benchmark Bm1 --format tgff
@@ -68,6 +69,9 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
                 "access-log",
                 "trace-log",
                 "log-file",
+                "compact-every-events",
+                "client-quota",
+                "max-connections",
             ],
             &["no-keep-alive"],
         ),
@@ -89,9 +93,12 @@ fn command_options(command: &str) -> (&'static [&'static str], &'static [&'stati
                 "poll-ms",
                 "out",
                 "trace-seed",
+                "client",
+                "priority",
             ],
             &["full", "wait"],
         ),
+        "compact" => (&["connect"], &[]),
         "top" => (&["connect", "interval-ms"], &["once"]),
         "trace" => (&["chrome"], &[]),
         "export" => (&["benchmark", "format"], &[]),
@@ -144,6 +151,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "serve" => commands::serve(&options),
         "worker" => commands::worker(&options),
         "submit" => commands::submit(&options),
+        "compact" => commands::compact(&options),
         "top" => commands::top(&options),
         "trace" => commands::trace(positional.as_deref(), &options),
         "export" => commands::export(&options),

@@ -47,6 +47,19 @@ impl ShardBoard {
         }
     }
 
+    /// Rebuilds a board from explicit per-shard states (minimum 1 shard —
+    /// an empty vector yields a single pending shard, mirroring
+    /// [`ShardBoard::new`]). A service restoring a snapshotted job uses
+    /// this; snapshots carry no live leases (they are reset before the
+    /// snapshot is taken), but the constructor accepts any state so a
+    /// board round-trips exactly.
+    pub fn from_states(states: Vec<ShardState>) -> Self {
+        if states.is_empty() {
+            return ShardBoard::new(1);
+        }
+        ShardBoard { states }
+    }
+
     /// Number of shards on the board.
     pub fn count(&self) -> usize {
         self.states.len()
@@ -258,6 +271,26 @@ mod tests {
         // server sees the worker's next record batch), even at time 0.
         assert!(board.renew(1, "w2", 0, TTL));
         assert_eq!(board.reset_leases(), 1);
+    }
+
+    #[test]
+    fn from_states_round_trips_a_board() {
+        let mut board = ShardBoard::new(3);
+        board.lease("w", 0, TTL).expect("lease 0");
+        assert!(board.complete(0, "w", 10));
+        board.lease("w", 10, TTL).expect("lease 1");
+        let states: Vec<ShardState> = (0..board.count()).map(|i| board.state(i).clone()).collect();
+        let restored = ShardBoard::from_states(states);
+        assert_eq!(restored.count(), 3);
+        assert!(matches!(restored.state(0), ShardState::Done));
+        assert!(
+            matches!(restored.state(1), ShardState::Leased { worker, deadline_ms }
+                if worker == "w" && *deadline_ms == 10 + TTL)
+        );
+        assert!(matches!(restored.state(2), ShardState::Pending));
+        assert_eq!(restored.done_count(), board.done_count());
+        // Degenerate input still yields a leasable board.
+        assert_eq!(ShardBoard::from_states(Vec::new()).count(), 1);
     }
 
     #[test]

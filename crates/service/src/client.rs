@@ -91,15 +91,25 @@ pub fn request(
 }
 
 /// Maps an error-status response to [`ServiceError::Http`], passing 2xx
-/// through.
+/// through. A 429 becomes [`ServiceError::RateLimited`] carrying the
+/// server's `retry-after` hint, so admission-control refusals stay
+/// distinguishable (and [`crate::retry`]-transient) on the client side.
 ///
 /// # Errors
 ///
-/// Returns [`ServiceError::Http`] carrying the status and body for non-2xx
-/// responses.
+/// Returns [`ServiceError::RateLimited`] for 429 and [`ServiceError::Http`]
+/// carrying the status and body for other non-2xx responses.
 pub fn expect_ok(response: Response) -> Result<Response, ServiceError> {
     if (200..300).contains(&response.status) {
         Ok(response)
+    } else if response.status == 429 {
+        Err(ServiceError::RateLimited {
+            retry_after_s: response
+                .header("retry-after")
+                .and_then(|value| value.trim().parse::<u64>().ok())
+                .unwrap_or(1),
+            message: response.body,
+        })
     } else {
         Err(ServiceError::Http {
             status: response.status,
@@ -279,6 +289,24 @@ mod tests {
         .expect_err("409");
         assert!(
             matches!(error, ServiceError::Http { status: 409, .. }),
+            "{error}"
+        );
+        // A quota refusal surfaces as RateLimited with the server's wait
+        // hint parsed out of the retry-after header (default 1 s).
+        let error = expect_ok(Response {
+            status: 429,
+            headers: vec![("retry-after".to_string(), "7".to_string())],
+            body: "rate limited: client ci over quota".to_string(),
+        })
+        .expect_err("429");
+        assert!(
+            matches!(
+                error,
+                ServiceError::RateLimited {
+                    retry_after_s: 7,
+                    ..
+                }
+            ),
             "{error}"
         );
     }

@@ -40,6 +40,16 @@ pub enum ServiceError {
     /// in progress) or any more (aborted). Clients treat this as transient
     /// and retry with backoff — see [`crate::retry::is_transient`].
     Unavailable(String),
+    /// The request was refused by admission control (per-client pending
+    /// shard quota). Transient by definition: the quota frees up as the
+    /// client's shards drain, so clients back off and retry — the server
+    /// hints how long with a `retry-after` header.
+    RateLimited {
+        /// Human-readable quota message.
+        message: String,
+        /// Suggested wait before retrying, in seconds.
+        retry_after_s: u64,
+    },
 }
 
 impl ServiceError {
@@ -54,6 +64,7 @@ impl ServiceError {
             }
             ServiceError::Io(_) | ServiceError::Http { .. } | ServiceError::Aborted(_) => 500,
             ServiceError::Unavailable(_) => 503,
+            ServiceError::RateLimited { .. } => 429,
         }
     }
 }
@@ -72,6 +83,10 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Aborted(message) => write!(f, "worker aborted: {message}"),
             ServiceError::Unavailable(message) => write!(f, "unavailable: {message}"),
+            ServiceError::RateLimited {
+                message,
+                retry_after_s,
+            } => write!(f, "rate limited: {message} (retry after {retry_after_s}s)"),
         }
     }
 }
@@ -108,6 +123,14 @@ mod tests {
             ServiceError::Unavailable("replaying journal".into()).status_code(),
             503
         );
+        assert_eq!(
+            ServiceError::RateLimited {
+                message: "client ci over quota".into(),
+                retry_after_s: 2,
+            }
+            .status_code(),
+            429
+        );
     }
 
     #[test]
@@ -121,5 +144,11 @@ mod tests {
         }
         .to_string()
         .contains("409"));
+        let limited = ServiceError::RateLimited {
+            message: "client ci has 8 pending shard(s), quota 4".into(),
+            retry_after_s: 2,
+        }
+        .to_string();
+        assert!(limited.contains("quota 4") && limited.contains("retry after 2s"));
     }
 }

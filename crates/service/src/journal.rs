@@ -48,7 +48,7 @@
 //! pending. Still-running workers re-acquire their shard on their next
 //! record batch; dedup absorbs any re-streams.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,20 +59,43 @@ use tats_trace::spans::{id_hex, parse_id};
 use tats_trace::{jsonl, JsonValue};
 
 use crate::error::ServiceError;
-use crate::registry::{IngestReport, Registry};
+use crate::registry::{IngestReport, Registry, Submission};
 
 /// What [`replay`] reconstructed from a journal.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplayReport {
     /// Complete journal events applied.
     pub events: usize,
-    /// Jobs reconstructed (submit events).
+    /// Jobs reconstructed (submit events plus snapshot-restored jobs).
     pub jobs: usize,
-    /// Records re-ingested (accepted lines across ingest events).
+    /// Records re-ingested (accepted lines across ingest events, plus
+    /// snapshot-restored records).
     pub records: usize,
+    /// Snapshot events fast-forwarded through (0 on an uncompacted
+    /// journal, 1 after a compaction).
+    pub snapshots: usize,
     /// Bytes of partial trailing line dropped by the crash repair (only
     /// set by [`JournaledRegistry::open`], which owns the file).
     pub repaired_bytes: u64,
+}
+
+/// What one [`JournaledRegistry::compact`] run did to the journal file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Journal size before compaction, bytes.
+    pub bytes_before: u64,
+    /// Journal size after (one `snapshot` line), bytes.
+    pub bytes_after: u64,
+}
+
+/// The temporary path a compaction snapshot is staged at before it
+/// atomically replaces `journal` — `<journal>.compact`. A crash
+/// mid-compaction leaves at most this staging file behind; replay never
+/// reads it, so the old journal stays authoritative until the rename.
+pub fn compaction_path(journal: &Path) -> PathBuf {
+    let mut os = journal.as_os_str().to_os_string();
+    os.push(".compact");
+    PathBuf::from(os)
 }
 
 fn protocol(message: String) -> ServiceError {
@@ -172,8 +195,22 @@ fn apply(
                 .get("trace_us")
                 .and_then(JsonValue::as_u64)
                 .unwrap_or(0);
+            // Admission fields are absent from pre-quota journals; those
+            // replay under the shared default client at priority 0 — the
+            // FIFO those journals actually ran under.
+            let client = event
+                .get("client")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("default");
+            let priority = event
+                .get("priority")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0);
+            let submission = Submission::new(spec, shards)
+                .for_client(client, priority)
+                .traced(trace_id, trace_us);
             let status = registry
-                .submit(spec, shards, trace_id, trace_us, now_ms)
+                .submit(submission, now_ms)
                 .map_err(|e| protocol(format!("submit refused on replay: {e}")))?;
             let job = status.get("job").and_then(JsonValue::as_str).unwrap_or("");
             if job != journaled_job {
@@ -234,6 +271,19 @@ fn apply(
         "reset_leases" => {
             registry.reset_leases();
         }
+        "snapshot" => {
+            // A compaction snapshot: fast-forward the registry to the
+            // serialized state instead of replaying the events it folded
+            // away. [`Registry::restore`] fails loudly on a corrupted
+            // snapshot (fingerprint/spec mismatch, structural damage).
+            let state = event
+                .get("state")
+                .ok_or_else(|| protocol("snapshot event missing 'state'".to_string()))?;
+            let (jobs, records) = registry.restore(state)?;
+            report.jobs += jobs;
+            report.records += records;
+            report.snapshots += 1;
+        }
         other => return Err(protocol(format!("unknown event '{other}'"))),
     }
     Ok(())
@@ -254,7 +304,20 @@ fn apply(
 pub struct JournaledRegistry {
     registry: Registry,
     journal: Option<jsonl::JsonlWriter<std::fs::File>>,
+    /// The journal's path — kept so [`JournaledRegistry::compact`] can
+    /// stage and rename over it. `None` for journal-less registries.
+    path: Option<PathBuf>,
     sealed: bool,
+    /// Auto-compaction threshold: when `Some(n)`, a compaction runs as
+    /// soon as the journal holds `n` or more events (replayed events
+    /// count, so a long-lived journal compacts right after boot too).
+    compact_every: Option<u64>,
+    /// Events in the journal file right now (replayed + appended since
+    /// the last compaction).
+    events_in_journal: u64,
+    /// Compactions performed by this incarnation (auto + on-demand) —
+    /// the `journal_compactions_total` series of `/metrics`.
+    compactions: u64,
     /// When set, every journal append (write + per-line flush) records its
     /// latency here — the `journal_append_seconds` series of `/metrics`.
     append_latency: Option<Arc<Histogram>>,
@@ -266,7 +329,11 @@ impl JournaledRegistry {
         JournaledRegistry {
             registry: Registry::new(lease_ttl_ms),
             journal: None,
+            path: None,
             sealed: false,
+            compact_every: None,
+            events_in_journal: 0,
+            compactions: 0,
             append_latency: None,
         }
     }
@@ -305,7 +372,11 @@ impl JournaledRegistry {
             JournaledRegistry {
                 registry,
                 journal: Some(writer),
+                path: Some(path.to_path_buf()),
                 sealed: false,
+                compact_every: None,
+                events_in_journal: report.events as u64,
+                compactions: 0,
                 append_latency: None,
             },
             report,
@@ -380,8 +451,75 @@ impl JournaledRegistry {
             if let Some(histogram) = &self.append_latency {
                 histogram.record_duration(clock.elapsed());
             }
+            self.events_in_journal += 1;
+            if self
+                .compact_every
+                .is_some_and(|every| self.events_in_journal >= every)
+            {
+                // The triggering mutation is already applied *and*
+                // journaled, so a compaction failure here loses nothing —
+                // it propagates like any other journal I/O failure and
+                // the old journal stays authoritative.
+                self.compact()?;
+            }
         }
         Ok(())
+    }
+
+    /// Sets the auto-compaction threshold: `Some(n)` compacts the journal
+    /// whenever it holds `n` or more events (`tats serve
+    /// --compact-every-events n`). `None` (the default) compacts only on
+    /// demand via [`JournaledRegistry::compact`].
+    pub fn set_compact_every(&mut self, every: Option<u64>) {
+        self.compact_every = every.filter(|n| *n > 0);
+    }
+
+    /// Rewrites the journal as one `snapshot` event carrying the full
+    /// registry state ([`Registry::dump`]), folding away every event it
+    /// subsumes. Crash-safe at every step: the snapshot is staged at
+    /// [`compaction_path`], fsynced, and only then atomically renamed over
+    /// the journal — a `kill -9` before the rename leaves the old journal
+    /// untouched and authoritative (replay never reads the staging file),
+    /// and one after the rename leaves the new journal complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::BadRequest`] for a journal-less registry,
+    /// [`ServiceError::Unavailable`] when sealed, and I/O failures from
+    /// staging, fsync or rename — all of which leave the old journal in
+    /// place.
+    pub fn compact(&mut self) -> Result<CompactReport, ServiceError> {
+        self.check_sealed()?;
+        let Some(path) = self.path.clone() else {
+            return Err(ServiceError::BadRequest(
+                "no journal configured; nothing to compact".to_string(),
+            ));
+        };
+        let bytes_before = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let staging = compaction_path(&path);
+        let mut writer = jsonl::JsonlWriter::new(std::fs::File::create(&staging)?);
+        writer.write(&JsonValue::object(vec![
+            ("event".to_string(), JsonValue::from("snapshot")),
+            ("state".to_string(), self.registry.dump()),
+        ]))?;
+        // Durability before visibility: the snapshot must be on disk
+        // before it can replace the journal.
+        writer.into_inner().sync_all()?;
+        std::fs::rename(&staging, &path)?;
+        let (writer, _) = jsonl::append_repaired(&path)?;
+        self.journal = Some(writer);
+        self.events_in_journal = 1;
+        self.compactions += 1;
+        let bytes_after = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        Ok(CompactReport {
+            bytes_before,
+            bytes_after,
+        })
+    }
+
+    /// Compactions performed since this registry was opened.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// [`Registry::submit`], journaled (trace context included, so replay
@@ -393,32 +531,33 @@ impl JournaledRegistry {
     /// when sealed, and journal-append I/O failures.
     pub fn submit(
         &mut self,
-        spec: CampaignSpec,
-        shards: usize,
-        trace_id: u64,
-        trace_us: u64,
+        submission: Submission,
         now_ms: u64,
     ) -> Result<JsonValue, ServiceError> {
         self.check_sealed()?;
-        let spec_json = spec.to_json();
-        let status = self
-            .registry
-            .submit(spec, shards, trace_id, trace_us, now_ms)?;
+        let spec_json = submission.spec.to_json();
+        let shards = submission.shards;
+        let client = submission.client.clone();
+        let priority = submission.priority;
+        let trace_us = submission.trace_us;
+        let trace_hex = if submission.trace_id == 0 {
+            String::new()
+        } else {
+            id_hex(submission.trace_id)
+        };
+        let status = self.registry.submit(submission, now_ms)?;
         let job = status
             .get("job")
             .and_then(JsonValue::as_str)
             .unwrap_or("")
             .to_string();
-        let trace_hex = if trace_id == 0 {
-            String::new()
-        } else {
-            id_hex(trace_id)
-        };
         self.append(JsonValue::object(vec![
             ("event".to_string(), JsonValue::from("submit")),
             ("now_ms".to_string(), JsonValue::from(now_ms as usize)),
             ("job".to_string(), JsonValue::from(job.as_str())),
             ("shards".to_string(), JsonValue::from(shards)),
+            ("client".to_string(), JsonValue::from(client.as_str())),
+            ("priority".to_string(), JsonValue::from(priority as usize)),
             ("trace_id".to_string(), JsonValue::from(trace_hex.as_str())),
             ("trace_us".to_string(), JsonValue::from(trace_us as usize)),
             ("spec".to_string(), spec_json),

@@ -120,6 +120,45 @@
 //!   span tree. Start triage here, pivot by `trace_id` into the span
 //!   forest, quantify with the metrics page.
 //!
+//! # Journal compaction (PR 10)
+//!
+//! A long-lived journal replays every event it ever appended, so restart
+//! time and disk grow without bound. Compaction folds the whole history
+//! into a single `snapshot` event carrying the full registry state;
+//! replay treats a leading snapshot as a fast-forward prefix and applies
+//! only the events journaled after it. Trigger it on demand with
+//! `POST /compact` (`tats compact --connect HOST:PORT` — the reply
+//! reports bytes before/after) or automatically with `tats serve
+//! --compact-every-events N`, which folds the journal every time it
+//! reaches `N` events ([`ServiceConfig::compact_every_events`]).
+//!
+//! The safety invariant: **the old journal stays authoritative until the
+//! snapshot is durable.** Compaction stages the snapshot at
+//! `<journal>.compact`, fsyncs it, and only then atomically renames it
+//! over the journal; a crash at any point — including a complete-looking
+//! staging file a replay must *not* trust — leaves the original journal
+//! in place, and the orphaned staging file is ignored and cleaned up by
+//! the next compaction (pinned in `tests/journal_replay.rs` and the
+//! double-crash test in `tests/crash_recovery.rs`).
+//!
+//! # Fair admission (PR 10)
+//!
+//! `POST /jobs` accepts optional `"client"` (default `"default"`) and
+//! `"priority"` (default 0) fields — see [`Submission`]. The lease path
+//! serves priority tiers high-to-low and round-robins across clients
+//! *within* a tier, so one client's burst of jobs cannot starve another's
+//! (the per-tier cursor is part of the journaled state, so replay
+//! reproduces the exact grant order). With `tats serve --client-quota Q`
+//! ([`ServiceConfig::client_quota`]), a submit from a client that already
+//! has `Q` pending (not-yet-done) shards is refused with `429` and a
+//! `retry-after` header; [`retry`] classifies the refusal as transient,
+//! so `tats submit` retries it instead of dying. Quota refusals happen
+//! before journaling and are never recorded — an admitted submit is
+//! journaled, a refused one never was. `tats serve --max-connections C`
+//! ([`ServiceConfig::max_connections`]) bounds concurrent connections the
+//! same way: excess connects are shed with `503` + `retry-after` and
+//! counted in `http_connections_rejected_total`.
+//!
 //! # Talking to a (restarted) server with curl
 //!
 //! ```text
@@ -184,8 +223,8 @@ mod server;
 mod worker;
 
 pub use error::ServiceError;
-pub use journal::{JournaledRegistry, ReplayReport};
-pub use registry::{IngestReport, Registry};
+pub use journal::{CompactReport, JournaledRegistry, ReplayReport};
+pub use registry::{IngestReport, Registry, Submission};
 pub use retry::RetryPolicy;
 pub use server::{Service, ServiceConfig, ServiceHandle};
 pub use worker::{run_worker, WorkerConfig, WorkerReport};

@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use tats_engine::{CampaignSpec, ScenarioRecord, Shard, ShardBoard, ShardState, Summary};
 use tats_trace::log::{LogEvent, LogFilter, LogLevel};
-use tats_trace::spans::{id_hex, SpanEvent, SpanIdGen, SpanKind};
+use tats_trace::spans::{id_hex, parse_id, SpanEvent, SpanIdGen, SpanKind};
 use tats_trace::{jsonl, JsonValue};
 
 use crate::error::ServiceError;
@@ -58,6 +58,62 @@ fn build_log(
     Some(event.to_line())
 }
 
+/// The inputs of one job submission: the campaign plus the admission
+/// metadata (`client`, `priority`) and trace context that ride along.
+///
+/// `POST /jobs` deserialises into this; the journal records it verbatim,
+/// so replay reconstructs the same admission state. The defaults
+/// ([`Submission::new`]) are what an old client that sends neither field
+/// gets: everyone shares one `"default"` client at priority 0, which
+/// degenerates the fair-admission lease scan to the pre-quota FIFO.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// The campaign to run.
+    pub spec: CampaignSpec,
+    /// Requested shard count (clamped to the scenario count).
+    pub shards: usize,
+    /// The submitting client's self-reported identity — the unit of
+    /// round-robin fairness and pending-shard quotas.
+    pub client: String,
+    /// Priority tier; higher tiers are always served first.
+    pub priority: u64,
+    /// Campaign-wide trace id (`0` = untraced).
+    pub trace_id: u64,
+    /// Unix-µs timestamp anchoring the span clock of a traced submit.
+    pub trace_us: u64,
+}
+
+impl Submission {
+    /// A submission with default admission metadata (client `"default"`,
+    /// priority 0) and no tracing.
+    pub fn new(spec: CampaignSpec, shards: usize) -> Self {
+        Submission {
+            spec,
+            shards,
+            client: "default".to_string(),
+            priority: 0,
+            trace_id: 0,
+            trace_us: 0,
+        }
+    }
+
+    /// Sets the admission identity: the client name and priority tier.
+    #[must_use]
+    pub fn for_client(mut self, client: &str, priority: u64) -> Self {
+        self.client = client.to_string();
+        self.priority = priority;
+        self
+    }
+
+    /// Turns on distributed tracing for the job.
+    #[must_use]
+    pub fn traced(mut self, trace_id: u64, trace_us: u64) -> Self {
+        self.trace_id = trace_id;
+        self.trace_us = trace_us;
+        self
+    }
+}
+
 /// One submitted campaign and its scheduling state.
 #[derive(Debug)]
 pub struct Job {
@@ -73,6 +129,11 @@ pub struct Job {
     /// Scenario ids with an accepted record.
     completed: BTreeSet<u64>,
     summary: Summary,
+    /// The submitting client — the unit the lease scan round-robins over
+    /// and the pending-shard quota is charged to.
+    client: String,
+    /// Priority tier (higher = served first by the lease scan).
+    priority: u64,
     created_ms: u64,
     /// Arrival time of the first accepted record — the start of the
     /// progress-rate window. Journaled ingest timestamps reconstruct both
@@ -219,6 +280,11 @@ impl Job {
                 "scenarios".to_string(),
                 JsonValue::from(self.expected.len()),
             ),
+            ("client".to_string(), JsonValue::from(self.client.as_str())),
+            (
+                "priority".to_string(),
+                JsonValue::from(self.priority as usize),
+            ),
             ("records".to_string(), JsonValue::from(self.records.len())),
             (
                 "shards".to_string(),
@@ -327,6 +393,13 @@ pub struct Registry {
     next_job: u64,
     workers: BTreeMap<String, WorkerInfo>,
     lease_ttl_ms: u64,
+    /// Per-priority-tier round-robin cursor: the client a tier last
+    /// granted a shard to. The next scan of that tier starts at the first
+    /// client *after* the cursor (sorted by name, wrapping), so no client
+    /// waits more than one round behind a saturating neighbour. Updated
+    /// only on grants — which are journaled — so replay reproduces every
+    /// scheduling decision, and compaction snapshots must carry it.
+    lease_cursor: BTreeMap<u64, String>,
     /// Span lines appended to any job since the last
     /// [`Registry::take_trace_lines`] — the server drains this into its
     /// `--trace-log` file after each request. Not replayable state: a
@@ -357,6 +430,7 @@ impl Registry {
             next_job: 1,
             workers: BTreeMap::new(),
             lease_ttl_ms: lease_ttl_ms.max(1),
+            lease_cursor: BTreeMap::new(),
             trace_out: Vec::new(),
             trace_buffered: true,
             log_out: Vec::new(),
@@ -419,9 +493,9 @@ impl Registry {
         info
     }
 
-    /// Submits a campaign as a new job split into `shards` deterministic
-    /// shards (clamped to the scenario count). Returns the created job's
-    /// status object.
+    /// Submits a campaign as a new job split into `submission.shards`
+    /// deterministic shards (clamped to the scenario count). Returns the
+    /// created job's status object.
     ///
     /// A nonzero `trace_id` (with `trace_us`, the submitter-side Unix-µs
     /// timestamp anchoring the span clock) turns on distributed tracing
@@ -429,17 +503,29 @@ impl Registry {
     /// merged stream, lease responses carry the trace context to workers,
     /// and ingest accepts worker span batches. `(0, 0)` submits untraced.
     ///
+    /// Admission quotas are deliberately *not* checked here: the journal
+    /// replays every submit this method accepted, and a quota configured
+    /// differently across restarts must never turn a previously-accepted
+    /// submit into a refusal. The server enforces quotas *before* calling
+    /// this (see [`Registry::client_pending_shards`]); refusals are never
+    /// journaled.
+    ///
     /// # Errors
     ///
     /// Returns [`ServiceError::BadRequest`] for empty campaigns.
     pub fn submit(
         &mut self,
-        spec: CampaignSpec,
-        shards: usize,
-        trace_id: u64,
-        trace_us: u64,
+        submission: Submission,
         now_ms: u64,
     ) -> Result<JsonValue, ServiceError> {
+        let Submission {
+            spec,
+            shards,
+            client,
+            priority,
+            trace_id,
+            trace_us,
+        } = submission;
         let campaign = spec.to_campaign();
         let scenarios = campaign.scenarios();
         if scenarios.is_empty() {
@@ -449,7 +535,7 @@ impl Registry {
         }
         let shard_count = shards.clamp(1, scenarios.len());
         // Zero-padded ids keep BTreeMap order == submission order, which is
-        // the FIFO the lease scan walks.
+        // the FIFO the lease scan falls back to within one client.
         let id = format!("j{:06}", self.next_job);
         self.next_job += 1;
         let mut job = Job {
@@ -461,6 +547,8 @@ impl Registry {
             records: Vec::new(),
             completed: BTreeSet::new(),
             summary: Summary::new(),
+            client,
+            priority,
             created_ms: now_ms,
             first_record_ms: None,
             last_record_ms: None,
@@ -485,6 +573,7 @@ impl Registry {
             trace_id,
             now_ms,
             &[
+                ("client", job.client.as_str()),
                 ("job", id.as_str()),
                 ("scenarios", scenarios_text.as_str()),
                 ("shards", shards_text.as_str()),
@@ -497,8 +586,57 @@ impl Registry {
         Ok(status)
     }
 
-    /// Leases the next available shard to `worker`: the lowest-indexed
-    /// pending-or-expired shard of the oldest job with one. The response is
+    /// Shards of `client`'s jobs that are not yet done — the quantity its
+    /// pending-shard quota is charged against. Leased shards count: the
+    /// quota bounds a client's *in-flight backlog*, and a leased shard is
+    /// still backlog until its records land and it completes.
+    pub fn client_pending_shards(&self, client: &str) -> usize {
+        self.jobs
+            .values()
+            .filter(|job| job.client == client)
+            .map(|job| job.board.count() - job.board.done_count())
+            .sum()
+    }
+
+    /// The order the lease scan visits jobs in: priority tiers from
+    /// highest to lowest; within a tier, round-robin across clients
+    /// starting just past the tier's cursor (the client last granted a
+    /// shard); within a client, FIFO by job id. With a single client this
+    /// degenerates to the pre-admission FIFO scan, so old journals replay
+    /// unchanged. Pure function of job state + cursor, both replayed, so
+    /// the order is replay-deterministic.
+    fn lease_order(&self) -> Vec<String> {
+        let mut tiers: BTreeMap<u64, BTreeMap<&str, Vec<&str>>> = BTreeMap::new();
+        for job in self.jobs.values() {
+            if job.board.all_done() {
+                continue;
+            }
+            tiers
+                .entry(job.priority)
+                .or_default()
+                .entry(job.client.as_str())
+                .or_default()
+                .push(job.id.as_str());
+        }
+        let mut order = Vec::new();
+        for (priority, clients) in tiers.iter().rev() {
+            let names: Vec<&str> = clients.keys().copied().collect();
+            let start = self
+                .lease_cursor
+                .get(priority)
+                .and_then(|last| names.iter().position(|name| *name > last.as_str()))
+                .unwrap_or(0);
+            for offset in 0..names.len() {
+                let name = names[(start + offset) % names.len()];
+                order.extend(clients[name].iter().map(|id| (*id).to_string()));
+            }
+        }
+        order
+    }
+
+    /// Leases the next available shard to `worker`. Job order is the fair
+    /// scan of [`Registry::lease_order`]; within a job the board hands out
+    /// the lowest-indexed pending-or-expired shard. The response is
     /// self-contained — spec, fingerprint, shard, completed ids — so a
     /// worker needs no other state to run (and resume) the shard.
     pub fn lease(&mut self, worker: &str, now_ms: u64) -> JsonValue {
@@ -507,12 +645,13 @@ impl Registry {
         let filter = Arc::clone(&self.log_filter);
         self.touch_worker(worker, now_ms);
         let mut granted: Option<JsonValue> = None;
+        let mut grant_cursor: Option<(u64, String)> = None;
         let mut trace_line: Option<String> = None;
         let mut log_line: Option<String> = None;
-        for job in self.jobs.values_mut() {
-            if job.board.all_done() {
+        for id in self.lease_order() {
+            let Some(job) = self.jobs.get_mut(&id) else {
                 continue;
-            }
+            };
             if let Some(shard) = job.board.lease(worker, now_ms, ttl) {
                 let completed: Vec<JsonValue> = job
                     .completed_in_shard(shard)
@@ -553,9 +692,10 @@ impl Registry {
                     &[("shard", shard_text.as_str()), ("peer", worker)],
                     buffered,
                 );
-                // Lease grants are *not* journaled, so their log lines use
-                // the live-only `lease` target — the crash-recovery tests
-                // pin only `registry`-target lines across a restart.
+                // Lease-grant log lines use the `lease` target, distinct
+                // from `registry` — the crash-recovery tests pin only
+                // `registry`-target lines across a restart, and replayed
+                // grants may re-emit these without breaking them.
                 log_line = build_log(
                     &filter,
                     LogLevel::Debug,
@@ -573,8 +713,12 @@ impl Registry {
                     "lease".to_string(),
                     JsonValue::object(fields),
                 )]));
+                grant_cursor = Some((job.priority, job.client.clone()));
                 break;
             }
+        }
+        if let Some((priority, client)) = grant_cursor {
+            self.lease_cursor.insert(priority, client);
         }
         self.trace_out.extend(trace_line);
         self.log_out.extend(log_line);
@@ -1017,6 +1161,11 @@ impl Registry {
                         "fingerprint".to_string(),
                         JsonValue::from(job.fingerprint.as_str()),
                     ),
+                    ("client".to_string(), JsonValue::from(job.client.as_str())),
+                    (
+                        "priority".to_string(),
+                        JsonValue::from(job.priority as usize),
+                    ),
                     (
                         "created_ms".to_string(),
                         JsonValue::from(job.created_ms as usize),
@@ -1070,8 +1219,300 @@ impl Registry {
                 "next_job".to_string(),
                 JsonValue::from(self.next_job as usize),
             ),
+            (
+                "lease_cursor".to_string(),
+                JsonValue::object(self.lease_cursor.iter().map(|(priority, client)| {
+                    (priority.to_string(), JsonValue::from(client.as_str()))
+                })),
+            ),
             ("jobs".to_string(), JsonValue::Array(jobs)),
         ])
+    }
+
+    /// Serialises the full replayable state for a compaction snapshot:
+    /// everything [`Registry::restore`] needs to reconstruct this registry
+    /// exactly — jobs with specs, shard boards (live leases included),
+    /// record streams, completed ids, span streams, trace context,
+    /// admission metadata, the job counter and the lease cursor. Worker
+    /// statistics stay out, matching [`Registry::snapshot`]'s definition
+    /// of replayable state. Trace ids are stored as hex strings — JSON
+    /// numbers lose u64 precision past 2^53.
+    pub fn dump(&self) -> JsonValue {
+        let jobs = self
+            .jobs
+            .values()
+            .map(|job| {
+                let shards: Vec<JsonValue> = (0..job.board.count())
+                    .map(|index| match job.board.state(index) {
+                        ShardState::Pending => JsonValue::from("pending"),
+                        ShardState::Done => JsonValue::from("done"),
+                        ShardState::Leased {
+                            worker,
+                            deadline_ms,
+                        } => JsonValue::object(vec![
+                            ("worker".to_string(), JsonValue::from(worker.as_str())),
+                            (
+                                "deadline_ms".to_string(),
+                                JsonValue::from(*deadline_ms as usize),
+                            ),
+                        ]),
+                    })
+                    .collect();
+                JsonValue::object(vec![
+                    ("job".to_string(), JsonValue::from(job.id.as_str())),
+                    ("spec".to_string(), job.spec.to_json()),
+                    (
+                        "fingerprint".to_string(),
+                        JsonValue::from(job.fingerprint.as_str()),
+                    ),
+                    ("client".to_string(), JsonValue::from(job.client.as_str())),
+                    (
+                        "priority".to_string(),
+                        JsonValue::from(job.priority as usize),
+                    ),
+                    (
+                        "created_ms".to_string(),
+                        JsonValue::from(job.created_ms as usize),
+                    ),
+                    (
+                        "first_record_ms".to_string(),
+                        job.first_record_ms
+                            .map_or(JsonValue::Null, |ms| JsonValue::from(ms as usize)),
+                    ),
+                    (
+                        "last_record_ms".to_string(),
+                        job.last_record_ms
+                            .map_or(JsonValue::Null, |ms| JsonValue::from(ms as usize)),
+                    ),
+                    (
+                        "trace_id".to_string(),
+                        JsonValue::from(
+                            if job.trace_id == 0 {
+                                String::new()
+                            } else {
+                                id_hex(job.trace_id)
+                            }
+                            .as_str(),
+                        ),
+                    ),
+                    (
+                        "trace_us".to_string(),
+                        JsonValue::from(job.trace_us as usize),
+                    ),
+                    ("shards".to_string(), JsonValue::Array(shards)),
+                    (
+                        "completed".to_string(),
+                        JsonValue::Array(
+                            job.completed
+                                .iter()
+                                .map(|id| JsonValue::from(*id as usize))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "records".to_string(),
+                        JsonValue::Array(
+                            job.records
+                                .iter()
+                                .map(|line| JsonValue::from(line.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "spans".to_string(),
+                        JsonValue::Array(
+                            job.spans
+                                .iter()
+                                .map(|line| JsonValue::from(line.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            (
+                "next_job".to_string(),
+                JsonValue::from(self.next_job as usize),
+            ),
+            (
+                "lease_cursor".to_string(),
+                JsonValue::object(self.lease_cursor.iter().map(|(priority, client)| {
+                    (priority.to_string(), JsonValue::from(client.as_str()))
+                })),
+            ),
+            ("jobs".to_string(), JsonValue::Array(jobs)),
+        ])
+    }
+
+    /// Replaces this registry's replayable state with a [`Registry::dump`]
+    /// snapshot — the journal-replay fast-forward. Derived state the dump
+    /// leaves implicit is rebuilt from first principles: the `id -> key`
+    /// fingerprint map from the spec's own enumeration, the summary by
+    /// re-folding the record lines, span-id dedup sets by re-parsing the
+    /// span lines. Returns `(jobs, records)` restored, for the replay
+    /// report. Observability plumbing (filters, buffers, pending output
+    /// lines) and worker statistics are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] for a structurally invalid
+    /// snapshot, including a stored fingerprint that does not match the
+    /// stored spec (a corrupted or hand-edited snapshot fails loudly at
+    /// boot instead of silently diverging).
+    pub fn restore(&mut self, state: &JsonValue) -> Result<(usize, usize), ServiceError> {
+        let bad = |message: String| ServiceError::Protocol(format!("snapshot: {message}"));
+        let next_job = state
+            .get("next_job")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| bad("missing 'next_job'".to_string()))?;
+        let mut lease_cursor = BTreeMap::new();
+        if let Some(JsonValue::Object(entries)) = state.get("lease_cursor") {
+            for (priority, client) in entries {
+                let priority = priority
+                    .parse::<u64>()
+                    .map_err(|_| bad(format!("non-numeric cursor tier '{priority}'")))?;
+                let client = client
+                    .as_str()
+                    .ok_or_else(|| bad("non-string cursor client".to_string()))?;
+                lease_cursor.insert(priority, client.to_string());
+            }
+        }
+        let mut jobs = BTreeMap::new();
+        let mut records_restored = 0;
+        for entry in state
+            .get("jobs")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| bad("missing 'jobs' array".to_string()))?
+        {
+            let field = |name: &str| {
+                entry
+                    .get(name)
+                    .ok_or_else(|| bad(format!("job missing '{name}'")))
+            };
+            let id = field("job")?
+                .as_str()
+                .ok_or_else(|| bad("non-string job id".to_string()))?
+                .to_string();
+            let spec = CampaignSpec::from_json(field("spec")?)
+                .map_err(|e| bad(format!("job {id} spec: {e}")))?;
+            let fingerprint = field("fingerprint")?
+                .as_str()
+                .ok_or_else(|| bad("non-string fingerprint".to_string()))?
+                .to_string();
+            if fingerprint != spec.fingerprint() {
+                return Err(bad(format!("job {id} fingerprint does not match its spec")));
+            }
+            let expected: HashMap<u64, String> = spec
+                .to_campaign()
+                .scenarios()
+                .iter()
+                .map(|s| (s.id, s.key()))
+                .collect();
+            let states = field("shards")?
+                .as_array()
+                .ok_or_else(|| bad("non-array shards".to_string()))?
+                .iter()
+                .map(|shard| match shard {
+                    JsonValue::String(s) if s == "pending" => Ok(ShardState::Pending),
+                    JsonValue::String(s) if s == "done" => Ok(ShardState::Done),
+                    other => {
+                        let worker = other
+                            .get("worker")
+                            .and_then(JsonValue::as_str)
+                            .ok_or_else(|| bad(format!("job {id}: bad shard state")))?;
+                        let deadline_ms = other
+                            .get("deadline_ms")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| bad(format!("job {id}: bad lease deadline")))?;
+                        Ok(ShardState::Leased {
+                            worker: worker.to_string(),
+                            deadline_ms,
+                        })
+                    }
+                })
+                .collect::<Result<Vec<ShardState>, ServiceError>>()?;
+            let completed: BTreeSet<u64> = field("completed")?
+                .as_array()
+                .ok_or_else(|| bad("non-array completed".to_string()))?
+                .iter()
+                .filter_map(JsonValue::as_u64)
+                .collect();
+            let mut summary = Summary::new();
+            let mut records = Vec::new();
+            for line in field("records")?
+                .as_array()
+                .ok_or_else(|| bad("non-array records".to_string()))?
+            {
+                let line = line
+                    .as_str()
+                    .ok_or_else(|| bad("non-string record line".to_string()))?;
+                let value = JsonValue::parse(line)
+                    .map_err(|e| bad(format!("job {id} record line: {e}")))?;
+                let record = ScenarioRecord::from_json(&value)
+                    .map_err(|e| bad(format!("job {id} record line: {e}")))?;
+                summary.record(&record);
+                records.push(line.to_string());
+            }
+            let mut spans = Vec::new();
+            let mut span_ids = HashSet::new();
+            for line in field("spans")?
+                .as_array()
+                .ok_or_else(|| bad("non-array spans".to_string()))?
+            {
+                let line = line
+                    .as_str()
+                    .ok_or_else(|| bad("non-string span line".to_string()))?;
+                let (_, span_id) = match SpanEvent::canonical_ids(line) {
+                    Some(ids) => ids,
+                    None => SpanEvent::parse_line(line)
+                        .map(|span| (span.trace_id, span.span_id))
+                        .map_err(|e| bad(format!("job {id} span line: {e}")))?,
+                };
+                span_ids.insert(span_id);
+                spans.push(line.to_string());
+            }
+            records_restored += records.len();
+            let job = Job {
+                id: id.clone(),
+                spec,
+                fingerprint,
+                expected,
+                board: ShardBoard::from_states(states),
+                records,
+                completed,
+                summary,
+                client: field("client")?
+                    .as_str()
+                    .ok_or_else(|| bad("non-string client".to_string()))?
+                    .to_string(),
+                priority: field("priority")?
+                    .as_u64()
+                    .ok_or_else(|| bad("non-numeric priority".to_string()))?,
+                created_ms: field("created_ms")?
+                    .as_u64()
+                    .ok_or_else(|| bad("non-numeric created_ms".to_string()))?,
+                first_record_ms: entry.get("first_record_ms").and_then(JsonValue::as_u64),
+                last_record_ms: entry.get("last_record_ms").and_then(JsonValue::as_u64),
+                trace_id: entry
+                    .get("trace_id")
+                    .and_then(JsonValue::as_str)
+                    .and_then(parse_id)
+                    .unwrap_or(0),
+                trace_us: entry
+                    .get("trace_us")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+                spans,
+                span_ids,
+            };
+            jobs.insert(id, job);
+        }
+        let jobs_restored = jobs.len();
+        self.jobs = jobs;
+        self.next_job = next_job;
+        self.lease_cursor = lease_cursor;
+        Ok((jobs_restored, records_restored))
     }
 
     /// Everything known about the workers that have talked to this server,
@@ -1186,7 +1627,9 @@ mod tests {
     #[test]
     fn submit_lease_ingest_done_lifecycle() {
         let mut registry = Registry::new(TTL);
-        let status = registry.submit(tiny_spec(), 2, 0, 0, 0).expect("submit");
+        let status = registry
+            .submit(Submission::new(tiny_spec(), 2), 0)
+            .expect("submit");
         let job = status.get("job").and_then(JsonValue::as_str).unwrap();
         assert_eq!(job, "j000001");
         assert_eq!(
@@ -1264,7 +1707,7 @@ mod tests {
     fn progress_reports_rate_and_eta_from_ingest_timestamps() {
         let mut registry = Registry::new(TTL);
         let job = registry
-            .submit(tiny_spec(), 1, 0, 0, 0)
+            .submit(Submission::new(tiny_spec(), 1), 0)
             .expect("submit")
             .get("job")
             .and_then(JsonValue::as_str)
@@ -1341,7 +1784,9 @@ mod tests {
     #[test]
     fn ingest_rejects_foreign_and_misrouted_records() {
         let mut registry = Registry::new(TTL);
-        let status = registry.submit(tiny_spec(), 2, 0, 0, 0).expect("submit");
+        let status = registry
+            .submit(Submission::new(tiny_spec(), 2), 0)
+            .expect("submit");
         let job = status
             .get("job")
             .and_then(JsonValue::as_str)
@@ -1385,7 +1830,7 @@ mod tests {
     fn duplicates_and_partial_lines_are_tolerated() {
         let mut registry = Registry::new(TTL);
         let job = registry
-            .submit(tiny_spec(), 1, 0, 0, 0)
+            .submit(Submission::new(tiny_spec(), 1), 0)
             .expect("submit")
             .get("job")
             .and_then(JsonValue::as_str)
@@ -1422,7 +1867,7 @@ mod tests {
     fn expired_leases_move_to_new_workers_and_block_zombies() {
         let mut registry = Registry::new(TTL);
         let job = registry
-            .submit(tiny_spec(), 1, 0, 0, 0)
+            .submit(Submission::new(tiny_spec(), 1), 0)
             .expect("submit")
             .get("job")
             .and_then(JsonValue::as_str)
@@ -1465,17 +1910,147 @@ mod tests {
         assert!(registry.drained());
     }
 
+    fn lease_job(response: &JsonValue) -> String {
+        response
+            .get("lease")
+            .and_then(|lease| lease.get("job"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_string()
+    }
+
+    fn submit_for(registry: &mut Registry, client: &str, shards: usize, now_ms: u64) -> String {
+        registry
+            .submit(
+                Submission::new(tiny_spec(), shards).for_client(client, 0),
+                now_ms,
+            )
+            .expect("submit")
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn second_client_is_granted_within_one_round_of_a_saturating_job() {
+        let mut registry = Registry::new(TTL);
+        let big = submit_for(&mut registry, "alpha", 4, 0);
+        // The saturating client grabs the first shard unopposed.
+        assert_eq!(lease_job(&registry.lease("w1", 10)), big);
+        // A second client shows up mid-campaign...
+        let small = submit_for(&mut registry, "beta", 2, 10);
+        // ...and its first grant arrives on the very next lease — one
+        // round-robin turn, not after alpha's three remaining shards.
+        assert_eq!(lease_job(&registry.lease("w1", 20)), small);
+        // The rotation keeps alternating while both have work...
+        assert_eq!(lease_job(&registry.lease("w1", 30)), big);
+        assert_eq!(lease_job(&registry.lease("w1", 40)), small);
+        assert_eq!(lease_job(&registry.lease("w1", 50)), big);
+        // ...and alpha drains the tail once beta's two shards are out.
+        assert_eq!(lease_job(&registry.lease("w1", 60)), big);
+        assert!(registry.lease("w1", 70).get("lease").is_none());
+    }
+
+    #[test]
+    fn higher_priority_tiers_are_served_first() {
+        let mut registry = Registry::new(TTL);
+        let routine = submit_for(&mut registry, "alpha", 1, 0);
+        let urgent = registry
+            .submit(Submission::new(tiny_spec(), 1).for_client("beta", 5), 10)
+            .expect("submit")
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string();
+        // The later-submitted but higher-priority job wins the scan.
+        assert_eq!(lease_job(&registry.lease("w1", 20)), urgent);
+        assert_eq!(lease_job(&registry.lease("w2", 30)), routine);
+    }
+
+    #[test]
+    fn client_pending_shards_charges_undone_work() {
+        let mut registry = Registry::new(TTL);
+        let job = submit_for(&mut registry, "ci", 2, 0);
+        assert_eq!(registry.client_pending_shards("ci"), 2);
+        assert_eq!(registry.client_pending_shards("someone-else"), 0);
+        // A leased shard still counts — it is in-flight backlog...
+        registry.lease("w1", 10);
+        assert_eq!(registry.client_pending_shards("ci"), 2);
+        // ...until its records land and it completes.
+        let lines = reference_lines(&tiny_spec());
+        let body = format!("{}\n{}\n", lines[0], lines[2]);
+        registry.ingest(&job, 0, "w1", &body, 20).expect("ingest");
+        registry.shard_done(&job, 0, "w1", 30).expect("done");
+        assert_eq!(registry.client_pending_shards("ci"), 1);
+    }
+
+    #[test]
+    fn dump_restore_round_trips_replayable_state() {
+        let mut registry = Registry::new(TTL);
+        let job = registry
+            .submit(
+                Submission::new(tiny_spec(), 2)
+                    .for_client("alpha", 3)
+                    .traced(0xABCD_EF01_2345_6789, 1_700_000_000_000_000),
+                0,
+            )
+            .expect("submit")
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string();
+        registry.lease("w1", 10);
+        let lines = reference_lines(&tiny_spec());
+        let body = format!("{}\n{}\n", lines[0], lines[2]);
+        registry.ingest(&job, 0, "w1", &body, 20).expect("ingest");
+        registry.shard_done(&job, 0, "w1", 30).expect("done");
+
+        let mut restored = Registry::new(TTL);
+        let (jobs, records) = restored.restore(&registry.dump()).expect("restore");
+        assert_eq!((jobs, records), (1, 2));
+        assert_eq!(restored.snapshot().to_json(), registry.snapshot().to_json());
+        // The clone schedules exactly like the original: same next grant
+        // (trace context included) and same next job id.
+        assert_eq!(
+            restored.lease("w2", 40).to_json(),
+            registry.lease("w2", 40).to_json()
+        );
+        let next = |r: &mut Registry| {
+            r.submit(Submission::new(tiny_spec(), 1), 50)
+                .expect("submit")
+                .get("job")
+                .and_then(JsonValue::as_str)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(next(&mut restored), next(&mut registry));
+
+        // A snapshot whose fingerprint disagrees with its spec is refused.
+        let tampered = registry
+            .dump()
+            .to_json()
+            .replace(&tiny_spec().fingerprint(), "deadbeef");
+        let tampered = JsonValue::parse(&tampered).expect("parse");
+        assert!(matches!(
+            Registry::new(TTL).restore(&tampered),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
     #[test]
     fn empty_campaigns_are_rejected_and_shards_clamp() {
         let mut registry = Registry::new(TTL);
         let mut empty = tiny_spec();
         empty.policies.clear();
         assert!(matches!(
-            registry.submit(empty, 2, 0, 0, 0),
+            registry.submit(Submission::new(empty, 2), 0),
             Err(ServiceError::BadRequest(_))
         ));
         // 99 shards over 4 scenarios clamps to 4.
-        let status = registry.submit(tiny_spec(), 99, 0, 0, 0).expect("submit");
+        let status = registry
+            .submit(Submission::new(tiny_spec(), 99), 0)
+            .expect("submit");
         assert_eq!(
             status
                 .get("shards")

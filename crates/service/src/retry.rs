@@ -28,16 +28,21 @@ use crate::error::ServiceError;
 /// Transient: any socket-level I/O failure (refused, reset, timed out —
 /// the server is restarting or the keep-alive connection died), an HTTP
 /// 502/503/504 (the server is up but not ready, e.g. mid journal replay),
-/// and the client-side [`ServiceError::Unavailable`].
+/// an HTTP 429 / [`ServiceError::RateLimited`] (the client is over its
+/// pending-shard quota, which frees up as its shards drain), and the
+/// client-side [`ServiceError::Unavailable`].
 ///
-/// Fatal: everything else — 4xx statuses (including the 409 lease-lost
-/// signal, which callers handle specially), protocol violations such as a
-/// campaign-fingerprint mismatch, engine failures, and the injected-crash
-/// [`ServiceError::Aborted`] hook, which must look like a real crash.
+/// Fatal: everything else — other 4xx statuses (including the 409
+/// lease-lost signal, which callers handle specially), protocol violations
+/// such as a campaign-fingerprint mismatch, engine failures, and the
+/// injected-crash [`ServiceError::Aborted`] hook, which must look like a
+/// real crash.
 pub fn is_transient(error: &ServiceError) -> bool {
     match error {
-        ServiceError::Io(_) | ServiceError::Unavailable(_) => true,
-        ServiceError::Http { status, .. } => matches!(status, 502..=504),
+        ServiceError::Io(_) | ServiceError::Unavailable(_) | ServiceError::RateLimited { .. } => {
+            true
+        }
+        ServiceError::Http { status, .. } => matches!(status, 429 | 502..=504),
         _ => false,
     }
 }
@@ -167,12 +172,16 @@ mod tests {
     fn classification_separates_transport_from_logic() {
         assert!(is_transient(&ServiceError::Io(io::Error::other("reset"))));
         assert!(is_transient(&ServiceError::Unavailable("replaying".into())));
-        for status in [502u16, 503, 504] {
+        for status in [429u16, 502, 503, 504] {
             assert!(is_transient(&ServiceError::Http {
                 status,
                 message: String::new()
             }));
         }
+        assert!(is_transient(&ServiceError::RateLimited {
+            message: "over quota".into(),
+            retry_after_s: 1
+        }));
         for status in [400u16, 404, 409, 500] {
             assert!(!is_transient(&ServiceError::Http {
                 status,

@@ -24,7 +24,7 @@
 //! | `GET /healthz` | — | liveness probe (200 as soon as the socket is bound) |
 //! | `GET /readyz` | — | readiness probe (503 until journal replay is served) |
 //! | `GET /metrics` | — | Prometheus text exposition (served even before ready) |
-//! | `POST /jobs` | `{"spec": <campaign spec>, "shards": n}` | submit a campaign, get a job id |
+//! | `POST /jobs` | `{"spec": <campaign spec>, "shards": n, "client"?: name, "priority"?: p}` | submit a campaign, get a job id (429 + `retry-after` over the per-client quota) |
 //! | `GET /jobs` | — | status of every job |
 //! | `GET /jobs/{id}` | — | one job's status |
 //! | `GET /jobs/{id}/records?from=k` | — | JSONL records from index `k` (header `x-next-from`) |
@@ -37,6 +37,7 @@
 //! | `POST /lease` | `{"worker": name, "metrics"?: snapshot}` | lease the next available shard |
 //! | `POST /jobs/{id}/shards/{i}/records` | JSONL lines (`x-worker` header) | stream shard records |
 //! | `POST /jobs/{id}/shards/{i}/done` | — (`x-worker` header) | mark a shard complete |
+//! | `POST /compact` | — | fold the journal into one snapshot event now (400 without a journal) |
 //!
 //! # Observability
 //!
@@ -101,6 +102,7 @@ use tats_trace::{jsonl, JsonValue};
 use crate::error::ServiceError;
 use crate::http::{read_request, write_response, Request};
 use crate::journal::{JournaledRegistry, ReplayReport};
+use crate::registry::Submission;
 
 /// Tunables of one service instance.
 #[derive(Debug, Clone)]
@@ -154,6 +156,24 @@ pub struct ServiceConfig {
     /// tests and benchmarks pass an explicit filter ([`LogFilter::off`]
     /// silences everything).
     pub log_filter: Option<LogFilter>,
+    /// Auto-compaction threshold (`tats serve --compact-every-events n`):
+    /// with `Some(n)`, the journal is rewritten as one snapshot event
+    /// whenever it holds `n` or more events — replayed events count, so a
+    /// long journal compacts right after boot. `None` (the default)
+    /// compacts only on demand via `POST /compact`.
+    pub compact_every_events: Option<u64>,
+    /// Per-client pending-shard quota (`tats serve --client-quota n`): a
+    /// `POST /jobs` from a client that already has `n` or more shards
+    /// pending (not yet done, leased included) is refused with `429` and a
+    /// `retry-after` hint. Quota refusals happen *before* the submit is
+    /// journaled, so replay never re-litigates them. `0` (the default)
+    /// disables the quota.
+    pub client_quota: usize,
+    /// Concurrent-connection cap (`tats serve --max-connections n`): the
+    /// accept loop sheds connections beyond this with an immediate `503`
+    /// (counted by `http_connections_rejected_total`) instead of spawning
+    /// an unbounded handler thread per socket. `0` disables the cap.
+    pub max_connections: usize,
 }
 
 impl Default for ServiceConfig {
@@ -168,6 +188,9 @@ impl Default for ServiceConfig {
             trace_log: None,
             log_file: None,
             log_filter: None,
+            compact_every_events: None,
+            client_quota: 0,
+            max_connections: 256,
         }
     }
 }
@@ -175,7 +198,7 @@ impl Default for ServiceConfig {
 /// Every endpoint label `GET /metrics` reports. Pre-registered at bind so
 /// the hot path is a `HashMap` lookup plus relaxed atomics — no lock, no
 /// allocation.
-const ENDPOINTS: [&str; 17] = [
+const ENDPOINTS: [&str; 18] = [
     "GET /healthz",
     "GET /readyz",
     "GET /metrics",
@@ -192,6 +215,7 @@ const ENDPOINTS: [&str; 17] = [
     "POST /lease",
     "POST /jobs/{id}/shards/{i}/records",
     "POST /jobs/{id}/shards/{i}/done",
+    "POST /compact",
     "other",
 ];
 
@@ -227,6 +251,7 @@ fn endpoint_label(method: &str, segments: &[&str]) -> &'static str {
         ("POST", ["lease"]) => "POST /lease",
         ("POST", ["jobs", _, "shards", _, "records"]) => "POST /jobs/{id}/shards/{i}/records",
         ("POST", ["jobs", _, "shards", _, "done"]) => "POST /jobs/{id}/shards/{i}/done",
+        ("POST", ["compact"]) => "POST /compact",
         _ => "other",
     }
 }
@@ -243,6 +268,7 @@ struct ServerMetrics {
     registry: MetricsRegistry,
     endpoints: HashMap<&'static str, EndpointMetrics>,
     connections: Arc<Counter>,
+    connections_rejected: Arc<Counter>,
     accept_backoff: Arc<Counter>,
     lease_requests: Arc<Counter>,
     leases_granted: Arc<Counter>,
@@ -268,6 +294,7 @@ impl ServerMetrics {
         }
         ServerMetrics {
             connections: registry.counter("http_connections_total", &[]),
+            connections_rejected: registry.counter("http_connections_rejected_total", &[]),
             accept_backoff: registry.counter("http_accept_backoff_total", &[]),
             lease_requests: registry.counter("lease_requests_total", &[]),
             leases_granted: registry.counter("leases_granted_total", &[]),
@@ -364,6 +391,14 @@ struct Shared {
     state: Mutex<JournaledRegistry>,
     replay: ReplayReport,
     leases_reset: usize,
+    /// [`ServiceConfig::client_quota`], needed at `POST /jobs` dispatch.
+    client_quota: usize,
+    /// [`ServiceConfig::lease_ttl_ms`] — the `retry-after` hint on a quota
+    /// refusal (one TTL bounds how long a stuck shard stays pending).
+    lease_ttl_ms: u64,
+    /// Live connection-handler threads, bounded by
+    /// [`ServiceConfig::max_connections`].
+    active_connections: std::sync::atomic::AtomicUsize,
     metrics: ServerMetrics,
     /// Latest metrics snapshot each worker piggybacked on `POST /lease`.
     /// Latest-wins (worker registries are cumulative), merged fresh at
@@ -507,6 +542,10 @@ impl Service {
             }
         };
         let leases_reset = state.reset_leases()?;
+        // Auto-compaction arms *after* replay and lease reset: with the
+        // threshold already crossed by a long-lived journal, the first
+        // journaled mutation folds it into one snapshot.
+        state.set_compact_every(config.compact_every_events);
         // Replay-regenerated log lines restore `GET /logs` continuity, but
         // only through the ring: the previous incarnation already appended
         // them to any `--log-file`.
@@ -527,6 +566,9 @@ impl Service {
         registry
             .gauge("journal_repaired_bytes", &[])
             .set(replay.repaired_bytes);
+        registry
+            .gauge("journal_replayed_snapshots", &[])
+            .set(replay.snapshots as u64);
         registry
             .gauge("journal_leases_reset", &[])
             .set(leases_reset as u64);
@@ -584,6 +626,9 @@ impl Service {
             state: Mutex::new(state),
             replay,
             leases_reset,
+            client_quota: config.client_quota,
+            lease_ttl_ms: config.lease_ttl_ms,
+            active_connections: std::sync::atomic::AtomicUsize::new(0),
             metrics,
             worker_metrics: Mutex::new(BTreeMap::new()),
             access_log,
@@ -628,9 +673,36 @@ impl Service {
                 if accept_shared.stop.load(Ordering::SeqCst) {
                     break;
                 }
+                // The connection gate: beyond the cap, shed with an
+                // immediate 503 instead of spawning yet another handler
+                // thread — an unbounded accept loop turns a connection
+                // flood into thread exhaustion for the whole process.
+                let limit = config.max_connections;
+                if limit > 0
+                    && accept_shared
+                        .active_connections
+                        .fetch_add(1, Ordering::SeqCst)
+                        >= limit
+                {
+                    accept_shared
+                        .active_connections
+                        .fetch_sub(1, Ordering::SeqCst);
+                    accept_shared.metrics.connections_rejected.inc();
+                    // Shed on a throwaway thread: a client that never reads
+                    // must not block the accept loop on the 503 write.
+                    std::thread::spawn(move || shed_connection(stream));
+                    continue;
+                }
                 let shared = Arc::clone(&accept_shared);
                 let config = config.clone();
-                std::thread::spawn(move || handle_connection(stream, &shared, &config, epoch));
+                std::thread::spawn(move || {
+                    // Returned on every path, panics included: a leaked
+                    // permit would permanently shrink the cap.
+                    let _permit = (limit > 0).then(|| ConnectionPermit {
+                        shared: Arc::clone(&shared),
+                    });
+                    handle_connection(stream, &shared, &config, epoch);
+                });
             }
         });
         Ok(ServiceHandle {
@@ -645,6 +717,43 @@ impl Service {
 /// lives in.
 fn now_ms(epoch: Instant) -> u64 {
     epoch.elapsed().as_millis() as u64
+}
+
+/// Returns one connection slot to the gate when a handler thread exits —
+/// by any path, panic unwinds included.
+struct ConnectionPermit {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ConnectionPermit {
+    fn drop(&mut self) {
+        self.shared
+            .active_connections
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Refuses a connection beyond [`ServiceConfig::max_connections`]: one
+/// `503` with a `retry-after` hint, then a write-side shutdown and a short
+/// drain of whatever the client already sent, so the response is actually
+/// delivered instead of being discarded by a TCP reset.
+fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = write_response(
+        &mut stream,
+        503,
+        "text/plain",
+        &[("retry-after", "1".to_string())],
+        "connection limit reached; retry shortly\n",
+        false,
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Drain the request bytes in flight: closing with unread data makes
+    // many stacks send RST, which can destroy the queued 503.
+    use std::io::Read as _;
+    let mut sink = [0u8; 1_024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServiceConfig, epoch: Instant) {
@@ -800,12 +909,22 @@ fn route(
             extra,
             body,
         }) => (status, content_type, extra, body),
-        Err(error) => (
-            error.status_code(),
-            "text/plain",
-            Vec::new(),
-            format!("{error}\n"),
-        ),
+        Err(error) => {
+            // Quota refusals carry their wait hint as a header too, so
+            // plain HTTP clients see it without parsing the body.
+            let extra = match &error {
+                ServiceError::RateLimited { retry_after_s, .. } => {
+                    vec![("retry-after".to_string(), retry_after_s.to_string())]
+                }
+                _ => Vec::new(),
+            };
+            (
+                error.status_code(),
+                "text/plain",
+                extra,
+                format!("{error}\n"),
+            )
+        }
     }
 }
 
@@ -870,6 +989,10 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
                     JsonValue::from(shared.replay.records),
                 ),
                 (
+                    "replayed_snapshots".to_string(),
+                    JsonValue::from(shared.replay.snapshots),
+                ),
+                (
                     "repaired_bytes".to_string(),
                     JsonValue::from(shared.replay.repaired_bytes as usize),
                 ),
@@ -888,6 +1011,16 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
         ("GET", ["metrics"]) => {
             // Scrapeable before the ready gate, like the probes: a server
             // replaying a large journal should be observable while it does.
+            // Compactions are pulled from the journal at scrape time —
+            // auto-compactions happen inside `append`, far from any
+            // counter handle.
+            if let Ok(state) = shared.state.lock() {
+                shared
+                    .metrics
+                    .registry
+                    .gauge("journal_compactions_total", &[])
+                    .set(state.compactions());
+            }
             let mut snapshot = shared.metrics.registry.snapshot();
             let workers = shared
                 .worker_metrics
@@ -971,6 +1104,41 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
                 })
                 .transpose()?
                 .unwrap_or(1);
+            let client = match body.get("client") {
+                None => "default",
+                Some(JsonValue::String(name)) if !name.is_empty() => name.as_str(),
+                Some(_) => {
+                    return Err(ServiceError::BadRequest(
+                        "'client' must be a non-empty string".to_string(),
+                    ))
+                }
+            };
+            let priority = body
+                .get("priority")
+                .map(|value| {
+                    value.as_u64().ok_or_else(|| {
+                        ServiceError::BadRequest(
+                            "'priority' must be a non-negative integer".to_string(),
+                        )
+                    })
+                })
+                .transpose()?
+                .unwrap_or(0);
+            // Admission control, *before* the submit reaches the journal:
+            // a refused submit is never journaled, so quota changes across
+            // restarts can never make an old journal refuse to replay.
+            if shared.client_quota > 0 {
+                let pending = state.registry().client_pending_shards(client);
+                if pending >= shared.client_quota {
+                    return Err(ServiceError::RateLimited {
+                        message: format!(
+                            "client '{client}' has {pending} pending shard(s), quota {}",
+                            shared.client_quota
+                        ),
+                        retry_after_s: (shared.lease_ttl_ms / 1_000).max(1),
+                    });
+                }
+            }
             // A submitter that wants the campaign traced sends x-trace-id;
             // the submit instant (Unix µs) anchors the job's synthetic span
             // clock, so every later transition span is a pure function of
@@ -980,7 +1148,10 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
                 .and_then(spans::parse_id)
                 .unwrap_or(0);
             let trace_us = if trace_id == 0 { 0 } else { spans::now_us() };
-            let status = state.submit(spec, shards, trace_id, trace_us, now)?;
+            let submission = Submission::new(spec, shards)
+                .for_client(client, priority)
+                .traced(trace_id, trace_us);
+            let status = state.submit(submission, now)?;
             Ok(Reply {
                 status: 201,
                 content_type: "application/json",
@@ -1111,6 +1282,21 @@ fn dispatch(request: &Request, shared: &Shared, epoch: Instant) -> Result<Reply,
             let worker = worker_header(request)?;
             let index = parse_shard_index(index)?;
             Ok(Reply::json(&state.shard_done(job, index, worker, now)?))
+        }
+        ("POST", ["compact"]) => {
+            // On-demand journal compaction: fold the whole journal into
+            // one snapshot event right now (400 without a journal).
+            let report = state.compact()?;
+            Ok(Reply::json(&JsonValue::object(vec![
+                (
+                    "bytes_before".to_string(),
+                    JsonValue::from(report.bytes_before as usize),
+                ),
+                (
+                    "bytes_after".to_string(),
+                    JsonValue::from(report.bytes_after as usize),
+                ),
+            ])))
         }
         (_, _) => Err(ServiceError::NotFound(format!(
             "{} {}",
@@ -1586,6 +1772,173 @@ mod tests {
         // After stop the listener is gone: connecting fails (or the probe
         // errors), never hangs.
         assert!(client::get(&addr, "/healthz").is_err());
+    }
+
+    fn tiny_submit_body(shards: usize, client: &str, priority: u64) -> String {
+        let mut spec = tats_engine::CampaignSpec::default();
+        spec.benchmarks.truncate(1);
+        JsonValue::object(vec![
+            ("spec".to_string(), spec.to_json()),
+            ("shards".to_string(), JsonValue::from(shards)),
+            ("client".to_string(), JsonValue::from(client)),
+            ("priority".to_string(), JsonValue::from(priority as usize)),
+        ])
+        .to_json()
+    }
+
+    #[test]
+    fn quota_refuses_with_429_and_retry_after_until_shards_drain() {
+        let config = ServiceConfig {
+            client_quota: 2,
+            lease_ttl_ms: 5_000,
+            log_filter: Some(LogFilter::off()),
+            ..ServiceConfig::default()
+        };
+        let handle = Service::bind("127.0.0.1:0", config).expect("bind");
+        let addr = handle.addr_string();
+        let post = |body: &str| {
+            client::request(
+                &addr,
+                "POST",
+                "/jobs",
+                &[("content-type", "application/json".to_string())],
+                Some(body),
+            )
+            .expect("post /jobs")
+        };
+        // Two pending shards fill ci's quota; its next submit bounces with
+        // the retry-after hint, while another client sails through.
+        assert_eq!(post(&tiny_submit_body(2, "ci", 0)).status, 201);
+        let refused = post(&tiny_submit_body(1, "ci", 0));
+        assert_eq!(refused.status, 429, "{}", refused.body);
+        assert_eq!(refused.header("retry-after"), Some("5"));
+        assert!(refused.body.contains("quota 2"), "{}", refused.body);
+        assert_eq!(post(&tiny_submit_body(1, "laptop", 0)).status, 201);
+        // Refusals are admission control, not state: only the two accepted
+        // jobs exist.
+        let jobs = client::get(&addr, "/jobs").expect("jobs");
+        assert_eq!(jobs.body.matches("\"job\":").count(), 2, "{}", jobs.body);
+        handle.stop();
+    }
+
+    #[test]
+    fn invalid_client_and_priority_fields_are_rejected() {
+        let handle = Service::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+        let addr = handle.addr_string();
+        let mut spec = tats_engine::CampaignSpec::default();
+        spec.benchmarks.truncate(1);
+        for body in [
+            JsonValue::object(vec![
+                ("spec".to_string(), spec.to_json()),
+                ("client".to_string(), JsonValue::from("")),
+            ]),
+            JsonValue::object(vec![
+                ("spec".to_string(), spec.to_json()),
+                ("priority".to_string(), JsonValue::from("high")),
+            ]),
+        ] {
+            let response =
+                client::request(&addr, "POST", "/jobs", &[], Some(&body.to_json())).expect("post");
+            assert_eq!(response.status, 400, "{}", response.body);
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn connection_gate_sheds_with_503_and_counts_rejections() {
+        let config = ServiceConfig {
+            max_connections: 1,
+            ..ServiceConfig::default()
+        };
+        let handle = Service::bind("127.0.0.1:0", config).expect("bind");
+        let addr = handle.addr_string();
+        // One keep-alive connection occupies the only slot…
+        let mut held = client::Connection::new(&addr);
+        assert_eq!(held.get("/healthz").expect("held").status, 200);
+        // …so the next connection is shed at the accept loop with a 503
+        // that still reaches the client (write, shutdown, drain — no RST).
+        let shed = client::request(&addr, "GET", "/healthz", &[], None).expect("shed response");
+        assert_eq!(shed.status, 503, "{}", shed.body);
+        assert_eq!(shed.header("retry-after"), Some("1"));
+        assert!(shed.body.contains("connection limit"), "{}", shed.body);
+        // Release the slot; the handler thread notices the close and
+        // returns its permit shortly after.
+        drop(held);
+        let metrics = (0..200)
+            .find_map(|_| match client::get(&addr, "/metrics") {
+                Ok(scraped) => Some(scraped.body),
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    None
+                }
+            })
+            .expect("a freed slot admits the scrape");
+        // At least the shed request above was rejected; scrape attempts
+        // that raced the freed slot may have been shed too.
+        let rejected = metrics
+            .lines()
+            .find_map(|line| line.strip_prefix("http_connections_rejected_total "))
+            .and_then(|value| value.trim().parse::<u64>().ok())
+            .expect("rejected counter exported");
+        assert!(rejected >= 1, "{metrics}");
+        handle.stop();
+    }
+
+    #[test]
+    fn compact_endpoint_folds_the_journal_and_400s_without_one() {
+        let path = std::env::temp_dir().join("tats_server_compact_endpoint_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let config = ServiceConfig {
+            journal: Some(path.clone()),
+            log_filter: Some(LogFilter::off()),
+            ..ServiceConfig::default()
+        };
+        let handle = Service::bind("127.0.0.1:0", config.clone()).expect("bind");
+        let addr = handle.addr_string();
+        for client_name in ["ci", "laptop", "nightly"] {
+            let response = client::request(
+                &addr,
+                "POST",
+                "/jobs",
+                &[],
+                Some(&tiny_submit_body(2, client_name, 0)),
+            )
+            .expect("submit");
+            assert_eq!(response.status, 201, "{}", response.body);
+        }
+        let report =
+            client::post_json(&addr, "/compact", &JsonValue::object(vec![])).expect("compact");
+        let before = report.get("bytes_before").and_then(JsonValue::as_u64);
+        let after = report.get("bytes_after").and_then(JsonValue::as_u64);
+        assert!(before.is_some() && after.is_some(), "{}", report.to_json());
+        let compacted = std::fs::read_to_string(&path).expect("journal");
+        assert_eq!(compacted.lines().count(), 1, "{compacted}");
+        assert!(compacted.contains("\"event\":\"snapshot\""), "{compacted}");
+        let metrics = client::get(&addr, "/metrics").expect("metrics");
+        assert!(
+            metrics.body.contains("journal_compactions_total 1"),
+            "{}",
+            metrics.body
+        );
+        handle.stop();
+        // A restart replays the snapshot (fast-forward) and reports it.
+        let handle = Service::bind("127.0.0.1:0", config).expect("rebind");
+        let ready = client::get(&handle.addr_string(), "/readyz").expect("readyz");
+        assert!(
+            ready.body.contains("\"replayed_snapshots\":1"),
+            "{}",
+            ready.body
+        );
+        assert!(ready.body.contains("\"replayed_jobs\":3"), "{}", ready.body);
+        handle.stop();
+        let _ = std::fs::remove_file(&path);
+
+        // Journal-less server: nothing to compact, a clean 400.
+        let handle = Service::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+        let response = client::request(&handle.addr_string(), "POST", "/compact", &[], Some("{}"))
+            .expect("compact without journal");
+        assert_eq!(response.status, 400, "{}", response.body);
+        handle.stop();
     }
 
     #[test]

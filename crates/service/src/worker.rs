@@ -564,6 +564,75 @@ mod tests {
         assert!(error.to_string().contains("job"), "{error}");
     }
 
+    /// A hostile or corrupted server must never panic the worker: every
+    /// malformed lease body comes back as [`ServiceError::Protocol`]
+    /// (fatal, not retried), whatever shape the garbage takes.
+    #[test]
+    fn hostile_lease_bodies_are_protocol_errors_never_panics() {
+        let spec = CampaignSpec::default();
+        let good = |name: &str| -> JsonValue {
+            match name {
+                "job" => JsonValue::from("j000001"),
+                "shard" => JsonValue::from("0/2"),
+                "spec" => spec.to_json(),
+                "fingerprint" => JsonValue::from(spec.fingerprint().as_str()),
+                _ => JsonValue::Array(vec![JsonValue::from(0usize)]),
+            }
+        };
+        let body = |field: &str, value: JsonValue| {
+            JsonValue::object(
+                ["job", "shard", "spec", "fingerprint", "completed_ids"]
+                    .iter()
+                    .map(|name| {
+                        let filled = if *name == field {
+                            value.clone()
+                        } else {
+                            good(name)
+                        };
+                        ((*name).to_string(), filled)
+                    }),
+            )
+        };
+        let hostile = [
+            body("job", JsonValue::from(42usize)),
+            body("shard", JsonValue::from("not-a-shard")),
+            body("shard", JsonValue::from("2/2")),
+            body("shard", JsonValue::from("0/0")),
+            body("shard", JsonValue::from("-1/2")),
+            body("spec", JsonValue::from("{}")),
+            body("spec", JsonValue::object(vec![])),
+            body("fingerprint", JsonValue::Null),
+            body("completed_ids", JsonValue::from("0,2")),
+            body(
+                "completed_ids",
+                JsonValue::Array(vec![JsonValue::from("zero")]),
+            ),
+            body("completed_ids", JsonValue::Array(vec![JsonValue::Null])),
+            JsonValue::Array(vec![]),
+            JsonValue::from("lease"),
+            JsonValue::Null,
+        ];
+        for value in hostile {
+            let error = parse_lease(&value).expect_err(&value.to_json());
+            assert!(
+                matches!(error, ServiceError::Protocol(_)),
+                "{} must be Protocol, got {error}",
+                value.to_json()
+            );
+        }
+        // A valid body with hostile *optional* trace fields still parses —
+        // unparsable trace ids mean "untraced", never a crash.
+        let mut fields: Vec<(String, JsonValue)> = ["job", "shard", "spec", "fingerprint"]
+            .iter()
+            .map(|name| ((*name).to_string(), good(name)))
+            .collect();
+        fields.push(("completed_ids".to_string(), JsonValue::Array(vec![])));
+        fields.push(("trace_id".to_string(), JsonValue::from("not-hex")));
+        fields.push(("root_span".to_string(), JsonValue::from(1.5f64)));
+        let lease = parse_lease(&JsonValue::object(fields)).expect("hostile trace is optional");
+        assert!(lease.trace.is_none());
+    }
+
     #[test]
     fn default_config_names_include_the_pid() {
         let config = WorkerConfig::default();

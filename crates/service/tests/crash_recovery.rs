@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 use tats_core::Policy;
 use tats_engine::{Campaign, CampaignSpec, Effort, Executor, FlowKind};
 use tats_service::{
-    client, run_worker, RetryPolicy, Service, ServiceConfig, ServiceError, WorkerConfig,
+    client, journal, run_worker, RetryPolicy, Service, ServiceConfig, ServiceError, WorkerConfig,
 };
 use tats_taskgraph::Benchmark;
 use tats_trace::{jsonl, JsonValue};
@@ -293,6 +293,97 @@ fn record_paging_resumes_from_x_next_from_across_a_restart() {
     assert_eq!(collected.len(), reference.len(), "no dup, no drop");
     collected.sort_by_key(|line| jsonl::line_id(line));
     assert_eq!(collected, reference);
+    server.stop();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn double_crash_during_compaction_keeps_the_old_journal_authoritative() {
+    // Crash #1 lands *inside* a compaction: the staging snapshot is on
+    // disk (fsynced, even) but the rename never happened. The restart must
+    // replay the old journal and ignore the orphaned staging file; a
+    // re-triggered compaction must converge; and crash #2 right after it
+    // must restart from the snapshot — with the final record set still
+    // byte-identical to the uninterrupted in-process run.
+    let reference = in_process_reference(&spec());
+    let path = journal_path("compaction_kill");
+    let config = journaled_config(&path, 200);
+    let server = Service::bind("127.0.0.1:0", config.clone()).expect("bind");
+    let addr = server.addr_string();
+    let job = submit(&addr, &spec(), 1);
+    run_worker(
+        &addr,
+        &WorkerConfig {
+            name: "compact-w1".to_string(),
+            poll_ms: 10,
+            exit_when_drained: true,
+            fail_after_records: Some(3),
+            ..WorkerConfig::default()
+        },
+    )
+    .expect_err("injected crash");
+    server.abort();
+
+    // The dead incarnation got as far as writing a complete staging
+    // snapshot — of *empty* state, so if replay ever trusted it the job
+    // would vanish and every assertion below would fail loudly.
+    let staging = journal::compaction_path(&path);
+    std::fs::write(
+        &staging,
+        "{\"event\":\"snapshot\",\"state\":{\"next_job\":1,\"lease_cursor\":{},\"jobs\":[]}}\n",
+    )
+    .expect("staging");
+
+    let server = Service::bind(&addr, config.clone()).expect("rebind");
+    let ready = client::get(&addr, "/readyz").expect("readyz");
+    assert!(
+        ready.body.contains("\"replayed_snapshots\":0"),
+        "the staging file must not be replayed: {}",
+        ready.body
+    );
+    assert!(ready.body.contains("\"replayed_jobs\":1"), "{}", ready.body);
+    assert!(
+        ready.body.contains("\"replayed_records\":3"),
+        "{}",
+        ready.body
+    );
+
+    // Re-trigger the compaction: it overwrites the orphan and converges.
+    client::post_json(&addr, "/compact", &JsonValue::object(vec![])).expect("compact");
+    assert!(!staging.exists(), "staging renamed over the journal");
+    let text = std::fs::read_to_string(&path).expect("journal");
+    assert_eq!(text.lines().count(), 1, "{text}");
+
+    // Crash #2, right after the compaction.
+    server.abort();
+    let server = Service::bind(&addr, config).expect("second rebind");
+    let ready = client::get(&addr, "/readyz").expect("readyz");
+    assert!(
+        ready.body.contains("\"replayed_snapshots\":1"),
+        "{}",
+        ready.body
+    );
+    assert!(
+        ready.body.contains("\"replayed_records\":3"),
+        "{}",
+        ready.body
+    );
+    let report = run_worker(
+        &addr,
+        &WorkerConfig {
+            name: "compact-w2".to_string(),
+            poll_ms: 10,
+            exit_when_drained: true,
+            ..WorkerConfig::default()
+        },
+    )
+    .expect("drain");
+    assert_eq!(report.records_posted, 7, "only the missing records re-run");
+    assert_eq!(
+        fetch_sorted_records(&addr, &job),
+        reference,
+        "restart equivalence holds across a killed compaction"
+    );
     server.stop();
     let _ = std::fs::remove_file(&path);
 }

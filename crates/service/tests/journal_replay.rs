@@ -26,8 +26,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tats_core::Policy;
 use tats_engine::{CampaignSpec, Effort, Executor, FlowKind};
-use tats_service::journal::{self, JournaledRegistry};
-use tats_service::ServiceError;
+use tats_service::journal::{self, compaction_path, JournaledRegistry};
+use tats_service::{ServiceError, Submission};
 use tats_taskgraph::Benchmark;
 use tats_trace::JsonValue;
 
@@ -92,7 +92,9 @@ fn full_lifecycle_replays_identically() {
     assert_eq!(report.events, 0);
     let lines = reference_lines();
 
-    let status = live.submit(tiny_spec(), 2, 0, 0, 5).expect("submit");
+    let status = live
+        .submit(Submission::new(tiny_spec(), 2), 5)
+        .expect("submit");
     let job = status
         .get("job")
         .and_then(JsonValue::as_str)
@@ -126,7 +128,7 @@ fn truncated_final_line_is_ignored_and_repaired() {
     let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
     let lines = reference_lines();
     let job = live
-        .submit(tiny_spec(), 1, 0, 0, 0)
+        .submit(Submission::new(tiny_spec(), 1), 0)
         .expect("submit")
         .get("job")
         .and_then(JsonValue::as_str)
@@ -164,7 +166,8 @@ fn journaled_lease_reset_keeps_double_replay_consistent() {
     // grants against un-reset state and refuse the journal.
     let path = journal_path("reset");
     let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
-    live.submit(tiny_spec(), 2, 0, 0, 0).expect("submit");
+    live.submit(Submission::new(tiny_spec(), 2), 0)
+        .expect("submit");
     live.lease("w1", 1).expect("lease shard 0");
     drop(live); // first crash: w1's lease is live in the journal
 
@@ -209,12 +212,14 @@ fn journaled_lease_reset_keeps_double_replay_consistent() {
 fn sealed_registry_refuses_every_mutation_and_writes_nothing() {
     let path = journal_path("sealed");
     let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
-    live.submit(tiny_spec(), 1, 0, 0, 0).expect("submit");
+    live.submit(Submission::new(tiny_spec(), 1), 0)
+        .expect("submit");
     let bytes = std::fs::read(&path).expect("read").len();
     live.seal();
     assert!(live.sealed());
     for error in [
-        live.submit(tiny_spec(), 1, 0, 0, 1).expect_err("submit"),
+        live.submit(Submission::new(tiny_spec(), 1), 1)
+            .expect_err("submit"),
         live.lease("w1", 1).expect_err("lease"),
         live.ingest("j000001", 0, "w1", &reference_lines()[0], 1)
             .expect_err("ingest"),
@@ -234,10 +239,141 @@ fn sealed_registry_refuses_every_mutation_and_writes_nothing() {
 }
 
 #[test]
+fn compaction_preserves_replay_and_accepts_new_events() {
+    let path = journal_path("compact");
+    let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
+    let lines = reference_lines();
+    let job = live
+        .submit(Submission::new(tiny_spec(), 2).for_client("ci", 1), 0)
+        .expect("submit")
+        .get("job")
+        .and_then(JsonValue::as_str)
+        .expect("job id")
+        .to_string();
+    live.lease("w1", 1).expect("lease");
+    live.ingest(&job, 0, "w1", &format!("{}\n{}\n", lines[0], lines[2]), 2)
+        .expect("ingest");
+    live.shard_done(&job, 0, "w1", 3).expect("done");
+
+    let before = snapshot(&live);
+    let report = live.compact().expect("compact");
+    assert!(report.bytes_before > 0 && report.bytes_after > 0);
+    let text = std::fs::read_to_string(&path).expect("journal");
+    assert_eq!(text.lines().count(), 1, "{text}");
+    assert!(text.contains("\"event\":\"snapshot\""), "{text}");
+    assert_eq!(snapshot(&live), before, "compaction must not change state");
+    let (replayed, replay_report) = journal::replay(&path, TTL).expect("replay");
+    assert_eq!(replay_report.snapshots, 1);
+    assert_eq!(replay_report.jobs, 1);
+    assert_eq!(replay_report.records, 2);
+    assert_eq!(replayed.snapshot().to_json(), before);
+
+    // The snapshot is a fast-forward prefix: events appended after the
+    // compaction replay on top of it — lease grants verified included
+    // (the cursor and the live lease travel in the snapshot).
+    live.lease("w2", 4).expect("lease shard 1");
+    live.ingest(&job, 1, "w2", &format!("{}\n{}\n", lines[1], lines[3]), 5)
+        .expect("ingest 2");
+    live.shard_done(&job, 1, "w2", 6).expect("done 2");
+    assert_replay_matches(&path, &live);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn killed_mid_compaction_the_old_journal_stays_authoritative() {
+    // kill -9 lands after the staging snapshot is written but before the
+    // rename: the journal is untouched, the staging file is garbage from a
+    // dead incarnation. Replay must never read it, a restart must replay
+    // the old journal, and a re-triggered compaction must converge.
+    let path = journal_path("mid_compaction_kill");
+    let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
+    live.submit(Submission::new(tiny_spec(), 2).for_client("alpha", 0), 0)
+        .expect("submit");
+    live.lease("w1", 1).expect("lease");
+    let expected = snapshot(&live);
+    drop(live);
+
+    // A complete-but-stale staging snapshot (the dead incarnation got as
+    // far as fsync) and a torn partial one must both be ignored.
+    let staging = compaction_path(&path);
+    for garbage in [
+        "{\"event\":\"snapshot\",\"state\":{\"next_job\":9,\"lease_cursor\":{},\"jobs\":[]}}\n"
+            .to_string(),
+        "{\"event\":\"snapshot\",\"state\":{\"next_jo".to_string(),
+    ] {
+        std::fs::write(&staging, &garbage).expect("staging");
+        let (replayed, report) = journal::replay(&path, TTL).expect("replay");
+        assert_eq!(report.snapshots, 0, "staging file must never be replayed");
+        assert_eq!(replayed.snapshot().to_json(), expected);
+
+        let (mut restarted, _) = JournaledRegistry::open(&path, TTL).expect("restart");
+        assert_eq!(snapshot(&restarted), expected);
+        // Re-triggered compaction overwrites the leftover staging file and
+        // converges: one snapshot line, same state, staging gone.
+        restarted.compact().expect("compact");
+        let text = std::fs::read_to_string(&path).expect("journal");
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(!staging.exists(), "the staging file was renamed away");
+        let (replayed, report) = journal::replay(&path, TTL).expect("replay compacted");
+        assert_eq!(report.snapshots, 1);
+        assert_eq!(replayed.snapshot().to_json(), expected);
+        // Restore the pre-compaction journal for the second garbage case.
+        drop(restarted);
+        let _ = std::fs::remove_file(&path);
+        let (mut rebuilt, _) = JournaledRegistry::open(&path, TTL).expect("rebuild");
+        rebuilt
+            .submit(Submission::new(tiny_spec(), 2).for_client("alpha", 0), 0)
+            .expect("submit");
+        rebuilt.lease("w1", 1).expect("lease");
+        assert_eq!(snapshot(&rebuilt), expected);
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&staging);
+}
+
+#[test]
+fn auto_compaction_triggers_on_the_event_threshold() {
+    let path = journal_path("auto_compact");
+    let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
+    live.set_compact_every(Some(4));
+    let lines = reference_lines();
+    let job = live
+        .submit(Submission::new(tiny_spec(), 2), 0)
+        .expect("submit")
+        .get("job")
+        .and_then(JsonValue::as_str)
+        .expect("job id")
+        .to_string();
+    live.lease("w1", 1).expect("lease");
+    live.ingest(&job, 0, "w1", &format!("{}\n{}\n", lines[0], lines[2]), 2)
+        .expect("ingest");
+    // Three events journaled so far; the fourth crosses the threshold and
+    // folds all four into one snapshot, transparently to the caller.
+    live.shard_done(&job, 0, "w1", 3).expect("done");
+    let text = std::fs::read_to_string(&path).expect("journal");
+    assert_eq!(text.lines().count(), 1, "{text}");
+    assert!(text.contains("\"event\":\"snapshot\""), "{text}");
+    assert_replay_matches(&path, &live);
+    drop(live);
+
+    // Replayed events count toward the threshold: a reopened journal that
+    // is already over it compacts on the very next append.
+    let (mut reopened, report) = JournaledRegistry::open(&path, TTL).expect("reopen");
+    assert_eq!(report.snapshots, 1);
+    reopened.set_compact_every(Some(2));
+    reopened.lease("w2", 10).expect("lease shard 1");
+    let text = std::fs::read_to_string(&path).expect("journal");
+    assert_eq!(text.lines().count(), 1, "{text}");
+    assert_replay_matches(&path, &reopened);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn corrupted_lease_grants_refuse_to_replay() {
     let path = journal_path("corrupt");
     let (mut live, _) = JournaledRegistry::open(&path, TTL).expect("open");
-    live.submit(tiny_spec(), 2, 0, 0, 0).expect("submit");
+    live.submit(Submission::new(tiny_spec(), 2), 0)
+        .expect("submit");
     live.lease("w1", 1).expect("lease");
     drop(live);
     // Hand-edit the granted shard: replay re-runs the lease scan, grants
@@ -280,7 +416,14 @@ proptest! {
             match rng.gen_range(0..10) {
                 0..2 => {
                     if jobs < 3 {
-                        live.submit(tiny_spec(), rng.gen_range(1..3), 0, 0, now).expect("submit");
+                        // Random admission metadata: the fair-lease cursor
+                        // only moves on journaled grants, so mixed clients
+                        // and priorities must replay exactly too.
+                        let client = ["default", "alpha", "beta"][rng.gen_range(0..3usize)];
+                        let priority = rng.gen_range(0..3u64);
+                        let submission = Submission::new(tiny_spec(), rng.gen_range(1..3))
+                            .for_client(client, priority);
+                        live.submit(submission, now).expect("submit");
                         jobs += 1;
                     }
                 }
@@ -318,6 +461,37 @@ proptest! {
         std::fs::write(&path, &bytes).expect("append partial");
         let (replayed, _) = journal::replay(&path, TTL).expect("replay truncated");
         prop_assert_eq!(replayed.snapshot().to_json(), snapshot(&live));
+
+        // A leftover staging file from a compaction the process died in —
+        // torn or complete — must never influence replay of the journal.
+        let staging = compaction_path(&path);
+        std::fs::write(&staging, b"{\"event\":\"snapshot\",\"state\":{\"next_jo")
+            .expect("staging");
+        let (replayed, _) = journal::replay(&path, TTL).expect("replay ignores staging");
+        prop_assert_eq!(replayed.snapshot().to_json(), snapshot(&live));
+
+        // replay(compact(j)) ≡ replay(j), for every schedule. Compaction
+        // also discards the torn tail and the stale staging file above.
+        let first = live.compact().expect("compact");
+        let (replayed, report) = journal::replay(&path, TTL).expect("replay compacted");
+        prop_assert_eq!(report.snapshots, 1);
+        prop_assert_eq!(replayed.snapshot().to_json(), snapshot(&live));
+
+        // Compaction converges: compacting a compacted journal is the
+        // identity on both state and bytes.
+        let second = live.compact().expect("second compact");
+        prop_assert_eq!(second.bytes_before, first.bytes_after);
+        prop_assert_eq!(second.bytes_after, first.bytes_after);
+        let (replayed, _) = journal::replay(&path, TTL).expect("replay twice-compacted");
+        prop_assert_eq!(replayed.snapshot().to_json(), snapshot(&live));
+
+        // And a torn tail *after* a compaction is repaired the same way.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(b"{\"event\":\"lease\",\"now_ms\":99,\"wor");
+        std::fs::write(&path, &bytes).expect("append partial");
+        let (replayed, _) = journal::replay(&path, TTL).expect("replay truncated snapshot");
+        prop_assert_eq!(replayed.snapshot().to_json(), snapshot(&live));
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&staging);
     }
 }
